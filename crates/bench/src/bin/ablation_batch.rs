@@ -1,0 +1,29 @@
+//! Ablation — batch size sweep (design choice from paper §5.2).
+//!
+//! The paper fixes batching at 16 operations; this sweep shows why
+//! that is a reasonable choice: under async writes batching amortizes
+//! the seal, and under fsync it amortizes the commit, with diminishing
+//! returns past the point where batches stop filling.
+//!
+//! Regenerate: `cargo run -p lcm-bench --bin ablation_batch --release`
+
+use lcm_bench::{header, kops};
+use lcm_sim::cost::ServerKind;
+use lcm_sim::scenario::{run_scenario, Scenario};
+use lcm_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    println!("Ablation: LCM batch-size sweep, 32 clients, 100 B objects\n");
+    header(&["batch size", "async [kops/s]", "fsync [ops/s]"]);
+
+    for &batch in &[1usize, 2, 4, 8, 16, 32, 64] {
+        let mut scenario = Scenario::paper_default(ServerKind::Lcm { batch }, 32);
+        let x_async = run_scenario(&model, &scenario).throughput();
+        scenario.fsync = true;
+        let x_sync = run_scenario(&model, &scenario).throughput();
+        println!("| {batch:>10} | {} | {x_sync:>13.0} |", kops(x_async));
+    }
+    println!("\n(batches only fill while enough clients keep the queue non-empty,");
+    println!(" so gains taper beyond the offered concurrency)");
+}

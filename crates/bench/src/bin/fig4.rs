@@ -1,0 +1,51 @@
+//! Figure 4 — throughput with different object sizes (async writes).
+//!
+//! Paper setup: 8 clients, 1000 objects, object sizes 100–2500 B,
+//! YCSB workload A, asynchronous disk writes; series SGX and LCM.
+//! Headline numbers: LCM overhead 20.12 % at 100 B, 10.96 % at 2500 B.
+//!
+//! Regenerate: `cargo run -p lcm-bench --bin fig4 --release`
+
+use lcm_bench::{compare, header, kops};
+use lcm_sim::scenario::run_figure4;
+use lcm_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    println!("Figure 4: throughput vs object size, 8 clients, async writes\n");
+    header(&["object size [B]", "SGX [kops/s]", "LCM [kops/s]", "LCM overhead"]);
+
+    let rows = run_figure4(&model);
+    let mut first_ovh = 0.0;
+    let mut last_ovh = 0.0;
+    for (i, (size, sgx, lcm)) in rows.iter().enumerate() {
+        let ovh = 1.0 - lcm / sgx;
+        if i == 0 {
+            first_ovh = ovh;
+        }
+        last_ovh = ovh;
+        println!(
+            "| {size:>14} | {} | {} | {:>10.2}% |",
+            kops(*sgx),
+            kops(*lcm),
+            ovh * 100.0
+        );
+    }
+
+    println!("\nPaper-vs-measured:");
+    compare(
+        "LCM overhead at 100 B objects",
+        "20.12 %",
+        &format!("{:.2} %", first_ovh * 100.0),
+    );
+    compare(
+        "LCM overhead at 2500 B objects",
+        "10.96 %",
+        &format!("{:.2} %", last_ovh * 100.0),
+    );
+    compare(
+        "overhead decreases with object size",
+        "yes",
+        if first_ovh > last_ovh { "yes" } else { "NO" },
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 5 — throughput with different numbers of clients (async
+//! writes).
+//!
+//! Paper setup: clients {1,2,4,8,16,32}, 1000 objects of 100 B, YCSB
+//! workload A, async writes; seven series (SGX, SGX+batching, Native,
+//! LCM, LCM+batching, Redis TLS, SGX+TMC). Headline claims: Redis and
+//! Native scale almost linearly; SGX and LCM saturate around 8
+//! clients; SGX = 0.42–0.78× Native; LCM = 0.67–0.95× SGX (with
+//! batching 0.72–0.98×); TMC flat ≈ 12 ops/s.
+//!
+//! Regenerate: `cargo run -p lcm-bench --bin fig5 --release`
+
+use lcm_bench::{compare, kops};
+use lcm_sim::cost::ServerKind;
+use lcm_sim::scenario::{client_counts, run_figure5_or_6};
+use lcm_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    println!("Figure 5: throughput vs #clients, 100 B objects, async writes\n");
+
+    let series = run_figure5_or_6(&model, false);
+    print_series(&series);
+
+    // Ratio analysis matching the paper's §6.4 text.
+    let get = |kind: ServerKind| -> Vec<f64> {
+        series
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, rows)| rows.iter().map(|(_, x)| *x).collect())
+            .unwrap()
+    };
+    let native = get(ServerKind::Native);
+    let sgx = get(ServerKind::Sgx { batch: 1 });
+    let sgx_b = get(ServerKind::Sgx { batch: 16 });
+    let lcm = get(ServerKind::Lcm { batch: 1 });
+    let lcm_b = get(ServerKind::Lcm { batch: 16 });
+    let tmc = get(ServerKind::SgxTmc);
+
+    let range = |num: &[f64], den: &[f64]| {
+        let ratios: Vec<f64> = num.iter().zip(den).map(|(a, b)| a / b).collect();
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        format!("{min:.2}x – {max:.2}x")
+    };
+
+    println!("\nPaper-vs-measured:");
+    compare("SGX / Native", "0.42x – 0.78x", &range(&sgx, &native));
+    compare("LCM / SGX", "0.67x – 0.95x", &range(&lcm, &sgx));
+    compare("LCM+batch / SGX+batch", "0.72x – 0.98x", &range(&lcm_b, &sgx_b));
+    compare(
+        "SGX+TMC throughput (flat)",
+        "~12 ops/s",
+        &format!("{:.1} ops/s", tmc.iter().sum::<f64>() / tmc.len() as f64),
+    );
+    let sat = sgx[3] / sgx[5]; // 8 clients vs 32 clients
+    compare(
+        "SGX saturated by 8 clients (x8/x32)",
+        "~1.0",
+        &format!("{sat:.2}"),
+    );
+    let lin = native[5] / native[0];
+    compare(
+        "Native scaling 1→32 clients",
+        "almost linear",
+        &format!("{lin:.1}x"),
+    );
+}
+
+fn print_series(series: &[(ServerKind, Vec<(usize, f64)>)]) {
+    print!("| {:<18} |", "series \\ clients");
+    for n in client_counts() {
+        print!(" {n:>8} |");
+    }
+    println!();
+    print!("|{}|", "-".repeat(20));
+    for _ in client_counts() {
+        print!("{}|", "-".repeat(10));
+    }
+    println!();
+    for (kind, rows) in series {
+        print!("| {:<18} |", kind.label());
+        for (_, x) in rows {
+            print!(" {} |", kops(*x));
+        }
+        println!();
+    }
+    println!("  (units: kops/sec)");
+}

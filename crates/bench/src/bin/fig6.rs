@@ -1,0 +1,72 @@
+//! Figure 6 — throughput with different numbers of clients,
+//! synchronous (fsync) disk writes.
+//!
+//! Paper setup: as Fig. 5 but with fsync enabled. Headline claims:
+//! Native, SGX, LCM, SGX+TMC stay flat (fsync-bound); Redis and the
+//! batched variants scale; SGX ≈ 0.98× Native; LCM ≈ 0.69× SGX
+//! unbatched; LCM+batch = 0.72–9.87× SGX and 0.71–0.75× SGX+batch.
+//!
+//! Regenerate: `cargo run -p lcm-bench --bin fig6 --release`
+
+use lcm_bench::compare;
+use lcm_sim::cost::ServerKind;
+use lcm_sim::scenario::{client_counts, run_figure5_or_6};
+use lcm_sim::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    println!("Figure 6: throughput vs #clients, 100 B objects, SYNC (fsync) writes\n");
+
+    let series = run_figure5_or_6(&model, true);
+    print!("| {:<18} |", "series \\ clients");
+    for n in client_counts() {
+        print!(" {n:>8} |");
+    }
+    println!();
+    print!("|{}|", "-".repeat(20));
+    for _ in client_counts() {
+        print!("{}|", "-".repeat(10));
+    }
+    println!();
+    for (kind, rows) in &series {
+        print!("| {:<18} |", kind.label());
+        for (_, x) in rows {
+            print!(" {x:>8.0} |");
+        }
+        println!();
+    }
+    println!("  (units: ops/sec)");
+
+    let get = |kind: ServerKind| -> Vec<f64> {
+        series
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, rows)| rows.iter().map(|(_, x)| *x).collect())
+            .unwrap()
+    };
+    let native = get(ServerKind::Native);
+    let sgx = get(ServerKind::Sgx { batch: 1 });
+    let sgx_b = get(ServerKind::Sgx { batch: 16 });
+    let lcm = get(ServerKind::Lcm { batch: 1 });
+    let lcm_b = get(ServerKind::Lcm { batch: 16 });
+    let redis = get(ServerKind::RedisTls);
+
+    let range = |num: &[f64], den: &[f64]| {
+        let r: Vec<f64> = num.iter().zip(den).map(|(a, b)| a / b).collect();
+        format!(
+            "{:.2}x – {:.2}x",
+            r.iter().cloned().fold(f64::INFINITY, f64::min),
+            r.iter().cloned().fold(0.0f64, f64::max)
+        )
+    };
+    let flatness = |xs: &[f64]| format!("{:.2}", xs.last().unwrap() / xs.first().unwrap());
+
+    println!("\nPaper-vs-measured:");
+    compare("SGX / Native (fsync-bound)", "~0.98x", &range(&sgx, &native));
+    compare("LCM / SGX unbatched", "~0.69x", &range(&lcm, &sgx));
+    compare("LCM+batch / SGX unbatched", "0.72x – 9.87x", &range(&lcm_b, &sgx));
+    compare("LCM+batch / SGX+batch", "0.71x – 0.75x", &range(&lcm_b, &sgx_b));
+    compare("Native flat (x32/x1)", "~1.0", &flatness(&native));
+    compare("LCM unbatched flat (x32/x1)", "~1.0", &flatness(&lcm));
+    compare("Redis scales (x32/x1)", ">> 1", &flatness(&redis));
+}

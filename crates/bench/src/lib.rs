@@ -1,0 +1,25 @@
+//! Shared helpers for the per-figure reproduction binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§6) and prints the same rows/series the paper
+//! reports. See DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured records.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Formats a throughput in the paper's "kops/sec" unit.
+pub fn kops(ops_per_sec: f64) -> String {
+    format!("{:8.2}", ops_per_sec / 1000.0)
+}
+
+/// Prints a Markdown-style table header.
+pub fn header(columns: &[&str]) {
+    println!("| {} |", columns.join(" | "));
+    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// A paper-vs-measured comparison line for the run summary.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<46} paper: {paper:<18} measured: {measured}");
+}

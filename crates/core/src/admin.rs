@@ -1,0 +1,366 @@
+//! The trusted admin: bootstrapping, membership, and migration
+//! orchestration (paper §4.3, §4.6).
+//!
+//! Bootstrapping (§4.3) has three phases: (1) the admin instructs the
+//! server to create `T`; (2) remote attestation convinces the admin
+//! that `T` runs LCM on a genuine TEE; (3) the admin generates `kC` and
+//! `kP`, injects them through the attested secure channel, and
+//! distributes `kC` to the clients.
+
+use lcm_crypto::aead::{self, AeadKey};
+use lcm_crypto::keys::SecretKey;
+use lcm_crypto::sha256;
+use lcm_tee::attestation::QuoteVerifier;
+use lcm_tee::measurement::Measurement;
+use lcm_tee::world::TeeWorld;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::codec::{Reader, WireCodec, Writer};
+use crate::context::{AdminOp, AdminReply, ProvisionPayload, LABEL_ADMIN, LABEL_PROVISION};
+use crate::functionality::Functionality;
+use crate::program::lcm_measurement;
+use crate::server::LcmServer;
+use crate::stability::Quorum;
+use crate::types::ClientId;
+use crate::{LcmError, Result, Violation};
+
+/// The special admin client of the paper: generates and distributes
+/// keys, verifies attestation, manages membership.
+pub struct AdminHandle {
+    provision_channel: AeadKey,
+    verifier: QuoteVerifier,
+    expected_measurement: Measurement,
+    k_p: SecretKey,
+    k_c: SecretKey,
+    k_a: SecretKey,
+    admin_key: AeadKey,
+    clients: Vec<ClientId>,
+    quorum: Quorum,
+    admin_seq: u64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for AdminHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminHandle")
+            .field("clients", &self.clients)
+            .field("admin_seq", &self.admin_seq)
+            .finish()
+    }
+}
+
+impl AdminHandle {
+    /// Creates an admin for the LCM program in `world`, with the given
+    /// initial client group and stability quorum. Keys are drawn from
+    /// the OS RNG.
+    pub fn new(world: &TeeWorld, clients: Vec<ClientId>, quorum: Quorum) -> Self {
+        let mut seed = [0u8; 8];
+        rand::thread_rng().fill_bytes(&mut seed);
+        Self::build(world, clients, quorum, StdRng::seed_from_u64(u64::from_be_bytes(seed)))
+    }
+
+    /// Deterministic variant for tests and simulations.
+    pub fn new_deterministic(
+        world: &TeeWorld,
+        clients: Vec<ClientId>,
+        quorum: Quorum,
+        seed: u64,
+    ) -> Self {
+        Self::build(world, clients, quorum, StdRng::seed_from_u64(seed ^ 0xad_417))
+    }
+
+    fn build(world: &TeeWorld, clients: Vec<ClientId>, quorum: Quorum, mut rng: StdRng) -> Self {
+        let measurement = lcm_measurement();
+        let k_p = SecretKey::generate_with(&mut rng);
+        let k_c = SecretKey::generate_with(&mut rng);
+        let k_a = SecretKey::generate_with(&mut rng);
+        AdminHandle {
+            provision_channel: AeadKey::from_secret(&world.admin_provision_key(&measurement)),
+            verifier: world.authority().verifier(),
+            expected_measurement: measurement,
+            admin_key: AeadKey::from_secret(&k_a),
+            k_p,
+            k_c,
+            k_a,
+            clients,
+            quorum,
+            admin_seq: 0,
+            rng,
+        }
+    }
+
+    /// The communication key `kC` to distribute to group clients over
+    /// the admin's secure channels to them.
+    pub fn client_key(&self) -> &SecretKey {
+        &self.k_c
+    }
+
+    /// The current client group, as the admin believes it to be.
+    pub fn clients(&self) -> &[ClientId] {
+        &self.clients
+    }
+
+    /// Performs phases 2–3 of bootstrapping against `server`: challenge,
+    /// attest, verify, provision.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Tee`] — attestation failed: the context is not
+    ///   running LCM on a genuine platform.
+    /// * Context errors from provisioning.
+    pub fn bootstrap<F: Functionality>(&mut self, server: &mut LcmServer<F>) -> Result<()> {
+        // Phase 2: remote attestation with a fresh challenge nonce.
+        let mut nonce = [0u8; 32];
+        self.rng.fill_bytes(&mut nonce);
+        let user_data = sha256::digest(&nonce);
+        let quote = server.attest(user_data)?;
+        self.verifier
+            .verify(&quote, &self.expected_measurement, &user_data)?;
+
+        // Phase 3: inject keys through the attested channel.
+        let payload = ProvisionPayload {
+            k_p: self.k_p.clone(),
+            k_c: self.k_c.clone(),
+            k_a: self.k_a.clone(),
+            clients: self.clients.clone(),
+            quorum: self.quorum,
+        };
+        let sealed = aead::auth_encrypt(&self.provision_channel, &payload.to_bytes(), LABEL_PROVISION)
+            .map_err(|e| LcmError::Tee(e.to_string()))?;
+        server.provision(sealed)
+    }
+
+    /// Adds `id` to the group (§4.6.3). On success the admin sends the
+    /// (unchanged) `kC` to the new client out of band.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — the admin reply failed verification.
+    /// * The context's rejection is surfaced as [`LcmError::Tee`] with
+    ///   the rejection message.
+    pub fn add_client<F: Functionality>(
+        &mut self,
+        server: &mut LcmServer<F>,
+        id: ClientId,
+    ) -> Result<()> {
+        let reply = self.roundtrip(server, AdminOp::AddClient(id))?;
+        match reply {
+            AdminReply::Ok => {
+                self.clients.push(id);
+                Ok(())
+            }
+            AdminReply::Rejected(msg) => Err(LcmError::Tee(msg)),
+            other => Err(LcmError::Tee(format!("unexpected admin reply {other:?}"))),
+        }
+    }
+
+    /// Removes `id` from the group and rotates `kC` so the removed
+    /// client is locked out (§4.6.3). Returns the fresh `kC` that must
+    /// be distributed to all remaining clients.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`AdminHandle::add_client`].
+    pub fn remove_client<F: Functionality>(
+        &mut self,
+        server: &mut LcmServer<F>,
+        id: ClientId,
+    ) -> Result<SecretKey> {
+        let new_kc = SecretKey::generate_with(&mut self.rng);
+        let reply = self.roundtrip(server, AdminOp::RemoveClient(id, new_kc.clone()))?;
+        match reply {
+            AdminReply::Ok => {
+                self.clients.retain(|&c| c != id);
+                self.k_c = new_kc.clone();
+                Ok(new_kc)
+            }
+            AdminReply::Rejected(msg) => Err(LcmError::Tee(msg)),
+            other => Err(LcmError::Tee(format!("unexpected admin reply {other:?}"))),
+        }
+    }
+
+    /// Queries the context's `(t, q, n)` status.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`AdminHandle::add_client`].
+    pub fn status<F: Functionality>(
+        &mut self,
+        server: &mut LcmServer<F>,
+    ) -> Result<(crate::types::SeqNo, crate::types::SeqNo, u32)> {
+        match self.roundtrip(server, AdminOp::Status)? {
+            AdminReply::Status { t, q, n } => Ok((t, q, n)),
+            other => Err(LcmError::Tee(format!("unexpected admin reply {other:?}"))),
+        }
+    }
+
+    /// Orchestrates migration origin → target (§4.6.2): exports the
+    /// ticket from `origin` and imports it into a booted, unprovisioned
+    /// `target`. Clients keep working unchanged — their `(tc, hc)`
+    /// context verifies against the migrated `V`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors from either side.
+    pub fn migrate<F: Functionality>(
+        &mut self,
+        origin: &mut LcmServer<F>,
+        target: &mut LcmServer<F>,
+    ) -> Result<()> {
+        let ticket = origin.export_migration()?;
+        target.import_migration(ticket)
+    }
+
+    fn roundtrip<F: Functionality>(
+        &mut self,
+        server: &mut LcmServer<F>,
+        op: AdminOp,
+    ) -> Result<AdminReply> {
+        let seq = self.admin_seq + 1;
+        let mut w = Writer::new();
+        w.put_u64(seq);
+        op.encode(&mut w);
+        let wire = aead::auth_encrypt(&self.admin_key, &w.into_bytes(), LABEL_ADMIN)
+            .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let reply_wire = server.admin(wire)?;
+        self.admin_seq = seq;
+
+        let plain = aead::auth_decrypt(&self.admin_key, &reply_wire, LABEL_ADMIN)
+            .map_err(|_| LcmError::Violation(Violation::BadAuthentication))?;
+        let mut r = Reader::new(&plain);
+        let echoed_seq = r.get_u64()?;
+        if echoed_seq != seq {
+            return Err(Violation::AdminReplay.into());
+        }
+        let reply = AdminReply::decode(&mut r)?;
+        r.finish()?;
+        Ok(reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LcmClient;
+    use crate::functionality::AppendLog;
+    use lcm_storage::MemoryStorage;
+    use std::sync::Arc;
+
+    fn fresh() -> (TeeWorld, LcmServer<AppendLog>) {
+        let world = TeeWorld::new_deterministic(5);
+        let platform = world.platform_deterministic(1);
+        let mut server =
+            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        assert!(server.boot().unwrap());
+        (world, server)
+    }
+
+    #[test]
+    fn bootstrap_succeeds_on_genuine_platform() {
+        let (world, mut server) = fresh();
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
+        admin.bootstrap(&mut server).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_fails_against_foreign_world() {
+        // The server's platform belongs to a different world than the
+        // admin trusts: attestation must fail.
+        let world_evil = TeeWorld::new_deterministic(66);
+        let platform = world_evil.platform_deterministic(1);
+        let mut server =
+            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        server.boot().unwrap();
+
+        let world_good = TeeWorld::new_deterministic(5);
+        let mut admin =
+            AdminHandle::new_deterministic(&world_good, vec![ClientId(1)], Quorum::Majority, 1);
+        assert!(admin.bootstrap(&mut server).is_err());
+    }
+
+    #[test]
+    fn membership_add_remove_flow() {
+        let (world, mut server) = fresh();
+        let mut admin = AdminHandle::new_deterministic(
+            &world,
+            vec![ClientId(1), ClientId(2)],
+            Quorum::Majority,
+            1,
+        );
+        admin.bootstrap(&mut server).unwrap();
+
+        // Add a third client.
+        admin.add_client(&mut server, ClientId(3)).unwrap();
+        assert_eq!(admin.clients().len(), 3);
+        let mut c3 = LcmClient::new(ClientId(3), admin.client_key());
+        server.submit(c3.invoke(b"hello").unwrap());
+        let replies = server.process_all().unwrap();
+        c3.handle_reply(&replies[0].1).unwrap();
+
+        // Adding twice is rejected without halting.
+        assert!(admin.add_client(&mut server, ClientId(3)).is_err());
+        let (_, _, n) = admin.status(&mut server).unwrap();
+        assert_eq!(n, 3);
+
+        // Remove client 3; kC rotates.
+        let new_kc = admin.remove_client(&mut server, ClientId(3)).unwrap();
+        let (_, _, n) = admin.status(&mut server).unwrap();
+        assert_eq!(n, 2);
+
+        // Remaining client with the rotated key still works.
+        let mut c1 = LcmClient::new(ClientId(1), &new_kc);
+        server.submit(c1.invoke(b"post-rotation").unwrap());
+        let replies = server.process_all().unwrap();
+        c1.handle_reply(&replies[0].1).unwrap();
+    }
+
+    #[test]
+    fn status_reports_progress() {
+        let (world, mut server) = fresh();
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
+        admin.bootstrap(&mut server).unwrap();
+        let (t, q, n) = admin.status(&mut server).unwrap();
+        assert_eq!((t.0, q.0, n), (0, 0, 1));
+
+        let mut c = LcmClient::new(ClientId(1), admin.client_key());
+        server.submit(c.invoke(b"x").unwrap());
+        let replies = server.process_all().unwrap();
+        c.handle_reply(&replies[0].1).unwrap();
+        let (t, _q, _n) = admin.status(&mut server).unwrap();
+        assert_eq!(t.0, 1);
+    }
+
+    #[test]
+    fn migration_via_admin() {
+        let (world, mut origin) = fresh();
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
+        admin.bootstrap(&mut origin).unwrap();
+
+        let mut c = LcmClient::new(ClientId(1), admin.client_key());
+        origin.submit(c.invoke(b"pre-migration").unwrap());
+        let replies = origin.process_all().unwrap();
+        c.handle_reply(&replies[0].1).unwrap();
+
+        // Target server on a different platform, same world.
+        let target_platform = world.platform_deterministic(2);
+        let mut target =
+            LcmServer::<AppendLog>::new(&target_platform, Arc::new(MemoryStorage::new()), 16);
+        assert!(target.boot().unwrap());
+
+        admin.migrate(&mut origin, &mut target).unwrap();
+
+        // The client continues against the target, unaware.
+        target.submit(c.invoke(b"post-migration").unwrap());
+        let replies = target.process_all().unwrap();
+        let done = c.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(done.seq.0, 2);
+
+        // The origin refuses service after migrating away.
+        origin.submit(c.invoke(b"never-answered").unwrap());
+        assert!(origin.process_all().is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! The LCM client (paper Alg. 1 + retry extension §4.6.1).
+//!
+//! A client keeps only small, constant state — `(tc, ts, hc)` plus the
+//! communication key — which is the paper's headline simplification
+//! over prior fork-linearizable protocols where clients verified every
+//! other client's operations.
+
+use lcm_crypto::aead::{self, AeadKey};
+use lcm_crypto::keys::SecretKey;
+
+use crate::codec::WireCodec;
+use crate::context::{reply_aad, LABEL_INVOKE};
+use crate::types::{ChainValue, ClientId, Completion, SeqNo};
+use crate::verify::OpRecord;
+use crate::wire::{InvokeMsg, ReplyMsg};
+use crate::{LcmError, Result, Violation};
+
+/// An operation awaiting its reply.
+#[derive(Debug, Clone)]
+struct Pending {
+    op: Vec<u8>,
+    /// Context captured at invocation, so retries are byte-faithful.
+    tc: SeqNo,
+    hc: ChainValue,
+}
+
+/// Identifier of a registered stability watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WatchId(pub u64);
+
+/// A fired stability notification: the watched threshold and the
+/// watermark that satisfied it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StabilityEvent {
+    /// The watch that fired.
+    pub watch: WatchId,
+    /// The threshold that was registered.
+    pub threshold: SeqNo,
+    /// The majority-stable watermark that crossed it.
+    pub watermark: SeqNo,
+}
+
+/// The client-side protocol state machine.
+///
+/// Sequential use: [`LcmClient::invoke`] produces the wire message for
+/// one operation; [`LcmClient::handle_reply`] consumes the reply and
+/// returns the [`Completion`]. Invoking while an operation is pending
+/// is an error ("each client invokes operations sequentially", §4.1).
+/// If no reply arrives, [`LcmClient::retry`] re-produces the message
+/// with the retry flag set.
+///
+/// On any detected violation the client halts permanently: the server
+/// has been caught cheating and the out-of-band alarm (outside the
+/// protocol) is raised.
+///
+/// # Example
+///
+/// ```
+/// use lcm_core::client::LcmClient;
+/// use lcm_core::types::ClientId;
+/// use lcm_crypto::keys::SecretKey;
+///
+/// let k_c = SecretKey::generate();
+/// let mut client = LcmClient::new(ClientId(1), &k_c);
+/// let wire = client.invoke(b"PUT k v").unwrap();
+/// // send `wire` to the server; feed the reply to handle_reply()
+/// # let _ = wire;
+/// ```
+pub struct LcmClient {
+    id: ClientId,
+    tc: SeqNo,
+    ts: SeqNo,
+    hc: ChainValue,
+    key: AeadKey,
+    pending: Option<Pending>,
+    halted: bool,
+    /// Optional completion log for the omniscient history checker.
+    recording: Option<Vec<OpRecord>>,
+    /// Registered stability watches (paper §4.5's callback-mechanism
+    /// extension, as used by Venus): `(id, threshold)`, fired once.
+    watches: Vec<(WatchId, SeqNo)>,
+    next_watch: u64,
+    /// Fired notifications awaiting collection.
+    notifications: Vec<StabilityEvent>,
+}
+
+impl std::fmt::Debug for LcmClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LcmClient")
+            .field("id", &self.id)
+            .field("tc", &self.tc)
+            .field("ts", &self.ts)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl LcmClient {
+    /// Creates a client with identity `id` holding the group
+    /// communication key `kC`.
+    pub fn new(id: ClientId, k_c: &SecretKey) -> Self {
+        LcmClient {
+            id,
+            tc: SeqNo::ZERO,
+            ts: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            key: AeadKey::from_secret(k_c),
+            pending: None,
+            halted: false,
+            recording: None,
+            watches: Vec::new(),
+            next_watch: 0,
+            notifications: Vec::new(),
+        }
+    }
+
+    /// This client's identity.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Sequence number of the last completed operation (`tc`).
+    pub fn last_seq(&self) -> SeqNo {
+        self.tc
+    }
+
+    /// Latest known majority-stable sequence number (`ts`).
+    pub fn stable_seq(&self) -> SeqNo {
+        self.ts
+    }
+
+    /// Hash-chain value of the last completed operation (`hc`).
+    pub fn chain_value(&self) -> ChainValue {
+        self.hc
+    }
+
+    /// Whether an operation is awaiting its reply.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Whether this client has detected a violation and halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Installs a rotated communication key (after a membership change
+    /// distributed by the admin, §4.6.3).
+    pub fn rotate_key(&mut self, new_k_c: &SecretKey) {
+        self.key = AeadKey::from_secret(new_k_c);
+    }
+
+    /// Enables completion recording for the history checkers.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded completions, if recording is enabled.
+    pub fn records(&self) -> &[OpRecord] {
+        self.recording.as_deref().unwrap_or(&[])
+    }
+
+    /// Registers a one-shot watch that fires when the majority-stable
+    /// watermark reaches `threshold` (§4.5: "clients can register for
+    /// notifications of stability updates", the Venus mechanism).
+    ///
+    /// Fires immediately into the queue if the threshold is already
+    /// covered. An application typically watches the sequence number of
+    /// a critical operation before acting on it irrevocably.
+    pub fn watch_stability(&mut self, threshold: SeqNo) -> WatchId {
+        let id = WatchId(self.next_watch);
+        self.next_watch += 1;
+        if self.ts >= threshold {
+            self.notifications.push(StabilityEvent {
+                watch: id,
+                threshold,
+                watermark: self.ts,
+            });
+        } else {
+            self.watches.push((id, threshold));
+        }
+        id
+    }
+
+    /// Drains fired stability notifications.
+    pub fn take_notifications(&mut self) -> Vec<StabilityEvent> {
+        std::mem::take(&mut self.notifications)
+    }
+
+    fn fire_watches(&mut self) {
+        let ts = self.ts;
+        let (fired, kept): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.watches).into_iter().partition(|&(_, t)| ts >= t);
+        self.watches = kept;
+        for (watch, threshold) in fired {
+            self.notifications.push(StabilityEvent {
+                watch,
+                threshold,
+                watermark: ts,
+            });
+        }
+    }
+
+    /// Produces the encrypted INVOKE message for operation `op`
+    /// (Alg. 1 `invoke`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::OperationPending`] — the previous operation has
+    ///   not completed.
+    /// * [`LcmError::Halted`] — a violation was detected earlier.
+    pub fn invoke(&mut self, op: &[u8]) -> Result<Vec<u8>> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        if self.pending.is_some() {
+            return Err(LcmError::OperationPending);
+        }
+        let pending = Pending {
+            op: op.to_vec(),
+            tc: self.tc,
+            hc: self.hc,
+        };
+        let wire = self.encode_invoke(&pending, false)?;
+        self.pending = Some(pending);
+        Ok(wire)
+    }
+
+    /// Re-produces the pending INVOKE with the retry flag set
+    /// (crash-tolerance extension §4.6.1; send after a timeout).
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::NothingToRetry`] — no operation is pending.
+    /// * [`LcmError::Halted`] — the client has halted.
+    pub fn retry(&mut self) -> Result<Vec<u8>> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        let pending = self.pending.clone().ok_or(LcmError::NothingToRetry)?;
+        self.encode_invoke(&pending, true)
+    }
+
+    fn encode_invoke(&self, pending: &Pending, retry: bool) -> Result<Vec<u8>> {
+        let msg = InvokeMsg {
+            client: self.id,
+            tc: pending.tc,
+            hc: pending.hc,
+            retry,
+            op: pending.op.clone(),
+        };
+        aead::auth_encrypt(&self.key, &msg.to_bytes(), LABEL_INVOKE)
+            .map_err(|e| LcmError::Tee(e.to_string()))
+    }
+
+    /// Consumes a REPLY message, completing the pending operation
+    /// (Alg. 1 `upon receiving reply`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — authentication failure or an echo
+    ///   mismatch (`assert h'c = hc`); the client halts.
+    /// * [`LcmError::Violation`] with [`Violation::UnexpectedReply`] —
+    ///   no operation pending.
+    pub fn handle_reply(&mut self, wire: &[u8]) -> Result<Completion> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        let Some(pending) = self.pending.clone() else {
+            self.halted = true;
+            return Err(Violation::UnexpectedReply.into());
+        };
+        let plain = match aead::auth_decrypt(&self.key, wire, &reply_aad(self.id)) {
+            Ok(p) => p,
+            Err(_) => {
+                self.halted = true;
+                return Err(Violation::BadAuthentication.into());
+            }
+        };
+        let reply = match ReplyMsg::from_bytes(&plain) {
+            Ok(m) => m,
+            Err(_) => {
+                self.halted = true;
+                return Err(Violation::BadAuthentication.into());
+            }
+        };
+
+        // assert h'c = hc
+        if reply.hc_echo != self.hc {
+            self.halted = true;
+            return Err(Violation::ReplyMismatch {
+                expected: self.hc,
+                got: reply.hc_echo,
+            }
+            .into());
+        }
+
+        // (tc, ts, hc) ← (t, q, h). Sequence numbers returned at one
+        // client strictly increase and stability never decreases; a
+        // server violating either is caught here.
+        if reply.t <= self.tc || reply.q < self.ts {
+            self.halted = true;
+            return Err(Violation::ReplyMismatch {
+                expected: self.hc,
+                got: reply.h,
+            }
+            .into());
+        }
+
+        self.tc = reply.t;
+        self.ts = reply.q;
+        self.hc = reply.h;
+        self.pending = None;
+        self.fire_watches();
+
+        if let Some(log) = self.recording.as_mut() {
+            log.push(OpRecord {
+                client: self.id,
+                seq: reply.t,
+                chain: reply.h,
+                op: pending.op.clone(),
+                result: reply.result.clone(),
+                stable: reply.q,
+            });
+        }
+
+        Ok(Completion {
+            result: reply.result,
+            seq: reply.t,
+            stable: reply.q,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SecretKey {
+        SecretKey::from_bytes([7u8; 32])
+    }
+
+    fn reply_wire(k: &SecretKey, reply: &ReplyMsg) -> Vec<u8> {
+        aead::auth_encrypt(
+            &AeadKey::from_secret(k),
+            &reply.to_bytes(),
+            &reply_aad(ClientId(1)),
+        )
+        .unwrap()
+    }
+
+    fn ok_reply(t: u64, q: u64, hc_echo: ChainValue) -> ReplyMsg {
+        ReplyMsg {
+            t: SeqNo(t),
+            q: SeqNo(q),
+            h: ChainValue::GENESIS.extend(b"op", SeqNo(t), ClientId(1)),
+            hc_echo,
+            result: b"ok".to_vec(),
+        }
+    }
+
+    #[test]
+    fn invoke_reply_cycle() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        let wire = c.invoke(b"op").unwrap();
+        assert!(c.has_pending());
+        // Decrypt at "T" side to inspect.
+        let plain =
+            aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).unwrap();
+        let msg = InvokeMsg::from_bytes(&plain).unwrap();
+        assert_eq!(msg.client, ClientId(1));
+        assert_eq!(msg.tc, SeqNo::ZERO);
+        assert!(!msg.retry);
+
+        let completion = c
+            .handle_reply(&reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS)))
+            .unwrap();
+        assert_eq!(completion.seq, SeqNo(1));
+        assert_eq!(c.last_seq(), SeqNo(1));
+        assert!(!c.has_pending());
+    }
+
+    #[test]
+    fn sequential_invocation_enforced() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        assert_eq!(c.invoke(b"b"), Err(LcmError::OperationPending));
+    }
+
+    #[test]
+    fn retry_requires_pending() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        assert_eq!(c.retry(), Err(LcmError::NothingToRetry));
+        c.invoke(b"a").unwrap();
+        let retry_wire = c.retry().unwrap();
+        let plain =
+            aead::auth_decrypt(&AeadKey::from_secret(&key()), &retry_wire, LABEL_INVOKE).unwrap();
+        assert!(InvokeMsg::from_bytes(&plain).unwrap().retry);
+    }
+
+    #[test]
+    fn echo_mismatch_halts() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        let bad_echo = ChainValue::GENESIS.extend(b"forged", SeqNo(9), ClientId(9));
+        let err = c
+            .handle_reply(&reply_wire(&key(), &ok_reply(1, 0, bad_echo)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LcmError::Violation(Violation::ReplyMismatch { .. })
+        ));
+        assert!(c.is_halted());
+        assert_eq!(c.invoke(b"x"), Err(LcmError::Halted));
+    }
+
+    #[test]
+    fn tampered_reply_halts() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        let mut wire = reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS));
+        wire[20] ^= 0xff;
+        assert!(matches!(
+            c.handle_reply(&wire),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn unexpected_reply_halts() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        let wire = reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS));
+        assert!(matches!(
+            c.handle_reply(&wire),
+            Err(LcmError::Violation(Violation::UnexpectedReply))
+        ));
+    }
+
+    #[test]
+    fn nonmonotone_seq_halts() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        let r1 = ok_reply(5, 0, ChainValue::GENESIS);
+        c.handle_reply(&reply_wire(&key(), &r1)).unwrap();
+        c.invoke(b"b").unwrap();
+        // Server returns a SMALLER sequence number: rollback symptom.
+        let r2 = ok_reply(3, 0, r1.h);
+        assert!(c.handle_reply(&reply_wire(&key(), &r2)).is_err());
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn decreasing_stability_halts() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        let r1 = ok_reply(1, 1, ChainValue::GENESIS);
+        c.handle_reply(&reply_wire(&key(), &r1)).unwrap();
+        assert_eq!(c.stable_seq(), SeqNo(1));
+        c.invoke(b"b").unwrap();
+        let mut r2 = ok_reply(2, 0, r1.h);
+        r2.q = SeqNo(0); // stability went backwards
+        assert!(c.handle_reply(&reply_wire(&key(), &r2)).is_err());
+    }
+
+    #[test]
+    fn recording_captures_completions() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.set_recording(true);
+        c.invoke(b"a").unwrap();
+        c.handle_reply(&reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS)))
+            .unwrap();
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].seq, SeqNo(1));
+        assert_eq!(c.records()[0].op, b"a");
+    }
+
+    #[test]
+    fn stability_watch_fires_when_threshold_crossed() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        let w = c.watch_stability(SeqNo(1));
+        assert!(c.take_notifications().is_empty());
+
+        c.invoke(b"a").unwrap();
+        c.handle_reply(&reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS)))
+            .unwrap();
+        assert!(c.take_notifications().is_empty(), "q=0: not yet");
+
+        c.invoke(b"b").unwrap();
+        let r1h = ok_reply(1, 0, ChainValue::GENESIS).h;
+        c.handle_reply(&reply_wire(&key(), &ok_reply(2, 1, r1h))).unwrap();
+        let fired = c.take_notifications();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].watch, w);
+        assert_eq!(fired[0].threshold, SeqNo(1));
+        assert_eq!(fired[0].watermark, SeqNo(1));
+        // One-shot: does not fire again.
+        assert!(c.take_notifications().is_empty());
+    }
+
+    #[test]
+    fn stability_watch_fires_immediately_if_already_stable() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"a").unwrap();
+        c.handle_reply(&reply_wire(&key(), &ok_reply(3, 2, ChainValue::GENESIS)))
+            .unwrap();
+        let w = c.watch_stability(SeqNo(2));
+        let fired = c.take_notifications();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].watch, w);
+    }
+
+    #[test]
+    fn multiple_watches_fire_in_one_update() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        let w1 = c.watch_stability(SeqNo(1));
+        let w2 = c.watch_stability(SeqNo(2));
+        let w3 = c.watch_stability(SeqNo(50));
+        c.invoke(b"a").unwrap();
+        c.handle_reply(&reply_wire(&key(), &ok_reply(5, 3, ChainValue::GENESIS)))
+            .unwrap();
+        let fired: Vec<WatchId> = c.take_notifications().iter().map(|e| e.watch).collect();
+        assert!(fired.contains(&w1) && fired.contains(&w2));
+        assert!(!fired.contains(&w3));
+    }
+
+    #[test]
+    fn rotate_key_switches_cipher() {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        let new_key = SecretKey::from_bytes([8u8; 32]);
+        c.rotate_key(&new_key);
+        let wire = c.invoke(b"a").unwrap();
+        // Old key can no longer decrypt the client's messages.
+        assert!(
+            aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).is_err()
+        );
+        assert!(
+            aead::auth_decrypt(&AeadKey::from_secret(&new_key), &wire, LABEL_INVOKE).is_ok()
+        );
+    }
+}

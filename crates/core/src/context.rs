@@ -1,0 +1,1293 @@
+//! The trusted execution context `T` (paper Alg. 2 + §4.6 extensions).
+//!
+//! [`TrustedContext`] is the state machine that runs *inside* the
+//! enclave. It never touches storage or the network itself: the
+//! untrusted host feeds it bytes (loaded blobs, client messages) and
+//! carries away bytes (sealed state, encrypted replies). Everything it
+//! emits is encrypted and authenticated; everything it receives is
+//! verified before use — the host is the adversary.
+//!
+//! Lifecycle:
+//!
+//! ```text
+//!            init(no blobs)                    provision / import_migration
+//! Created ───────────────────► AwaitingProvision ────────────────────► Ready
+//!    │         init(blobs: unseal, restore)                              │
+//!    └────────────────────────────────────────────────────────────────► Ready
+//!                                                                        │
+//!                     any failed assert (attack detected)                ▼
+//!                                                                      Halted
+//! ```
+
+use lcm_crypto::aead::{self, AeadKey};
+use lcm_crypto::keys::SecretKey;
+use lcm_crypto::sha256::Digest;
+use lcm_tee::attestation::Report;
+use lcm_tee::platform::TeeServices;
+
+use crate::codec::{Reader, WireCodec, Writer};
+use crate::functionality::Functionality;
+use crate::stability::{latest_entry, stable_with, CachedReply, Quorum, VEntry, VMap};
+use crate::types::{ChainValue, ClientId, SeqNo};
+use crate::wire::{InvokeMsg, ReplyMsg};
+use crate::{LcmError, Result, Violation};
+
+/// AAD label for the key blob (sealed under the TEE sealing key `kS`).
+pub const LABEL_KEY_BLOB: &[u8] = b"lcm.keyblob";
+/// AAD label for the state blob (sealed under the protocol key `kP`).
+pub const LABEL_STATE_BLOB: &[u8] = b"lcm.state";
+/// AAD label for client→T messages.
+pub const LABEL_INVOKE: &[u8] = b"lcm.invoke";
+/// AAD label for T→client messages. The destination client id is
+/// appended to this label (see [`reply_aad`]): the paper's Alg. 1/2
+/// match replies to invocations only through the echoed `hc`, which is
+/// ambiguous while several clients still share the genesis value `h0`
+/// — a malicious server could swap two genesis-time replies without
+/// detection. Binding the recipient into the AAD closes that gap.
+pub const LABEL_REPLY: &[u8] = b"lcm.reply";
+
+/// The associated data under which a REPLY for `client` is encrypted.
+pub fn reply_aad(client: ClientId) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_REPLY.len() + 4);
+    aad.extend_from_slice(LABEL_REPLY);
+    aad.extend_from_slice(&client.0.to_be_bytes());
+    aad
+}
+/// AAD label for admin⇄T messages.
+pub const LABEL_ADMIN: &[u8] = b"lcm.admin";
+/// AAD label for the provisioning payload (admin's attested channel).
+pub const LABEL_PROVISION: &[u8] = b"lcm.provision";
+/// AAD label for migration tickets (enclave-to-enclave channel).
+pub const LABEL_MIGRATION: &[u8] = b"lcm.migration";
+
+/// The keys held by a provisioned context (paper §4.1).
+#[derive(Clone)]
+struct Keys {
+    /// Protocol-state encryption key `kP` (raw form kept for migration).
+    k_p: SecretKey,
+    /// Communication key `kC` (raw form kept because it is part of the
+    /// sealed state and rotates on membership changes).
+    k_c: SecretKey,
+    /// Admin authentication key (an addition over the paper, which
+    /// leaves admin-message security implicit).
+    k_a: SecretKey,
+    aead_p: AeadKey,
+    aead_c: AeadKey,
+    aead_a: AeadKey,
+}
+
+impl Keys {
+    fn from_raw(k_p: SecretKey, k_c: SecretKey, k_a: SecretKey) -> Keys {
+        Keys {
+            aead_p: AeadKey::from_secret(&k_p),
+            aead_c: AeadKey::from_secret(&k_c),
+            aead_a: AeadKey::from_secret(&k_a),
+            k_p,
+            k_c,
+            k_a,
+        }
+    }
+
+    fn rotate_kc(&mut self, new_kc: SecretKey) {
+        self.aead_c = AeadKey::from_secret(&new_kc);
+        self.k_c = new_kc;
+    }
+}
+
+/// Lifecycle phase of the context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Booted, `init` not yet called.
+    Created,
+    /// No persisted keys exist; awaiting admin bootstrap (§4.3) or a
+    /// migration import (§4.6.2).
+    AwaitingProvision,
+    /// Serving operations.
+    Ready,
+    /// Migrated away: state exported, refusing all operations.
+    Migrated,
+    /// A violation was detected; permanently refusing service.
+    Halted,
+}
+
+/// Outcome of [`TrustedContext::init`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitOutcome {
+    /// No previous state; the admin must provision keys.
+    NeedProvision,
+    /// State recovered from sealed blobs; ready for requests.
+    Resumed,
+}
+
+/// Administrative operations (§4.6.3), authenticated under the admin
+/// key with a strictly-increasing admin sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminOp {
+    /// Adds a new client to the group.
+    AddClient(ClientId),
+    /// Removes a client and rotates the communication key so the
+    /// removed client is locked out.
+    RemoveClient(ClientId, SecretKey),
+    /// Rotates the communication key without membership change.
+    RotateKey(SecretKey),
+    /// Queries `(t, q, n)` without modifying state.
+    Status,
+}
+
+const ADMIN_ADD: u8 = 1;
+const ADMIN_REMOVE: u8 = 2;
+const ADMIN_ROTATE: u8 = 3;
+const ADMIN_STATUS: u8 = 4;
+
+impl AdminOp {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            AdminOp::AddClient(id) => {
+                w.put_u8(ADMIN_ADD);
+                id.encode(w);
+            }
+            AdminOp::RemoveClient(id, key) => {
+                w.put_u8(ADMIN_REMOVE);
+                id.encode(w);
+                w.put_raw(key.as_bytes());
+            }
+            AdminOp::RotateKey(key) => {
+                w.put_u8(ADMIN_ROTATE);
+                w.put_raw(key.as_bytes());
+            }
+            AdminOp::Status => w.put_u8(ADMIN_STATUS),
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, crate::codec::CodecError> {
+        match r.get_u8()? {
+            ADMIN_ADD => Ok(AdminOp::AddClient(ClientId::decode(r)?)),
+            ADMIN_REMOVE => {
+                let id = ClientId::decode(r)?;
+                Ok(AdminOp::RemoveClient(id, read_key(r)?))
+            }
+            ADMIN_ROTATE => Ok(AdminOp::RotateKey(read_key(r)?)),
+            ADMIN_STATUS => Ok(AdminOp::Status),
+            other => Err(crate::codec::CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+/// Reply to an [`AdminOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdminReply {
+    /// The operation was applied.
+    Ok,
+    /// Status response: last sequence number, stable watermark, group
+    /// size.
+    Status {
+        /// Last executed operation.
+        t: SeqNo,
+        /// Majority-stable watermark.
+        q: SeqNo,
+        /// Current group size.
+        n: u32,
+    },
+    /// The operation was rejected (e.g. adding an existing client).
+    Rejected(String),
+}
+
+impl AdminReply {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            AdminReply::Ok => w.put_u8(1),
+            AdminReply::Status { t, q, n } => {
+                w.put_u8(2);
+                t.encode(w);
+                q.encode(w);
+                w.put_u32(*n);
+            }
+            AdminReply::Rejected(msg) => {
+                w.put_u8(3);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, crate::codec::CodecError> {
+        match r.get_u8()? {
+            1 => Ok(AdminReply::Ok),
+            2 => Ok(AdminReply::Status {
+                t: SeqNo::decode(r)?,
+                q: SeqNo::decode(r)?,
+                n: r.get_u32()?,
+            }),
+            3 => Ok(AdminReply::Rejected(r.get_str()?.to_owned())),
+            other => Err(crate::codec::CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+fn read_key(r: &mut Reader<'_>) -> std::result::Result<SecretKey, crate::codec::CodecError> {
+    let d = r.get_digest()?; // 32 raw bytes
+    Ok(SecretKey::from_bytes(d.0))
+}
+
+/// The provisioning payload the admin sends over its attested channel
+/// (paper §4.3: *"the admin generates two secret keys, kC ... and kP
+/// ..., and injects them into T through a secure channel provided by
+/// the TEE"*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvisionPayload {
+    /// Protocol-state key `kP`.
+    pub k_p: SecretKey,
+    /// Communication key `kC`.
+    pub k_c: SecretKey,
+    /// Admin authentication key.
+    pub k_a: SecretKey,
+    /// The initial client group.
+    pub clients: Vec<ClientId>,
+    /// Stability quorum policy.
+    pub quorum: Quorum,
+}
+
+impl WireCodec for ProvisionPayload {
+    fn encode(&self, w: &mut Writer) {
+        w.put_raw(self.k_p.as_bytes());
+        w.put_raw(self.k_c.as_bytes());
+        w.put_raw(self.k_a.as_bytes());
+        self.quorum.encode(w);
+        w.put_u32(self.clients.len() as u32);
+        for c in &self.clients {
+            c.encode(w);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, crate::codec::CodecError> {
+        let k_p = read_key(r)?;
+        let k_c = read_key(r)?;
+        let k_a = read_key(r)?;
+        let quorum = Quorum::decode(r)?;
+        let n = r.get_u32()? as usize;
+        let mut clients = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            clients.push(ClientId::decode(r)?);
+        }
+        Ok(ProvisionPayload {
+            k_p,
+            k_c,
+            k_a,
+            clients,
+            quorum,
+        })
+    }
+}
+
+/// Blobs the host must persist after provisioning or a state change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistBlobs {
+    /// Sealed `(kP, kA)` under the TEE sealing key — slot `lcm.keyblob`.
+    pub key_blob: Vec<u8>,
+    /// Sealed protocol + service state under `kP` — slot `lcm.state`.
+    pub state_blob: Vec<u8>,
+}
+
+/// The trusted execution context `T`.
+///
+/// Generic over the application [`Functionality`] `F`. See the module
+/// docs for the lifecycle; the host-facing byte ABI lives in
+/// [`crate::program`].
+pub struct TrustedContext<F: Functionality> {
+    services: TeeServices,
+    phase: Phase,
+    keys: Option<Keys>,
+    f: F,
+    v: VMap,
+    t: SeqNo,
+    h: ChainValue,
+    /// Monotone floor on the reported stable watermark. The raw
+    /// `majority-stable(V)` formula is *not* monotone: when a client
+    /// acknowledges a newer operation its previous `ta` leaves the
+    /// candidate set, and removing a group member can drop executed
+    /// sequence numbers from `V` — in both cases the computed `q` can
+    /// decrease even though stability, being a statement about past
+    /// observation events, cannot be undone. The paper asserts "the
+    /// stable sequence numbers never decrease" (§3.2.2), so `T`
+    /// enforces it by reporting `max(computed, floor)` and persisting
+    /// the floor with the rest of the protocol state.
+    stable_floor: SeqNo,
+    admin_seq: u64,
+    quorum: Quorum,
+    nonce_counter: u64,
+}
+
+impl<F: Functionality> std::fmt::Debug for TrustedContext<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedContext")
+            .field("phase", &self.phase)
+            .field("t", &self.t)
+            .field("clients", &self.v.len())
+            .finish()
+    }
+}
+
+impl<F: Functionality> TrustedContext<F> {
+    /// Creates the context in the `Created` phase (enclave just booted).
+    pub fn new(services: TeeServices) -> Self {
+        TrustedContext {
+            services,
+            phase: Phase::Created,
+            keys: None,
+            f: F::default(),
+            v: VMap::new(),
+            t: SeqNo::ZERO,
+            h: ChainValue::GENESIS,
+            stable_floor: SeqNo::ZERO,
+            admin_seq: 0,
+            quorum: Quorum::Majority,
+            nonce_counter: 0,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Read access to the functionality (for in-enclave introspection
+    /// such as heap accounting; the host has no such access).
+    pub fn functionality(&self) -> &F {
+        &self.f
+    }
+
+    /// The `init` function of Alg. 2: attempt recovery from the blobs
+    /// the host loaded from stable storage.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — a blob failed to unseal, or the state
+    ///   blob is missing while the key blob exists. Both mean the host
+    ///   tampered with storage; the context halts.
+    pub fn init(
+        &mut self,
+        key_blob: Option<&[u8]>,
+        state_blob: Option<&[u8]>,
+    ) -> Result<InitOutcome> {
+        if self.phase != Phase::Created {
+            return Err(LcmError::AlreadyProvisioned);
+        }
+        let Some(key_blob) = key_blob else {
+            self.phase = Phase::AwaitingProvision;
+            return Ok(InitOutcome::NeedProvision);
+        };
+
+        let seal_key = AeadKey::from_secret(&self.services.sealing_key());
+        let key_plain = match aead::auth_decrypt(&seal_key, key_blob, LABEL_KEY_BLOB) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let mut r = Reader::new(&key_plain);
+        let k_p = read_key(&mut r).map_err(LcmError::from)?;
+        let k_a = read_key(&mut r).map_err(LcmError::from)?;
+        r.finish().map_err(LcmError::from)?;
+
+        let Some(state_blob) = state_blob else {
+            // Keys persisted but state withheld: storage tampering.
+            return Err(self.halt(Violation::BadAuthentication));
+        };
+        // kC is recovered from the state blob below; install a
+        // placeholder until then.
+        let keys = Keys::from_raw(k_p, SecretKey::from_bytes([0u8; 32]), k_a);
+        let state_plain = match aead::auth_decrypt(&keys.aead_p, state_blob, LABEL_STATE_BLOB) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        self.keys = Some(keys);
+        self.restore_state(&state_plain)?;
+        self.phase = Phase::Ready;
+        Ok(InitOutcome::Resumed)
+    }
+
+    /// Installs keys and the initial group from the admin's attested
+    /// provisioning channel (§4.3 bootstrapping, phase 3).
+    ///
+    /// Returns the blobs the host must persist.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::AlreadyProvisioned`] — called twice or after
+    ///   recovery.
+    /// * [`LcmError::Violation`] — the payload failed authentication.
+    /// * [`LcmError::Tee`] — the platform provides no provisioning
+    ///   channel (not manufactured by a [`lcm_tee::world::TeeWorld`]).
+    pub fn provision(&mut self, sealed_payload: &[u8]) -> Result<PersistBlobs> {
+        if self.phase != Phase::AwaitingProvision {
+            return Err(LcmError::AlreadyProvisioned);
+        }
+        let channel_key = self
+            .services
+            .provision_key()
+            .ok_or_else(|| LcmError::Tee("platform has no provisioning channel".into()))?;
+        let channel = AeadKey::from_secret(&channel_key);
+        let plain = match aead::auth_decrypt(&channel, sealed_payload, LABEL_PROVISION) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let payload = ProvisionPayload::from_bytes(&plain).map_err(LcmError::from)?;
+        self.install(payload)
+    }
+
+    fn install(&mut self, payload: ProvisionPayload) -> Result<PersistBlobs> {
+        self.keys = Some(Keys::from_raw(payload.k_p, payload.k_c, payload.k_a));
+        self.quorum = payload.quorum;
+        self.v = payload
+            .clients
+            .iter()
+            .map(|&c| (c, VEntry::default()))
+            .collect();
+        self.t = SeqNo::ZERO;
+        self.h = ChainValue::GENESIS;
+        self.admin_seq = 0;
+        self.phase = Phase::Ready;
+        self.persist_blobs()
+    }
+
+    /// Produces an attestation report bound to `user_data` (the host
+    /// forwards it to the quoting enclave).
+    pub fn attest(&self, user_data: Digest) -> Report {
+        self.services.report(user_data)
+    }
+
+    /// Handles one encrypted INVOKE message: the body of Alg. 2.
+    ///
+    /// Returns the invoking client (so the host can route the reply —
+    /// the host learns only the routing, never the content) and the
+    /// encrypted REPLY.
+    ///
+    /// The caller is responsible for persisting
+    /// [`TrustedContext::persist_blobs`] afterwards; batching several
+    /// invokes before one persist is the paper's §5.2 optimization.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — authentication failure, context
+    ///   mismatch (rollback/fork/replay evidence), or unknown client.
+    ///   The context halts permanently.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn handle_invoke(&mut self, wire: &[u8]) -> Result<(ClientId, Vec<u8>)> {
+        self.require_ready()?;
+        let aead_c = self.keys.as_ref().expect("ready implies keys").aead_c.clone();
+        let plain = match aead::auth_decrypt(&aead_c, wire, LABEL_INVOKE) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let msg = match InvokeMsg::from_bytes(&plain) {
+            Ok(m) => m,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+
+        let Some(entry) = self.v.get(&msg.client) else {
+            let client = msg.client;
+            self.phase = Phase::Halted;
+            return Err(LcmError::UnknownClient(client));
+        };
+
+        // Alg. 2: assert V[i] = (∗, tc, hc).
+        if entry.t == msg.tc && entry.h == msg.hc {
+            self.execute_fresh(msg)
+        } else if msg.retry {
+            // §4.6.1 second case: T crashed after storing but before the
+            // client got the reply — resend the cached result.
+            let cached_matches = entry.ta == msg.tc
+                && entry
+                    .cached
+                    .as_ref()
+                    .is_some_and(|c| c.hc_echo == msg.hc);
+            if cached_matches {
+                let cached = entry.cached.clone().expect("checked above");
+                let reply = ReplyMsg {
+                    t: cached.t,
+                    q: cached.q,
+                    h: cached.h,
+                    hc_echo: cached.hc_echo,
+                    result: cached.result,
+                };
+                let wire = self.encrypt_reply(msg.client, &reply)?;
+                Ok((msg.client, wire))
+            } else {
+                Err(self.halt(Violation::ContextMismatch {
+                    client: msg.client,
+                    claimed: msg.tc,
+                    recorded: entry.t,
+                }))
+            }
+        } else {
+            Err(self.halt(Violation::ContextMismatch {
+                client: msg.client,
+                claimed: msg.tc,
+                recorded: entry.t,
+            }))
+        }
+    }
+
+    fn execute_fresh(&mut self, msg: InvokeMsg) -> Result<(ClientId, Vec<u8>)> {
+        // t ← t + 1 ; (r, s) ← execF(s, o) ; h ← hash(h ‖ o ‖ t ‖ i)
+        self.t = self.t.next();
+        let result = self.f.exec(&msg.op);
+        self.h = self.h.extend(&msg.op, self.t, msg.client);
+
+        // V[i] ← (tc, t, h) ; q ← majority-stable(V)
+        let q_entry = VEntry {
+            ta: msg.tc,
+            t: self.t,
+            h: self.h,
+            cached: None, // filled below once q is known
+        };
+        self.v.insert(msg.client, q_entry);
+        let q = stable_with(&self.v, self.quorum).max(self.stable_floor);
+        self.stable_floor = q;
+
+        let reply = ReplyMsg {
+            t: self.t,
+            q,
+            h: self.h,
+            hc_echo: msg.hc,
+            result,
+        };
+        if let Some(entry) = self.v.get_mut(&msg.client) {
+            entry.cached = Some(CachedReply {
+                t: reply.t,
+                q: reply.q,
+                h: reply.h,
+                hc_echo: reply.hc_echo,
+                result: reply.result.clone(),
+            });
+        }
+        let wire = self.encrypt_reply(msg.client, &reply)?;
+        Ok((msg.client, wire))
+    }
+
+    fn encrypt_reply(&mut self, client: ClientId, reply: &ReplyMsg) -> Result<Vec<u8>> {
+        let aead_c = self.keys.as_ref().expect("ready implies keys").aead_c.clone();
+        let nonce = self.next_nonce();
+        aead::auth_encrypt_with_nonce(&aead_c, &nonce, &reply.to_bytes(), &reply_aad(client))
+            .map_err(|e| LcmError::Tee(e.to_string()))
+    }
+
+    /// Seals the current protocol + service state for the host to
+    /// persist. Call once per processed batch.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::NotProvisioned`] when no keys are installed.
+    pub fn persist_blobs(&mut self) -> Result<PersistBlobs> {
+        let keys = self.keys.as_ref().ok_or(LcmError::NotProvisioned)?;
+
+        let mut key_plain = Writer::with_capacity(64);
+        key_plain.put_raw(keys.k_p.as_bytes());
+        key_plain.put_raw(keys.k_a.as_bytes());
+        let seal_key = AeadKey::from_secret(&self.services.sealing_key());
+
+        let mut state_plain = Writer::new();
+        state_plain.put_raw(keys.k_c.as_bytes());
+        state_plain.put_u64(self.admin_seq);
+        self.stable_floor.encode(&mut state_plain);
+        self.quorum.encode(&mut state_plain);
+        crate::stability::encode_vmap(&self.v, &mut state_plain);
+        state_plain.put_bytes(&self.f.snapshot());
+        let aead_p = keys.aead_p.clone();
+
+        let nonce_a = self.next_nonce();
+        let nonce_b = self.next_nonce();
+        let key_blob =
+            aead::auth_encrypt_with_nonce(&seal_key, &nonce_a, &key_plain.into_bytes(), LABEL_KEY_BLOB)
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let state_blob = aead::auth_encrypt_with_nonce(
+            &aead_p,
+            &nonce_b,
+            &state_plain.into_bytes(),
+            LABEL_STATE_BLOB,
+        )
+        .map_err(|e| LcmError::Tee(e.to_string()))?;
+        Ok(PersistBlobs {
+            key_blob,
+            state_blob,
+        })
+    }
+
+    fn restore_state(&mut self, plain: &[u8]) -> Result<()> {
+        let mut r = Reader::new(plain);
+        let k_c = read_key(&mut r).map_err(LcmError::from)?;
+        self.admin_seq = r.get_u64().map_err(LcmError::from)?;
+        self.stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
+        self.quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
+        self.v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
+        let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
+        r.finish().map_err(LcmError::from)?;
+
+        self.f.restore(&snapshot).map_err(LcmError::from)?;
+        if let Some(keys) = self.keys.as_mut() {
+            keys.rotate_kc(k_c);
+        }
+        // (·, t, h) ← V[argmax(V)]
+        match latest_entry(&self.v) {
+            Some(e) => {
+                self.t = e.t;
+                self.h = e.h;
+            }
+            None => {
+                self.t = SeqNo::ZERO;
+                self.h = ChainValue::GENESIS;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles an authenticated admin operation (§4.6.3).
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — bad authentication or admin-sequence
+    ///   replay; the context halts.
+    pub fn handle_admin(&mut self, wire: &[u8]) -> Result<(Vec<u8>, PersistBlobs)> {
+        self.require_ready()?;
+        let aead_a = self.keys.as_ref().expect("ready implies keys").aead_a.clone();
+        let plain = match aead::auth_decrypt(&aead_a, wire, LABEL_ADMIN) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let mut r = Reader::new(&plain);
+        let decoded = (|| -> std::result::Result<_, crate::codec::CodecError> {
+            let seq = r.get_u64()?;
+            let op = AdminOp::decode(&mut r)?;
+            r.finish()?;
+            Ok((seq, op))
+        })();
+        let (seq, op) = match decoded {
+            Ok(v) => v,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+
+        if seq != self.admin_seq + 1 {
+            return Err(self.halt(Violation::AdminReplay));
+        }
+        self.admin_seq = seq;
+
+        let reply = match op {
+            AdminOp::AddClient(id) => {
+                if self.v.contains_key(&id) {
+                    AdminReply::Rejected(format!("client {id} already in group"))
+                } else {
+                    self.v.insert(id, VEntry::default());
+                    AdminReply::Ok
+                }
+            }
+            AdminOp::RemoveClient(id, new_kc) => {
+                if self.v.remove(&id).is_none() {
+                    AdminReply::Rejected(format!("client {id} not in group"))
+                } else {
+                    self.keys.as_mut().expect("ready").rotate_kc(new_kc);
+                    AdminReply::Ok
+                }
+            }
+            AdminOp::RotateKey(new_kc) => {
+                self.keys.as_mut().expect("ready").rotate_kc(new_kc);
+                AdminReply::Ok
+            }
+            AdminOp::Status => AdminReply::Status {
+                t: self.t,
+                q: stable_with(&self.v, self.quorum).max(self.stable_floor),
+                n: self.v.len() as u32,
+            },
+        };
+
+        let mut w = Writer::new();
+        w.put_u64(seq);
+        reply.encode(&mut w);
+        let keys = self.keys.as_ref().expect("ready implies keys");
+        let aead_a = keys.aead_a.clone();
+        let nonce = self.next_nonce();
+        let reply_wire = aead::auth_encrypt_with_nonce(&aead_a, &nonce, &w.into_bytes(), LABEL_ADMIN)
+            .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let blobs = self.persist_blobs()?;
+        Ok((reply_wire, blobs))
+    }
+
+    /// Exports the full context state as a migration ticket encrypted
+    /// for a same-program enclave (§4.6.2), then stops serving.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Tee`] — no migration channel on this platform.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn export_migration(&mut self) -> Result<Vec<u8>> {
+        self.require_ready()?;
+        let channel_key = self
+            .services
+            .migration_key()
+            .ok_or_else(|| LcmError::Tee("platform has no migration channel".into()))?;
+        let keys = self.keys.as_ref().expect("ready implies keys");
+
+        let mut w = Writer::new();
+        w.put_raw(keys.k_p.as_bytes());
+        w.put_raw(keys.k_c.as_bytes());
+        w.put_raw(keys.k_a.as_bytes());
+        w.put_u64(self.admin_seq);
+        self.stable_floor.encode(&mut w);
+        self.quorum.encode(&mut w);
+        crate::stability::encode_vmap(&self.v, &mut w);
+        w.put_bytes(&self.f.snapshot());
+
+        let channel = AeadKey::from_secret(&channel_key);
+        let nonce = self.next_nonce();
+        let ticket =
+            aead::auth_encrypt_with_nonce(&channel, &nonce, &w.into_bytes(), LABEL_MIGRATION)
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
+        // "At this point, T stops processing requests" (§4.6.2).
+        self.phase = Phase::Migrated;
+        Ok(ticket)
+    }
+
+    /// Imports a migration ticket on the target enclave, installing the
+    /// origin's keys and state and re-sealing them for this platform.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::AlreadyProvisioned`] — the target already has
+    ///   state.
+    /// * [`LcmError::Violation`] — the ticket failed authentication.
+    pub fn import_migration(&mut self, ticket: &[u8]) -> Result<PersistBlobs> {
+        if self.phase != Phase::AwaitingProvision {
+            return Err(LcmError::AlreadyProvisioned);
+        }
+        let channel_key = self
+            .services
+            .migration_key()
+            .ok_or_else(|| LcmError::Tee("platform has no migration channel".into()))?;
+        let channel = AeadKey::from_secret(&channel_key);
+        let plain = aead::auth_decrypt(&channel, ticket, LABEL_MIGRATION)
+            .map_err(|_| self.halt(Violation::BadAuthentication))?;
+
+        let mut r = Reader::new(&plain);
+        let k_p = read_key(&mut r).map_err(LcmError::from)?;
+        let k_c = read_key(&mut r).map_err(LcmError::from)?;
+        let k_a = read_key(&mut r).map_err(LcmError::from)?;
+        let admin_seq = r.get_u64().map_err(LcmError::from)?;
+        let stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
+        let quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
+        let v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
+        let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
+        r.finish().map_err(LcmError::from)?;
+
+        self.keys = Some(Keys::from_raw(k_p, k_c, k_a));
+        self.admin_seq = admin_seq;
+        self.stable_floor = stable_floor;
+        self.quorum = quorum;
+        self.v = v;
+        self.f.restore(&snapshot).map_err(LcmError::from)?;
+        match latest_entry(&self.v) {
+            Some(e) => {
+                self.t = e.t;
+                self.h = e.h;
+            }
+            None => {
+                self.t = SeqNo::ZERO;
+                self.h = ChainValue::GENESIS;
+            }
+        }
+        self.phase = Phase::Ready;
+        self.persist_blobs()
+    }
+
+    fn require_ready(&self) -> Result<()> {
+        match self.phase {
+            Phase::Ready => Ok(()),
+            Phase::Halted => Err(LcmError::Halted),
+            _ => Err(LcmError::NotProvisioned),
+        }
+    }
+
+    fn halt(&mut self, violation: Violation) -> LcmError {
+        self.phase = Phase::Halted;
+        LcmError::Violation(violation)
+    }
+
+    /// Deterministic unique nonces from the TEE RNG seed and a counter.
+    /// Uniqueness per key holds because every epoch derives a distinct
+    /// RNG stream and the counter never repeats within an epoch.
+    fn next_nonce(&mut self) -> [u8; 12] {
+        use rand::RngCore;
+        self.nonce_counter += 1;
+        let mut rng = self.services.rng();
+        let mut base = [0u8; 12];
+        rng.fill_bytes(&mut base);
+        let ctr = self.nonce_counter.to_be_bytes();
+        for (i, b) in ctr.iter().enumerate() {
+            base[i + 4] ^= b;
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functionality::AppendLog;
+    use lcm_tee::measurement::Measurement;
+    use lcm_tee::world::TeeWorld;
+
+    pub(crate) const M_NAME: &str = "lcm-test";
+
+    fn world() -> TeeWorld {
+        TeeWorld::new_deterministic(11)
+    }
+
+    fn services(world: &TeeWorld, platform_id: u64) -> TeeServices {
+        let platform = world.platform_deterministic(platform_id);
+        TeeServices::for_tests(platform, Measurement::of_program(M_NAME, "1"), platform_id)
+    }
+
+    fn provision_payload() -> ProvisionPayload {
+        ProvisionPayload {
+            k_p: SecretKey::from_bytes([1u8; 32]),
+            k_c: SecretKey::from_bytes([2u8; 32]),
+            k_a: SecretKey::from_bytes([3u8; 32]),
+            clients: vec![ClientId(1), ClientId(2), ClientId(3)],
+            quorum: Quorum::Majority,
+        }
+    }
+
+    fn provisioned_context(world: &TeeWorld) -> (TrustedContext<AppendLog>, PersistBlobs) {
+        let mut ctx = TrustedContext::<AppendLog>::new(services(world, 1));
+        assert_eq!(ctx.init(None, None).unwrap(), InitOutcome::NeedProvision);
+        let payload = provision_payload();
+        let channel = AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
+        let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
+        let blobs = ctx.provision(&sealed).unwrap();
+        (ctx, blobs)
+    }
+
+    fn client_key() -> AeadKey {
+        AeadKey::from_secret(&SecretKey::from_bytes([2u8; 32]))
+    }
+
+    fn encrypt_invoke(msg: &InvokeMsg) -> Vec<u8> {
+        aead::auth_encrypt(&client_key(), &msg.to_bytes(), LABEL_INVOKE).unwrap()
+    }
+
+    fn decrypt_reply(wire: &[u8], client: u32) -> ReplyMsg {
+        let plain =
+            aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client))).unwrap();
+        ReplyMsg::from_bytes(&plain).unwrap()
+    }
+
+    fn invoke(
+        ctx: &mut TrustedContext<AppendLog>,
+        client: u32,
+        tc: SeqNo,
+        hc: ChainValue,
+        op: &[u8],
+    ) -> Result<ReplyMsg> {
+        let msg = InvokeMsg {
+            client: ClientId(client),
+            tc,
+            hc,
+            retry: false,
+            op: op.to_vec(),
+        };
+        let (_, wire) = ctx.handle_invoke(&encrypt_invoke(&msg))?;
+        Ok(decrypt_reply(&wire, client))
+    }
+
+    #[test]
+    fn provision_then_first_ops() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"op-a").unwrap();
+        assert_eq!(r1.t, SeqNo(1));
+        assert_eq!(r1.q, SeqNo::ZERO);
+        assert_eq!(r1.hc_echo, ChainValue::GENESIS);
+
+        let r2 = invoke(&mut ctx, 2, SeqNo::ZERO, ChainValue::GENESIS, b"op-b").unwrap();
+        assert_eq!(r2.t, SeqNo(2));
+        assert_ne!(r2.h, r1.h);
+    }
+
+    #[test]
+    fn stability_advances_with_acks() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        // Round 1: all three clients execute one op.
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let r2 = invoke(&mut ctx, 2, SeqNo::ZERO, ChainValue::GENESIS, b"b").unwrap();
+        let r3 = invoke(&mut ctx, 3, SeqNo::ZERO, ChainValue::GENESIS, b"c").unwrap();
+        assert_eq!(r3.q, SeqNo::ZERO, "nothing acknowledged yet");
+
+        // Round 2: clients 1 and 2 invoke again, acknowledging their
+        // round-1 ops (seq 1 and 2).
+        let r4 = invoke(&mut ctx, 1, r1.t, r1.h, b"d").unwrap();
+        // After C1 acks #1: a=1, everyone executed ≥1 ⇒ q=1.
+        assert_eq!(r4.q, SeqNo(1));
+        let r5 = invoke(&mut ctx, 2, r2.t, r2.h, b"e").unwrap();
+        // After C2 acks #2: a=2, t values now {4,5,3} all ≥2 ⇒ q=2.
+        assert_eq!(r5.q, SeqNo(2));
+        let _ = r5;
+        let _ = r3;
+    }
+
+    #[test]
+    fn stability_never_decreases_as_acks_advance() {
+        // Regression: the raw majority-stable(V) formula is not
+        // monotone — when a client acknowledges a newer op, its old ta
+        // leaves the candidate set. The floor must prevent q dropping.
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let r2 = invoke(&mut ctx, 2, SeqNo::ZERO, ChainValue::GENESIS, b"b").unwrap();
+        let r3 = invoke(&mut ctx, 1, r1.t, r1.h, b"c").unwrap();
+        assert_eq!(r3.q, SeqNo(1));
+        // C1 acknowledges op #3: candidate ta=1 disappears, ta=3 does
+        // not qualify yet — the raw formula would report q=0 here.
+        let r4 = invoke(&mut ctx, 1, r3.t, r3.h, b"d").unwrap();
+        assert!(r4.q >= r3.q, "q must not decrease: {:?} -> {:?}", r3.q, r4.q);
+        let _ = r2;
+    }
+
+    #[test]
+    fn stability_floor_survives_restart() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        invoke(&mut ctx, 2, SeqNo::ZERO, ChainValue::GENESIS, b"b").unwrap();
+        let r3 = invoke(&mut ctx, 1, r1.t, r1.h, b"c").unwrap();
+        assert_eq!(r3.q, SeqNo(1));
+        let blobs = ctx.persist_blobs().unwrap();
+
+        let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
+        ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob)).unwrap();
+        let r4 = invoke(&mut ctx2, 1, r3.t, r3.h, b"d").unwrap();
+        assert!(r4.q >= SeqNo(1), "floor must persist: {:?}", r4.q);
+    }
+
+    #[test]
+    fn wrong_context_halts_with_violation() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        // Client 1 invokes again with a stale context (as if T was
+        // rolled back — or the client's message replayed).
+        let err = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"b").unwrap_err();
+        assert!(matches!(
+            err,
+            LcmError::Violation(Violation::ContextMismatch { .. })
+        ));
+        // Halted forever.
+        let err2 = invoke(&mut ctx, 2, SeqNo::ZERO, ChainValue::GENESIS, b"c").unwrap_err();
+        assert_eq!(err2, LcmError::Halted);
+        let _ = r1;
+    }
+
+    #[test]
+    fn replayed_invoke_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: b"op".to_vec(),
+        };
+        let wire = encrypt_invoke(&msg);
+        ctx.handle_invoke(&wire).unwrap();
+        let err = ctx.handle_invoke(&wire).unwrap_err();
+        assert!(matches!(
+            err,
+            LcmError::Violation(Violation::ContextMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_invoke_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: b"op".to_vec(),
+        };
+        let mut wire = encrypt_invoke(&msg);
+        let last = wire.len() - 1;
+        wire[last] ^= 1;
+        assert!(matches!(
+            ctx.handle_invoke(&wire),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+        assert_eq!(ctx.phase(), Phase::Halted);
+    }
+
+    #[test]
+    fn unknown_client_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let msg = InvokeMsg {
+            client: ClientId(99),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: b"op".to_vec(),
+        };
+        assert!(matches!(
+            ctx.handle_invoke(&encrypt_invoke(&msg)),
+            Err(LcmError::UnknownClient(ClientId(99)))
+        ));
+        assert_eq!(ctx.phase(), Phase::Halted);
+    }
+
+    #[test]
+    fn retry_before_execution_executes_normally() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: true,
+            op: b"op".to_vec(),
+        };
+        let (_, wire) = ctx.handle_invoke(&encrypt_invoke(&msg)).unwrap();
+        assert_eq!(decrypt_reply(&wire, 1).t, SeqNo(1));
+    }
+
+    #[test]
+    fn retry_after_execution_returns_cached_reply() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let first = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"op").unwrap();
+        // Same context, retry flag set: must resend, not re-execute.
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: true,
+            op: b"op".to_vec(),
+        };
+        let (_, wire) = ctx.handle_invoke(&encrypt_invoke(&msg)).unwrap();
+        let resent = decrypt_reply(&wire, 1);
+        assert_eq!(resent.t, first.t);
+        assert_eq!(resent.h, first.h);
+        assert_eq!(resent.result, first.result);
+        // The log was NOT appended twice.
+        assert_eq!(ctx.functionality().entries().len(), 1);
+    }
+
+    #[test]
+    fn retry_with_wrong_context_still_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo(7), // nonsense context
+            hc: ChainValue::GENESIS,
+            retry: true,
+            op: b"b".to_vec(),
+        };
+        assert!(matches!(
+            ctx.handle_invoke(&encrypt_invoke(&msg)),
+            Err(LcmError::Violation(Violation::ContextMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn seal_restore_roundtrip() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let blobs = ctx.persist_blobs().unwrap();
+
+        // New epoch on the same platform: recover.
+        let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
+        assert_eq!(
+            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+                .unwrap(),
+            InitOutcome::Resumed
+        );
+        // The recovered context continues from (t, h).
+        let r2 = invoke(&mut ctx2, 1, r1.t, r1.h, b"b").unwrap();
+        assert_eq!(r2.t, SeqNo(2));
+        assert_eq!(ctx2.functionality().entries().len(), 2);
+    }
+
+    #[test]
+    fn restore_on_other_platform_fails_unseal() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let blobs = ctx.persist_blobs().unwrap();
+
+        let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 2));
+        assert!(matches!(
+            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob)),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+    }
+
+    #[test]
+    fn missing_state_with_keys_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let blobs = ctx.persist_blobs().unwrap();
+        let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
+        assert!(matches!(
+            ctx2.init(Some(&blobs.key_blob), None),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+    }
+
+    #[test]
+    fn rollback_attack_detected_by_next_client_context() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let r1 = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+        let stale_blobs = ctx.persist_blobs().unwrap();
+        let r2 = invoke(&mut ctx, 1, r1.t, r1.h, b"b").unwrap();
+
+        // Malicious host restarts T from the STALE blob.
+        let mut rolled = TrustedContext::<AppendLog>::new(services(&world, 1));
+        rolled
+            .init(Some(&stale_blobs.key_blob), Some(&stale_blobs.state_blob))
+            .unwrap();
+        // Client 1's real context is (r2.t, r2.h); the rolled-back T
+        // only knows (r1.t, r1.h) ⇒ mismatch ⇒ detected.
+        let err = invoke(&mut rolled, 1, r2.t, r2.h, b"c").unwrap_err();
+        assert!(matches!(
+            err,
+            LcmError::Violation(Violation::ContextMismatch { claimed, recorded, .. })
+                if claimed == r2.t && recorded == r1.t
+        ));
+    }
+
+    #[test]
+    fn admin_add_and_remove_client() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let admin_key = AeadKey::from_secret(&SecretKey::from_bytes([3u8; 32]));
+
+        let mut w = Writer::new();
+        w.put_u64(1);
+        AdminOp::AddClient(ClientId(4)).encode(&mut w);
+        let wire = aead::auth_encrypt(&admin_key, &w.into_bytes(), LABEL_ADMIN).unwrap();
+        let (reply_wire, _) = ctx.handle_admin(&wire).unwrap();
+        let plain = aead::auth_decrypt(&admin_key, &reply_wire, LABEL_ADMIN).unwrap();
+        let mut r = Reader::new(&plain);
+        assert_eq!(r.get_u64().unwrap(), 1);
+        assert_eq!(AdminReply::decode(&mut r).unwrap(), AdminReply::Ok);
+
+        // The new client can now invoke.
+        invoke(&mut ctx, 4, SeqNo::ZERO, ChainValue::GENESIS, b"hello").unwrap();
+
+        // Remove client 4 and rotate kC.
+        let new_kc = SecretKey::from_bytes([9u8; 32]);
+        let mut w = Writer::new();
+        w.put_u64(2);
+        AdminOp::RemoveClient(ClientId(4), new_kc.clone()).encode(&mut w);
+        let wire = aead::auth_encrypt(&admin_key, &w.into_bytes(), LABEL_ADMIN).unwrap();
+        ctx.handle_admin(&wire).unwrap();
+
+        // Old-key messages now fail authentication (client locked out).
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: b"x".to_vec(),
+        };
+        assert!(matches!(
+            ctx.handle_invoke(&encrypt_invoke(&msg)),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+    }
+
+    #[test]
+    fn admin_replay_halts() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let admin_key = AeadKey::from_secret(&SecretKey::from_bytes([3u8; 32]));
+        let mut w = Writer::new();
+        w.put_u64(1);
+        AdminOp::Status.encode(&mut w);
+        let wire = aead::auth_encrypt(&admin_key, &w.into_bytes(), LABEL_ADMIN).unwrap();
+        ctx.handle_admin(&wire).unwrap();
+        assert!(matches!(
+            ctx.handle_admin(&wire),
+            Err(LcmError::Violation(Violation::AdminReplay))
+        ));
+    }
+
+    #[test]
+    fn migration_transfers_state_across_platforms() {
+        let world = world();
+        let (mut origin, _) = provisioned_context(&world);
+        let r1 = invoke(&mut origin, 1, SeqNo::ZERO, ChainValue::GENESIS, b"a").unwrap();
+
+        let ticket = origin.export_migration().unwrap();
+        assert_eq!(origin.phase(), Phase::Migrated);
+        // Origin refuses further work.
+        assert!(invoke(&mut origin, 2, SeqNo::ZERO, ChainValue::GENESIS, b"x").is_err());
+
+        // Target on a DIFFERENT platform.
+        let mut target = TrustedContext::<AppendLog>::new(services(&world, 2));
+        target.init(None, None).unwrap();
+        let blobs = target.import_migration(&ticket).unwrap();
+        assert!(!blobs.key_blob.is_empty());
+
+        // Clients continue seamlessly against the target.
+        let r2 = invoke(&mut target, 1, r1.t, r1.h, b"b").unwrap();
+        assert_eq!(r2.t, SeqNo(2));
+        assert_eq!(target.functionality().entries().len(), 2);
+    }
+
+    #[test]
+    fn migration_ticket_rejected_by_other_program_world() {
+        let world_a = TeeWorld::new_deterministic(1);
+        let world_b = TeeWorld::new_deterministic(2);
+        let (mut origin, _) = provisioned_context(&world_a);
+        let ticket = origin.export_migration().unwrap();
+
+        let mut target = TrustedContext::<AppendLog>::new(services(&world_b, 9));
+        target.init(None, None).unwrap();
+        assert!(matches!(
+            target.import_migration(&ticket),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+    }
+
+    #[test]
+    fn provision_twice_rejected() {
+        let world = world();
+        let (mut ctx, _) = provisioned_context(&world);
+        let payload = provision_payload();
+        let channel = AeadKey::from_secret(
+            &world.admin_provision_key(&Measurement::of_program(M_NAME, "1")),
+        );
+        let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
+        assert_eq!(ctx.provision(&sealed), Err(LcmError::AlreadyProvisioned));
+    }
+
+    #[test]
+    fn provision_payload_codec_roundtrip() {
+        let p = provision_payload();
+        assert_eq!(ProvisionPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn invoke_before_provision_rejected() {
+        let world = world();
+        let mut ctx = TrustedContext::<AppendLog>::new(services(&world, 1));
+        ctx.init(None, None).unwrap();
+        assert_eq!(
+            ctx.handle_invoke(b"whatever"),
+            Err(LcmError::NotProvisioned)
+        );
+    }
+}

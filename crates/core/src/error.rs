@@ -1,0 +1,151 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::codec::CodecError;
+use crate::types::{ChainValue, ClientId, SeqNo};
+
+/// Evidence of server misbehaviour detected by the protocol.
+///
+/// Any of these corresponds to an `assert` firing in the paper's
+/// Alg. 1/Alg. 2: the protocol participant that observes it halts and
+/// accuses the server. Crucially, a *rollback* or *fork* surfaces as
+/// [`Violation::ContextMismatch`] at the trusted context (the client's
+/// condensed view `(tc, hc)` does not match `V[i]`) or as
+/// [`Violation::ReplyMismatch`] at the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A message failed authenticated decryption: forged, tampered
+    /// with, or encrypted under a rotated-out key.
+    BadAuthentication,
+    /// The client's `(tc, hc)` does not match `V[i]` — the signature of
+    /// a rollback attack, a forking attack, or a message replay.
+    ContextMismatch {
+        /// The client whose context failed verification.
+        client: ClientId,
+        /// Sequence number claimed by the client.
+        claimed: SeqNo,
+        /// Sequence number the trusted context has on record.
+        recorded: SeqNo,
+    },
+    /// A REPLY did not echo the client's current chain value: the reply
+    /// answers a different context than the one invoked from.
+    ReplyMismatch {
+        /// The chain value the client expected echoed.
+        expected: ChainValue,
+        /// The chain value the reply actually echoed.
+        got: ChainValue,
+    },
+    /// A reply arrived with no operation pending at this client.
+    UnexpectedReply,
+    /// An admin operation replayed an old admin sequence number.
+    AdminReplay,
+    /// A violation reported across the ecall boundary; the rendered
+    /// description of the original evidence.
+    Reported(String),
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BadAuthentication => write!(f, "message failed authentication"),
+            Violation::ContextMismatch {
+                client,
+                claimed,
+                recorded,
+            } => write!(
+                f,
+                "context mismatch for {client}: claimed {claimed}, recorded {recorded} \
+                 (rollback, fork, or replay)"
+            ),
+            Violation::ReplyMismatch { expected, got } => {
+                write!(f, "reply mismatch: expected echo {expected}, got {got}")
+            }
+            Violation::UnexpectedReply => write!(f, "reply with no pending operation"),
+            Violation::AdminReplay => write!(f, "admin operation replay"),
+            Violation::Reported(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Error type for all fallible LCM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LcmError {
+    /// Server misbehaviour was detected; the protocol participant has
+    /// halted (the paper's `assert`).
+    Violation(Violation),
+    /// This participant already halted due to an earlier violation.
+    Halted,
+    /// The trusted context has not been provisioned with keys yet.
+    NotProvisioned,
+    /// The trusted context is already provisioned and refuses to be
+    /// re-provisioned.
+    AlreadyProvisioned,
+    /// An operation referenced a client outside the group.
+    UnknownClient(ClientId),
+    /// The client already has an operation in flight (the protocol is
+    /// sequential per client, §4.1).
+    OperationPending,
+    /// A retry was requested but no operation is pending.
+    NothingToRetry,
+    /// Wire-format decoding failure of *trusted* data (sealed state) —
+    /// distinct from message tampering, which surfaces as a
+    /// [`Violation::BadAuthentication`] before decoding.
+    Codec(CodecError),
+    /// Underlying TEE failure (enclave stopped, attestation failed…).
+    Tee(String),
+    /// Underlying storage failure.
+    Storage(String),
+}
+
+impl fmt::Display for LcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcmError::Violation(v) => write!(f, "server misbehaviour detected: {v}"),
+            LcmError::Halted => write!(f, "participant halted after violation"),
+            LcmError::NotProvisioned => write!(f, "trusted context not provisioned"),
+            LcmError::AlreadyProvisioned => write!(f, "trusted context already provisioned"),
+            LcmError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            LcmError::OperationPending => write!(f, "an operation is already pending"),
+            LcmError::NothingToRetry => write!(f, "no pending operation to retry"),
+            LcmError::Codec(e) => write!(f, "codec failure: {e}"),
+            LcmError::Tee(e) => write!(f, "TEE failure: {e}"),
+            LcmError::Storage(e) => write!(f, "storage failure: {e}"),
+        }
+    }
+}
+
+impl Error for LcmError {}
+
+impl From<Violation> for LcmError {
+    fn from(v: Violation) -> Self {
+        LcmError::Violation(v)
+    }
+}
+
+impl From<CodecError> for LcmError {
+    fn from(e: CodecError) -> Self {
+        LcmError::Codec(e)
+    }
+}
+
+impl From<lcm_tee::TeeError> for LcmError {
+    fn from(e: lcm_tee::TeeError) -> Self {
+        LcmError::Tee(e.to_string())
+    }
+}
+
+impl From<lcm_storage::StorageError> for LcmError {
+    fn from(e: lcm_storage::StorageError) -> Self {
+        LcmError::Storage(e.to_string())
+    }
+}
+
+impl LcmError {
+    /// Whether this error is a detected attack (as opposed to an
+    /// operational failure).
+    pub fn is_violation(&self) -> bool {
+        matches!(self, LcmError::Violation(_) | LcmError::Halted)
+    }
+}

@@ -1,0 +1,497 @@
+//! Packaging of the trusted context as an enclave program, plus the
+//! host-call ABI.
+//!
+//! This is the analogue of the paper's EDL-generated ecall boundary
+//! (§5.1): the untrusted host talks to the enclave exclusively through
+//! serialized [`HostCall`]s and gets serialized [`HostReply`]s back.
+//! Batching lives here too — one `InvokeBatch` ecall processes many
+//! client messages and returns one aggregated state blob, the §5.2
+//! optimization that amortizes seal-and-store costs.
+
+use lcm_crypto::sha256::Digest;
+use lcm_tee::enclave::EnclaveProgram;
+use lcm_tee::measurement::Measurement;
+use lcm_tee::platform::TeeServices;
+
+use crate::codec::{CodecError, Reader, WireCodec, Writer};
+use crate::context::{InitOutcome, PersistBlobs, TrustedContext};
+use crate::functionality::Functionality;
+use crate::types::ClientId;
+use crate::{LcmError, Violation};
+
+/// Name under which LCM programs are measured.
+pub const PROGRAM_NAME: &str = "lcm";
+/// Version string folded into the measurement.
+pub const PROGRAM_VERSION: &str = "1";
+
+/// The LCM measurement: identical for every `LcmProgram<F>` so that the
+/// sealing key survives restarts of the same service.
+///
+/// Note: in real SGX the functionality `F` is part of the enclave image
+/// and thus of MRENCLAVE; here the measurement is per-protocol. Tests
+/// that need distinct measurements per application can wrap
+/// [`LcmProgram`] behind their own [`EnclaveProgram`] with a custom
+/// measurement.
+pub fn lcm_measurement() -> Measurement {
+    Measurement::of_program(PROGRAM_NAME, PROGRAM_VERSION)
+}
+
+/// Calls the host can make into the enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostCall {
+    /// Deliver the blobs loaded from stable storage (or their absence).
+    Init {
+        /// Sealed key blob, if storage had one.
+        key_blob: Option<Vec<u8>>,
+        /// Sealed state blob, if storage had one.
+        state_blob: Option<Vec<u8>>,
+    },
+    /// Deliver the admin's encrypted provisioning payload.
+    Provision(Vec<u8>),
+    /// Process a batch of encrypted INVOKE messages.
+    InvokeBatch(Vec<Vec<u8>>),
+    /// Process an encrypted admin message.
+    Admin(Vec<u8>),
+    /// Produce an attestation report over the given user data.
+    Attest(Digest),
+    /// Export a migration ticket (origin side).
+    ExportMigration,
+    /// Import a migration ticket (target side).
+    ImportMigration(Vec<u8>),
+}
+
+const CALL_INIT: u8 = 1;
+const CALL_PROVISION: u8 = 2;
+const CALL_INVOKE_BATCH: u8 = 3;
+const CALL_ADMIN: u8 = 4;
+const CALL_ATTEST: u8 = 5;
+const CALL_EXPORT_MIG: u8 = 6;
+const CALL_IMPORT_MIG: u8 = 7;
+
+impl WireCodec for HostCall {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HostCall::Init {
+                key_blob,
+                state_blob,
+            } => {
+                w.put_u8(CALL_INIT);
+                encode_opt_bytes(w, key_blob.as_deref());
+                encode_opt_bytes(w, state_blob.as_deref());
+            }
+            HostCall::Provision(payload) => {
+                w.put_u8(CALL_PROVISION);
+                w.put_bytes(payload);
+            }
+            HostCall::InvokeBatch(batch) => {
+                w.put_u8(CALL_INVOKE_BATCH);
+                w.put_u32(batch.len() as u32);
+                for m in batch {
+                    w.put_bytes(m);
+                }
+            }
+            HostCall::Admin(msg) => {
+                w.put_u8(CALL_ADMIN);
+                w.put_bytes(msg);
+            }
+            HostCall::Attest(user_data) => {
+                w.put_u8(CALL_ATTEST);
+                w.put_digest(user_data);
+            }
+            HostCall::ExportMigration => w.put_u8(CALL_EXPORT_MIG),
+            HostCall::ImportMigration(ticket) => {
+                w.put_u8(CALL_IMPORT_MIG);
+                w.put_bytes(ticket);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            CALL_INIT => Ok(HostCall::Init {
+                key_blob: decode_opt_bytes(r)?,
+                state_blob: decode_opt_bytes(r)?,
+            }),
+            CALL_PROVISION => Ok(HostCall::Provision(r.get_bytes()?.to_vec())),
+            CALL_INVOKE_BATCH => {
+                let n = r.get_u32()? as usize;
+                let mut batch = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    batch.push(r.get_bytes()?.to_vec());
+                }
+                Ok(HostCall::InvokeBatch(batch))
+            }
+            CALL_ADMIN => Ok(HostCall::Admin(r.get_bytes()?.to_vec())),
+            CALL_ATTEST => Ok(HostCall::Attest(r.get_digest()?)),
+            CALL_EXPORT_MIG => Ok(HostCall::ExportMigration),
+            CALL_IMPORT_MIG => Ok(HostCall::ImportMigration(r.get_bytes()?.to_vec())),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+/// Replies the enclave returns to the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostReply {
+    /// Init completed.
+    InitOk {
+        /// Whether the admin must provision keys.
+        need_provision: bool,
+    },
+    /// Provisioning (or migration import) succeeded; persist the blobs.
+    ProvisionOk(PersistBlobs),
+    /// A batch was processed. Replies are in submission order; the
+    /// client id tells the host where to route each one.
+    BatchOk {
+        /// `(routing id, encrypted REPLY)` per input message.
+        replies: Vec<(ClientId, Vec<u8>)>,
+        /// The aggregated sealed state to persist.
+        blobs: PersistBlobs,
+    },
+    /// An admin message was processed.
+    AdminOk {
+        /// The encrypted admin reply.
+        reply: Vec<u8>,
+        /// Sealed state to persist.
+        blobs: PersistBlobs,
+    },
+    /// An attestation report (serialized; feed to the quoting enclave).
+    AttestOk(Vec<u8>),
+    /// A migration ticket (origin side).
+    MigrationTicket(Vec<u8>),
+    /// The call failed. The context may now be halted.
+    Err(ReplyError),
+}
+
+/// Serializable projection of [`LcmError`] across the ecall boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyError {
+    /// Discriminant mirroring [`LcmError`] variants.
+    pub code: u8,
+    /// Human-readable rendering of the original error.
+    pub message: String,
+}
+
+/// Error code: violation detected, context halted.
+pub const ERR_VIOLATION: u8 = 1;
+/// Error code: context already halted.
+pub const ERR_HALTED: u8 = 2;
+/// Error code: context not provisioned.
+pub const ERR_NOT_PROVISIONED: u8 = 3;
+/// Error code: context already provisioned.
+pub const ERR_ALREADY_PROVISIONED: u8 = 4;
+/// Error code: other failure.
+pub const ERR_OTHER: u8 = 5;
+
+impl From<&LcmError> for ReplyError {
+    fn from(e: &LcmError) -> Self {
+        let code = match e {
+            LcmError::Violation(_) | LcmError::UnknownClient(_) => ERR_VIOLATION,
+            LcmError::Halted => ERR_HALTED,
+            LcmError::NotProvisioned => ERR_NOT_PROVISIONED,
+            LcmError::AlreadyProvisioned => ERR_ALREADY_PROVISIONED,
+            _ => ERR_OTHER,
+        };
+        // For violations, carry the evidence text itself — the
+        // receiving side re-wraps it in its own error prefix.
+        let message = match e {
+            LcmError::Violation(v) => v.to_string(),
+            other => other.to_string(),
+        };
+        ReplyError { code, message }
+    }
+}
+
+impl ReplyError {
+    /// Reconstructs an [`LcmError`] (lossy: the message is preserved,
+    /// structured fields are not).
+    pub fn into_lcm_error(self) -> LcmError {
+        match self.code {
+            ERR_VIOLATION => LcmError::Violation(Violation::Reported(self.message)),
+            ERR_HALTED => LcmError::Halted,
+            ERR_NOT_PROVISIONED => LcmError::NotProvisioned,
+            ERR_ALREADY_PROVISIONED => LcmError::AlreadyProvisioned,
+            _ => LcmError::Tee(self.message),
+        }
+    }
+}
+
+const REPLY_INIT: u8 = 1;
+const REPLY_PROVISION: u8 = 2;
+const REPLY_BATCH: u8 = 3;
+const REPLY_ADMIN: u8 = 4;
+const REPLY_ATTEST: u8 = 5;
+const REPLY_MIG: u8 = 6;
+const REPLY_ERR: u8 = 7;
+
+fn encode_blobs(w: &mut Writer, blobs: &PersistBlobs) {
+    w.put_bytes(&blobs.key_blob);
+    w.put_bytes(&blobs.state_blob);
+}
+
+fn decode_blobs(r: &mut Reader<'_>) -> Result<PersistBlobs, CodecError> {
+    Ok(PersistBlobs {
+        key_blob: r.get_bytes()?.to_vec(),
+        state_blob: r.get_bytes()?.to_vec(),
+    })
+}
+
+fn encode_opt_bytes(w: &mut Writer, bytes: Option<&[u8]>) {
+    match bytes {
+        None => w.put_bool(false),
+        Some(b) => {
+            w.put_bool(true);
+            w.put_bytes(b);
+        }
+    }
+}
+
+fn decode_opt_bytes(r: &mut Reader<'_>) -> Result<Option<Vec<u8>>, CodecError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_bytes()?.to_vec())
+    } else {
+        None
+    })
+}
+
+impl WireCodec for HostReply {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            HostReply::InitOk { need_provision } => {
+                w.put_u8(REPLY_INIT);
+                w.put_bool(*need_provision);
+            }
+            HostReply::ProvisionOk(blobs) => {
+                w.put_u8(REPLY_PROVISION);
+                encode_blobs(w, blobs);
+            }
+            HostReply::BatchOk { replies, blobs } => {
+                w.put_u8(REPLY_BATCH);
+                w.put_u32(replies.len() as u32);
+                for (id, reply) in replies {
+                    id.encode(w);
+                    w.put_bytes(reply);
+                }
+                encode_blobs(w, blobs);
+            }
+            HostReply::AdminOk { reply, blobs } => {
+                w.put_u8(REPLY_ADMIN);
+                w.put_bytes(reply);
+                encode_blobs(w, blobs);
+            }
+            HostReply::AttestOk(report) => {
+                w.put_u8(REPLY_ATTEST);
+                w.put_bytes(report);
+            }
+            HostReply::MigrationTicket(ticket) => {
+                w.put_u8(REPLY_MIG);
+                w.put_bytes(ticket);
+            }
+            HostReply::Err(e) => {
+                w.put_u8(REPLY_ERR);
+                w.put_u8(e.code);
+                w.put_str(&e.message);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            REPLY_INIT => Ok(HostReply::InitOk {
+                need_provision: r.get_bool()?,
+            }),
+            REPLY_PROVISION => Ok(HostReply::ProvisionOk(decode_blobs(r)?)),
+            REPLY_BATCH => {
+                let n = r.get_u32()? as usize;
+                let mut replies = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let id = ClientId::decode(r)?;
+                    replies.push((id, r.get_bytes()?.to_vec()));
+                }
+                Ok(HostReply::BatchOk {
+                    replies,
+                    blobs: decode_blobs(r)?,
+                })
+            }
+            REPLY_ADMIN => Ok(HostReply::AdminOk {
+                reply: r.get_bytes()?.to_vec(),
+                blobs: decode_blobs(r)?,
+            }),
+            REPLY_ATTEST => Ok(HostReply::AttestOk(r.get_bytes()?.to_vec())),
+            REPLY_MIG => Ok(HostReply::MigrationTicket(r.get_bytes()?.to_vec())),
+            REPLY_ERR => Ok(HostReply::Err(ReplyError {
+                code: r.get_u8()?,
+                message: r.get_str()?.to_owned(),
+            })),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+/// The enclave program wrapping a [`TrustedContext`] over `F`.
+pub struct LcmProgram<F: Functionality> {
+    context: TrustedContext<F>,
+}
+
+impl<F: Functionality> LcmProgram<F> {
+    /// Read access to the inner context (in-enclave only; the host
+    /// boundary is [`EnclaveProgram::ecall`]).
+    pub fn context(&self) -> &TrustedContext<F> {
+        &self.context
+    }
+
+    fn dispatch(&mut self, call: HostCall) -> HostReply {
+        match call {
+            HostCall::Init {
+                key_blob,
+                state_blob,
+            } => match self.context.init(key_blob.as_deref(), state_blob.as_deref()) {
+                Ok(outcome) => HostReply::InitOk {
+                    need_provision: outcome == InitOutcome::NeedProvision,
+                },
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::Provision(payload) => match self.context.provision(&payload) {
+                Ok(blobs) => HostReply::ProvisionOk(blobs),
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::InvokeBatch(batch) => {
+                let mut replies = Vec::with_capacity(batch.len());
+                for msg in &batch {
+                    match self.context.handle_invoke(msg) {
+                        Ok(pair) => replies.push(pair),
+                        Err(e) => return HostReply::Err((&e).into()),
+                    }
+                }
+                match self.context.persist_blobs() {
+                    Ok(blobs) => HostReply::BatchOk { replies, blobs },
+                    Err(e) => HostReply::Err((&e).into()),
+                }
+            }
+            HostCall::Admin(msg) => match self.context.handle_admin(&msg) {
+                Ok((reply, blobs)) => HostReply::AdminOk { reply, blobs },
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::Attest(user_data) => {
+                HostReply::AttestOk(self.context.attest(user_data).to_bytes())
+            }
+            HostCall::ExportMigration => match self.context.export_migration() {
+                Ok(ticket) => HostReply::MigrationTicket(ticket),
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::ImportMigration(ticket) => match self.context.import_migration(&ticket) {
+                Ok(blobs) => HostReply::ProvisionOk(blobs),
+                Err(e) => HostReply::Err((&e).into()),
+            },
+        }
+    }
+}
+
+impl<F: Functionality> EnclaveProgram for LcmProgram<F> {
+    fn measurement() -> Measurement {
+        lcm_measurement()
+    }
+
+    fn boot(services: TeeServices) -> Self {
+        LcmProgram {
+            context: TrustedContext::new(services),
+        }
+    }
+
+    fn ecall(&mut self, input: &[u8]) -> Vec<u8> {
+        let reply = match HostCall::from_bytes(input) {
+            Ok(call) => self.dispatch(call),
+            Err(e) => HostReply::Err(ReplyError {
+                code: ERR_OTHER,
+                message: format!("malformed host call: {e}"),
+            }),
+        };
+        reply.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_call_roundtrips() {
+        let calls = vec![
+            HostCall::Init {
+                key_blob: Some(b"kb".to_vec()),
+                state_blob: None,
+            },
+            HostCall::Provision(b"payload".to_vec()),
+            HostCall::InvokeBatch(vec![b"m1".to_vec(), b"m2".to_vec()]),
+            HostCall::Admin(b"admin".to_vec()),
+            HostCall::Attest(lcm_crypto::sha256::digest(b"challenge")),
+            HostCall::ExportMigration,
+            HostCall::ImportMigration(b"ticket".to_vec()),
+        ];
+        for call in calls {
+            assert_eq!(HostCall::from_bytes(&call.to_bytes()).unwrap(), call);
+        }
+    }
+
+    #[test]
+    fn host_reply_roundtrips() {
+        let blobs = PersistBlobs {
+            key_blob: b"kb".to_vec(),
+            state_blob: b"sb".to_vec(),
+        };
+        let replies = vec![
+            HostReply::InitOk {
+                need_provision: true,
+            },
+            HostReply::ProvisionOk(blobs.clone()),
+            HostReply::BatchOk {
+                replies: vec![(ClientId(1), b"r1".to_vec()), (ClientId(2), b"r2".to_vec())],
+                blobs: blobs.clone(),
+            },
+            HostReply::AdminOk {
+                reply: b"ar".to_vec(),
+                blobs,
+            },
+            HostReply::AttestOk(b"report".to_vec()),
+            HostReply::MigrationTicket(b"ticket".to_vec()),
+            HostReply::Err(ReplyError {
+                code: ERR_VIOLATION,
+                message: "boom".to_owned(),
+            }),
+        ];
+        for reply in replies {
+            assert_eq!(HostReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn malformed_host_call_is_reported_not_panicking() {
+        use crate::functionality::AppendLog;
+        use lcm_tee::world::TeeWorld;
+
+        let world = TeeWorld::new_deterministic(1);
+        let platform = world.platform_deterministic(1);
+        let mut enclave =
+            lcm_tee::enclave::Enclave::<LcmProgram<AppendLog>>::create(&platform);
+        enclave.start().unwrap();
+        let out = enclave.ecall(&[0xff, 0x00]).unwrap();
+        match HostReply::from_bytes(&out).unwrap() {
+            HostReply::Err(e) => assert_eq!(e.code, ERR_OTHER),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reply_error_reconstruction() {
+        let e = ReplyError {
+            code: ERR_HALTED,
+            message: "halted".into(),
+        };
+        assert_eq!(e.into_lcm_error(), LcmError::Halted);
+        let e = ReplyError {
+            code: ERR_NOT_PROVISIONED,
+            message: String::new(),
+        };
+        assert_eq!(e.into_lcm_error(), LcmError::NotProvisioned);
+    }
+}

@@ -1,0 +1,432 @@
+//! The host server: enclave + stable storage + request batching.
+//!
+//! [`LcmServer`] is the *correct* server of the paper's model (§4.2.4):
+//! it restarts the enclave after crashes, persists sealed blobs, and
+//! forwards messages FIFO. A malicious server is modelled in tests by
+//! driving the same pieces directly — restarting the enclave from stale
+//! storage ([`lcm_storage::RollbackStorage`]), running two enclaves
+//! over forked storage, or tampering with links — because the adversary
+//! has exactly the host's powers, no more.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use lcm_crypto::sha256::Digest;
+use lcm_storage::StableStorage;
+use lcm_tee::attestation::{Quote, QuotingEnclave, Report};
+use lcm_tee::enclave::Enclave;
+use lcm_tee::platform::TeePlatform;
+
+use crate::codec::WireCodec;
+use crate::context::PersistBlobs;
+use crate::functionality::Functionality;
+use crate::program::{HostCall, HostReply, LcmProgram};
+use crate::types::ClientId;
+use crate::{LcmError, Result};
+
+/// Storage slot for the sealed key blob.
+pub const SLOT_KEY_BLOB: &str = "lcm.keyblob";
+/// Storage slot for the sealed state blob.
+pub const SLOT_STATE_BLOB: &str = "lcm.state";
+
+/// Default batch limit, matching the paper's evaluation configuration
+/// ("batching of up to 16 operations", §6.4).
+pub const DEFAULT_BATCH_LIMIT: usize = 16;
+
+/// An honest host server for an LCM-protected service.
+///
+/// # Example
+///
+/// See `examples/quickstart.rs` for the full bootstrap + operation
+/// flow; construction is
+///
+/// ```
+/// use lcm_core::functionality::AppendLog;
+/// use lcm_core::server::LcmServer;
+/// use lcm_storage::MemoryStorage;
+/// use lcm_tee::world::TeeWorld;
+/// use std::sync::Arc;
+///
+/// let world = TeeWorld::new_deterministic(1);
+/// let platform = world.platform(1);
+/// let storage = Arc::new(MemoryStorage::new());
+/// let server = LcmServer::<AppendLog>::new(&platform, storage, 16);
+/// # let _ = server;
+/// ```
+pub struct LcmServer<F: Functionality> {
+    enclave: Enclave<LcmProgram<F>>,
+    quoting: QuotingEnclave,
+    storage: Arc<dyn StableStorage>,
+    batch_limit: usize,
+    queue: VecDeque<Vec<u8>>,
+    /// Total batches processed (one sealed store each) — used by the
+    /// batching experiments.
+    batches_processed: u64,
+    /// Total invoke messages processed.
+    ops_processed: u64,
+}
+
+impl<F: Functionality> std::fmt::Debug for LcmServer<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LcmServer")
+            .field("running", &self.enclave.is_running())
+            .field("queued", &self.queue.len())
+            .field("batch_limit", &self.batch_limit)
+            .finish()
+    }
+}
+
+impl<F: Functionality> LcmServer<F> {
+    /// Creates a server on `platform` persisting to `storage`,
+    /// batching up to `batch_limit` operations per seal-and-store
+    /// cycle (1 disables batching).
+    pub fn new(
+        platform: &TeePlatform,
+        storage: Arc<dyn StableStorage>,
+        batch_limit: usize,
+    ) -> Self {
+        LcmServer {
+            enclave: Enclave::create(platform),
+            quoting: QuotingEnclave::new(platform),
+            storage,
+            batch_limit: batch_limit.max(1),
+            queue: VecDeque::new(),
+            batches_processed: 0,
+            ops_processed: 0,
+        }
+    }
+
+    /// Starts (or restarts after a crash) the enclave and runs `init`
+    /// with whatever blobs stable storage currently returns.
+    ///
+    /// Returns `true` when the context needs provisioning (first boot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE, storage, and context errors.
+    pub fn boot(&mut self) -> Result<bool> {
+        if self.enclave.is_running() {
+            self.enclave.stop();
+        }
+        self.enclave.start()?;
+        let key_blob = self.storage.load(SLOT_KEY_BLOB)?;
+        let state_blob = self.storage.load(SLOT_STATE_BLOB)?;
+        let reply = self.call(HostCall::Init {
+            key_blob,
+            state_blob,
+        })?;
+        match reply {
+            HostReply::InitOk { need_provision } => Ok(need_provision),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Simulates a crash: the enclave's volatile memory is lost.
+    /// Call [`LcmServer::boot`] to recover.
+    pub fn crash(&mut self) {
+        self.enclave.stop();
+        self.queue.clear();
+    }
+
+    /// Whether the enclave is currently running.
+    pub fn is_running(&self) -> bool {
+        self.enclave.is_running()
+    }
+
+    /// Number of seal-and-store cycles performed.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Number of INVOKE messages processed.
+    pub fn ops_processed(&self) -> u64 {
+        self.ops_processed
+    }
+
+    /// Forwards the admin's provisioning payload and persists the
+    /// returned blobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors (e.g. already provisioned).
+    pub fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
+        let reply = self.call(HostCall::Provision(sealed_payload))?;
+        match reply {
+            HostReply::ProvisionOk(blobs) => self.persist(&blobs),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Produces an attestation [`Quote`] over `user_data` for a remote
+    /// verifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE errors (enclave stopped, quoting failure).
+    pub fn attest(&mut self, user_data: Digest) -> Result<Quote> {
+        let reply = self.call(HostCall::Attest(user_data))?;
+        let report_bytes = match reply {
+            HostReply::AttestOk(bytes) => bytes,
+            HostReply::Err(e) => return Err(e.into_lcm_error()),
+            other => return Err(unexpected(other)),
+        };
+        let report = Report::from_bytes(&report_bytes)
+            .ok_or_else(|| LcmError::Tee("malformed report".into()))?;
+        Ok(self.quoting.quote(&report)?)
+    }
+
+    /// Enqueues an encrypted INVOKE message (paper §5.3: requests are
+    /// collected in a bounded queue).
+    pub fn submit(&mut self, invoke_wire: Vec<u8>) {
+        self.queue.push_back(invoke_wire);
+    }
+
+    /// Number of queued, unprocessed messages.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Processes one batch (up to the batch limit): a single ecall, a
+    /// single seal-and-store, replies routed per client.
+    ///
+    /// # Errors
+    ///
+    /// Propagates violations detected inside the context — an honest
+    /// server would crash-stop at this point.
+    pub fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        if self.queue.is_empty() {
+            return Ok(Vec::new());
+        }
+        let take = self.batch_limit.min(self.queue.len());
+        let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
+        let n_ops = batch.len() as u64;
+        let reply = self.call(HostCall::InvokeBatch(batch))?;
+        match reply {
+            HostReply::BatchOk { replies, blobs } => {
+                self.persist(&blobs)?;
+                self.batches_processed += 1;
+                self.ops_processed += n_ops;
+                Ok(replies)
+            }
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Processes all queued messages, batch by batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LcmServer::step`].
+    pub fn process_all(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            out.extend(self.step()?);
+        }
+        Ok(out)
+    }
+
+    /// Forwards an encrypted admin message and persists the resulting
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn admin(&mut self, admin_wire: Vec<u8>) -> Result<Vec<u8>> {
+        let reply = self.call(HostCall::Admin(admin_wire))?;
+        match reply {
+            HostReply::AdminOk { reply, blobs } => {
+                self.persist(&blobs)?;
+                Ok(reply)
+            }
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Origin side of migration (§4.6.2): exports the ticket and stops
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn export_migration(&mut self) -> Result<Vec<u8>> {
+        let reply = self.call(HostCall::ExportMigration)?;
+        match reply {
+            HostReply::MigrationTicket(t) => Ok(t),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Target side of migration: imports the ticket into a freshly
+    /// booted, unprovisioned enclave and persists the re-sealed blobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()> {
+        let reply = self.call(HostCall::ImportMigration(ticket))?;
+        match reply {
+            HostReply::ProvisionOk(blobs) => self.persist(&blobs),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn persist(&mut self, blobs: &PersistBlobs) -> Result<()> {
+        self.storage.store(SLOT_KEY_BLOB, &blobs.key_blob)?;
+        self.storage.store(SLOT_STATE_BLOB, &blobs.state_blob)?;
+        Ok(())
+    }
+
+    fn call(&mut self, call: HostCall) -> Result<HostReply> {
+        let out = self.enclave.ecall(&call.to_bytes())?;
+        Ok(HostReply::from_bytes(&out)?)
+    }
+}
+
+fn unexpected(reply: HostReply) -> LcmError {
+    LcmError::Tee(format!("unexpected enclave reply: {reply:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::AdminHandle;
+    use crate::client::LcmClient;
+    use crate::functionality::AppendLog;
+    use crate::stability::Quorum;
+    use lcm_storage::MemoryStorage;
+    use lcm_tee::world::TeeWorld;
+
+    fn setup(
+        n_clients: u32,
+        batch: usize,
+    ) -> (LcmServer<AppendLog>, AdminHandle, Vec<LcmClient>) {
+        let world = TeeWorld::new_deterministic(42);
+        let platform = world.platform_deterministic(1);
+        let storage = Arc::new(MemoryStorage::new());
+        let mut server = LcmServer::<AppendLog>::new(&platform, storage, batch);
+        assert!(server.boot().unwrap());
+
+        let clients: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, clients.clone(), Quorum::Majority, 7);
+        admin.bootstrap(&mut server).unwrap();
+
+        let lcm_clients = clients
+            .iter()
+            .map(|&id| LcmClient::new(id, admin.client_key()))
+            .collect();
+        (server, admin, lcm_clients)
+    }
+
+    #[test]
+    fn end_to_end_single_client() {
+        let (mut server, _admin, mut clients) = setup(1, 1);
+        let c = &mut clients[0];
+        server.submit(c.invoke(b"first").unwrap());
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, c.id());
+        let done = c.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(done.seq.0, 1);
+    }
+
+    #[test]
+    fn end_to_end_three_clients_two_rounds() {
+        let (mut server, _admin, mut clients) = setup(3, 16);
+        // Round 1.
+        for c in clients.iter_mut() {
+            server.submit(c.invoke(b"round-1").unwrap());
+        }
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 3);
+        for (id, wire) in &replies {
+            let c = clients.iter_mut().find(|c| c.id() == *id).unwrap();
+            c.handle_reply(wire).unwrap();
+        }
+        // Round 2: acknowledgements flow, stability advances.
+        for c in clients.iter_mut() {
+            server.submit(c.invoke(b"round-2").unwrap());
+        }
+        let replies = server.process_all().unwrap();
+        let mut max_stable = 0;
+        for (id, wire) in &replies {
+            let c = clients.iter_mut().find(|c| c.id() == *id).unwrap();
+            let done = c.handle_reply(wire).unwrap();
+            max_stable = max_stable.max(done.stable.0);
+        }
+        assert!(max_stable >= 1, "stability should advance in round 2");
+    }
+
+    #[test]
+    fn batching_amortizes_stores() {
+        let (mut server, _admin, mut clients) = setup(3, 16);
+        for c in clients.iter_mut() {
+            server.submit(c.invoke(b"op").unwrap());
+        }
+        server.process_all().unwrap();
+        assert_eq!(server.batches_processed(), 1, "one batch for 3 ops");
+        assert_eq!(server.ops_processed(), 3);
+
+        let (mut server2, _admin2, mut clients2) = setup(3, 1);
+        for c in clients2.iter_mut() {
+            server2.submit(c.invoke(b"op").unwrap());
+        }
+        server2.process_all().unwrap();
+        assert_eq!(server2.batches_processed(), 3, "no batching: 3 stores");
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_service() {
+        let (mut server, _admin, mut clients) = setup(1, 1);
+        let c = &mut clients[0];
+        server.submit(c.invoke(b"before-crash").unwrap());
+        let replies = server.process_all().unwrap();
+        c.handle_reply(&replies[0].1).unwrap();
+
+        server.crash();
+        assert!(!server.is_running());
+        assert!(!server.boot().unwrap(), "recovered, no provisioning needed");
+
+        server.submit(c.invoke(b"after-crash").unwrap());
+        let replies = server.process_all().unwrap();
+        let done = c.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(done.seq.0, 2, "sequence continues after recovery");
+    }
+
+    #[test]
+    fn crash_with_lost_request_retry_executes() {
+        let (mut server, _admin, mut clients) = setup(1, 1);
+        let c = &mut clients[0];
+        // Request submitted but server crashes before processing.
+        server.submit(c.invoke(b"lost").unwrap());
+        server.crash();
+        server.boot().unwrap();
+        // Client times out and retries.
+        server.submit(c.retry().unwrap());
+        let replies = server.process_all().unwrap();
+        let done = c.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(done.seq.0, 1);
+    }
+
+    #[test]
+    fn crash_after_store_retry_resends_cached_reply() {
+        let (mut server, _admin, mut clients) = setup(1, 1);
+        let c = &mut clients[0];
+        // Request processed and stored, but the reply never reaches the
+        // client (server crashes right after).
+        server.submit(c.invoke(b"answered-but-lost").unwrap());
+        let _dropped_replies = server.process_all().unwrap();
+        server.crash();
+        server.boot().unwrap();
+        // Retry: T must resend the cached result, not re-execute.
+        server.submit(c.retry().unwrap());
+        let replies = server.process_all().unwrap();
+        let done = c.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(done.seq.0, 1, "same sequence number as the lost reply");
+    }
+}

@@ -1,0 +1,258 @@
+//! In-process network hub: clients ⇄ server over adversary-controllable
+//! links.
+//!
+//! The paper's model routes every client⇄T message through the server,
+//! which may "intercept, modify, reorder, discard, or replay" them
+//! (§2.3). [`Hub`] materializes that topology with [`lcm_net`] links:
+//! each client gets a duplex port, and the embedded [`LcmServer`] only
+//! sees what the (possibly adversarial) link controllers let through.
+
+use std::collections::BTreeMap;
+
+use lcm_net::{Duplex, DuplexEnd, LinkController};
+
+use crate::functionality::Functionality;
+use crate::server::LcmServer;
+use crate::types::ClientId;
+use crate::Result;
+
+/// A client's connection handle.
+#[derive(Debug, Clone)]
+pub struct ClientPort {
+    end: DuplexEnd,
+}
+
+impl ClientPort {
+    /// Sends an encrypted INVOKE toward the server.
+    pub fn send(&self, wire: Vec<u8>) {
+        self.end.send(wire);
+    }
+
+    /// Receives the next deliverable reply, if any.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.end.try_recv()
+    }
+}
+
+/// Adversary handles for one client's connection.
+#[derive(Debug, Clone)]
+pub struct PortControl {
+    /// Controls the client→server direction.
+    pub to_server: LinkController,
+    /// Controls the server→client direction.
+    pub to_client: LinkController,
+}
+
+struct Port {
+    server_end: DuplexEnd,
+    control: PortControl,
+}
+
+/// An in-process network connecting an [`LcmServer`] to its clients.
+///
+/// # Example
+///
+/// ```
+/// use lcm_core::functionality::AppendLog;
+/// use lcm_core::server::LcmServer;
+/// use lcm_core::transport::Hub;
+/// use lcm_core::types::ClientId;
+/// use lcm_storage::MemoryStorage;
+/// use lcm_tee::world::TeeWorld;
+/// use std::sync::Arc;
+///
+/// let world = TeeWorld::new_deterministic(1);
+/// let server = LcmServer::<AppendLog>::new(&world.platform(1), Arc::new(MemoryStorage::new()), 16);
+/// let mut hub = Hub::new(server);
+/// let port = hub.connect(ClientId(1));
+/// # let _ = port;
+/// ```
+pub struct Hub<F: Functionality> {
+    server: LcmServer<F>,
+    ports: BTreeMap<ClientId, Port>,
+}
+
+impl<F: Functionality> std::fmt::Debug for Hub<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hub")
+            .field("server", &self.server)
+            .field("ports", &self.ports.len())
+            .finish()
+    }
+}
+
+impl<F: Functionality> Hub<F> {
+    /// Wraps a server into a hub.
+    pub fn new(server: LcmServer<F>) -> Self {
+        Hub {
+            server,
+            ports: BTreeMap::new(),
+        }
+    }
+
+    /// Direct access to the server (boot, provision, crash, …).
+    pub fn server(&mut self) -> &mut LcmServer<F> {
+        &mut self.server
+    }
+
+    /// Connects a client, returning its port. Links start in honest
+    /// (auto-deliver) mode; grab [`Hub::control`] to turn adversarial.
+    pub fn connect(&mut self, id: ClientId) -> ClientPort {
+        let duplex = Duplex::honest();
+        let Duplex {
+            client,
+            server,
+            to_server,
+            to_client,
+        } = duplex;
+        self.ports.insert(
+            id,
+            Port {
+                server_end: server,
+                control: PortControl {
+                    to_server,
+                    to_client,
+                },
+            },
+        );
+        ClientPort { end: client }
+    }
+
+    /// The adversary's handles on one client's connection.
+    pub fn control(&self, id: ClientId) -> Option<PortControl> {
+        self.ports.get(&id).map(|p| p.control.clone())
+    }
+
+    /// Moves all deliverable client messages into the server, processes
+    /// them, and routes the replies back onto the clients' links.
+    ///
+    /// Returns the number of operations processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates violations detected by the trusted context; an honest
+    /// server crash-stops here, a malicious one might swallow it — the
+    /// clients find out either way.
+    pub fn pump(&mut self) -> Result<usize> {
+        // Ingress order: round-robin over ports for fairness, FIFO per
+        // port (the correct server forwards FIFO, §2.1).
+        let mut order: Vec<ClientId> = Vec::new();
+        loop {
+            let mut any = false;
+            for (id, port) in &self.ports {
+                if let Some(wire) = port.server_end.try_recv() {
+                    self.server.submit(wire);
+                    order.push(*id);
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        let replies = self.server.process_all()?;
+        let n = replies.len();
+        for (id, wire) in replies {
+            if let Some(port) = self.ports.get(&id) {
+                port.server_end.send(wire);
+            }
+        }
+        let _ = order;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::AdminHandle;
+    use crate::client::LcmClient;
+    use crate::functionality::AppendLog;
+    use crate::stability::Quorum;
+    use lcm_storage::MemoryStorage;
+    use lcm_tee::world::TeeWorld;
+    use std::sync::Arc;
+
+    fn hub_with_clients(n: u32) -> (Hub<AppendLog>, Vec<(LcmClient, ClientPort)>) {
+        let world = TeeWorld::new_deterministic(60);
+        let platform = world.platform_deterministic(1);
+        let mut server =
+            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        server.boot().unwrap();
+        let ids: Vec<ClientId> = (1..=n).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 3);
+        admin.bootstrap(&mut server).unwrap();
+        let mut hub = Hub::new(server);
+        let clients = ids
+            .iter()
+            .map(|&id| {
+                let port = hub.connect(id);
+                (LcmClient::new(id, admin.client_key()), port)
+            })
+            .collect();
+        (hub, clients)
+    }
+
+    #[test]
+    fn ops_flow_through_the_hub() {
+        let (mut hub, mut clients) = hub_with_clients(2);
+        for (client, port) in clients.iter_mut() {
+            port.send(client.invoke(b"op").unwrap());
+        }
+        assert_eq!(hub.pump().unwrap(), 2);
+        for (client, port) in clients.iter_mut() {
+            let reply = port.try_recv().expect("reply routed");
+            client.handle_reply(&reply).unwrap();
+        }
+    }
+
+    #[test]
+    fn held_messages_do_not_reach_the_server() {
+        let (mut hub, mut clients) = hub_with_clients(1);
+        let (client, port) = &mut clients[0];
+        let ctl = hub.control(client.id()).unwrap();
+        ctl.to_server.set_auto_deliver(false);
+        port.send(client.invoke(b"op").unwrap());
+        assert_eq!(hub.pump().unwrap(), 0);
+        assert_eq!(ctl.to_server.held(), 1);
+        // Release it.
+        ctl.to_server.deliver_all();
+        assert_eq!(hub.pump().unwrap(), 1);
+        let reply = port.try_recv().unwrap();
+        client.handle_reply(&reply).unwrap();
+    }
+
+    #[test]
+    fn tampering_on_the_link_is_detected() {
+        let (mut hub, mut clients) = hub_with_clients(1);
+        let (client, port) = &mut clients[0];
+        let ctl = hub.control(client.id()).unwrap();
+        ctl.to_server.set_auto_deliver(false);
+        port.send(client.invoke(b"op").unwrap());
+        ctl.to_server.tamper_next(|m| m[0] ^= 0xff);
+        ctl.to_server.deliver_all();
+        let err = hub.pump().unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn replay_on_the_link_is_detected() {
+        let (mut hub, mut clients) = hub_with_clients(1);
+        let (client, port) = &mut clients[0];
+        let ctl = hub.control(client.id()).unwrap();
+        ctl.to_server.set_auto_deliver(false);
+        port.send(client.invoke(b"op").unwrap());
+        ctl.to_server.duplicate_next();
+        ctl.to_server.deliver_all();
+        let err = hub.pump().unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn unknown_port_reply_is_dropped() {
+        // Replies to clients that never connected are silently dropped
+        // (the honest hub cannot route them).
+        let (mut hub, _clients) = hub_with_clients(1);
+        assert_eq!(hub.pump().unwrap(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! INVOKE / REPLY wire messages (paper §4.2).
+//!
+//! Plaintext layouts (before AEAD under `kC`):
+//!
+//! ```text
+//! INVOKE:  tag(1) ‖ i(4) ‖ tc(8) ‖ hc(32) ‖ o(rest)        = 45 B + |o|
+//! REPLY:   tag(1) ‖ t(8) ‖ q(8) ‖ h(32) ‖ hc'(32) ‖ r(rest) = 81 B + |r|
+//! ```
+//!
+//! The INVOKE overhead matches the paper's measured **45 bytes**
+//! (§6.3). The retry flag of the crash-tolerance extension (§4.6.1) is
+//! folded into the tag byte so it costs nothing. Our REPLY carries the
+//! full Alg. 2 field list `[REPLY, t, h, r, q, hc]` and is therefore 81
+//! bytes; the paper's implementation reports 46 (it presumably elides
+//! or truncates the echoed `hc`). Both are *constant in the payload
+//! size*, which is the property the §6.3 experiment establishes; the
+//! deviation is recorded in EXPERIMENTS.md.
+
+use crate::codec::{CodecError, Reader, WireCodec, Writer};
+use crate::types::{ChainValue, ClientId, SeqNo};
+
+/// Tag byte of a first-attempt INVOKE.
+pub const TAG_INVOKE: u8 = 0x01;
+/// Tag byte of a retried INVOKE (crash-tolerance extension, §4.6.1).
+pub const TAG_INVOKE_RETRY: u8 = 0x02;
+/// Tag byte of a REPLY.
+pub const TAG_REPLY: u8 = 0x03;
+
+/// Fixed metadata bytes an INVOKE adds on top of the operation payload.
+pub const INVOKE_OVERHEAD: usize = 1 + 4 + 8 + 32;
+
+/// Fixed metadata bytes a REPLY adds on top of the result payload.
+pub const REPLY_OVERHEAD: usize = 1 + 8 + 8 + 32 + 32;
+
+/// The `[INVOKE, tc, hc, o, i]` message of Alg. 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeMsg {
+    /// Invoking client.
+    pub client: ClientId,
+    /// Sequence number of the client's last completed operation.
+    pub tc: SeqNo,
+    /// Hash chain value from the client's last completed operation.
+    pub hc: ChainValue,
+    /// Whether this is a retry of an unanswered invocation.
+    pub retry: bool,
+    /// The opaque operation for the functionality `F`.
+    pub op: Vec<u8>,
+}
+
+impl WireCodec for InvokeMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(if self.retry { TAG_INVOKE_RETRY } else { TAG_INVOKE });
+        self.client.encode(w);
+        self.tc.encode(w);
+        self.hc.encode(w);
+        w.put_raw(&self.op);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.get_u8()?;
+        let retry = match tag {
+            TAG_INVOKE => false,
+            TAG_INVOKE_RETRY => true,
+            other => return Err(CodecError::InvalidTag(other)),
+        };
+        Ok(InvokeMsg {
+            client: ClientId::decode(r)?,
+            tc: SeqNo::decode(r)?,
+            hc: ChainValue::decode(r)?,
+            retry,
+            op: r.get_rest().to_vec(),
+        })
+    }
+}
+
+/// The `[REPLY, t, h, r, q, hc]` message of Alg. 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyMsg {
+    /// Sequence number assigned to the operation.
+    pub t: SeqNo,
+    /// Majority-stable sequence number at execution time.
+    pub q: SeqNo,
+    /// Hash chain value after the operation.
+    pub h: ChainValue,
+    /// Echo of the client's previous chain value, matching the REPLY to
+    /// its INVOKE.
+    pub hc_echo: ChainValue,
+    /// The operation result from `F`.
+    pub result: Vec<u8>,
+}
+
+impl WireCodec for ReplyMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(TAG_REPLY);
+        self.t.encode(w);
+        self.q.encode(w);
+        self.h.encode(w);
+        self.hc_echo.encode(w);
+        w.put_raw(&self.result);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.get_u8()?;
+        if tag != TAG_REPLY {
+            return Err(CodecError::InvalidTag(tag));
+        }
+        Ok(ReplyMsg {
+            t: SeqNo::decode(r)?,
+            q: SeqNo::decode(r)?,
+            h: ChainValue::decode(r)?,
+            hc_echo: ChainValue::decode(r)?,
+            result: r.get_rest().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_invoke(retry: bool) -> InvokeMsg {
+        InvokeMsg {
+            client: ClientId(3),
+            tc: SeqNo(17),
+            hc: ChainValue::GENESIS.extend(b"prev", SeqNo(17), ClientId(3)),
+            retry,
+            op: b"PUT key value".to_vec(),
+        }
+    }
+
+    #[test]
+    fn invoke_roundtrip() {
+        for retry in [false, true] {
+            let msg = sample_invoke(retry);
+            let decoded = InvokeMsg::from_bytes(&msg.to_bytes()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let msg = ReplyMsg {
+            t: SeqNo(18),
+            q: SeqNo(12),
+            h: ChainValue::GENESIS.extend(b"x", SeqNo(18), ClientId(3)),
+            hc_echo: ChainValue::GENESIS,
+            result: b"OK".to_vec(),
+        };
+        assert_eq!(ReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn invoke_overhead_is_45_bytes() {
+        // Paper §6.3: "our LCM implementation adds 45 byte to an
+        // operation invocation", constant in the payload size.
+        for op_len in [0usize, 100, 2500] {
+            let mut msg = sample_invoke(false);
+            msg.op = vec![0xab; op_len];
+            assert_eq!(msg.to_bytes().len(), INVOKE_OVERHEAD + op_len);
+        }
+        assert_eq!(INVOKE_OVERHEAD, 45);
+    }
+
+    #[test]
+    fn reply_overhead_is_constant() {
+        for result_len in [0usize, 100, 2500] {
+            let msg = ReplyMsg {
+                t: SeqNo(1),
+                q: SeqNo(0),
+                h: ChainValue::GENESIS,
+                hc_echo: ChainValue::GENESIS,
+                result: vec![0xcd; result_len],
+            };
+            assert_eq!(msg.to_bytes().len(), REPLY_OVERHEAD + result_len);
+        }
+    }
+
+    #[test]
+    fn empty_op_roundtrips() {
+        let mut msg = sample_invoke(false);
+        msg.op = vec![];
+        assert_eq!(InvokeMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        let mut bytes = sample_invoke(false).to_bytes();
+        bytes[0] = 0x7f;
+        assert!(InvokeMsg::from_bytes(&bytes).is_err());
+        assert!(ReplyMsg::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let bytes = sample_invoke(false).to_bytes();
+        assert!(InvokeMsg::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn retry_flag_costs_nothing() {
+        let plain = sample_invoke(false).to_bytes();
+        let retry = sample_invoke(true).to_bytes();
+        assert_eq!(plain.len(), retry.len());
+    }
+}

@@ -1,0 +1,142 @@
+//! Robustness property tests: decoding arbitrary attacker-supplied
+//! bytes must never panic, and valid encodings must roundtrip.
+//!
+//! Everything that crosses a trust boundary is covered: wire messages,
+//! host calls/replies, the V map, provisioning payloads.
+
+use lcm_core::codec::{Reader, WireCodec, Writer};
+use lcm_core::program::{HostCall, HostReply};
+use lcm_core::stability::{decode_vmap, encode_vmap, CachedReply, Quorum, VEntry, VMap};
+use lcm_core::types::{ChainValue, ClientId, SeqNo};
+use lcm_core::wire::{InvokeMsg, ReplyMsg};
+use proptest::prelude::*;
+
+fn arb_chain() -> impl Strategy<Value = ChainValue> {
+    (any::<Vec<u8>>(), any::<u64>(), any::<u32>())
+        .prop_map(|(op, t, i)| ChainValue::GENESIS.extend(&op, SeqNo(t), ClientId(i)))
+}
+
+fn arb_invoke() -> impl Strategy<Value = InvokeMsg> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        arb_chain(),
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(client, tc, hc, retry, op)| InvokeMsg {
+            client: ClientId(client),
+            tc: SeqNo(tc),
+            hc,
+            retry,
+            op,
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = ReplyMsg> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        arb_chain(),
+        arb_chain(),
+        proptest::collection::vec(any::<u8>(), 0..512),
+    )
+        .prop_map(|(t, q, h, hc_echo, result)| ReplyMsg {
+            t: SeqNo(t),
+            q: SeqNo(q),
+            h,
+            hc_echo,
+            result,
+        })
+}
+
+fn arb_ventry() -> impl Strategy<Value = VEntry> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        arb_chain(),
+        proptest::option::of((
+            any::<u64>(),
+            any::<u64>(),
+            arb_chain(),
+            arb_chain(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )),
+    )
+        .prop_map(|(ta, t, h, cached)| VEntry {
+            ta: SeqNo(ta),
+            t: SeqNo(t),
+            h,
+            cached: cached.map(|(t, q, h, hc, result)| CachedReply {
+                t: SeqNo(t),
+                q: SeqNo(q),
+                h,
+                hc_echo: hc,
+                result,
+            }),
+        })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic any decoder.
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = InvokeMsg::from_bytes(&bytes);
+        let _ = ReplyMsg::from_bytes(&bytes);
+        let _ = HostCall::from_bytes(&bytes);
+        let _ = HostReply::from_bytes(&bytes);
+        let _ = Quorum::from_bytes(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = decode_vmap(&mut r);
+    }
+
+    /// InvokeMsg roundtrips for arbitrary field values.
+    #[test]
+    fn invoke_roundtrips(msg in arb_invoke()) {
+        prop_assert_eq!(InvokeMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    /// ReplyMsg roundtrips for arbitrary field values.
+    #[test]
+    fn reply_roundtrips(msg in arb_reply()) {
+        prop_assert_eq!(ReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    /// VMap encoding is canonical: decode(encode(v)) == v and encoding
+    /// is deterministic.
+    #[test]
+    fn vmap_roundtrips(entries in proptest::collection::btree_map(
+        any::<u32>().prop_map(ClientId), arb_ventry(), 0..16)) {
+        let v: VMap = entries;
+        let mut w = Writer::new();
+        encode_vmap(&v, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = decode_vmap(&mut r).unwrap();
+        r.finish().unwrap();
+        prop_assert_eq!(decoded, v.clone());
+
+        let mut w2 = Writer::new();
+        encode_vmap(&v, &mut w2);
+        prop_assert_eq!(bytes, w2.into_bytes());
+    }
+
+    /// Truncating any valid encoding at any point yields an error (or,
+    /// for trailing-payload messages, a shorter but valid value) —
+    /// never a panic.
+    #[test]
+    fn truncation_is_graceful(msg in arb_invoke(), cut in 0usize..512) {
+        let bytes = msg.to_bytes();
+        let cut = cut % (bytes.len() + 1);
+        let _ = InvokeMsg::from_bytes(&bytes[..cut]);
+    }
+
+    /// Host calls roundtrip.
+    #[test]
+    fn host_call_roundtrips(
+        batch in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8)
+    ) {
+        let call = HostCall::InvokeBatch(batch);
+        prop_assert_eq!(HostCall::from_bytes(&call.to_bytes()).unwrap(), call);
+    }
+}

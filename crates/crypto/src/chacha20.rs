@@ -1,0 +1,198 @@
+//! ChaCha20 stream cipher (RFC 7539).
+//!
+//! Provides the confidentiality half of the [`crate::aead`] construction.
+//! The implementation follows RFC 7539 §2.3/§2.4 (32-byte key, 12-byte
+//! nonce, 32-bit block counter) and is validated against the RFC test
+//! vectors.
+
+use crate::{CryptoError, Result};
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// ChaCha20 nonce length in bytes (RFC 7539 variant).
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs `data` in place with the ChaCha20 keystream for
+/// `(key, nonce, initial_counter)`.
+///
+/// Encryption and decryption are the same operation. The caller is
+/// responsible for never reusing a `(key, nonce)` pair; the AEAD layer
+/// enforces this with random nonces.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::NonceExhausted`] if `data` is long enough to
+/// overflow the 32-bit block counter (≈ 256 GiB), which would wrap the
+/// keystream.
+pub fn xor_keystream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) -> Result<()> {
+    let blocks_needed = data.len().div_ceil(64) as u64;
+    if u64::from(initial_counter) + blocks_needed > u64::from(u32::MAX) + 1 {
+        return Err(CryptoError::NonceExhausted);
+    }
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(64) {
+        let keystream = chacha20_block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc7539_block_test_vector() {
+        // RFC 7539 §2.3.2
+        let key: Vec<u8> = (0..32u8).collect();
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let nonce = hex("000000090000004a00000000");
+        let mut nonce_arr = [0u8; 12];
+        nonce_arr.copy_from_slice(&nonce);
+
+        let block = chacha20_block(&key_arr, 1, &nonce_arr);
+        let expected = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(&block[..], &expected[..]);
+    }
+
+    #[test]
+    fn rfc7539_encryption_test_vector() {
+        // RFC 7539 §2.4.2
+        let key: Vec<u8> = (0..32u8).collect();
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let nonce = hex("000000000000004a00000000");
+        let mut nonce_arr = [0u8; 12];
+        nonce_arr.copy_from_slice(&nonce);
+
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_keystream(&key_arr, &nonce_arr, 1, &mut data).unwrap();
+        let expected = hex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        let plaintext = b"some payload that spans more than one 64-byte chacha block to exercise the chunk loop properly".to_vec();
+        let mut buf = plaintext.clone();
+        xor_keystream(&key, &nonce, 0, &mut buf).unwrap();
+        assert_ne!(buf, plaintext);
+        xor_keystream(&key, &nonce, 0, &mut buf).unwrap();
+        assert_eq!(buf, plaintext);
+    }
+
+    #[test]
+    fn counter_overflow_rejected() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        let mut data = vec![0u8; 128];
+        assert_eq!(
+            xor_keystream(&key, &nonce, u32::MAX, &mut data),
+            Err(CryptoError::NonceExhausted)
+        );
+    }
+
+    #[test]
+    fn empty_data_is_noop() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut data: Vec<u8> = vec![];
+        xor_keystream(&key, &nonce, 0, &mut data).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn different_counters_differ() {
+        let key = [7u8; 32];
+        let nonce = [8u8; 12];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        xor_keystream(&key, &nonce, 0, &mut a).unwrap();
+        xor_keystream(&key, &nonce, 1, &mut b).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,46 @@
+//! Constant-time comparison helpers.
+//!
+//! Tag and key comparisons must not leak the position of the first
+//! differing byte through timing; [`ct_eq`] compares in time dependent
+//! only on the input lengths.
+
+/// Compares two byte slices in constant time (with respect to content).
+///
+/// Returns `false` immediately when the lengths differ — length is
+/// public information for every use in this workspace (tags and keys
+/// have fixed, known sizes).
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Reduce without branching on the accumulated difference.
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"same bytes", b"same bytes"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn unequal_content() {
+        assert!(!ct_eq(b"same bytes", b"same bytez"));
+        assert!(!ct_eq(b"xame bytes", b"same bytes"));
+    }
+
+    #[test]
+    fn unequal_length() {
+        assert!(!ct_eq(b"short", b"longer slice"));
+        assert!(!ct_eq(b"a", b""));
+    }
+}

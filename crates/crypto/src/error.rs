@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for all fallible cryptographic operations in this crate.
+///
+/// Decryption failures deliberately carry no detail beyond the variant:
+/// distinguishing "bad tag" from "bad ciphertext structure" to an
+/// adversary is a classic padding-oracle-shaped mistake, and the LCM
+/// protocol treats every authentication failure identically (it halts,
+/// accusing the server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An authentication tag did not verify, or a ciphertext was
+    /// malformed (truncated, wrong framing).
+    AuthenticationFailed,
+    /// Key material had the wrong length for the requested primitive.
+    InvalidKeyLength {
+        /// The length required by the primitive, in bytes.
+        expected: usize,
+        /// The length that was actually supplied.
+        actual: usize,
+    },
+    /// A nonce or counter would repeat, which would be catastrophic for
+    /// the stream cipher; the caller must rotate keys first.
+    NonceExhausted,
+    /// Requested output length is out of range for the primitive
+    /// (e.g. HKDF limits expansion to 255 blocks).
+    OutputLengthInvalid,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => {
+                write!(f, "authentication failed")
+            }
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::NonceExhausted => write!(f, "nonce space exhausted"),
+            CryptoError::OutputLengthInvalid => {
+                write!(f, "requested output length is invalid")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}

@@ -1,0 +1,51 @@
+//! Cryptographic substrate for the LCM reproduction.
+//!
+//! The LCM protocol (Brandenburger et al., DSN 2017) assumes three
+//! primitives and nothing else:
+//!
+//! * a collision-resistant hash `hash()` — the paper uses SHA-256,
+//!   implemented here in [`sha256`];
+//! * authenticated encryption `auth-encrypt`/`auth-decrypt` — the paper
+//!   uses AES-GCM-128; we provide an equivalent AEAD built from ChaCha20
+//!   (RFC 7539 block function) with an HMAC-SHA-256 tag in
+//!   encrypt-then-MAC composition, see [`aead`];
+//! * a secure random generator for key material, see [`keys`].
+//!
+//! All primitives are implemented from scratch so that the trusted
+//! execution environment simulator stays fully self-contained and
+//! deterministic. Each primitive is validated against published test
+//! vectors (FIPS 180-4, RFC 4231, RFC 5869, RFC 7539) in its module
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use lcm_crypto::aead::{self, AeadKey};
+//! use lcm_crypto::keys::SecretKey;
+//!
+//! # fn main() -> Result<(), lcm_crypto::CryptoError> {
+//! let key = AeadKey::from_secret(&SecretKey::from_bytes([7u8; 32]));
+//! let sealed = aead::auth_encrypt(&key, b"operation payload", b"context")?;
+//! let opened = aead::auth_decrypt(&key, &sealed, b"context")?;
+//! assert_eq!(opened, b"operation payload");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod hkdf;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+
+mod error;
+
+pub use error::CryptoError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CryptoError>;

@@ -1,0 +1,95 @@
+//! Property-based tests over the cryptographic primitives.
+
+use lcm_crypto::aead::{self, AeadKey};
+use lcm_crypto::chacha20;
+use lcm_crypto::hkdf;
+use lcm_crypto::keys::SecretKey;
+use lcm_crypto::sha256::{self, Sha256};
+use proptest::prelude::*;
+
+fn arb_key() -> impl Strategy<Value = SecretKey> {
+    any::<[u8; 32]>().prop_map(SecretKey::from_bytes)
+}
+
+proptest! {
+    /// Hashing in one shot equals hashing over arbitrary chunkings.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                 splits in proptest::collection::vec(0usize..2048, 0..8)) {
+        let oneshot = sha256::digest(&data);
+        let mut hasher = Sha256::new();
+        let mut cursor = 0usize;
+        let mut points: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+        points.sort_unstable();
+        for p in points {
+            if p > cursor {
+                hasher.update(&data[cursor..p]);
+                cursor = p;
+            }
+        }
+        hasher.update(&data[cursor..]);
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// digest_parts over any partition equals digest of the concatenation.
+    #[test]
+    fn sha256_parts_invariant(parts in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..128), 0..8)) {
+        let concat: Vec<u8> = parts.iter().flatten().copied().collect();
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        prop_assert_eq!(sha256::digest_parts(&refs), sha256::digest(&concat));
+    }
+
+    /// AEAD roundtrip succeeds for arbitrary payload/AAD.
+    #[test]
+    fn aead_roundtrip(master in arb_key(),
+                      plaintext in proptest::collection::vec(any::<u8>(), 0..1024),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let key = AeadKey::from_secret(&master);
+        let sealed = aead::auth_encrypt(&key, &plaintext, &aad).unwrap();
+        prop_assert_eq!(aead::auth_decrypt(&key, &sealed, &aad).unwrap(), plaintext);
+    }
+
+    /// Any single-bit flip anywhere in the sealed blob is detected.
+    #[test]
+    fn aead_bitflip_detected(master in arb_key(),
+                             plaintext in proptest::collection::vec(any::<u8>(), 1..256),
+                             bit in 0usize..4096) {
+        let key = AeadKey::from_secret(&master);
+        let mut sealed = aead::auth_encrypt(&key, &plaintext, b"aad").unwrap();
+        let bit = bit % (sealed.len() * 8);
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(aead::auth_decrypt(&key, &sealed, b"aad").is_err());
+    }
+
+    /// Decryption under a different key always fails.
+    #[test]
+    fn aead_wrong_key_fails(k1 in arb_key(), k2 in arb_key(),
+                            plaintext in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(k1 != k2);
+        let sealed = aead::auth_encrypt(&AeadKey::from_secret(&k1), &plaintext, b"").unwrap();
+        prop_assert!(aead::auth_decrypt(&AeadKey::from_secret(&k2), &sealed, b"").is_err());
+    }
+
+    /// ChaCha20 is an involution: applying the keystream twice restores
+    /// the plaintext.
+    #[test]
+    fn chacha20_involution(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                           data in proptest::collection::vec(any::<u8>(), 0..512),
+                           counter in 0u32..1000) {
+        let mut buf = data.clone();
+        chacha20::xor_keystream(&key, &nonce, counter, &mut buf).unwrap();
+        chacha20::xor_keystream(&key, &nonce, counter, &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    /// HKDF key derivation is injective over labels in practice: distinct
+    /// info labels yield distinct keys.
+    #[test]
+    fn hkdf_label_separation(root in arb_key(), a in ".{1,32}", b in ".{1,32}") {
+        prop_assume!(a != b);
+        let ka = hkdf::derive_key(&root, b"salt", a.as_bytes());
+        let kb = hkdf::derive_key(&root, b"salt", b.as_bytes());
+        prop_assert_ne!(ka, kb);
+    }
+}

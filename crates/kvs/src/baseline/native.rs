@@ -1,0 +1,163 @@
+//! The unprotected native KVS baseline.
+
+use std::sync::Arc;
+
+use lcm_core::functionality::Functionality;
+use lcm_storage::StableStorage;
+
+use crate::ops::{KvOp, KvResult};
+use crate::store::KvStore;
+
+/// Storage slot the native server persists its snapshot under.
+pub const SLOT_NATIVE_STATE: &str = "native.state";
+
+/// The paper's "Native" baseline: the same KVS with no enclave, no
+/// sealing, no protocol metadata. Transport security (Stunnel in the
+/// paper) lives outside the server; persistence is a plain snapshot.
+///
+/// # Example
+///
+/// ```
+/// use lcm_kvs::baseline::NativeKvsServer;
+/// use lcm_kvs::ops::{KvOp, KvResult};
+/// use lcm_storage::MemoryStorage;
+/// use std::sync::Arc;
+///
+/// let mut server = NativeKvsServer::new(Arc::new(MemoryStorage::new()));
+/// let result = server.handle(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+/// assert_eq!(result, KvResult::Stored);
+/// ```
+pub struct NativeKvsServer {
+    store: KvStore,
+    storage: Arc<dyn StableStorage>,
+    ops_since_persist: usize,
+    /// Persist after this many mutations (1 = per-op persistence).
+    persist_every: usize,
+}
+
+impl std::fmt::Debug for NativeKvsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeKvsServer")
+            .field("objects", &self.store.len())
+            .finish()
+    }
+}
+
+impl NativeKvsServer {
+    /// Creates a server persisting snapshots to `storage` after every
+    /// mutation.
+    pub fn new(storage: Arc<dyn StableStorage>) -> Self {
+        Self::with_persist_interval(storage, 1)
+    }
+
+    /// Creates a server persisting after every `persist_every`
+    /// mutations (coarser persistence, like async snapshotting).
+    pub fn with_persist_interval(storage: Arc<dyn StableStorage>, persist_every: usize) -> Self {
+        NativeKvsServer {
+            store: KvStore::default(),
+            storage,
+            ops_since_persist: 0,
+            persist_every: persist_every.max(1),
+        }
+    }
+
+    /// Executes one operation.
+    pub fn handle(&mut self, op: &KvOp) -> KvResult {
+        let result = self.store.apply(op);
+        if !matches!(op, KvOp::Get(_)) {
+            self.ops_since_persist += 1;
+            if self.ops_since_persist >= self.persist_every {
+                let _ = self.storage.store(SLOT_NATIVE_STATE, &self.store.snapshot());
+                self.ops_since_persist = 0;
+            }
+        }
+        result
+    }
+
+    /// Recovers the store from the persisted snapshot (crash restart).
+    pub fn recover(&mut self) {
+        if let Ok(Some(snapshot)) = self.storage.load(SLOT_NATIVE_STATE) {
+            let _ = self.store.restore(&snapshot);
+        } else {
+            self.store = KvStore::default();
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcm_storage::MemoryStorage;
+
+    #[test]
+    fn basic_ops() {
+        let mut s = NativeKvsServer::new(Arc::new(MemoryStorage::new()));
+        assert_eq!(s.handle(&KvOp::Get(b"k".to_vec())), KvResult::Value(None));
+        s.handle(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        assert_eq!(
+            s.handle(&KvOp::Get(b"k".to_vec())),
+            KvResult::Value(Some(b"v".to_vec()))
+        );
+    }
+
+    #[test]
+    fn recovery_restores_state() {
+        let storage = Arc::new(MemoryStorage::new());
+        let mut s = NativeKvsServer::new(storage.clone());
+        s.handle(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        // "Crash": new server over the same storage.
+        let mut s2 = NativeKvsServer::new(storage);
+        assert!(s2.is_empty());
+        s2.recover();
+        assert_eq!(
+            s2.handle(&KvOp::Get(b"k".to_vec())),
+            KvResult::Value(Some(b"v".to_vec()))
+        );
+    }
+
+    #[test]
+    fn native_has_no_rollback_protection() {
+        // The defining weakness: after a rollback of storage, the
+        // native server silently serves stale data.
+        let storage = Arc::new(lcm_storage::RollbackStorage::new());
+        let mut s = NativeKvsServer::new(storage.clone());
+        s.handle(&KvOp::Put(b"balance".to_vec(), b"100".to_vec()));
+        s.handle(&KvOp::Put(b"balance".to_vec(), b"0".to_vec()));
+
+        storage.set_mode(lcm_storage::AdversaryMode::ServeVersion(
+            lcm_storage::Version(0),
+        ));
+        let mut rolled_back = NativeKvsServer::new(storage);
+        rolled_back.recover();
+        // Stale balance accepted with no error — the attack succeeds.
+        assert_eq!(
+            rolled_back.handle(&KvOp::Get(b"balance".to_vec())),
+            KvResult::Value(Some(b"100".to_vec()))
+        );
+    }
+
+    #[test]
+    fn persist_interval_batches_snapshots() {
+        let storage = Arc::new(MemoryStorage::new());
+        let mut s = NativeKvsServer::with_persist_interval(storage.clone(), 10);
+        for i in 0..5u8 {
+            s.handle(&KvOp::Put(vec![i], vec![i]));
+        }
+        // Below the interval: nothing persisted yet.
+        assert_eq!(storage.load(SLOT_NATIVE_STATE).unwrap(), None);
+        for i in 5..10u8 {
+            s.handle(&KvOp::Put(vec![i], vec![i]));
+        }
+        assert!(storage.load(SLOT_NATIVE_STATE).unwrap().is_some());
+    }
+}

@@ -1,0 +1,221 @@
+//! KVS operation and result wire formats.
+
+use lcm_core::codec::{CodecError, Reader, WireCodec, Writer};
+
+/// A key-value store operation (the paper's GET/PUT/DEL client
+/// interface, §5.3, extended with ordered scans so YCSB workload E
+/// runs natively).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Read the value under a key.
+    Get(Vec<u8>),
+    /// Store a value under a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete a key.
+    Del(Vec<u8>),
+    /// Read up to `limit` records in key order starting at `start`
+    /// (inclusive).
+    Scan {
+        /// First key of the range (inclusive).
+        start: Vec<u8>,
+        /// Maximum number of records returned.
+        limit: u32,
+    },
+}
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const OP_DEL: u8 = 3;
+const OP_SCAN: u8 = 4;
+
+impl KvOp {
+    /// The key this operation touches (the range start, for scans).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            KvOp::Get(k) | KvOp::Del(k) => k,
+            KvOp::Put(k, _) => k,
+            KvOp::Scan { start, .. } => start,
+        }
+    }
+}
+
+impl WireCodec for KvOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            KvOp::Get(key) => {
+                w.put_u8(OP_GET);
+                w.put_raw(key);
+            }
+            KvOp::Put(key, value) => {
+                w.put_u8(OP_PUT);
+                w.put_bytes(key);
+                w.put_raw(value);
+            }
+            KvOp::Del(key) => {
+                w.put_u8(OP_DEL);
+                w.put_raw(key);
+            }
+            KvOp::Scan { start, limit } => {
+                w.put_u8(OP_SCAN);
+                w.put_u32(*limit);
+                w.put_raw(start);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            OP_GET => Ok(KvOp::Get(r.get_rest().to_vec())),
+            OP_PUT => {
+                let key = r.get_bytes()?.to_vec();
+                Ok(KvOp::Put(key, r.get_rest().to_vec()))
+            }
+            OP_DEL => Ok(KvOp::Del(r.get_rest().to_vec())),
+            OP_SCAN => {
+                let limit = r.get_u32()?;
+                Ok(KvOp::Scan {
+                    limit,
+                    start: r.get_rest().to_vec(),
+                })
+            }
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+/// The result of a [`KvOp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResult {
+    /// GET result: the value, or `None` if the key is absent.
+    Value(Option<Vec<u8>>),
+    /// PUT acknowledged.
+    Stored,
+    /// DEL result: whether the key existed.
+    Deleted(bool),
+    /// SCAN result: key/value pairs in key order.
+    Range(Vec<(Vec<u8>, Vec<u8>)>),
+    /// The operation was malformed.
+    Malformed,
+}
+
+const RES_NONE: u8 = 1;
+const RES_VALUE: u8 = 2;
+const RES_STORED: u8 = 3;
+const RES_DELETED: u8 = 4;
+const RES_MALFORMED: u8 = 5;
+const RES_RANGE: u8 = 6;
+
+impl WireCodec for KvResult {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            KvResult::Value(None) => w.put_u8(RES_NONE),
+            KvResult::Value(Some(v)) => {
+                w.put_u8(RES_VALUE);
+                w.put_raw(v);
+            }
+            KvResult::Stored => w.put_u8(RES_STORED),
+            KvResult::Deleted(existed) => {
+                w.put_u8(RES_DELETED);
+                w.put_bool(*existed);
+            }
+            KvResult::Range(pairs) => {
+                w.put_u8(RES_RANGE);
+                w.put_u32(pairs.len() as u32);
+                for (k, v) in pairs {
+                    w.put_bytes(k);
+                    w.put_bytes(v);
+                }
+            }
+            KvResult::Malformed => w.put_u8(RES_MALFORMED),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            RES_NONE => Ok(KvResult::Value(None)),
+            RES_VALUE => Ok(KvResult::Value(Some(r.get_rest().to_vec()))),
+            RES_STORED => Ok(KvResult::Stored),
+            RES_DELETED => Ok(KvResult::Deleted(r.get_bool()?)),
+            RES_RANGE => {
+                let n = r.get_u32()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    let k = r.get_bytes()?.to_vec();
+                    let v = r.get_bytes()?.to_vec();
+                    pairs.push((k, v));
+                }
+                Ok(KvResult::Range(pairs))
+            }
+            RES_MALFORMED => Ok(KvResult::Malformed),
+            other => Err(CodecError::InvalidTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_roundtrips() {
+        let ops = vec![
+            KvOp::Get(b"key".to_vec()),
+            KvOp::Put(b"key".to_vec(), b"value".to_vec()),
+            KvOp::Del(b"key".to_vec()),
+            KvOp::Get(vec![]),
+            KvOp::Put(vec![], vec![]),
+            KvOp::Scan {
+                start: b"user".to_vec(),
+                limit: 50,
+            },
+        ];
+        for op in ops {
+            assert_eq!(KvOp::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn result_roundtrips() {
+        let results = vec![
+            KvResult::Value(None),
+            KvResult::Value(Some(b"v".to_vec())),
+            KvResult::Value(Some(vec![])),
+            KvResult::Stored,
+            KvResult::Deleted(true),
+            KvResult::Deleted(false),
+            KvResult::Range(vec![]),
+            KvResult::Range(vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), vec![])]),
+            KvResult::Malformed,
+        ];
+        for res in results {
+            assert_eq!(KvResult::from_bytes(&res.to_bytes()).unwrap(), res);
+        }
+    }
+
+    #[test]
+    fn key_accessor() {
+        assert_eq!(KvOp::Get(b"a".to_vec()).key(), b"a");
+        assert_eq!(KvOp::Put(b"b".to_vec(), b"v".to_vec()).key(), b"b");
+        assert_eq!(KvOp::Del(b"c".to_vec()).key(), b"c");
+    }
+
+    #[test]
+    fn put_encoding_is_compact() {
+        // tag + keylen(4) + key + value, no value length prefix.
+        let op = KvOp::Put(vec![0; 40], vec![0; 100]);
+        assert_eq!(op.to_bytes().len(), 1 + 4 + 40 + 100);
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(KvOp::from_bytes(&[0x7f]).is_err());
+        assert!(KvResult::from_bytes(&[0x7f]).is_err());
+    }
+
+    #[test]
+    fn empty_value_distinct_from_absent() {
+        let present = KvResult::Value(Some(vec![]));
+        let absent = KvResult::Value(None);
+        assert_ne!(present.to_bytes(), absent.to_bytes());
+    }
+}

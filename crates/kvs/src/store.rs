@@ -1,0 +1,219 @@
+//! The in-enclave key-value store: the functionality `F`.
+
+use std::collections::BTreeMap;
+
+use lcm_core::codec::{CodecError, Reader, WireCodec, Writer};
+use lcm_core::functionality::Functionality;
+use lcm_tee::epc::MapMemoryModel;
+
+use crate::ops::{KvOp, KvResult};
+
+/// An ordered-map key-value store implementing the LCM
+/// [`Functionality`] interface.
+///
+/// The paper's prototype stores `std::map<std::string, std::string>`
+/// inside the enclave (§5.3) — an ordered red-black tree. `BTreeMap`
+/// is the Rust analogue; its per-object bookkeeping is accounted by
+/// the [`MapMemoryModel`] so that [`Functionality::heap_bytes`] feeds
+/// the §6.2 EPC paging model faithfully.
+///
+/// # Example
+///
+/// ```
+/// use lcm_core::codec::WireCodec;
+/// use lcm_core::functionality::Functionality;
+/// use lcm_kvs::ops::{KvOp, KvResult};
+/// use lcm_kvs::store::KvStore;
+///
+/// let mut store = KvStore::default();
+/// let result = store.exec(&KvOp::Put(b"k".to_vec(), b"v".to_vec()).to_bytes());
+/// assert_eq!(KvResult::from_bytes(&result).unwrap(), KvResult::Stored);
+/// let result = store.exec(&KvOp::Get(b"k".to_vec()).to_bytes());
+/// assert_eq!(
+///     KvResult::from_bytes(&result).unwrap(),
+///     KvResult::Value(Some(b"v".to_vec()))
+/// );
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    memory_model: MemoryModelWrapper,
+}
+
+/// Wrapper so `KvStore` can derive `PartialEq` while carrying the
+/// memory model configuration.
+#[derive(Debug, Clone, Copy)]
+struct MemoryModelWrapper(MapMemoryModel);
+
+impl Default for MemoryModelWrapper {
+    fn default() -> Self {
+        MemoryModelWrapper(MapMemoryModel::default())
+    }
+}
+
+impl PartialEq for MemoryModelWrapper {
+    fn eq(&self, _other: &Self) -> bool {
+        true // configuration, not state
+    }
+}
+impl Eq for MemoryModelWrapper {}
+
+impl KvStore {
+    /// Applies a typed operation directly (in-enclave fast path; the
+    /// byte-level entry point is [`Functionality::exec`]).
+    pub fn apply(&mut self, op: &KvOp) -> KvResult {
+        match op {
+            KvOp::Get(key) => KvResult::Value(self.map.get(key).cloned()),
+            KvOp::Put(key, value) => {
+                self.map.insert(key.clone(), value.clone());
+                KvResult::Stored
+            }
+            KvOp::Del(key) => KvResult::Deleted(self.map.remove(key).is_some()),
+            KvOp::Scan { start, limit } => KvResult::Range(
+                self.map
+                    .range(start.clone()..)
+                    .take(*limit as usize)
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Direct read access for assertions.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(|v| v.as_slice())
+    }
+}
+
+impl Functionality for KvStore {
+    fn exec(&mut self, op: &[u8]) -> Vec<u8> {
+        match KvOp::from_bytes(op) {
+            Ok(op) => self.apply(&op).to_bytes(),
+            Err(_) => KvResult::Malformed.to_bytes(),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u32(self.map.len() as u32);
+        for (k, v) in &self.map {
+            w.put_bytes(k);
+            w.put_bytes(v);
+        }
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), CodecError> {
+        let mut r = Reader::new(snapshot);
+        let n = r.get_u32()? as usize;
+        let mut map = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.get_bytes()?.to_vec();
+            let v = r.get_bytes()?.to_vec();
+            map.insert(k, v);
+        }
+        r.finish()?;
+        self.map = map;
+        Ok(())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.map
+            .iter()
+            .map(|(k, v)| self.memory_model.0.bytes_per_object(k.len(), v.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_del_cycle() {
+        let mut s = KvStore::default();
+        assert_eq!(s.apply(&KvOp::Get(b"k".to_vec())), KvResult::Value(None));
+        assert_eq!(
+            s.apply(&KvOp::Put(b"k".to_vec(), b"v1".to_vec())),
+            KvResult::Stored
+        );
+        assert_eq!(
+            s.apply(&KvOp::Get(b"k".to_vec())),
+            KvResult::Value(Some(b"v1".to_vec()))
+        );
+        assert_eq!(
+            s.apply(&KvOp::Put(b"k".to_vec(), b"v2".to_vec())),
+            KvResult::Stored
+        );
+        assert_eq!(
+            s.apply(&KvOp::Get(b"k".to_vec())),
+            KvResult::Value(Some(b"v2".to_vec()))
+        );
+        assert_eq!(s.apply(&KvOp::Del(b"k".to_vec())), KvResult::Deleted(true));
+        assert_eq!(s.apply(&KvOp::Del(b"k".to_vec())), KvResult::Deleted(false));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn exec_rejects_malformed_bytes() {
+        let mut s = KvStore::default();
+        let out = s.exec(&[0xff, 0x01]);
+        assert_eq!(KvResult::from_bytes(&out).unwrap(), KvResult::Malformed);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut s = KvStore::default();
+        for i in 0..50u32 {
+            s.apply(&KvOp::Put(
+                format!("key-{i}").into_bytes(),
+                format!("value-{i}").into_bytes(),
+            ));
+        }
+        let snap = s.snapshot();
+        let mut restored = KvStore::default();
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored, s);
+        assert_eq!(restored.get(b"key-7"), Some(&b"value-7"[..]));
+    }
+
+    #[test]
+    fn restore_replaces_existing_state() {
+        let mut a = KvStore::default();
+        a.apply(&KvOp::Put(b"only-in-a".to_vec(), b"x".to_vec()));
+        let empty = KvStore::default().snapshot();
+        a.restore(&empty).unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn heap_accounting_matches_paper_scale() {
+        // §6.2: 300k objects with 40 B keys and 100 B values ≈ 93 MB.
+        // Check the per-object cost without inserting 300k entries.
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(vec![b'k'; 40], vec![b'v'; 100]));
+        let per_object = s.heap_bytes();
+        let total_300k = per_object * 300_000;
+        let mb = total_300k as f64 / 1e6;
+        assert!((85.0..=105.0).contains(&mb), "mb = {mb}");
+    }
+
+    #[test]
+    fn restore_rejects_truncated_snapshot() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let snap = s.snapshot();
+        let mut t = KvStore::default();
+        assert!(t.restore(&snap[..snap.len() - 1]).is_err());
+    }
+}

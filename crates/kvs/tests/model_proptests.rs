@@ -1,0 +1,130 @@
+//! Model-based property tests: the enclave `KvStore` must behave
+//! exactly like a reference `BTreeMap` under arbitrary op sequences,
+//! through serialization boundaries and through the full byte-level
+//! `Functionality` interface.
+
+use std::collections::BTreeMap;
+
+use lcm_core::codec::WireCodec;
+use lcm_core::functionality::Functionality;
+use lcm_kvs::ops::{KvOp, KvResult};
+use lcm_kvs::store::KvStore;
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = KvOp> {
+    let key = proptest::collection::vec(any::<u8>(), 0..8);
+    let value = proptest::collection::vec(any::<u8>(), 0..32);
+    prop_oneof![
+        3 => key.clone().prop_map(KvOp::Get),
+        3 => (key.clone(), value).prop_map(|(k, v)| KvOp::Put(k, v)),
+        1 => key.clone().prop_map(KvOp::Del),
+        1 => (key, any::<u32>()).prop_map(|(start, limit)| KvOp::Scan {
+            start,
+            limit: limit % 16,
+        }),
+    ]
+}
+
+fn reference_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &KvOp) -> KvResult {
+    match op {
+        KvOp::Get(k) => KvResult::Value(model.get(k).cloned()),
+        KvOp::Put(k, v) => {
+            model.insert(k.clone(), v.clone());
+            KvResult::Stored
+        }
+        KvOp::Del(k) => KvResult::Deleted(model.remove(k).is_some()),
+        KvOp::Scan { start, limit } => KvResult::Range(
+            model
+                .range(start.clone()..)
+                .take(*limit as usize)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    /// Typed path equals the reference model.
+    #[test]
+    fn store_matches_reference(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut store = KvStore::default();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            prop_assert_eq!(store.apply(op), reference_apply(&mut model, op));
+        }
+        prop_assert_eq!(store.len(), model.len());
+    }
+
+    /// The byte-level Functionality interface agrees with the typed
+    /// path.
+    #[test]
+    fn exec_bytes_match_typed(ops in proptest::collection::vec(arb_op(), 0..100)) {
+        let mut typed = KvStore::default();
+        let mut raw = KvStore::default();
+        for op in &ops {
+            let typed_result = typed.apply(op);
+            let raw_result = KvResult::from_bytes(&raw.exec(&op.to_bytes())).unwrap();
+            prop_assert_eq!(typed_result, raw_result);
+        }
+    }
+
+    /// Snapshot/restore at any point is transparent.
+    #[test]
+    fn snapshot_restore_any_point(
+        before in proptest::collection::vec(arb_op(), 0..60),
+        after in proptest::collection::vec(arb_op(), 0..60),
+    ) {
+        let mut direct = KvStore::default();
+        let mut checkpointed = KvStore::default();
+        for op in &before {
+            direct.apply(op);
+            checkpointed.apply(op);
+        }
+        // Round-trip through the serialization interface.
+        let snap = checkpointed.snapshot();
+        let mut restored = KvStore::default();
+        restored.restore(&snap).unwrap();
+        for op in &after {
+            prop_assert_eq!(direct.apply(op), restored.apply(op));
+        }
+        prop_assert_eq!(direct, restored);
+    }
+
+    /// Snapshots are canonical: equal stores produce identical bytes.
+    #[test]
+    fn snapshots_are_canonical(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut a = KvStore::default();
+        for op in &ops {
+            a.apply(op);
+        }
+        let snap = a.snapshot();
+        let mut b = KvStore::default();
+        b.restore(&snap).unwrap();
+        prop_assert_eq!(b.snapshot(), snap);
+    }
+
+    /// heap_bytes is monotone under inserts of fresh keys.
+    #[test]
+    fn heap_monotone_under_fresh_inserts(n in 1usize..50) {
+        let mut store = KvStore::default();
+        let mut last = store.heap_bytes();
+        for i in 0..n {
+            store.apply(&KvOp::Put(format!("key-{i}").into_bytes(), vec![0u8; 10]));
+            let now = store.heap_bytes();
+            prop_assert!(now > last);
+            last = now;
+        }
+    }
+
+    /// Malformed op bytes never panic and never mutate state.
+    #[test]
+    fn malformed_ops_are_inert(garbage in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assume!(KvOp::from_bytes(&garbage).is_err());
+        let mut store = KvStore::default();
+        store.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let snap_before = store.snapshot();
+        let result = store.exec(&garbage);
+        prop_assert_eq!(KvResult::from_bytes(&result).unwrap(), KvResult::Malformed);
+        prop_assert_eq!(store.snapshot(), snap_before);
+    }
+}

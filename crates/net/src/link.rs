@@ -1,0 +1,420 @@
+//! FIFO links with an adversarial control plane.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A message on the wire: opaque bytes (ciphertext at the protocol layer).
+pub type Wire = Vec<u8>;
+
+#[derive(Debug, Default)]
+struct LinkState {
+    /// Messages sent but not yet released by the adversary.
+    in_flight: VecDeque<Wire>,
+    /// Messages released for the receiver.
+    deliverable: VecDeque<Wire>,
+    /// When `true` (honest network), sends bypass `in_flight`.
+    auto_deliver: bool,
+}
+
+/// A unidirectional, reliable-FIFO message link.
+///
+/// In honest (auto-deliver) mode, [`LinkEnd::send`] makes the message
+/// immediately receivable in order — the correct server of the paper.
+/// In adversarial mode, sent messages park in an in-flight buffer that
+/// only the [`LinkController`] can release, drop, duplicate, tamper
+/// with, or reorder.
+///
+/// # Example
+///
+/// ```
+/// use lcm_net::Link;
+///
+/// let (tx, rx, ctl) = Link::adversarial();
+/// tx.send(b"msg-1".to_vec());
+/// assert_eq!(rx.try_recv(), None); // held by the adversary
+/// ctl.deliver_next();
+/// assert_eq!(rx.try_recv(), Some(b"msg-1".to_vec()));
+/// ```
+#[derive(Debug)]
+pub struct Link;
+
+impl Link {
+    /// Creates an honest link: messages are deliverable immediately, in
+    /// FIFO order.
+    pub fn honest() -> (LinkEnd, LinkEnd) {
+        let state = Arc::new(Mutex::new(LinkState {
+            auto_deliver: true,
+            ..LinkState::default()
+        }));
+        (
+            LinkEnd {
+                state: state.clone(),
+            },
+            LinkEnd { state },
+        )
+    }
+
+    /// Creates an adversary-controlled link: nothing is delivered until
+    /// the [`LinkController`] says so.
+    pub fn adversarial() -> (LinkEnd, LinkEnd, LinkController) {
+        let state = Arc::new(Mutex::new(LinkState::default()));
+        (
+            LinkEnd {
+                state: state.clone(),
+            },
+            LinkEnd {
+                state: state.clone(),
+            },
+            LinkController { state },
+        )
+    }
+}
+
+/// One end of a link. The same type serves as sender and receiver;
+/// protocol code only calls the direction it owns.
+#[derive(Clone)]
+pub struct LinkEnd {
+    state: Arc<Mutex<LinkState>>,
+}
+
+impl fmt::Debug for LinkEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("LinkEnd")
+            .field("in_flight", &s.in_flight.len())
+            .field("deliverable", &s.deliverable.len())
+            .field("auto_deliver", &s.auto_deliver)
+            .finish()
+    }
+}
+
+impl LinkEnd {
+    /// Sends a message into the link.
+    pub fn send(&self, msg: Wire) {
+        let mut s = self.state.lock();
+        if s.auto_deliver {
+            s.deliverable.push_back(msg);
+        } else {
+            s.in_flight.push_back(msg);
+        }
+    }
+
+    /// Receives the next deliverable message, or `None` if none is
+    /// currently released.
+    pub fn try_recv(&self) -> Option<Wire> {
+        self.state.lock().deliverable.pop_front()
+    }
+
+    /// Drains all currently deliverable messages in order.
+    pub fn drain(&self) -> Vec<Wire> {
+        let mut s = self.state.lock();
+        s.deliverable.drain(..).collect()
+    }
+}
+
+/// The adversary's handle on a link.
+///
+/// Everything the paper's malicious server can do to messages —
+/// *"intercept, modify, reorder, discard, or replay"* (§2.3) — is a
+/// method here.
+#[derive(Clone)]
+pub struct LinkController {
+    state: Arc<Mutex<LinkState>>,
+}
+
+impl fmt::Debug for LinkController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkController")
+            .field("held", &self.held())
+            .finish()
+    }
+}
+
+impl LinkController {
+    /// Number of messages currently held in flight.
+    pub fn held(&self) -> usize {
+        self.state.lock().in_flight.len()
+    }
+
+    /// Releases the oldest held message for delivery. Returns `false`
+    /// when nothing is held.
+    pub fn deliver_next(&self) -> bool {
+        let mut s = self.state.lock();
+        match s.in_flight.pop_front() {
+            Some(m) => {
+                s.deliverable.push_back(m);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases every held message, preserving FIFO order.
+    pub fn deliver_all(&self) {
+        let mut s = self.state.lock();
+        while let Some(m) = s.in_flight.pop_front() {
+            s.deliverable.push_back(m);
+        }
+    }
+
+    /// Discards the oldest held message. Returns it, if any.
+    pub fn drop_next(&self) -> Option<Wire> {
+        self.state.lock().in_flight.pop_front()
+    }
+
+    /// Duplicates the oldest held message (replay attack): after this,
+    /// the same bytes sit twice in the in-flight queue.
+    pub fn duplicate_next(&self) -> bool {
+        let mut s = self.state.lock();
+        match s.in_flight.front().cloned() {
+            Some(m) => {
+                s.in_flight.push_front(m);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-delivers a previously captured message (replay of an old
+    /// request even after the original was delivered).
+    pub fn inject(&self, msg: Wire) {
+        self.state.lock().deliverable.push_back(msg);
+    }
+
+    /// Returns a copy of the oldest held message without releasing it
+    /// (interception/eavesdropping; the bytes are ciphertext).
+    pub fn peek_next(&self) -> Option<Wire> {
+        self.state.lock().in_flight.front().cloned()
+    }
+
+    /// Applies `f` to the oldest held message (tampering).
+    pub fn tamper_next(&self, f: impl FnOnce(&mut Wire)) -> bool {
+        let mut s = self.state.lock();
+        match s.in_flight.front_mut() {
+            Some(m) => {
+                f(m);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Swaps the order of the two oldest held messages (reordering).
+    pub fn swap_front(&self) -> bool {
+        let mut s = self.state.lock();
+        if s.in_flight.len() >= 2 {
+            s.in_flight.swap(0, 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Switches the link between honest auto-delivery and adversarial
+    /// holding.
+    pub fn set_auto_deliver(&self, auto: bool) {
+        let mut s = self.state.lock();
+        s.auto_deliver = auto;
+        if auto {
+            while let Some(m) = s.in_flight.pop_front() {
+                s.deliverable.push_back(m);
+            }
+        }
+    }
+}
+
+/// A bidirectional client⇄server channel: two links plus their
+/// controllers.
+#[derive(Debug)]
+pub struct Duplex {
+    /// Client-side handle: send requests, receive replies.
+    pub client: DuplexEnd,
+    /// Server-side handle: receive requests, send replies.
+    pub server: DuplexEnd,
+    /// Adversary control over the client→server direction.
+    pub to_server: LinkController,
+    /// Adversary control over the server→client direction.
+    pub to_client: LinkController,
+}
+
+/// One side of a [`Duplex`].
+#[derive(Debug, Clone)]
+pub struct DuplexEnd {
+    tx: LinkEnd,
+    rx: LinkEnd,
+}
+
+impl DuplexEnd {
+    /// Sends a message toward the peer.
+    pub fn send(&self, msg: Wire) {
+        self.tx.send(msg);
+    }
+    /// Receives the next deliverable message from the peer, if any.
+    pub fn try_recv(&self) -> Option<Wire> {
+        self.rx.try_recv()
+    }
+    /// Drains all deliverable messages from the peer.
+    pub fn drain(&self) -> Vec<Wire> {
+        self.rx.drain()
+    }
+}
+
+impl Duplex {
+    /// Creates an adversary-controlled duplex channel.
+    pub fn adversarial() -> Duplex {
+        let (c2s_tx, c2s_rx, to_server) = Link::adversarial();
+        let (s2c_tx, s2c_rx, to_client) = Link::adversarial();
+        Duplex {
+            client: DuplexEnd {
+                tx: c2s_tx,
+                rx: s2c_rx,
+            },
+            server: DuplexEnd {
+                tx: s2c_tx,
+                rx: c2s_rx,
+            },
+            to_server,
+            to_client,
+        }
+    }
+
+    /// Creates an honest duplex channel (immediate FIFO delivery both
+    /// ways). Controllers are still returned; they have no held
+    /// messages unless auto-delivery is later disabled.
+    pub fn honest() -> Duplex {
+        let d = Duplex::adversarial();
+        d.to_server.set_auto_deliver(true);
+        d.to_client.set_auto_deliver(true);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_link_is_fifo() {
+        let (tx, rx) = Link::honest();
+        tx.send(b"1".to_vec());
+        tx.send(b"2".to_vec());
+        tx.send(b"3".to_vec());
+        assert_eq!(rx.try_recv().unwrap(), b"1");
+        assert_eq!(rx.try_recv().unwrap(), b"2");
+        assert_eq!(rx.try_recv().unwrap(), b"3");
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn adversarial_link_holds_messages() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"1".to_vec());
+        assert_eq!(rx.try_recv(), None);
+        assert_eq!(ctl.held(), 1);
+        assert!(ctl.deliver_next());
+        assert_eq!(rx.try_recv().unwrap(), b"1");
+    }
+
+    #[test]
+    fn drop_discards() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"1".to_vec());
+        tx.send(b"2".to_vec());
+        assert_eq!(ctl.drop_next().unwrap(), b"1");
+        ctl.deliver_all();
+        assert_eq!(rx.try_recv().unwrap(), b"2");
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn duplicate_replays() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"req".to_vec());
+        assert!(ctl.duplicate_next());
+        ctl.deliver_all();
+        assert_eq!(rx.try_recv().unwrap(), b"req");
+        assert_eq!(rx.try_recv().unwrap(), b"req");
+    }
+
+    #[test]
+    fn inject_replays_captured_message() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"old".to_vec());
+        let captured = ctl.peek_next().unwrap();
+        ctl.deliver_all();
+        assert_eq!(rx.try_recv().unwrap(), b"old");
+        ctl.inject(captured);
+        assert_eq!(rx.try_recv().unwrap(), b"old");
+    }
+
+    #[test]
+    fn tamper_modifies_bytes() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(vec![0u8; 4]);
+        assert!(ctl.tamper_next(|m| m[0] = 0xff));
+        ctl.deliver_all();
+        assert_eq!(rx.try_recv().unwrap(), vec![0xff, 0, 0, 0]);
+    }
+
+    #[test]
+    fn swap_reorders() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"1".to_vec());
+        tx.send(b"2".to_vec());
+        assert!(ctl.swap_front());
+        ctl.deliver_all();
+        assert_eq!(rx.try_recv().unwrap(), b"2");
+        assert_eq!(rx.try_recv().unwrap(), b"1");
+    }
+
+    #[test]
+    fn swap_requires_two_messages() {
+        let (tx, _rx, ctl) = Link::adversarial();
+        tx.send(b"1".to_vec());
+        assert!(!ctl.swap_front());
+    }
+
+    #[test]
+    fn set_auto_deliver_flushes() {
+        let (tx, rx, ctl) = Link::adversarial();
+        tx.send(b"1".to_vec());
+        ctl.set_auto_deliver(true);
+        assert_eq!(rx.try_recv().unwrap(), b"1");
+        tx.send(b"2".to_vec());
+        assert_eq!(rx.try_recv().unwrap(), b"2");
+    }
+
+    #[test]
+    fn duplex_roundtrip() {
+        let d = Duplex::honest();
+        d.client.send(b"request".to_vec());
+        assert_eq!(d.server.try_recv().unwrap(), b"request");
+        d.server.send(b"reply".to_vec());
+        assert_eq!(d.client.try_recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn duplex_adversary_controls_directions_independently() {
+        let d = Duplex::adversarial();
+        d.client.send(b"request".to_vec());
+        assert_eq!(d.server.try_recv(), None);
+        d.to_server.deliver_all();
+        assert_eq!(d.server.try_recv().unwrap(), b"request");
+        d.server.send(b"reply".to_vec());
+        assert_eq!(d.client.try_recv(), None);
+        d.to_client.deliver_all();
+        assert_eq!(d.client.try_recv().unwrap(), b"reply");
+    }
+
+    #[test]
+    fn drain_returns_all_in_order() {
+        let (tx, rx) = Link::honest();
+        tx.send(b"1".to_vec());
+        tx.send(b"2".to_vec());
+        assert_eq!(rx.drain(), vec![b"1".to_vec(), b"2".to_vec()]);
+        assert!(rx.drain().is_empty());
+    }
+}

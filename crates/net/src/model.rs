@@ -1,0 +1,74 @@
+//! Network cost model for the discrete-event simulator.
+//!
+//! The paper's testbed: 1 Gbps LAN between a client VM and the SGX
+//! server. [`NetModel`] converts message sizes into link service times
+//! so `lcm-sim` can account for network transfer in virtual time.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth model of the client⇄server network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// One-way propagation delay (LAN: tens of microseconds).
+    pub one_way_latency: Duration,
+    /// Serialization cost per byte (1 Gbps ⇒ 8 ns/byte).
+    pub ns_per_byte: f64,
+    /// Fixed per-message software overhead (syscall, TCP stack).
+    pub per_message_overhead: Duration,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel {
+            one_way_latency: Duration::from_micros(50),
+            ns_per_byte: 8.0,
+            per_message_overhead: Duration::from_micros(10),
+        }
+    }
+}
+
+impl NetModel {
+    /// Time for one message of `bytes` to travel one way.
+    pub fn one_way_cost(&self, bytes: usize) -> Duration {
+        self.one_way_latency
+            + self.per_message_overhead
+            + Duration::from_nanos((bytes as f64 * self.ns_per_byte) as u64)
+    }
+
+    /// Round-trip time for a request of `req_bytes` and a reply of
+    /// `reply_bytes`.
+    pub fn round_trip_cost(&self, req_bytes: usize, reply_bytes: usize) -> Duration {
+        self.one_way_cost(req_bytes) + self.one_way_cost(reply_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_size() {
+        let net = NetModel::default();
+        assert!(net.one_way_cost(10_000) > net.one_way_cost(100));
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_one_ways() {
+        let net = NetModel::default();
+        assert_eq!(
+            net.round_trip_cost(100, 200),
+            net.one_way_cost(100) + net.one_way_cost(200)
+        );
+    }
+
+    #[test]
+    fn gigabit_serialization_rate() {
+        let net = NetModel::default();
+        // 1 MB at 8 ns/byte ⇒ 8 ms of serialization beyond fixed costs.
+        let fixed = net.one_way_latency + net.per_message_overhead;
+        let total = net.one_way_cost(1_000_000);
+        assert_eq!(total - fixed, Duration::from_millis(8));
+    }
+}

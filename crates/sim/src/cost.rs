@@ -1,0 +1,403 @@
+//! The cost model: constants and per-server-kind service profiles.
+
+use std::time::Duration;
+
+use lcm_core::wire::{INVOKE_OVERHEAD, REPLY_OVERHEAD};
+use lcm_storage::DiskModel;
+use lcm_tee::epc::{EpcModel, MapMemoryModel};
+
+/// AEAD framing bytes (nonce + tag) added by the transport encryption
+/// of this workspace's crypto substrate.
+pub const AEAD_FRAMING: usize = 12 + 32;
+
+/// The key length used throughout the paper's evaluation.
+pub const KEY_LEN: usize = 40;
+
+/// The server variants benchmarked in Figs. 5/6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServerKind {
+    /// Unprotected KVS, Stunnel transport encryption (parallel).
+    Native,
+    /// Redis-style append-only-file KVS with group commit, Stunnel.
+    RedisTls,
+    /// SGX-sealed KVS, no rollback protection.
+    Sgx {
+        /// Operations per seal-and-store batch (1 = no batching).
+        batch: usize,
+    },
+    /// LCM-protected KVS.
+    Lcm {
+        /// Operations per seal-and-store batch (1 = no batching).
+        batch: usize,
+    },
+    /// SGX KVS gated by a trusted monotonic counter per request.
+    SgxTmc,
+}
+
+impl ServerKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            ServerKind::Native => "Native".into(),
+            ServerKind::RedisTls => "Redis TLS".into(),
+            ServerKind::Sgx { batch: 1 } => "SGX".into(),
+            ServerKind::Sgx { .. } => "SGX with batching".into(),
+            ServerKind::Lcm { batch: 1 } => "LCM".into(),
+            ServerKind::Lcm { .. } => "LCM with batching".into(),
+            ServerKind::SgxTmc => "SGX + TMC".into(),
+        }
+    }
+
+    /// All seven series of Fig. 5/6 in the paper's legend order.
+    pub fn figure5_series() -> Vec<ServerKind> {
+        vec![
+            ServerKind::Sgx { batch: 1 },
+            ServerKind::Sgx { batch: 16 },
+            ServerKind::Native,
+            ServerKind::Lcm { batch: 1 },
+            ServerKind::Lcm { batch: 16 },
+            ServerKind::RedisTls,
+            ServerKind::SgxTmc,
+        ]
+    }
+}
+
+/// Calibrated cost constants (see module docs of [`crate`] for what is
+/// calibrated vs. derived).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// One-way network latency per message (LAN + TCP + client stack).
+    pub net_one_way: Duration,
+    /// Network cost per byte (1 Gbps ⇒ 8 ns/B).
+    pub net_ns_per_byte: f64,
+    /// Stunnel encrypt/decrypt latency added per direction for
+    /// Native/Redis (parallel worker processes: latency, not a
+    /// single-threaded bottleneck).
+    pub stunnel_latency: Duration,
+    /// Single-threaded host work per request (socket recv/send, queue
+    /// management) — paid by every server kind.
+    pub host_per_op: Duration,
+    /// Native/Redis in-process work per op (map access, log append).
+    pub plain_exec: Duration,
+    /// Fixed cost of one ecall (enclave transition), per batch.
+    pub ecall_overhead: Duration,
+    /// Fixed cost of one in-enclave AEAD operation.
+    pub aead_fixed: Duration,
+    /// Per-byte in-enclave AEAD cost.
+    pub aead_ns_per_byte: f64,
+    /// In-enclave KVS operation execution (std::map access).
+    pub enclave_exec: Duration,
+    /// One SHA-256 hash-chain step (LCM only).
+    pub hash_step: Duration,
+    /// Fixed cost of sealing the state, per batch.
+    pub seal_fixed: Duration,
+    /// Per-byte sealing cost.
+    pub seal_ns_per_byte: f64,
+    /// LCM metadata premium at 100 B objects (fitted to Fig. 4:
+    /// 20.12 % throughput overhead at saturation).
+    pub lcm_premium_100: f64,
+    /// LCM metadata premium at 2500 B objects (fitted: 10.96 %).
+    pub lcm_premium_2500: f64,
+    /// TMC increment latency (paper §6.5: 60 ms measured).
+    pub tmc_increment: Duration,
+    /// Disk model for persistence costs.
+    pub disk: DiskModel,
+    /// EPC paging model (only material for the §6.2 experiment).
+    pub epc: EpcModel,
+    /// `std::map` memory accounting.
+    pub map_memory: MapMemoryModel,
+    /// Maximum ops merged into one Redis group commit.
+    pub group_commit_limit: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            net_one_way: Duration::from_micros(190),
+            net_ns_per_byte: 8.0,
+            stunnel_latency: Duration::from_micros(12),
+            host_per_op: Duration::from_micros(14),
+            plain_exec: Duration::from_micros(3),
+            ecall_overhead: Duration::from_micros(9),
+            aead_fixed: Duration::from_nanos(1_300),
+            aead_ns_per_byte: 1.2,
+            enclave_exec: Duration::from_micros(2),
+            hash_step: Duration::from_nanos(600),
+            seal_fixed: Duration::from_micros(3),
+            seal_ns_per_byte: 0.25,
+            lcm_premium_100: 0.2519,  // 1/(1-0.2012) - 1
+            lcm_premium_2500: 0.1231, // 1/(1-0.1096) - 1
+            tmc_increment: Duration::from_millis(60),
+            disk: DiskModel::default(),
+            epc: EpcModel::default(),
+            map_memory: MapMemoryModel::default(),
+            group_commit_limit: 64,
+        }
+    }
+}
+
+fn dur_mul(d: Duration, f: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * f) as u64)
+}
+
+impl CostModel {
+    /// LCM's metadata premium for a given object size, interpolated
+    /// linearly between the two fitted anchors and clamped outside.
+    pub fn lcm_premium(&self, object_size: usize) -> f64 {
+        let (x0, y0) = (100.0, self.lcm_premium_100);
+        let (x1, y1) = (2500.0, self.lcm_premium_2500);
+        let x = (object_size as f64).clamp(x0, x1);
+        y0 + (x - x0) * (y1 - y0) / (x1 - x0)
+    }
+
+    fn aead(&self, bytes: usize) -> Duration {
+        self.aead_fixed + Duration::from_nanos((bytes as f64 * self.aead_ns_per_byte) as u64)
+    }
+
+    fn seal(&self, bytes: usize) -> Duration {
+        self.seal_fixed + Duration::from_nanos((bytes as f64 * self.seal_ns_per_byte) as u64)
+    }
+
+    /// One-way network time for a message of `bytes`.
+    pub fn net_one_way(&self, bytes: usize) -> Duration {
+        self.net_one_way + Duration::from_nanos((bytes as f64 * self.net_ns_per_byte) as u64)
+    }
+
+    /// Builds the [`ServiceProfile`] for `kind` serving `record_count`
+    /// objects of `object_size` bytes, with fsync on or off.
+    ///
+    /// Message sizes: a PUT carries `key + value` plus per-protocol
+    /// metadata; a GET reply carries the value. Both directions are
+    /// averaged for the 50/50 workload-A mix.
+    pub fn profile(
+        &self,
+        kind: ServerKind,
+        record_count: usize,
+        object_size: usize,
+        fsync: bool,
+    ) -> ServiceProfile {
+        let payload_in = KEY_LEN + object_size; // PUT-shaped request
+        let payload_out = object_size; // GET-shaped reply
+        let state_bytes = record_count
+            * self
+                .map_memory
+                .bytes_per_object(KEY_LEN, object_size);
+        let heap_penalty = self.epc.access_penalty(state_bytes);
+
+        // Wire sizes per protocol.
+        let (wire_in, wire_out) = match kind {
+            ServerKind::Lcm { .. } => (
+                payload_in + INVOKE_OVERHEAD + AEAD_FRAMING,
+                payload_out + REPLY_OVERHEAD + AEAD_FRAMING,
+            ),
+            ServerKind::Sgx { .. } | ServerKind::SgxTmc => (
+                payload_in + 1 + AEAD_FRAMING,
+                payload_out + 1 + AEAD_FRAMING,
+            ),
+            // Native/Redis: TLS record framing, roughly the same size.
+            ServerKind::Native | ServerKind::RedisTls => (payload_in + 29, payload_out + 29),
+        };
+
+        match kind {
+            ServerKind::Native => ServiceProfile {
+                kind,
+                wire_in,
+                wire_out,
+                per_op: self.host_per_op + self.plain_exec,
+                per_batch: Duration::ZERO,
+                batch_limit: 1,
+                extra_latency: 2 * self.stunnel_latency,
+                disk_bytes_per_commit: state_bytes.min(1 << 16), // async snapshot page writes
+                fsync,
+                group_commit: false,
+                fsync_per_op: true,
+                tmc_per_op: Duration::ZERO,
+            },
+            ServerKind::RedisTls => ServiceProfile {
+                kind,
+                wire_in,
+                wire_out,
+                per_op: self.host_per_op + self.plain_exec,
+                per_batch: Duration::ZERO,
+                batch_limit: 1,
+                extra_latency: 2 * self.stunnel_latency,
+                // AOF appends only the op entry, not the state.
+                disk_bytes_per_commit: payload_in + 16,
+                fsync,
+                group_commit: true,
+                fsync_per_op: false,
+                tmc_per_op: Duration::ZERO,
+            },
+            ServerKind::Sgx { batch } | ServerKind::Lcm { batch } => {
+                let crypto = self.aead(wire_in) + self.aead(wire_out);
+                let exec = dur_mul(self.enclave_exec, heap_penalty);
+                let crypto_cost = crypto;
+                let exec_cost = exec;
+                let mut per_op = self.host_per_op + crypto_cost + exec_cost;
+                let mut state = state_bytes;
+                let mut per_batch = self.ecall_overhead + self.seal(state);
+                if let ServerKind::Lcm { .. } = kind {
+                    per_op += self.hash_step;
+                    // V map entries (~100 B per client, plus the cached
+                    // reply of the retry extension) enlarge the sealed
+                    // state; dominated by the KVS state itself.
+                    state += 4 * 1024;
+                    per_batch = self.ecall_overhead + self.seal(state);
+                    // Fitted metadata premium (see module docs): covers
+                    // the per-request protocol bookkeeping AND the
+                    // heavier seal (V, cached replies) that the paper's
+                    // measurements include. Applied to the whole
+                    // enclave cycle, matching the throughput overhead
+                    // Fig. 4 reports at saturation.
+                    let premium = 1.0 + self.lcm_premium(object_size);
+                    per_op = dur_mul(per_op, premium);
+                    per_batch = dur_mul(per_batch, premium);
+                }
+                ServiceProfile {
+                    kind,
+                    wire_in,
+                    wire_out,
+                    per_op,
+                    per_batch,
+                    batch_limit: batch.max(1),
+                    extra_latency: Duration::ZERO,
+                    disk_bytes_per_commit: state,
+                    fsync,
+                    group_commit: false,
+                    fsync_per_op: false,
+                    tmc_per_op: Duration::ZERO,
+                }
+            }
+            ServerKind::SgxTmc => {
+                let base = self.profile(
+                    ServerKind::Sgx { batch: 1 },
+                    record_count,
+                    object_size,
+                    fsync,
+                );
+                ServiceProfile {
+                    kind,
+                    tmc_per_op: self.tmc_increment,
+                    ..base
+                }
+            }
+        }
+    }
+}
+
+/// The per-request/per-batch costs of one server configuration, as
+/// consumed by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceProfile {
+    /// Which server this profiles.
+    pub kind: ServerKind,
+    /// Request wire size in bytes.
+    pub wire_in: usize,
+    /// Reply wire size in bytes.
+    pub wire_out: usize,
+    /// Single-threaded server work per operation.
+    pub per_op: Duration,
+    /// Single-threaded server work per batch (ecall + seal).
+    pub per_batch: Duration,
+    /// Maximum operations per batch.
+    pub batch_limit: usize,
+    /// Extra round-trip latency not serialized at the server
+    /// (Stunnel worker processes).
+    pub extra_latency: Duration,
+    /// Bytes written to disk per commit.
+    pub disk_bytes_per_commit: usize,
+    /// Whether writes are fsynced (Fig. 6) or async (Figs. 4/5).
+    pub fsync: bool,
+    /// Whether concurrent commits share one fsync (Redis group
+    /// commit).
+    pub group_commit: bool,
+    /// Whether the fsync is per operation (Native snapshots) rather
+    /// than per batch.
+    pub fsync_per_op: bool,
+    /// Trusted-monotonic-counter increment charged per operation.
+    pub tmc_per_op: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn lcm_premium_interpolates() {
+        let m = model();
+        assert!((m.lcm_premium(100) - m.lcm_premium_100).abs() < 1e-9);
+        assert!((m.lcm_premium(2500) - m.lcm_premium_2500).abs() < 1e-9);
+        let mid = m.lcm_premium(1300);
+        assert!(mid < m.lcm_premium_100 && mid > m.lcm_premium_2500);
+        // Clamped outside the anchors (within float tolerance).
+        assert!((m.lcm_premium(50) - m.lcm_premium_100).abs() < 1e-9);
+        assert!((m.lcm_premium(10_000) - m.lcm_premium_2500).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lcm_costs_more_than_sgx() {
+        let m = model();
+        for size in [100, 500, 2500] {
+            let sgx = m.profile(ServerKind::Sgx { batch: 1 }, 1000, size, false);
+            let lcm = m.profile(ServerKind::Lcm { batch: 1 }, 1000, size, false);
+            assert!(lcm.per_op > sgx.per_op, "size {size}");
+            assert!(lcm.wire_in > sgx.wire_in);
+            assert!(lcm.wire_out > sgx.wire_out);
+        }
+    }
+
+    #[test]
+    fn native_is_cheapest_per_op() {
+        let m = model();
+        let native = m.profile(ServerKind::Native, 1000, 100, false);
+        let sgx = m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false);
+        assert!(native.per_op < sgx.per_op + sgx.per_batch);
+    }
+
+    #[test]
+    fn batching_reduces_per_op_share() {
+        let m = model();
+        let unbatched = m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false);
+        let batched = m.profile(ServerKind::Sgx { batch: 16 }, 1000, 100, false);
+        assert_eq!(unbatched.per_batch, batched.per_batch);
+        assert_eq!(batched.batch_limit, 16);
+    }
+
+    #[test]
+    fn tmc_inherits_sgx_and_adds_counter() {
+        let m = model();
+        let sgx = m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false);
+        let tmc = m.profile(ServerKind::SgxTmc, 1000, 100, false);
+        assert_eq!(tmc.per_op, sgx.per_op);
+        assert_eq!(tmc.tmc_per_op, Duration::from_millis(60));
+    }
+
+    #[test]
+    fn redis_disk_is_incremental() {
+        let m = model();
+        let redis = m.profile(ServerKind::RedisTls, 1000, 100, true);
+        let sgx = m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, true);
+        assert!(redis.disk_bytes_per_commit < sgx.disk_bytes_per_commit / 10);
+        assert!(redis.group_commit);
+        assert!(!sgx.group_commit);
+    }
+
+    #[test]
+    fn epc_penalty_inflates_exec_for_huge_stores() {
+        let m = model();
+        let small = m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false);
+        let huge = m.profile(ServerKind::Sgx { batch: 1 }, 1_000_000, 100, false);
+        assert!(huge.per_op > small.per_op);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(ServerKind::Lcm { batch: 16 }.label(), "LCM with batching");
+        assert_eq!(ServerKind::Sgx { batch: 1 }.label(), "SGX");
+        assert_eq!(ServerKind::figure5_series().len(), 7);
+    }
+}

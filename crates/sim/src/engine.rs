@@ -1,0 +1,270 @@
+//! The closed-loop discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Duration;
+
+use crate::cost::ServiceProfile;
+use crate::metrics::Metrics;
+
+/// Nanoseconds of virtual time.
+type Nanos = u64;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A request from `client` arrives at the server's ingress queue.
+    Arrival { client: usize },
+    /// The server finishes the cycle serving these clients.
+    ServerDone { clients: Vec<usize> },
+}
+
+/// A closed-loop simulation: `n_clients` YCSB workers, one server
+/// described by a [`ServiceProfile`], fixed virtual duration.
+///
+/// Deterministic: service times are the profile's constants and
+/// clients have zero think time, exactly like a saturating YCSB run.
+///
+/// # Example
+///
+/// ```
+/// use lcm_sim::{CostModel, ServerKind, Simulation};
+/// use std::time::Duration;
+///
+/// let model = CostModel::default();
+/// let profile = model.profile(ServerKind::Native, 1000, 100, false);
+/// let sim = Simulation::new(profile, &model, 8, Duration::from_secs(5));
+/// let metrics = sim.run();
+/// assert!(metrics.throughput() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    profile: ServiceProfile,
+    disk: lcm_storage::DiskModel,
+    n_clients: usize,
+    duration: Nanos,
+    warmup: Nanos,
+    request_leg: Nanos,
+    reply_leg: Nanos,
+}
+
+impl Simulation {
+    /// Builds a simulation of `n_clients` closed-loop clients against
+    /// the given profile for `duration` of virtual time (the paper
+    /// measures 30-second windows; 5–30 s all give identical rates in
+    /// this deterministic engine).
+    pub fn new(
+        profile: ServiceProfile,
+        model: &crate::cost::CostModel,
+        n_clients: usize,
+        duration: Duration,
+    ) -> Self {
+        let request_leg =
+            (model.net_one_way(profile.wire_in) + profile.extra_latency / 2).as_nanos() as Nanos;
+        let reply_leg =
+            (model.net_one_way(profile.wire_out) + profile.extra_latency / 2).as_nanos() as Nanos;
+        let duration_ns = duration.as_nanos() as Nanos;
+        Simulation {
+            profile,
+            disk: model.disk,
+            n_clients: n_clients.max(1),
+            duration: duration_ns,
+            warmup: duration_ns / 10,
+            request_leg,
+            reply_leg,
+        }
+    }
+
+    fn effective_batch(&self) -> usize {
+        if self.profile.group_commit {
+            // Group commit merges whatever is queued (bounded).
+            64
+        } else {
+            self.profile.batch_limit
+        }
+    }
+
+    fn cycle_duration(&self, k: usize) -> Nanos {
+        let p = &self.profile;
+        let mut total = p.per_op * (k as u32) + p.per_batch + p.tmc_per_op * (k as u32);
+        if p.fsync {
+            let commits = if p.fsync_per_op { k } else { 1 };
+            for _ in 0..commits {
+                total += self.disk.sync_write_cost(p.disk_bytes_per_commit);
+            }
+        }
+        total.as_nanos() as Nanos
+    }
+
+    /// Runs the simulation to completion, returning measured metrics.
+    pub fn run(&self) -> Metrics {
+        let mut heap: BinaryHeap<Reverse<(Nanos, u64, Event)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, t: Nanos, e: Event, seq: &mut u64| {
+            *seq += 1;
+            heap.push(Reverse((t, *seq, e)));
+        };
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut server_busy = false;
+        let mut send_time: Vec<Nanos> = vec![0; self.n_clients];
+        let mut metrics = Metrics::new(Duration::from_nanos(self.duration - self.warmup));
+
+        // All clients fire at t=0 with a 1 µs stagger to avoid
+        // artificial phase lock.
+        for c in 0..self.n_clients {
+            let t0 = c as Nanos * 1_000;
+            send_time[c] = t0;
+            push(&mut heap, t0 + self.request_leg, Event::Arrival { client: c }, &mut seq);
+        }
+
+        while let Some(Reverse((now, _, event))) = heap.pop() {
+            if now >= self.duration {
+                break;
+            }
+            match event {
+                Event::Arrival { client } => {
+                    queue.push_back(client);
+                    if !server_busy {
+                        let k = self.effective_batch().min(queue.len());
+                        let batch: Vec<usize> = queue.drain(..k).collect();
+                        server_busy = true;
+                        push(
+                            &mut heap,
+                            now + self.cycle_duration(batch.len()),
+                            Event::ServerDone { clients: batch },
+                            &mut seq,
+                        );
+                    }
+                }
+                Event::ServerDone { clients } => {
+                    server_busy = false;
+                    for client in clients {
+                        let completion = now + self.reply_leg;
+                        if completion >= self.warmup && completion < self.duration {
+                            metrics.record(Duration::from_nanos(completion - send_time[client]));
+                        }
+                        // Closed loop: immediately send the next request.
+                        send_time[client] = completion;
+                        push(
+                            &mut heap,
+                            completion + self.request_leg,
+                            Event::Arrival { client },
+                            &mut seq,
+                        );
+                    }
+                    if !queue.is_empty() {
+                        let k = self.effective_batch().min(queue.len());
+                        let batch: Vec<usize> = queue.drain(..k).collect();
+                        server_busy = true;
+                        push(
+                            &mut heap,
+                            now + self.cycle_duration(batch.len()),
+                            Event::ServerDone { clients: batch },
+                            &mut seq,
+                        );
+                    }
+                }
+            }
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, ServerKind};
+
+    fn run(kind: ServerKind, n: usize, fsync: bool) -> Metrics {
+        let model = CostModel::default();
+        let profile = model.profile(kind, 1000, 100, fsync);
+        Simulation::new(profile, &model, n, Duration::from_secs(5)).run()
+    }
+
+    #[test]
+    fn single_client_throughput_is_rtt_bound() {
+        let m = run(ServerKind::Native, 1, false);
+        // RTT ≈ 0.43 ms ⇒ ~2.3 kops/s.
+        let x = m.throughput();
+        assert!((1_500.0..3_500.0).contains(&x), "native@1 = {x}");
+    }
+
+    #[test]
+    fn native_scales_with_clients() {
+        let x1 = run(ServerKind::Native, 1, false).throughput();
+        let x8 = run(ServerKind::Native, 8, false).throughput();
+        let x32 = run(ServerKind::Native, 32, false).throughput();
+        assert!(x8 > 6.0 * x1, "x1={x1} x8={x8}");
+        assert!(x32 > 2.5 * x8, "x8={x8} x32={x32}");
+    }
+
+    #[test]
+    fn sgx_saturates_around_eight_clients() {
+        let x8 = run(ServerKind::Sgx { batch: 1 }, 8, false).throughput();
+        let x32 = run(ServerKind::Sgx { batch: 1 }, 32, false).throughput();
+        assert!(
+            x32 < 1.15 * x8,
+            "SGX should be saturated by 8 clients: x8={x8} x32={x32}"
+        );
+    }
+
+    #[test]
+    fn lcm_is_slower_than_sgx_but_close() {
+        for n in [1usize, 8, 32] {
+            let sgx = run(ServerKind::Sgx { batch: 1 }, n, false).throughput();
+            let lcm = run(ServerKind::Lcm { batch: 1 }, n, false).throughput();
+            let ratio = lcm / sgx;
+            assert!(
+                (0.60..=1.0).contains(&ratio),
+                "LCM/SGX@{n} = {ratio:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn tmc_throughput_is_a_dozen_ops() {
+        for n in [1usize, 8, 32] {
+            let x = run(ServerKind::SgxTmc, n, false).throughput();
+            assert!((8.0..=20.0).contains(&x), "TMC@{n} = {x}");
+        }
+    }
+
+    #[test]
+    fn fsync_flattens_unbatched_variants() {
+        let x1 = run(ServerKind::Sgx { batch: 1 }, 1, true).throughput();
+        let x32 = run(ServerKind::Sgx { batch: 1 }, 32, true).throughput();
+        assert!(x32 < 1.3 * x1, "x1={x1} x32={x32}");
+        assert!(x32 < 1_000.0, "fsync-bound must be slow: {x32}");
+    }
+
+    #[test]
+    fn batching_rescues_fsync_throughput() {
+        let unbatched = run(ServerKind::Lcm { batch: 1 }, 32, true).throughput();
+        let batched = run(ServerKind::Lcm { batch: 16 }, 32, true).throughput();
+        assert!(
+            batched > 4.0 * unbatched,
+            "unbatched={unbatched} batched={batched}"
+        );
+    }
+
+    #[test]
+    fn redis_group_commit_scales_under_fsync() {
+        let x1 = run(ServerKind::RedisTls, 1, true).throughput();
+        let x32 = run(ServerKind::RedisTls, 32, true).throughput();
+        assert!(x32 > 5.0 * x1, "x1={x1} x32={x32}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(ServerKind::Lcm { batch: 16 }, 8, false).ops();
+        let b = run(ServerKind::Lcm { batch: 16 }, 8, false).ops();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn latency_increases_at_saturation() {
+        let low = run(ServerKind::Sgx { batch: 1 }, 1, false).mean_latency();
+        let high = run(ServerKind::Sgx { batch: 1 }, 32, false).mean_latency();
+        assert!(high > 2 * low, "low={low:?} high={high:?}");
+    }
+}

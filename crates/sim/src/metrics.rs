@@ -1,0 +1,166 @@
+//! Throughput and latency accounting for simulation runs.
+
+use std::time::Duration;
+
+/// Cap on retained latency samples; beyond this the collector keeps
+/// every k-th sample (deterministic decimation) so percentiles stay
+/// meaningful without unbounded memory.
+const SAMPLE_CAP: usize = 1 << 18;
+
+/// Metrics collected over a measurement window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    window: Duration,
+    ops: u64,
+    total_latency: Duration,
+    max_latency: Duration,
+    samples: Vec<Duration>,
+    stride: u64,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collector for a window of the given
+    /// length.
+    pub fn new(window: Duration) -> Self {
+        Metrics {
+            window,
+            ops: 0,
+            total_latency: Duration::ZERO,
+            max_latency: Duration::ZERO,
+            samples: Vec::new(),
+            stride: 1,
+        }
+    }
+
+    /// Records one completed operation with its end-to-end latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.ops += 1;
+        self.total_latency += latency;
+        self.max_latency = self.max_latency.max(latency);
+        if self.ops % self.stride == 0 {
+            if self.samples.len() >= SAMPLE_CAP {
+                // Decimate: keep every other retained sample, double
+                // the stride.
+                let mut keep = Vec::with_capacity(SAMPLE_CAP / 2);
+                for (i, s) in self.samples.drain(..).enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.stride *= 2;
+            }
+            self.samples.push(latency);
+        }
+    }
+
+    /// Completed operations in the window.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Throughput in operations per second.
+    pub fn throughput(&self) -> f64 {
+        if self.window.is_zero() {
+            return 0.0;
+        }
+        self.ops as f64 / self.window.as_secs_f64()
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.ops == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.ops as u32
+        }
+    }
+
+    /// Maximum observed latency.
+    pub fn max_latency(&self) -> Duration {
+        self.max_latency
+    }
+
+    /// The `p`-th latency percentile (0.0–1.0) over retained samples.
+    ///
+    /// Returns [`Duration::ZERO`] when nothing was recorded.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_from_ops_and_window() {
+        let mut m = Metrics::new(Duration::from_secs(10));
+        for _ in 0..1000 {
+            m.record(Duration::from_millis(1));
+        }
+        assert_eq!(m.ops(), 1000);
+        assert!((m.throughput() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut m = Metrics::new(Duration::from_secs(1));
+        m.record(Duration::from_millis(2));
+        m.record(Duration::from_millis(4));
+        assert_eq!(m.mean_latency(), Duration::from_millis(3));
+        assert_eq!(m.max_latency(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(Duration::from_secs(1));
+        assert_eq!(m.throughput(), 0.0);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+        assert_eq!(m.p50(), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut m = Metrics::new(Duration::from_secs(1));
+        for i in 1..=100u64 {
+            m.record(Duration::from_micros(i));
+        }
+        let p50 = m.p50().as_micros() as i64;
+        assert!((p50 - 50).abs() <= 1, "p50 = {p50}");
+        let p99 = m.p99().as_micros() as i64;
+        assert!((p99 - 99).abs() <= 1, "p99 = {p99}");
+        assert!(m.p50() <= m.p99());
+        assert!(m.p99() <= m.max_latency());
+        assert_eq!(m.percentile(0.0), Duration::from_micros(1));
+        assert_eq!(m.percentile(1.0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn decimation_keeps_percentiles_sane() {
+        let mut m = Metrics::new(Duration::from_secs(1));
+        // Far beyond the cap; uniform 1..=1000 µs distribution.
+        for i in 0..(SAMPLE_CAP * 3) {
+            m.record(Duration::from_micros((i % 1000 + 1) as u64));
+        }
+        let p50 = m.p50().as_micros() as i64;
+        assert!((p50 - 500).abs() < 50, "p50 = {p50}µs");
+        assert_eq!(m.ops(), (SAMPLE_CAP * 3) as u64);
+    }
+}

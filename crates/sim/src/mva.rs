@@ -1,0 +1,171 @@
+//! Mean-value analysis (MVA): an independent analytic cross-check of
+//! the discrete-event engine.
+//!
+//! For a closed queueing network with one FIFO server station (service
+//! demand `D` per operation) and one delay station (think/network time
+//! `Z`), exact MVA computes the throughput recursively:
+//!
+//! ```text
+//! Q(0) = 0
+//! R(i) = D · (1 + Q(i-1))        response time at the server
+//! X(i) = i / (Z + R(i))          system throughput with i clients
+//! Q(i) = X(i) · R(i)             mean queue length
+//! ```
+//!
+//! The unbatched server profiles map exactly onto this model (every
+//! operation is one service cycle), so DES and MVA must agree — a
+//! strong internal-consistency check exercised by this module's tests.
+//! Batched and group-commit servers violate the product-form
+//! assumptions and are only sanity-bounded.
+
+use std::time::Duration;
+
+use crate::cost::{CostModel, ServerKind};
+
+/// Result of an MVA evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvaPoint {
+    /// Throughput in operations per second.
+    pub throughput: f64,
+    /// Mean end-to-end response time (delay + server).
+    pub response: Duration,
+}
+
+/// Exact MVA for one queueing station with per-op demand `demand` and
+/// delay `think`, evaluated at `n` closed-loop clients.
+pub fn mva(demand: Duration, think: Duration, n: usize) -> MvaPoint {
+    let d = demand.as_secs_f64();
+    let z = think.as_secs_f64();
+    let mut q = 0.0f64;
+    let mut x = 0.0f64;
+    let mut r = d;
+    for i in 1..=n {
+        r = d * (1.0 + q);
+        x = i as f64 / (z + r);
+        q = x * r;
+    }
+    MvaPoint {
+        throughput: x,
+        response: Duration::from_secs_f64(z + r),
+    }
+}
+
+/// Evaluates an *unbatched* server kind analytically under the given
+/// cost model (paper-default workload: 1000 records, 100 B objects).
+///
+/// # Panics
+///
+/// Panics when called for a batched or group-commit kind, whose
+/// behaviour MVA does not model.
+pub fn mva_for_kind(model: &CostModel, kind: ServerKind, n_clients: usize, fsync: bool) -> MvaPoint {
+    let profile = model.profile(kind, 1000, 100, fsync);
+    assert!(
+        profile.batch_limit == 1 && !profile.group_commit,
+        "MVA models unbatched FIFO servers only"
+    );
+    let mut demand = profile.per_op + profile.per_batch + profile.tmc_per_op;
+    if profile.fsync {
+        // Unbatched: exactly one commit per operation either way.
+        demand += model.disk.sync_write_cost(profile.disk_bytes_per_commit);
+    }
+    let think = model.net_one_way(profile.wire_in)
+        + model.net_one_way(profile.wire_out)
+        + profile.extra_latency;
+    mva(demand, think, n_clients)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+
+    fn des_throughput(model: &CostModel, kind: ServerKind, n: usize, fsync: bool) -> f64 {
+        let profile = model.profile(kind, 1000, 100, fsync);
+        Simulation::new(profile, model, n, Duration::from_secs(5))
+            .run()
+            .throughput()
+    }
+
+    #[test]
+    fn mva_basics() {
+        // One client: X = 1 / (Z + D).
+        let p = mva(Duration::from_millis(1), Duration::from_millis(9), 1);
+        assert!((p.throughput - 100.0).abs() < 1e-6);
+        // Saturation: X → 1/D as n → ∞.
+        let p = mva(Duration::from_millis(1), Duration::from_millis(9), 1000);
+        assert!((p.throughput - 1000.0).abs() / 1000.0 < 0.01);
+    }
+
+    #[test]
+    fn mva_monotone_in_clients() {
+        let mut last = 0.0;
+        for n in 1..=64 {
+            let x = mva(Duration::from_micros(100), Duration::from_micros(400), n).throughput;
+            assert!(x >= last - 1e-9);
+            last = x;
+        }
+    }
+
+    #[test]
+    fn des_bounded_by_mva_and_asymptotic_bounds() {
+        // For deterministic service, exact MVA (which assumes
+        // exponential service times) is a LOWER bound on throughput,
+        // and the asymptotic bound X ≤ min(n/(Z+D), 1/D) is the UPPER
+        // bound — a deterministic closed loop pipelines perfectly up
+        // to the knee. The DES must sit between them.
+        let model = CostModel::default();
+        for kind in [
+            ServerKind::Native,
+            ServerKind::Sgx { batch: 1 },
+            ServerKind::Lcm { batch: 1 },
+        ] {
+            let profile = model.profile(kind, 1000, 100, false);
+            let d = (profile.per_op + profile.per_batch).as_secs_f64();
+            let z = (model.net_one_way(profile.wire_in)
+                + model.net_one_way(profile.wire_out)
+                + profile.extra_latency)
+                .as_secs_f64();
+            for n in [1usize, 2, 4, 8, 16, 32] {
+                let lower = mva_for_kind(&model, kind, n, false).throughput;
+                let upper = (n as f64 / (z + d)).min(1.0 / d);
+                let simulated = des_throughput(&model, kind, n, false);
+                assert!(
+                    simulated >= lower * 0.97,
+                    "{}@{n}: DES {simulated:.0} below MVA bound {lower:.0}",
+                    kind.label(),
+                );
+                assert!(
+                    simulated <= upper * 1.03,
+                    "{}@{n}: DES {simulated:.0} above asymptotic bound {upper:.0}",
+                    kind.label(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn des_matches_mva_under_fsync() {
+        let model = CostModel::default();
+        for n in [1usize, 8, 32] {
+            let analytic = mva_for_kind(&model, ServerKind::Lcm { batch: 1 }, n, true).throughput;
+            let simulated = des_throughput(&model, ServerKind::Lcm { batch: 1 }, n, true);
+            let rel = (analytic - simulated).abs() / analytic;
+            assert!(rel < 0.15, "fsync@{n}: MVA {analytic:.0} vs DES {simulated:.0}");
+        }
+    }
+
+    #[test]
+    fn des_matches_mva_for_tmc() {
+        let model = CostModel::default();
+        let analytic = mva_for_kind(&model, ServerKind::SgxTmc, 8, false).throughput;
+        let simulated = des_throughput(&model, ServerKind::SgxTmc, 8, false);
+        assert!((analytic - simulated).abs() / analytic < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbatched")]
+    fn batched_kinds_rejected() {
+        let model = CostModel::default();
+        let _ = mva_for_kind(&model, ServerKind::Lcm { batch: 16 }, 8, false);
+    }
+}

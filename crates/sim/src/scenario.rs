@@ -1,0 +1,177 @@
+//! Experiment scenarios: the parameter sweeps behind each figure.
+
+use std::time::Duration;
+
+use crate::cost::{CostModel, ServerKind};
+use crate::engine::Simulation;
+use crate::metrics::Metrics;
+
+/// One experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Which server variant to run.
+    pub kind: ServerKind,
+    /// Number of closed-loop clients.
+    pub n_clients: usize,
+    /// Number of records in the store.
+    pub record_count: usize,
+    /// Object (value) size in bytes.
+    pub object_size: usize,
+    /// Synchronous disk writes (Fig. 6) or async (Figs. 4/5).
+    pub fsync: bool,
+    /// Virtual measurement duration (paper: 30 s).
+    pub duration: Duration,
+}
+
+impl Scenario {
+    /// The paper's default configuration: 1000 records of 100 B,
+    /// async writes, 30 virtual seconds.
+    pub fn paper_default(kind: ServerKind, n_clients: usize) -> Self {
+        Scenario {
+            kind,
+            n_clients,
+            record_count: 1000,
+            object_size: 100,
+            fsync: false,
+            duration: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Runs one scenario under the given cost model.
+pub fn run_scenario(model: &CostModel, scenario: &Scenario) -> Metrics {
+    let profile = model.profile(
+        scenario.kind,
+        scenario.record_count,
+        scenario.object_size,
+        scenario.fsync,
+    );
+    Simulation::new(profile, model, scenario.n_clients, scenario.duration).run()
+}
+
+/// Fig. 4 sweep: SGX vs LCM across object sizes, 8 clients, async.
+pub fn figure4_sizes() -> Vec<usize> {
+    vec![100, 500, 1000, 1500, 2000, 2500]
+}
+
+/// Fig. 5/6 sweep: client counts.
+pub fn client_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// Runs the Fig. 4 experiment, returning
+/// `(object_size, sgx_ops_per_s, lcm_ops_per_s)` rows.
+pub fn run_figure4(model: &CostModel) -> Vec<(usize, f64, f64)> {
+    figure4_sizes()
+        .into_iter()
+        .map(|size| {
+            let mut scenario = Scenario::paper_default(ServerKind::Sgx { batch: 1 }, 8);
+            scenario.object_size = size;
+            let sgx = run_scenario(model, &scenario).throughput();
+            scenario.kind = ServerKind::Lcm { batch: 1 };
+            let lcm = run_scenario(model, &scenario).throughput();
+            (size, sgx, lcm)
+        })
+        .collect()
+}
+
+/// Runs the Fig. 5 (async) or Fig. 6 (fsync) experiment: every series
+/// over every client count. Returns `(kind, rows)` where each row is
+/// `(n_clients, ops_per_s)`.
+pub fn run_figure5_or_6(model: &CostModel, fsync: bool) -> Vec<(ServerKind, Vec<(usize, f64)>)> {
+    ServerKind::figure5_series()
+        .into_iter()
+        .map(|kind| {
+            let rows = client_counts()
+                .into_iter()
+                .map(|n| {
+                    let mut scenario = Scenario::paper_default(kind, n);
+                    scenario.fsync = fsync;
+                    (n, run_scenario(model, &scenario).throughput())
+                })
+                .collect();
+            (kind, rows)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn figure4_lcm_overhead_shrinks_with_size() {
+        let rows = run_figure4(&model());
+        let ovh = |(_, sgx, lcm): &(usize, f64, f64)| 1.0 - lcm / sgx;
+        let first = ovh(&rows[0]);
+        let last = ovh(rows.last().unwrap());
+        // Paper: 20.12% at 100 B, 10.96% at 2500 B.
+        assert!((0.12..=0.28).contains(&first), "overhead@100 = {first:.4}");
+        assert!((0.05..=0.16).contains(&last), "overhead@2500 = {last:.4}");
+        assert!(first > last, "overhead must shrink with object size");
+    }
+
+    #[test]
+    fn figure4_throughput_decreases_with_size() {
+        let rows = run_figure4(&model());
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 < pair[0].1, "SGX monotone");
+            assert!(pair[1].2 < pair[0].2, "LCM monotone");
+        }
+    }
+
+    #[test]
+    fn figure5_orderings_hold() {
+        let series = run_figure5_or_6(&model(), false);
+        let get = |kind: ServerKind| {
+            series
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, rows)| rows.clone())
+                .unwrap()
+        };
+        let native = get(ServerKind::Native);
+        let sgx = get(ServerKind::Sgx { batch: 1 });
+        let lcm = get(ServerKind::Lcm { batch: 1 });
+        let tmc = get(ServerKind::SgxTmc);
+
+        for i in 0..native.len() {
+            assert!(sgx[i].1 <= native[i].1 * 1.001, "SGX ≤ Native @{}", native[i].0);
+            assert!(lcm[i].1 <= sgx[i].1 * 1.001, "LCM ≤ SGX @{}", native[i].0);
+            assert!(tmc[i].1 < 25.0, "TMC flat @{}", native[i].0);
+        }
+        // Native keeps scaling where SGX has saturated.
+        let last = native.len() - 1;
+        assert!(native[last].1 > 2.0 * sgx[last].1);
+    }
+
+    #[test]
+    fn figure6_fsync_collapses_unbatched() {
+        let series = run_figure5_or_6(&model(), true);
+        for (kind, rows) in &series {
+            match kind {
+                ServerKind::Native | ServerKind::Sgx { batch: 1 } | ServerKind::Lcm { batch: 1 } => {
+                    let first = rows[0].1;
+                    let last = rows.last().unwrap().1;
+                    assert!(last < 1.5 * first, "{} flat under fsync", kind.label());
+                }
+                ServerKind::RedisTls => {
+                    assert!(rows.last().unwrap().1 > 4.0 * rows[0].1, "Redis scales");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_scenario() {
+        let s = Scenario::paper_default(ServerKind::Native, 4);
+        assert_eq!(s.record_count, 1000);
+        assert_eq!(s.object_size, 100);
+        assert!(!s.fsync);
+    }
+}

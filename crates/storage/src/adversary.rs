@@ -1,0 +1,287 @@
+//! Adversarial storage: the malicious server's toolbox.
+//!
+//! The paper's threat model (§2.3): *"a malicious server may still
+//! return a correctly protected but outdated state to T. We call such a
+//! consistency violation a rollback attack"*, and *"a malicious server
+//! may start multiple instances of a trusted execution context ... The
+//! malicious server might supply a different, but valid state to each
+//! trusted execution context instance"* — the forking attack.
+//!
+//! [`RollbackStorage`] implements exactly these powers over a
+//! [`VersionedStorage`] history, and [`ForkView`] gives each enclave
+//! instance its own divergent branch of that history.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::versioned::{Version, VersionedStorage};
+use crate::{Result, StableStorage};
+
+/// What the adversarial storage wrapper currently does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdversaryMode {
+    /// Behave like honest storage: serve the latest version.
+    #[default]
+    Honest,
+    /// Serve the fixed historical version on every load (rollback
+    /// attack). Stores still append to history.
+    ServeVersion(Version),
+    /// Serve the version `k` writes before the latest (sliding rollback).
+    ServeStale {
+        /// How many versions to step back from the latest.
+        steps_back: u64,
+    },
+    /// Acknowledge stores but discard them (lost-write attack — to the
+    /// enclave this later looks like a rollback).
+    DropWrites,
+    /// Freeze the visible state at the moment the mode was set: stores
+    /// are retained in history but loads keep returning what was latest
+    /// at freeze time.
+    Frozen,
+}
+
+#[derive(Debug)]
+struct RollbackInner {
+    mode: AdversaryMode,
+    /// Latest version per slot at the time `Frozen` was engaged.
+    frozen_at: std::collections::HashMap<String, Version>,
+}
+
+/// Adversarial [`StableStorage`] wrapper driven by an [`AdversaryMode`].
+///
+/// The mode can be switched at any point, modelling a server that is
+/// correct for a while and then turns malicious.
+///
+/// # Example
+///
+/// ```
+/// use lcm_storage::{AdversaryMode, RollbackStorage, StableStorage, Version};
+///
+/// # fn main() -> Result<(), lcm_storage::StorageError> {
+/// let storage = RollbackStorage::new();
+/// storage.store("state", b"v0")?;
+/// storage.store("state", b"v1")?;
+///
+/// // The server turns malicious: roll the enclave back to v0.
+/// storage.set_mode(AdversaryMode::ServeVersion(Version(0)));
+/// assert_eq!(storage.load("state")?, Some(b"v0".to_vec()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RollbackStorage {
+    history: VersionedStorage,
+    inner: Arc<RwLock<RollbackInner>>,
+}
+
+impl Default for RollbackStorage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RollbackStorage {
+    /// Creates an adversarial store starting in [`AdversaryMode::Honest`].
+    pub fn new() -> Self {
+        Self::over(VersionedStorage::new())
+    }
+
+    /// Wraps an existing history.
+    pub fn over(history: VersionedStorage) -> Self {
+        RollbackStorage {
+            history,
+            inner: Arc::new(RwLock::new(RollbackInner {
+                mode: AdversaryMode::Honest,
+                frozen_at: std::collections::HashMap::new(),
+            })),
+        }
+    }
+
+    /// Switches the adversary's behaviour.
+    pub fn set_mode(&self, mode: AdversaryMode) {
+        let mut inner = self.inner.write();
+        if let AdversaryMode::Frozen = mode {
+            // Record the current latest version of every slot.
+            let snapshot = self.history.inner.read();
+            inner.frozen_at = snapshot
+                .slots
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(k, v)| (k.clone(), Version(v.len() as u64 - 1)))
+                .collect();
+        }
+        inner.mode = mode;
+    }
+
+    /// The current adversary mode.
+    pub fn mode(&self) -> AdversaryMode {
+        self.inner.read().mode
+    }
+
+    /// The full retained history, for forking and assertions.
+    pub fn history(&self) -> &VersionedStorage {
+        &self.history
+    }
+
+    /// Creates a divergent branch view seeded from the given version of
+    /// each slot's history (see [`ForkView`]).
+    pub fn fork_at(&self, slot: &str, version: Version) -> Result<ForkView> {
+        let seed = self.history.load_version(slot, version)?;
+        let branch = VersionedStorage::new();
+        branch.store(slot, &seed)?;
+        Ok(ForkView { branch })
+    }
+}
+
+impl StableStorage for RollbackStorage {
+    fn store(&self, slot: &str, blob: &[u8]) -> Result<()> {
+        match self.inner.read().mode {
+            AdversaryMode::DropWrites => Ok(()), // silently discarded
+            _ => self.history.store(slot, blob),
+        }
+    }
+
+    fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
+        let inner = self.inner.read();
+        match inner.mode {
+            AdversaryMode::Honest | AdversaryMode::DropWrites => self.history.load(slot),
+            AdversaryMode::ServeVersion(v) => match self.history.load_version(slot, v) {
+                Ok(blob) => Ok(Some(blob)),
+                Err(_) => self.history.load(slot),
+            },
+            AdversaryMode::ServeStale { steps_back } => {
+                match self.history.latest_version(slot) {
+                    Some(Version(latest)) => {
+                        let target = Version(latest.saturating_sub(steps_back));
+                        Ok(Some(self.history.load_version(slot, target)?))
+                    }
+                    None => Ok(None),
+                }
+            }
+            AdversaryMode::Frozen => match inner.frozen_at.get(slot) {
+                Some(&v) => Ok(Some(self.history.load_version(slot, v)?)),
+                None => Ok(None),
+            },
+        }
+    }
+}
+
+/// One branch of a forked storage history.
+///
+/// A forking server seeds two (or more) views from the same historical
+/// blob and lets different enclave instances evolve them independently
+/// — each instance sees a self-consistent but mutually divergent world.
+#[derive(Debug, Clone)]
+pub struct ForkView {
+    branch: VersionedStorage,
+}
+
+impl StableStorage for ForkView {
+    fn store(&self, slot: &str, blob: &[u8]) -> Result<()> {
+        self.branch.store(slot, blob)
+    }
+    fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
+        self.branch.load(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> RollbackStorage {
+        let s = RollbackStorage::new();
+        s.store("state", b"v0").unwrap();
+        s.store("state", b"v1").unwrap();
+        s.store("state", b"v2").unwrap();
+        s
+    }
+
+    #[test]
+    fn honest_mode_serves_latest() {
+        let s = seeded();
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn serve_version_rolls_back() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ServeVersion(Version(0)));
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v0");
+        // New stores still land in history.
+        s.store("state", b"v3").unwrap();
+        s.set_mode(AdversaryMode::Honest);
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v3");
+    }
+
+    #[test]
+    fn serve_stale_steps_back_from_latest() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ServeStale { steps_back: 1 });
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v1");
+        s.store("state", b"v3").unwrap();
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn serve_stale_saturates_at_oldest() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ServeStale { steps_back: 100 });
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v0");
+    }
+
+    #[test]
+    fn drop_writes_discards_silently() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::DropWrites);
+        s.store("state", b"v3").unwrap(); // vanishes
+        s.set_mode(AdversaryMode::Honest);
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn frozen_pins_visible_state() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::Frozen);
+        s.store("state", b"v3").unwrap(); // retained but invisible
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+        s.set_mode(AdversaryMode::Honest);
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v3");
+    }
+
+    #[test]
+    fn frozen_unknown_slot_is_none() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::Frozen);
+        assert_eq!(s.load("other").unwrap(), None);
+    }
+
+    #[test]
+    fn fork_views_diverge() {
+        let s = seeded();
+        let fork_a = s.fork_at("state", Version(1)).unwrap();
+        let fork_b = s.fork_at("state", Version(1)).unwrap();
+        assert_eq!(fork_a.load("state").unwrap().unwrap(), b"v1");
+        fork_a.store("state", b"a-branch").unwrap();
+        fork_b.store("state", b"b-branch").unwrap();
+        assert_eq!(fork_a.load("state").unwrap().unwrap(), b"a-branch");
+        assert_eq!(fork_b.load("state").unwrap().unwrap(), b"b-branch");
+        // Main history is untouched by branch writes.
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn fork_at_missing_version_fails() {
+        let s = seeded();
+        assert!(s.fork_at("state", Version(17)).is_err());
+    }
+
+    #[test]
+    fn mode_accessor_reports_current_mode() {
+        let s = seeded();
+        assert_eq!(s.mode(), AdversaryMode::Honest);
+        s.set_mode(AdversaryMode::DropWrites);
+        assert_eq!(s.mode(), AdversaryMode::DropWrites);
+    }
+}

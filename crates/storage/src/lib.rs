@@ -1,0 +1,83 @@
+//! Stable storage substrate for the LCM reproduction.
+//!
+//! The paper's system model (§2.1) gives the server — and only the
+//! server — access to *stable storage* through `load` and `store`. The
+//! trusted execution context must persist its sealed state through this
+//! channel, and a **malicious server may return any correctly-sealed
+//! but outdated blob** (a rollback attack) or serve different blobs to
+//! different enclave instances (a forking attack).
+//!
+//! This crate provides:
+//!
+//! * [`StableStorage`] — the `load`/`store` trait both honest and
+//!   malicious servers implement;
+//! * [`MemoryStorage`] — an honest in-memory store;
+//! * [`FileStorage`] — an honest file-backed store (for examples that
+//!   survive process restarts);
+//! * [`VersionedStorage`] — retains every version ever stored, the
+//!   building block for adversarial behaviour;
+//! * [`RollbackStorage`] — an adversarial wrapper that can be switched
+//!   at runtime between honest operation, serving stale versions,
+//!   silently dropping writes, and freezing;
+//! * [`ForkView`] — per-branch views over one history, used to feed
+//!   divergent states to multiple enclave instances;
+//! * [`DiskModel`] — the fsync/throughput cost model used by the
+//!   discrete-event simulator for the paper's sync-vs-async experiments
+//!   (Fig. 5 vs Fig. 6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod disk;
+mod error;
+mod file;
+mod flaky;
+mod memory;
+mod versioned;
+
+pub use adversary::{AdversaryMode, ForkView, RollbackStorage};
+pub use disk::DiskModel;
+pub use error::StorageError;
+pub use file::FileStorage;
+pub use flaky::{FailureMode, FlakyStorage};
+pub use memory::MemoryStorage;
+pub use versioned::{Version, VersionedStorage};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// The `load`/`store` interface of the paper's system model.
+///
+/// Implementations may be honest (always return the most recent blob)
+/// or adversarial (return stale or divergent blobs). The trusted
+/// execution context must treat whatever `load` returns as untrusted:
+/// integrity comes from the seal, freshness cannot come from storage at
+/// all — that is the gap LCM closes.
+pub trait StableStorage: Send + Sync {
+    /// Persists `blob` under `slot`, replacing the visible version.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on I/O errors; adversarial
+    /// implementations may silently drop the write instead (that is not
+    /// an error — the caller cannot tell).
+    fn store(&self, slot: &str, blob: &[u8]) -> Result<()>;
+
+    /// Loads the blob currently visible under `slot`, or `None` if the
+    /// slot was never stored.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on I/O errors.
+    fn load(&self, slot: &str) -> Result<Option<Vec<u8>>>;
+}
+
+impl<T: StableStorage + ?Sized> StableStorage for std::sync::Arc<T> {
+    fn store(&self, slot: &str, blob: &[u8]) -> Result<()> {
+        (**self).store(slot, blob)
+    }
+    fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
+        (**self).load(slot)
+    }
+}

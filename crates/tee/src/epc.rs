@@ -1,0 +1,196 @@
+//! Enclave Page Cache (EPC) cost model.
+//!
+//! SGX v1 limits the EPC to 128 MB; once an enclave's working set
+//! exceeds the usable portion (~93 MB after system structures), the
+//! kernel driver swaps EPC pages to DRAM through the memory-encryption
+//! engine, which is expensive. Paper §6.2 measures this on the KVS:
+//!
+//! * `std::map<std::string, std::string>` imposes ≈ **134 % memory
+//!   overhead** — a 40 B key + 100 B value pair occupies ≈ 280 B of
+//!   strings plus 48 B of red-black-tree node per object (≈ 328 B total
+//!   vs the 140 B payload);
+//! * **300 000 objects ≈ 93 MB** of enclave heap, the onset of paging;
+//! * past that point operation latency rises by up to **240 %**.
+//!
+//! [`EpcModel`] turns a resident-heap size into an access-penalty
+//! multiplier, and [`MapMemoryModel`] reproduces the `std::map` heap
+//! accounting so the §6.2 experiment can be regenerated without SGX
+//! hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// Reproduction of the paper's measured `std::map` storage overhead.
+///
+/// # Example
+///
+/// ```
+/// use lcm_tee::epc::MapMemoryModel;
+///
+/// let model = MapMemoryModel::default();
+/// // Paper §6.2: 300k objects of 40 B keys / 100 B values ≈ 93 MB.
+/// let bytes = model.heap_for_objects(300_000, 40, 100);
+/// assert!((90..100).contains(&(bytes / 1_000_000)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MapMemoryModel {
+    /// Fixed allocator/string overhead added to each stored string.
+    pub per_string_overhead: usize,
+    /// Tree-node bookkeeping bytes per object (paper: 48 B).
+    pub per_node_overhead: usize,
+}
+
+impl Default for MapMemoryModel {
+    fn default() -> Self {
+        // Calibrated to the paper's numbers: a (40+100) B pair consumes
+        // ~280 B of string storage (2 strings × (payload + 70 B overhead))
+        // plus 48 B of node overhead ⇒ 328 B/object ⇒ 134% overhead and
+        // 93 MB @ 300k objects (with malloc rounding).
+        MapMemoryModel {
+            per_string_overhead: 70,
+            per_node_overhead: 48,
+        }
+    }
+}
+
+impl MapMemoryModel {
+    /// Heap bytes consumed by one stored object.
+    pub fn bytes_per_object(&self, key_len: usize, value_len: usize) -> usize {
+        let strings = key_len + value_len + 2 * self.per_string_overhead;
+        strings + self.per_node_overhead
+    }
+
+    /// Heap bytes consumed by `n` stored objects.
+    pub fn heap_for_objects(&self, n: usize, key_len: usize, value_len: usize) -> usize {
+        n * self.bytes_per_object(key_len, value_len)
+    }
+
+    /// Memory overhead factor relative to raw payload (paper: ≈ 1.34,
+    /// i.e. 134 % extra space).
+    pub fn overhead_factor(&self, key_len: usize, value_len: usize) -> f64 {
+        let payload = (key_len + value_len) as f64;
+        let total = self.bytes_per_object(key_len, value_len) as f64;
+        (total - payload) / payload
+    }
+}
+
+/// EPC paging penalty model.
+///
+/// Below the usable EPC size, accesses run at native enclave speed
+/// (penalty 1.0). Above it, the probability that an access touches a
+/// swapped page grows with the excess working set, and each miss costs a
+/// large constant factor — producing the latency knee of paper §6.2 that
+/// saturates around +240 %.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpcModel {
+    /// Total EPC size in bytes (SGX v1: 128 MB).
+    pub epc_bytes: usize,
+    /// Fraction of the EPC usable by enclave heap after SGX metadata
+    /// (≈ 93 MB / 128 MB).
+    pub usable_fraction: f64,
+    /// Latency multiplier for an access that faults on a swapped page.
+    pub miss_penalty: f64,
+}
+
+impl Default for EpcModel {
+    fn default() -> Self {
+        EpcModel {
+            epc_bytes: 128 * 1024 * 1024,
+            usable_fraction: 0.73,
+            // Calibrated so the asymptotic penalty approaches the
+            // paper's +240% (×3.4) as the miss probability approaches
+            // the uniform-access limit.
+            miss_penalty: 3.4,
+        }
+    }
+}
+
+impl EpcModel {
+    /// Usable EPC heap bytes before paging begins.
+    pub fn usable_bytes(&self) -> usize {
+        (self.epc_bytes as f64 * self.usable_fraction) as usize
+    }
+
+    /// Returns the average access-latency multiplier for an enclave
+    /// whose resident heap is `heap_bytes`, assuming uniform access.
+    ///
+    /// Is exactly `1.0` while the heap fits in the usable EPC; ramps
+    /// toward [`EpcModel::miss_penalty`] as the heap grows beyond it.
+    pub fn access_penalty(&self, heap_bytes: usize) -> f64 {
+        let usable = self.usable_bytes() as f64;
+        let heap = heap_bytes as f64;
+        if heap <= usable {
+            return 1.0;
+        }
+        // Under uniform access, the fraction of touches landing on
+        // non-resident pages is (heap - usable) / heap.
+        let miss_rate = (heap - usable) / heap;
+        1.0 + miss_rate * (self.miss_penalty - 1.0)
+    }
+
+    /// Whether a heap of `heap_bytes` triggers paging.
+    pub fn is_paging(&self, heap_bytes: usize) -> bool {
+        heap_bytes > self.usable_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_matches_paper() {
+        let model = MapMemoryModel::default();
+        let factor = model.overhead_factor(40, 100);
+        // Paper: "memory overhead of about 134%".
+        assert!((1.25..=1.45).contains(&factor), "factor = {factor}");
+    }
+
+    #[test]
+    fn three_hundred_k_objects_hit_93mb() {
+        let model = MapMemoryModel::default();
+        let bytes = model.heap_for_objects(300_000, 40, 100);
+        let mb = bytes as f64 / 1e6;
+        assert!((88.0..=100.0).contains(&mb), "mb = {mb}");
+    }
+
+    #[test]
+    fn no_penalty_below_usable_epc() {
+        let epc = EpcModel::default();
+        assert_eq!(epc.access_penalty(10 * 1024 * 1024), 1.0);
+        assert_eq!(epc.access_penalty(epc.usable_bytes()), 1.0);
+        assert!(!epc.is_paging(epc.usable_bytes()));
+    }
+
+    #[test]
+    fn penalty_kicks_in_past_usable_epc() {
+        let epc = EpcModel::default();
+        let p = epc.access_penalty(epc.usable_bytes() + 1024 * 1024);
+        assert!(p > 1.0);
+        assert!(epc.is_paging(epc.usable_bytes() + 1));
+    }
+
+    #[test]
+    fn penalty_monotone_and_bounded() {
+        let epc = EpcModel::default();
+        let mut last = 0.0f64;
+        for heap_mb in (50..2000).step_by(50) {
+            let p = epc.access_penalty(heap_mb * 1024 * 1024);
+            assert!(p >= last, "penalty must be monotone");
+            assert!(p <= epc.miss_penalty);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn paper_latency_knee_reproduced() {
+        // §6.2: latency increases by up to 240% (≈ ×3.4) for large
+        // working sets; at 1M objects the penalty should be well above
+        // baseline and approaching the cap.
+        let epc = EpcModel::default();
+        let map = MapMemoryModel::default();
+        let at_300k = epc.access_penalty(map.heap_for_objects(300_000, 40, 100));
+        let at_1m = epc.access_penalty(map.heap_for_objects(1_000_000, 40, 100));
+        assert!(at_300k <= 1.2, "at_300k = {at_300k}");
+        assert!(at_1m > 2.0, "at_1m = {at_1m}");
+    }
+}

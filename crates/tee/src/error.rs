@@ -1,0 +1,49 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for TEE simulator operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TeeError {
+    /// An ecall was issued to an enclave that is not running.
+    EnclaveNotRunning,
+    /// An enclave was started while already running.
+    EnclaveAlreadyRunning,
+    /// A quote or report failed cryptographic verification.
+    AttestationFailed(&'static str),
+    /// Sealed data failed to unseal (wrong key, wrong measurement, or
+    /// tampering).
+    UnsealFailed,
+    /// A trusted monotonic counter would overflow.
+    CounterOverflow,
+    /// Underlying cryptographic failure.
+    Crypto(lcm_crypto::CryptoError),
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::EnclaveNotRunning => write!(f, "enclave is not running"),
+            TeeError::EnclaveAlreadyRunning => write!(f, "enclave is already running"),
+            TeeError::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
+            TeeError::UnsealFailed => write!(f, "sealed blob failed to unseal"),
+            TeeError::CounterOverflow => write!(f, "trusted monotonic counter overflow"),
+            TeeError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+        }
+    }
+}
+
+impl Error for TeeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TeeError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lcm_crypto::CryptoError> for TeeError {
+    fn from(e: lcm_crypto::CryptoError) -> Self {
+        TeeError::Crypto(e)
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for the TEE simulator's security-relevant
+//! invariants.
+
+use lcm_crypto::sha256;
+use lcm_tee::attestation::QuotingEnclave;
+use lcm_tee::enclave::{Enclave, EnclaveProgram};
+use lcm_tee::measurement::Measurement;
+use lcm_tee::platform::{TeePlatform, TeeServices};
+use lcm_tee::world::TeeWorld;
+use proptest::prelude::*;
+
+struct Probe;
+impl EnclaveProgram for Probe {
+    fn measurement() -> Measurement {
+        Measurement::of_program("probe", "1")
+    }
+    fn boot(_s: TeeServices) -> Self {
+        Probe
+    }
+    fn ecall(&mut self, input: &[u8]) -> Vec<u8> {
+        input.to_vec()
+    }
+}
+
+proptest! {
+    /// Sealing keys separate cleanly: equal iff both platform and
+    /// program agree.
+    #[test]
+    fn sealing_key_separation(
+        p1 in 0u64..50, p2 in 0u64..50,
+        n1 in "[a-z]{1,8}", n2 in "[a-z]{1,8}",
+    ) {
+        let world = TeeWorld::new_deterministic(1);
+        let m1 = Measurement::of_program(&n1, "1");
+        let m2 = Measurement::of_program(&n2, "1");
+        let s1 = TeeServices::for_tests(world.platform_deterministic(p1), m1, 0);
+        let s2 = TeeServices::for_tests(world.platform_deterministic(p2), m2, 0);
+        let same = p1 == p2 && n1 == n2;
+        prop_assert_eq!(s1.sealing_key() == s2.sealing_key(), same);
+    }
+
+    /// Measurements are injective over (name, version) pairs in
+    /// practice.
+    #[test]
+    fn measurement_injective(
+        a in ("[a-z]{1,12}", "[0-9.]{1,6}"),
+        b in ("[a-z]{1,12}", "[0-9.]{1,6}"),
+    ) {
+        let ma = Measurement::of_program(&a.0, &a.1);
+        let mb = Measurement::of_program(&b.0, &b.1);
+        prop_assert_eq!(ma == mb, a == b);
+    }
+
+    /// Quote verification rejects every single-byte mutation of the
+    /// serialized report.
+    #[test]
+    fn mutated_reports_never_quote(byte in 0usize..96, flip in 1u8..=255) {
+        let world = TeeWorld::new_deterministic(2);
+        let platform = world.platform_deterministic(1);
+        let services =
+            TeeServices::for_tests(platform.clone(), Measurement::of_program("probe", "1"), 0);
+        let report = services.report(sha256::digest(b"challenge"));
+        let mut bytes = report.to_bytes();
+        bytes[byte] ^= flip;
+        let mutated = lcm_tee::attestation::Report::from_bytes(&bytes).unwrap();
+        let qe = QuotingEnclave::new(&platform);
+        prop_assert!(qe.quote(&mutated).is_err());
+    }
+
+    /// Enclave restarts always produce fresh program state, whatever
+    /// the restart schedule.
+    #[test]
+    fn restarts_always_reset(restarts in proptest::collection::vec(any::<bool>(), 1..20)) {
+        let world = TeeWorld::new_deterministic(3);
+        let platform = world.platform_deterministic(1);
+        let mut enclave = Enclave::<Probe>::create(&platform);
+        enclave.start().unwrap();
+        let mut expected_epoch = 1;
+        for restart in restarts {
+            if restart {
+                enclave.restart().unwrap();
+                expected_epoch += 1;
+            } else {
+                enclave.ecall(b"work").unwrap();
+            }
+            prop_assert_eq!(enclave.epoch(), expected_epoch);
+            prop_assert!(enclave.is_running());
+        }
+    }
+
+    /// Standalone platforms never share sealing keys with world
+    /// platforms, even at equal ids.
+    #[test]
+    fn standalone_platforms_are_isolated(id in 0u64..50) {
+        let world = TeeWorld::new_deterministic(4);
+        let m = Measurement::of_program("probe", "1");
+        let world_key =
+            TeeServices::for_tests(world.platform_deterministic(id), m, 0).sealing_key();
+        let standalone_key =
+            TeeServices::for_tests(TeePlatform::new_deterministic(id), m, 0).sealing_key();
+        prop_assert_ne!(world_key, standalone_key);
+    }
+}

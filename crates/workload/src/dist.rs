@@ -1,0 +1,263 @@
+//! Request-distribution generators, following YCSB's implementations.
+
+use rand::Rng;
+
+/// A generator of item indices in `[0, item_count)`.
+pub trait KeyChooser {
+    /// Draws the next item index.
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64;
+
+    /// Informs the chooser that the item space grew (inserts).
+    fn set_item_count(&mut self, n: u64);
+}
+
+/// Uniform distribution over the item space.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    items: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform chooser over `items` items.
+    pub fn new(items: u64) -> Self {
+        Uniform { items: items.max(1) }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        rng.gen_range(0..self.items)
+    }
+    fn set_item_count(&mut self, n: u64) {
+        self.items = n.max(1);
+    }
+}
+
+/// The YCSB scrambled-zipfian distribution.
+///
+/// Hot items are spread across the keyspace by hashing the rank, as in
+/// YCSB's `ScrambledZipfianGenerator`; the underlying rank distribution
+/// is the incremental zipfian of Gray et al. ("Quickly generating
+/// billion-record synthetic databases", SIGMOD '94) with the standard
+/// YCSB constant θ = 0.99.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    alpha: f64,
+    eta: f64,
+    scramble: bool,
+}
+
+/// YCSB's default zipfian constant.
+pub const DEFAULT_THETA: f64 = 0.99;
+
+impl Zipfian {
+    /// Creates a scrambled-zipfian chooser over `items` items with the
+    /// default θ.
+    pub fn new(items: u64) -> Self {
+        Self::with_theta(items, DEFAULT_THETA, true)
+    }
+
+    /// Creates an unscrambled zipfian (rank 0 = hottest item).
+    pub fn unscrambled(items: u64) -> Self {
+        Self::with_theta(items, DEFAULT_THETA, false)
+    }
+
+    /// Full-control constructor.
+    pub fn with_theta(items: u64, theta: f64, scramble: bool) -> Self {
+        let items = items.max(1);
+        let zeta_n = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n);
+        Zipfian {
+            items,
+            theta,
+            zeta_n,
+            alpha,
+            eta,
+            scramble,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact sum for the sizes used here (≤ a few million).
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    fn next_rank<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (spread as u64).min(self.items - 1)
+    }
+}
+
+/// FNV-1a 64-bit, YCSB's key-scrambling hash.
+pub fn fnv1a_64(value: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+impl KeyChooser for Zipfian {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let rank = self.next_rank(rng);
+        if self.scramble {
+            fnv1a_64(rank) % self.items
+        } else {
+            rank
+        }
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        let n = n.max(1);
+        if n != self.items {
+            *self = Self::with_theta(n, self.theta, self.scramble);
+        }
+    }
+}
+
+/// The "latest" distribution: like zipfian over recency — the most
+/// recently inserted items are the hottest (YCSB workload D).
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+    items: u64,
+}
+
+impl Latest {
+    /// Creates a latest-skewed chooser over `items` items.
+    pub fn new(items: u64) -> Self {
+        let items = items.max(1);
+        Latest {
+            zipf: Zipfian::with_theta(items, DEFAULT_THETA, false),
+            items,
+        }
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_index<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let back = self.zipf.next_rank(rng);
+        self.items - 1 - back.min(self.items - 1)
+    }
+
+    fn set_item_count(&mut self, n: u64) {
+        let n = n.max(1);
+        self.items = n;
+        self.zipf.set_item_count(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram<C: KeyChooser>(chooser: &mut C, items: usize, draws: usize) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut counts = vec![0usize; items];
+        for _ in 0..draws {
+            let i = chooser.next_index(&mut rng) as usize;
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_in_range_and_roughly_flat() {
+        let mut u = Uniform::new(100);
+        let counts = histogram(&mut u, 100, 100_000);
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 700 && max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut z = Zipfian::unscrambled(1000);
+        let counts = histogram(&mut z, 1000, 100_000);
+        // Rank 0 should dominate: YCSB zipfian(0.99) gives the top item
+        // several percent of all draws.
+        assert!(counts[0] > 3_000, "top item count = {}", counts[0]);
+        // And the tail should still be hit.
+        let tail_hits: usize = counts[500..].iter().sum();
+        assert!(tail_hits > 1_000, "tail hits = {tail_hits}");
+        // Monotone-ish decay between head ranks.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[100]);
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hotness() {
+        let mut z = Zipfian::new(1000);
+        let counts = histogram(&mut z, 1000, 100_000);
+        // The hottest item is no longer index 0, but SOME item is hot.
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 3_000, "hottest = {max}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let mut z = Zipfian::new(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.next_index(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut l = Latest::new(1000);
+        let counts = histogram(&mut l, 1000, 100_000);
+        // The newest item (index 999) must be the hottest region.
+        let newest: usize = counts[900..].iter().sum();
+        let oldest: usize = counts[..100].iter().sum();
+        assert!(newest > 10 * oldest.max(1), "newest={newest} oldest={oldest}");
+    }
+
+    #[test]
+    fn latest_tracks_growth() {
+        let mut l = Latest::new(10);
+        l.set_item_count(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_high = false;
+        for _ in 0..1000 {
+            if l.next_index(&mut rng) > 900 {
+                saw_high = true;
+            }
+        }
+        assert!(saw_high);
+    }
+
+    #[test]
+    fn single_item_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Uniform::new(1).next_index(&mut rng), 0);
+        assert_eq!(Zipfian::new(1).next_index(&mut rng), 0);
+        assert_eq!(Latest::new(1).next_index(&mut rng), 0);
+        // Zero clamps to one item rather than panicking.
+        assert_eq!(Uniform::new(0).next_index(&mut rng), 0);
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreading() {
+        assert_eq!(fnv1a_64(42), fnv1a_64(42));
+        assert_ne!(fnv1a_64(1), fnv1a_64(2));
+    }
+}

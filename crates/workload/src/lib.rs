@@ -1,0 +1,25 @@
+//! YCSB-style workload generation (Cooper et al., SoCC 2010).
+//!
+//! The paper's evaluation (§6.1) is driven by YCSB: *"For the
+//! evaluation we use workload A with a mix of 50/50 PUT and GET
+//! operations"*, 1000 records, 40-byte keys, value sizes from 100 to
+//! 2500 bytes. This crate reimplements the YCSB core-workload
+//! machinery needed to regenerate those experiments:
+//!
+//! * [`dist`] — request-distribution generators (uniform, zipfian with
+//!   the standard Gray et al. incremental algorithm and YCSB's hash
+//!   scrambling, latest);
+//! * [`workload`] — the core workload: key/value shaping, operation
+//!   mix, presets A–F.
+//!
+//! The generator is deliberately independent of the KVS crates: it
+//! emits abstract [`workload::WorkloadOp`]s that each consumer maps to
+//! its own operation type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod workload;
+
+pub use workload::{CoreWorkload, Mix, WorkloadConfig, WorkloadOp, WorkloadPreset};

@@ -1,0 +1,457 @@
+//! The YCSB core workload: key shaping, operation mix, presets.
+
+use rand::Rng;
+
+use crate::dist::{KeyChooser, Latest, Uniform, Zipfian};
+
+/// An abstract workload operation; consumers map these onto their
+/// store's operation type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Read one record.
+    Read(Vec<u8>),
+    /// Overwrite one record.
+    Update(Vec<u8>, Vec<u8>),
+    /// Insert a new record.
+    Insert(Vec<u8>, Vec<u8>),
+    /// Read a record, then write it back modified.
+    ReadModifyWrite(Vec<u8>, Vec<u8>),
+    /// Read up to `.1` records in key order starting at key `.0`.
+    Scan(Vec<u8>, u32),
+}
+
+impl WorkloadOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> &[u8] {
+        match self {
+            WorkloadOp::Read(k)
+            | WorkloadOp::Update(k, _)
+            | WorkloadOp::Insert(k, _)
+            | WorkloadOp::ReadModifyWrite(k, _)
+            | WorkloadOp::Scan(k, _) => k,
+        }
+    }
+
+    /// Whether this operation mutates the store.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, WorkloadOp::Read(_) | WorkloadOp::Scan(..))
+    }
+}
+
+/// Operation mix proportions (must sum to 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Fraction of reads.
+    pub read: f64,
+    /// Fraction of updates (overwrites).
+    pub update: f64,
+    /// Fraction of inserts (growing the keyspace).
+    pub insert: f64,
+    /// Fraction of read-modify-writes.
+    pub rmw: f64,
+    /// Fraction of ordered range scans (YCSB workload E).
+    pub scan: f64,
+}
+
+impl Mix {
+    fn validate(&self) -> bool {
+        let sum = self.read + self.update + self.insert + self.rmw + self.scan;
+        (sum - 1.0).abs() < 1e-9
+            && self.read >= 0.0
+            && self.update >= 0.0
+            && self.insert >= 0.0
+            && self.rmw >= 0.0
+            && self.scan >= 0.0
+    }
+}
+
+/// Request-distribution selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform over all records.
+    Uniform,
+    /// Scrambled zipfian (YCSB default).
+    Zipfian,
+    /// Skewed towards recently inserted records.
+    Latest,
+}
+
+/// The standard YCSB core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadPreset {
+    /// A — update heavy: 50/50 read/update, zipfian. (The paper's
+    /// evaluation workload.)
+    A,
+    /// B — read mostly: 95/5 read/update, zipfian.
+    B,
+    /// C — read only, zipfian.
+    C,
+    /// D — read latest: 95/5 read/insert, latest distribution.
+    D,
+    /// E — short ranges: 95/5 scan/insert, zipfian start keys,
+    /// uniform scan lengths up to 100 (the YCSB defaults).
+    E,
+    /// F — read-modify-write: 50/50 read/RMW, zipfian.
+    F,
+}
+
+/// Configuration of a [`CoreWorkload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of records loaded before the run (YCSB `recordcount`).
+    pub record_count: u64,
+    /// Key length in bytes; keys are zero-padded decimal ranks with a
+    /// `user` prefix, exactly `key_len` bytes (paper: 40-byte keys).
+    pub key_len: usize,
+    /// Value length in bytes (paper: 100 B default, up to 2500 B).
+    pub value_len: usize,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Request distribution.
+    pub distribution: Distribution,
+}
+
+impl WorkloadConfig {
+    /// The paper's evaluation configuration: workload A over 1000
+    /// records with 40-byte keys and `value_len`-byte values.
+    pub fn paper_default(value_len: usize) -> Self {
+        WorkloadConfig {
+            record_count: 1000,
+            key_len: 40,
+            value_len,
+            ..WorkloadPreset::A.config()
+        }
+    }
+}
+
+impl WorkloadPreset {
+    /// The standard configuration of this preset (1000 records, 40 B
+    /// keys, 100 B values — override fields as needed).
+    pub fn config(self) -> WorkloadConfig {
+        let (mix, distribution) = match self {
+            WorkloadPreset::A => (
+                Mix { read: 0.5, update: 0.5, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Distribution::Zipfian,
+            ),
+            WorkloadPreset::B => (
+                Mix { read: 0.95, update: 0.05, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Distribution::Zipfian,
+            ),
+            WorkloadPreset::C => (
+                Mix { read: 1.0, update: 0.0, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Distribution::Zipfian,
+            ),
+            WorkloadPreset::D => (
+                Mix { read: 0.95, update: 0.0, insert: 0.05, rmw: 0.0, scan: 0.0 },
+                Distribution::Latest,
+            ),
+            WorkloadPreset::E => (
+                Mix { read: 0.0, update: 0.0, insert: 0.05, rmw: 0.0, scan: 0.95 },
+                Distribution::Zipfian,
+            ),
+            WorkloadPreset::F => (
+                Mix { read: 0.5, update: 0.0, insert: 0.0, rmw: 0.5, scan: 0.0 },
+                Distribution::Zipfian,
+            ),
+        };
+        WorkloadConfig {
+            record_count: 1000,
+            key_len: 40,
+            value_len: 100,
+            mix,
+            distribution,
+        }
+    }
+}
+
+enum Chooser {
+    Uniform(Uniform),
+    Zipfian(Zipfian),
+    Latest(Latest),
+}
+
+impl Chooser {
+    fn next<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self {
+            Chooser::Uniform(c) => c.next_index(rng),
+            Chooser::Zipfian(c) => c.next_index(rng),
+            Chooser::Latest(c) => c.next_index(rng),
+        }
+    }
+    fn set_item_count(&mut self, n: u64) {
+        match self {
+            Chooser::Uniform(c) => c.set_item_count(n),
+            Chooser::Zipfian(c) => c.set_item_count(n),
+            Chooser::Latest(c) => c.set_item_count(n),
+        }
+    }
+}
+
+/// The YCSB core workload generator.
+///
+/// # Example
+///
+/// ```
+/// use lcm_workload::{CoreWorkload, WorkloadPreset};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut wl = CoreWorkload::new(WorkloadPreset::A.config()).unwrap();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// // Load phase: one insert per record.
+/// let load: Vec<_> = wl.load_ops().collect();
+/// assert_eq!(load.len(), 1000);
+/// // Run phase.
+/// let op = wl.next_op(&mut rng);
+/// assert_eq!(op.key().len(), 40);
+/// ```
+pub struct CoreWorkload {
+    config: WorkloadConfig,
+    chooser: Chooser,
+    record_count: u64,
+    insert_counter: u64,
+}
+
+impl std::fmt::Debug for CoreWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoreWorkload")
+            .field("config", &self.config)
+            .field("records", &self.record_count)
+            .finish()
+    }
+}
+
+impl CoreWorkload {
+    /// Creates a workload from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the mix does not sum to 1 or the key
+    /// length cannot hold the `user` prefix plus a rank.
+    pub fn new(config: WorkloadConfig) -> Result<Self, String> {
+        if !config.mix.validate() {
+            return Err("operation mix must be non-negative and sum to 1.0".into());
+        }
+        if config.key_len < 12 {
+            return Err("key_len must be at least 12 bytes".into());
+        }
+        if config.record_count == 0 {
+            return Err("record_count must be positive".into());
+        }
+        let chooser = match config.distribution {
+            Distribution::Uniform => Chooser::Uniform(Uniform::new(config.record_count)),
+            Distribution::Zipfian => Chooser::Zipfian(Zipfian::new(config.record_count)),
+            Distribution::Latest => Chooser::Latest(Latest::new(config.record_count)),
+        };
+        Ok(CoreWorkload {
+            record_count: config.record_count,
+            insert_counter: config.record_count,
+            config,
+            chooser,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Builds the key for record `rank`: `user`-prefixed, zero-padded,
+    /// exactly `key_len` bytes.
+    pub fn key_for(&self, rank: u64) -> Vec<u8> {
+        let digits = self.config.key_len - 4;
+        format!("user{rank:0>digits$}").into_bytes()
+    }
+
+    /// Generates the value for one write: `value_len` pseudo-random
+    /// printable bytes.
+    pub fn value<R: Rng>(&self, rng: &mut R) -> Vec<u8> {
+        (0..self.config.value_len)
+            .map(|_| rng.gen_range(b' '..=b'~'))
+            .collect()
+    }
+
+    /// The load phase: one insert per initial record.
+    pub fn load_ops(&self) -> impl Iterator<Item = WorkloadOp> + '_ {
+        (0..self.config.record_count).map(move |rank| {
+            // Deterministic load values keyed by rank.
+            let value = vec![b'x'; self.config.value_len];
+            WorkloadOp::Insert(self.key_for(rank), value)
+        })
+    }
+
+    /// Draws the next run-phase operation.
+    pub fn next_op<R: Rng>(&mut self, rng: &mut R) -> WorkloadOp {
+        let die: f64 = rng.gen();
+        let mix = self.config.mix;
+        let rank = self.chooser.next(rng) % self.record_count;
+        let key = self.key_for(rank);
+        if die < mix.read {
+            WorkloadOp::Read(key)
+        } else if die < mix.read + mix.update {
+            let value = self.value(rng);
+            WorkloadOp::Update(key, value)
+        } else if die < mix.read + mix.update + mix.insert {
+            let rank = self.insert_counter;
+            self.insert_counter += 1;
+            self.record_count += 1;
+            self.chooser.set_item_count(self.record_count);
+            let value = self.value(rng);
+            WorkloadOp::Insert(self.key_for(rank), value)
+        } else if die < mix.read + mix.update + mix.insert + mix.scan {
+            // YCSB default: uniform scan lengths in 1..=100.
+            WorkloadOp::Scan(key, rng.gen_range(1..=100))
+        } else {
+            let value = self.value(rng);
+            WorkloadOp::ReadModifyWrite(key, value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workload_a_mix_is_50_50() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::A.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut reads = 0;
+        let mut updates = 0;
+        for _ in 0..10_000 {
+            match wl.next_op(&mut rng) {
+                WorkloadOp::Read(_) => reads += 1,
+                WorkloadOp::Update(..) => updates += 1,
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+        assert!((4_500..=5_500).contains(&reads), "reads = {reads}");
+        assert_eq!(reads + updates, 10_000);
+    }
+
+    #[test]
+    fn workload_c_is_read_only() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::C.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(matches!(wl.next_op(&mut rng), WorkloadOp::Read(_)));
+        }
+    }
+
+    #[test]
+    fn workload_d_inserts_grow_keyspace() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::D.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            if let WorkloadOp::Insert(key, _) = wl.next_op(&mut rng) {
+                inserts += 1;
+                // New keys continue the rank sequence.
+                assert!(key.starts_with(b"user"));
+            }
+        }
+        assert!((300..=800).contains(&inserts), "inserts = {inserts}");
+        assert_eq!(wl.record_count, 1000 + inserts);
+    }
+
+    #[test]
+    fn workload_e_is_scan_heavy() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::E.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut scans = 0;
+        let mut inserts = 0;
+        for _ in 0..2_000 {
+            match wl.next_op(&mut rng) {
+                WorkloadOp::Scan(start, limit) => {
+                    scans += 1;
+                    assert!(start.starts_with(b"user"));
+                    assert!((1..=100).contains(&limit));
+                }
+                WorkloadOp::Insert(..) => inserts += 1,
+                other => panic!("unexpected op in workload E: {other:?}"),
+            }
+        }
+        assert!(scans > 1_800, "scans = {scans}");
+        assert!(inserts > 40, "inserts = {inserts}");
+    }
+
+    #[test]
+    fn workload_f_has_rmw() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::F.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let rmw = (0..1_000)
+            .filter(|_| matches!(wl.next_op(&mut rng), WorkloadOp::ReadModifyWrite(..)))
+            .count();
+        assert!((400..=600).contains(&rmw), "rmw = {rmw}");
+    }
+
+    #[test]
+    fn keys_have_exact_length() {
+        for preset in [WorkloadPreset::A, WorkloadPreset::D] {
+            let mut wl = CoreWorkload::new(preset.config()).unwrap();
+            let mut rng = StdRng::seed_from_u64(6);
+            for _ in 0..100 {
+                assert_eq!(wl.next_op(&mut rng).key().len(), 40);
+            }
+        }
+    }
+
+    #[test]
+    fn values_have_configured_length() {
+        let config = WorkloadConfig::paper_default(2500);
+        let mut wl = CoreWorkload::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        loop {
+            if let WorkloadOp::Update(_, v) = wl.next_op(&mut rng) {
+                assert_eq!(v.len(), 2500);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn load_ops_cover_all_records() {
+        let wl = CoreWorkload::new(WorkloadPreset::A.config()).unwrap();
+        let keys: std::collections::BTreeSet<Vec<u8>> =
+            wl.load_ops().map(|op| op.key().to_vec()).collect();
+        assert_eq!(keys.len(), 1000);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut bad = WorkloadPreset::A.config();
+        bad.mix.read = 0.9; // sums to 1.4
+        assert!(CoreWorkload::new(bad).is_err());
+
+        let mut bad = WorkloadPreset::A.config();
+        bad.key_len = 4;
+        assert!(CoreWorkload::new(bad).is_err());
+
+        let mut bad = WorkloadPreset::A.config();
+        bad.record_count = 0;
+        assert!(CoreWorkload::new(bad).is_err());
+    }
+
+    #[test]
+    fn zipfian_requests_are_skewed_over_keys() {
+        let mut wl = CoreWorkload::new(WorkloadPreset::A.config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts: std::collections::HashMap<Vec<u8>, usize> = Default::default();
+        for _ in 0..20_000 {
+            let op = wl.next_op(&mut rng);
+            *counts.entry(op.key().to_vec()).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 200, "hottest key hit {max} times");
+    }
+
+    #[test]
+    fn op_kind_predicates() {
+        assert!(!WorkloadOp::Read(vec![]).is_write());
+        assert!(WorkloadOp::Update(vec![], vec![]).is_write());
+        assert!(WorkloadOp::Insert(vec![], vec![]).is_write());
+        assert!(WorkloadOp::ReadModifyWrite(vec![], vec![]).is_write());
+    }
+}

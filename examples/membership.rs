@@ -1,0 +1,65 @@
+//! Dynamic group membership demo (paper §4.6.3): joining a client,
+//! then evicting one with a communication-key rotation.
+//!
+//! Run with: `cargo run --example membership`
+
+use std::sync::Arc;
+
+use lcm::core::admin::AdminHandle;
+use lcm::core::server::LcmServer;
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::store::KvStore;
+use lcm::storage::MemoryStorage;
+use lcm::tee::world::TeeWorld;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = TeeWorld::new_deterministic(55);
+    let platform = world.platform(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+    server.boot()?;
+
+    let mut admin = AdminHandle::new(&world, vec![ClientId(1), ClientId(2)], Quorum::Majority);
+    admin.bootstrap(&mut server)?;
+    let mut alice = KvsClient::new(ClientId(1), admin.client_key());
+    let mut bob = KvsClient::new(ClientId(2), admin.client_key());
+
+    alice.put(&mut server, b"team", b"alice,bob")?;
+    println!("group of 2 working; alice at seq {}", alice.lcm().last_seq());
+
+    // --- Join: the admin registers Carol and sends her kC.
+    admin.add_client(&mut server, ClientId(3))?;
+    let mut carol = KvsClient::new(ClientId(3), admin.client_key());
+    carol.put(&mut server, b"team", b"alice,bob,carol")?;
+    println!("carol joined and wrote; group is now {}", admin.clients().len());
+
+    let (_, _, n) = admin.status(&mut server)?;
+    assert_eq!(n, 3);
+
+    // Stability now needs 2 of 3: one more round from alice and bob.
+    alice.put(&mut server, b"x", b"1")?;
+    let done = bob.put(&mut server, b"y", b"2")?;
+    println!("majority-stable watermark with 3 clients: {}", done.stable);
+
+    // --- Eviction: remove Bob; kC rotates so Bob is locked out.
+    let new_kc = admin.remove_client(&mut server, ClientId(2))?;
+    println!("bob removed; communication key rotated");
+
+    // Remaining members install the new key and continue.
+    alice.lcm_mut().rotate_key(&new_kc);
+    carol.lcm_mut().rotate_key(&new_kc);
+    alice.put(&mut server, b"team", b"alice,carol")?;
+    println!("alice continues with the fresh key (seq {})", alice.lcm().last_seq());
+
+    // Bob still holds the OLD key. His message no longer authenticates:
+    // the context treats it as an attack and halts — an eviction is a
+    // security event, not a soft failure.
+    match bob.put(&mut server, b"team", b"bob-was-here") {
+        Err(e) => println!("bob's stale-key write: ✓ rejected ({e})"),
+        Ok(_) => return Err("evicted client still accepted!".into()),
+    }
+
+    println!("✓ membership flows complete");
+    Ok(())
+}

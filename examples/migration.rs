@@ -1,0 +1,92 @@
+//! Live migration demo: moving the trusted context to a new physical
+//! TEE without a trusted third party (paper §4.6.2).
+//!
+//! Run with: `cargo run --example migration`
+//!
+//! This is the capability TMC-based rollback protection cannot offer:
+//! a hardware counter is welded to one machine, but LCM's state lives
+//! in sealed storage plus client-side metadata, so the origin enclave
+//! can bootstrap its successor over an attested channel and hand over
+//! `kP`/`kC` — transparently for the clients, who keep their `(tc, hc)`
+//! context and notice nothing.
+
+use std::sync::Arc;
+
+use lcm::core::admin::AdminHandle;
+use lcm::core::server::LcmServer;
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::store::KvStore;
+use lcm::storage::MemoryStorage;
+use lcm::tee::world::TeeWorld;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = TeeWorld::new_deterministic(31);
+
+    // Origin server on platform 1.
+    let origin_platform = world.platform(1);
+    let mut origin = LcmServer::<KvStore>::new(&origin_platform, Arc::new(MemoryStorage::new()), 16);
+    origin.boot()?;
+    let mut admin = AdminHandle::new(&world, vec![ClientId(1), ClientId(2)], Quorum::Majority);
+    admin.bootstrap(&mut origin)?;
+    println!("origin enclave provisioned on {:?}", origin_platform.id());
+
+    let mut alice = KvsClient::new(ClientId(1), admin.client_key());
+    let mut bob = KvsClient::new(ClientId(2), admin.client_key());
+
+    alice.put(&mut origin, b"inventory:widgets", b"42")?;
+    bob.put(&mut origin, b"inventory:gadgets", b"7")?;
+    println!(
+        "pre-migration state built: alice at seq {}, bob at seq {}",
+        alice.lcm().last_seq(),
+        bob.lcm().last_seq()
+    );
+
+    // Target server on a DIFFERENT physical platform: different root
+    // secret, different sealing keys. The origin's sealed blobs are
+    // useless there — only the migration channel can move the state.
+    let target_platform = world.platform(2);
+    let mut target =
+        LcmServer::<KvStore>::new(&target_platform, Arc::new(MemoryStorage::new()), 16);
+    let needs_provision = target.boot()?;
+    assert!(needs_provision);
+    println!("target enclave created on {:?}, awaiting state", target_platform.id());
+
+    // Migration: the origin T acts as the admin for T′ (§4.6.2) —
+    // exports a ticket encrypted for same-program enclaves, stops
+    // serving; the target imports and re-seals for its own platform.
+    admin.migrate(&mut origin, &mut target)?;
+    println!("✓ migration ticket transferred; origin stopped serving");
+
+    // Clients continue with unchanged keys and metadata.
+    let widgets = alice.get(&mut target, b"inventory:widgets")?;
+    println!(
+        "alice GET inventory:widgets on target -> {:?}",
+        String::from_utf8_lossy(&widgets.unwrap())
+    );
+    let done = bob.put(&mut target, b"inventory:gadgets", b"8")?;
+    println!(
+        "bob   PUT on target -> seq {} (continues the global sequence)",
+        done.seq
+    );
+
+    // Recovery still works on the target: its sealed history simply
+    // continues the origin's.
+    target.crash();
+    target.boot()?;
+    let gadgets = alice.get(&mut target, b"inventory:gadgets")?;
+    println!(
+        "after target crash+recovery: gadgets = {:?}",
+        String::from_utf8_lossy(&gadgets.unwrap())
+    );
+
+    // The origin refuses all service after migrating away.
+    bob.put(&mut origin, b"should", b"fail").map_or_else(
+        |e| println!("origin after migration: ✓ refuses service ({e})"),
+        |_| panic!("origin must not serve after migrating away"),
+    );
+
+    println!("✓ migration complete — no trusted third party involved");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # LCM — Lightweight Collective Memory
+//!
+//! Facade crate for the reproduction of *"Rollback and Forking Detection
+//! for Trusted Execution Environments using Lightweight Collective
+//! Memory"* (Brandenburger, Cachin, Lorenz, Kapitza — DSN 2017).
+//!
+//! This crate re-exports the workspace's public API under one roof; see
+//! the individual crates for details:
+//!
+//! * [`crypto`] — SHA-256 / HMAC / HKDF / ChaCha20 / AEAD primitives.
+//! * [`tee`] — SGX-like trusted-execution-environment simulator.
+//! * [`storage`] — stable storage with adversarial (rollback) wrappers.
+//! * [`net`] — message transport with adversarial routing.
+//! * [`core`] — the LCM protocol itself (client + trusted context).
+//! * [`kvs`] — the key-value store application and baseline servers.
+//! * [`workload`] — YCSB-style workload generation.
+//! * [`sim`] — deterministic discrete-event simulator and cost model
+//!   used to regenerate the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete bootstrapped
+//! client/server session, and `examples/rollback_attack.rs` /
+//! `examples/forking_attack.rs` for attack detection in action.
+
+pub use lcm_core as core;
+pub use lcm_crypto as crypto;
+pub use lcm_kvs as kvs;
+pub use lcm_net as net;
+pub use lcm_sim as sim;
+pub use lcm_storage as storage;
+pub use lcm_tee as tee;
+pub use lcm_workload as workload;

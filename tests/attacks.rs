@@ -1,0 +1,353 @@
+//! Adversarial integration tests: every power the paper grants the
+//! malicious server (§2.3), exercised against the real stack, must be
+//! either harmless or detected.
+
+use std::sync::Arc;
+
+use lcm::core::admin::AdminHandle;
+use lcm::core::server::LcmServer;
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::core::verify::check_single_history;
+use lcm::core::LcmError;
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::ops::KvOp;
+use lcm::kvs::store::KvStore;
+use lcm::net::Duplex;
+use lcm::storage::{AdversaryMode, RollbackStorage, StableStorage, Version};
+use lcm::tee::world::TeeWorld;
+
+fn setup_adversarial(
+    n_clients: u32,
+    seed: u64,
+) -> (
+    TeeWorld,
+    Arc<RollbackStorage>,
+    LcmServer<KvStore>,
+    AdminHandle,
+    Vec<KvsClient>,
+) {
+    let world = TeeWorld::new_deterministic(seed);
+    let platform = world.platform_deterministic(1);
+    let storage = Arc::new(RollbackStorage::new());
+    let mut server = LcmServer::<KvStore>::new(&platform, storage.clone(), 1);
+    server.boot().unwrap();
+    let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
+    admin.bootstrap(&mut server).unwrap();
+    let clients = ids
+        .iter()
+        .map(|&id| {
+            let mut c = KvsClient::new(id, admin.client_key());
+            c.lcm_mut().set_recording(true);
+            c
+        })
+        .collect();
+    (world, storage, server, admin, clients)
+}
+
+#[test]
+fn rollback_one_step_detected_by_victim() {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 21);
+    let c = &mut clients[0];
+    c.put(&mut server, b"k", b"v1").unwrap();
+    c.put(&mut server, b"k", b"v2").unwrap();
+
+    storage.set_mode(AdversaryMode::ServeStale { steps_back: 1 });
+    server.crash();
+    server.boot().unwrap();
+
+    let err = c.get(&mut server, b"k").unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+}
+
+#[test]
+fn rollback_to_genesis_detected() {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(2, 22);
+    clients[0].put(&mut server, b"k", b"v1").unwrap();
+    clients[1].put(&mut server, b"k", b"v2").unwrap();
+
+    // Roll all the way back to the freshly-provisioned state.
+    storage.set_mode(AdversaryMode::ServeVersion(Version(0)));
+    server.crash();
+    server.boot().unwrap();
+
+    let err = clients[0].get(&mut server, b"k").unwrap_err();
+    assert!(err.is_violation());
+}
+
+#[test]
+fn dropped_writes_surface_as_rollback_on_restart() {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 23);
+    let c = &mut clients[0];
+    c.put(&mut server, b"k", b"v1").unwrap();
+    // The server silently discards all subsequent persistence.
+    storage.set_mode(AdversaryMode::DropWrites);
+    c.put(&mut server, b"k", b"v2").unwrap();
+    c.put(&mut server, b"k", b"v3").unwrap();
+
+    storage.set_mode(AdversaryMode::Honest);
+    server.crash();
+    server.boot().unwrap();
+
+    // T recovered from the last version that actually hit storage; the
+    // client's context is ahead ⇒ detected.
+    let err = c.get(&mut server, b"k").unwrap_err();
+    assert!(err.is_violation());
+}
+
+#[test]
+fn fork_detected_when_clients_cross() {
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 24);
+    let (alice, rest) = clients.split_at_mut(1);
+    let alice = &mut alice[0];
+    let bob = &mut rest[0];
+
+    alice.put(&mut server_a, b"doc", b"v1").unwrap();
+    bob.put(&mut server_a, b"doc", b"v2").unwrap();
+
+    // Fork the storage and start a second instance.
+    let state_v = storage.history().latest_version("lcm.state").unwrap();
+    let branch = storage.fork_at("lcm.state", state_v).unwrap();
+    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
+    branch
+        .store(
+            "lcm.keyblob",
+            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+        )
+        .unwrap();
+    let platform = server_platform();
+    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
+    server_b.boot().unwrap();
+
+    // Divergent progress on both branches.
+    alice.put(&mut server_a, b"doc", b"a-edit").unwrap();
+    bob.put(&mut server_b, b"doc", b"b-edit").unwrap();
+
+    // Any crossing detects the fork.
+    let err = bob.get(&mut server_a, b"doc").unwrap_err();
+    assert!(err.is_violation());
+    // And the out-of-band record comparison sees divergent chains.
+    assert!(check_single_history(&[alice.lcm().records(), bob.lcm().records()]).is_err());
+
+    fn server_platform() -> lcm::tee::platform::TeePlatform {
+        TeeWorld::new_deterministic(24).platform_deterministic(1)
+    }
+}
+
+#[test]
+fn forked_minority_never_becomes_stable() {
+    // 3 clients; the fork isolates one client on branch B. Its ops can
+    // never reach majority stability there.
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 25);
+    for c in clients.iter_mut() {
+        c.put(&mut server_a, b"warm", b"up").unwrap();
+    }
+    let state_v = storage.history().latest_version("lcm.state").unwrap();
+    let branch = storage.fork_at("lcm.state", state_v).unwrap();
+    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
+    branch
+        .store(
+            "lcm.keyblob",
+            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+        )
+        .unwrap();
+    let platform = TeeWorld::new_deterministic(25).platform_deterministic(1);
+    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
+    server_b.boot().unwrap();
+
+    let victim = &mut clients[2];
+    let watermark_before = victim.lcm().stable_seq();
+    for i in 0..10u32 {
+        let done = victim
+            .put(&mut server_b, b"lonely", &i.to_be_bytes())
+            .unwrap();
+        // The watermark can never cover the victim's new ops: no
+        // majority of acknowledgers exists on branch B.
+        assert!(done.stable < done.seq, "op {} must not stabilize", done.seq);
+    }
+    assert!(victim.lcm().stable_seq() <= victim.lcm().last_seq());
+    let _ = watermark_before;
+}
+
+#[test]
+fn forked_views_never_join() {
+    // Fork-linearizability's no-join property on a real forked run:
+    // after the branches diverge, the two clients' views never agree
+    // on any later sequence number.
+    use lcm::core::verify::check_no_join;
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 34);
+    let (alice, rest) = clients.split_at_mut(1);
+    let alice = &mut alice[0];
+    let bob = &mut rest[0];
+
+    alice.put(&mut server_a, b"doc", b"common-1").unwrap();
+    bob.put(&mut server_a, b"doc", b"common-2").unwrap();
+
+    let state_v = storage.history().latest_version("lcm.state").unwrap();
+    let branch = storage.fork_at("lcm.state", state_v).unwrap();
+    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
+    branch
+        .store(
+            "lcm.keyblob",
+            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+        )
+        .unwrap();
+    let platform = TeeWorld::new_deterministic(34).platform_deterministic(1);
+    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
+    server_b.boot().unwrap();
+
+    // Extended divergent progress on both branches.
+    for i in 0..5u32 {
+        alice.put(&mut server_a, b"doc", &i.to_be_bytes()).unwrap();
+        bob.put(&mut server_b, b"doc", &(100 + i).to_be_bytes()).unwrap();
+    }
+
+    // The common prefix agrees, the fork never rejoins.
+    check_no_join(alice.lcm().records(), bob.lcm().records()).unwrap();
+    // But the union is not a single history.
+    assert!(check_single_history(&[alice.lcm().records(), bob.lcm().records()]).is_err());
+}
+
+#[test]
+fn replayed_invoke_halts_context() {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 26);
+    let c = &mut clients[0];
+    let duplex = Duplex::adversarial();
+    duplex.to_server.set_auto_deliver(true);
+    duplex.to_client.set_auto_deliver(true);
+
+    let wire = c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec())).unwrap();
+    duplex.client.send(wire.clone());
+    server.submit(duplex.server.try_recv().unwrap());
+    let replies = server.process_all().unwrap();
+    duplex.server.send(replies[0].1.clone());
+    c.complete(&duplex.client.try_recv().unwrap()).unwrap();
+
+    // The server replays the captured request.
+    duplex.to_server.inject(wire);
+    server.submit(duplex.server.try_recv().unwrap());
+    let err = server.process_all().unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+}
+
+#[test]
+fn tampered_invoke_halts_context() {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 27);
+    let c = &mut clients[0];
+    let mut wire = c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap();
+    let mid = wire.len() / 2;
+    wire[mid] ^= 0x40;
+    server.submit(wire);
+    let err = server.process_all().unwrap_err();
+    assert!(err.is_violation());
+}
+
+#[test]
+fn tampered_reply_halts_client() {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 28);
+    let c = &mut clients[0];
+    server.submit(c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap());
+    let mut replies = server.process_all().unwrap();
+    replies[0].1[3] ^= 0x01;
+    let err = c.complete(&replies[0].1).unwrap_err();
+    assert!(err.is_violation());
+    assert!(c.lcm().is_halted());
+}
+
+#[test]
+fn reply_swapped_between_clients_detected() {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(2, 29);
+    let w1 = clients[0].invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap();
+    let w2 = clients[1].invoke_wire(&KvOp::Put(b"b".to_vec(), b"2".to_vec())).unwrap();
+    server.submit(w1);
+    server.submit(w2);
+    let replies = server.process_all().unwrap();
+    // Malicious routing: client 0 gets client 1's reply.
+    let err = clients[0].complete(&replies[1].1).unwrap_err();
+    assert!(err.is_violation());
+}
+
+#[test]
+fn reordered_requests_from_one_client_detected() {
+    // FIFO violation: the adversary delays a client's first message
+    // and delivers the (illegally obtained) second... since a correct
+    // client never has two in flight, the adversary instead replays an
+    // OLD buffered message after newer progress — same signature.
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 30);
+    let c = &mut clients[0];
+    let old_wire = c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"old".to_vec())).unwrap();
+    server.submit(old_wire.clone());
+    let replies = server.process_all().unwrap();
+    c.complete(&replies[0].1).unwrap();
+    server.submit(c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"new".to_vec())).unwrap());
+    let replies = server.process_all().unwrap();
+    c.complete(&replies[0].1).unwrap();
+
+    server.submit(old_wire);
+    assert!(server.process_all().unwrap_err().is_violation());
+}
+
+#[test]
+fn wrong_world_enclave_fails_bootstrap() {
+    // A server trying to run a lookalike enclave on a non-genuine
+    // platform cannot pass attestation.
+    let honest_world = TeeWorld::new_deterministic(31);
+    let evil_world = TeeWorld::new_deterministic(666);
+    let platform = evil_world.platform_deterministic(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(RollbackStorage::new()), 1);
+    server.boot().unwrap();
+    let mut admin =
+        AdminHandle::new_deterministic(&honest_world, vec![ClientId(1)], Quorum::Majority, 31);
+    assert!(admin.bootstrap(&mut server).is_err());
+}
+
+#[test]
+fn halted_context_refuses_everything() {
+    let (_w, _s, mut server, mut admin, mut clients) = setup_adversarial(1, 32);
+    let c = &mut clients[0];
+    // Trigger a violation.
+    let mut wire = c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap();
+    wire[10] ^= 1;
+    server.submit(wire);
+    assert!(server.process_all().unwrap_err().is_violation());
+
+    // Everything afterwards is refused, including admin operations.
+    server.submit(c.lcm_mut().retry().unwrap());
+    assert_eq!(server.process_all().unwrap_err(), LcmError::Halted);
+    assert!(admin.status(&mut server).is_err());
+}
+
+#[test]
+fn stale_state_with_fresh_keyblob_detected() {
+    // Mixing blob versions (fresh key blob + stale state) is still a
+    // rollback and must be caught.
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 33);
+    let c = &mut clients[0];
+    c.put(&mut server, b"k", b"v1").unwrap();
+    c.put(&mut server, b"k", b"v2").unwrap();
+
+    // Adversary: serve stale state but latest key blob. Emulate by
+    // copying blobs into a fresh honest storage.
+    let stale_state = storage.history().load_version("lcm.state", Version(1)).unwrap();
+    let key_latest_v = storage.history().latest_version("lcm.keyblob").unwrap();
+    let fresh_key = storage.history().load_version("lcm.keyblob", key_latest_v).unwrap();
+    let mixed = MemoryStorageFrom(&[("lcm.state", stale_state), ("lcm.keyblob", fresh_key)]);
+    let platform = TeeWorld::new_deterministic(33).platform_deterministic(1);
+    let mut server2 = LcmServer::<KvStore>::new(&platform, Arc::new(mixed.build()), 1);
+    server2.boot().unwrap();
+
+    let err = c.get(&mut server2, b"k").unwrap_err();
+    assert!(err.is_violation());
+
+    struct MemoryStorageFrom<'a>(&'a [(&'a str, Vec<u8>)]);
+    impl MemoryStorageFrom<'_> {
+        fn build(&self) -> lcm::storage::MemoryStorage {
+            let m = lcm::storage::MemoryStorage::new();
+            for (slot, blob) in self.0 {
+                m.store(slot, blob).unwrap();
+            }
+            m
+        }
+    }
+}

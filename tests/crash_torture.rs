@@ -1,0 +1,123 @@
+//! Crash-torture sweep: crash the server at *every* point of a fixed
+//! operation schedule — before processing, after processing but before
+//! the reply is delivered — and verify that retry-based recovery is
+//! exactly-once at each crash point.
+
+use std::sync::Arc;
+
+use lcm::core::admin::AdminHandle;
+use lcm::core::server::LcmServer;
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::ops::{KvOp, KvResult};
+use lcm::kvs::store::KvStore;
+use lcm::storage::MemoryStorage;
+use lcm::tee::world::TeeWorld;
+
+const SCHEDULE_LEN: usize = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CrashKind {
+    /// Crash after submit, before the batch is processed (request
+    /// lost; retry re-executes).
+    BeforeProcess,
+    /// Crash after processing and persistence, before reply delivery
+    /// (reply lost; retry returns the cached result).
+    AfterProcess,
+}
+
+fn run_with_crash(crash_at: usize, kind: CrashKind) {
+    let world = TeeWorld::new_deterministic(4_000 + crash_at as u64);
+    let platform = world.platform_deterministic(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
+    server.boot().unwrap();
+    let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 8);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+
+    for i in 0..SCHEDULE_LEN {
+        let key = format!("k{i}").into_bytes();
+        let value = (i as u64).to_be_bytes().to_vec();
+        let wire = client
+            .invoke_wire(&KvOp::Put(key.clone(), value.clone()))
+            .unwrap();
+
+        if i == crash_at {
+            match kind {
+                CrashKind::BeforeProcess => {
+                    server.submit(wire);
+                    server.crash(); // queued request vanishes
+                    server.boot().unwrap();
+                }
+                CrashKind::AfterProcess => {
+                    server.submit(wire);
+                    let _lost_reply = server.process_all().unwrap();
+                    server.crash();
+                    server.boot().unwrap();
+                }
+            }
+            // Timeout ⇒ retry.
+            server.submit(client.lcm_mut().retry().unwrap());
+        } else {
+            server.submit(wire);
+        }
+
+        let replies = server.process_all().unwrap();
+        let done = client.complete(&replies[0].1).unwrap();
+        assert_eq!(done.result, KvResult::Stored, "op {i}, crash at {crash_at}");
+        assert_eq!(done.completion.seq.0, (i + 1) as u64, "exactly-once sequencing");
+    }
+
+    // Full state check after the torture run.
+    for i in 0..SCHEDULE_LEN {
+        let got = client.get(&mut server, format!("k{i}").as_bytes()).unwrap();
+        assert_eq!(got.unwrap(), (i as u64).to_be_bytes().to_vec());
+    }
+}
+
+#[test]
+fn crash_before_processing_at_every_point() {
+    for crash_at in 0..SCHEDULE_LEN {
+        run_with_crash(crash_at, CrashKind::BeforeProcess);
+    }
+}
+
+#[test]
+fn crash_after_processing_at_every_point() {
+    for crash_at in 0..SCHEDULE_LEN {
+        run_with_crash(crash_at, CrashKind::AfterProcess);
+    }
+}
+
+#[test]
+fn double_crash_same_operation() {
+    // Crash before processing, recover, crash again after processing,
+    // recover, retry again: still exactly-once.
+    let world = TeeWorld::new_deterministic(4_100);
+    let platform = world.platform_deterministic(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
+    server.boot().unwrap();
+    let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 9);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+
+    let wire = client.invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec())).unwrap();
+    server.submit(wire);
+    server.crash();
+    server.boot().unwrap();
+
+    // First retry gets processed but the reply is lost in a second crash.
+    server.submit(client.lcm_mut().retry().unwrap());
+    let _lost = server.process_all().unwrap();
+    server.crash();
+    server.boot().unwrap();
+
+    // Second retry returns the cached reply.
+    server.submit(client.lcm_mut().retry().unwrap());
+    let replies = server.process_all().unwrap();
+    let done = client.complete(&replies[0].1).unwrap();
+    assert_eq!(done.completion.seq.0, 1);
+    assert_eq!(client.get(&mut server, b"k").unwrap().unwrap(), b"v");
+    assert_eq!(client.lcm().last_seq().0, 2, "one put + one get, nothing duplicated");
+}

@@ -1,0 +1,259 @@
+//! End-to-end integration tests across the full stack:
+//! clients ⇄ (adversary-controllable links) ⇄ host server ⇄ enclave ⇄
+//! sealed storage.
+
+use std::sync::Arc;
+
+use lcm::core::admin::AdminHandle;
+use lcm::core::server::LcmServer;
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::core::verify::{check_single_history, check_stable_prefix};
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::ops::{KvOp, KvResult};
+use lcm::kvs::store::KvStore;
+use lcm::net::Duplex;
+use lcm::storage::MemoryStorage;
+use lcm::tee::world::TeeWorld;
+
+fn setup(
+    n_clients: u32,
+    batch: usize,
+    seed: u64,
+) -> (TeeWorld, LcmServer<KvStore>, AdminHandle, Vec<KvsClient>) {
+    let world = TeeWorld::new_deterministic(seed);
+    let platform = world.platform_deterministic(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), batch);
+    assert!(server.boot().unwrap());
+    let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
+    admin.bootstrap(&mut server).unwrap();
+    let clients = ids
+        .iter()
+        .map(|&id| {
+            let mut c = KvsClient::new(id, admin.client_key());
+            c.lcm_mut().set_recording(true);
+            c
+        })
+        .collect();
+    (world, server, admin, clients)
+}
+
+#[test]
+fn many_rounds_many_clients_stability_converges() {
+    let (_w, mut server, _admin, mut clients) = setup(5, 16, 1);
+    // 10 rounds of everyone writing then reading.
+    for round in 0..10u32 {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let key = format!("key-{i}");
+            c.put(&mut server, key.as_bytes(), &round.to_be_bytes())
+                .unwrap();
+        }
+    }
+    // After the last round every client checks its watermark: ops from
+    // earlier rounds must be majority-stable.
+    for c in clients.iter_mut() {
+        let done = c.put(&mut server, b"final", b"x").unwrap();
+        assert!(
+            done.stable.0 >= 40,
+            "client {} watermark {} too low",
+            c.lcm().id(),
+            done.stable
+        );
+    }
+    // Global history consistency (omniscient check).
+    let views: Vec<&[_]> = clients.iter().map(|c| c.lcm().records()).collect();
+    check_single_history(&views).unwrap();
+    check_stable_prefix(&views).unwrap();
+}
+
+#[test]
+fn reads_of_other_clients_writes_are_linearized() {
+    let (_w, mut server, _admin, mut clients) = setup(3, 4, 2);
+    clients[0].put(&mut server, b"x", b"from-0").unwrap();
+    let v = clients[1].get(&mut server, b"x").unwrap();
+    assert_eq!(v.unwrap(), b"from-0");
+    clients[1].put(&mut server, b"x", b"from-1").unwrap();
+    let v = clients[2].get(&mut server, b"x").unwrap();
+    assert_eq!(v.unwrap(), b"from-1");
+}
+
+#[test]
+fn batched_and_unbatched_servers_agree() {
+    let run = |batch: usize| {
+        let (_w, mut server, _a, mut clients) = setup(2, batch, 3);
+        let mut results = Vec::new();
+        for i in 0..20u32 {
+            let c = &mut clients[(i % 2) as usize];
+            let done = c
+                .run(&mut server, &KvOp::Put(b"k".to_vec(), i.to_be_bytes().to_vec()))
+                .unwrap();
+            results.push((done.completion.seq, done.result));
+        }
+        let v = clients[0].get(&mut server, b"k").unwrap();
+        (results, v)
+    };
+    // Same sequence numbers and final value regardless of batching.
+    assert_eq!(run(1), run(16));
+}
+
+#[test]
+fn interleaved_batch_replies_route_correctly() {
+    let (_w, mut server, _admin, mut clients) = setup(4, 16, 4);
+    // All four clients submit before any processing happens: one batch.
+    let wires: Vec<_> = clients
+        .iter_mut()
+        .enumerate()
+        .map(|(i, c)| {
+            c.invoke_wire(&KvOp::Put(format!("k{i}").into_bytes(), vec![i as u8]))
+                .unwrap()
+        })
+        .collect();
+    for w in wires {
+        server.submit(w);
+    }
+    let replies = server.process_all().unwrap();
+    assert_eq!(replies.len(), 4);
+    assert_eq!(server.batches_processed(), 1);
+    for (id, wire) in replies {
+        let c = clients.iter_mut().find(|c| c.lcm().id() == id).unwrap();
+        let done = c.complete(&wire).unwrap();
+        assert_eq!(done.result, KvResult::Stored);
+    }
+}
+
+#[test]
+fn crash_between_rounds_is_transparent() {
+    let (_w, mut server, _admin, mut clients) = setup(2, 8, 5);
+    clients[0].put(&mut server, b"persist", b"me").unwrap();
+    for _ in 0..3 {
+        server.crash();
+        assert!(!server.boot().unwrap());
+        let v = clients[1].get(&mut server, b"persist").unwrap();
+        assert_eq!(v.unwrap(), b"me");
+    }
+}
+
+#[test]
+fn lost_request_recovered_via_retry_over_links() {
+    let (_w, mut server, _admin, mut clients) = setup(1, 1, 6);
+    let c = &mut clients[0];
+    let duplex = Duplex::adversarial();
+
+    // Client sends; the message is dropped in flight (server crash).
+    duplex.client.send(c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap());
+    duplex.to_server.drop_next();
+    server.crash();
+    server.boot().unwrap();
+
+    // Timeout expires: the client retries through the (now honest)
+    // link; the retry executes normally.
+    duplex.to_server.set_auto_deliver(true);
+    duplex.to_client.set_auto_deliver(true);
+    duplex.client.send(c.lcm_mut().retry().unwrap());
+    let wire = duplex.server.try_recv().unwrap();
+    server.submit(wire);
+    let replies = server.process_all().unwrap();
+    duplex.server.send(replies[0].1.clone());
+    let reply = duplex.client.try_recv().unwrap();
+    let done = c.complete(&reply).unwrap();
+    assert_eq!(done.completion.seq.0, 1);
+}
+
+#[test]
+fn lost_reply_recovered_via_cached_retry_over_links() {
+    let (_w, mut server, _admin, mut clients) = setup(1, 1, 7);
+    let c = &mut clients[0];
+    let duplex = Duplex::adversarial();
+    duplex.to_server.set_auto_deliver(true);
+
+    // Request processed; reply dropped in flight.
+    duplex.client.send(c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap());
+    server.submit(duplex.server.try_recv().unwrap());
+    let replies = server.process_all().unwrap();
+    duplex.server.send(replies[0].1.clone());
+    duplex.to_client.drop_next(); // reply lost
+
+    // Server even crashes afterwards.
+    server.crash();
+    server.boot().unwrap();
+
+    // Retry: T recognizes the acknowledged context and resends the
+    // cached reply without re-executing.
+    duplex.client.send(c.lcm_mut().retry().unwrap());
+    server.submit(duplex.server.try_recv().unwrap());
+    let replies = server.process_all().unwrap();
+    duplex.to_client.set_auto_deliver(true);
+    duplex.server.send(replies[0].1.clone());
+    let done = c.complete(&duplex.client.try_recv().unwrap()).unwrap();
+    assert_eq!(done.completion.seq.0, 1);
+    // The store was mutated exactly once.
+    let v = c.get(&mut server, b"a").unwrap();
+    assert_eq!(v.unwrap(), b"1");
+}
+
+#[test]
+fn single_client_group_is_immediately_stable() {
+    let (_w, mut server, _admin, mut clients) = setup(1, 1, 8);
+    let c = &mut clients[0];
+    c.put(&mut server, b"k", b"v").unwrap();
+    let done = c.put(&mut server, b"k", b"v2").unwrap();
+    // With n=1 the majority is the client itself; acknowledging op 1
+    // makes it stable.
+    assert_eq!(done.stable.0, 1);
+}
+
+#[test]
+fn large_values_roundtrip_through_the_full_stack() {
+    let (_w, mut server, _admin, mut clients) = setup(1, 1, 9);
+    let c = &mut clients[0];
+    let big = vec![0xabu8; 100_000];
+    c.put(&mut server, b"blob", &big).unwrap();
+    assert_eq!(c.get(&mut server, b"blob").unwrap().unwrap(), big);
+}
+
+#[test]
+fn storage_io_failures_are_errors_not_violations() {
+    // A flaky disk is a benign fault: the server surfaces an error,
+    // nothing halts, and service resumes once the disk recovers.
+    use lcm::storage::{FailureMode, FlakyStorage};
+    let world = TeeWorld::new_deterministic(77);
+    let platform = world.platform_deterministic(1);
+    let flaky = Arc::new(FlakyStorage::new(MemoryStorage::new()));
+    let mut server = LcmServer::<KvStore>::new(&platform, flaky.clone(), 1);
+    server.boot().unwrap();
+    let mut admin =
+        lcm::core::admin::AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 7);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+
+    client.put(&mut server, b"k", b"v1").unwrap();
+
+    // Disk starts failing: operations error but are NOT violations.
+    flaky.set_mode(FailureMode::FailStores);
+    let err = client
+        .run(&mut server, &KvOp::Put(b"k".to_vec(), b"v2".to_vec()))
+        .unwrap_err();
+    assert!(!err.is_violation(), "I/O failure misclassified: {err:?}");
+    assert!(flaky.failures() >= 1);
+
+    // Disk recovers; the pending op is retried and completes.
+    flaky.set_mode(FailureMode::None);
+    server.submit(client.lcm_mut().retry().unwrap());
+    let replies = server.process_all().unwrap();
+    let done = client.complete(&replies[0].1).unwrap();
+    assert_eq!(done.result, KvResult::Stored);
+}
+
+#[test]
+fn admin_status_matches_client_progress() {
+    let (_w, mut server, mut admin, mut clients) = setup(2, 1, 10);
+    for i in 0..5u32 {
+        clients[(i % 2) as usize]
+            .put(&mut server, b"k", &i.to_be_bytes())
+            .unwrap();
+    }
+    let (t, _q, n) = admin.status(&mut server).unwrap();
+    assert_eq!(t.0, 5);
+    assert_eq!(n, 2);
+}
