@@ -56,5 +56,11 @@ fn bench_hmac(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_hash_chain_step, bench_aead, bench_hmac);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hash_chain_step,
+    bench_aead,
+    bench_hmac
+);
 criterion_main!(benches);

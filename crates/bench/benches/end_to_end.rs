@@ -40,7 +40,10 @@ fn bench_servers(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             client
-                .run(&mut server, &KvOp::Put(b"key".to_vec(), i.to_be_bytes().to_vec()))
+                .run(
+                    &mut server,
+                    &KvOp::Put(b"key".to_vec(), i.to_be_bytes().to_vec()),
+                )
                 .unwrap()
         });
     });
@@ -49,8 +52,7 @@ fn bench_servers(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("lcm"), |b| {
         let world = TeeWorld::new_deterministic(82);
         let platform = world.platform_deterministic(1);
-        let mut server =
-            LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
+        let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
         server.boot().unwrap();
         let mut admin =
             AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
@@ -60,7 +62,10 @@ fn bench_servers(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             client
-                .run(&mut server, &KvOp::Put(b"key".to_vec(), i.to_be_bytes().to_vec()))
+                .run(
+                    &mut server,
+                    &KvOp::Put(b"key".to_vec(), i.to_be_bytes().to_vec()),
+                )
                 .unwrap()
         });
     });

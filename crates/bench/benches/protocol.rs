@@ -19,8 +19,12 @@ fn setup(batch: usize) -> (LcmServer<KvStore>, KvsClient) {
     let platform = world.platform_deterministic(1);
     let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), batch);
     server.boot().unwrap();
-    let mut admin =
-        AdminHandle::new_deterministic(&world, vec![ClientId(1)], lcm_core::stability::Quorum::Majority, 1);
+    let mut admin = AdminHandle::new_deterministic(
+        &world,
+        vec![ClientId(1)],
+        lcm_core::stability::Quorum::Majority,
+        1,
+    );
     admin.bootstrap(&mut server).unwrap();
     let client = KvsClient::new(ClientId(1), admin.client_key());
     (server, client)

@@ -57,7 +57,13 @@ fn main() {
     println!("Ablation: stability quorum strength, {GROUP}-client group (real stack)\n");
     header(&["active clients", "majority", "all", "at-least-2"]);
     for active in 1..=GROUP {
-        let cell = |q: Quorum| if stabilizes(active, q) { "stable" } else { "stuck" };
+        let cell = |q: Quorum| {
+            if stabilizes(active, q) {
+                "stable"
+            } else {
+                "stuck"
+            }
+        };
         println!(
             "| {active:>14} | {:>8} | {:>6} | {:>10} |",
             cell(Quorum::Majority),

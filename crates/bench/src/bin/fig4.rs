@@ -13,7 +13,12 @@ use lcm_sim::CostModel;
 fn main() {
     let model = CostModel::default();
     println!("Figure 4: throughput vs object size, 8 clients, async writes\n");
-    header(&["object size [B]", "SGX [kops/s]", "LCM [kops/s]", "LCM overhead"]);
+    header(&[
+        "object size [B]",
+        "SGX [kops/s]",
+        "LCM [kops/s]",
+        "LCM overhead",
+    ]);
 
     let rows = run_figure4(&model);
     let mut first_ovh = 0.0;

@@ -47,7 +47,11 @@ fn main() {
     println!("\nPaper-vs-measured:");
     compare("SGX / Native", "0.42x – 0.78x", &range(&sgx, &native));
     compare("LCM / SGX", "0.67x – 0.95x", &range(&lcm, &sgx));
-    compare("LCM+batch / SGX+batch", "0.72x – 0.98x", &range(&lcm_b, &sgx_b));
+    compare(
+        "LCM+batch / SGX+batch",
+        "0.72x – 0.98x",
+        &range(&lcm_b, &sgx_b),
+    );
     compare(
         "SGX+TMC throughput (flat)",
         "~12 ops/s",

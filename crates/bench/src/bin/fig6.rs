@@ -62,10 +62,22 @@ fn main() {
     let flatness = |xs: &[f64]| format!("{:.2}", xs.last().unwrap() / xs.first().unwrap());
 
     println!("\nPaper-vs-measured:");
-    compare("SGX / Native (fsync-bound)", "~0.98x", &range(&sgx, &native));
+    compare(
+        "SGX / Native (fsync-bound)",
+        "~0.98x",
+        &range(&sgx, &native),
+    );
     compare("LCM / SGX unbatched", "~0.69x", &range(&lcm, &sgx));
-    compare("LCM+batch / SGX unbatched", "0.72x – 9.87x", &range(&lcm_b, &sgx));
-    compare("LCM+batch / SGX+batch", "0.71x – 0.75x", &range(&lcm_b, &sgx_b));
+    compare(
+        "LCM+batch / SGX unbatched",
+        "0.72x – 9.87x",
+        &range(&lcm_b, &sgx),
+    );
+    compare(
+        "LCM+batch / SGX+batch",
+        "0.71x – 0.75x",
+        &range(&lcm_b, &sgx_b),
+    );
     compare("Native flat (x32/x1)", "~1.0", &flatness(&native));
     compare("LCM unbatched flat (x32/x1)", "~1.0", &flatness(&lcm));
     compare("Redis scales (x32/x1)", ">> 1", &flatness(&redis));

@@ -18,7 +18,14 @@ fn main() {
         "| {:<18} | {:>7} | {:>10} | {:>10} | {:>10} |",
         "series", "clients", "mean", "p50", "p99"
     );
-    println!("|{}|{}|{}|{}|{}|", "-".repeat(20), "-".repeat(9), "-".repeat(12), "-".repeat(12), "-".repeat(12));
+    println!(
+        "|{}|{}|{}|{}|{}|",
+        "-".repeat(20),
+        "-".repeat(9),
+        "-".repeat(12),
+        "-".repeat(12),
+        "-".repeat(12)
+    );
 
     for kind in [
         ServerKind::Native,

@@ -34,7 +34,15 @@ fn main() {
         "paging?",
         "latency penalty",
     ]);
-    for &n in &[10_000usize, 100_000, 200_000, 300_000, 500_000, 750_000, 1_000_000] {
+    for &n in &[
+        10_000usize,
+        100_000,
+        200_000,
+        300_000,
+        500_000,
+        750_000,
+        1_000_000,
+    ] {
         let payload_mb = n as f64 * 140.0 / 1e6;
         let heap = memory.heap_for_objects(n, 40, 100);
         let heap_mb = heap as f64 / 1e6;

@@ -54,11 +54,18 @@ fn main() {
         );
     }
 
-    println!("\nAEAD framing adds a further constant {} bytes per message", 12 + 32);
+    println!(
+        "\nAEAD framing adds a further constant {} bytes per message",
+        12 + 32
+    );
     println!("(nonce + HMAC tag; the paper's AES-GCM adds 12 + 16).\n");
 
     println!("Paper-vs-measured:");
-    compare("invocation overhead", "45 B", &format!("{INVOKE_OVERHEAD} B"));
+    compare(
+        "invocation overhead",
+        "45 B",
+        &format!("{INVOKE_OVERHEAD} B"),
+    );
     compare(
         "result overhead",
         "46 B",

@@ -20,8 +20,8 @@ fn main() {
     let mut speedups = Vec::new();
     let mut tmc_rates = Vec::new();
     for n in client_counts() {
-        let tmc = run_scenario(&model, &Scenario::paper_default(ServerKind::SgxTmc, n))
-            .throughput();
+        let tmc =
+            run_scenario(&model, &Scenario::paper_default(ServerKind::SgxTmc, n)).throughput();
         let lcm = run_scenario(
             &model,
             &Scenario::paper_default(ServerKind::Lcm { batch: 16 }, n),

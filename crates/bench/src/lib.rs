@@ -16,7 +16,10 @@ pub fn kops(ops_per_sec: f64) -> String {
 /// Prints a Markdown-style table header.
 pub fn header(columns: &[&str]) {
     println!("| {} |", columns.join(" | "));
-    println!("|{}|", columns.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// A paper-vs-measured comparison line for the run summary.

@@ -57,7 +57,12 @@ impl AdminHandle {
     pub fn new(world: &TeeWorld, clients: Vec<ClientId>, quorum: Quorum) -> Self {
         let mut seed = [0u8; 8];
         rand::thread_rng().fill_bytes(&mut seed);
-        Self::build(world, clients, quorum, StdRng::seed_from_u64(u64::from_be_bytes(seed)))
+        Self::build(
+            world,
+            clients,
+            quorum,
+            StdRng::seed_from_u64(u64::from_be_bytes(seed)),
+        )
     }
 
     /// Deterministic variant for tests and simulations.
@@ -67,7 +72,12 @@ impl AdminHandle {
         quorum: Quorum,
         seed: u64,
     ) -> Self {
-        Self::build(world, clients, quorum, StdRng::seed_from_u64(seed ^ 0xad_417))
+        Self::build(
+            world,
+            clients,
+            quorum,
+            StdRng::seed_from_u64(seed ^ 0xad_417),
+        )
     }
 
     fn build(world: &TeeWorld, clients: Vec<ClientId>, quorum: Quorum, mut rng: StdRng) -> Self {
@@ -126,8 +136,12 @@ impl AdminHandle {
             clients: self.clients.clone(),
             quorum: self.quorum,
         };
-        let sealed = aead::auth_encrypt(&self.provision_channel, &payload.to_bytes(), LABEL_PROVISION)
-            .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let sealed = aead::auth_encrypt(
+            &self.provision_channel,
+            &payload.to_bytes(),
+            LABEL_PROVISION,
+        )
+        .map_err(|e| LcmError::Tee(e.to_string()))?;
         server.provision(sealed)
     }
 
@@ -250,8 +264,7 @@ mod tests {
     fn fresh() -> (TeeWorld, LcmServer<AppendLog>) {
         let world = TeeWorld::new_deterministic(5);
         let platform = world.platform_deterministic(1);
-        let mut server =
-            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        let mut server = LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
         assert!(server.boot().unwrap());
         (world, server)
     }
@@ -270,8 +283,7 @@ mod tests {
         // admin trusts: attestation must fail.
         let world_evil = TeeWorld::new_deterministic(66);
         let platform = world_evil.platform_deterministic(1);
-        let mut server =
-            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        let mut server = LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
         server.boot().unwrap();
 
         let world_good = TeeWorld::new_deterministic(5);

@@ -189,8 +189,9 @@ impl LcmClient {
 
     fn fire_watches(&mut self) {
         let ts = self.ts;
-        let (fired, kept): (Vec<_>, Vec<_>) =
-            std::mem::take(&mut self.watches).into_iter().partition(|&(_, t)| ts >= t);
+        let (fired, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.watches)
+            .into_iter()
+            .partition(|&(_, t)| ts >= t);
         self.watches = kept;
         for (watch, threshold) in fired {
             self.notifications.push(StabilityEvent {
@@ -365,8 +366,7 @@ mod tests {
         let wire = c.invoke(b"op").unwrap();
         assert!(c.has_pending());
         // Decrypt at "T" side to inspect.
-        let plain =
-            aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).unwrap();
+        let plain = aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).unwrap();
         let msg = InvokeMsg::from_bytes(&plain).unwrap();
         assert_eq!(msg.client, ClientId(1));
         assert_eq!(msg.tc, SeqNo::ZERO);
@@ -488,7 +488,8 @@ mod tests {
 
         c.invoke(b"b").unwrap();
         let r1h = ok_reply(1, 0, ChainValue::GENESIS).h;
-        c.handle_reply(&reply_wire(&key(), &ok_reply(2, 1, r1h))).unwrap();
+        c.handle_reply(&reply_wire(&key(), &ok_reply(2, 1, r1h)))
+            .unwrap();
         let fired = c.take_notifications();
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].watch, w);
@@ -531,11 +532,7 @@ mod tests {
         c.rotate_key(&new_key);
         let wire = c.invoke(b"a").unwrap();
         // Old key can no longer decrypt the client's messages.
-        assert!(
-            aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).is_err()
-        );
-        assert!(
-            aead::auth_decrypt(&AeadKey::from_secret(&new_key), &wire, LABEL_INVOKE).is_ok()
-        );
+        assert!(aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).is_err());
+        assert!(aead::auth_decrypt(&AeadKey::from_secret(&new_key), &wire, LABEL_INVOKE).is_ok());
     }
 }

@@ -159,7 +159,9 @@ impl AdminOp {
         }
     }
 
-    pub(crate) fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, crate::codec::CodecError> {
+    pub(crate) fn decode(
+        r: &mut Reader<'_>,
+    ) -> std::result::Result<Self, crate::codec::CodecError> {
         match r.get_u8()? {
             ADMIN_ADD => Ok(AdminOp::AddClient(ClientId::decode(r)?)),
             ADMIN_REMOVE => {
@@ -209,7 +211,9 @@ impl AdminReply {
         }
     }
 
-    pub(crate) fn decode(r: &mut Reader<'_>) -> std::result::Result<Self, crate::codec::CodecError> {
+    pub(crate) fn decode(
+        r: &mut Reader<'_>,
+    ) -> std::result::Result<Self, crate::codec::CodecError> {
         match r.get_u8()? {
             1 => Ok(AdminReply::Ok),
             2 => Ok(AdminReply::Status {
@@ -472,7 +476,12 @@ impl<F: Functionality> TrustedContext<F> {
     ///   phase.
     pub fn handle_invoke(&mut self, wire: &[u8]) -> Result<(ClientId, Vec<u8>)> {
         self.require_ready()?;
-        let aead_c = self.keys.as_ref().expect("ready implies keys").aead_c.clone();
+        let aead_c = self
+            .keys
+            .as_ref()
+            .expect("ready implies keys")
+            .aead_c
+            .clone();
         let plain = match aead::auth_decrypt(&aead_c, wire, LABEL_INVOKE) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
@@ -494,11 +503,8 @@ impl<F: Functionality> TrustedContext<F> {
         } else if msg.retry {
             // §4.6.1 second case: T crashed after storing but before the
             // client got the reply — resend the cached result.
-            let cached_matches = entry.ta == msg.tc
-                && entry
-                    .cached
-                    .as_ref()
-                    .is_some_and(|c| c.hc_echo == msg.hc);
+            let cached_matches =
+                entry.ta == msg.tc && entry.cached.as_ref().is_some_and(|c| c.hc_echo == msg.hc);
             if cached_matches {
                 let cached = entry.cached.clone().expect("checked above");
                 let reply = ReplyMsg {
@@ -564,7 +570,12 @@ impl<F: Functionality> TrustedContext<F> {
     }
 
     fn encrypt_reply(&mut self, client: ClientId, reply: &ReplyMsg) -> Result<Vec<u8>> {
-        let aead_c = self.keys.as_ref().expect("ready implies keys").aead_c.clone();
+        let aead_c = self
+            .keys
+            .as_ref()
+            .expect("ready implies keys")
+            .aead_c
+            .clone();
         let nonce = self.next_nonce();
         aead::auth_encrypt_with_nonce(&aead_c, &nonce, &reply.to_bytes(), &reply_aad(client))
             .map_err(|e| LcmError::Tee(e.to_string()))
@@ -595,9 +606,13 @@ impl<F: Functionality> TrustedContext<F> {
 
         let nonce_a = self.next_nonce();
         let nonce_b = self.next_nonce();
-        let key_blob =
-            aead::auth_encrypt_with_nonce(&seal_key, &nonce_a, &key_plain.into_bytes(), LABEL_KEY_BLOB)
-                .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let key_blob = aead::auth_encrypt_with_nonce(
+            &seal_key,
+            &nonce_a,
+            &key_plain.into_bytes(),
+            LABEL_KEY_BLOB,
+        )
+        .map_err(|e| LcmError::Tee(e.to_string()))?;
         let state_blob = aead::auth_encrypt_with_nonce(
             &aead_p,
             &nonce_b,
@@ -647,7 +662,12 @@ impl<F: Functionality> TrustedContext<F> {
     ///   replay; the context halts.
     pub fn handle_admin(&mut self, wire: &[u8]) -> Result<(Vec<u8>, PersistBlobs)> {
         self.require_ready()?;
-        let aead_a = self.keys.as_ref().expect("ready implies keys").aead_a.clone();
+        let aead_a = self
+            .keys
+            .as_ref()
+            .expect("ready implies keys")
+            .aead_a
+            .clone();
         let plain = match aead::auth_decrypt(&aead_a, wire, LABEL_ADMIN) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
@@ -671,11 +691,11 @@ impl<F: Functionality> TrustedContext<F> {
 
         let reply = match op {
             AdminOp::AddClient(id) => {
-                if self.v.contains_key(&id) {
-                    AdminReply::Rejected(format!("client {id} already in group"))
-                } else {
-                    self.v.insert(id, VEntry::default());
+                if let std::collections::btree_map::Entry::Vacant(slot) = self.v.entry(id) {
+                    slot.insert(VEntry::default());
                     AdminReply::Ok
+                } else {
+                    AdminReply::Rejected(format!("client {id} already in group"))
                 }
             }
             AdminOp::RemoveClient(id, new_kc) => {
@@ -703,8 +723,9 @@ impl<F: Functionality> TrustedContext<F> {
         let keys = self.keys.as_ref().expect("ready implies keys");
         let aead_a = keys.aead_a.clone();
         let nonce = self.next_nonce();
-        let reply_wire = aead::auth_encrypt_with_nonce(&aead_a, &nonce, &w.into_bytes(), LABEL_ADMIN)
-            .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let reply_wire =
+            aead::auth_encrypt_with_nonce(&aead_a, &nonce, &w.into_bytes(), LABEL_ADMIN)
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
         let blobs = self.persist_blobs()?;
         Ok((reply_wire, blobs))
     }
@@ -858,7 +879,8 @@ mod tests {
         let mut ctx = TrustedContext::<AppendLog>::new(services(world, 1));
         assert_eq!(ctx.init(None, None).unwrap(), InitOutcome::NeedProvision);
         let payload = provision_payload();
-        let channel = AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
+        let channel =
+            AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
         let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
         let blobs = ctx.provision(&sealed).unwrap();
         (ctx, blobs)
@@ -873,8 +895,7 @@ mod tests {
     }
 
     fn decrypt_reply(wire: &[u8], client: u32) -> ReplyMsg {
-        let plain =
-            aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client))).unwrap();
+        let plain = aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client))).unwrap();
         ReplyMsg::from_bytes(&plain).unwrap()
     }
 
@@ -946,7 +967,12 @@ mod tests {
         // C1 acknowledges op #3: candidate ta=1 disappears, ta=3 does
         // not qualify yet — the raw formula would report q=0 here.
         let r4 = invoke(&mut ctx, 1, r3.t, r3.h, b"d").unwrap();
-        assert!(r4.q >= r3.q, "q must not decrease: {:?} -> {:?}", r3.q, r4.q);
+        assert!(
+            r4.q >= r3.q,
+            "q must not decrease: {:?} -> {:?}",
+            r3.q,
+            r4.q
+        );
         let _ = r2;
     }
 
@@ -961,7 +987,8 @@ mod tests {
         let blobs = ctx.persist_blobs().unwrap();
 
         let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
-        ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob)).unwrap();
+        ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+            .unwrap();
         let r4 = invoke(&mut ctx2, 1, r3.t, r3.h, b"d").unwrap();
         assert!(r4.q >= SeqNo(1), "floor must persist: {:?}", r4.q);
     }
@@ -1267,9 +1294,8 @@ mod tests {
         let world = world();
         let (mut ctx, _) = provisioned_context(&world);
         let payload = provision_payload();
-        let channel = AeadKey::from_secret(
-            &world.admin_provision_key(&Measurement::of_program(M_NAME, "1")),
-        );
+        let channel =
+            AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
         let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
         assert_eq!(ctx.provision(&sealed), Err(LcmError::AlreadyProvisioned));
     }

@@ -345,7 +345,10 @@ impl<F: Functionality> LcmProgram<F> {
             HostCall::Init {
                 key_blob,
                 state_blob,
-            } => match self.context.init(key_blob.as_deref(), state_blob.as_deref()) {
+            } => match self
+                .context
+                .init(key_blob.as_deref(), state_blob.as_deref())
+            {
                 Ok(outcome) => HostReply::InitOk {
                     need_provision: outcome == InitOutcome::NeedProvision,
                 },
@@ -471,8 +474,7 @@ mod tests {
 
         let world = TeeWorld::new_deterministic(1);
         let platform = world.platform_deterministic(1);
-        let mut enclave =
-            lcm_tee::enclave::Enclave::<LcmProgram<AppendLog>>::create(&platform);
+        let mut enclave = lcm_tee::enclave::Enclave::<LcmProgram<AppendLog>>::create(&platform);
         enclave.start().unwrap();
         let out = enclave.ecall(&[0xff, 0x00]).unwrap();
         match HostReply::from_bytes(&out).unwrap() {

@@ -302,10 +302,7 @@ mod tests {
     use lcm_storage::MemoryStorage;
     use lcm_tee::world::TeeWorld;
 
-    fn setup(
-        n_clients: u32,
-        batch: usize,
-    ) -> (LcmServer<AppendLog>, AdminHandle, Vec<LcmClient>) {
+    fn setup(n_clients: u32, batch: usize) -> (LcmServer<AppendLog>, AdminHandle, Vec<LcmClient>) {
         let world = TeeWorld::new_deterministic(42);
         let platform = world.platform_deterministic(1);
         let storage = Arc::new(MemoryStorage::new());
@@ -313,7 +310,8 @@ mod tests {
         assert!(server.boot().unwrap());
 
         let clients: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
-        let mut admin = AdminHandle::new_deterministic(&world, clients.clone(), Quorum::Majority, 7);
+        let mut admin =
+            AdminHandle::new_deterministic(&world, clients.clone(), Quorum::Majority, 7);
         admin.bootstrap(&mut server).unwrap();
 
         let lcm_clients = clients

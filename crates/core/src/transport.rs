@@ -176,8 +176,7 @@ mod tests {
     fn hub_with_clients(n: u32) -> (Hub<AppendLog>, Vec<(LcmClient, ClientPort)>) {
         let world = TeeWorld::new_deterministic(60);
         let platform = world.platform_deterministic(1);
-        let mut server =
-            LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        let mut server = LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
         server.boot().unwrap();
         let ids: Vec<ClientId> = (1..=n).map(ClientId).collect();
         let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 3);

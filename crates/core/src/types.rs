@@ -143,9 +143,18 @@ mod tests {
     #[test]
     fn chain_extend_binds_all_inputs() {
         let base = ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(2));
-        assert_ne!(base, ChainValue::GENESIS.extend(b"oq", SeqNo(1), ClientId(2)));
-        assert_ne!(base, ChainValue::GENESIS.extend(b"op", SeqNo(2), ClientId(2)));
-        assert_ne!(base, ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(3)));
+        assert_ne!(
+            base,
+            ChainValue::GENESIS.extend(b"oq", SeqNo(1), ClientId(2))
+        );
+        assert_ne!(
+            base,
+            ChainValue::GENESIS.extend(b"op", SeqNo(2), ClientId(2))
+        );
+        assert_ne!(
+            base,
+            ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(3))
+        );
         let other_parent = base.extend(b"op", SeqNo(1), ClientId(2));
         assert_ne!(base, other_parent);
     }

@@ -89,7 +89,10 @@ impl std::fmt::Display for ForkEvidence {
                 forked_at,
                 joined_at,
             } => {
-                write!(f, "views forked at {forked_at} but joined again at {joined_at}")
+                write!(
+                    f,
+                    "views forked at {forked_at} but joined again at {joined_at}"
+                )
             }
         }
     }
@@ -325,8 +328,16 @@ mod tests {
     #[test]
     fn no_join_accepts_clean_fork() {
         // Diverge at #2 and stay diverged.
-        let a = vec![rec(1, 1, b"common", 0), rec(1, 2, b"a", 0), rec(1, 3, b"a3", 0)];
-        let b = vec![rec(2, 1, b"common", 0), rec(2, 2, b"b", 0), rec(2, 3, b"b3", 0)];
+        let a = vec![
+            rec(1, 1, b"common", 0),
+            rec(1, 2, b"a", 0),
+            rec(1, 3, b"a3", 0),
+        ];
+        let b = vec![
+            rec(2, 1, b"common", 0),
+            rec(2, 2, b"b", 0),
+            rec(2, 3, b"b3", 0),
+        ];
         check_no_join(&a, &b).unwrap();
     }
 

@@ -49,7 +49,11 @@ pub struct InvokeMsg {
 
 impl WireCodec for InvokeMsg {
     fn encode(&self, w: &mut Writer) {
-        w.put_u8(if self.retry { TAG_INVOKE_RETRY } else { TAG_INVOKE });
+        w.put_u8(if self.retry {
+            TAG_INVOKE_RETRY
+        } else {
+            TAG_INVOKE
+        });
         self.client.encode(w);
         self.tc.encode(w);
         self.hc.encode(w);

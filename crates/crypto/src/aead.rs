@@ -257,7 +257,10 @@ mod tests {
     fn truncated_blob_rejected() {
         let sealed = auth_encrypt(&key(), b"payload", b"").unwrap();
         for cut in [0, 1, NONCE_LEN, MIN_SEALED_LEN - 1] {
-            assert!(auth_decrypt(&key(), &sealed[..cut], b"").is_err(), "cut {cut}");
+            assert!(
+                auth_decrypt(&key(), &sealed[..cut], b"").is_err(),
+                "cut {cut}"
+            );
         }
     }
 

@@ -36,7 +36,10 @@ impl fmt::Display for CryptoError {
                 write!(f, "authentication failed")
             }
             CryptoError::InvalidKeyLength { expected, actual } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {actual}"
+                )
             }
             CryptoError::NonceExhausted => write!(f, "nonce space exhausted"),
             CryptoError::OutputLengthInvalid => {

@@ -67,7 +67,9 @@ impl NativeKvsServer {
         if !matches!(op, KvOp::Get(_)) {
             self.ops_since_persist += 1;
             if self.ops_since_persist >= self.persist_every {
-                let _ = self.storage.store(SLOT_NATIVE_STATE, &self.store.snapshot());
+                let _ = self
+                    .storage
+                    .store(SLOT_NATIVE_STATE, &self.store.snapshot());
                 self.ops_since_persist = 0;
             }
         }

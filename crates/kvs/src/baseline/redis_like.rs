@@ -110,6 +110,11 @@ impl RedisLikeKvsServer {
         self.store.len()
     }
 
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
     /// Current AOF size in bytes (per-op write cost for the simulator
     /// is the op entry size, not the full state).
     pub fn aof_bytes(&self) -> usize {

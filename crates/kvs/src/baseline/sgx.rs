@@ -229,7 +229,10 @@ impl SgxKvsServer {
             self.enclave.stop();
         }
         self.enclave.start().map_err(|e| e.to_string())?;
-        let blob = self.storage.load(SLOT_SGX_STATE).map_err(|e| e.to_string())?;
+        let blob = self
+            .storage
+            .load(SLOT_SGX_STATE)
+            .map_err(|e| e.to_string())?;
         self.enclave
             .ecall(&ProgramCall::Init(blob).to_bytes())
             .map_err(|e| e.to_string())?;
@@ -278,11 +281,7 @@ impl SgxKvsServer {
     /// The session key clients use (obtained via attestation in a real
     /// deployment; exposed here for the baseline client).
     pub fn session_key_for(platform: &TeePlatform) -> AeadKey {
-        let services = TeeServices::for_tests(
-            platform.clone(),
-            SecureKvsProgram::measurement(),
-            0,
-        );
+        let services = TeeServices::for_tests(platform.clone(), SecureKvsProgram::measurement(), 0);
         AeadKey::from_secret(&lcm_crypto::hkdf::derive_key(
             &services.sealing_key(),
             b"sgx-kvs",
@@ -414,7 +413,10 @@ mod tests {
         let client = SecureKvsClient::new(SgxKvsServer::session_key_for(&platform));
 
         client
-            .run(&mut server, &KvOp::Put(b"balance".to_vec(), b"100".to_vec()))
+            .run(
+                &mut server,
+                &KvOp::Put(b"balance".to_vec(), b"100".to_vec()),
+            )
             .unwrap();
         client
             .run(&mut server, &KvOp::Put(b"balance".to_vec(), b"0".to_vec()))
@@ -427,7 +429,9 @@ mod tests {
 
         // The stale balance is served without any error.
         assert_eq!(
-            client.run(&mut server, &KvOp::Get(b"balance".to_vec())).unwrap(),
+            client
+                .run(&mut server, &KvOp::Get(b"balance".to_vec()))
+                .unwrap(),
             KvResult::Value(Some(b"100".to_vec()))
         );
     }

@@ -24,7 +24,9 @@ pub struct KvsClient {
 
 impl std::fmt::Debug for KvsClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KvsClient").field("lcm", &self.inner).finish()
+        f.debug_struct("KvsClient")
+            .field("lcm", &self.inner)
+            .finish()
     }
 }
 
@@ -179,11 +181,7 @@ impl KvsClient {
     /// # Errors
     ///
     /// Propagates [`KvsClient::run`] errors.
-    pub fn del<F: Functionality>(
-        &mut self,
-        server: &mut LcmServer<F>,
-        key: &[u8],
-    ) -> Result<bool> {
+    pub fn del<F: Functionality>(&mut self, server: &mut LcmServer<F>, key: &[u8]) -> Result<bool> {
         match self.run(server, &KvOp::Del(key.to_vec()))?.result {
             KvResult::Deleted(existed) => Ok(existed),
             other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
@@ -204,8 +202,7 @@ mod tests {
     fn setup() -> (LcmServer<KvStore>, KvsClient, KvsClient) {
         let world = TeeWorld::new_deterministic(3);
         let platform = world.platform_deterministic(1);
-        let mut server =
-            LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 16);
+        let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 16);
         server.boot().unwrap();
         let mut admin = AdminHandle::new_deterministic(
             &world,

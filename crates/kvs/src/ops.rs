@@ -184,7 +184,10 @@ mod tests {
             KvResult::Deleted(true),
             KvResult::Deleted(false),
             KvResult::Range(vec![]),
-            KvResult::Range(vec![(b"k1".to_vec(), b"v1".to_vec()), (b"k2".to_vec(), vec![])]),
+            KvResult::Range(vec![
+                (b"k1".to_vec(), b"v1".to_vec()),
+                (b"k2".to_vec(), vec![]),
+            ]),
             KvResult::Malformed,
         ];
         for res in results {

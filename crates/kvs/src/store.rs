@@ -42,14 +42,8 @@ pub struct KvStore {
 
 /// Wrapper so `KvStore` can derive `PartialEq` while carrying the
 /// memory model configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct MemoryModelWrapper(MapMemoryModel);
-
-impl Default for MemoryModelWrapper {
-    fn default() -> Self {
-        MemoryModelWrapper(MapMemoryModel::default())
-    }
-}
 
 impl PartialEq for MemoryModelWrapper {
     fn eq(&self, _other: &Self) -> bool {

@@ -44,6 +44,10 @@ fn reference_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &KvOp) -> KvResul
 }
 
 proptest! {
+    // Pinned case count so CI time is bounded; the runner's seed is
+    // derived deterministically from each test's name.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Typed path equals the reference model.
     #[test]
     fn store_matches_reference(ops in proptest::collection::vec(arb_op(), 0..200)) {

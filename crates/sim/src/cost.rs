@@ -178,10 +178,7 @@ impl CostModel {
     ) -> ServiceProfile {
         let payload_in = KEY_LEN + object_size; // PUT-shaped request
         let payload_out = object_size; // GET-shaped reply
-        let state_bytes = record_count
-            * self
-                .map_memory
-                .bytes_per_object(KEY_LEN, object_size);
+        let state_bytes = record_count * self.map_memory.bytes_per_object(KEY_LEN, object_size);
         let heap_penalty = self.epc.access_penalty(state_bytes);
 
         // Wire sizes per protocol.

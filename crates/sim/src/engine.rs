@@ -111,10 +111,15 @@ impl Simulation {
 
         // All clients fire at t=0 with a 1 µs stagger to avoid
         // artificial phase lock.
-        for c in 0..self.n_clients {
+        for (c, send) in send_time.iter_mut().enumerate() {
             let t0 = c as Nanos * 1_000;
-            send_time[c] = t0;
-            push(&mut heap, t0 + self.request_leg, Event::Arrival { client: c }, &mut seq);
+            *send = t0;
+            push(
+                &mut heap,
+                t0 + self.request_leg,
+                Event::Arrival { client: c },
+                &mut seq,
+            );
         }
 
         while let Some(Reverse((now, _, event))) = heap.pop() {
@@ -214,10 +219,7 @@ mod tests {
             let sgx = run(ServerKind::Sgx { batch: 1 }, n, false).throughput();
             let lcm = run(ServerKind::Lcm { batch: 1 }, n, false).throughput();
             let ratio = lcm / sgx;
-            assert!(
-                (0.60..=1.0).contains(&ratio),
-                "LCM/SGX@{n} = {ratio:.3}"
-            );
+            assert!((0.60..=1.0).contains(&ratio), "LCM/SGX@{n} = {ratio:.3}");
         }
     }
 

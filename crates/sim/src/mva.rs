@@ -57,7 +57,12 @@ pub fn mva(demand: Duration, think: Duration, n: usize) -> MvaPoint {
 ///
 /// Panics when called for a batched or group-commit kind, whose
 /// behaviour MVA does not model.
-pub fn mva_for_kind(model: &CostModel, kind: ServerKind, n_clients: usize, fsync: bool) -> MvaPoint {
+pub fn mva_for_kind(
+    model: &CostModel,
+    kind: ServerKind,
+    n_clients: usize,
+    fsync: bool,
+) -> MvaPoint {
     let profile = model.profile(kind, 1000, 100, fsync);
     assert!(
         profile.batch_limit == 1 && !profile.group_commit,
@@ -150,7 +155,10 @@ mod tests {
             let analytic = mva_for_kind(&model, ServerKind::Lcm { batch: 1 }, n, true).throughput;
             let simulated = des_throughput(&model, ServerKind::Lcm { batch: 1 }, n, true);
             let rel = (analytic - simulated).abs() / analytic;
-            assert!(rel < 0.15, "fsync@{n}: MVA {analytic:.0} vs DES {simulated:.0}");
+            assert!(
+                rel < 0.15,
+                "fsync@{n}: MVA {analytic:.0} vs DES {simulated:.0}"
+            );
         }
     }
 

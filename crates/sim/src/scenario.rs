@@ -140,7 +140,11 @@ mod tests {
         let tmc = get(ServerKind::SgxTmc);
 
         for i in 0..native.len() {
-            assert!(sgx[i].1 <= native[i].1 * 1.001, "SGX ≤ Native @{}", native[i].0);
+            assert!(
+                sgx[i].1 <= native[i].1 * 1.001,
+                "SGX ≤ Native @{}",
+                native[i].0
+            );
             assert!(lcm[i].1 <= sgx[i].1 * 1.001, "LCM ≤ SGX @{}", native[i].0);
             assert!(tmc[i].1 < 25.0, "TMC flat @{}", native[i].0);
         }
@@ -154,7 +158,9 @@ mod tests {
         let series = run_figure5_or_6(&model(), true);
         for (kind, rows) in &series {
             match kind {
-                ServerKind::Native | ServerKind::Sgx { batch: 1 } | ServerKind::Lcm { batch: 1 } => {
+                ServerKind::Native
+                | ServerKind::Sgx { batch: 1 }
+                | ServerKind::Lcm { batch: 1 } => {
                     let first = rows[0].1;
                     let last = rows.last().unwrap().1;
                     assert!(last < 1.5 * first, "{} flat under fsync", kind.label());

@@ -150,15 +150,13 @@ impl StableStorage for RollbackStorage {
                 Ok(blob) => Ok(Some(blob)),
                 Err(_) => self.history.load(slot),
             },
-            AdversaryMode::ServeStale { steps_back } => {
-                match self.history.latest_version(slot) {
-                    Some(Version(latest)) => {
-                        let target = Version(latest.saturating_sub(steps_back));
-                        Ok(Some(self.history.load_version(slot, target)?))
-                    }
-                    None => Ok(None),
+            AdversaryMode::ServeStale { steps_back } => match self.history.latest_version(slot) {
+                Some(Version(latest)) => {
+                    let target = Version(latest.saturating_sub(steps_back));
+                    Ok(Some(self.history.load_version(slot, target)?))
                 }
-            }
+                None => Ok(None),
+            },
             AdversaryMode::Frozen => match inner.frozen_at.get(slot) {
                 Some(&v) => Ok(Some(self.history.load_version(slot, v)?)),
                 None => Ok(None),

@@ -54,10 +54,7 @@ impl<S: StableStorage> FlakyStorage<S> {
 
     fn inject(&self) -> StorageError {
         self.failures.fetch_add(1, Ordering::Relaxed);
-        StorageError::Io(std::io::Error::new(
-            std::io::ErrorKind::Other,
-            "injected storage failure",
-        ))
+        StorageError::Io(std::io::Error::other("injected storage failure"))
     }
 }
 

@@ -92,7 +92,11 @@ pub struct Quote {
     signature: Digest,
 }
 
-fn quote_signature(group_secret: &SecretKey, measurement: &Measurement, user_data: &Digest) -> Digest {
+fn quote_signature(
+    group_secret: &SecretKey,
+    measurement: &Measurement,
+    user_data: &Digest,
+) -> Digest {
     let mut buf = Vec::with_capacity(96);
     buf.extend_from_slice(b"lcm-tee.quote");
     buf.extend_from_slice(measurement.as_bytes());
@@ -198,7 +202,7 @@ impl AttestationAuthority {
     /// reproducible tests.
     pub fn new_deterministic(seed: u64) -> Self {
         use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xa77e_57);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x00a7_7e57);
         AttestationAuthority {
             group_secret: SecretKey::generate_with(&mut rng),
         }
@@ -322,7 +326,9 @@ mod tests {
         let quote = qe.quote(&report).unwrap();
         let wrong = Measurement::of_program("evil-app", "1");
         assert!(matches!(
-            authority.verifier().verify(&quote, &wrong, &sha256::digest(b"nonce")),
+            authority
+                .verifier()
+                .verify(&quote, &wrong, &sha256::digest(b"nonce")),
             Err(TeeError::AttestationFailed("unexpected measurement"))
         ));
     }
@@ -405,8 +411,12 @@ mod tests {
         let p2 = TeePlatform::new_deterministic(2);
         authority.enroll(&p1);
         authority.enroll(&p2);
-        let q1 = QuotingEnclave::new(&p1).quote(&make_report(&p1, b"n")).unwrap();
-        let q2 = QuotingEnclave::new(&p2).quote(&make_report(&p2, b"n")).unwrap();
+        let q1 = QuotingEnclave::new(&p1)
+            .quote(&make_report(&p1, b"n"))
+            .unwrap();
+        let q2 = QuotingEnclave::new(&p2)
+            .quote(&make_report(&p2, b"n"))
+            .unwrap();
         assert_eq!(q1, q2);
     }
 }

@@ -174,7 +174,10 @@ impl<P: EnclaveProgram> Enclave<P> {
         // Mix platform identity and epoch so each epoch sees an
         // independent but reproducible stream; add OS entropy when the
         // platform is not deterministic (the seed already differs).
-        let mut seed = self.platform.id().0
+        let mut seed = self
+            .platform
+            .id()
+            .0
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(self.epoch);
         // Stir in a little ambient entropy; determinism across runs is

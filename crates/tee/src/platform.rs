@@ -91,7 +91,9 @@ pub struct TeePlatform {
 
 impl fmt::Debug for TeePlatform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("TeePlatform").field("id", &self.inner.id).finish()
+        f.debug_struct("TeePlatform")
+            .field("id", &self.inner.id)
+            .finish()
     }
 }
 

@@ -23,6 +23,10 @@ impl EnclaveProgram for Probe {
 }
 
 proptest! {
+    // Pinned case count so CI time is bounded; the runner's seed is
+    // derived deterministically from each test's name.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
     /// Sealing keys separate cleanly: equal iff both platform and
     /// program agree.
     #[test]

@@ -20,7 +20,9 @@ pub struct Uniform {
 impl Uniform {
     /// Creates a uniform chooser over `items` items.
     pub fn new(items: u64) -> Self {
-        Uniform { items: items.max(1) }
+        Uniform {
+            items: items.max(1),
+        }
     }
 }
 
@@ -228,7 +230,10 @@ mod tests {
         // The newest item (index 999) must be the hottest region.
         let newest: usize = counts[900..].iter().sum();
         let oldest: usize = counts[..100].iter().sum();
-        assert!(newest > 10 * oldest.max(1), "newest={newest} oldest={oldest}");
+        assert!(
+            newest > 10 * oldest.max(1),
+            "newest={newest} oldest={oldest}"
+        );
     }
 
     #[test]

@@ -130,27 +130,63 @@ impl WorkloadPreset {
     pub fn config(self) -> WorkloadConfig {
         let (mix, distribution) = match self {
             WorkloadPreset::A => (
-                Mix { read: 0.5, update: 0.5, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Mix {
+                    read: 0.5,
+                    update: 0.5,
+                    insert: 0.0,
+                    rmw: 0.0,
+                    scan: 0.0,
+                },
                 Distribution::Zipfian,
             ),
             WorkloadPreset::B => (
-                Mix { read: 0.95, update: 0.05, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Mix {
+                    read: 0.95,
+                    update: 0.05,
+                    insert: 0.0,
+                    rmw: 0.0,
+                    scan: 0.0,
+                },
                 Distribution::Zipfian,
             ),
             WorkloadPreset::C => (
-                Mix { read: 1.0, update: 0.0, insert: 0.0, rmw: 0.0, scan: 0.0 },
+                Mix {
+                    read: 1.0,
+                    update: 0.0,
+                    insert: 0.0,
+                    rmw: 0.0,
+                    scan: 0.0,
+                },
                 Distribution::Zipfian,
             ),
             WorkloadPreset::D => (
-                Mix { read: 0.95, update: 0.0, insert: 0.05, rmw: 0.0, scan: 0.0 },
+                Mix {
+                    read: 0.95,
+                    update: 0.0,
+                    insert: 0.05,
+                    rmw: 0.0,
+                    scan: 0.0,
+                },
                 Distribution::Latest,
             ),
             WorkloadPreset::E => (
-                Mix { read: 0.0, update: 0.0, insert: 0.05, rmw: 0.0, scan: 0.95 },
+                Mix {
+                    read: 0.0,
+                    update: 0.0,
+                    insert: 0.05,
+                    rmw: 0.0,
+                    scan: 0.95,
+                },
                 Distribution::Zipfian,
             ),
             WorkloadPreset::F => (
-                Mix { read: 0.5, update: 0.0, insert: 0.0, rmw: 0.5, scan: 0.0 },
+                Mix {
+                    read: 0.5,
+                    update: 0.0,
+                    insert: 0.0,
+                    rmw: 0.5,
+                    scan: 0.0,
+                },
                 Distribution::Zipfian,
             ),
         };

@@ -26,13 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut bob = KvsClient::new(ClientId(2), admin.client_key());
 
     alice.put(&mut server, b"team", b"alice,bob")?;
-    println!("group of 2 working; alice at seq {}", alice.lcm().last_seq());
+    println!(
+        "group of 2 working; alice at seq {}",
+        alice.lcm().last_seq()
+    );
 
     // --- Join: the admin registers Carol and sends her kC.
     admin.add_client(&mut server, ClientId(3))?;
     let mut carol = KvsClient::new(ClientId(3), admin.client_key());
     carol.put(&mut server, b"team", b"alice,bob,carol")?;
-    println!("carol joined and wrote; group is now {}", admin.clients().len());
+    println!(
+        "carol joined and wrote; group is now {}",
+        admin.clients().len()
+    );
 
     let (_, _, n) = admin.status(&mut server)?;
     assert_eq!(n, 3);
@@ -50,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     alice.lcm_mut().rotate_key(&new_kc);
     carol.lcm_mut().rotate_key(&new_kc);
     alice.put(&mut server, b"team", b"alice,carol")?;
-    println!("alice continues with the fresh key (seq {})", alice.lcm().last_seq());
+    println!(
+        "alice continues with the fresh key (seq {})",
+        alice.lcm().last_seq()
+    );
 
     // Bob still holds the OLD key. His message no longer authenticates:
     // the context treats it as an attack and halts — an eviction is a

@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Origin server on platform 1.
     let origin_platform = world.platform(1);
-    let mut origin = LcmServer::<KvStore>::new(&origin_platform, Arc::new(MemoryStorage::new()), 16);
+    let mut origin =
+        LcmServer::<KvStore>::new(&origin_platform, Arc::new(MemoryStorage::new()), 16);
     origin.boot()?;
     let mut admin = AdminHandle::new(&world, vec![ClientId(1), ClientId(2)], Quorum::Majority);
     admin.bootstrap(&mut origin)?;
@@ -51,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LcmServer::<KvStore>::new(&target_platform, Arc::new(MemoryStorage::new()), 16);
     let needs_provision = target.boot()?;
     assert!(needs_provision);
-    println!("target enclave created on {:?}, awaiting state", target_platform.id());
+    println!(
+        "target enclave created on {:?}, awaiting state",
+        target_platform.id()
+    );
 
     // Migration: the origin T acts as the admin for T′ (§4.6.2) —
     // exports a ticket encrypted for same-program enclaves, stops

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let group = vec![ClientId(1), ClientId(2), ClientId(3)];
     let mut admin = AdminHandle::new(&world, group, Quorum::Majority);
     admin.bootstrap(&mut server)?;
-    println!("✓ enclave attested and provisioned for {} clients", admin.clients().len());
+    println!(
+        "✓ enclave attested and provisioned for {} clients",
+        admin.clients().len()
+    );
 
     // --- Clients receive kC from the admin and start working.
     let mut alice = KvsClient::new(ClientId(1), admin.client_key());

@@ -39,10 +39,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let client = SecureKvsClient::new(SgxKvsServer::session_key_for(&platform));
 
         client
-            .run(&mut server, &KvOp::Put(b"balance".to_vec(), b"100 EUR".to_vec()))
+            .run(
+                &mut server,
+                &KvOp::Put(b"balance".to_vec(), b"100 EUR".to_vec()),
+            )
             .map_err(AsErr)?;
         client
-            .run(&mut server, &KvOp::Put(b"balance".to_vec(), b"0 EUR".to_vec()))
+            .run(
+                &mut server,
+                &KvOp::Put(b"balance".to_vec(), b"0 EUR".to_vec()),
+            )
             .map_err(AsErr)?;
         println!("  wrote balance=100, then spent it: balance=0");
 
@@ -51,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .history()
             .load_version("sgx-kvs.state", Version(0))?;
         storage.set_mode(AdversaryMode::ServeVersion(Version(0)));
-        println!("  host rolls storage back to version 0 ({} sealed bytes)", stale.len());
+        println!(
+            "  host rolls storage back to version 0 ({} sealed bytes)",
+            stale.len()
+        );
         server.crash();
         server.boot().map_err(AsErr)?;
 

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "f" => WorkloadPreset::F,
         other => return Err(format!("unknown workload {other:?} (use a-f)").into()),
     };
-    let total_ops: usize = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(20_000);
+    let total_ops: usize = args
+        .get(2)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(20_000);
     let n_clients = 4usize;
 
     // Infrastructure.

@@ -113,7 +113,10 @@ fn fork_detected_when_clients_cross() {
     branch
         .store(
             "lcm.keyblob",
-            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+            &storage
+                .history()
+                .load_version("lcm.keyblob", key_v)
+                .unwrap(),
         )
         .unwrap();
     let platform = server_platform();
@@ -149,7 +152,10 @@ fn forked_minority_never_becomes_stable() {
     branch
         .store(
             "lcm.keyblob",
-            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+            &storage
+                .history()
+                .load_version("lcm.keyblob", key_v)
+                .unwrap(),
         )
         .unwrap();
     let platform = TeeWorld::new_deterministic(25).platform_deterministic(1);
@@ -190,7 +196,10 @@ fn forked_views_never_join() {
     branch
         .store(
             "lcm.keyblob",
-            &storage.history().load_version("lcm.keyblob", key_v).unwrap(),
+            &storage
+                .history()
+                .load_version("lcm.keyblob", key_v)
+                .unwrap(),
         )
         .unwrap();
     let platform = TeeWorld::new_deterministic(34).platform_deterministic(1);
@@ -200,7 +209,8 @@ fn forked_views_never_join() {
     // Extended divergent progress on both branches.
     for i in 0..5u32 {
         alice.put(&mut server_a, b"doc", &i.to_be_bytes()).unwrap();
-        bob.put(&mut server_b, b"doc", &(100 + i).to_be_bytes()).unwrap();
+        bob.put(&mut server_b, b"doc", &(100 + i).to_be_bytes())
+            .unwrap();
     }
 
     // The common prefix agrees, the fork never rejoins.
@@ -217,7 +227,9 @@ fn replayed_invoke_halts_context() {
     duplex.to_server.set_auto_deliver(true);
     duplex.to_client.set_auto_deliver(true);
 
-    let wire = c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec())).unwrap();
+    let wire = c
+        .invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec()))
+        .unwrap();
     duplex.client.send(wire.clone());
     server.submit(duplex.server.try_recv().unwrap());
     let replies = server.process_all().unwrap();
@@ -258,8 +270,12 @@ fn tampered_reply_halts_client() {
 #[test]
 fn reply_swapped_between_clients_detected() {
     let (_w, _s, mut server, _a, mut clients) = setup_adversarial(2, 29);
-    let w1 = clients[0].invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap();
-    let w2 = clients[1].invoke_wire(&KvOp::Put(b"b".to_vec(), b"2".to_vec())).unwrap();
+    let w1 = clients[0]
+        .invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec()))
+        .unwrap();
+    let w2 = clients[1]
+        .invoke_wire(&KvOp::Put(b"b".to_vec(), b"2".to_vec()))
+        .unwrap();
     server.submit(w1);
     server.submit(w2);
     let replies = server.process_all().unwrap();
@@ -276,11 +292,16 @@ fn reordered_requests_from_one_client_detected() {
     // OLD buffered message after newer progress — same signature.
     let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 30);
     let c = &mut clients[0];
-    let old_wire = c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"old".to_vec())).unwrap();
+    let old_wire = c
+        .invoke_wire(&KvOp::Put(b"k".to_vec(), b"old".to_vec()))
+        .unwrap();
     server.submit(old_wire.clone());
     let replies = server.process_all().unwrap();
     c.complete(&replies[0].1).unwrap();
-    server.submit(c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"new".to_vec())).unwrap());
+    server.submit(
+        c.invoke_wire(&KvOp::Put(b"k".to_vec(), b"new".to_vec()))
+            .unwrap(),
+    );
     let replies = server.process_all().unwrap();
     c.complete(&replies[0].1).unwrap();
 
@@ -329,9 +350,15 @@ fn stale_state_with_fresh_keyblob_detected() {
 
     // Adversary: serve stale state but latest key blob. Emulate by
     // copying blobs into a fresh honest storage.
-    let stale_state = storage.history().load_version("lcm.state", Version(1)).unwrap();
+    let stale_state = storage
+        .history()
+        .load_version("lcm.state", Version(1))
+        .unwrap();
     let key_latest_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    let fresh_key = storage.history().load_version("lcm.keyblob", key_latest_v).unwrap();
+    let fresh_key = storage
+        .history()
+        .load_version("lcm.keyblob", key_latest_v)
+        .unwrap();
     let mixed = MemoryStorageFrom(&[("lcm.state", stale_state), ("lcm.keyblob", fresh_key)]);
     let platform = TeeWorld::new_deterministic(33).platform_deterministic(1);
     let mut server2 = LcmServer::<KvStore>::new(&platform, Arc::new(mixed.build()), 1);

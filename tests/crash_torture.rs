@@ -66,7 +66,11 @@ fn run_with_crash(crash_at: usize, kind: CrashKind) {
         let replies = server.process_all().unwrap();
         let done = client.complete(&replies[0].1).unwrap();
         assert_eq!(done.result, KvResult::Stored, "op {i}, crash at {crash_at}");
-        assert_eq!(done.completion.seq.0, (i + 1) as u64, "exactly-once sequencing");
+        assert_eq!(
+            done.completion.seq.0,
+            (i + 1) as u64,
+            "exactly-once sequencing"
+        );
     }
 
     // Full state check after the torture run.
@@ -102,7 +106,9 @@ fn double_crash_same_operation() {
     admin.bootstrap(&mut server).unwrap();
     let mut client = KvsClient::new(ClientId(1), admin.client_key());
 
-    let wire = client.invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec())).unwrap();
+    let wire = client
+        .invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec()))
+        .unwrap();
     server.submit(wire);
     server.crash();
     server.boot().unwrap();
@@ -119,5 +125,9 @@ fn double_crash_same_operation() {
     let done = client.complete(&replies[0].1).unwrap();
     assert_eq!(done.completion.seq.0, 1);
     assert_eq!(client.get(&mut server, b"k").unwrap().unwrap(), b"v");
-    assert_eq!(client.lcm().last_seq().0, 2, "one put + one get, nothing duplicated");
+    assert_eq!(
+        client.lcm().last_seq().0,
+        2,
+        "one put + one get, nothing duplicated"
+    );
 }

@@ -86,7 +86,10 @@ fn batched_and_unbatched_servers_agree() {
         for i in 0..20u32 {
             let c = &mut clients[(i % 2) as usize];
             let done = c
-                .run(&mut server, &KvOp::Put(b"k".to_vec(), i.to_be_bytes().to_vec()))
+                .run(
+                    &mut server,
+                    &KvOp::Put(b"k".to_vec(), i.to_be_bytes().to_vec()),
+                )
                 .unwrap();
             results.push((done.completion.seq, done.result));
         }
@@ -141,7 +144,10 @@ fn lost_request_recovered_via_retry_over_links() {
     let duplex = Duplex::adversarial();
 
     // Client sends; the message is dropped in flight (server crash).
-    duplex.client.send(c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap());
+    duplex.client.send(
+        c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec()))
+            .unwrap(),
+    );
     duplex.to_server.drop_next();
     server.crash();
     server.boot().unwrap();
@@ -168,7 +174,10 @@ fn lost_reply_recovered_via_cached_retry_over_links() {
     duplex.to_server.set_auto_deliver(true);
 
     // Request processed; reply dropped in flight.
-    duplex.client.send(c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec())).unwrap());
+    duplex.client.send(
+        c.invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec()))
+            .unwrap(),
+    );
     server.submit(duplex.server.try_recv().unwrap());
     let replies = server.process_all().unwrap();
     duplex.server.send(replies[0].1.clone());
@@ -222,8 +231,12 @@ fn storage_io_failures_are_errors_not_violations() {
     let flaky = Arc::new(FlakyStorage::new(MemoryStorage::new()));
     let mut server = LcmServer::<KvStore>::new(&platform, flaky.clone(), 1);
     server.boot().unwrap();
-    let mut admin =
-        lcm::core::admin::AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 7);
+    let mut admin = lcm::core::admin::AdminHandle::new_deterministic(
+        &world,
+        vec![ClientId(1)],
+        Quorum::Majority,
+        7,
+    );
     admin.bootstrap(&mut server).unwrap();
     let mut client = KvsClient::new(ClientId(1), admin.client_key());
 

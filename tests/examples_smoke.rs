@@ -1,0 +1,116 @@
+//! Smoke tests over the `examples/` binaries: each must run to
+//! completion, and the attack demonstrations must actually report
+//! detection (their `main` also returns an error — failing the process
+//! — if an attack goes undetected, so exit status alone is meaningful).
+//!
+//! `cargo test` builds examples for the package under test before any
+//! test runs, so the binaries are located relative to the test
+//! executable (`target/<profile>/examples/`). `ycsb_run` is excluded:
+//! it is a long-running measurement harness, exercised by the bench
+//! tier instead.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn example_path(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop(); // <test-hash>
+    if dir.ends_with("deps") {
+        dir.pop(); // deps -> profile dir
+    }
+    let path = dir.join("examples").join(name);
+    assert!(
+        path.exists(),
+        "example binary {path:?} not found — examples are built by `cargo test`; \
+         run from the workspace root"
+    );
+    path
+}
+
+fn run_example(name: &str) -> Output {
+    let output = Command::new(example_path(name))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    output
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    let out = run_example("quickstart");
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("quickstart complete"),
+        "quickstart did not reach its completion marker:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crash recovery"),
+        "quickstart did not exercise crash recovery:\n{stdout}"
+    );
+}
+
+#[test]
+fn rollback_attack_is_detected() {
+    let out = run_example("rollback_attack");
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("DETECTED the rollback"),
+        "rollback attack ran but did not report detection:\n{stdout}"
+    );
+    // Act 1 must also show the baseline *failing* to detect, otherwise
+    // the demonstration is vacuous.
+    assert!(
+        stdout.contains("rollback vs the SGX baseline"),
+        "rollback example lost its baseline act:\n{stdout}"
+    );
+}
+
+#[test]
+fn forking_attack_is_detected() {
+    let out = run_example("forking_attack");
+    let stdout = stdout_of(&out);
+    let detections = stdout.matches("DETECTED").count();
+    assert!(
+        detections >= 2,
+        "forking attack must report detection both on crossing and \
+         out-of-band comparison; saw {detections} in:\n{stdout}"
+    );
+}
+
+#[test]
+fn membership_flows_complete() {
+    let out = run_example("membership");
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("membership flows complete"),
+        "membership example did not complete:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("rejected"),
+        "membership example must show the evicted client being rejected:\n{stdout}"
+    );
+}
+
+#[test]
+fn migration_completes() {
+    let out = run_example("migration");
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("migration complete"),
+        "migration example did not complete:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("refuses service"),
+        "migration example must show the origin refusing service:\n{stdout}"
+    );
+}

@@ -118,7 +118,9 @@ fn membership_churn_with_ongoing_traffic() {
     for new_id in 3..=5u32 {
         admin.add_client(&mut server, ClientId(new_id)).unwrap();
         let mut newcomer = KvsClient::new(ClientId(new_id), admin.client_key());
-        newcomer.put(&mut server, b"k", &new_id.to_be_bytes()).unwrap();
+        newcomer
+            .put(&mut server, b"k", &new_id.to_be_bytes())
+            .unwrap();
         c1.put(&mut server, b"k", b"still-here").unwrap();
     }
     let (_, _, n) = admin.status(&mut server).unwrap();

@@ -46,8 +46,11 @@ fn arb_step() -> impl Strategy<Value = Step> {
 fn build(n_clients: u32, seed: u64, batch: usize) -> (LcmServer<KvStore>, Vec<KvsClient>) {
     let world = TeeWorld::new_deterministic(seed);
     let platform = world.platform_deterministic(1);
-    let mut server =
-        LcmServer::<KvStore>::new(&platform, Arc::new(lcm::storage::MemoryStorage::new()), batch);
+    let mut server = LcmServer::<KvStore>::new(
+        &platform,
+        Arc::new(lcm::storage::MemoryStorage::new()),
+        batch,
+    );
     server.boot().unwrap();
     let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
     let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);

@@ -1,0 +1,285 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the macro/API surface the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`] with
+//! `bench_function` and `benchmark_group`, groups with `throughput`,
+//! `bench_function`, `bench_with_input` and `finish`, [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: a short warm-up, then timed
+//! batches until ~200 ms elapses, reporting the mean ns/iter (and
+//! derived throughput when declared). Good enough to compare orders of
+//! magnitude; not a statistics engine. `CRITERION_QUICK=1` shortens
+//! measurement for smoke runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark registry and driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Criterion {
+            measure_for: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measure_for);
+        f(&mut b);
+        b.report(name, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work volume for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b);
+        b.report(
+            &format!("{}/{}", self.name, id.into_benchmark_id()),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one benchmark receiving a borrowed input.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.measure_for);
+        f(&mut b, input);
+        b.report(
+            &format!("{}/{}", self.name, id.into_benchmark_id()),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (reporting happens per-bench; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Conversion of `&str`/`String`/[`BenchmarkId`] into a display id.
+pub trait IntoBenchmarkId {
+    /// Renders the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared per-iteration work volume.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    measure_for: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Bencher {
+            measure_for,
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times the closure: short warm-up, then batches until the
+    /// measurement budget elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: grow until one batch takes >= 1 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measurement.
+        let deadline = Instant::now() + self.measure_for;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<44} (no measurement: bencher closure never called iter)");
+            return;
+        }
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gib = bytes as f64 / self.mean_ns * 1e9 / (1u64 << 30) as f64;
+                format!("  {gib:9.3} GiB/s")
+            }
+            Some(Throughput::Elements(n)) => {
+                let meps = n as f64 / self.mean_ns * 1e9 / 1e6;
+                format!("  {meps:9.3} Melem/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<44} {:>12.1} ns/iter  ({} iters){rate}",
+            self.mean_ns, self.iters
+        );
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; $($rest:tt)*) => {
+        compile_error!("criterion shim: config-form criterion_group! is not supported");
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        let data = vec![1u8; 1024];
+        group.bench_with_input(BenchmarkId::new("sum", 1024), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        group.bench_function(BenchmarkId::from_parameter("alt"), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+}

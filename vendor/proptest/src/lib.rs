@@ -1,0 +1,145 @@
+//! Offline shim for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`]/[`prop_oneof!`]/`prop_assert*` macros, [`Strategy`]
+//! with `prop_map`/`prop_flat_map`/`prop_filter`, `any::<T>()` for
+//! integers, `bool`, byte arrays and `Vec<u8>`, integer-range and
+//! simple-regex string strategies, [`collection::vec`],
+//! [`collection::btree_map`], [`option::of`], and a deterministic
+//! [`test_runner::TestRunner`].
+//!
+//! Differences from upstream: **no shrinking** (failures report the
+//! full generated input, seed, and case index) and **deterministic
+//! seeding** — each test's RNG seed is derived from its name, so runs
+//! are reproducible without `proptest-regressions/` files. Set
+//! `PROPTEST_SEED=<u64>` to explore different streams, and
+//! `PROPTEST_CASES=<u32>` to override the case count globally.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (with no panic unwinding through generated values) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                left
+            )));
+        }
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted) if the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted (or unweighted) union of strategies producing one value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// item expands to a `#[test]` (the attribute is written at the call
+/// site and re-emitted) running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(&strategy, |($($arg,)+)| {
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                result
+            });
+        }
+    )*};
+}

@@ -1,0 +1,507 @@
+//! Value-generation strategies (no shrinking).
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Object-safe for use in [`Union`]; the combinators require `Sized`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy that value
+    /// selects.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values not satisfying the predicate
+    /// (regenerating up to a bounded number of attempts).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy; used by `prop_oneof!` to unify arm types.
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 candidates in a row",
+            self.whence
+        );
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-valued strategies; see `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! requires positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if roll < w {
+                return s.generate(rng);
+            }
+            roll -= w;
+        }
+        unreachable!("weighted roll exceeded total weight")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() — the Arbitrary machinery.
+
+/// Types with a canonical strategy over their whole domain.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical whole-domain strategy for scalar types.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbScalar<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for ArbScalar<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Bias toward boundary values the way proptest's
+                // binary-search domains make small/extreme values likely.
+                match rng.gen_range(0u32..8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => 1 as $t,
+                    _ => rng.gen::<$t>(),
+                }
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = ArbScalar<$t>;
+            fn arbitrary() -> Self::Strategy {
+                ArbScalar(PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for ArbScalar<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = ArbScalar<bool>;
+    fn arbitrary() -> Self::Strategy {
+        ArbScalar(PhantomData)
+    }
+}
+
+impl Strategy for ArbScalar<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen::<f64>()
+    }
+}
+impl Arbitrary for f64 {
+    type Strategy = ArbScalar<f64>;
+    fn arbitrary() -> Self::Strategy {
+        ArbScalar(PhantomData)
+    }
+}
+
+/// Canonical strategy for byte arrays of any length.
+#[derive(Clone, Copy, Debug)]
+pub struct ArbArray<const N: usize>;
+
+impl<const N: usize> Strategy for ArbArray<N> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rand::RngCore::fill_bytes(rng, &mut out);
+        out
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = ArbArray<N>;
+    fn arbitrary() -> Self::Strategy {
+        ArbArray
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T>
+where
+    T::Strategy: 'static,
+    T: 'static,
+{
+    type Strategy = crate::collection::VecStrategy<T::Strategy>;
+    fn arbitrary() -> Self::Strategy {
+        crate::collection::vec(T::arbitrary(), 0..64)
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T>
+where
+    T::Strategy: 'static,
+{
+    type Strategy = crate::option::OptionStrategy<T::Strategy>;
+    fn arbitrary() -> Self::Strategy {
+        crate::option::of(T::arbitrary())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies.
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies.
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---------------------------------------------------------------------------
+// Simple-regex string strategies (`"[a-z]{1,8}"`, `".{1,32}"`, ...).
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Generates a string matching a small regex subset: a sequence of
+/// atoms, each a literal character, `.`, or a `[...]` class (ranges and
+/// literals), optionally followed by `{m}`, `{m,n}`, `*`, `+`, or `?`.
+/// Patterns outside this subset panic, identifying the pattern.
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom.
+        let atom: Atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                assert!(
+                    i + 1 < chars.len(),
+                    "trailing backslash in pattern {pattern:?}"
+                );
+                i += 2;
+                Atom::Class(vec![chars[i - 1]])
+            }
+            c => {
+                assert!(
+                    !"(){}|*+?$^".contains(c),
+                    "unsupported regex construct {c:?} in pattern {pattern:?}"
+                );
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Parse an optional repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition lower bound"),
+                    n.trim()
+                        .parse::<usize>()
+                        .expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let m = body.trim().parse::<usize>().expect("bad repetition count");
+                    (m, m)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let op = chars[i];
+            i += 1;
+            match op {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+enum Atom {
+    Any,
+    Class(Vec<char>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            // '.' — printable ASCII, the slice proptest draws from most.
+            Atom::Any => char::from(rng.gen_range(0x20u8..=0x7e)),
+            Atom::Class(set) => set[rng.gen_range(0..set.len())],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::new(1)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (5u32..10).generate(&mut r);
+            assert!((5..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}".generate(&mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = ".{1,32}".generate(&mut r);
+            assert!((1..=32).contains(&s.len()));
+
+            let s = "[0-9.]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn oneof_honours_weights() {
+        let u = crate::prop_oneof![
+            9 => Just(true),
+            1 => Just(false),
+        ];
+        let mut r = rng();
+        let trues = (0..1000).filter(|_| u.generate(&mut r)).count();
+        assert!(trues > 700, "expected ~900 trues, got {trues}");
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let s = (0u8..10).prop_map(|v| v * 2).prop_flat_map(|v| 0..(v + 1));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(s.generate(&mut r) < 20);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The deterministic test runner.
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG driving value generation. Deterministically seeded per test.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property failed; the test fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; it is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Fails the current case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Rejects (discards) the current case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "test case rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration; mirrors the upstream fields this workspace
+/// uses.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!` rejections across the whole run.
+    pub max_global_rejects: u32,
+    /// Base seed; combined with the test name. Overridable via
+    /// `PROPTEST_SEED`.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+            seed: 0x1c3a_11ec_71fe_5eed,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns the default configuration with `cases` overridden.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Drives a strategy through `cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Runs the property over generated inputs; panics on the first
+    /// failing case with the seed, case index, and input.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let seed = resolve_seed(self.config.seed, self.name);
+        let cases = resolve_cases(self.config.cases);
+        let mut rng = TestRng::new(seed);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < cases {
+            // Snapshot the RNG so a failing input can be re-generated
+            // for reporting; passing cases skip the Debug rendering.
+            let before = rng.clone();
+            let input = strategy.generate(&mut rng);
+            match test(input) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejected += 1;
+                    if rejected > self.config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': too many prop_assume! rejections ({}): {}",
+                            self.name, rejected, why
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let mut replay = before;
+                    let described = format!("{:?}", strategy.generate(&mut replay));
+                    panic!(
+                        "proptest '{}' failed after {} passing case(s)\n\
+                         {}\n\
+                         input: {}\n\
+                         reproduce with PROPTEST_SEED={}",
+                        self.name, passed, msg, described, seed
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn resolve_seed(base: u64, name: &str) -> u64 {
+    // The env value is taken verbatim as the resolved seed so that the
+    // "reproduce with PROPTEST_SEED={seed}" value printed on failure
+    // replays the exact stream (it already incorporates the name hash).
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    base ^ fnv1a(name.as_bytes())
+}
+
+fn resolve_cases(configured: u32) -> u32 {
+    if let Ok(s) = std::env::var("PROPTEST_CASES") {
+        if let Ok(v) = s.parse::<u32>() {
+            return v.max(1);
+        }
+    }
+    configured.max(1)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn counts_only_passing_cases() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10), "counts");
+        let mut calls = 0u32;
+        runner.run(&(any::<u8>(),), |_v| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 10);
+    }
+
+    #[test]
+    fn rejections_regenerate() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "rejects");
+        let mut evens = 0u32;
+        runner.run(&(any::<u8>(),), |(v,)| {
+            if v % 2 == 1 {
+                return Err(TestCaseError::reject("odd"));
+            }
+            evens += 1;
+            Ok(())
+        });
+        assert_eq!(evens, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_context() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "fails");
+        runner.run(&(0u32..10,), |(v,)| {
+            if v < 100 {
+                Err(TestCaseError::fail("always fails"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+
+    #[test]
+    fn failure_report_replays_the_failing_input() {
+        // The panic message re-generates the input from an RNG snapshot;
+        // it must describe the value that actually failed.
+        let result = std::panic::catch_unwind(|| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(1000), "replay");
+            runner.run(&(0u64..1_000_000,), |(v,)| {
+                if v % 7 == 3 {
+                    Err(TestCaseError::fail("hit the witness class"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        let reported: u64 = msg
+            .split("input: (")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.trim().parse().ok())
+            .unwrap_or_else(|| panic!("unparseable failure report: {msg}"));
+        assert_eq!(
+            reported % 7,
+            3,
+            "reported input is not the failing one: {msg}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "det");
+            runner.run(&(any::<u64>(),), |(v,)| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros from
+//! the `serde_derive` shim. The trait definitions exist (empty) so
+//! `use serde::{Serialize, Deserialize}` resolves in both the macro
+//! and trait namespaces, but no impls are generated and no data
+//! formats exist — the workspace serializes exclusively through its
+//! own wire codec.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`. Never implemented
+/// or required by this workspace.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`. Never
+/// implemented or required by this workspace.
+pub trait Deserialize<'de> {}

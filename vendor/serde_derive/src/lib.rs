@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of
+//! types for API compatibility, but all real serialization goes through
+//! `lcm_core::codec`; no serde data format is ever linked. The derives
+//! therefore expand to nothing. `attributes(serde)` is still declared
+//! so `#[serde(...)]` field attributes would not be rejected.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
