@@ -1,0 +1,112 @@
+//! Criterion benches for the execution pipeline: synchronous loop vs
+//! asynchronous-write `PipelinedServer` under identical storage cost,
+//! plus the fsync-batching file-backed AOF baseline.
+//!
+//! The acceptance bar for the pipeline: at batch=16 the async-write
+//! mode must sustain at least the synchronous loop's throughput — the
+//! store cost leaves the execution path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lcm_core::admin::AdminHandle;
+use lcm_core::client::LcmClient;
+use lcm_core::pipeline::PipelinedServer;
+use lcm_core::server::{BatchServer, LcmServer};
+use lcm_core::stability::Quorum;
+use lcm_core::types::ClientId;
+use lcm_kvs::baseline::{FileAofKvsServer, FsyncPolicy};
+use lcm_kvs::ops::KvOp;
+use lcm_kvs::store::KvStore;
+use lcm_storage::{DelayedStorage, MemoryStorage};
+use lcm_tee::world::TeeWorld;
+
+const N_CLIENTS: u32 = 16;
+/// Modelled write+fsync latency per store call.
+const STORE_DELAY: Duration = Duration::from_micros(100);
+
+fn setup(batch: usize, pipelined: bool, seed: u64) -> (Box<dyn BatchServer>, Vec<LcmClient>) {
+    let world = TeeWorld::new_deterministic(seed);
+    let platform = world.platform_deterministic(1);
+    let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), STORE_DELAY));
+    let inner = LcmServer::<KvStore>::new(&platform, storage, batch);
+    let mut server: Box<dyn BatchServer> = if pipelined {
+        Box::new(PipelinedServer::new(inner))
+    } else {
+        Box::new(inner)
+    };
+    server.boot().unwrap();
+    let ids: Vec<ClientId> = (1..=N_CLIENTS).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
+    admin.bootstrap(&mut server).unwrap();
+    let clients = ids
+        .iter()
+        .map(|&id| LcmClient::new(id, admin.client_key()))
+        .collect();
+    (server, clients)
+}
+
+/// One full round: every client submits one 100 B put, the server
+/// processes the queue as batches, replies complete.
+fn round(server: &mut Box<dyn BatchServer>, clients: &mut [LcmClient], payload: &[u8]) {
+    for c in clients.iter_mut() {
+        let op = KvOp::Put(b"bench-key".to_vec(), payload.to_vec());
+        use lcm_core::codec::WireCodec;
+        server.submit(c.invoke(&op.to_bytes()).unwrap());
+    }
+    let replies = server.process_all().unwrap();
+    for (id, wire) in replies {
+        let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+        c.handle_reply(&wire).unwrap();
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let payload = vec![0xa5u8; 100];
+    let mut group = c.benchmark_group("pipeline_batch16");
+    group.throughput(Throughput::Elements(N_CLIENTS as u64));
+
+    group.bench_function(BenchmarkId::from_parameter("sync_write"), |b| {
+        let (mut server, mut clients) = setup(16, false, 70);
+        b.iter(|| round(&mut server, &mut clients, &payload));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("async_write"), |b| {
+        let (mut server, mut clients) = setup(16, true, 70);
+        b.iter(|| round(&mut server, &mut clients, &payload));
+        server.flush_persists().unwrap();
+    });
+
+    group.finish();
+}
+
+fn bench_aof(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("lcm-bench-aof-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut group = c.benchmark_group("aof_put_100B");
+    for (name, policy) in [
+        ("fsync_every_op", FsyncPolicy::EveryOp),
+        ("group_commit_16", FsyncPolicy::EveryN(16)),
+        ("no_fsync", FsyncPolicy::Never),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut server =
+                FileAofKvsServer::open(dir.join(format!("{name}.aof")), policy).unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                server
+                    .handle(&KvOp::Put(b"key".to_vec(), i.to_be_bytes().to_vec()))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_pipeline, bench_aof);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use lcm_bench::header;
+use lcm_bench::{header, write_csv};
 use lcm_core::admin::AdminHandle;
 use lcm_core::server::LcmServer;
 use lcm_core::stability::Quorum;
@@ -56,6 +56,7 @@ fn stabilizes(active: u32, quorum: Quorum) -> bool {
 fn main() {
     println!("Ablation: stability quorum strength, {GROUP}-client group (real stack)\n");
     header(&["active clients", "majority", "all", "at-least-2"]);
+    let mut rows = Vec::new();
     for active in 1..=GROUP {
         let cell = |q: Quorum| {
             if stabilizes(active, q) {
@@ -64,13 +65,24 @@ fn main() {
                 "stuck"
             }
         };
-        println!(
-            "| {active:>14} | {:>8} | {:>6} | {:>10} |",
+        let (majority, all, atleast2) = (
             cell(Quorum::Majority),
             cell(Quorum::All),
             cell(Quorum::AtLeast(2)),
         );
+        println!("| {active:>14} | {majority:>8} | {all:>6} | {atleast2:>10} |");
+        rows.push(vec![
+            active.to_string(),
+            majority.to_string(),
+            all.to_string(),
+            atleast2.to_string(),
+        ]);
     }
+    write_csv(
+        "ablation_quorum",
+        &["active_clients", "majority", "all", "at_least_2"],
+        &rows,
+    );
     println!("\n(a forked-off partition smaller than the quorum can never make");
     println!(" progress on stability — the detection signal of §4.5; stronger");
     println!(" quorums detect smaller partitions but stall more easily)");

@@ -6,7 +6,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin fig4 --release`
 
-use lcm_bench::{compare, header, kops};
+use lcm_bench::{compare, header, kops, write_csv};
 use lcm_sim::scenario::run_figure4;
 use lcm_sim::CostModel;
 
@@ -36,6 +36,17 @@ fn main() {
             ovh * 100.0
         );
     }
+
+    write_csv(
+        "fig4",
+        &["object_size_B", "sgx_ops_per_s", "lcm_ops_per_s"],
+        &rows
+            .iter()
+            .map(|(size, sgx, lcm)| {
+                vec![size.to_string(), format!("{sgx:.1}"), format!("{lcm:.1}")]
+            })
+            .collect::<Vec<_>>(),
+    );
 
     println!("\nPaper-vs-measured:");
     compare(

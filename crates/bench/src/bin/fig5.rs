@@ -10,7 +10,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin fig5 --release`
 
-use lcm_bench::{compare, kops};
+use lcm_bench::{compare, kops, series_csv};
 use lcm_sim::cost::ServerKind;
 use lcm_sim::scenario::{client_counts, run_figure5_or_6};
 use lcm_sim::CostModel;
@@ -21,6 +21,7 @@ fn main() {
 
     let series = run_figure5_or_6(&model, false);
     print_series(&series);
+    series_csv("fig5", &series);
 
     // Ratio analysis matching the paper's §6.4 text.
     let get = |kind: ServerKind| -> Vec<f64> {

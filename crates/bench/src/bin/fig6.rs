@@ -8,7 +8,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin fig6 --release`
 
-use lcm_bench::compare;
+use lcm_bench::{compare, series_csv};
 use lcm_sim::cost::ServerKind;
 use lcm_sim::scenario::{client_counts, run_figure5_or_6};
 use lcm_sim::CostModel;
@@ -18,6 +18,7 @@ fn main() {
     println!("Figure 6: throughput vs #clients, 100 B objects, SYNC (fsync) writes\n");
 
     let series = run_figure5_or_6(&model, true);
+    series_csv("fig6", &series);
     print!("| {:<18} |", "series \\ clients");
     for n in client_counts() {
         print!(" {n:>8} |");

@@ -7,6 +7,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin latency --release`
 
+use lcm_bench::write_csv;
 use lcm_sim::cost::ServerKind;
 use lcm_sim::scenario::{run_scenario, Scenario};
 use lcm_sim::CostModel;
@@ -27,6 +28,7 @@ fn main() {
         "-".repeat(12)
     );
 
+    let mut rows = Vec::new();
     for kind in [
         ServerKind::Native,
         ServerKind::Sgx { batch: 1 },
@@ -43,8 +45,20 @@ fn main() {
                 m.p50(),
                 m.p99(),
             );
+            rows.push(vec![
+                kind.label().to_string(),
+                n.to_string(),
+                format!("{:.6}", m.mean_latency().as_secs_f64()),
+                format!("{:.6}", m.p50().as_secs_f64()),
+                format!("{:.6}", m.p99().as_secs_f64()),
+            ]);
         }
     }
+    write_csv(
+        "latency",
+        &["series", "clients", "mean_s", "p50_s", "p99_s"],
+        &rows,
+    );
     println!("\n(saturated variants trade throughput for queueing delay; the");
     println!(" network-bound native path keeps flat latency until its own knee)");
 }

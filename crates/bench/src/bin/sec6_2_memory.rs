@@ -13,7 +13,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin sec6_2_memory --release`
 
-use lcm_bench::{compare, header};
+use lcm_bench::{compare, header, write_csv};
 use lcm_core::functionality::Functionality;
 use lcm_kvs::ops::KvOp;
 use lcm_kvs::store::KvStore;
@@ -34,6 +34,7 @@ fn main() {
         "paging?",
         "latency penalty",
     ]);
+    let mut rows = Vec::new();
     for &n in &[
         10_000usize,
         100_000,
@@ -48,13 +49,33 @@ fn main() {
         let heap_mb = heap as f64 / 1e6;
         let overhead = (heap_mb - payload_mb) / payload_mb;
         let penalty = epc.access_penalty(heap);
+        let paging = if epc.is_paging(heap) { "yes" } else { "no" };
         println!(
-            "| {n:>9} | {payload_mb:>11.1} | {heap_mb:>16.1} | {:>7.0}% | {:>7} | {:>14.0}% |",
+            "| {n:>9} | {payload_mb:>11.1} | {heap_mb:>16.1} | {:>7.0}% | {paging:>7} | {:>14.0}% |",
             overhead * 100.0,
-            if epc.is_paging(heap) { "yes" } else { "no" },
             (penalty - 1.0) * 100.0
         );
+        rows.push(vec![
+            n.to_string(),
+            format!("{payload_mb:.1}"),
+            format!("{heap_mb:.1}"),
+            format!("{:.3}", overhead),
+            paging.to_string(),
+            format!("{:.3}", penalty - 1.0),
+        ]);
     }
+    write_csv(
+        "sec6_2_memory",
+        &[
+            "objects",
+            "payload_mb",
+            "heap_mb",
+            "overhead",
+            "paging",
+            "latency_penalty",
+        ],
+        &rows,
+    );
 
     // Part 2: verify the heap model against the real KvStore by
     // inserting a real (smaller) population and extrapolating.

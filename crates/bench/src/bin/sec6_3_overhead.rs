@@ -13,7 +13,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin sec6_3_overhead --release`
 
-use lcm_bench::{compare, header};
+use lcm_bench::{compare, header, write_csv};
 use lcm_core::codec::WireCodec;
 use lcm_core::types::{ChainValue, ClientId, SeqNo};
 use lcm_core::wire::{InvokeMsg, ReplyMsg, INVOKE_OVERHEAD, REPLY_OVERHEAD};
@@ -29,6 +29,7 @@ fn main() {
     ]);
 
     let mut constant = true;
+    let mut rows = Vec::new();
     for &size in &[0usize, 100, 500, 1000, 1500, 2000, 2500] {
         let invoke = InvokeMsg {
             client: ClientId(1),
@@ -52,7 +53,25 @@ fn main() {
             ib - size,
             rb - size
         );
+        rows.push(vec![
+            size.to_string(),
+            ib.to_string(),
+            (ib - size).to_string(),
+            rb.to_string(),
+            (rb - size).to_string(),
+        ]);
     }
+    write_csv(
+        "sec6_3_overhead",
+        &[
+            "payload_B",
+            "invoke_B",
+            "invoke_overhead_B",
+            "reply_B",
+            "reply_overhead_B",
+        ],
+        &rows,
+    );
 
     println!(
         "\nAEAD framing adds a further constant {} bytes per message",

@@ -7,7 +7,7 @@
 //!
 //! Regenerate: `cargo run -p lcm-bench --bin sec6_5_tmc --release`
 
-use lcm_bench::{compare, header};
+use lcm_bench::{compare, header, write_csv};
 use lcm_sim::cost::ServerKind;
 use lcm_sim::scenario::{client_counts, run_scenario, Scenario};
 use lcm_sim::CostModel;
@@ -19,6 +19,7 @@ fn main() {
 
     let mut speedups = Vec::new();
     let mut tmc_rates = Vec::new();
+    let mut rows = Vec::new();
     for n in client_counts() {
         let tmc =
             run_scenario(&model, &Scenario::paper_default(ServerKind::SgxTmc, n)).throughput();
@@ -31,7 +32,18 @@ fn main() {
         speedups.push(speedup);
         tmc_rates.push(tmc);
         println!("| {n:>7} | {tmc:>15.1} | {lcm:>17.0} | {speedup:>6.0}x |");
+        rows.push(vec![
+            n.to_string(),
+            format!("{tmc:.1}"),
+            format!("{lcm:.1}"),
+            format!("{speedup:.1}"),
+        ]);
     }
+    write_csv(
+        "sec6_5_tmc",
+        &["clients", "tmc_ops_per_s", "lcm_batch_ops_per_s", "speedup"],
+        &rows,
+    );
 
     println!("\nPaper-vs-measured:");
     compare(

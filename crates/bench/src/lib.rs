@@ -26,3 +26,54 @@ pub fn header(columns: &[&str]) {
 pub fn compare(label: &str, paper: &str, measured: &str) {
     println!("  {label:<46} paper: {paper:<18} measured: {measured}");
 }
+
+/// Additionally writes a figure's rows as `<name>.csv` under
+/// `$LCM_OUT_DIR`, when that variable is set — CI runs every figure
+/// binary with it and uploads the directory as a workflow artifact.
+/// Does nothing (and never fails the figure run) otherwise.
+pub fn write_csv(name: &str, columns: &[&str], rows: &[Vec<String>]) {
+    let Ok(dir) = std::env::var("LCM_OUT_DIR") else {
+        return;
+    };
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut csv = String::new();
+        csv.push_str(&columns.join(","));
+        csv.push('\n');
+        for row in rows {
+            // Values are plain numbers/identifiers; quote defensively
+            // if a field ever contains a comma.
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.contains(',') || v.contains('"') {
+                        format!("\"{}\"", v.replace('"', "\"\""))
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            csv.push_str(&cells.join(","));
+            csv.push('\n');
+        }
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        std::fs::write(&path, csv)?;
+        eprintln!("(wrote {})", path.display());
+        Ok(())
+    };
+    if let Err(e) = write() {
+        eprintln!("(LCM_OUT_DIR set but writing {name}.csv failed: {e})");
+    }
+}
+
+/// [`write_csv`] for a Fig. 5/6-style per-series client sweep.
+pub fn series_csv(name: &str, series: &[(lcm_sim::cost::ServerKind, Vec<(usize, f64)>)]) {
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .flat_map(|(kind, rows)| {
+            rows.iter()
+                .map(move |(n, x)| vec![kind.label().to_string(), n.to_string(), format!("{x:.1}")])
+        })
+        .collect();
+    write_csv(name, &["series", "clients", "ops_per_s"], &rows);
+}

@@ -18,9 +18,8 @@ use rand::{RngCore, SeedableRng};
 
 use crate::codec::{Reader, WireCodec, Writer};
 use crate::context::{AdminOp, AdminReply, ProvisionPayload, LABEL_ADMIN, LABEL_PROVISION};
-use crate::functionality::Functionality;
 use crate::program::lcm_measurement;
-use crate::server::LcmServer;
+use crate::server::BatchServer;
 use crate::stability::Quorum;
 use crate::types::ClientId;
 use crate::{LcmError, Result, Violation};
@@ -119,7 +118,7 @@ impl AdminHandle {
     /// * [`LcmError::Tee`] — attestation failed: the context is not
     ///   running LCM on a genuine platform.
     /// * Context errors from provisioning.
-    pub fn bootstrap<F: Functionality>(&mut self, server: &mut LcmServer<F>) -> Result<()> {
+    pub fn bootstrap<S: BatchServer + ?Sized>(&mut self, server: &mut S) -> Result<()> {
         // Phase 2: remote attestation with a fresh challenge nonce.
         let mut nonce = [0u8; 32];
         self.rng.fill_bytes(&mut nonce);
@@ -153,9 +152,9 @@ impl AdminHandle {
     /// * [`LcmError::Violation`] — the admin reply failed verification.
     /// * The context's rejection is surfaced as [`LcmError::Tee`] with
     ///   the rejection message.
-    pub fn add_client<F: Functionality>(
+    pub fn add_client<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         id: ClientId,
     ) -> Result<()> {
         let reply = self.roundtrip(server, AdminOp::AddClient(id))?;
@@ -176,9 +175,9 @@ impl AdminHandle {
     /// # Errors
     ///
     /// Same classes as [`AdminHandle::add_client`].
-    pub fn remove_client<F: Functionality>(
+    pub fn remove_client<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         id: ClientId,
     ) -> Result<SecretKey> {
         let new_kc = SecretKey::generate_with(&mut self.rng);
@@ -199,9 +198,9 @@ impl AdminHandle {
     /// # Errors
     ///
     /// Same classes as [`AdminHandle::add_client`].
-    pub fn status<F: Functionality>(
+    pub fn status<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
     ) -> Result<(crate::types::SeqNo, crate::types::SeqNo, u32)> {
         match self.roundtrip(server, AdminOp::Status)? {
             AdminReply::Status { t, q, n } => Ok((t, q, n)),
@@ -217,18 +216,18 @@ impl AdminHandle {
     /// # Errors
     ///
     /// Propagates context errors from either side.
-    pub fn migrate<F: Functionality>(
+    pub fn migrate<A: BatchServer + ?Sized, B: BatchServer + ?Sized>(
         &mut self,
-        origin: &mut LcmServer<F>,
-        target: &mut LcmServer<F>,
+        origin: &mut A,
+        target: &mut B,
     ) -> Result<()> {
         let ticket = origin.export_migration()?;
         target.import_migration(ticket)
     }
 
-    fn roundtrip<F: Functionality>(
+    fn roundtrip<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         op: AdminOp,
     ) -> Result<AdminReply> {
         let seq = self.admin_seq + 1;
@@ -258,6 +257,7 @@ mod tests {
     use super::*;
     use crate::client::LcmClient;
     use crate::functionality::AppendLog;
+    use crate::server::LcmServer;
     use lcm_storage::MemoryStorage;
     use std::sync::Arc;
 

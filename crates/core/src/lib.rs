@@ -36,7 +36,13 @@
 //! * [`program`] — packaging of the trusted context as an
 //!   [`lcm_tee::enclave::EnclaveProgram`] plus the host-call ABI.
 //! * [`server`] — an honest host server: enclave + stable storage +
-//!   request batching (paper §5.2/§5.3 architecture).
+//!   request batching (paper §5.2/§5.3 architecture), plus the
+//!   [`server::BatchServer`] trait the rest of the stack programs
+//!   against.
+//! * [`pipeline`] — the asynchronous-write execution pipeline:
+//!   [`pipeline::PipelinedServer`] persists sealed state on a
+//!   background writer thread while the enclave executes the next
+//!   batch (the mode behind the paper's Figs. 4/5).
 //! * [`admin`] — the trusted admin: bootstrapping, attestation,
 //!   membership changes, migration orchestration (§4.3, §4.6).
 //! * [`stability`] — the `majority-stable` function and stability
@@ -57,6 +63,7 @@ pub mod client;
 pub mod codec;
 pub mod context;
 pub mod functionality;
+pub mod pipeline;
 pub mod program;
 pub mod server;
 pub mod stability;

@@ -33,6 +33,9 @@ pub const SLOT_STATE_BLOB: &str = "lcm.state";
 /// ("batching of up to 16 operations", §6.4).
 pub const DEFAULT_BATCH_LIMIT: usize = 16;
 
+/// Replies produced by one processing step, routed per client.
+pub type Replies = Vec<(ClientId, Vec<u8>)>;
+
 /// An honest host server for an LCM-protected service.
 ///
 /// # Example
@@ -196,8 +199,22 @@ impl<F: Functionality> LcmServer<F> {
     /// Propagates violations detected inside the context — an honest
     /// server would crash-stop at this point.
     pub fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        let (replies, blobs) = self.execute_batch()?;
+        if let Some(blobs) = blobs {
+            self.persist(&blobs)?;
+        }
+        Ok(replies)
+    }
+
+    /// The *execution* stage of [`LcmServer::step`]: runs one batch
+    /// through the enclave and returns the replies together with the
+    /// sealed blobs that still need persisting — without touching
+    /// stable storage. The synchronous [`LcmServer::step`] persists
+    /// them inline; [`crate::pipeline::PipelinedServer`] hands them to
+    /// its background writer instead.
+    pub(crate) fn execute_batch(&mut self) -> Result<(Replies, Option<PersistBlobs>)> {
         if self.queue.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), None));
         }
         let take = self.batch_limit.min(self.queue.len());
         let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
@@ -205,14 +222,27 @@ impl<F: Functionality> LcmServer<F> {
         let reply = self.call(HostCall::InvokeBatch(batch))?;
         match reply {
             HostReply::BatchOk { replies, blobs } => {
-                self.persist(&blobs)?;
                 self.batches_processed += 1;
                 self.ops_processed += n_ops;
-                Ok(replies)
+                Ok((replies, Some(blobs)))
             }
             HostReply::Err(e) => Err(e.into_lcm_error()),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// A clone of the stable-storage handle this server persists to.
+    pub(crate) fn storage(&self) -> Arc<dyn StableStorage> {
+        self.storage.clone()
+    }
+
+    /// Converts this synchronous server into a
+    /// [`crate::pipeline::PipelinedServer`] whose persistence stage
+    /// runs on a background writer thread (the paper's
+    /// asynchronous-write mode), with the default writer-queue
+    /// capacity.
+    pub fn into_pipelined(self) -> crate::pipeline::PipelinedServer<F> {
+        crate::pipeline::PipelinedServer::new(self)
     }
 
     /// Processes all queued messages, batch by batch.
@@ -290,6 +320,205 @@ impl<F: Functionality> LcmServer<F> {
 
 fn unexpected(reply: HostReply) -> LcmError {
     LcmError::Tee(format!("unexpected enclave reply: {reply:?}"))
+}
+
+/// The host-server surface the rest of the stack programs against:
+/// everything a client library, admin handle, transport hub, or test
+/// scenario needs, independent of whether persistence is synchronous
+/// ([`LcmServer`]) or pipelined onto a background writer
+/// ([`crate::pipeline::PipelinedServer`]).
+///
+/// The trait is object-safe so scenarios can run the same code against
+/// `Box<dyn BatchServer>` in both modes.
+pub trait BatchServer {
+    /// Starts (or restarts after a crash) the enclave; `true` means the
+    /// context needs provisioning. See [`LcmServer::boot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE, storage, and context errors.
+    fn boot(&mut self) -> Result<bool>;
+
+    /// Simulates a crash of the server process; volatile state is lost.
+    fn crash(&mut self);
+
+    /// Whether the enclave is currently running.
+    fn is_running(&self) -> bool;
+
+    /// Forwards the admin's provisioning payload. See
+    /// [`LcmServer::provision`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()>;
+
+    /// Produces an attestation quote over `user_data`. See
+    /// [`LcmServer::attest`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE errors.
+    fn attest(&mut self, user_data: Digest) -> Result<Quote>;
+
+    /// Enqueues an encrypted INVOKE message.
+    fn submit(&mut self, invoke_wire: Vec<u8>);
+
+    /// Number of queued, unprocessed messages.
+    fn queued(&self) -> usize;
+
+    /// Processes one batch. See [`LcmServer::step`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates violations detected inside the context.
+    fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>>;
+
+    /// Processes all queued messages, batch by batch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchServer::step`].
+    fn process_all(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        while self.queued() > 0 {
+            out.extend(self.step()?);
+        }
+        Ok(out)
+    }
+
+    /// Forwards an encrypted admin message. See [`LcmServer::admin`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn admin(&mut self, admin_wire: Vec<u8>) -> Result<Vec<u8>>;
+
+    /// Origin side of migration. See [`LcmServer::export_migration`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn export_migration(&mut self) -> Result<Vec<u8>>;
+
+    /// Target side of migration. See [`LcmServer::import_migration`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()>;
+
+    /// Number of seal-and-store cycles performed.
+    fn batches_processed(&self) -> u64;
+
+    /// Number of INVOKE messages processed.
+    fn ops_processed(&self) -> u64;
+
+    /// Blocks until every persist issued so far has reached stable
+    /// storage. A no-op for fully synchronous servers; the pipelined
+    /// server drains its writer queue. Test scenarios call this before
+    /// inspecting or tampering with storage so in-flight writes cannot
+    /// race the inspection.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces asynchronous storage failures.
+    fn flush_persists(&mut self) -> Result<()> {
+        Ok(())
+    }
+}
+
+impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
+    fn boot(&mut self) -> Result<bool> {
+        (**self).boot()
+    }
+    fn crash(&mut self) {
+        (**self).crash();
+    }
+    fn is_running(&self) -> bool {
+        (**self).is_running()
+    }
+    fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
+        (**self).provision(sealed_payload)
+    }
+    fn attest(&mut self, user_data: Digest) -> Result<Quote> {
+        (**self).attest(user_data)
+    }
+    fn submit(&mut self, invoke_wire: Vec<u8>) {
+        (**self).submit(invoke_wire);
+    }
+    fn queued(&self) -> usize {
+        (**self).queued()
+    }
+    fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        (**self).step()
+    }
+    fn process_all(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        (**self).process_all()
+    }
+    fn admin(&mut self, admin_wire: Vec<u8>) -> Result<Vec<u8>> {
+        (**self).admin(admin_wire)
+    }
+    fn export_migration(&mut self) -> Result<Vec<u8>> {
+        (**self).export_migration()
+    }
+    fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()> {
+        (**self).import_migration(ticket)
+    }
+    fn batches_processed(&self) -> u64 {
+        (**self).batches_processed()
+    }
+    fn ops_processed(&self) -> u64 {
+        (**self).ops_processed()
+    }
+    fn flush_persists(&mut self) -> Result<()> {
+        (**self).flush_persists()
+    }
+}
+
+impl<F: Functionality> BatchServer for LcmServer<F> {
+    fn boot(&mut self) -> Result<bool> {
+        LcmServer::boot(self)
+    }
+    fn crash(&mut self) {
+        LcmServer::crash(self);
+    }
+    fn is_running(&self) -> bool {
+        LcmServer::is_running(self)
+    }
+    fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
+        LcmServer::provision(self, sealed_payload)
+    }
+    fn attest(&mut self, user_data: Digest) -> Result<Quote> {
+        LcmServer::attest(self, user_data)
+    }
+    fn submit(&mut self, invoke_wire: Vec<u8>) {
+        LcmServer::submit(self, invoke_wire);
+    }
+    fn queued(&self) -> usize {
+        LcmServer::queued(self)
+    }
+    fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        LcmServer::step(self)
+    }
+    fn process_all(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
+        LcmServer::process_all(self)
+    }
+    fn admin(&mut self, admin_wire: Vec<u8>) -> Result<Vec<u8>> {
+        LcmServer::admin(self, admin_wire)
+    }
+    fn export_migration(&mut self) -> Result<Vec<u8>> {
+        LcmServer::export_migration(self)
+    }
+    fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()> {
+        LcmServer::import_migration(self, ticket)
+    }
+    fn batches_processed(&self) -> u64 {
+        LcmServer::batches_processed(self)
+    }
+    fn ops_processed(&self) -> u64 {
+        LcmServer::ops_processed(self)
+    }
 }
 
 #[cfg(test)]

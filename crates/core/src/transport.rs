@@ -4,15 +4,21 @@
 //! The paper's model routes every client⇄T message through the server,
 //! which may "intercept, modify, reorder, discard, or replay" them
 //! (§2.3). [`Hub`] materializes that topology with [`lcm_net`] links:
-//! each client gets a duplex port, and the embedded [`LcmServer`] only
-//! sees what the (possibly adversarial) link controllers let through.
+//! each client gets a duplex port, and the embedded server only sees
+//! what the (possibly adversarial) link controllers let through.
+//!
+//! The hub is the *intake stage* of the server pipeline: it is generic
+//! over [`BatchServer`], so the same topology drives the synchronous
+//! [`crate::server::LcmServer`] and the asynchronous-write
+//! [`crate::pipeline::PipelinedServer`].
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use lcm_net::{Duplex, DuplexEnd, LinkController};
 
-use crate::functionality::Functionality;
-use crate::server::LcmServer;
+use crate::server::BatchServer;
 use crate::types::ClientId;
 use crate::Result;
 
@@ -34,13 +40,28 @@ impl ClientPort {
     }
 }
 
-/// Adversary handles for one client's connection.
+/// Adversary handles for one client's connection, plus hub-wide
+/// routing statistics.
 #[derive(Debug, Clone)]
 pub struct PortControl {
     /// Controls the client→server direction.
     pub to_server: LinkController,
     /// Controls the server→client direction.
     pub to_client: LinkController,
+    /// Shared hub counter of unroutable replies (see
+    /// [`PortControl::hub_dropped_replies`]).
+    dropped_replies: Arc<AtomicU64>,
+}
+
+impl PortControl {
+    /// Replies the hub could not route to any connected port since it
+    /// was created (hub-wide counter, shared by every port's control).
+    /// A reply is dropped — not an error — when its client never
+    /// connected or already disconnected; tests assert on this instead
+    /// of relying on the absence of panics.
+    pub fn hub_dropped_replies(&self) -> u64 {
+        self.dropped_replies.load(Ordering::SeqCst)
+    }
 }
 
 struct Port {
@@ -48,7 +69,7 @@ struct Port {
     control: PortControl,
 }
 
-/// An in-process network connecting an [`LcmServer`] to its clients.
+/// An in-process network connecting a [`BatchServer`] to its clients.
 ///
 /// # Example
 ///
@@ -67,31 +88,34 @@ struct Port {
 /// let port = hub.connect(ClientId(1));
 /// # let _ = port;
 /// ```
-pub struct Hub<F: Functionality> {
-    server: LcmServer<F>,
+pub struct Hub<S: BatchServer> {
+    server: S,
     ports: BTreeMap<ClientId, Port>,
+    dropped_replies: Arc<AtomicU64>,
 }
 
-impl<F: Functionality> std::fmt::Debug for Hub<F> {
+impl<S: BatchServer + std::fmt::Debug> std::fmt::Debug for Hub<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hub")
             .field("server", &self.server)
             .field("ports", &self.ports.len())
+            .field("dropped_replies", &self.dropped_replies)
             .finish()
     }
 }
 
-impl<F: Functionality> Hub<F> {
+impl<S: BatchServer> Hub<S> {
     /// Wraps a server into a hub.
-    pub fn new(server: LcmServer<F>) -> Self {
+    pub fn new(server: S) -> Self {
         Hub {
             server,
             ports: BTreeMap::new(),
+            dropped_replies: Arc::new(AtomicU64::new(0)),
         }
     }
 
     /// Direct access to the server (boot, provision, crash, …).
-    pub fn server(&mut self) -> &mut LcmServer<F> {
+    pub fn server(&mut self) -> &mut S {
         &mut self.server
     }
 
@@ -112,10 +136,17 @@ impl<F: Functionality> Hub<F> {
                 control: PortControl {
                     to_server,
                     to_client,
+                    dropped_replies: self.dropped_replies.clone(),
                 },
             },
         );
         ClientPort { end: client }
+    }
+
+    /// Disconnects a client's port; replies for it are henceforth
+    /// counted in [`Hub::dropped_replies`].
+    pub fn disconnect(&mut self, id: ClientId) -> bool {
+        self.ports.remove(&id).is_some()
     }
 
     /// The adversary's handles on one client's connection.
@@ -123,8 +154,15 @@ impl<F: Functionality> Hub<F> {
         self.ports.get(&id).map(|p| p.control.clone())
     }
 
+    /// Replies the hub could not route to any connected port.
+    pub fn dropped_replies(&self) -> u64 {
+        self.dropped_replies.load(Ordering::SeqCst)
+    }
+
     /// Moves all deliverable client messages into the server, processes
     /// them, and routes the replies back onto the clients' links.
+    /// Replies for unknown ports are dropped and counted in
+    /// [`Hub::dropped_replies`].
     ///
     /// Returns the number of operations processed.
     ///
@@ -136,13 +174,11 @@ impl<F: Functionality> Hub<F> {
     pub fn pump(&mut self) -> Result<usize> {
         // Ingress order: round-robin over ports for fairness, FIFO per
         // port (the correct server forwards FIFO, §2.1).
-        let mut order: Vec<ClientId> = Vec::new();
         loop {
             let mut any = false;
-            for (id, port) in &self.ports {
+            for port in self.ports.values() {
                 if let Some(wire) = port.server_end.try_recv() {
                     self.server.submit(wire);
-                    order.push(*id);
                     any = true;
                 }
             }
@@ -153,11 +189,13 @@ impl<F: Functionality> Hub<F> {
         let replies = self.server.process_all()?;
         let n = replies.len();
         for (id, wire) in replies {
-            if let Some(port) = self.ports.get(&id) {
-                port.server_end.send(wire);
+            match self.ports.get(&id) {
+                Some(port) => port.server_end.send(wire),
+                None => {
+                    self.dropped_replies.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
-        let _ = order;
         Ok(n)
     }
 }
@@ -168,12 +206,13 @@ mod tests {
     use crate::admin::AdminHandle;
     use crate::client::LcmClient;
     use crate::functionality::AppendLog;
+    use crate::server::LcmServer;
     use crate::stability::Quorum;
     use lcm_storage::MemoryStorage;
     use lcm_tee::world::TeeWorld;
     use std::sync::Arc;
 
-    fn hub_with_clients(n: u32) -> (Hub<AppendLog>, Vec<(LcmClient, ClientPort)>) {
+    fn hub_with_clients(n: u32) -> (Hub<LcmServer<AppendLog>>, Vec<(LcmClient, ClientPort)>) {
         let world = TeeWorld::new_deterministic(60);
         let platform = world.platform_deterministic(1);
         let mut server = LcmServer::<AppendLog>::new(&platform, Arc::new(MemoryStorage::new()), 16);
@@ -203,6 +242,7 @@ mod tests {
             let reply = port.try_recv().expect("reply routed");
             client.handle_reply(&reply).unwrap();
         }
+        assert_eq!(hub.dropped_replies(), 0);
     }
 
     #[test]
@@ -248,10 +288,20 @@ mod tests {
     }
 
     #[test]
-    fn unknown_port_reply_is_dropped() {
-        // Replies to clients that never connected are silently dropped
-        // (the honest hub cannot route them).
-        let (mut hub, _clients) = hub_with_clients(1);
-        assert_eq!(hub.pump().unwrap(), 0);
+    fn unknown_port_reply_is_counted_not_panicked() {
+        // Replies to clients without a connected port are dropped (the
+        // honest hub cannot route them) — and the drop is observable.
+        let (mut hub, mut clients) = hub_with_clients(2);
+        let (client2, _port2) = &mut clients[1];
+        let wire = client2.invoke(b"orphan").unwrap();
+        assert!(hub.disconnect(client2.id()));
+        // The request reaches the server out of band; the reply has no
+        // port to return on.
+        hub.server().submit(wire);
+        assert_eq!(hub.pump().unwrap(), 1);
+        assert_eq!(hub.dropped_replies(), 1);
+        // The stat is visible through any port's adversary control too.
+        let ctl = hub.control(clients[0].0.id()).unwrap();
+        assert_eq!(ctl.hub_dropped_replies(), 1);
     }
 }

@@ -3,8 +3,7 @@
 
 use lcm_core::client::LcmClient;
 use lcm_core::codec::WireCodec;
-use lcm_core::functionality::Functionality;
-use lcm_core::server::LcmServer;
+use lcm_core::server::BatchServer;
 use lcm_core::types::{ClientId, Completion};
 use lcm_core::{LcmError, Result};
 use lcm_crypto::keys::SecretKey;
@@ -16,8 +15,8 @@ use crate::ops::{KvOp, KvResult};
 /// Wraps an [`LcmClient`], translating between typed KVS operations and
 /// the opaque byte operations LCM carries. Transport is external: use
 /// the `*_wire` methods with your own channel, or the convenience
-/// [`KvsClient::run`] that drives an in-process [`LcmServer`] directly
-/// (used by examples and tests).
+/// [`KvsClient::run`] that drives any in-process [`BatchServer`] —
+/// synchronous or pipelined — directly (used by examples and tests).
 pub struct KvsClient {
     inner: LcmClient,
 }
@@ -87,9 +86,9 @@ impl KvsClient {
     ///
     /// Propagates client- and server-side errors, including detected
     /// violations.
-    pub fn run<F: Functionality>(
+    pub fn run<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         op: &KvOp,
     ) -> Result<KvCompletion> {
         let wire = self.invoke_wire(op)?;
@@ -107,9 +106,9 @@ impl KvsClient {
     /// # Errors
     ///
     /// Propagates [`KvsClient::run`] errors.
-    pub fn get<F: Functionality>(
+    pub fn get<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>> {
         match self.run(server, &KvOp::Get(key.to_vec()))?.result {
@@ -123,9 +122,9 @@ impl KvsClient {
     /// # Errors
     ///
     /// Propagates [`KvsClient::run`] errors.
-    pub fn put<F: Functionality>(
+    pub fn put<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         key: &[u8],
         value: &[u8],
     ) -> Result<Completion> {
@@ -146,9 +145,9 @@ impl KvsClient {
     ///
     /// Propagates [`KvsClient::run`] errors — including the violation
     /// a forked-off client eventually hits.
-    pub fn refresh_stability<F: Functionality>(
+    pub fn refresh_stability<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
     ) -> Result<lcm_core::types::SeqNo> {
         let done = self.run(server, &KvOp::Get(Vec::new()))?;
         Ok(done.completion.stable)
@@ -160,9 +159,9 @@ impl KvsClient {
     /// # Errors
     ///
     /// Propagates [`KvsClient::run`] errors.
-    pub fn scan<F: Functionality>(
+    pub fn scan<S: BatchServer + ?Sized>(
         &mut self,
-        server: &mut LcmServer<F>,
+        server: &mut S,
         start: &[u8],
         limit: u32,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
@@ -181,7 +180,7 @@ impl KvsClient {
     /// # Errors
     ///
     /// Propagates [`KvsClient::run`] errors.
-    pub fn del<F: Functionality>(&mut self, server: &mut LcmServer<F>, key: &[u8]) -> Result<bool> {
+    pub fn del<S: BatchServer + ?Sized>(&mut self, server: &mut S, key: &[u8]) -> Result<bool> {
         match self.run(server, &KvOp::Del(key.to_vec()))?.result {
             KvResult::Deleted(existed) => Ok(existed),
             other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
@@ -194,6 +193,7 @@ mod tests {
     use super::*;
     use crate::store::KvStore;
     use lcm_core::admin::AdminHandle;
+    use lcm_core::server::LcmServer;
     use lcm_core::stability::Quorum;
     use lcm_storage::MemoryStorage;
     use lcm_tee::world::TeeWorld;

@@ -1,0 +1,285 @@
+//! A blocking MPMC queue with a hard capacity bound.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Counters describing a queue's lifetime activity.
+///
+/// `blocked_pushes` is the back-pressure signal: how many times a
+/// producer found the queue full and had to wait for the consumer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Items accepted by [`BoundedQueue::push`] / `try_push`.
+    pub pushed: u64,
+    /// Items handed out by [`BoundedQueue::pop`] / `try_pop`.
+    pub popped: u64,
+    /// Number of `push` calls that blocked because the queue was full.
+    pub blocked_pushes: u64,
+    /// Maximum queue depth ever observed.
+    pub high_water: usize,
+}
+
+/// Error returned by [`BoundedQueue::try_push`], giving the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity.
+    Full(T),
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// A bounded blocking queue: `push` blocks while full, `pop` blocks
+/// while empty. Closing wakes all waiters; a closed queue rejects new
+/// items but drains the ones already queued.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &st.items.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime activity counters.
+    pub fn stats(&self) -> QueueStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `item`, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back if the queue has been closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        if st.items.len() >= self.capacity && !st.closed {
+            st.stats.blocked_pushes += 1;
+            while st.items.len() >= self.capacity && !st.closed {
+                st = self.wait_not_full(st);
+            }
+        }
+        if st.closed {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        st.stats.pushed += 1;
+        st.stats.high_water = st.stats.high_water.max(st.items.len());
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn wait_not_full<'a>(
+        &self,
+        guard: std::sync::MutexGuard<'a, State<T>>,
+    ) -> std::sync::MutexGuard<'a, State<T>> {
+        self.not_full.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when at capacity, [`PushError::Closed`] when
+    /// closed; both return the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        st.stats.pushed += 1;
+        st.stats.high_water = st.stats.high_water.max(st.items.len());
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.stats.popped += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Dequeues the next item without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        let item = st.items.pop_front()?;
+        st.stats.popped += 1;
+        drop(st);
+        self.not_full.notify_one();
+        Some(item)
+    }
+
+    /// Removes and returns every queued item without handling it —
+    /// models losing the in-flight window (e.g. a power failure before
+    /// buffered writes reach the medium).
+    pub fn drain_pending(&self) -> Vec<T> {
+        let mut st = self.lock();
+        let items: Vec<T> = st.items.drain(..).collect();
+        st.stats.popped += items.len() as u64;
+        drop(st);
+        self.not_full.notify_all();
+        items
+    }
+
+    /// Closes the queue: producers get their item back, consumers drain
+    /// what is left and then see `None`.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_push_reports_full_then_accepts_after_pop() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        assert_eq!(q.try_pop(), Some(1));
+        q.try_push(2).unwrap();
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.push(7).unwrap();
+        q.close();
+        assert_eq!(q.push(8), Err(8));
+        assert_eq!(q.try_push(9), Err(PushError::Closed(9)));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_push_counts_backpressure_and_unblocks() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1).unwrap();
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || q.push(2))
+        };
+        // Give the producer time to block, then free a slot.
+        while q.stats().blocked_pushes == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.stats().blocked_pushes, 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_item_arrives() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(std::time::Duration::from_millis(5));
+        q.push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn drain_pending_discards_queued_items() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.drain_pending(), vec![0, 1, 2, 3, 4]);
+        assert!(q.is_empty());
+        let st = q.stats();
+        assert_eq!(st.pushed, 5);
+        assert_eq!(st.popped, 5);
+        assert_eq!(st.high_water, 5);
+    }
+}

@@ -26,14 +26,23 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's default configuration: 1000 records of 100 B,
     /// async writes, 30 virtual seconds.
+    ///
+    /// The virtual duration can be shortened for smoke runs (CI) by
+    /// setting `LCM_SIM_SECONDS`; the simulation stays deterministic
+    /// for a given value.
     pub fn paper_default(kind: ServerKind, n_clients: usize) -> Self {
+        let seconds = std::env::var("LCM_SIM_SECONDS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(30);
         Scenario {
             kind,
             n_clients,
             record_count: 1000,
             object_size: 100,
             fsync: false,
-            duration: Duration::from_secs(30),
+            duration: Duration::from_secs(seconds),
         }
     }
 }

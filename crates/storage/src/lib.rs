@@ -14,6 +14,8 @@
 //! * [`MemoryStorage`] — an honest in-memory store;
 //! * [`FileStorage`] — an honest file-backed store (for examples that
 //!   survive process restarts);
+//! * [`DelayedStorage`] — an honest wrapper charging wall-clock device
+//!   latency per operation, for real-concurrency experiments;
 //! * [`VersionedStorage`] — retains every version ever stored, the
 //!   building block for adversarial behaviour;
 //! * [`RollbackStorage`] — an adversarial wrapper that can be switched
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod adversary;
+mod delayed;
 mod disk;
 mod error;
 mod file;
@@ -37,6 +40,7 @@ mod memory;
 mod versioned;
 
 pub use adversary::{AdversaryMode, ForkView, RollbackStorage};
+pub use delayed::DelayedStorage;
 pub use disk::DiskModel;
 pub use error::StorageError;
 pub use file::FileStorage;

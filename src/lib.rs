@@ -11,6 +11,9 @@
 //! * [`tee`] — SGX-like trusted-execution-environment simulator.
 //! * [`storage`] — stable storage with adversarial (rollback) wrappers.
 //! * [`net`] — message transport with adversarial routing.
+//! * [`runtime`] — hand-rolled bounded queues, worker pools, and
+//!   pipeline stage workers (the concurrency substrate of the
+//!   pipelined server).
 //! * [`core`] — the LCM protocol itself (client + trusted context).
 //! * [`kvs`] — the key-value store application and baseline servers.
 //! * [`workload`] — YCSB-style workload generation.
@@ -27,6 +30,7 @@ pub use lcm_core as core;
 pub use lcm_crypto as crypto;
 pub use lcm_kvs as kvs;
 pub use lcm_net as net;
+pub use lcm_runtime as runtime;
 pub use lcm_sim as sim;
 pub use lcm_storage as storage;
 pub use lcm_tee as tee;

@@ -1,11 +1,21 @@
 //! Adversarial integration tests: every power the paper grants the
 //! malicious server (§2.3), exercised against the real stack, must be
 //! either harmless or detected.
+//!
+//! Each scenario runs against both server modes (synchronous loop and
+//! asynchronous-write pipeline). Where the adversary inspects or
+//! re-modes storage, the scenario first calls
+//! `BatchServer::flush_persists` — the adversary acts on a quiescent
+//! medium, so in-flight background writes cannot race the attack
+//! setup (on the synchronous server this is a no-op).
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{both_modes, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
-use lcm::core::server::LcmServer;
+use lcm::core::server::BatchServer;
 use lcm::core::stability::Quorum;
 use lcm::core::types::ClientId;
 use lcm::core::verify::check_single_history;
@@ -18,19 +28,20 @@ use lcm::storage::{AdversaryMode, RollbackStorage, StableStorage, Version};
 use lcm::tee::world::TeeWorld;
 
 fn setup_adversarial(
+    mode: Mode,
     n_clients: u32,
     seed: u64,
 ) -> (
     TeeWorld,
     Arc<RollbackStorage>,
-    LcmServer<KvStore>,
+    Box<dyn BatchServer>,
     AdminHandle,
     Vec<KvsClient>,
 ) {
     let world = TeeWorld::new_deterministic(seed);
     let platform = world.platform_deterministic(1);
     let storage = Arc::new(RollbackStorage::new());
-    let mut server = LcmServer::<KvStore>::new(&platform, storage.clone(), 1);
+    let mut server = mk_server::<KvStore>(mode, &platform, storage.clone(), 1);
     server.boot().unwrap();
     let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
     let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
@@ -46,13 +57,39 @@ fn setup_adversarial(
     (world, storage, server, admin, clients)
 }
 
-#[test]
-fn rollback_one_step_detected_by_victim() {
-    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 21);
+/// Forks `storage` at the latest state version (copying the latest key
+/// blob over) and boots a second server instance of the same mode on
+/// the branch.
+fn fork_second_instance(
+    mode: Mode,
+    storage: &Arc<RollbackStorage>,
+    seed: u64,
+) -> Box<dyn BatchServer> {
+    let state_v = storage.history().latest_version("lcm.state").unwrap();
+    let branch = storage.fork_at("lcm.state", state_v).unwrap();
+    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
+    branch
+        .store(
+            "lcm.keyblob",
+            &storage
+                .history()
+                .load_version("lcm.keyblob", key_v)
+                .unwrap(),
+        )
+        .unwrap();
+    let platform = TeeWorld::new_deterministic(seed).platform_deterministic(1);
+    let mut server_b = mk_server::<KvStore>(mode, &platform, Arc::new(branch), 1);
+    server_b.boot().unwrap();
+    server_b
+}
+
+fn rollback_one_step_detected_by_victim(mode: Mode) {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(mode, 1, 21);
     let c = &mut clients[0];
     c.put(&mut server, b"k", b"v1").unwrap();
     c.put(&mut server, b"k", b"v2").unwrap();
 
+    server.flush_persists().unwrap();
     storage.set_mode(AdversaryMode::ServeStale { steps_back: 1 });
     server.crash();
     server.boot().unwrap();
@@ -61,13 +98,13 @@ fn rollback_one_step_detected_by_victim() {
     assert!(err.is_violation(), "got {err:?}");
 }
 
-#[test]
-fn rollback_to_genesis_detected() {
-    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(2, 22);
+fn rollback_to_genesis_detected(mode: Mode) {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(mode, 2, 22);
     clients[0].put(&mut server, b"k", b"v1").unwrap();
     clients[1].put(&mut server, b"k", b"v2").unwrap();
 
     // Roll all the way back to the freshly-provisioned state.
+    server.flush_persists().unwrap();
     storage.set_mode(AdversaryMode::ServeVersion(Version(0)));
     server.crash();
     server.boot().unwrap();
@@ -76,16 +113,17 @@ fn rollback_to_genesis_detected() {
     assert!(err.is_violation());
 }
 
-#[test]
-fn dropped_writes_surface_as_rollback_on_restart() {
-    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 23);
+fn dropped_writes_surface_as_rollback_on_restart(mode: Mode) {
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(mode, 1, 23);
     let c = &mut clients[0];
     c.put(&mut server, b"k", b"v1").unwrap();
     // The server silently discards all subsequent persistence.
+    server.flush_persists().unwrap();
     storage.set_mode(AdversaryMode::DropWrites);
     c.put(&mut server, b"k", b"v2").unwrap();
     c.put(&mut server, b"k", b"v3").unwrap();
 
+    server.flush_persists().unwrap();
     storage.set_mode(AdversaryMode::Honest);
     server.crash();
     server.boot().unwrap();
@@ -96,9 +134,8 @@ fn dropped_writes_surface_as_rollback_on_restart() {
     assert!(err.is_violation());
 }
 
-#[test]
-fn fork_detected_when_clients_cross() {
-    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 24);
+fn fork_detected_when_clients_cross(mode: Mode) {
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(mode, 3, 24);
     let (alice, rest) = clients.split_at_mut(1);
     let alice = &mut alice[0];
     let bob = &mut rest[0];
@@ -107,21 +144,8 @@ fn fork_detected_when_clients_cross() {
     bob.put(&mut server_a, b"doc", b"v2").unwrap();
 
     // Fork the storage and start a second instance.
-    let state_v = storage.history().latest_version("lcm.state").unwrap();
-    let branch = storage.fork_at("lcm.state", state_v).unwrap();
-    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    branch
-        .store(
-            "lcm.keyblob",
-            &storage
-                .history()
-                .load_version("lcm.keyblob", key_v)
-                .unwrap(),
-        )
-        .unwrap();
-    let platform = server_platform();
-    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
-    server_b.boot().unwrap();
+    server_a.flush_persists().unwrap();
+    let mut server_b = fork_second_instance(mode, &storage, 24);
 
     // Divergent progress on both branches.
     alice.put(&mut server_a, b"doc", b"a-edit").unwrap();
@@ -132,38 +156,19 @@ fn fork_detected_when_clients_cross() {
     assert!(err.is_violation());
     // And the out-of-band record comparison sees divergent chains.
     assert!(check_single_history(&[alice.lcm().records(), bob.lcm().records()]).is_err());
-
-    fn server_platform() -> lcm::tee::platform::TeePlatform {
-        TeeWorld::new_deterministic(24).platform_deterministic(1)
-    }
 }
 
-#[test]
-fn forked_minority_never_becomes_stable() {
+fn forked_minority_never_becomes_stable(mode: Mode) {
     // 3 clients; the fork isolates one client on branch B. Its ops can
     // never reach majority stability there.
-    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 25);
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(mode, 3, 25);
     for c in clients.iter_mut() {
         c.put(&mut server_a, b"warm", b"up").unwrap();
     }
-    let state_v = storage.history().latest_version("lcm.state").unwrap();
-    let branch = storage.fork_at("lcm.state", state_v).unwrap();
-    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    branch
-        .store(
-            "lcm.keyblob",
-            &storage
-                .history()
-                .load_version("lcm.keyblob", key_v)
-                .unwrap(),
-        )
-        .unwrap();
-    let platform = TeeWorld::new_deterministic(25).platform_deterministic(1);
-    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
-    server_b.boot().unwrap();
+    server_a.flush_persists().unwrap();
+    let mut server_b = fork_second_instance(mode, &storage, 25);
 
     let victim = &mut clients[2];
-    let watermark_before = victim.lcm().stable_seq();
     for i in 0..10u32 {
         let done = victim
             .put(&mut server_b, b"lonely", &i.to_be_bytes())
@@ -173,16 +178,14 @@ fn forked_minority_never_becomes_stable() {
         assert!(done.stable < done.seq, "op {} must not stabilize", done.seq);
     }
     assert!(victim.lcm().stable_seq() <= victim.lcm().last_seq());
-    let _ = watermark_before;
 }
 
-#[test]
-fn forked_views_never_join() {
+fn forked_views_never_join(mode: Mode) {
     // Fork-linearizability's no-join property on a real forked run:
     // after the branches diverge, the two clients' views never agree
     // on any later sequence number.
     use lcm::core::verify::check_no_join;
-    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(3, 34);
+    let (_w, storage, mut server_a, _admin, mut clients) = setup_adversarial(mode, 3, 34);
     let (alice, rest) = clients.split_at_mut(1);
     let alice = &mut alice[0];
     let bob = &mut rest[0];
@@ -190,21 +193,8 @@ fn forked_views_never_join() {
     alice.put(&mut server_a, b"doc", b"common-1").unwrap();
     bob.put(&mut server_a, b"doc", b"common-2").unwrap();
 
-    let state_v = storage.history().latest_version("lcm.state").unwrap();
-    let branch = storage.fork_at("lcm.state", state_v).unwrap();
-    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    branch
-        .store(
-            "lcm.keyblob",
-            &storage
-                .history()
-                .load_version("lcm.keyblob", key_v)
-                .unwrap(),
-        )
-        .unwrap();
-    let platform = TeeWorld::new_deterministic(34).platform_deterministic(1);
-    let mut server_b = LcmServer::<KvStore>::new(&platform, Arc::new(branch), 1);
-    server_b.boot().unwrap();
+    server_a.flush_persists().unwrap();
+    let mut server_b = fork_second_instance(mode, &storage, 34);
 
     // Extended divergent progress on both branches.
     for i in 0..5u32 {
@@ -219,9 +209,8 @@ fn forked_views_never_join() {
     assert!(check_single_history(&[alice.lcm().records(), bob.lcm().records()]).is_err());
 }
 
-#[test]
-fn replayed_invoke_halts_context() {
-    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 26);
+fn replayed_invoke_halts_context(mode: Mode) {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 26);
     let c = &mut clients[0];
     let duplex = Duplex::adversarial();
     duplex.to_server.set_auto_deliver(true);
@@ -243,9 +232,8 @@ fn replayed_invoke_halts_context() {
     assert!(err.is_violation(), "got {err:?}");
 }
 
-#[test]
-fn tampered_invoke_halts_context() {
-    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 27);
+fn tampered_invoke_halts_context(mode: Mode) {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 27);
     let c = &mut clients[0];
     let mut wire = c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap();
     let mid = wire.len() / 2;
@@ -255,9 +243,8 @@ fn tampered_invoke_halts_context() {
     assert!(err.is_violation());
 }
 
-#[test]
-fn tampered_reply_halts_client() {
-    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 28);
+fn tampered_reply_halts_client(mode: Mode) {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 28);
     let c = &mut clients[0];
     server.submit(c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap());
     let mut replies = server.process_all().unwrap();
@@ -267,9 +254,8 @@ fn tampered_reply_halts_client() {
     assert!(c.lcm().is_halted());
 }
 
-#[test]
-fn reply_swapped_between_clients_detected() {
-    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(2, 29);
+fn reply_swapped_between_clients_detected(mode: Mode) {
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 2, 29);
     let w1 = clients[0]
         .invoke_wire(&KvOp::Put(b"a".to_vec(), b"1".to_vec()))
         .unwrap();
@@ -284,13 +270,12 @@ fn reply_swapped_between_clients_detected() {
     assert!(err.is_violation());
 }
 
-#[test]
-fn reordered_requests_from_one_client_detected() {
+fn reordered_requests_from_one_client_detected(mode: Mode) {
     // FIFO violation: the adversary delays a client's first message
     // and delivers the (illegally obtained) second... since a correct
     // client never has two in flight, the adversary instead replays an
     // OLD buffered message after newer progress — same signature.
-    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(1, 30);
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 30);
     let c = &mut clients[0];
     let old_wire = c
         .invoke_wire(&KvOp::Put(b"k".to_vec(), b"old".to_vec()))
@@ -309,23 +294,21 @@ fn reordered_requests_from_one_client_detected() {
     assert!(server.process_all().unwrap_err().is_violation());
 }
 
-#[test]
-fn wrong_world_enclave_fails_bootstrap() {
+fn wrong_world_enclave_fails_bootstrap(mode: Mode) {
     // A server trying to run a lookalike enclave on a non-genuine
     // platform cannot pass attestation.
     let honest_world = TeeWorld::new_deterministic(31);
     let evil_world = TeeWorld::new_deterministic(666);
     let platform = evil_world.platform_deterministic(1);
-    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(RollbackStorage::new()), 1);
+    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(RollbackStorage::new()), 1);
     server.boot().unwrap();
     let mut admin =
         AdminHandle::new_deterministic(&honest_world, vec![ClientId(1)], Quorum::Majority, 31);
     assert!(admin.bootstrap(&mut server).is_err());
 }
 
-#[test]
-fn halted_context_refuses_everything() {
-    let (_w, _s, mut server, mut admin, mut clients) = setup_adversarial(1, 32);
+fn halted_context_refuses_everything(mode: Mode) {
+    let (_w, _s, mut server, mut admin, mut clients) = setup_adversarial(mode, 1, 32);
     let c = &mut clients[0];
     // Trigger a violation.
     let mut wire = c.invoke_wire(&KvOp::Get(b"k".to_vec())).unwrap();
@@ -339,14 +322,14 @@ fn halted_context_refuses_everything() {
     assert!(admin.status(&mut server).is_err());
 }
 
-#[test]
-fn stale_state_with_fresh_keyblob_detected() {
+fn stale_state_with_fresh_keyblob_detected(mode: Mode) {
     // Mixing blob versions (fresh key blob + stale state) is still a
     // rollback and must be caught.
-    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(1, 33);
+    let (_w, storage, mut server, _a, mut clients) = setup_adversarial(mode, 1, 33);
     let c = &mut clients[0];
     c.put(&mut server, b"k", b"v1").unwrap();
     c.put(&mut server, b"k", b"v2").unwrap();
+    server.flush_persists().unwrap();
 
     // Adversary: serve stale state but latest key blob. Emulate by
     // copying blobs into a fresh honest storage.
@@ -359,22 +342,30 @@ fn stale_state_with_fresh_keyblob_detected() {
         .history()
         .load_version("lcm.keyblob", key_latest_v)
         .unwrap();
-    let mixed = MemoryStorageFrom(&[("lcm.state", stale_state), ("lcm.keyblob", fresh_key)]);
+    let mixed = lcm::storage::MemoryStorage::new();
+    mixed.store("lcm.state", &stale_state).unwrap();
+    mixed.store("lcm.keyblob", &fresh_key).unwrap();
     let platform = TeeWorld::new_deterministic(33).platform_deterministic(1);
-    let mut server2 = LcmServer::<KvStore>::new(&platform, Arc::new(mixed.build()), 1);
+    let mut server2 = mk_server::<KvStore>(mode, &platform, Arc::new(mixed), 1);
     server2.boot().unwrap();
 
     let err = c.get(&mut server2, b"k").unwrap_err();
     assert!(err.is_violation());
-
-    struct MemoryStorageFrom<'a>(&'a [(&'a str, Vec<u8>)]);
-    impl MemoryStorageFrom<'_> {
-        fn build(&self) -> lcm::storage::MemoryStorage {
-            let m = lcm::storage::MemoryStorage::new();
-            for (slot, blob) in self.0 {
-                m.store(slot, blob).unwrap();
-            }
-            m
-        }
-    }
 }
+
+both_modes!(
+    rollback_one_step_detected_by_victim,
+    rollback_to_genesis_detected,
+    dropped_writes_surface_as_rollback_on_restart,
+    fork_detected_when_clients_cross,
+    forked_minority_never_becomes_stable,
+    forked_views_never_join,
+    replayed_invoke_halts_context,
+    tampered_invoke_halts_context,
+    tampered_reply_halts_client,
+    reply_swapped_between_clients_detected,
+    reordered_requests_from_one_client_detected,
+    wrong_world_enclave_fails_bootstrap,
+    halted_context_refuses_everything,
+    stale_state_with_fresh_keyblob_detected,
+);

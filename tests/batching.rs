@@ -1,0 +1,258 @@
+//! Batching beyond batch=16: parametrized amortization invariants
+//! across batch limits {1, 64, 256} for both the synchronous loop and
+//! the pipelined server, plus crash-mid-batch recovery and the
+//! pipelined server's deferred-storage-failure surfacing.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{both_modes, mk_server, Mode};
+use lcm::core::admin::AdminHandle;
+use lcm::core::pipeline::PipelinedServer;
+use lcm::core::server::{BatchServer, LcmServer};
+use lcm::core::stability::Quorum;
+use lcm::core::types::ClientId;
+use lcm::kvs::client::KvsClient;
+use lcm::kvs::ops::{KvOp, KvResult};
+use lcm::kvs::store::KvStore;
+use lcm::storage::MemoryStorage;
+use lcm::tee::world::TeeWorld;
+
+const BATCH_LIMITS: [usize; 3] = [1, 64, 256];
+const GROUP: u32 = 256;
+
+fn setup(
+    mode: Mode,
+    n_clients: u32,
+    batch: usize,
+    seed: u64,
+) -> (Box<dyn BatchServer>, Vec<KvsClient>) {
+    let world = TeeWorld::new_deterministic(seed);
+    let platform = world.platform_deterministic(1);
+    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), batch);
+    assert!(server.boot().unwrap());
+    let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
+    admin.bootstrap(&mut server).unwrap();
+    let clients = ids
+        .iter()
+        .map(|&id| KvsClient::new(id, admin.client_key()))
+        .collect();
+    (server, clients)
+}
+
+/// Queues one op per client (no processing in between), then processes
+/// everything; returns the replies routed per client.
+fn submit_round(
+    server: &mut Box<dyn BatchServer>,
+    clients: &mut [KvsClient],
+    round: u32,
+) -> Vec<(ClientId, Vec<u8>)> {
+    for (i, c) in clients.iter_mut().enumerate() {
+        let wire = c
+            .invoke_wire(&KvOp::Put(
+                format!("k{i}").into_bytes(),
+                round.to_be_bytes().to_vec(),
+            ))
+            .unwrap();
+        server.submit(wire);
+    }
+    server.process_all().unwrap()
+}
+
+fn complete_round(clients: &mut [KvsClient], replies: Vec<(ClientId, Vec<u8>)>) {
+    for (id, wire) in replies {
+        let c = clients
+            .iter_mut()
+            .find(|c| c.lcm().id() == id)
+            .expect("reply for a known client");
+        let done = c.complete(&wire).unwrap();
+        assert_eq!(done.result, KvResult::Stored);
+    }
+}
+
+/// The amortization invariant: with batch limit B and M queued ops,
+/// one round costs exactly ceil(M/B) seal-and-store cycles, and every
+/// op is counted.
+fn amortization_invariants_across_batch_limits(mode: Mode) {
+    for &batch in &BATCH_LIMITS {
+        let (mut server, mut clients) = setup(mode, GROUP, batch, 11_000 + batch as u64);
+        let m = GROUP as u64;
+        let expected_batches_per_round = m.div_ceil(batch as u64);
+
+        for round in 0..2u32 {
+            let batches_before = server.batches_processed();
+            let ops_before = server.ops_processed();
+            let replies = submit_round(&mut server, &mut clients, round);
+            assert_eq!(replies.len(), GROUP as usize, "batch={batch}");
+            complete_round(&mut clients, replies);
+            assert_eq!(
+                server.ops_processed() - ops_before,
+                m,
+                "batch={batch}: every op counted"
+            );
+            assert_eq!(
+                server.batches_processed() - batches_before,
+                expected_batches_per_round,
+                "batch={batch}: ceil(M/B) seal-and-store cycles"
+            );
+        }
+        server.flush_persists().unwrap();
+    }
+}
+
+/// Batching must not change results: the final store contents agree
+/// across all batch limits.
+fn batch_limits_agree_on_state(mode: Mode) {
+    let mut finals = Vec::new();
+    for &batch in &BATCH_LIMITS {
+        // Same seed for every batch limit: identical keys and ops.
+        let (mut server, mut clients) = setup(mode, 8, batch, 12_345);
+        for round in 0..3u32 {
+            let replies = submit_round(&mut server, &mut clients, round);
+            complete_round(&mut clients, replies);
+        }
+        let snapshot: Vec<_> = (0..8)
+            .map(|i| {
+                clients[i]
+                    .get(&mut server, format!("k{i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        finals.push(snapshot);
+    }
+    assert_eq!(finals[0], finals[1]);
+    assert_eq!(finals[1], finals[2]);
+}
+
+/// Crash-mid-batch: the server dies after executing a full batch but
+/// before any reply is delivered. Every client retries; recovery must
+/// be exactly-once (cached replies, original sequence numbers).
+fn crash_mid_batch_recovery(mode: Mode) {
+    let (mut server, mut clients) = setup(mode, 64, 64, 13_000);
+    // Round 0 completes normally so every client has context.
+    let replies = submit_round(&mut server, &mut clients, 0);
+    complete_round(&mut clients, replies);
+
+    // Round 1: the whole batch executes, then the server crashes with
+    // all replies undelivered.
+    let replies = submit_round(&mut server, &mut clients, 1);
+    assert_eq!(replies.len(), 64);
+    drop(replies);
+    server.crash();
+    assert!(!server.boot().unwrap(), "recovered, not re-provisioned");
+
+    // Timeouts expire: everyone retries; T resends cached results.
+    for c in clients.iter_mut() {
+        server.submit(c.lcm_mut().retry().unwrap());
+    }
+    let replies = server.process_all().unwrap();
+    assert_eq!(replies.len(), 64);
+    for (id, wire) in replies {
+        let c = clients.iter_mut().find(|c| c.lcm().id() == id).unwrap();
+        let done = c.complete(&wire).unwrap();
+        assert_eq!(
+            done.completion.seq.0,
+            c.lcm().last_seq().0,
+            "cached reply, original sequence number"
+        );
+    }
+
+    // Service continues normally afterwards.
+    let replies = submit_round(&mut server, &mut clients, 2);
+    complete_round(&mut clients, replies);
+}
+
+both_modes!(
+    amortization_invariants_across_batch_limits,
+    batch_limits_agree_on_state,
+    crash_mid_batch_recovery,
+);
+
+fn pipelined_setup(
+    seed: u64,
+    storage: Arc<dyn lcm::storage::StableStorage>,
+) -> (PipelinedServer<KvStore>, KvsClient) {
+    let world = TeeWorld::new_deterministic(seed);
+    let platform = world.platform_deterministic(1);
+    let mut server = LcmServer::<KvStore>::new(&platform, storage, 1).into_pipelined();
+    server.boot().unwrap();
+    let mut admin =
+        AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, seed);
+    admin.bootstrap(&mut server).unwrap();
+    let client = KvsClient::new(ClientId(1), admin.client_key());
+    (server, client)
+}
+
+/// Pipelined counterpart of the synchronous flaky-disk scenario in
+/// tests/end_to_end.rs: the operation's reply outruns the failing
+/// persist, so the storage error surfaces *deferred* — on flush — as
+/// an error, never as a violation. After a restart, the lost write
+/// behaves like a rollback, which the client detects.
+#[test]
+fn pipelined_storage_failure_surfaces_deferred_then_detected() {
+    use lcm::storage::{FailureMode, FlakyStorage};
+    let flaky = Arc::new(FlakyStorage::new(MemoryStorage::new()));
+    let (mut server, mut client) = pipelined_setup(14_000, flaky.clone());
+
+    client.put(&mut server, b"k", b"v1").unwrap();
+    server.flush().unwrap();
+
+    // Disk starts failing. The reply still arrives (async write!)...
+    flaky.set_mode(FailureMode::FailStores);
+    client
+        .run(&mut server, &KvOp::Put(b"k".to_vec(), b"v2".to_vec()))
+        .unwrap();
+    // ...and the failure surfaces on the flush barrier as a storage
+    // error, not a protocol violation.
+    let err = server.flush().unwrap_err();
+    assert!(!err.is_violation(), "I/O failure misclassified: {err:?}");
+    assert!(flaky.failures() >= 1);
+
+    // Restart on a recovered disk: v2's persist was lost, so the
+    // client — which holds v2's acknowledgement — detects the gap.
+    flaky.set_mode(FailureMode::None);
+    server.crash();
+    server.boot().unwrap();
+    let err = client
+        .run(&mut server, &KvOp::Get(b"k".to_vec()))
+        .unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+}
+
+/// The pipelined server's bounded writer queue really exerts
+/// back-pressure: with a slow disk and a 1-slot queue, execution
+/// blocks at least once.
+#[test]
+fn pipelined_backpressure_is_observable() {
+    use lcm::storage::DelayedStorage;
+    use std::time::Duration;
+    let slow = Arc::new(DelayedStorage::new(
+        MemoryStorage::new(),
+        Duration::from_millis(2),
+    ));
+    let world = TeeWorld::new_deterministic(15_000);
+    let platform = world.platform_deterministic(1);
+    let server = LcmServer::<KvStore>::new(&platform, slow, 1);
+    let mut server = PipelinedServer::with_queue_capacity(server, 1);
+    server.boot().unwrap();
+    let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 15);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+
+    for i in 0..10u32 {
+        client
+            .run(
+                &mut server,
+                &KvOp::Put(b"k".to_vec(), i.to_be_bytes().to_vec()),
+            )
+            .unwrap();
+    }
+    server.flush().unwrap();
+    assert!(
+        server.backpressure_events() > 0,
+        "a 1-slot writer queue behind a slow disk must block execution"
+    );
+    assert_eq!(server.persists_completed(), server.batches_processed());
+}

@@ -1,0 +1,50 @@
+//! Shared scaffolding for running integration scenarios against both
+//! server modes: the synchronous `LcmServer` loop and the
+//! asynchronous-write `PipelinedServer` pipeline.
+
+use std::sync::Arc;
+
+use lcm::core::functionality::Functionality;
+use lcm::core::pipeline::PipelinedServer;
+use lcm::core::server::{BatchServer, LcmServer};
+use lcm::storage::StableStorage;
+use lcm::tee::platform::TeePlatform;
+
+/// Which execution mode a scenario runs the server in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// `LcmServer`: submit → step → persist, strictly in order.
+    Sync,
+    /// `PipelinedServer`: persistence overlaps execution on a
+    /// background writer thread.
+    Pipelined,
+}
+
+/// Builds a server of the requested mode behind the common
+/// [`BatchServer`] interface.
+pub fn mk_server<F: Functionality + 'static>(
+    mode: Mode,
+    platform: &TeePlatform,
+    storage: Arc<dyn StableStorage>,
+    batch: usize,
+) -> Box<dyn BatchServer> {
+    let server = LcmServer::<F>::new(platform, storage, batch);
+    match mode {
+        Mode::Sync => Box::new(server),
+        Mode::Pipelined => Box::new(PipelinedServer::new(server)),
+    }
+}
+
+/// Instantiates each `fn scenario(Mode)` in the invoking test crate as
+/// a `#[test]` per server mode.
+macro_rules! both_modes {
+    ($($name:ident),* $(,)?) => {
+        mod sync_mode {
+            $(#[test] fn $name() { super::$name(crate::common::Mode::Sync) })*
+        }
+        mod pipelined_mode {
+            $(#[test] fn $name() { super::$name(crate::common::Mode::Pipelined) })*
+        }
+    };
+}
+pub(crate) use both_modes;

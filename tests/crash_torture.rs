@@ -2,11 +2,18 @@
 //! operation schedule — before processing, after processing but before
 //! the reply is delivered — and verify that retry-based recovery is
 //! exactly-once at each crash point.
+//!
+//! Every schedule runs in both server modes: the synchronous loop and
+//! the asynchronous-write pipeline (where `crash` models a process
+//! crash — writes accepted by the OS complete before recovery).
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{both_modes, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
-use lcm::core::server::LcmServer;
+use lcm::core::server::BatchServer;
 use lcm::core::stability::Quorum;
 use lcm::core::types::ClientId;
 use lcm::kvs::client::KvsClient;
@@ -27,10 +34,10 @@ enum CrashKind {
     AfterProcess,
 }
 
-fn run_with_crash(crash_at: usize, kind: CrashKind) {
+fn run_with_crash(mode: Mode, crash_at: usize, kind: CrashKind) {
     let world = TeeWorld::new_deterministic(4_000 + crash_at as u64);
     let platform = world.platform_deterministic(1);
-    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
+    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), 1);
     server.boot().unwrap();
     let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 8);
     admin.bootstrap(&mut server).unwrap();
@@ -80,27 +87,24 @@ fn run_with_crash(crash_at: usize, kind: CrashKind) {
     }
 }
 
-#[test]
-fn crash_before_processing_at_every_point() {
+fn crash_before_processing_at_every_point(mode: Mode) {
     for crash_at in 0..SCHEDULE_LEN {
-        run_with_crash(crash_at, CrashKind::BeforeProcess);
+        run_with_crash(mode, crash_at, CrashKind::BeforeProcess);
     }
 }
 
-#[test]
-fn crash_after_processing_at_every_point() {
+fn crash_after_processing_at_every_point(mode: Mode) {
     for crash_at in 0..SCHEDULE_LEN {
-        run_with_crash(crash_at, CrashKind::AfterProcess);
+        run_with_crash(mode, crash_at, CrashKind::AfterProcess);
     }
 }
 
-#[test]
-fn double_crash_same_operation() {
+fn double_crash_same_operation(mode: Mode) {
     // Crash before processing, recover, crash again after processing,
     // recover, retry again: still exactly-once.
     let world = TeeWorld::new_deterministic(4_100);
     let platform = world.platform_deterministic(1);
-    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), 1);
+    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), 1);
     server.boot().unwrap();
     let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 9);
     admin.bootstrap(&mut server).unwrap();
@@ -131,3 +135,9 @@ fn double_crash_same_operation() {
         "one put + one get, nothing duplicated"
     );
 }
+
+both_modes!(
+    crash_before_processing_at_every_point,
+    crash_after_processing_at_every_point,
+    double_crash_same_operation,
+);

@@ -1,11 +1,18 @@
 //! End-to-end integration tests across the full stack:
 //! clients ⇄ (adversary-controllable links) ⇄ host server ⇄ enclave ⇄
 //! sealed storage.
+//!
+//! Every scenario runs twice — against the synchronous `LcmServer`
+//! loop and against the asynchronous-write `PipelinedServer` — via the
+//! `both_modes!` wrappers at the bottom.
+
+mod common;
 
 use std::sync::Arc;
 
+use common::{both_modes, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
-use lcm::core::server::LcmServer;
+use lcm::core::server::{BatchServer, LcmServer};
 use lcm::core::stability::Quorum;
 use lcm::core::types::ClientId;
 use lcm::core::verify::{check_single_history, check_stable_prefix};
@@ -17,13 +24,14 @@ use lcm::storage::MemoryStorage;
 use lcm::tee::world::TeeWorld;
 
 fn setup(
+    mode: Mode,
     n_clients: u32,
     batch: usize,
     seed: u64,
-) -> (TeeWorld, LcmServer<KvStore>, AdminHandle, Vec<KvsClient>) {
+) -> (TeeWorld, Box<dyn BatchServer>, AdminHandle, Vec<KvsClient>) {
     let world = TeeWorld::new_deterministic(seed);
     let platform = world.platform_deterministic(1);
-    let mut server = LcmServer::<KvStore>::new(&platform, Arc::new(MemoryStorage::new()), batch);
+    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), batch);
     assert!(server.boot().unwrap());
     let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
     let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
@@ -39,9 +47,8 @@ fn setup(
     (world, server, admin, clients)
 }
 
-#[test]
-fn many_rounds_many_clients_stability_converges() {
-    let (_w, mut server, _admin, mut clients) = setup(5, 16, 1);
+fn many_rounds_many_clients_stability_converges(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 5, 16, 1);
     // 10 rounds of everyone writing then reading.
     for round in 0..10u32 {
         for (i, c) in clients.iter_mut().enumerate() {
@@ -67,9 +74,8 @@ fn many_rounds_many_clients_stability_converges() {
     check_stable_prefix(&views).unwrap();
 }
 
-#[test]
-fn reads_of_other_clients_writes_are_linearized() {
-    let (_w, mut server, _admin, mut clients) = setup(3, 4, 2);
+fn reads_of_other_clients_writes_are_linearized(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 3, 4, 2);
     clients[0].put(&mut server, b"x", b"from-0").unwrap();
     let v = clients[1].get(&mut server, b"x").unwrap();
     assert_eq!(v.unwrap(), b"from-0");
@@ -78,10 +84,9 @@ fn reads_of_other_clients_writes_are_linearized() {
     assert_eq!(v.unwrap(), b"from-1");
 }
 
-#[test]
-fn batched_and_unbatched_servers_agree() {
+fn batched_and_unbatched_servers_agree(mode: Mode) {
     let run = |batch: usize| {
-        let (_w, mut server, _a, mut clients) = setup(2, batch, 3);
+        let (_w, mut server, _a, mut clients) = setup(mode, 2, batch, 3);
         let mut results = Vec::new();
         for i in 0..20u32 {
             let c = &mut clients[(i % 2) as usize];
@@ -100,9 +105,8 @@ fn batched_and_unbatched_servers_agree() {
     assert_eq!(run(1), run(16));
 }
 
-#[test]
-fn interleaved_batch_replies_route_correctly() {
-    let (_w, mut server, _admin, mut clients) = setup(4, 16, 4);
+fn interleaved_batch_replies_route_correctly(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 4, 16, 4);
     // All four clients submit before any processing happens: one batch.
     let wires: Vec<_> = clients
         .iter_mut()
@@ -125,9 +129,8 @@ fn interleaved_batch_replies_route_correctly() {
     }
 }
 
-#[test]
-fn crash_between_rounds_is_transparent() {
-    let (_w, mut server, _admin, mut clients) = setup(2, 8, 5);
+fn crash_between_rounds_is_transparent(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 2, 8, 5);
     clients[0].put(&mut server, b"persist", b"me").unwrap();
     for _ in 0..3 {
         server.crash();
@@ -137,9 +140,8 @@ fn crash_between_rounds_is_transparent() {
     }
 }
 
-#[test]
-fn lost_request_recovered_via_retry_over_links() {
-    let (_w, mut server, _admin, mut clients) = setup(1, 1, 6);
+fn lost_request_recovered_via_retry_over_links(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 1, 1, 6);
     let c = &mut clients[0];
     let duplex = Duplex::adversarial();
 
@@ -166,9 +168,8 @@ fn lost_request_recovered_via_retry_over_links() {
     assert_eq!(done.completion.seq.0, 1);
 }
 
-#[test]
-fn lost_reply_recovered_via_cached_retry_over_links() {
-    let (_w, mut server, _admin, mut clients) = setup(1, 1, 7);
+fn lost_reply_recovered_via_cached_retry_over_links(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 1, 1, 7);
     let c = &mut clients[0];
     let duplex = Duplex::adversarial();
     duplex.to_server.set_auto_deliver(true);
@@ -201,9 +202,8 @@ fn lost_reply_recovered_via_cached_retry_over_links() {
     assert_eq!(v.unwrap(), b"1");
 }
 
-#[test]
-fn single_client_group_is_immediately_stable() {
-    let (_w, mut server, _admin, mut clients) = setup(1, 1, 8);
+fn single_client_group_is_immediately_stable(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 1, 1, 8);
     let c = &mut clients[0];
     c.put(&mut server, b"k", b"v").unwrap();
     let done = c.put(&mut server, b"k", b"v2").unwrap();
@@ -212,19 +212,46 @@ fn single_client_group_is_immediately_stable() {
     assert_eq!(done.stable.0, 1);
 }
 
-#[test]
-fn large_values_roundtrip_through_the_full_stack() {
-    let (_w, mut server, _admin, mut clients) = setup(1, 1, 9);
+fn large_values_roundtrip_through_the_full_stack(mode: Mode) {
+    let (_w, mut server, _admin, mut clients) = setup(mode, 1, 1, 9);
     let c = &mut clients[0];
     let big = vec![0xabu8; 100_000];
     c.put(&mut server, b"blob", &big).unwrap();
     assert_eq!(c.get(&mut server, b"blob").unwrap().unwrap(), big);
 }
 
+fn admin_status_matches_client_progress(mode: Mode) {
+    let (_w, mut server, mut admin, mut clients) = setup(mode, 2, 1, 10);
+    for i in 0..5u32 {
+        clients[(i % 2) as usize]
+            .put(&mut server, b"k", &i.to_be_bytes())
+            .unwrap();
+    }
+    let (t, _q, n) = admin.status(&mut server).unwrap();
+    assert_eq!(t.0, 5);
+    assert_eq!(n, 2);
+}
+
+both_modes!(
+    many_rounds_many_clients_stability_converges,
+    reads_of_other_clients_writes_are_linearized,
+    batched_and_unbatched_servers_agree,
+    interleaved_batch_replies_route_correctly,
+    crash_between_rounds_is_transparent,
+    lost_request_recovered_via_retry_over_links,
+    lost_reply_recovered_via_cached_retry_over_links,
+    single_client_group_is_immediately_stable,
+    large_values_roundtrip_through_the_full_stack,
+    admin_status_matches_client_progress,
+);
+
 #[test]
 fn storage_io_failures_are_errors_not_violations() {
-    // A flaky disk is a benign fault: the server surfaces an error,
-    // nothing halts, and service resumes once the disk recovers.
+    // A flaky disk is a benign fault: the synchronous server surfaces
+    // an error, nothing halts, and service resumes once the disk
+    // recovers. (The pipelined server's asynchronous counterpart lives
+    // in tests/batching.rs — there the error surfaces deferred, on the
+    // *next* call.)
     use lcm::storage::{FailureMode, FlakyStorage};
     let world = TeeWorld::new_deterministic(77);
     let platform = world.platform_deterministic(1);
@@ -256,17 +283,4 @@ fn storage_io_failures_are_errors_not_violations() {
     let replies = server.process_all().unwrap();
     let done = client.complete(&replies[0].1).unwrap();
     assert_eq!(done.result, KvResult::Stored);
-}
-
-#[test]
-fn admin_status_matches_client_progress() {
-    let (_w, mut server, mut admin, mut clients) = setup(2, 1, 10);
-    for i in 0..5u32 {
-        clients[(i % 2) as usize]
-            .put(&mut server, b"k", &i.to_be_bytes())
-            .unwrap();
-    }
-    let (t, _q, n) = admin.status(&mut server).unwrap();
-    assert_eq!(t.0, 5);
-    assert_eq!(n, 2);
 }

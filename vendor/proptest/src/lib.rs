@@ -1,7 +1,8 @@
 //! Offline shim for `proptest`.
 //!
 //! Implements the subset of the proptest 1.x API this workspace uses:
-//! the [`proptest!`]/[`prop_oneof!`]/`prop_assert*` macros, [`Strategy`]
+//! the [`proptest!`]/[`prop_oneof!`]/`prop_assert*` macros,
+//! [`strategy::Strategy`]
 //! with `prop_map`/`prop_flat_map`/`prop_filter`, `any::<T>()` for
 //! integers, `bool`, byte arrays and `Vec<u8>`, integer-range and
 //! simple-regex string strategies, [`collection::vec`],
