@@ -108,5 +108,36 @@ fn bench_aof(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, bench_pipeline, bench_aof);
+/// Sharded stage 2: one round of 64 clients PUTting their own keys
+/// (spread across shards by route hash) per iteration, at 1 vs 4
+/// shards under identical storage cost. The single-shard server needs
+/// four serial seal-and-store cycles per round where four shards need
+/// one each, in parallel — the stage-2 speedup the sharded host
+/// exists for.
+fn bench_sharded(c: &mut Criterion) {
+    use lcm_bench::shardbench::{setup, ShardRun};
+
+    const SHARD_CLIENTS: u32 = 64;
+
+    let mut group = c.benchmark_group("sharded_stage2");
+    group.throughput(Throughput::Elements(u64::from(SHARD_CLIENTS)));
+    for shards in [1u32, 4] {
+        let mut stack = setup(&ShardRun {
+            shards,
+            batch: 16,
+            pipelined: false,
+            clients: SHARD_CLIENTS,
+            rounds: 0, // driven by criterion below
+            store_delay: Duration::from_micros(400),
+        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("shards_{shards}")),
+            |b| b.iter(|| stack.round()),
+        );
+        stack.flush();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_aof, bench_sharded);
 criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Machine-readable performance snapshot: `BENCH_pipeline.json`.
+//!
+//! Runs the pipeline + sharding benches briefly on the real stack and
+//! emits ops/s per (mode × shard count) as JSON, so the performance
+//! trajectory of the repository is tracked from one committed artifact
+//! onward. CI regenerates it in the figures job; regenerate locally
+//! with
+//!
+//! ```text
+//! cargo run -p lcm-bench --bin bench_snapshot --release
+//! ```
+//!
+//! The file lands in `$LCM_OUT_DIR` when set, else the working
+//! directory. Numbers are wall-clock and machine-dependent — the
+//! tracked signal is the *ratio* between configurations (async vs
+//! sync, 4 shards vs 1), which is hardware-stable because the store
+//! cost is modelled (`DelayedStorage`).
+
+use std::time::Duration;
+
+use lcm_bench::shardbench::{measure, ShardRun};
+
+const CLIENTS: u32 = 64;
+const BATCH: usize = 16;
+/// Large enough that persistence — the thing sharding parallelizes —
+/// is the clear bottleneck in both modes, keeping the recorded ratios
+/// stable across runner hardware.
+const STORE_DELAY: Duration = Duration::from_micros(400);
+const SHARDS: [u32; 2] = [1, 4];
+
+fn quick() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn main() {
+    let rounds = if quick() { 2 } else { 8 };
+    let mut results: Vec<(String, u32, f64)> = Vec::new();
+    for pipelined in [false, true] {
+        for &shards in &SHARDS {
+            let ops = measure(&ShardRun {
+                shards,
+                batch: BATCH,
+                pipelined,
+                clients: CLIENTS,
+                rounds,
+                store_delay: STORE_DELAY,
+            });
+            let mode = if pipelined { "pipelined" } else { "sync" };
+            println!("{mode:>9} x {shards} shard(s): {ops:>10.0} ops/s");
+            results.push((mode.to_string(), shards, ops));
+        }
+    }
+
+    let ops_of = |mode: &str, shards: u32| {
+        results
+            .iter()
+            .find(|(m, s, _)| m == mode && *s == shards)
+            .map(|&(_, _, x)| x)
+            .unwrap_or(f64::NAN)
+    };
+    let sync_speedup = ops_of("sync", 4) / ops_of("sync", 1);
+    let pipe_speedup = ops_of("pipelined", 4) / ops_of("pipelined", 1);
+    println!("4-shard speedup: sync {sync_speedup:.2}x, pipelined {pipe_speedup:.2}x");
+
+    // Hand-rolled JSON: the sanctioned dependency set has no JSON
+    // serializer, and the schema is flat enough not to need one.
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"lcm-bench-snapshot/1\",\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"clients\": {CLIENTS}, \"batch\": {BATCH}, \
+         \"store_delay_us\": {}, \"rounds\": {rounds}}},\n",
+        STORE_DELAY.as_micros()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, (mode, shards, ops)) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{mode}\", \"shards\": {shards}, \"ops_per_s\": {ops:.1}}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_4shards\": {{\"sync\": {sync_speedup:.3}, \"pipelined\": {pipe_speedup:.3}}}\n"
+    ));
+    json.push_str("}\n");
+
+    let dir = std::env::var("LCM_OUT_DIR").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&dir).join("BENCH_pipeline.json");
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("(writing {} failed: {e})", path.display()),
+    }
+}

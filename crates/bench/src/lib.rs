@@ -77,3 +77,112 @@ pub fn series_csv(name: &str, series: &[(lcm_sim::cost::ServerKind, Vec<(usize, 
         .collect();
     write_csv(name, &["series", "clients", "ops_per_s"], &rows);
 }
+
+/// Real-stack throughput measurement of the sharded multi-enclave
+/// server, shared by the shard ablation, the snapshot bin, and the
+/// criterion benches.
+pub mod shardbench {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use lcm_core::admin::AdminHandle;
+    use lcm_core::client::LcmClient;
+    use lcm_core::server::BatchServer;
+    use lcm_core::shard::build_sharded;
+    use lcm_core::stability::Quorum;
+    use lcm_core::types::ClientId;
+    use lcm_kvs::ops::KvOp;
+    use lcm_kvs::store::KvStore;
+    use lcm_storage::{DelayedStorage, MemoryStorage};
+    use lcm_tee::world::TeeWorld;
+
+    /// One measurement configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ShardRun {
+        /// Number of server shards.
+        pub shards: u32,
+        /// Per-shard batch limit.
+        pub batch: usize,
+        /// Whether each shard persists on a background writer.
+        pub pipelined: bool,
+        /// Closed-loop client count (each client PUTs its own key, so
+        /// keys spread across shards by route hash).
+        pub clients: u32,
+        /// Full submit-all/process-all rounds to measure.
+        pub rounds: u32,
+        /// Modelled write+fsync latency per store call.
+        pub store_delay: Duration,
+    }
+
+    /// A live sharded KVS stack: server + bootstrapped clients, ready
+    /// to run closed-loop rounds.
+    pub struct ShardStack {
+        server: Box<dyn BatchServer>,
+        clients: Vec<LcmClient>,
+        payload: Vec<u8>,
+    }
+
+    impl ShardStack {
+        /// One full round: every client PUTs a 100 B value under its
+        /// own key (keys spread across shards by route hash), then all
+        /// replies are processed and completed.
+        pub fn round(&mut self) {
+            use lcm_core::codec::WireCodec;
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                let op = KvOp::Put(format!("k{i}").into_bytes(), self.payload.clone());
+                self.server
+                    .submit(c.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
+            }
+            let replies = self.server.process_all().unwrap();
+            for (id, wire) in replies {
+                let c = self.clients.iter_mut().find(|c| c.id() == id).unwrap();
+                c.handle_reply(&wire).unwrap();
+            }
+        }
+
+        /// Blocks until every persist issued so far is durable.
+        pub fn flush(&mut self) {
+            self.server.flush_persists().unwrap();
+        }
+    }
+
+    /// Builds the sharded KVS stack for `cfg` (booted, provisioned,
+    /// clients attached).
+    pub fn setup(cfg: &ShardRun) -> ShardStack {
+        let world = TeeWorld::new_deterministic(8_800 + u64::from(cfg.shards));
+        let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), cfg.store_delay));
+        let mut server: Box<dyn BatchServer> = Box::new(build_sharded::<KvStore>(
+            &world,
+            1,
+            storage,
+            cfg.batch,
+            cfg.shards,
+            cfg.pipelined,
+        ));
+        assert!(server.boot().unwrap());
+        let ids: Vec<ClientId> = (1..=cfg.clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 13);
+        admin.bootstrap(&mut server).unwrap();
+        let clients = ids
+            .iter()
+            .map(|&id| LcmClient::new_sharded(id, admin.client_key(), cfg.shards))
+            .collect();
+        ShardStack {
+            server,
+            clients,
+            payload: vec![0x42u8; 100],
+        }
+    }
+
+    /// Builds the stack and measures ops/s over the configured rounds
+    /// (including a final persistence flush).
+    pub fn measure(cfg: &ShardRun) -> f64 {
+        let mut stack = setup(cfg);
+        let t0 = Instant::now();
+        for _ in 0..cfg.rounds {
+            stack.round();
+        }
+        stack.flush();
+        f64::from(cfg.clients * cfg.rounds) / t0.elapsed().as_secs_f64()
+    }
+}

@@ -9,10 +9,12 @@ use lcm_crypto::aead::{self, AeadKey};
 use lcm_crypto::keys::SecretKey;
 
 use crate::codec::WireCodec;
-use crate::context::{reply_aad, LABEL_INVOKE};
+use crate::context::{invoke_aad, reply_aad};
+use crate::functionality::Functionality;
+use crate::shard::{route_for, shard_index};
 use crate::types::{ChainValue, ClientId, Completion, SeqNo};
 use crate::verify::OpRecord;
-use crate::wire::{InvokeMsg, ReplyMsg};
+use crate::wire::{InvokeMsg, ReplyMsg, RouteHint, ROUTE_HINT_LEN};
 use crate::{LcmError, Result, Violation};
 
 /// An operation awaiting its reply.
@@ -22,6 +24,21 @@ struct Pending {
     /// Context captured at invocation, so retries are byte-faithful.
     tc: SeqNo,
     hc: ChainValue,
+    /// Route hash the operation was sent under (part of the AAD, so
+    /// retries must reuse it).
+    route: u32,
+}
+
+/// The client's protocol context against one shard of the service:
+/// `(tc, ts, hc)` plus the in-flight operation, exactly the paper's
+/// per-client state, kept once per shard (a single entry for an
+/// unsharded deployment).
+#[derive(Debug, Clone, Default)]
+struct ShardCtx {
+    tc: SeqNo,
+    ts: SeqNo,
+    hc: ChainValue,
+    pending: Option<Pending>,
 }
 
 /// Identifier of a registered stability watch.
@@ -68,17 +85,27 @@ pub struct StabilityEvent {
 /// ```
 pub struct LcmClient {
     id: ClientId,
-    tc: SeqNo,
-    ts: SeqNo,
-    hc: ChainValue,
     key: AeadKey,
-    pending: Option<Pending>,
+    /// One protocol context per shard of the deployment (length 1 for
+    /// an unsharded server). A sharded service is N independent LCM
+    /// instances, so the paper's constant client state exists once per
+    /// shard the client actually touches.
+    shards: Vec<ShardCtx>,
+    /// Shard indices of in-flight operations, in submission order.
+    /// An honest hub/sharded host delivers replies in this order, but
+    /// the client does not depend on it: each reply is attributed to
+    /// its operation by AAD authentication (the reply AAD binds the
+    /// op's route), so a sibling shard's crash-stop cannot make an
+    /// honest out-of-order delivery look like an attack.
+    pending_order: std::collections::VecDeque<u32>,
     halted: bool,
     /// Optional completion log for the omniscient history checker.
     recording: Option<Vec<OpRecord>>,
     /// Registered stability watches (paper §4.5's callback-mechanism
-    /// extension, as used by Venus): `(id, threshold)`, fired once.
-    watches: Vec<(WatchId, SeqNo)>,
+    /// extension, as used by Venus): `(id, shard, threshold)`, fired
+    /// once. Sequence numbers are per shard, so each watch is bound to
+    /// one shard's watermark.
+    watches: Vec<(WatchId, u32, SeqNo)>,
     next_watch: u64,
     /// Fired notifications awaiting collection.
     notifications: Vec<StabilityEvent>,
@@ -88,8 +115,9 @@ impl std::fmt::Debug for LcmClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LcmClient")
             .field("id", &self.id)
-            .field("tc", &self.tc)
-            .field("ts", &self.ts)
+            .field("shards", &self.shards.len())
+            .field("tc", &self.last_seq())
+            .field("ts", &self.stable_seq())
             .field("halted", &self.halted)
             .finish()
     }
@@ -97,15 +125,22 @@ impl std::fmt::Debug for LcmClient {
 
 impl LcmClient {
     /// Creates a client with identity `id` holding the group
-    /// communication key `kC`.
+    /// communication key `kC`, talking to an unsharded (single-shard)
+    /// deployment.
     pub fn new(id: ClientId, k_c: &SecretKey) -> Self {
+        Self::new_sharded(id, k_c, 1)
+    }
+
+    /// Creates a client for a deployment of `n_shards` server shards
+    /// (see [`crate::shard::ShardedServer`]). The client keeps one
+    /// `(tc, ts, hc)` context per shard; `n_shards = 1` is exactly the
+    /// paper's client.
+    pub fn new_sharded(id: ClientId, k_c: &SecretKey, n_shards: u32) -> Self {
         LcmClient {
             id,
-            tc: SeqNo::ZERO,
-            ts: SeqNo::ZERO,
-            hc: ChainValue::GENESIS,
             key: AeadKey::from_secret(k_c),
-            pending: None,
+            shards: vec![ShardCtx::default(); n_shards.max(1) as usize],
+            pending_order: std::collections::VecDeque::new(),
             halted: false,
             recording: None,
             watches: Vec::new(),
@@ -119,24 +154,51 @@ impl LcmClient {
         self.id
     }
 
-    /// Sequence number of the last completed operation (`tc`).
+    /// Number of shard contexts this client maintains.
+    pub fn n_shards(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Sequence number of the last completed operation — the maximum
+    /// over shard contexts (sequence numbers are per shard).
     pub fn last_seq(&self) -> SeqNo {
-        self.tc
+        self.shards
+            .iter()
+            .map(|s| s.tc)
+            .max()
+            .unwrap_or(SeqNo::ZERO)
     }
 
-    /// Latest known majority-stable sequence number (`ts`).
+    /// Latest known majority-stable sequence number — the maximum over
+    /// shard contexts.
     pub fn stable_seq(&self) -> SeqNo {
-        self.ts
+        self.shards
+            .iter()
+            .map(|s| s.ts)
+            .max()
+            .unwrap_or(SeqNo::ZERO)
     }
 
-    /// Hash-chain value of the last completed operation (`hc`).
+    /// Hash-chain value of the last completed operation on `shard`
+    /// (shard 0 is *the* chain value for an unsharded deployment).
+    pub fn chain_value_on(&self, shard: u32) -> ChainValue {
+        self.shards[shard as usize].hc
+    }
+
+    /// Hash-chain value of the last completed operation (shard 0).
     pub fn chain_value(&self) -> ChainValue {
-        self.hc
+        self.chain_value_on(0)
     }
 
-    /// Whether an operation is awaiting its reply.
+    /// The `(tc, ts)` pair of one shard context.
+    pub fn shard_seqs(&self, shard: u32) -> (SeqNo, SeqNo) {
+        let ctx = &self.shards[shard as usize];
+        (ctx.tc, ctx.ts)
+    }
+
+    /// Whether any operation is awaiting its reply.
     pub fn has_pending(&self) -> bool {
-        self.pending.is_some()
+        !self.pending_order.is_empty()
     }
 
     /// Whether this client has detected a violation and halted.
@@ -164,20 +226,32 @@ impl LcmClient {
     /// watermark reaches `threshold` (§4.5: "clients can register for
     /// notifications of stability updates", the Venus mechanism).
     ///
-    /// Fires immediately into the queue if the threshold is already
-    /// covered. An application typically watches the sequence number of
-    /// a critical operation before acting on it irrevocably.
+    /// Watches shard 0 — for an unsharded deployment, *the* watermark.
+    /// Against a sharded deployment use
+    /// [`LcmClient::watch_stability_on`] with the shard of the
+    /// operation in question: sequence numbers are per shard, so only
+    /// that shard's watermark says anything about the operation's
+    /// durability.
     pub fn watch_stability(&mut self, threshold: SeqNo) -> WatchId {
+        self.watch_stability_on(0, threshold)
+    }
+
+    /// Registers a one-shot watch against one shard's majority-stable
+    /// watermark. Fires immediately into the queue if the threshold is
+    /// already covered. An application typically watches the sequence
+    /// number of a critical operation before acting on it irrevocably.
+    pub fn watch_stability_on(&mut self, shard: u32, threshold: SeqNo) -> WatchId {
         let id = WatchId(self.next_watch);
         self.next_watch += 1;
-        if self.ts >= threshold {
+        let ts = self.shards[shard as usize].ts;
+        if ts >= threshold {
             self.notifications.push(StabilityEvent {
                 watch: id,
                 threshold,
-                watermark: self.ts,
+                watermark: ts,
             });
         } else {
-            self.watches.push((id, threshold));
+            self.watches.push((id, shard, threshold));
         }
         id
     }
@@ -188,16 +262,16 @@ impl LcmClient {
     }
 
     fn fire_watches(&mut self) {
-        let ts = self.ts;
+        let shards = &self.shards;
         let (fired, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.watches)
             .into_iter()
-            .partition(|&(_, t)| ts >= t);
+            .partition(|&(_, shard, t)| shards[shard as usize].ts >= t);
         self.watches = kept;
-        for (watch, threshold) in fired {
+        for (watch, shard, threshold) in fired {
             self.notifications.push(StabilityEvent {
                 watch,
                 threshold,
-                watermark: ts,
+                watermark: self.shards[shard as usize].ts,
             });
         }
     }
@@ -211,24 +285,57 @@ impl LcmClient {
     ///   not completed.
     /// * [`LcmError::Halted`] — a violation was detected earlier.
     pub fn invoke(&mut self, op: &[u8]) -> Result<Vec<u8>> {
+        self.invoke_routed(op, None)
+    }
+
+    /// [`LcmClient::invoke`] with the functionality's partition key
+    /// derived from the plaintext op — the entry point for sharded
+    /// deployments: `client.invoke_for::<KvStore>(&op_bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LcmClient::invoke`].
+    pub fn invoke_for<F: Functionality>(&mut self, op: &[u8]) -> Result<Vec<u8>> {
+        self.invoke_routed(op, F::shard_key(op))
+    }
+
+    /// Produces the encrypted INVOKE for `op`, routed by `shard_key`
+    /// (`None` routes by client identity). The route hash travels in a
+    /// plaintext envelope bound into the AAD; the operation is invoked
+    /// against the matching shard's context.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::OperationPending`] — an operation is already
+    ///   pending **on that shard** (per-shard sequential invocation;
+    ///   operations on different shards may be pipelined).
+    /// * [`LcmError::Halted`] — a violation was detected earlier.
+    pub fn invoke_routed(&mut self, op: &[u8], shard_key: Option<&[u8]>) -> Result<Vec<u8>> {
         if self.halted {
             return Err(LcmError::Halted);
         }
-        if self.pending.is_some() {
+        let route = route_for(self.id, shard_key);
+        let shard = shard_index(route, self.shards.len() as u32);
+        let ctx = &self.shards[shard as usize];
+        if ctx.pending.is_some() {
             return Err(LcmError::OperationPending);
         }
         let pending = Pending {
             op: op.to_vec(),
-            tc: self.tc,
-            hc: self.hc,
+            tc: ctx.tc,
+            hc: ctx.hc,
+            route,
         };
         let wire = self.encode_invoke(&pending, false)?;
-        self.pending = Some(pending);
+        self.shards[shard as usize].pending = Some(pending);
+        self.pending_order.push_back(shard);
         Ok(wire)
     }
 
-    /// Re-produces the pending INVOKE with the retry flag set
-    /// (crash-tolerance extension §4.6.1; send after a timeout).
+    /// Re-produces the **oldest** pending INVOKE with the retry flag
+    /// set (crash-tolerance extension §4.6.1; send after a timeout).
+    /// With at most one operation in flight — the paper's sequential
+    /// client — "oldest" is simply "the" pending operation.
     ///
     /// # Errors
     ///
@@ -238,7 +345,11 @@ impl LcmClient {
         if self.halted {
             return Err(LcmError::Halted);
         }
-        let pending = self.pending.clone().ok_or(LcmError::NothingToRetry)?;
+        let &shard = self.pending_order.front().ok_or(LcmError::NothingToRetry)?;
+        let pending = self.shards[shard as usize]
+            .pending
+            .clone()
+            .ok_or(LcmError::NothingToRetry)?;
         self.encode_invoke(&pending, true)
     }
 
@@ -250,8 +361,20 @@ impl LcmClient {
             retry,
             op: pending.op.clone(),
         };
-        aead::auth_encrypt(&self.key, &msg.to_bytes(), LABEL_INVOKE)
-            .map_err(|e| LcmError::Tee(e.to_string()))
+        let ciphertext = aead::auth_encrypt(
+            &self.key,
+            &msg.to_bytes(),
+            &invoke_aad(self.id, pending.route),
+        )
+        .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let mut wire = Vec::with_capacity(ROUTE_HINT_LEN + ciphertext.len());
+        RouteHint {
+            client: self.id,
+            route: pending.route,
+        }
+        .encode_to(&mut wire);
+        wire.extend_from_slice(&ciphertext);
+        Ok(wire)
     }
 
     /// Consumes a REPLY message, completing the pending operation
@@ -267,17 +390,38 @@ impl LcmClient {
         if self.halted {
             return Err(LcmError::Halted);
         }
-        let Some(pending) = self.pending.clone() else {
+        if self.pending_order.is_empty() {
             self.halted = true;
             return Err(Violation::UnexpectedReply.into());
-        };
-        let plain = match aead::auth_decrypt(&self.key, wire, &reply_aad(self.id)) {
-            Ok(p) => p,
-            Err(_) => {
-                self.halted = true;
-                return Err(Violation::BadAuthentication.into());
+        }
+        // The reply AAD binds (client, route), and concurrent pendings
+        // necessarily carry distinct routes (one pending per shard),
+        // so authentication *identifies* the operation being
+        // completed: try each in-flight op in submission order and
+        // take the one whose AAD verifies. This keeps the client sound
+        // when replies cross shards out of order — e.g. after a
+        // sibling shard crash-stopped and its reply will never come —
+        // while a swapped or foreign reply authenticates under no
+        // pending route at all.
+        let mut matched = None;
+        for (pos, &shard) in self.pending_order.iter().enumerate() {
+            let pending = self.shards[shard as usize]
+                .pending
+                .as_ref()
+                .expect("pending_order entries always have a pending op");
+            if let Ok(p) = aead::auth_decrypt(&self.key, wire, &reply_aad(self.id, pending.route)) {
+                matched = Some((pos, shard, p));
+                break;
             }
+        }
+        let Some((pos, shard, plain)) = matched else {
+            self.halted = true;
+            return Err(Violation::BadAuthentication.into());
         };
+        let pending = self.shards[shard as usize]
+            .pending
+            .clone()
+            .expect("matched pending exists");
         let reply = match ReplyMsg::from_bytes(&plain) {
             Ok(m) => m,
             Err(_) => {
@@ -286,37 +430,41 @@ impl LcmClient {
             }
         };
 
-        // assert h'c = hc
-        if reply.hc_echo != self.hc {
+        // assert h'c = hc — against the invocation-time context.
+        if reply.hc_echo != pending.hc {
             self.halted = true;
             return Err(Violation::ReplyMismatch {
-                expected: self.hc,
+                expected: pending.hc,
                 got: reply.hc_echo,
             }
             .into());
         }
 
-        // (tc, ts, hc) ← (t, q, h). Sequence numbers returned at one
-        // client strictly increase and stability never decreases; a
-        // server violating either is caught here.
-        if reply.t <= self.tc || reply.q < self.ts {
+        // (tc, ts, hc) ← (t, q, h). Sequence numbers returned by one
+        // shard to one client strictly increase and stability never
+        // decreases; a server violating either is caught here.
+        let ctx = &self.shards[shard as usize];
+        if reply.t <= ctx.tc || reply.q < ctx.ts {
             self.halted = true;
             return Err(Violation::ReplyMismatch {
-                expected: self.hc,
+                expected: ctx.hc,
                 got: reply.h,
             }
             .into());
         }
 
-        self.tc = reply.t;
-        self.ts = reply.q;
-        self.hc = reply.h;
-        self.pending = None;
+        let ctx = &mut self.shards[shard as usize];
+        ctx.tc = reply.t;
+        ctx.ts = reply.q;
+        ctx.hc = reply.h;
+        ctx.pending = None;
+        self.pending_order.remove(pos);
         self.fire_watches();
 
         if let Some(log) = self.recording.as_mut() {
             log.push(OpRecord {
                 client: self.id,
+                shard,
                 seq: reply.t,
                 chain: reply.h,
                 op: pending.op.clone(),
@@ -345,7 +493,7 @@ mod tests {
         aead::auth_encrypt(
             &AeadKey::from_secret(k),
             &reply.to_bytes(),
-            &reply_aad(ClientId(1)),
+            &reply_aad(ClientId(1), crate::shard::route_for(ClientId(1), None)),
         )
         .unwrap()
     }
@@ -360,17 +508,32 @@ mod tests {
         }
     }
 
+    /// Decrypts an enveloped invoke wire at the "T" side.
+    fn decrypt_invoke(k: &SecretKey, wire: &[u8]) -> Result<InvokeMsg> {
+        let (hint, ct) = RouteHint::peel(wire).expect("envelope present");
+        let plain = aead::auth_decrypt(
+            &AeadKey::from_secret(k),
+            ct,
+            &invoke_aad(hint.client, hint.route),
+        )
+        .map_err(|_| LcmError::Violation(Violation::BadAuthentication))?;
+        Ok(InvokeMsg::from_bytes(&plain).unwrap())
+    }
+
     #[test]
     fn invoke_reply_cycle() {
         let mut c = LcmClient::new(ClientId(1), &key());
         let wire = c.invoke(b"op").unwrap();
         assert!(c.has_pending());
         // Decrypt at "T" side to inspect.
-        let plain = aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).unwrap();
-        let msg = InvokeMsg::from_bytes(&plain).unwrap();
+        let msg = decrypt_invoke(&key(), &wire).unwrap();
         assert_eq!(msg.client, ClientId(1));
         assert_eq!(msg.tc, SeqNo::ZERO);
         assert!(!msg.retry);
+        // The envelope carries the client and its client-derived route.
+        let (hint, _) = RouteHint::peel(&wire).unwrap();
+        assert_eq!(hint.client, ClientId(1));
+        assert_eq!(hint.route, crate::shard::route_for(ClientId(1), None));
 
         let completion = c
             .handle_reply(&reply_wire(&key(), &ok_reply(1, 0, ChainValue::GENESIS)))
@@ -393,9 +556,7 @@ mod tests {
         assert_eq!(c.retry(), Err(LcmError::NothingToRetry));
         c.invoke(b"a").unwrap();
         let retry_wire = c.retry().unwrap();
-        let plain =
-            aead::auth_decrypt(&AeadKey::from_secret(&key()), &retry_wire, LABEL_INVOKE).unwrap();
-        assert!(InvokeMsg::from_bytes(&plain).unwrap().retry);
+        assert!(decrypt_invoke(&key(), &retry_wire).unwrap().retry);
     }
 
     #[test]
@@ -532,7 +693,38 @@ mod tests {
         c.rotate_key(&new_key);
         let wire = c.invoke(b"a").unwrap();
         // Old key can no longer decrypt the client's messages.
-        assert!(aead::auth_decrypt(&AeadKey::from_secret(&key()), &wire, LABEL_INVOKE).is_err());
-        assert!(aead::auth_decrypt(&AeadKey::from_secret(&new_key), &wire, LABEL_INVOKE).is_ok());
+        assert!(decrypt_invoke(&key(), &wire).is_err());
+        assert!(decrypt_invoke(&new_key, &wire).is_ok());
+    }
+
+    #[test]
+    fn sharded_client_pipelines_across_shards_only() {
+        // Two ops with different partition keys that land on different
+        // shards may be in flight together; a second op on the SAME
+        // shard is refused until the first completes.
+        let mut c = LcmClient::new_sharded(ClientId(1), &key(), 2);
+        let shard_of = |k: &[u8]| crate::shard::shard_index(crate::shard::route_hash(k), 2);
+        // Find keys on both shards.
+        let mut by_shard: [Option<Vec<u8>>; 2] = [None, None];
+        for i in 0..32u32 {
+            let k = format!("key{i}").into_bytes();
+            let s = shard_of(&k) as usize;
+            if by_shard[s].is_none() {
+                by_shard[s] = Some(k);
+            }
+        }
+        let (ka, kb) = (by_shard[0].clone().unwrap(), by_shard[1].clone().unwrap());
+        c.invoke_routed(b"op-a", Some(&ka)).unwrap();
+        c.invoke_routed(b"op-b", Some(&kb)).unwrap();
+        assert!(c.has_pending());
+        // Same shard as op-a: refused.
+        assert_eq!(
+            c.invoke_routed(b"op-a2", Some(&ka)),
+            Err(LcmError::OperationPending)
+        );
+        // Retry re-encodes the OLDEST pending op.
+        let retried = decrypt_invoke(&key(), &c.retry().unwrap()).unwrap();
+        assert!(retried.retry);
+        assert_eq!(retried.op, b"op-a");
     }
 }

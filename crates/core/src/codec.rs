@@ -104,6 +104,17 @@ impl Writer {
         self.buf
     }
 
+    /// Empties the writer while keeping its allocation — the scratch
+    /// reuse primitive for per-batch hot paths.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes encoded so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Current encoded length.
     pub fn len(&self) -> usize {
         self.buf.len()

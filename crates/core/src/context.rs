@@ -36,8 +36,21 @@ use crate::{LcmError, Result, Violation};
 pub const LABEL_KEY_BLOB: &[u8] = b"lcm.keyblob";
 /// AAD label for the state blob (sealed under the protocol key `kP`).
 pub const LABEL_STATE_BLOB: &[u8] = b"lcm.state";
-/// AAD label for client→T messages.
+/// AAD label for client→T messages. The plaintext routing envelope
+/// (see [`crate::wire::RouteHint`]) is appended to this label by
+/// [`invoke_aad`], so a host that rewrites the routing metadata breaks
+/// authentication inside the enclave.
 pub const LABEL_INVOKE: &[u8] = b"lcm.invoke";
+
+/// The associated data under which `client` encrypts an INVOKE carrying
+/// route hash `route` in its plaintext envelope.
+pub fn invoke_aad(client: ClientId, route: u32) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_INVOKE.len() + 8);
+    aad.extend_from_slice(LABEL_INVOKE);
+    aad.extend_from_slice(&client.0.to_be_bytes());
+    aad.extend_from_slice(&route.to_be_bytes());
+    aad
+}
 /// AAD label for T→client messages. The destination client id is
 /// appended to this label (see [`reply_aad`]): the paper's Alg. 1/2
 /// match replies to invocations only through the echoed `hc`, which is
@@ -47,10 +60,17 @@ pub const LABEL_INVOKE: &[u8] = b"lcm.invoke";
 pub const LABEL_REPLY: &[u8] = b"lcm.reply";
 
 /// The associated data under which a REPLY for `client` is encrypted.
-pub fn reply_aad(client: ClientId) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_REPLY.len() + 4);
+///
+/// `route` echoes the invoke envelope's route hash: with several
+/// operations of one client in flight on different shards (all still
+/// at the genesis chain value), the echoed `hc` alone cannot tell the
+/// replies apart — binding the route closes that swap window exactly
+/// as binding the client id closes the cross-client one.
+pub fn reply_aad(client: ClientId, route: u32) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_REPLY.len() + 8);
     aad.extend_from_slice(LABEL_REPLY);
     aad.extend_from_slice(&client.0.to_be_bytes());
+    aad.extend_from_slice(&route.to_be_bytes());
     aad
 }
 /// AAD label for admin⇄T messages.
@@ -318,6 +338,10 @@ pub struct TrustedContext<F: Functionality> {
     admin_seq: u64,
     quorum: Quorum,
     nonce_counter: u64,
+    /// Reusable encode buffer for the per-batch hot path (sealed state,
+    /// encrypted replies) — retains its allocation across batches so
+    /// steady-state serving stops churning fresh `Vec`s.
+    scratch: Writer,
 }
 
 impl<F: Functionality> std::fmt::Debug for TrustedContext<F> {
@@ -345,6 +369,7 @@ impl<F: Functionality> TrustedContext<F> {
             admin_seq: 0,
             quorum: Quorum::Majority,
             nonce_counter: 0,
+            scratch: Writer::new(),
         }
     }
 
@@ -476,13 +501,20 @@ impl<F: Functionality> TrustedContext<F> {
     ///   phase.
     pub fn handle_invoke(&mut self, wire: &[u8]) -> Result<(ClientId, Vec<u8>)> {
         self.require_ready()?;
+        // Peel the plaintext routing envelope; its fields are bound
+        // into the AAD, so any tampering (or a truncated wire) fails
+        // authentication below.
+        let Some((hint, ciphertext)) = crate::wire::RouteHint::peel(wire) else {
+            return Err(self.halt(Violation::BadAuthentication));
+        };
         let aead_c = self
             .keys
             .as_ref()
             .expect("ready implies keys")
             .aead_c
             .clone();
-        let plain = match aead::auth_decrypt(&aead_c, wire, LABEL_INVOKE) {
+        let aad = invoke_aad(hint.client, hint.route);
+        let plain = match aead::auth_decrypt(&aead_c, ciphertext, &aad) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
         };
@@ -490,6 +522,12 @@ impl<F: Functionality> TrustedContext<F> {
             Ok(m) => m,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
         };
+        // The envelope's client id is authenticated (it is in the AAD),
+        // so a mismatch with the encrypted copy means the *sender*
+        // lied — halt rather than mis-route the reply.
+        if msg.client != hint.client {
+            return Err(self.halt(Violation::BadAuthentication));
+        }
 
         let Some(entry) = self.v.get(&msg.client) else {
             let client = msg.client;
@@ -499,7 +537,7 @@ impl<F: Functionality> TrustedContext<F> {
 
         // Alg. 2: assert V[i] = (∗, tc, hc).
         if entry.t == msg.tc && entry.h == msg.hc {
-            self.execute_fresh(msg)
+            self.execute_fresh(msg, hint.route)
         } else if msg.retry {
             // §4.6.1 second case: T crashed after storing but before the
             // client got the reply — resend the cached result.
@@ -514,7 +552,7 @@ impl<F: Functionality> TrustedContext<F> {
                     hc_echo: cached.hc_echo,
                     result: cached.result,
                 };
-                let wire = self.encrypt_reply(msg.client, &reply)?;
+                let wire = self.encrypt_reply(msg.client, hint.route, &reply)?;
                 Ok((msg.client, wire))
             } else {
                 Err(self.halt(Violation::ContextMismatch {
@@ -532,7 +570,7 @@ impl<F: Functionality> TrustedContext<F> {
         }
     }
 
-    fn execute_fresh(&mut self, msg: InvokeMsg) -> Result<(ClientId, Vec<u8>)> {
+    fn execute_fresh(&mut self, msg: InvokeMsg, route: u32) -> Result<(ClientId, Vec<u8>)> {
         // t ← t + 1 ; (r, s) ← execF(s, o) ; h ← hash(h ‖ o ‖ t ‖ i)
         self.t = self.t.next();
         let result = self.f.exec(&msg.op);
@@ -565,11 +603,11 @@ impl<F: Functionality> TrustedContext<F> {
                 result: reply.result.clone(),
             });
         }
-        let wire = self.encrypt_reply(msg.client, &reply)?;
+        let wire = self.encrypt_reply(msg.client, route, &reply)?;
         Ok((msg.client, wire))
     }
 
-    fn encrypt_reply(&mut self, client: ClientId, reply: &ReplyMsg) -> Result<Vec<u8>> {
+    fn encrypt_reply(&mut self, client: ClientId, route: u32, reply: &ReplyMsg) -> Result<Vec<u8>> {
         let aead_c = self
             .keys
             .as_ref()
@@ -577,8 +615,17 @@ impl<F: Functionality> TrustedContext<F> {
             .aead_c
             .clone();
         let nonce = self.next_nonce();
-        aead::auth_encrypt_with_nonce(&aead_c, &nonce, &reply.to_bytes(), &reply_aad(client))
-            .map_err(|e| LcmError::Tee(e.to_string()))
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        reply.encode(&mut scratch);
+        let sealed = aead::auth_encrypt_with_nonce(
+            &aead_c,
+            &nonce,
+            scratch.as_slice(),
+            &reply_aad(client, route),
+        );
+        self.scratch = scratch;
+        sealed.map_err(|e| LcmError::Tee(e.to_string()))
     }
 
     /// Seals the current protocol + service state for the host to
@@ -595,7 +642,10 @@ impl<F: Functionality> TrustedContext<F> {
         key_plain.put_raw(keys.k_a.as_bytes());
         let seal_key = AeadKey::from_secret(&self.services.sealing_key());
 
-        let mut state_plain = Writer::new();
+        // The state encoding is the per-batch hot allocation: reuse the
+        // context's scratch buffer instead of a fresh Vec per seal.
+        let mut state_plain = std::mem::take(&mut self.scratch);
+        state_plain.clear();
         state_plain.put_raw(keys.k_c.as_bytes());
         state_plain.put_u64(self.admin_seq);
         self.stable_floor.encode(&mut state_plain);
@@ -609,20 +659,19 @@ impl<F: Functionality> TrustedContext<F> {
         let key_blob = aead::auth_encrypt_with_nonce(
             &seal_key,
             &nonce_a,
-            &key_plain.into_bytes(),
+            key_plain.as_slice(),
             LABEL_KEY_BLOB,
-        )
-        .map_err(|e| LcmError::Tee(e.to_string()))?;
+        );
         let state_blob = aead::auth_encrypt_with_nonce(
             &aead_p,
             &nonce_b,
-            &state_plain.into_bytes(),
+            state_plain.as_slice(),
             LABEL_STATE_BLOB,
-        )
-        .map_err(|e| LcmError::Tee(e.to_string()))?;
+        );
+        self.scratch = state_plain;
         Ok(PersistBlobs {
-            key_blob,
-            state_blob,
+            key_blob: key_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
+            state_blob: state_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
         })
     }
 
@@ -891,11 +940,27 @@ mod tests {
     }
 
     fn encrypt_invoke(msg: &InvokeMsg) -> Vec<u8> {
-        aead::auth_encrypt(&client_key(), &msg.to_bytes(), LABEL_INVOKE).unwrap()
+        let route = crate::shard::route_for(msg.client, None);
+        let hint = crate::wire::RouteHint {
+            client: msg.client,
+            route,
+        };
+        let ct = aead::auth_encrypt(
+            &client_key(),
+            &msg.to_bytes(),
+            &invoke_aad(msg.client, route),
+        )
+        .unwrap();
+        let mut wire = Vec::with_capacity(crate::wire::ROUTE_HINT_LEN + ct.len());
+        hint.encode_to(&mut wire);
+        wire.extend_from_slice(&ct);
+        wire
     }
 
     fn decrypt_reply(wire: &[u8], client: u32) -> ReplyMsg {
-        let plain = aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client))).unwrap();
+        let route = crate::shard::route_for(ClientId(client), None);
+        let plain =
+            aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client), route)).unwrap();
         ReplyMsg::from_bytes(&plain).unwrap()
     }
 

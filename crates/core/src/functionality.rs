@@ -16,10 +16,31 @@ use crate::codec::CodecError;
 /// TMC schemes the paper criticises in §3.1) does **not** require
 /// determinism for crash tolerance, because the last reply is cached
 /// verbatim rather than re-executed.
-pub trait Functionality: Default {
+///
+/// `Send` is required so servers hosting the functionality can be
+/// driven from worker threads (the sharded multi-enclave host,
+/// [`crate::shard::ShardedServer`]).
+pub trait Functionality: Default + Send {
     /// Executes one operation against the state, returning the result
     /// (the paper's `(r, s) ← execF(s, o)`).
     fn exec(&mut self, op: &[u8]) -> Vec<u8>;
+
+    /// The partition key of an *encoded* operation, if this
+    /// functionality's state is partitionable by it.
+    ///
+    /// A sharded deployment ([`crate::shard::ShardedServer`]) routes
+    /// every operation whose key hashes to the same value to the same
+    /// shard, so each shard owns a disjoint slice of the state. The
+    /// client library calls this on the plaintext op before encrypting
+    /// (the host only ever sees the resulting hash).
+    ///
+    /// Returning `None` (the default) partitions by *client* instead:
+    /// all of one client's operations land on one shard, which is
+    /// always protocol-correct but does not split shared state.
+    fn shard_key(op: &[u8]) -> Option<&[u8]> {
+        let _ = op;
+        None
+    }
 
     /// Serializes the full service state `s`.
     fn snapshot(&self) -> Vec<u8>;
@@ -91,6 +112,124 @@ impl Functionality for AppendLog {
     }
 }
 
+/// A named-counter functionality: the second partitionable example
+/// service next to the KVS, with counters as the shard key.
+///
+/// Operation encoding:
+///
+/// ```text
+/// INC:  0x01 ‖ name_len(4) ‖ name ‖ delta(8, BE)
+/// READ: 0x02 ‖ name
+/// ```
+///
+/// Both return the counter's value after the operation as 8 big-endian
+/// bytes (a never-touched counter reads 0). Malformed operations
+/// return the empty byte string.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    counters: std::collections::BTreeMap<Vec<u8>, u64>,
+}
+
+/// Tag byte of a [`Counter`] increment operation.
+pub const COUNTER_OP_INC: u8 = 0x01;
+/// Tag byte of a [`Counter`] read operation.
+pub const COUNTER_OP_READ: u8 = 0x02;
+
+impl Counter {
+    /// Encodes an increment of `name` by `delta` (wrapping).
+    pub fn inc_op(name: &[u8], delta: u64) -> Vec<u8> {
+        let mut w = crate::codec::Writer::with_capacity(1 + 4 + name.len() + 8);
+        w.put_u8(COUNTER_OP_INC);
+        w.put_bytes(name);
+        w.put_u64(delta);
+        w.into_bytes()
+    }
+
+    /// Encodes a read of `name`.
+    pub fn read_op(name: &[u8]) -> Vec<u8> {
+        let mut w = crate::codec::Writer::with_capacity(1 + name.len());
+        w.put_u8(COUNTER_OP_READ);
+        w.put_raw(name);
+        w.into_bytes()
+    }
+
+    /// Decodes a result produced by [`Functionality::exec`].
+    pub fn decode_result(result: &[u8]) -> Option<u64> {
+        Some(u64::from_be_bytes(result.try_into().ok()?))
+    }
+
+    /// The current value of `name` (0 if never incremented).
+    pub fn value(&self, name: &[u8]) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Functionality for Counter {
+    fn exec(&mut self, op: &[u8]) -> Vec<u8> {
+        let mut r = crate::codec::Reader::new(op);
+        let parsed = (|| -> Result<u64, CodecError> {
+            match r.get_u8()? {
+                COUNTER_OP_INC => {
+                    let name = r.get_bytes()?.to_vec();
+                    let delta = r.get_u64()?;
+                    r.finish()?;
+                    let slot = self.counters.entry(name).or_insert(0);
+                    *slot = slot.wrapping_add(delta);
+                    Ok(*slot)
+                }
+                COUNTER_OP_READ => {
+                    let name = r.get_rest();
+                    Ok(self.value(name))
+                }
+                other => Err(CodecError::InvalidTag(other)),
+            }
+        })();
+        match parsed {
+            Ok(v) => v.to_be_bytes().to_vec(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn shard_key(op: &[u8]) -> Option<&[u8]> {
+        match *op.first()? {
+            COUNTER_OP_INC => {
+                let len = u32::from_be_bytes(op.get(1..5)?.try_into().ok()?) as usize;
+                op.get(5..5 + len)
+            }
+            COUNTER_OP_READ => op.get(1..),
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = crate::codec::Writer::new();
+        w.put_u32(self.counters.len() as u32);
+        for (name, value) in &self.counters {
+            w.put_bytes(name);
+            w.put_u64(*value);
+        }
+        w.into_bytes()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), CodecError> {
+        let mut r = crate::codec::Reader::new(snapshot);
+        let n = r.get_u32()? as usize;
+        let mut counters = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let name = r.get_bytes()?.to_vec();
+            let value = r.get_u64()?;
+            counters.insert(name, value);
+        }
+        r.finish()?;
+        self.counters = counters;
+        Ok(())
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.counters.keys().map(|k| k.len() + 8 + 32).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +274,58 @@ mod tests {
         let before = log.heap_bytes();
         log.exec(&[0u8; 100]);
         assert!(log.heap_bytes() > before);
+    }
+
+    #[test]
+    fn append_log_routes_by_client() {
+        assert_eq!(AppendLog::shard_key(b"anything"), None);
+    }
+
+    #[test]
+    fn counter_inc_and_read() {
+        let mut c = Counter::default();
+        let r = c.exec(&Counter::inc_op(b"hits", 2));
+        assert_eq!(Counter::decode_result(&r), Some(2));
+        let r = c.exec(&Counter::inc_op(b"hits", 3));
+        assert_eq!(Counter::decode_result(&r), Some(5));
+        let r = c.exec(&Counter::read_op(b"hits"));
+        assert_eq!(Counter::decode_result(&r), Some(5));
+        let r = c.exec(&Counter::read_op(b"misses"));
+        assert_eq!(Counter::decode_result(&r), Some(0));
+    }
+
+    #[test]
+    fn counter_malformed_op_is_rejected_not_panicking() {
+        let mut c = Counter::default();
+        assert!(c.exec(&[0x7f, 1, 2]).is_empty());
+        assert!(c.exec(&[]).is_empty());
+        assert!(c.exec(&[COUNTER_OP_INC, 0, 0, 0, 9]).is_empty());
+    }
+
+    #[test]
+    fn counter_shard_key_is_the_name() {
+        assert_eq!(
+            Counter::shard_key(&Counter::inc_op(b"hits", 1)),
+            Some(&b"hits"[..])
+        );
+        assert_eq!(
+            Counter::shard_key(&Counter::read_op(b"hits")),
+            Some(&b"hits"[..])
+        );
+        assert_eq!(Counter::shard_key(&[0x7f]), None);
+        assert_eq!(Counter::shard_key(&[]), None);
+    }
+
+    #[test]
+    fn counter_snapshot_restore_roundtrip() {
+        let mut c = Counter::default();
+        c.exec(&Counter::inc_op(b"a", 1));
+        c.exec(&Counter::inc_op(b"b", 7));
+        let snap = c.snapshot();
+        let mut restored = Counter::default();
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored, c);
+        assert!(restored.heap_bytes() > 0);
+        assert!(Counter::default().restore(&[0xff]).is_err());
     }
 }

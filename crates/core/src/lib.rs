@@ -43,6 +43,10 @@
 //!   [`pipeline::PipelinedServer`] persists sealed state on a
 //!   background writer thread while the enclave executes the next
 //!   batch (the mode behind the paper's Figs. 4/5).
+//! * [`shard`] — sharded multi-enclave execution:
+//!   [`shard::ShardedServer`] runs N server instances behind a
+//!   key-partitioned router so stage 2 (execute + seal) parallelizes
+//!   across enclaves.
 //! * [`admin`] — the trusted admin: bootstrapping, attestation,
 //!   membership changes, migration orchestration (§4.3, §4.6).
 //! * [`stability`] — the `majority-stable` function and stability
@@ -66,6 +70,7 @@ pub mod functionality;
 pub mod pipeline;
 pub mod program;
 pub mod server;
+pub mod shard;
 pub mod stability;
 pub mod transport;
 pub mod types;

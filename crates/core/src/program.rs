@@ -83,13 +83,7 @@ impl WireCodec for HostCall {
                 w.put_u8(CALL_PROVISION);
                 w.put_bytes(payload);
             }
-            HostCall::InvokeBatch(batch) => {
-                w.put_u8(CALL_INVOKE_BATCH);
-                w.put_u32(batch.len() as u32);
-                for m in batch {
-                    w.put_bytes(m);
-                }
-            }
+            HostCall::InvokeBatch(batch) => HostCall::encode_invoke_batch_into(w, batch),
             HostCall::Admin(msg) => {
                 w.put_u8(CALL_ADMIN);
                 w.put_bytes(msg);
@@ -331,6 +325,19 @@ impl WireCodec for HostReply {
 /// The enclave program wrapping a [`TrustedContext`] over `F`.
 pub struct LcmProgram<F: Functionality> {
     context: TrustedContext<F>,
+}
+
+impl HostCall {
+    /// Encodes an `InvokeBatch` call directly into `w` from borrowed
+    /// wires — the host's hot path, avoiding the intermediate
+    /// [`HostCall`] value and a fresh buffer per batch.
+    pub fn encode_invoke_batch_into(w: &mut Writer, batch: &[Vec<u8>]) {
+        w.put_u8(CALL_INVOKE_BATCH);
+        w.put_u32(batch.len() as u32);
+        for m in batch {
+            w.put_bytes(m);
+        }
+    }
 }
 
 impl<F: Functionality> LcmProgram<F> {

@@ -67,6 +67,11 @@ pub struct LcmServer<F: Functionality> {
     batches_processed: u64,
     /// Total invoke messages processed.
     ops_processed: u64,
+    /// Reusable host-call encode buffer: one ecall per batch reuses the
+    /// same allocation instead of building a fresh `Vec` each time.
+    call_scratch: crate::codec::Writer,
+    /// Reusable batch container for the wires drained out of the queue.
+    batch_scratch: Vec<Vec<u8>>,
 }
 
 impl<F: Functionality> std::fmt::Debug for LcmServer<F> {
@@ -96,6 +101,8 @@ impl<F: Functionality> LcmServer<F> {
             queue: VecDeque::new(),
             batches_processed: 0,
             ops_processed: 0,
+            call_scratch: crate::codec::Writer::new(),
+            batch_scratch: Vec::new(),
         }
     }
 
@@ -217,9 +224,15 @@ impl<F: Functionality> LcmServer<F> {
             return Ok((Vec::new(), None));
         }
         let take = self.batch_limit.min(self.queue.len());
-        let batch: Vec<Vec<u8>> = self.queue.drain(..take).collect();
-        let n_ops = batch.len() as u64;
-        let reply = self.call(HostCall::InvokeBatch(batch))?;
+        // Hot path: reuse the batch container and the call encode
+        // buffer across batches instead of allocating per step.
+        self.batch_scratch.clear();
+        self.batch_scratch.extend(self.queue.drain(..take));
+        let n_ops = self.batch_scratch.len() as u64;
+        self.call_scratch.clear();
+        HostCall::encode_invoke_batch_into(&mut self.call_scratch, &self.batch_scratch);
+        let out = self.enclave.ecall(self.call_scratch.as_slice())?;
+        let reply = HostReply::from_bytes(&out)?;
         match reply {
             HostReply::BatchOk { replies, blobs } => {
                 self.batches_processed += 1;
@@ -313,7 +326,9 @@ impl<F: Functionality> LcmServer<F> {
     }
 
     fn call(&mut self, call: HostCall) -> Result<HostReply> {
-        let out = self.enclave.ecall(&call.to_bytes())?;
+        self.call_scratch.clear();
+        call.encode(&mut self.call_scratch);
+        let out = self.enclave.ecall(self.call_scratch.as_slice())?;
         Ok(HostReply::from_bytes(&out)?)
     }
 }
@@ -329,8 +344,11 @@ fn unexpected(reply: HostReply) -> LcmError {
 /// ([`crate::pipeline::PipelinedServer`]).
 ///
 /// The trait is object-safe so scenarios can run the same code against
-/// `Box<dyn BatchServer>` in both modes.
-pub trait BatchServer {
+/// `Box<dyn BatchServer>` in both modes. `Send` is part of the
+/// contract so servers can be driven from worker threads — the sharded
+/// host ([`crate::shard::ShardedServer`]) executes its shards on an
+/// [`lcm_runtime::WorkerPool`].
+pub trait BatchServer: Send {
     /// Starts (or restarts after a crash) the enclave; `true` means the
     /// context needs provisioning. See [`LcmServer::boot`].
     ///

@@ -1,0 +1,1158 @@
+//! Sharded multi-enclave execution: parallel stage 2 behind a
+//! key-partitioned router.
+//!
+//! After the pipelined server moved persistence off the critical path,
+//! the throughput ceiling is stage 2 itself — one enclave executing and
+//! sealing every batch. [`ShardedServer`] removes that ceiling by
+//! running **N independent server instances** ("shards"), each owning a
+//! disjoint slice of the functionality state and its own V-map, behind
+//! a deterministic router:
+//!
+//! ```text
+//!                      ┌── ingress queue 0 ──▶ shard 0 (enclave + storage ns 0) ─┐
+//!  clients ──▶ router ─┼── ingress queue 1 ──▶ shard 1 (enclave + storage ns 1) ─┼─▶ ordered replies
+//!   (Hub)    route % N └── ingress queue … ──▶ shard …                           ┘   (per-client FIFO)
+//! ```
+//!
+//! ## Routing
+//!
+//! The host cannot decrypt requests, so the *client* attaches a stable
+//! route hash in a plaintext envelope ([`crate::wire::RouteHint`]),
+//! derived from [`crate::functionality::Functionality::shard_key`] of
+//! the plaintext operation (or from the client identity when the
+//! functionality is not key-partitionable). The envelope is bound into
+//! the AEAD associated data (invoke *and* reply), so a host that
+//! rewrites routing metadata — or swaps two of a client's concurrent
+//! replies — fails authentication. Routing is a pure function of
+//! `(route hash, shard count)` — [`shard_index`] — and therefore
+//! stable across reboots and migrations.
+//!
+//! **Known limitation:** shards do not yet carry their own
+//! `(index, count)` identity inside the enclave (the provisioning
+//! payload is identical for every shard), so a host that delivers an
+//! *intact* wire to the wrong shard is caught by the client-context
+//! check only once the client has history on the correct shard — a
+//! client's very first operation on a shard could be executed by a
+//! different shard, misplacing (not corrupting) that write. Closing
+//! this needs shard-identity provisioning; tracked in ROADMAP.md.
+//!
+//! ## Protocol guarantees under sharding
+//!
+//! Each shard is a complete LCM instance: its own hash chain, V-map
+//! slice, sequence-number space, and stability watermark. Clients keep
+//! one `(tc, hc)` context *per shard* ([`crate::client::LcmClient`]
+//! handles this transparently), so rollback/fork detection holds
+//! per shard — power-failing or rolling back one shard is detected by
+//! exactly the clients with state there, while the other shards keep
+//! serving (fault isolation; see `tests/sharding.rs`).
+//!
+//! ## Reply ordering
+//!
+//! Shards complete batches concurrently, but replies to any one client
+//! are released in that client's submission order: every accepted wire
+//! gets a global ticket, and a reply is held back until all of the same
+//! client's earlier tickets have been delivered. Across clients,
+//! replies are emitted in global ticket order, keeping runs
+//! deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use lcm_crypto::sha256::Digest;
+use lcm_runtime::queue::{BoundedQueue, QueueStats};
+use lcm_runtime::WorkerPool;
+use lcm_storage::{NamespacedStorage, StableStorage};
+use lcm_tee::attestation::Quote;
+use lcm_tee::world::TeeWorld;
+
+use crate::codec::{Reader, Writer};
+use crate::functionality::Functionality;
+use crate::server::{BatchServer, LcmServer, Replies};
+use crate::types::ClientId;
+use crate::wire::RouteHint;
+use crate::{LcmError, Result};
+
+/// Default bound on each shard's ingress queue. Submitting into a full
+/// queue blocks (back-pressure); the default is generous enough for
+/// every closed-loop test workload while still bounding host memory.
+pub const DEFAULT_INGRESS_CAPACITY: usize = 1024;
+
+/// 32-bit FNV-1a over the partition key — the stable route hash.
+///
+/// Stability matters more than distribution quality here: the same key
+/// must map to the same shard across process restarts, migrations, and
+/// architectures, so the hash is a fixed public function rather than a
+/// seeded hasher.
+pub fn route_hash(key: &[u8]) -> u32 {
+    const OFFSET: u32 = 0x811c_9dc5;
+    const PRIME: u32 = 0x0100_0193;
+    let mut h = OFFSET;
+    for &b in key {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The route hash of one operation: the functionality's partition key
+/// when there is one, otherwise the client identity (all of one
+/// client's operations then share a shard).
+pub fn route_for(client: ClientId, shard_key: Option<&[u8]>) -> u32 {
+    match shard_key {
+        Some(key) => route_hash(key),
+        None => route_hash(&client.0.to_be_bytes()),
+    }
+}
+
+/// Maps a route hash onto one of `n` shards.
+pub fn shard_index(route: u32, n: u32) -> u32 {
+    route % n.max(1)
+}
+
+/// Per-shard activity counters, rolled up by [`ShardStatsRollup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Which shard these counters describe.
+    pub shard: u32,
+    /// INVOKE messages processed by this shard's enclave.
+    pub ops: u64,
+    /// Seal-and-store cycles performed by this shard.
+    pub batches: u64,
+    /// Ingress-queue counters; `blocked_pushes` is this shard's
+    /// back-pressure signal.
+    pub ingress: QueueStats,
+}
+
+/// Aggregate view over all shards' [`ShardStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatsRollup {
+    /// The per-shard rows the rollup was built from.
+    pub per_shard: Vec<ShardStats>,
+    /// Total operations across shards.
+    pub total_ops: u64,
+    /// Total seal-and-store cycles across shards.
+    pub total_batches: u64,
+    /// Merged ingress counters (sums; worst-case high water).
+    pub ingress: QueueStats,
+}
+
+impl ShardStatsRollup {
+    fn from_rows(per_shard: Vec<ShardStats>) -> Self {
+        let mut ingress = QueueStats::default();
+        let (mut total_ops, mut total_batches) = (0, 0);
+        for row in &per_shard {
+            total_ops += row.ops;
+            total_batches += row.batches;
+            ingress.absorb(&row.ingress);
+        }
+        ShardStatsRollup {
+            per_shard,
+            total_ops,
+            total_batches,
+            ingress,
+        }
+    }
+}
+
+/// A ticketed wire waiting in a shard's ingress queue: `(ticket,
+/// envelope client, wire)`.
+type Ticketed = (u64, ClientId, Vec<u8>);
+
+/// State owned by one shard and touched only under its lock.
+struct Lane<S> {
+    server: S,
+    /// Tickets (with their envelope clients) of wires already moved
+    /// into the server's queue, in FIFO order — pairs each reply batch
+    /// back to its tickets, and names what to write off when the shard
+    /// crash-stops.
+    inflight: VecDeque<(u64, ClientId)>,
+}
+
+struct Shard<S> {
+    lane: Arc<Mutex<Lane<S>>>,
+    ingress: Arc<BoundedQueue<Ticketed>>,
+}
+
+fn lock<S>(lane: &Arc<Mutex<Lane<S>>>) -> MutexGuard<'_, Lane<S>> {
+    lane.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A key-partitioned fan-out server: N [`BatchServer`] shards driven
+/// concurrently by an [`lcm_runtime::WorkerPool`], presented to the
+/// rest of the stack as a single [`BatchServer`].
+///
+/// Construct over homogeneous shards with [`ShardedServer::new`], or
+/// use [`build_sharded`] for the common LCM-over-namespaced-storage
+/// layout. The transport [`crate::transport::Hub`], the
+/// [`crate::admin::AdminHandle`], and client libraries all run
+/// unmodified on top.
+///
+/// Control-plane operations (boot, provision, admin, migration) fan
+/// out to every shard on the calling thread; the data plane
+/// ([`ShardedServer::step`]) executes one batch per non-empty shard in
+/// parallel on the pool.
+pub struct ShardedServer<S: BatchServer + 'static> {
+    shards: Vec<Shard<S>>,
+    pool: WorkerPool,
+    next_ticket: u64,
+    /// Per-client tickets not yet delivered, in submission order.
+    order: BTreeMap<ClientId, VecDeque<u64>>,
+    /// Replies completed out of order, waiting for earlier tickets.
+    held: BTreeMap<ClientId, BTreeMap<u64, Vec<u8>>>,
+    /// Replies already released in order but not yet returned to the
+    /// caller — filled when a step also carried an error (the healthy
+    /// shards' replies survive a sibling's crash-stop) or when
+    /// back-pressure relief ran a batch inside `submit`.
+    backlog: Vec<(ClientId, Vec<u8>)>,
+    /// Shard failure hit during back-pressure relief inside `submit`
+    /// (which cannot return errors); surfaced by the next `step`.
+    deferred_error: Option<LcmError>,
+}
+
+impl<S: BatchServer + 'static> std::fmt::Debug for ShardedServer<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("shards", &self.shards.len())
+            .field("queued", &self.queued_total())
+            .finish()
+    }
+}
+
+impl<S: BatchServer + 'static> ShardedServer<S> {
+    /// Builds a sharded server over the given shard instances (at
+    /// least one) with the default ingress capacity and one worker
+    /// thread per shard.
+    pub fn new(servers: Vec<S>) -> Self {
+        Self::with_config(servers, DEFAULT_INGRESS_CAPACITY)
+    }
+
+    /// Builds a sharded server with an explicit per-shard ingress
+    /// queue bound.
+    pub fn with_config(servers: Vec<S>, ingress_capacity: usize) -> Self {
+        assert!(!servers.is_empty(), "a sharded server needs >= 1 shard");
+        let n = servers.len();
+        let shards = servers
+            .into_iter()
+            .map(|server| Shard {
+                lane: Arc::new(Mutex::new(Lane {
+                    server,
+                    inflight: VecDeque::new(),
+                })),
+                ingress: Arc::new(BoundedQueue::new(ingress_capacity)),
+            })
+            .collect();
+        ShardedServer {
+            shards,
+            pool: WorkerPool::new("lcm-shard", n, n),
+            next_ticket: 0,
+            order: BTreeMap::new(),
+            held: BTreeMap::new(),
+            backlog: Vec::new(),
+            deferred_error: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Runs `f` with exclusive access to shard `index`'s server — the
+    /// hook tests use to crash, power-fail, or inspect one shard in
+    /// isolation.
+    ///
+    /// If `f` destroys queued work (a crash empties the inner server's
+    /// queue), the shard's in-flight tickets are written off afterwards
+    /// so the ordering book stays consistent — affected clients simply
+    /// retry. Do not *submit* wires through this hook: out-of-band
+    /// wires have no tickets and would desynchronize reply pairing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn with_shard<R>(&mut self, index: u32, f: impl FnOnce(&mut S) -> R) -> R {
+        let (result, purged) = {
+            let shard = &self.shards[index as usize];
+            let mut lane = lock(&shard.lane);
+            let result = f(&mut lane.server);
+            // Resync: a stopped enclave (crash/power failure) — or
+            // fewer queued wires than tracked tickets — means the
+            // closure destroyed accepted work. Mirroring
+            // `LcmServer::crash` (which drops its host-side queue),
+            // the crashed shard's ingress dies with it: write every
+            // affected ticket off so clients retry with fresh ones.
+            let mut purged: Vec<(u64, ClientId)> = Vec::new();
+            if !lane.server.is_running() || lane.server.queued() < lane.inflight.len() {
+                purged.extend(lane.inflight.drain(..));
+                purged.extend(
+                    shard
+                        .ingress
+                        .drain_pending()
+                        .into_iter()
+                        .map(|(ticket, client, _wire)| (ticket, client)),
+                );
+            }
+            (result, purged)
+        };
+        self.purge_tickets(purged);
+        result
+    }
+
+    /// Per-shard activity counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let lane = lock(&shard.lane);
+                ShardStats {
+                    shard: i as u32,
+                    ops: lane.server.ops_processed(),
+                    batches: lane.server.batches_processed(),
+                    ingress: shard.ingress.stats(),
+                }
+            })
+            .collect()
+    }
+
+    /// The aggregate rollup over [`ShardedServer::shard_stats`].
+    pub fn stats_rollup(&self) -> ShardStatsRollup {
+        ShardStatsRollup::from_rows(self.shard_stats())
+    }
+
+    fn queued_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.ingress.len() + lock(&s.lane).server.queued())
+            .sum()
+    }
+
+    /// Releases every held reply whose client has no earlier
+    /// undelivered ticket, in global ticket order.
+    fn release_ready(&mut self) -> Replies {
+        let mut ready: Vec<(u64, ClientId, Vec<u8>)> = Vec::new();
+        for (client, tickets) in self.order.iter_mut() {
+            while let Some(&front) = tickets.front() {
+                let Some(wire) = self
+                    .held
+                    .get_mut(client)
+                    .and_then(|waiting| waiting.remove(&front))
+                else {
+                    break;
+                };
+                ready.push((front, *client, wire));
+                tickets.pop_front();
+            }
+        }
+        self.order.retain(|_, tickets| !tickets.is_empty());
+        self.held.retain(|_, waiting| !waiting.is_empty());
+        ready.sort_by_key(|&(ticket, _, _)| ticket);
+        ready
+            .into_iter()
+            .map(|(_, client, wire)| (client, wire))
+            .collect()
+    }
+
+    fn for_each_shard<R>(&mut self, mut f: impl FnMut(&mut S) -> Result<R>) -> Result<Vec<R>> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut lane = lock(&shard.lane);
+            out.push(f(&mut lane.server)?);
+        }
+        Ok(out)
+    }
+
+    /// Strikes written-off tickets from the ordering book so a
+    /// crash-stopped shard cannot stall the delivery of other shards'
+    /// replies to the same clients.
+    fn purge_tickets(&mut self, purged: Vec<(u64, ClientId)>) {
+        for (ticket, client) in purged {
+            if let Some(tickets) = self.order.get_mut(&client) {
+                tickets.retain(|&t| t != ticket);
+            }
+            if let Some(waiting) = self.held.get_mut(&client) {
+                waiting.remove(&ticket);
+            }
+        }
+        self.order.retain(|_, tickets| !tickets.is_empty());
+        self.held.retain(|_, waiting| !waiting.is_empty());
+    }
+
+    /// Back-pressure relief: the bounded ingress of `shard` is full and
+    /// `submit` runs on the only driving thread, so blocking would
+    /// deadlock — instead, execute one batch of that shard inline.
+    /// Replies land in the backlog (returned by the next `step`);
+    /// failures are deferred the same way.
+    fn relieve(&mut self, shard: usize) {
+        let (lane, ingress) = {
+            let s = &self.shards[shard];
+            (s.lane.clone(), s.ingress.clone())
+        };
+        match step_lane(&lane, &ingress) {
+            Ok(completed) => {
+                for (ticket, client, wire) in completed {
+                    self.held.entry(client).or_default().insert(ticket, wire);
+                }
+                let ready = self.release_ready();
+                self.backlog.extend(ready);
+            }
+            Err(failure) => {
+                let (e, purged) = *failure;
+                self.purge_tickets(purged);
+                self.deferred_error.get_or_insert(e);
+            }
+        }
+    }
+}
+
+/// What a failed lane step writes off: the error itself plus every
+/// in-flight ticket of the crash-stopping shard (their replies will
+/// never come; clients retry, getting fresh tickets).
+type LaneFailure = (LcmError, Vec<(u64, ClientId)>);
+
+/// A lane step's outcome: ticketed replies, or the write-off bundle.
+type LaneOutcome = std::result::Result<Vec<(u64, ClientId, Vec<u8>)>, Box<LaneFailure>>;
+
+/// One step of a single lane: drain its ingress into the server,
+/// execute one batch, and pair the replies with their tickets.
+fn step_lane<S: BatchServer>(
+    lane: &Arc<Mutex<Lane<S>>>,
+    ingress: &Arc<BoundedQueue<Ticketed>>,
+) -> LaneOutcome {
+    let mut lane = lock(lane);
+    while let Some((ticket, client, wire)) = ingress.try_pop() {
+        lane.inflight.push_back((ticket, client));
+        lane.server.submit(wire);
+    }
+    match lane.server.step() {
+        Ok(replies) => {
+            // Replies are 1:1, in order, with the first `replies.len()`
+            // queued wires — pair them back to the tickets drained
+            // above. The reply's own client id (reported by the
+            // enclave) is authoritative for delivery.
+            let tickets: Vec<(u64, ClientId)> = lane.inflight.drain(..replies.len()).collect();
+            Ok(tickets
+                .into_iter()
+                .zip(replies)
+                .map(|((ticket, _), (client, wire))| (ticket, client, wire))
+                .collect())
+        }
+        Err(e) => {
+            // The shard crash-stops (honest-server semantics): every
+            // wire it had accepted is lost. Hand the tickets back so
+            // the fan-out layer can strike them from its ordering
+            // book — otherwise the affected clients' later replies
+            // would be held back forever.
+            let purged = lane.inflight.drain(..).collect();
+            Err(Box::new((e, purged)))
+        }
+    }
+}
+
+impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
+    fn boot(&mut self) -> Result<bool> {
+        let outcomes = self.for_each_shard(|s| s.boot())?;
+        let first = outcomes[0];
+        if outcomes.iter().any(|&o| o != first) {
+            return Err(LcmError::Tee(
+                "shards disagree on provisioning state".into(),
+            ));
+        }
+        Ok(first)
+    }
+
+    fn crash(&mut self) {
+        for shard in &self.shards {
+            shard.ingress.drain_pending();
+            let mut lane = lock(&shard.lane);
+            lane.inflight.clear();
+            lane.server.crash();
+        }
+        self.order.clear();
+        self.held.clear();
+        self.backlog.clear();
+        self.deferred_error = None;
+    }
+
+    fn is_running(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| lock(&s.lane).server.is_running())
+    }
+
+    fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
+        self.for_each_shard(|s| s.provision(sealed_payload.clone()))?;
+        Ok(())
+    }
+
+    fn attest(&mut self, user_data: Digest) -> Result<Quote> {
+        // Deployment assumption: every shard runs the same measured
+        // program in the same world (what [`build_sharded`]
+        // constructs), so shard 0's quote stands for the deployment —
+        // and the provisioning fan-out that follows is safe. An
+        // operator assembling heterogeneous lanes by hand must attest
+        // each lane itself (via [`ShardedServer::with_shard`]) before
+        // provisioning; per-shard attestation during `AdminHandle`
+        // bootstrap is a tracked follow-up in ROADMAP.md.
+        self.with_shard(0, |s| s.attest(user_data))
+    }
+
+    fn submit(&mut self, invoke_wire: Vec<u8>) {
+        // Malformed wires (shorter than the envelope) still get
+        // delivered — to shard 0 — so the enclave rejects them with a
+        // detectable violation instead of the host silently dropping.
+        let (client, shard) = match RouteHint::peel(&invoke_wire) {
+            Some((hint, _)) => (hint.client, shard_index(hint.route, self.shard_count())),
+            None => (ClientId(0), 0),
+        };
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.order.entry(client).or_default().push_back(ticket);
+        // Bounded ingress with inline relief: a saturated shard makes
+        // the submitter execute one of that shard's batches instead of
+        // blocking (there is no other thread to drain the queue — a
+        // blocking push would deadlock the single driving thread).
+        let mut item = (ticket, client, invoke_wire);
+        loop {
+            use lcm_runtime::queue::PushError;
+            match self.shards[shard as usize].ingress.try_push(item) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    item = back;
+                    self.relieve(shard as usize);
+                }
+                // The ingress is never closed while the server exists.
+                Err(PushError::Closed(_)) => break,
+            }
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.queued_total()
+    }
+
+    fn step(&mut self) -> Result<Replies> {
+        if let Some(e) = self.deferred_error.take() {
+            return Err(e);
+        }
+        let mut handles = Vec::new();
+        for shard in &self.shards {
+            if shard.ingress.is_empty() && lock(&shard.lane).server.queued() == 0 {
+                continue;
+            }
+            let lane = shard.lane.clone();
+            let ingress = shard.ingress.clone();
+            handles.push(self.pool.spawn(move || step_lane(&lane, &ingress)));
+        }
+        let mut first_err = None;
+        let mut completed = Vec::new();
+        for handle in handles {
+            match handle.join() {
+                Some(Ok(mut replies)) => completed.append(&mut replies),
+                Some(Err(failure)) => {
+                    let (e, purged) = *failure;
+                    self.purge_tickets(purged);
+                    first_err = first_err.or(Some(e));
+                }
+                None => {
+                    first_err =
+                        first_err.or_else(|| Some(LcmError::Tee("shard worker vanished".into())));
+                }
+            }
+        }
+        for (ticket, client, wire) in completed {
+            self.held.entry(client).or_default().insert(ticket, wire);
+        }
+        let ready = self.release_ready();
+        if let Some(e) = first_err {
+            // Healthy shards' replies survive a sibling's crash-stop:
+            // stash them for the next successful step (this call must
+            // report the failure).
+            self.backlog.extend(ready);
+            return Err(e);
+        }
+        let mut out = std::mem::take(&mut self.backlog);
+        out.extend(ready);
+        Ok(out)
+    }
+
+    fn process_all(&mut self) -> Result<Replies> {
+        // Unlike the default `while queued > 0` loop, always run at
+        // least one step: relief inside `submit` may have left ready
+        // replies in the backlog (or a deferred error) with nothing
+        // queued.
+        let mut out = Vec::new();
+        loop {
+            match self.step() {
+                Ok(replies) => out.extend(replies),
+                Err(e) => {
+                    // Replies collected by earlier iterations must not
+                    // die with the error: push them back onto the
+                    // backlog (ahead of anything the failing step
+                    // itself stashed) for the next successful call.
+                    if !out.is_empty() {
+                        out.append(&mut self.backlog);
+                        self.backlog = out;
+                    }
+                    return Err(e);
+                }
+            }
+            if self.queued_total() == 0 {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn admin(&mut self, admin_wire: Vec<u8>) -> Result<Vec<u8>> {
+        // Fan out the identical authenticated admin message so every
+        // shard applies the change under the same admin sequence
+        // number; any shard's failure fails the whole operation.
+        let replies = self.for_each_shard(|s| s.admin(admin_wire.clone()))?;
+        Ok(replies.into_iter().next().expect(">=1 shard"))
+    }
+
+    fn export_migration(&mut self) -> Result<Vec<u8>> {
+        let tickets = self.for_each_shard(|s| s.export_migration())?;
+        let mut w = Writer::new();
+        w.put_u32(tickets.len() as u32);
+        for t in &tickets {
+            w.put_bytes(t);
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()> {
+        let mut r = Reader::new(&ticket);
+        let parsed = (|| -> std::result::Result<Vec<Vec<u8>>, crate::codec::CodecError> {
+            let n = r.get_u32()? as usize;
+            let mut parts = Vec::with_capacity(n.min(1 << 10));
+            for _ in 0..n {
+                parts.push(r.get_bytes()?.to_vec());
+            }
+            r.finish()?;
+            Ok(parts)
+        })();
+        let parts = parsed.map_err(LcmError::from)?;
+        if parts.len() != self.shards.len() {
+            return Err(LcmError::Tee(format!(
+                "migration ticket carries {} shards, this deployment has {}",
+                parts.len(),
+                self.shards.len()
+            )));
+        }
+        for (shard, part) in self.shards.iter().zip(parts) {
+            lock(&shard.lane).server.import_migration(part)?;
+        }
+        Ok(())
+    }
+
+    fn batches_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock(&s.lane).server.batches_processed())
+            .sum()
+    }
+
+    fn ops_processed(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| lock(&s.lane).server.ops_processed())
+            .sum()
+    }
+
+    fn flush_persists(&mut self) -> Result<()> {
+        self.for_each_shard(|s| s.flush_persists())?;
+        Ok(())
+    }
+}
+
+/// Builds the standard sharded LCM deployment: `shards` instances of
+/// [`LcmServer`] over `F`, each on its own platform of `world`
+/// (platform ids `base_platform..base_platform + shards`) and its own
+/// [`NamespacedStorage`] region of the shared medium, optionally
+/// wrapped into the asynchronous-write pipeline.
+pub fn build_sharded<F: Functionality + 'static>(
+    world: &TeeWorld,
+    base_platform: u64,
+    storage: Arc<dyn StableStorage>,
+    batch_limit: usize,
+    shards: u32,
+    pipelined: bool,
+) -> ShardedServer<Box<dyn BatchServer>> {
+    let servers = (0..shards.max(1))
+        .map(|i| {
+            let platform = world.platform_deterministic(base_platform + u64::from(i));
+            let region = Arc::new(NamespacedStorage::new(
+                storage.clone(),
+                NamespacedStorage::shard_prefix(i),
+            ));
+            let server = LcmServer::<F>::new(&platform, region, batch_limit);
+            if pipelined {
+                Box::new(server.into_pipelined()) as Box<dyn BatchServer>
+            } else {
+                Box::new(server) as Box<dyn BatchServer>
+            }
+        })
+        .collect();
+    ShardedServer::new(servers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::AdminHandle;
+    use crate::client::LcmClient;
+    use crate::functionality::Counter;
+    use crate::stability::Quorum;
+    use lcm_storage::MemoryStorage;
+
+    fn sharded_counter(
+        shards: u32,
+        n_clients: u32,
+    ) -> (
+        ShardedServer<Box<dyn BatchServer>>,
+        AdminHandle,
+        Vec<LcmClient>,
+    ) {
+        let world = TeeWorld::new_deterministic(90);
+        let storage = Arc::new(MemoryStorage::new());
+        let mut server = build_sharded::<Counter>(&world, 1, storage, 16, shards, false);
+        assert!(server.boot().unwrap());
+        let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 5);
+        admin.bootstrap(&mut server).unwrap();
+        let clients = ids
+            .iter()
+            .map(|&id| LcmClient::new_sharded(id, admin.client_key(), shards))
+            .collect();
+        (server, admin, clients)
+    }
+
+    fn run_one(
+        server: &mut ShardedServer<Box<dyn BatchServer>>,
+        client: &mut LcmClient,
+        op: &[u8],
+    ) -> u64 {
+        server.submit(client.invoke_for::<Counter>(op).unwrap());
+        let replies = server.process_all().unwrap();
+        let mine = replies
+            .into_iter()
+            .find(|(id, _)| *id == client.id())
+            .expect("reply routed");
+        let done = client.handle_reply(&mine.1).unwrap();
+        Counter::decode_result(&done.result).unwrap()
+    }
+
+    #[test]
+    fn route_hash_is_stable_and_total() {
+        assert_eq!(route_hash(b""), 0x811c_9dc5);
+        assert_eq!(route_hash(b"key"), route_hash(b"key"));
+        assert_ne!(route_hash(b"key-a"), route_hash(b"key-b"));
+        for n in 1..=9u32 {
+            assert!(shard_index(route_hash(b"anything"), n) < n);
+        }
+        // n = 0 is clamped, not a division by zero.
+        assert_eq!(shard_index(7, 0), 0);
+    }
+
+    #[test]
+    fn counters_shard_by_name_and_stay_consistent() {
+        let (mut server, _admin, mut clients) = sharded_counter(4, 2);
+        // Both clients increment the same counter: routed to one shard,
+        // so the state is shared exactly as on a single server.
+        assert_eq!(
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(b"hits", 1)),
+            1
+        );
+        assert_eq!(
+            run_one(&mut server, &mut clients[1], &Counter::inc_op(b"hits", 1)),
+            2
+        );
+        // Different counters may live on different shards; each is
+        // still exactly-once.
+        for name in [&b"a"[..], b"b", b"c", b"d", b"e"] {
+            assert_eq!(
+                run_one(&mut server, &mut clients[0], &Counter::inc_op(name, 7)),
+                7
+            );
+            assert_eq!(
+                run_one(&mut server, &mut clients[1], &Counter::read_op(name)),
+                7
+            );
+        }
+        assert_eq!(server.ops_processed(), 12);
+    }
+
+    #[test]
+    fn single_shard_matches_unsharded_arithmetic() {
+        let (mut server, _admin, mut clients) = sharded_counter(1, 1);
+        for i in 1..=5u64 {
+            assert_eq!(
+                run_one(&mut server, &mut clients[0], &Counter::inc_op(b"x", 1)),
+                i
+            );
+        }
+        assert_eq!(clients[0].last_seq().0, 5);
+        assert_eq!(server.ops_processed(), 5);
+    }
+
+    #[test]
+    fn stats_rollup_sums_across_shards() {
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        for name in [&b"a"[..], b"b", b"c", b"d", b"e", b"f"] {
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(name, 1));
+        }
+        let rollup = server.stats_rollup();
+        assert_eq!(rollup.per_shard.len(), 4);
+        assert_eq!(rollup.total_ops, 6);
+        assert_eq!(rollup.ingress.pushed, 6);
+        assert_eq!(rollup.ingress.popped, 6);
+        assert_eq!(
+            rollup.total_ops,
+            rollup.per_shard.iter().map(|s| s.ops).sum::<u64>()
+        );
+        // More than one shard actually took traffic.
+        assert!(rollup.per_shard.iter().filter(|s| s.ops > 0).count() > 1);
+    }
+
+    #[test]
+    fn crash_and_recover_all_shards() {
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        for name in [&b"a"[..], b"b", b"c"] {
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(name, 2));
+        }
+        server.crash();
+        assert!(!server.is_running());
+        assert!(!server.boot().unwrap(), "no re-provisioning after crash");
+        for name in [&b"a"[..], b"b", b"c"] {
+            assert_eq!(
+                run_one(&mut server, &mut clients[0], &Counter::inc_op(name, 2)),
+                4
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_migration_fans_out_and_clients_continue() {
+        let world = TeeWorld::new_deterministic(91);
+        let storage = Arc::new(MemoryStorage::new());
+        let mut origin = build_sharded::<Counter>(&world, 1, storage, 8, 4, false);
+        assert!(origin.boot().unwrap());
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 6);
+        admin.bootstrap(&mut origin).unwrap();
+        let mut client = LcmClient::new_sharded(ClientId(1), admin.client_key(), 4);
+        for name in [&b"a"[..], b"b", b"c", b"d"] {
+            run_one(&mut origin, &mut client, &Counter::inc_op(name, 3));
+        }
+
+        // Target deployment on fresh platforms + fresh medium.
+        let mut target =
+            build_sharded::<Counter>(&world, 100, Arc::new(MemoryStorage::new()), 8, 4, false);
+        assert!(target.boot().unwrap());
+        admin.migrate(&mut origin, &mut target).unwrap();
+
+        // Routing is stable across the migration: every counter reads
+        // back its pre-migration value on the new deployment.
+        for name in [&b"a"[..], b"b", b"c", b"d"] {
+            assert_eq!(
+                run_one(&mut target, &mut client, &Counter::read_op(name)),
+                3
+            );
+        }
+    }
+
+    #[test]
+    fn migration_ticket_shape_mismatch_rejected() {
+        let world = TeeWorld::new_deterministic(92);
+        let mut origin =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 2, false);
+        assert!(origin.boot().unwrap());
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 7);
+        admin.bootstrap(&mut origin).unwrap();
+        let ticket = origin.export_migration().unwrap();
+
+        let mut target =
+            build_sharded::<Counter>(&world, 50, Arc::new(MemoryStorage::new()), 8, 4, false);
+        assert!(target.boot().unwrap());
+        let err = target.import_migration(ticket).unwrap_err();
+        assert!(matches!(err, LcmError::Tee(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn admin_fanout_keeps_shards_in_lockstep() {
+        let (mut server, mut admin, mut clients) = sharded_counter(4, 2);
+        run_one(&mut server, &mut clients[0], &Counter::inc_op(b"n", 1));
+        // Several admin round trips in a row: every shard must advance
+        // the admin sequence identically, or a later fan-out would trip
+        // one shard's replay detection.
+        for _ in 0..3 {
+            let (_t, _q, n) = admin.status(&mut server).unwrap();
+            assert_eq!(n, 2);
+        }
+        // Membership changes fan out too: a freshly added client can
+        // immediately talk to ANY shard.
+        admin.add_client(&mut server, ClientId(9)).unwrap();
+        let mut nine = LcmClient::new_sharded(ClientId(9), admin.client_key(), 4);
+        for name in [&b"a"[..], b"b", b"c", b"d", b"e"] {
+            run_one(&mut server, &mut nine, &Counter::inc_op(name, 1));
+        }
+        // Removal rotates kC everywhere: the removed client's key stops
+        // working on every shard.
+        admin.remove_client(&mut server, ClientId(9)).unwrap();
+        server.submit(
+            nine.invoke_for::<Counter>(&Counter::inc_op(b"f", 1))
+                .unwrap(),
+        );
+        assert!(server.process_all().is_err(), "stale kC must be rejected");
+    }
+
+    #[test]
+    fn sibling_crash_stop_does_not_swallow_healthy_replies() {
+        // Two clients on two different shards submit together; one wire
+        // is tampered so its shard crash-stops mid-step. The healthy
+        // client's reply must survive the failing step (delivered by
+        // the next call), and its later traffic must not be stalled by
+        // the victim's written-off ticket.
+        let (mut server, _admin, mut clients) = sharded_counter(4, 2);
+        let (va, vb) = clients.split_at_mut(1);
+        let (victim, healthy) = (&mut va[0], &mut vb[0]);
+        // Names on two different shards.
+        let bad_name = b"bad".to_vec();
+        let good_name = (0..64u32)
+            .map(|i| format!("g{i}").into_bytes())
+            .find(|n| shard_index(route_hash(n), 4) != shard_index(route_hash(&bad_name), 4))
+            .unwrap();
+
+        let mut bad_wire = victim
+            .invoke_for::<Counter>(&Counter::inc_op(&bad_name, 1))
+            .unwrap();
+        let last = bad_wire.len() - 1;
+        bad_wire[last] ^= 0xff; // tamper the ciphertext: shard halts
+        let good_wire = healthy
+            .invoke_for::<Counter>(&Counter::inc_op(&good_name, 5))
+            .unwrap();
+        server.submit(bad_wire);
+        server.submit(good_wire);
+
+        // The step carrying the failure reports it...
+        let err = server.process_all().unwrap_err();
+        assert!(err.is_violation(), "got {err:?}");
+        // ...and the next call releases the healthy shard's reply.
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, healthy.id());
+        let done = healthy.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done.result), Some(5));
+        // The healthy client keeps working — the victim's dead ticket
+        // does not dam up later replies.
+        assert_eq!(
+            run_one(&mut server, healthy, &Counter::read_op(&good_name)),
+            5
+        );
+    }
+
+    #[test]
+    fn ingress_overflow_relieves_inline_instead_of_deadlocking() {
+        // Route far more wires at one shard than its ingress bound
+        // before ever stepping: submit must make progress by running
+        // batches inline, not block forever.
+        let world = TeeWorld::new_deterministic(93);
+        let servers: Vec<Box<dyn BatchServer>> = (0..2)
+            .map(|i| {
+                let platform = world.platform_deterministic(1 + i);
+                Box::new(LcmServer::<Counter>::new(
+                    &platform,
+                    Arc::new(MemoryStorage::new()),
+                    16,
+                )) as Box<dyn BatchServer>
+            })
+            .collect();
+        let mut server = ShardedServer::with_config(servers, 8);
+        assert!(server.boot().unwrap());
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 8);
+        admin.bootstrap(&mut server).unwrap();
+        let mut client = LcmClient::new_sharded(ClientId(1), admin.client_key(), 2);
+
+        // One client is sequential per shard, so drive the flood with
+        // retries of a single op — 40 wires into an 8-slot queue.
+        let first = client
+            .invoke_for::<Counter>(&Counter::inc_op(b"hot", 1))
+            .unwrap();
+        server.submit(first);
+        for _ in 0..39 {
+            server.submit(client.retry().unwrap());
+        }
+        // The inline relief really fired: batches were already executed
+        // during the submit flood, before any explicit step.
+        assert!(
+            server.ops_processed() > 0,
+            "submit must relieve a full ingress by processing inline"
+        );
+        let replies = server.process_all().unwrap();
+        // One fresh execution + cached-reply resends for the retries.
+        assert_eq!(replies.len(), 40);
+        assert_eq!(server.ops_processed(), 40);
+        let done = client.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done.result), Some(1));
+        // The ingress bound held throughout the flood.
+        assert!(server.stats_rollup().ingress.high_water <= 8);
+    }
+
+    #[test]
+    fn error_mid_process_all_preserves_earlier_replies() {
+        // One shard, batch limit 1: a healthy client's wire processes
+        // in the first step, a tampered wire halts the shard in the
+        // second. The healthy reply collected before the failure must
+        // survive into the next call, not die with the error.
+        let world = TeeWorld::new_deterministic(94);
+        let mut server =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 1, 1, false);
+        assert!(server.boot().unwrap());
+        let ids = vec![ClientId(1), ClientId(2)];
+        let mut admin = AdminHandle::new_deterministic(&world, ids, Quorum::Majority, 9);
+        admin.bootstrap(&mut server).unwrap();
+        let mut healthy = LcmClient::new_sharded(ClientId(1), admin.client_key(), 1);
+        let mut victim = LcmClient::new_sharded(ClientId(2), admin.client_key(), 1);
+
+        let good = healthy
+            .invoke_for::<Counter>(&Counter::inc_op(b"n", 3))
+            .unwrap();
+        let mut bad = victim
+            .invoke_for::<Counter>(&Counter::inc_op(b"n", 1))
+            .unwrap();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        server.submit(good);
+        server.submit(bad);
+
+        let err = server.process_all().unwrap_err();
+        assert!(err.is_violation(), "got {err:?}");
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].0, healthy.id());
+        let done = healthy.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done.result), Some(3));
+    }
+
+    #[test]
+    fn swapped_cross_shard_genesis_replies_cannot_be_misattributed() {
+        // A client's two FIRST ops (both contexts at the genesis chain
+        // value) in flight on two shards: the echoed hc alone cannot
+        // tell the replies apart, but the reply AAD binds the route, so
+        // the client attributes each reply to the right operation even
+        // when a (possibly malicious) host delivers them swapped — the
+        // swap is neutralized, not obeyed.
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        let client = &mut clients[0];
+        let name_a = b"swap-a".to_vec();
+        let name_b = (0..64u32)
+            .map(|i| format!("swap-b{i}").into_bytes())
+            .find(|n| shard_index(route_hash(n), 4) != shard_index(route_hash(&name_a), 4))
+            .unwrap();
+        let w1 = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_a, 1))
+            .unwrap();
+        let w2 = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_b, 2))
+            .unwrap();
+        server.submit(w1);
+        server.submit(w2);
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 2);
+        // Malicious delivery order: the second op's reply first. Each
+        // completes with ITS OWN result.
+        let done_b = client.handle_reply(&replies[1].1).unwrap();
+        assert_eq!(Counter::decode_result(&done_b.result), Some(2));
+        let done_a = client.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done_a.result), Some(1));
+        assert!(!client.has_pending());
+        assert!(!client.is_halted());
+        // A reply for an operation that is NOT pending still halts.
+        let err = client.handle_reply(&replies[0].1).unwrap_err();
+        assert!(err.is_violation());
+    }
+
+    #[test]
+    fn sibling_crash_does_not_brick_a_cross_shard_pipelining_client() {
+        // ONE client pipelines op A (shard that will crash-stop) and
+        // op B (healthy shard). The crash writes off A's ticket and
+        // releases B's reply first; the client must complete B and
+        // stay live to retry A — an honest crash must never read as an
+        // attack at the client.
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        let client = &mut clients[0];
+        let name_a = b"will-crash".to_vec();
+        let shard_a = shard_index(route_hash(&name_a), 4);
+        let name_b = (0..64u32)
+            .map(|i| format!("fine{i}").into_bytes())
+            .find(|n| shard_index(route_hash(n), 4) != shard_a)
+            .unwrap();
+        let wa = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_a, 1))
+            .unwrap();
+        let wb = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_b, 2))
+            .unwrap();
+        server.submit(wa);
+        server.submit(wb);
+        // Shard A dies (volatile crash) before anything is processed:
+        // with_shard's resync writes off A's in-flight ticket.
+        server.with_shard(shard_a, |s| s.crash());
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 1, "only the healthy shard replied");
+        let done_b = client.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done_b.result), Some(2));
+        assert!(!client.is_halted(), "honest crash must not look hostile");
+
+        // The client still has op A pending; after shard A reboots,
+        // the retry completes it.
+        assert!(client.has_pending());
+        server.with_shard(shard_a, |s| s.boot()).unwrap();
+        server.submit(client.retry().unwrap());
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 1);
+        let done_a = client.handle_reply(&replies[0].1).unwrap();
+        assert_eq!(Counter::decode_result(&done_a.result), Some(1));
+        assert!(!client.has_pending());
+    }
+
+    #[test]
+    fn per_client_replies_arrive_in_submission_order() {
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        let client = &mut clients[0];
+        // Find two counter names on different shards.
+        let name_a = b"k0".to_vec();
+        let mut name_b = None;
+        for i in 1..64u32 {
+            let candidate = format!("k{i}").into_bytes();
+            if shard_index(route_hash(&candidate), 4) != shard_index(route_hash(&name_a), 4) {
+                name_b = Some(candidate);
+                break;
+            }
+        }
+        let name_b = name_b.expect("some key maps to another shard");
+
+        // Two in-flight ops from ONE client on two different shards.
+        let w1 = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_a, 1))
+            .unwrap();
+        let w2 = client
+            .invoke_for::<Counter>(&Counter::inc_op(&name_b, 1))
+            .unwrap();
+        server.submit(w1);
+        server.submit(w2);
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), 2);
+        // Submission order is preserved, so completing in arrival order
+        // matches the client's pending queue (a swap would be flagged
+        // as a violation by the echo check).
+        for (_, wire) in &replies {
+            client.handle_reply(wire).unwrap();
+        }
+        assert!(!client.has_pending());
+    }
+}

@@ -21,7 +21,11 @@ use crate::types::{ChainValue, ClientId, SeqNo};
 pub struct OpRecord {
     /// The observing client.
     pub client: ClientId,
-    /// Global sequence number the operation received.
+    /// Which shard of the deployment executed the operation (0 for an
+    /// unsharded server). Sequence numbers and chain values are
+    /// per-shard, so every checker groups by this first.
+    pub shard: u32,
+    /// Sequence number the operation received on its shard.
     pub seq: SeqNo,
     /// Hash-chain value returned with the operation.
     pub chain: ChainValue,
@@ -105,17 +109,19 @@ impl std::fmt::Display for ForkEvidence {
 ///
 /// Returns the first [`ForkEvidence`] found.
 pub fn check_client_view(records: &[OpRecord]) -> Result<(), ForkEvidence> {
-    let mut last_seq = SeqNo::ZERO;
-    let mut last_stable = SeqNo::ZERO;
+    // Sequence numbers and watermarks are per shard; check each
+    // shard's subsequence of the view independently.
+    let mut last: BTreeMap<u32, (SeqNo, SeqNo)> = BTreeMap::new();
     for r in records {
-        if r.seq <= last_seq {
+        let (last_seq, last_stable) = last.entry(r.shard).or_default();
+        if r.seq <= *last_seq {
             return Err(ForkEvidence::NonMonotoneClient(r.client));
         }
-        if r.stable < last_stable {
+        if r.stable < *last_stable {
             return Err(ForkEvidence::StabilityRegression(r.client));
         }
-        last_seq = r.seq;
-        last_stable = r.stable;
+        *last_seq = r.seq;
+        *last_stable = r.stable;
     }
     Ok(())
 }
@@ -135,12 +141,14 @@ pub fn check_single_history(views: &[&[OpRecord]]) -> Result<(), ForkEvidence> {
     for view in views {
         check_client_view(view)?;
     }
-    let mut chain_at: BTreeMap<SeqNo, (ClientId, ChainValue)> = BTreeMap::new();
+    // Each shard has its own chain; a sequence number identifies an
+    // operation only together with its shard.
+    let mut chain_at: BTreeMap<(u32, SeqNo), (ClientId, ChainValue)> = BTreeMap::new();
     for view in views {
         for r in *view {
-            match chain_at.get(&r.seq) {
+            match chain_at.get(&(r.shard, r.seq)) {
                 None => {
-                    chain_at.insert(r.seq, (r.client, r.chain));
+                    chain_at.insert((r.shard, r.seq), (r.client, r.chain));
                 }
                 Some(&(other, chain)) if chain != r.chain => {
                     return Err(ForkEvidence::DivergentChains {
@@ -168,21 +176,30 @@ pub fn check_single_history(views: &[&[OpRecord]]) -> Result<(), ForkEvidence> {
 ///
 /// Returns the first [`ForkEvidence`] found.
 pub fn check_stable_prefix(views: &[&[OpRecord]]) -> Result<(), ForkEvidence> {
-    // Chain values seen per sequence number across all views.
-    let mut chain_at: BTreeMap<SeqNo, Vec<(ClientId, ChainValue)>> = BTreeMap::new();
+    // Chain values seen per (shard, sequence number) across all views.
+    let mut chain_at: BTreeMap<(u32, SeqNo), Vec<(ClientId, ChainValue)>> = BTreeMap::new();
     for view in views {
         for r in *view {
-            chain_at.entry(r.seq).or_default().push((r.client, r.chain));
+            chain_at
+                .entry((r.shard, r.seq))
+                .or_default()
+                .push((r.client, r.chain));
         }
     }
     for view in views {
-        let Some(last) = view.last() else { continue };
-        let watermark = last.stable;
+        // Per-shard watermark: a client's final stable value on shard
+        // s covers only operations on s.
+        let mut watermark: BTreeMap<u32, SeqNo> = BTreeMap::new();
         for r in *view {
-            if r.seq > watermark {
+            let w = watermark.entry(r.shard).or_default();
+            *w = (*w).max(r.stable);
+        }
+        for r in *view {
+            let covered = watermark.get(&r.shard).copied().unwrap_or(SeqNo::ZERO);
+            if r.seq > covered {
                 continue;
             }
-            if let Some(observations) = chain_at.get(&r.seq) {
+            if let Some(observations) = chain_at.get(&(r.shard, r.seq)) {
                 if observations.iter().any(|&(_, chain)| chain != r.chain) {
                     return Err(ForkEvidence::UnstableStablePrefix {
                         client: r.client,
@@ -209,19 +226,21 @@ pub fn check_stable_prefix(views: &[&[OpRecord]]) -> Result<(), ForkEvidence> {
 ///
 /// Returns [`ForkEvidence::JoinAfterFork`] naming the join point.
 pub fn check_no_join(a: &[OpRecord], b: &[OpRecord]) -> Result<(), ForkEvidence> {
-    let chains_b: BTreeMap<SeqNo, ChainValue> = b.iter().map(|r| (r.seq, r.chain)).collect();
-    let mut forked_at: Option<SeqNo> = None;
+    let chains_b: BTreeMap<(u32, SeqNo), ChainValue> =
+        b.iter().map(|r| ((r.shard, r.seq), r.chain)).collect();
+    // Forks are per shard: each shard is an independent history.
+    let mut forked_at: BTreeMap<u32, SeqNo> = BTreeMap::new();
     for r in a {
-        let Some(&other) = chains_b.get(&r.seq) else {
+        let Some(&other) = chains_b.get(&(r.shard, r.seq)) else {
             continue;
         };
-        match forked_at {
+        match forked_at.get(&r.shard) {
             None => {
                 if other != r.chain {
-                    forked_at = Some(r.seq);
+                    forked_at.insert(r.shard, r.seq);
                 }
             }
-            Some(fork_seq) => {
+            Some(&fork_seq) => {
                 if other == r.chain {
                     return Err(ForkEvidence::JoinAfterFork {
                         forked_at: fork_seq,
@@ -241,6 +260,7 @@ mod tests {
     fn rec(client: u32, seq: u64, chain_tag: &[u8], stable: u64) -> OpRecord {
         OpRecord {
             client: ClientId(client),
+            shard: 0,
             seq: SeqNo(seq),
             chain: ChainValue::GENESIS.extend(chain_tag, SeqNo(seq), ClientId(0)),
             op: chain_tag.to_vec(),
@@ -360,6 +380,32 @@ mod tests {
         let a = vec![rec(1, 1, b"x", 0), rec(1, 3, b"y", 0)];
         let b = vec![rec(2, 2, b"z", 0), rec(2, 4, b"w", 0)];
         check_no_join(&a, &b).unwrap();
+    }
+
+    #[test]
+    fn same_seq_on_different_shards_is_not_divergence() {
+        // Every shard numbers its own history from 1; identical
+        // sequence numbers with different chains on different shards
+        // are independent operations, not a fork.
+        let mut a = rec(1, 1, b"on-shard-0", 0);
+        let mut b = rec(2, 1, b"on-shard-1", 0);
+        a.shard = 0;
+        b.shard = 1;
+        check_single_history(&[&[a.clone()], &[b.clone()]]).unwrap();
+        check_stable_prefix(&[&[a.clone()], &[b.clone()]]).unwrap();
+        check_no_join(&[a.clone()], &[b.clone()]).unwrap();
+        // A client's view may interleave shards with locally repeating
+        // sequence numbers.
+        check_client_view(&[a.clone(), {
+            let mut r = rec(1, 1, b"x", 0);
+            r.shard = 1;
+            r
+        }])
+        .unwrap();
+        // But the same (shard, seq) with different chains is still a
+        // fork.
+        b.shard = 0;
+        assert!(check_single_history(&[&[a], &[b]]).is_err());
     }
 
     #[test]

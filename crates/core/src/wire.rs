@@ -32,6 +32,54 @@ pub const INVOKE_OVERHEAD: usize = 1 + 4 + 8 + 32;
 /// Fixed metadata bytes a REPLY adds on top of the result payload.
 pub const REPLY_OVERHEAD: usize = 1 + 8 + 8 + 32 + 32;
 
+/// Length of the plaintext routing envelope prepended to every
+/// encrypted INVOKE (see [`RouteHint`]).
+pub const ROUTE_HINT_LEN: usize = 4 + 4;
+
+/// The plaintext routing envelope of an encrypted INVOKE wire:
+/// `client(4) ‖ route(4) ‖ ciphertext`.
+///
+/// A key-partitioned sharded host (see [`crate::shard`]) must route
+/// each request without decrypting it, so the client attaches the
+/// stable route hash in the clear — exposing no more than the host
+/// learns anyway from routing the reply (the client identity) plus a
+/// hash of the partition key. Both fields are **bound into the AEAD
+/// associated data** of the INVOKE and of its REPLY (see
+/// [`crate::context::invoke_aad`] / [`crate::context::reply_aad`]):
+/// tampering with the envelope, or swapping a client's concurrent
+/// replies across shards, fails authentication. Delivering an *intact*
+/// wire to the wrong shard is caught by the client-context check (see
+/// the known-limitation note in [`crate::shard`] for the
+/// first-op-per-shard edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteHint {
+    /// The invoking client (duplicated inside the ciphertext; the
+    /// enclave asserts both copies agree).
+    pub client: ClientId,
+    /// Stable route hash of the operation's partition key (see
+    /// [`crate::shard::route_for`]).
+    pub route: u32,
+}
+
+impl RouteHint {
+    /// Appends the envelope bytes to `out`.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.0.to_be_bytes());
+        out.extend_from_slice(&self.route.to_be_bytes());
+    }
+
+    /// Splits a wire into its envelope and the AEAD ciphertext.
+    /// Returns `None` when the wire is shorter than the envelope.
+    pub fn peel(wire: &[u8]) -> Option<(RouteHint, &[u8])> {
+        if wire.len() < ROUTE_HINT_LEN {
+            return None;
+        }
+        let client = ClientId(u32::from_be_bytes(wire[0..4].try_into().ok()?));
+        let route = u32::from_be_bytes(wire[4..8].try_into().ok()?);
+        Some((RouteHint { client, route }, &wire[ROUTE_HINT_LEN..]))
+    }
+}
+
 /// The `[INVOKE, tc, hc, o, i]` message of Alg. 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvokeMsg {
@@ -205,5 +253,25 @@ mod tests {
         let plain = sample_invoke(false).to_bytes();
         let retry = sample_invoke(true).to_bytes();
         assert_eq!(plain.len(), retry.len());
+    }
+
+    #[test]
+    fn route_hint_roundtrips() {
+        let hint = RouteHint {
+            client: ClientId(7),
+            route: 0xdead_beef,
+        };
+        let mut wire = Vec::new();
+        hint.encode_to(&mut wire);
+        wire.extend_from_slice(b"ciphertext");
+        let (peeled, rest) = RouteHint::peel(&wire).unwrap();
+        assert_eq!(peeled, hint);
+        assert_eq!(rest, b"ciphertext");
+    }
+
+    #[test]
+    fn short_wire_has_no_route_hint() {
+        assert!(RouteHint::peel(&[1, 2, 3]).is_none());
+        assert!(RouteHint::peel(&[]).is_none());
     }
 }

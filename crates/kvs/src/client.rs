@@ -39,10 +39,20 @@ pub struct KvCompletion {
 }
 
 impl KvsClient {
-    /// Creates a client with identity `id` holding the group key `kC`.
+    /// Creates a client with identity `id` holding the group key `kC`,
+    /// for an unsharded (single-shard) deployment.
     pub fn new(id: ClientId, k_c: &SecretKey) -> Self {
+        Self::new_sharded(id, k_c, 1)
+    }
+
+    /// Creates a client for a deployment of `n_shards` server shards:
+    /// operations route by record key (via
+    /// [`lcm_core::functionality::Functionality::shard_key`] of
+    /// [`KvStore`](crate::store::KvStore)) and the underlying
+    /// [`LcmClient`] keeps one protocol context per shard.
+    pub fn new_sharded(id: ClientId, k_c: &SecretKey, n_shards: u32) -> Self {
         KvsClient {
-            inner: LcmClient::new(id, k_c),
+            inner: LcmClient::new_sharded(id, k_c, n_shards),
         }
     }
 
@@ -63,7 +73,8 @@ impl KvsClient {
     ///
     /// Propagates [`LcmClient::invoke`] errors.
     pub fn invoke_wire(&mut self, op: &KvOp) -> Result<Vec<u8>> {
-        self.inner.invoke(&op.to_bytes())
+        self.inner
+            .invoke_for::<crate::store::KvStore>(&op.to_bytes())
     }
 
     /// Completes a pending operation from a reply wire message.

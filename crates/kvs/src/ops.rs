@@ -23,10 +23,10 @@ pub enum KvOp {
     },
 }
 
-const OP_GET: u8 = 1;
-const OP_PUT: u8 = 2;
-const OP_DEL: u8 = 3;
-const OP_SCAN: u8 = 4;
+pub(crate) const OP_GET: u8 = 1;
+pub(crate) const OP_PUT: u8 = 2;
+pub(crate) const OP_DEL: u8 = 3;
+pub(crate) const OP_SCAN: u8 = 4;
 
 impl KvOp {
     /// The key this operation touches (the range start, for scans).

@@ -97,6 +97,20 @@ impl Functionality for KvStore {
         }
     }
 
+    /// The KVS partitions by record key (a scan routes by its range
+    /// start, so scans are per-shard in a sharded deployment).
+    fn shard_key(op: &[u8]) -> Option<&[u8]> {
+        match *op.first()? {
+            crate::ops::OP_GET | crate::ops::OP_DEL => op.get(1..),
+            crate::ops::OP_PUT => {
+                let len = u32::from_be_bytes(op.get(1..5)?.try_into().ok()?) as usize;
+                op.get(5..5 + len)
+            }
+            crate::ops::OP_SCAN => op.get(5..),
+            _ => None,
+        }
+    }
+
     fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u32(self.map.len() as u32);
@@ -200,6 +214,34 @@ mod tests {
         let total_300k = per_object * 300_000;
         let mb = total_300k as f64 / 1e6;
         assert!((85.0..=105.0).contains(&mb), "mb = {mb}");
+    }
+
+    #[test]
+    fn shard_key_extracts_the_record_key() {
+        assert_eq!(
+            KvStore::shard_key(&KvOp::Get(b"k1".to_vec()).to_bytes()),
+            Some(&b"k1"[..])
+        );
+        assert_eq!(
+            KvStore::shard_key(&KvOp::Put(b"k2".to_vec(), b"v".to_vec()).to_bytes()),
+            Some(&b"k2"[..])
+        );
+        assert_eq!(
+            KvStore::shard_key(&KvOp::Del(b"k3".to_vec()).to_bytes()),
+            Some(&b"k3"[..])
+        );
+        assert_eq!(
+            KvStore::shard_key(
+                &KvOp::Scan {
+                    start: b"k4".to_vec(),
+                    limit: 9,
+                }
+                .to_bytes()
+            ),
+            Some(&b"k4"[..])
+        );
+        assert_eq!(KvStore::shard_key(&[0x7f, 1]), None);
+        assert_eq!(KvStore::shard_key(&[]), None);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use lcm_core::wire::{INVOKE_OVERHEAD, REPLY_OVERHEAD};
+use lcm_core::wire::{INVOKE_OVERHEAD, REPLY_OVERHEAD, ROUTE_HINT_LEN};
 use lcm_storage::DiskModel;
 use lcm_tee::epc::{EpcModel, MapMemoryModel};
 
@@ -184,7 +184,8 @@ impl CostModel {
         // Wire sizes per protocol.
         let (wire_in, wire_out) = match kind {
             ServerKind::Lcm { .. } => (
-                payload_in + INVOKE_OVERHEAD + AEAD_FRAMING,
+                // The plaintext routing envelope rides outside the AEAD.
+                payload_in + ROUTE_HINT_LEN + INVOKE_OVERHEAD + AEAD_FRAMING,
                 payload_out + REPLY_OVERHEAD + AEAD_FRAMING,
             ),
             ServerKind::Sgx { .. } | ServerKind::SgxTmc => (

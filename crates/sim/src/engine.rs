@@ -12,17 +12,22 @@ type Nanos = u64;
 
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
-    /// A request from `client` arrives at the server's ingress queue.
+    /// A request from `client` arrives at its shard's ingress queue.
     Arrival { client: usize },
-    /// The server finishes the cycle serving these clients.
-    ServerDone { clients: Vec<usize> },
+    /// Shard `shard` finishes the cycle serving these clients.
+    ServerDone { shard: usize, clients: Vec<usize> },
 }
 
 /// A closed-loop simulation: `n_clients` YCSB workers, one server
-/// described by a [`ServiceProfile`], fixed virtual duration.
+/// described by a [`ServiceProfile`] — optionally split into several
+/// independent shard stations ([`Simulation::with_shards`]), each with
+/// its own queue and its own disk, modelling the sharded
+/// multi-enclave host.
 ///
 /// Deterministic: service times are the profile's constants and
 /// clients have zero think time, exactly like a saturating YCSB run.
+/// Clients are partitioned over shards round-robin, mirroring a
+/// uniform route-hash distribution.
 ///
 /// # Example
 ///
@@ -41,6 +46,7 @@ pub struct Simulation {
     profile: ServiceProfile,
     disk: lcm_storage::DiskModel,
     n_clients: usize,
+    shards: usize,
     duration: Nanos,
     warmup: Nanos,
     request_leg: Nanos,
@@ -67,11 +73,22 @@ impl Simulation {
             profile,
             disk: model.disk,
             n_clients: n_clients.max(1),
+            shards: 1,
             duration: duration_ns,
             warmup: duration_ns / 10,
             request_leg,
             reply_leg,
         }
+    }
+
+    /// Splits the server into `shards` independent stations — the
+    /// sharded multi-enclave host. Stage-2 work (execute + seal) and
+    /// persistence parallelize across stations; the network legs are
+    /// unchanged.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     fn effective_batch(&self) -> usize {
@@ -104,10 +121,14 @@ impl Simulation {
             heap.push(Reverse((t, *seq, e)));
         };
 
-        let mut queue: VecDeque<usize> = VecDeque::new();
-        let mut server_busy = false;
+        let shards = self.shards;
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); shards];
+        let mut busy: Vec<bool> = vec![false; shards];
         let mut send_time: Vec<Nanos> = vec![0; self.n_clients];
         let mut metrics = Metrics::new(Duration::from_nanos(self.duration - self.warmup));
+        // Round-robin client→shard partition: the engine's stand-in
+        // for a uniform route-hash distribution.
+        let shard_of = |client: usize| client % shards;
 
         // All clients fire at t=0 with a 1 µs stagger to avoid
         // artificial phase lock.
@@ -128,21 +149,25 @@ impl Simulation {
             }
             match event {
                 Event::Arrival { client } => {
-                    queue.push_back(client);
-                    if !server_busy {
-                        let k = self.effective_batch().min(queue.len());
-                        let batch: Vec<usize> = queue.drain(..k).collect();
-                        server_busy = true;
+                    let shard = shard_of(client);
+                    queues[shard].push_back(client);
+                    if !busy[shard] {
+                        let k = self.effective_batch().min(queues[shard].len());
+                        let batch: Vec<usize> = queues[shard].drain(..k).collect();
+                        busy[shard] = true;
                         push(
                             &mut heap,
                             now + self.cycle_duration(batch.len()),
-                            Event::ServerDone { clients: batch },
+                            Event::ServerDone {
+                                shard,
+                                clients: batch,
+                            },
                             &mut seq,
                         );
                     }
                 }
-                Event::ServerDone { clients } => {
-                    server_busy = false;
+                Event::ServerDone { shard, clients } => {
+                    busy[shard] = false;
                     for client in clients {
                         let completion = now + self.reply_leg;
                         if completion >= self.warmup && completion < self.duration {
@@ -157,14 +182,17 @@ impl Simulation {
                             &mut seq,
                         );
                     }
-                    if !queue.is_empty() {
-                        let k = self.effective_batch().min(queue.len());
-                        let batch: Vec<usize> = queue.drain(..k).collect();
-                        server_busy = true;
+                    if !queues[shard].is_empty() {
+                        let k = self.effective_batch().min(queues[shard].len());
+                        let batch: Vec<usize> = queues[shard].drain(..k).collect();
+                        busy[shard] = true;
                         push(
                             &mut heap,
                             now + self.cycle_duration(batch.len()),
-                            Event::ServerDone { clients: batch },
+                            Event::ServerDone {
+                                shard,
+                                clients: batch,
+                            },
                             &mut seq,
                         );
                     }
@@ -261,6 +289,40 @@ mod tests {
         let a = run(ServerKind::Lcm { batch: 16 }, 8, false).ops();
         let b = run(ServerKind::Lcm { batch: 16 }, 8, false).ops();
         assert_eq!(a, b);
+    }
+
+    fn run_sharded(shards: usize, n: usize, fsync: bool) -> Metrics {
+        let model = CostModel::default();
+        let profile = model.profile(ServerKind::Lcm { batch: 16 }, 1000, 100, fsync);
+        Simulation::new(profile, &model, n, Duration::from_secs(5))
+            .with_shards(shards)
+            .run()
+    }
+
+    #[test]
+    fn sharding_scales_a_saturated_server() {
+        // At 64 clients one LCM station is saturated; 4 stations with
+        // their own disks should clear well over 1.5x of it.
+        let x1 = run_sharded(1, 64, true).throughput();
+        let x4 = run_sharded(4, 64, true).throughput();
+        assert!(x4 > 1.5 * x1, "x1={x1} x4={x4}");
+        assert!(x4 < 4.5 * x1, "superlinear scaling is a model bug");
+    }
+
+    #[test]
+    fn sharding_is_neutral_when_unsaturated() {
+        // A single client cannot use more than one shard.
+        let x1 = run_sharded(1, 1, false).throughput();
+        let x4 = run_sharded(4, 1, false).throughput();
+        let ratio = x4 / x1;
+        assert!((0.95..=1.05).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn one_shard_equals_unsharded() {
+        let base = run(ServerKind::Lcm { batch: 16 }, 16, false).ops();
+        let one = run_sharded(1, 16, false).ops();
+        assert_eq!(base, one);
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct Scenario {
     pub object_size: usize,
     /// Synchronous disk writes (Fig. 6) or async (Figs. 4/5).
     pub fsync: bool,
+    /// Number of independent server shards (the sharded multi-enclave
+    /// host); 1 is the paper's single-enclave server.
+    pub shards: usize,
     /// Virtual measurement duration (paper: 30 s).
     pub duration: Duration,
 }
@@ -42,6 +45,7 @@ impl Scenario {
             record_count: 1000,
             object_size: 100,
             fsync: false,
+            shards: 1,
             duration: Duration::from_secs(seconds),
         }
     }
@@ -55,7 +59,9 @@ pub fn run_scenario(model: &CostModel, scenario: &Scenario) -> Metrics {
         scenario.object_size,
         scenario.fsync,
     );
-    Simulation::new(profile, model, scenario.n_clients, scenario.duration).run()
+    Simulation::new(profile, model, scenario.n_clients, scenario.duration)
+        .with_shards(scenario.shards)
+        .run()
 }
 
 /// Fig. 4 sweep: SGX vs LCM across object sizes, 8 clients, async.

@@ -37,6 +37,7 @@ mod error;
 mod file;
 mod flaky;
 mod memory;
+mod namespace;
 mod versioned;
 
 pub use adversary::{AdversaryMode, ForkView, RollbackStorage};
@@ -46,6 +47,7 @@ pub use error::StorageError;
 pub use file::FileStorage;
 pub use flaky::{FailureMode, FlakyStorage};
 pub use memory::MemoryStorage;
+pub use namespace::NamespacedStorage;
 pub use versioned::{Version, VersionedStorage};
 
 /// Convenience alias for results produced by this crate.

@@ -13,7 +13,7 @@ mod common;
 
 use std::sync::Arc;
 
-use common::{both_modes, mk_server, Mode};
+use common::{all_modes, mk_client, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
 use lcm::core::server::BatchServer;
 use lcm::core::stability::Quorum;
@@ -39,9 +39,8 @@ fn setup_adversarial(
     Vec<KvsClient>,
 ) {
     let world = TeeWorld::new_deterministic(seed);
-    let platform = world.platform_deterministic(1);
     let storage = Arc::new(RollbackStorage::new());
-    let mut server = mk_server::<KvStore>(mode, &platform, storage.clone(), 1);
+    let mut server = mk_server::<KvStore>(mode, &world, 1, storage.clone(), 1);
     server.boot().unwrap();
     let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
     let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
@@ -49,7 +48,7 @@ fn setup_adversarial(
     let clients = ids
         .iter()
         .map(|&id| {
-            let mut c = KvsClient::new(id, admin.client_key());
+            let mut c = mk_client(mode, id, admin.client_key());
             c.lcm_mut().set_recording(true);
             c
         })
@@ -57,28 +56,32 @@ fn setup_adversarial(
     (world, storage, server, admin, clients)
 }
 
-/// Forks `storage` at the latest state version (copying the latest key
-/// blob over) and boots a second server instance of the same mode on
-/// the branch.
+/// Forks `storage` at the latest version of every shard's slots and
+/// boots a second server instance of the same mode on the branch.
 fn fork_second_instance(
     mode: Mode,
     storage: &Arc<RollbackStorage>,
     seed: u64,
 ) -> Box<dyn BatchServer> {
-    let state_v = storage.history().latest_version("lcm.state").unwrap();
-    let branch = storage.fork_at("lcm.state", state_v).unwrap();
-    let key_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    branch
-        .store(
-            "lcm.keyblob",
-            &storage
-                .history()
-                .load_version("lcm.keyblob", key_v)
-                .unwrap(),
-        )
-        .unwrap();
-    let platform = TeeWorld::new_deterministic(seed).platform_deterministic(1);
-    let mut server_b = mk_server::<KvStore>(mode, &platform, Arc::new(branch), 1);
+    // Seed the branch from shard 0's state, then copy every remaining
+    // slot (other shards' states, all key blobs) at latest.
+    let first_state = mode.state_slot(0);
+    let state_v = storage.history().latest_version(&first_state).unwrap();
+    let branch = storage.fork_at(&first_state, state_v).unwrap();
+    for shard in 0..mode.shards() {
+        let mut slots = vec![mode.key_slot(shard)];
+        if shard != 0 {
+            slots.push(mode.state_slot(shard));
+        }
+        for slot in slots {
+            let v = storage.history().latest_version(&slot).unwrap();
+            branch
+                .store(&slot, &storage.history().load_version(&slot, v).unwrap())
+                .unwrap();
+        }
+    }
+    let world = TeeWorld::new_deterministic(seed);
+    let mut server_b = mk_server::<KvStore>(mode, &world, 1, Arc::new(branch), 1);
     server_b.boot().unwrap();
     server_b
 }
@@ -299,8 +302,8 @@ fn wrong_world_enclave_fails_bootstrap(mode: Mode) {
     // platform cannot pass attestation.
     let honest_world = TeeWorld::new_deterministic(31);
     let evil_world = TeeWorld::new_deterministic(666);
-    let platform = evil_world.platform_deterministic(1);
-    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(RollbackStorage::new()), 1);
+    let mut server =
+        mk_server::<KvStore>(mode, &evil_world, 1, Arc::new(RollbackStorage::new()), 1);
     server.boot().unwrap();
     let mut admin =
         AdminHandle::new_deterministic(&honest_world, vec![ClientId(1)], Quorum::Majority, 31);
@@ -331,29 +334,47 @@ fn stale_state_with_fresh_keyblob_detected(mode: Mode) {
     c.put(&mut server, b"k", b"v2").unwrap();
     server.flush_persists().unwrap();
 
-    // Adversary: serve stale state but latest key blob. Emulate by
-    // copying blobs into a fresh honest storage.
-    let stale_state = storage
-        .history()
-        .load_version("lcm.state", Version(1))
-        .unwrap();
-    let key_latest_v = storage.history().latest_version("lcm.keyblob").unwrap();
-    let fresh_key = storage
-        .history()
-        .load_version("lcm.keyblob", key_latest_v)
-        .unwrap();
+    // Adversary: serve the victim shard (the one owning "k") its
+    // second-to-latest state but the latest key blob; every other
+    // shard gets honest latest blobs. Emulate by copying blobs into a
+    // fresh honest storage.
+    let victim = mode.shard_of_key(b"k");
     let mixed = lcm::storage::MemoryStorage::new();
-    mixed.store("lcm.state", &stale_state).unwrap();
-    mixed.store("lcm.keyblob", &fresh_key).unwrap();
-    let platform = TeeWorld::new_deterministic(33).platform_deterministic(1);
-    let mut server2 = mk_server::<KvStore>(mode, &platform, Arc::new(mixed), 1);
+    for shard in 0..mode.shards() {
+        let state_slot = mode.state_slot(shard);
+        let latest = storage.history().latest_version(&state_slot).unwrap();
+        let state_v = if shard == victim {
+            Version(latest.0 - 1)
+        } else {
+            latest
+        };
+        mixed
+            .store(
+                &state_slot,
+                &storage
+                    .history()
+                    .load_version(&state_slot, state_v)
+                    .unwrap(),
+            )
+            .unwrap();
+        let key_slot = mode.key_slot(shard);
+        let key_v = storage.history().latest_version(&key_slot).unwrap();
+        mixed
+            .store(
+                &key_slot,
+                &storage.history().load_version(&key_slot, key_v).unwrap(),
+            )
+            .unwrap();
+    }
+    let world = TeeWorld::new_deterministic(33);
+    let mut server2 = mk_server::<KvStore>(mode, &world, 1, Arc::new(mixed), 1);
     server2.boot().unwrap();
 
     let err = c.get(&mut server2, b"k").unwrap_err();
     assert!(err.is_violation());
 }
 
-both_modes!(
+all_modes!(
     rollback_one_step_detected_by_victim,
     rollback_to_genesis_detected,
     dropped_writes_surface_as_rollback_on_restart,

@@ -7,7 +7,7 @@ mod common;
 
 use std::sync::Arc;
 
-use common::{both_modes, mk_server, Mode};
+use common::{all_modes, mk_client, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
 use lcm::core::pipeline::PipelinedServer;
 use lcm::core::server::{BatchServer, LcmServer};
@@ -29,15 +29,14 @@ fn setup(
     seed: u64,
 ) -> (Box<dyn BatchServer>, Vec<KvsClient>) {
     let world = TeeWorld::new_deterministic(seed);
-    let platform = world.platform_deterministic(1);
-    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), batch);
+    let mut server = mk_server::<KvStore>(mode, &world, 1, Arc::new(MemoryStorage::new()), batch);
     assert!(server.boot().unwrap());
     let ids: Vec<ClientId> = (1..=n_clients).map(ClientId).collect();
     let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, seed);
     admin.bootstrap(&mut server).unwrap();
     let clients = ids
         .iter()
-        .map(|&id| KvsClient::new(id, admin.client_key()))
+        .map(|&id| mk_client(mode, id, admin.client_key()))
         .collect();
     (server, clients)
 }
@@ -73,13 +72,15 @@ fn complete_round(clients: &mut [KvsClient], replies: Vec<(ClientId, Vec<u8>)>) 
 }
 
 /// The amortization invariant: with batch limit B and M queued ops,
-/// one round costs exactly ceil(M/B) seal-and-store cycles, and every
-/// op is counted.
+/// one round costs exactly ceil(M/B) seal-and-store cycles per shard
+/// (summed over the shards that took traffic), and every op is
+/// counted.
 fn amortization_invariants_across_batch_limits(mode: Mode) {
+    let keys: Vec<Vec<u8>> = (0..GROUP).map(|i| format!("k{i}").into_bytes()).collect();
     for &batch in &BATCH_LIMITS {
         let (mut server, mut clients) = setup(mode, GROUP, batch, 11_000 + batch as u64);
         let m = GROUP as u64;
-        let expected_batches_per_round = m.div_ceil(batch as u64);
+        let expected_batches_per_round = common::expected_batches(mode, &keys, batch);
 
         for round in 0..2u32 {
             let batches_before = server.batches_processed();
@@ -164,10 +165,101 @@ fn crash_mid_batch_recovery(mode: Mode) {
     complete_round(&mut clients, replies);
 }
 
-both_modes!(
+/// Regression for reply ordering under sharded fan-out: replies from
+/// concurrent shards must reach each client in that client's
+/// submission order, even when one shard's queue is much deeper than
+/// the other's. (The client completes replies against its oldest
+/// pending operation, so any reordering trips the echo check as a
+/// violation.)
+fn replies_ordered_per_client_under_fanout(mode: Mode) {
+    use lcm::core::transport::Hub;
+    let (server, mut clients) = setup(mode, 10, 4, 16_000);
+    let mut hub = Hub::new(server);
+    let ports: Vec<_> = clients.iter().map(|c| hub.connect(c.lcm().id())).collect();
+
+    // Two keys on different shards when sharded (any two keys when
+    // not): k_busy's shard also absorbs filler traffic from the other
+    // clients, so the observer's first op finishes in a *later* batch
+    // round than its second unless ordering is enforced.
+    let k_busy = b"ka0".to_vec();
+    let mut k_idle = b"kb1".to_vec();
+    if mode.shards() > 1 {
+        let mut found = None;
+        for i in 0..64u32 {
+            let cand = format!("kb{i}").into_bytes();
+            if mode.shard_of_key(&cand) != mode.shard_of_key(&k_busy) {
+                found = Some(cand);
+                break;
+            }
+        }
+        k_idle = found.expect("some key maps to another shard");
+    }
+
+    let (observer, fillers) = clients.split_at_mut(1);
+    let observer = &mut observer[0];
+
+    // Nine filler clients each queue one op on the busy key's shard
+    // (batch limit 4 ⇒ three processing rounds there), all before the
+    // observer submits.
+    for (f, c) in fillers.iter_mut().enumerate() {
+        let wire = c
+            .invoke_wire(&KvOp::Put(k_busy.clone(), vec![f as u8]))
+            .unwrap();
+        ports[f + 1].send(wire);
+    }
+    // Observer: op 1 to the (deep) busy shard, then op 2 to the idle
+    // shard — in flight *together* when the deployment has more than
+    // one shard (the client pipelines across shards only; with one
+    // shard op 2 follows op 1's completion). The idle shard finishes
+    // op 2 in its first round; op 1 waits behind the fillers — yet the
+    // replies must come back in submission order.
+    ports[0].send(
+        observer
+            .invoke_wire(&KvOp::Put(k_busy.clone(), b"first".to_vec()))
+            .unwrap(),
+    );
+    let pipelined_second = mode.shards() > 1;
+    if pipelined_second {
+        ports[0].send(
+            observer
+                .invoke_wire(&KvOp::Put(k_idle.clone(), b"second".to_vec()))
+                .unwrap(),
+        );
+    }
+
+    // One pump processes everything; the hub delivers per-client in
+    // submission order.
+    hub.pump().unwrap();
+    let r1 = ports[0].try_recv().expect("first reply");
+    let done1 = observer.complete(&r1).unwrap();
+    assert_eq!(done1.result, KvResult::Stored);
+    if !pipelined_second {
+        ports[0].send(
+            observer
+                .invoke_wire(&KvOp::Put(k_idle.clone(), b"second".to_vec()))
+                .unwrap(),
+        );
+        hub.pump().unwrap();
+    }
+    let r2 = ports[0].try_recv().expect("second reply");
+    let done2 = observer.complete(&r2).unwrap();
+    assert_eq!(done2.result, KvResult::Stored);
+    assert!(!observer.lcm().has_pending());
+    assert!(!observer.lcm().is_halted());
+    // Filler replies all routed to their own ports.
+    for (f, c) in fillers.iter_mut().enumerate() {
+        while let Some(wire) = ports[f + 1].try_recv() {
+            c.complete(&wire).unwrap();
+        }
+    }
+    assert_eq!(hub.dropped_replies(), 0);
+}
+
+all_modes!(
     amortization_invariants_across_batch_limits,
     batch_limits_agree_on_state,
     crash_mid_batch_recovery,
+    replies_ordered_per_client_under_fanout,
 );
 
 fn pipelined_setup(

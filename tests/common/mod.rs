@@ -1,14 +1,23 @@
-//! Shared scaffolding for running integration scenarios against both
-//! server modes: the synchronous `LcmServer` loop and the
-//! asynchronous-write `PipelinedServer` pipeline.
+//! Shared scaffolding for running integration scenarios against every
+//! server mode: the synchronous `LcmServer` loop, the
+//! asynchronous-write `PipelinedServer` pipeline, and the sharded
+//! multi-enclave `ShardedServer` at 1 and 4 shards (each shard sync or
+//! pipelined).
+
+// Compiled once per test binary; not every binary uses every helper.
+#![allow(dead_code, unused_macros, unused_imports)]
 
 use std::sync::Arc;
 
 use lcm::core::functionality::Functionality;
 use lcm::core::pipeline::PipelinedServer;
 use lcm::core::server::{BatchServer, LcmServer};
-use lcm::storage::StableStorage;
-use lcm::tee::platform::TeePlatform;
+use lcm::core::shard;
+use lcm::core::types::ClientId;
+use lcm::crypto::keys::SecretKey;
+use lcm::kvs::client::KvsClient;
+use lcm::storage::{NamespacedStorage, StableStorage};
+use lcm::tee::world::TeeWorld;
 
 /// Which execution mode a scenario runs the server in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,26 +27,111 @@ pub enum Mode {
     /// `PipelinedServer`: persistence overlaps execution on a
     /// background writer thread.
     Pipelined,
+    /// `ShardedServer` over `shards` lanes; each lane is a plain
+    /// `LcmServer` (`pipelined: false`) or a `PipelinedServer`.
+    Sharded {
+        /// Number of shards.
+        shards: u32,
+        /// Whether each shard persists on a background writer.
+        pipelined: bool,
+    },
 }
 
-/// Builds a server of the requested mode behind the common
-/// [`BatchServer`] interface.
-pub fn mk_server<F: Functionality + 'static>(
-    mode: Mode,
-    platform: &TeePlatform,
-    storage: Arc<dyn StableStorage>,
-    batch: usize,
-) -> Box<dyn BatchServer> {
-    let server = LcmServer::<F>::new(platform, storage, batch);
-    match mode {
-        Mode::Sync => Box::new(server),
-        Mode::Pipelined => Box::new(PipelinedServer::new(server)),
+impl Mode {
+    /// Shard count of the deployment (1 for the unsharded modes).
+    pub fn shards(self) -> u32 {
+        match self {
+            Mode::Sync | Mode::Pipelined => 1,
+            Mode::Sharded { shards, .. } => shards,
+        }
+    }
+
+    /// Whether the mode routes through the sharded fan-out layer.
+    pub fn is_sharded(self) -> bool {
+        matches!(self, Mode::Sharded { .. })
+    }
+
+    /// The storage slot a given shard persists its sealed state to.
+    pub fn state_slot(self, shard: u32) -> String {
+        match self {
+            Mode::Sync | Mode::Pipelined => "lcm.state".into(),
+            Mode::Sharded { .. } => format!("{}lcm.state", NamespacedStorage::shard_prefix(shard)),
+        }
+    }
+
+    /// The storage slot a given shard persists its sealed key blob to.
+    pub fn key_slot(self, shard: u32) -> String {
+        match self {
+            Mode::Sync | Mode::Pipelined => "lcm.keyblob".into(),
+            Mode::Sharded { .. } => {
+                format!("{}lcm.keyblob", NamespacedStorage::shard_prefix(shard))
+            }
+        }
+    }
+
+    /// The shard a KVS operation on `key` routes to in this mode.
+    pub fn shard_of_key(self, key: &[u8]) -> u32 {
+        shard::shard_index(shard::route_hash(key), self.shards())
     }
 }
 
+/// Builds a server of the requested mode behind the common
+/// [`BatchServer`] interface. Sharded modes place shard `i` on
+/// platform `platform_base + i` of `world` and give it the
+/// `shard{i}.`-prefixed region of `storage`.
+pub fn mk_server<F: Functionality + 'static>(
+    mode: Mode,
+    world: &TeeWorld,
+    platform_base: u64,
+    storage: Arc<dyn StableStorage>,
+    batch: usize,
+) -> Box<dyn BatchServer> {
+    match mode {
+        Mode::Sync => {
+            let platform = world.platform_deterministic(platform_base);
+            Box::new(LcmServer::<F>::new(&platform, storage, batch))
+        }
+        Mode::Pipelined => {
+            let platform = world.platform_deterministic(platform_base);
+            Box::new(PipelinedServer::new(LcmServer::<F>::new(
+                &platform, storage, batch,
+            )))
+        }
+        Mode::Sharded { shards, pipelined } => Box::new(shard::build_sharded::<F>(
+            world,
+            platform_base,
+            storage,
+            batch,
+            shards,
+            pipelined,
+        )),
+    }
+}
+
+/// Builds a KVS client wired for the mode's shard count.
+pub fn mk_client(mode: Mode, id: ClientId, k_c: &SecretKey) -> KvsClient {
+    KvsClient::new_sharded(id, k_c, mode.shards())
+}
+
+/// How many seal-and-store cycles one round of `keys` (one op per key,
+/// all queued before processing) costs at batch limit `batch`: the sum
+/// over shards of `ceil(ops_on_shard / batch)`.
+pub fn expected_batches(mode: Mode, keys: &[Vec<u8>], batch: usize) -> u64 {
+    let mut per_shard = vec![0u64; mode.shards() as usize];
+    for key in keys {
+        per_shard[mode.shard_of_key(key) as usize] += 1;
+    }
+    per_shard
+        .iter()
+        .filter(|&&n| n > 0)
+        .map(|&n| n.div_ceil(batch as u64))
+        .sum()
+}
+
 /// Instantiates each `fn scenario(Mode)` in the invoking test crate as
-/// a `#[test]` per server mode.
-macro_rules! both_modes {
+/// a `#[test]` per server mode: both unsharded modes and the sharded
+/// fan-out at 1 and 4 shards, sync and pipelined.
+macro_rules! all_modes {
     ($($name:ident),* $(,)?) => {
         mod sync_mode {
             $(#[test] fn $name() { super::$name(crate::common::Mode::Sync) })*
@@ -45,6 +139,22 @@ macro_rules! both_modes {
         mod pipelined_mode {
             $(#[test] fn $name() { super::$name(crate::common::Mode::Pipelined) })*
         }
+        mod sharded_sync_1 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Sharded { shards: 1, pipelined: false }) })*
+        }
+        mod sharded_sync_4 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Sharded { shards: 4, pipelined: false }) })*
+        }
+        mod sharded_pipelined_1 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Sharded { shards: 1, pipelined: true }) })*
+        }
+        mod sharded_pipelined_4 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Sharded { shards: 4, pipelined: true }) })*
+        }
     };
 }
-pub(crate) use both_modes;
+pub(crate) use all_modes;

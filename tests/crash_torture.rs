@@ -11,12 +11,10 @@ mod common;
 
 use std::sync::Arc;
 
-use common::{both_modes, mk_server, Mode};
+use common::{all_modes, mk_client, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
-use lcm::core::server::BatchServer;
 use lcm::core::stability::Quorum;
 use lcm::core::types::ClientId;
-use lcm::kvs::client::KvsClient;
 use lcm::kvs::ops::{KvOp, KvResult};
 use lcm::kvs::store::KvStore;
 use lcm::storage::MemoryStorage;
@@ -36,13 +34,14 @@ enum CrashKind {
 
 fn run_with_crash(mode: Mode, crash_at: usize, kind: CrashKind) {
     let world = TeeWorld::new_deterministic(4_000 + crash_at as u64);
-    let platform = world.platform_deterministic(1);
-    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), 1);
+    let mut server = mk_server::<KvStore>(mode, &world, 1, Arc::new(MemoryStorage::new()), 1);
     server.boot().unwrap();
     let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 8);
     admin.bootstrap(&mut server).unwrap();
-    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+    let mut client = mk_client(mode, ClientId(1), admin.client_key());
 
+    // Sequence numbers are per shard; predict them with the router.
+    let mut per_shard_seq = vec![0u64; mode.shards() as usize];
     for i in 0..SCHEDULE_LEN {
         let key = format!("k{i}").into_bytes();
         let value = (i as u64).to_be_bytes().to_vec();
@@ -73,10 +72,11 @@ fn run_with_crash(mode: Mode, crash_at: usize, kind: CrashKind) {
         let replies = server.process_all().unwrap();
         let done = client.complete(&replies[0].1).unwrap();
         assert_eq!(done.result, KvResult::Stored, "op {i}, crash at {crash_at}");
+        let shard = mode.shard_of_key(&key) as usize;
+        per_shard_seq[shard] += 1;
         assert_eq!(
-            done.completion.seq.0,
-            (i + 1) as u64,
-            "exactly-once sequencing"
+            done.completion.seq.0, per_shard_seq[shard],
+            "exactly-once sequencing on shard {shard}"
         );
     }
 
@@ -103,12 +103,11 @@ fn double_crash_same_operation(mode: Mode) {
     // Crash before processing, recover, crash again after processing,
     // recover, retry again: still exactly-once.
     let world = TeeWorld::new_deterministic(4_100);
-    let platform = world.platform_deterministic(1);
-    let mut server = mk_server::<KvStore>(mode, &platform, Arc::new(MemoryStorage::new()), 1);
+    let mut server = mk_server::<KvStore>(mode, &world, 1, Arc::new(MemoryStorage::new()), 1);
     server.boot().unwrap();
     let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 9);
     admin.bootstrap(&mut server).unwrap();
-    let mut client = KvsClient::new(ClientId(1), admin.client_key());
+    let mut client = mk_client(mode, ClientId(1), admin.client_key());
 
     let wire = client
         .invoke_wire(&KvOp::Put(b"k".to_vec(), b"v".to_vec()))
@@ -136,7 +135,7 @@ fn double_crash_same_operation(mode: Mode) {
     );
 }
 
-both_modes!(
+all_modes!(
     crash_before_processing_at_every_point,
     crash_after_processing_at_every_point,
     double_crash_same_operation,
