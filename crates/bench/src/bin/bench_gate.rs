@@ -1,0 +1,110 @@
+//! CI performance-regression gate over `BENCH_pipeline.json`.
+//!
+//! ```text
+//! bench_gate <committed-baseline.json> <fresh-snapshot.json>
+//! ```
+//!
+//! Compares the freshly measured snapshot (produced by the
+//! `bench_snapshot` bin earlier in the same CI job) against the
+//! baseline committed in the repository, cell by cell
+//! (mode × shard count). Exits non-zero when any cell regressed more
+//! than the tolerance band — 40% by default, overridable through
+//! `LCM_BENCH_TOLERANCE` (e.g. `0.5` allows a 50% drop) for noisy
+//! runners.
+//!
+//! The band is deliberately generous: snapshot numbers are wall-clock
+//! and machine-dependent, and the modelled store delay keeps the
+//! *ratios* stable, not the absolutes. The gate exists so the PR 2/3
+//! speedups (async pipeline, shard fan-out) cannot silently rot into
+//! an integer-factor collapse — not to police jitter.
+
+use std::process::ExitCode;
+
+use lcm_bench::gate::{compare, parse_config, parse_snapshot, tolerance_from_env};
+
+type Snapshot = (Vec<lcm_bench::gate::Cell>, Option<String>);
+
+fn load(path: &str) -> Option<Snapshot> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return None;
+        }
+    };
+    let cells = parse_snapshot(&text);
+    if cells.is_none() {
+        eprintln!("bench_gate: {path} is not an lcm-bench-snapshot/1 document");
+    }
+    Some((cells?, parse_config(&text)))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_gate <committed-baseline.json> <fresh-snapshot.json>");
+        return ExitCode::FAILURE;
+    };
+    let (Some((baseline, baseline_cfg)), Some((fresh, fresh_cfg))) =
+        (load(baseline_path), load(fresh_path))
+    else {
+        return ExitCode::FAILURE;
+    };
+    // ops/s only compare under the same workload knobs: a config drift
+    // (someone changed bench_snapshot's constants without regenerating
+    // the committed baseline) must be an explicit failure, not a
+    // silently meaningless comparison.
+    if baseline_cfg != fresh_cfg {
+        eprintln!(
+            "bench_gate: snapshots were measured under different configs\n  baseline: {}\n  fresh:    {}\n\
+             regenerate the committed baseline with `cargo run --release -p lcm-bench --bin bench_snapshot`",
+            baseline_cfg.as_deref().unwrap_or("<missing>"),
+            fresh_cfg.as_deref().unwrap_or("<missing>")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let tolerance = tolerance_from_env();
+    println!(
+        "performance gate: fresh vs committed baseline, tolerance {:.0}%",
+        tolerance * 100.0
+    );
+    lcm_bench::header(&[
+        "mode",
+        "shards",
+        "baseline ops/s",
+        "fresh ops/s",
+        "floor",
+        "verdict",
+    ]);
+    let verdicts = compare(&baseline, &fresh, tolerance);
+    let mut failed = false;
+    for v in &verdicts {
+        let fresh_str = v
+            .fresh_ops_per_s
+            .map(|x| format!("{x:.0}"))
+            .unwrap_or_else(|| "MISSING".into());
+        println!(
+            "| {} | {} | {:.0} | {} | {:.0} | {} |",
+            v.baseline.mode,
+            v.baseline.shards,
+            v.baseline.ops_per_s,
+            fresh_str,
+            v.floor,
+            if v.failed { "FAIL" } else { "ok" }
+        );
+        failed |= v.failed;
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: throughput regressed beyond the {:.0}% band; \
+             if this is expected (e.g. a deliberate trade-off), regenerate \
+             BENCH_pipeline.json with `cargo run --release -p lcm-bench \
+             --bin bench_snapshot` and commit it with the change",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all {} cells within band", verdicts.len());
+    ExitCode::SUCCESS
+}

@@ -66,6 +66,247 @@ pub fn write_csv(name: &str, columns: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The CI performance-regression gate: compares a freshly measured
+/// `BENCH_pipeline.json` against the committed baseline, cell by cell
+/// (mode × shard count), with a generous tolerance band.
+///
+/// Numbers in the snapshot are wall-clock and machine-dependent, so
+/// the gate is deliberately loose — it exists to catch the PR that
+/// accidentally serializes the pipeline or the shard fan-out (an
+/// integer-factor collapse), not 5% jitter. The band is overridable
+/// through `LCM_BENCH_TOLERANCE` (a fraction: `0.4` = fail below 60%
+/// of baseline).
+pub mod gate {
+    /// One measured cell of the snapshot: `(mode, shards) → ops/s`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Cell {
+        /// Server mode label (`sync` / `pipelined`).
+        pub mode: String,
+        /// Shard count of the measurement.
+        pub shards: u32,
+        /// Measured throughput.
+        pub ops_per_s: f64,
+    }
+
+    /// Default allowed regression: fail only when a cell drops more
+    /// than 40% below the committed baseline.
+    pub const DEFAULT_TOLERANCE: f64 = 0.40;
+
+    /// The tolerance to use: `LCM_BENCH_TOLERANCE` when set and
+    /// parseable as a fraction in `(0, 1)`, else
+    /// [`DEFAULT_TOLERANCE`]. A set-but-invalid override is loudly
+    /// rejected on stderr rather than silently ignored — an operator
+    /// who typed `50` for 50% should learn the gate still ran at the
+    /// default band.
+    pub fn tolerance_from_env() -> f64 {
+        let Ok(raw) = std::env::var("LCM_BENCH_TOLERANCE") else {
+            return DEFAULT_TOLERANCE;
+        };
+        match raw.parse::<f64>() {
+            Ok(t) if t > 0.0 && t < 1.0 => t,
+            _ => {
+                eprintln!(
+                    "bench_gate: ignoring invalid LCM_BENCH_TOLERANCE={raw:?} \
+                     (expected a fraction in (0, 1), e.g. 0.5 for a 50% band); \
+                     using the default {DEFAULT_TOLERANCE}"
+                );
+                DEFAULT_TOLERANCE
+            }
+        }
+    }
+
+    /// Extracts the `"config"` object of a snapshot as a normalized
+    /// string (whitespace stripped). Baseline and fresh snapshots are
+    /// only comparable when they were measured under the same workload
+    /// configuration — the gate refuses to compare ops/s across
+    /// different client counts, batch limits, store delays, or round
+    /// counts.
+    pub fn parse_config(json: &str) -> Option<String> {
+        let after = json.split("\"config\"").nth(1)?;
+        let obj = after.split('{').nth(1)?.split('}').next()?;
+        Some(obj.chars().filter(|c| !c.is_whitespace()).collect())
+    }
+
+    /// Extracts the result cells from a `lcm-bench-snapshot/1` JSON
+    /// document. The schema is flat and machine-written (see
+    /// `bin/bench_snapshot.rs`), so this is a purpose-built scanner,
+    /// not a general JSON parser: it walks the `"results"` array and
+    /// pulls the three known fields out of each object.
+    pub fn parse_snapshot(json: &str) -> Option<Vec<Cell>> {
+        if !json.contains("lcm-bench-snapshot/1") {
+            return None;
+        }
+        let results = json.split("\"results\"").nth(1)?;
+        let array = results.split('[').nth(1)?.split(']').next()?;
+        let mut cells = Vec::new();
+        for obj in array.split('{').skip(1) {
+            let obj = obj.split('}').next()?;
+            let field = |name: &str| -> Option<&str> {
+                let after = obj.split(&format!("\"{name}\"")).nth(1)?;
+                Some(after.split(':').nth(1)?.split(',').next()?.trim())
+            };
+            let mode = field("mode")?.trim_matches('"').to_string();
+            let shards: u32 = field("shards")?.parse().ok()?;
+            let ops_per_s: f64 = field("ops_per_s")?.parse().ok()?;
+            cells.push(Cell {
+                mode,
+                shards,
+                ops_per_s,
+            });
+        }
+        if cells.is_empty() {
+            None
+        } else {
+            Some(cells)
+        }
+    }
+
+    /// One gate verdict: the baseline cell, what was measured, and
+    /// whether it regressed beyond the tolerance.
+    #[derive(Debug, Clone)]
+    pub struct Verdict {
+        /// The baseline cell being checked.
+        pub baseline: Cell,
+        /// The fresh measurement for the same `(mode, shards)`, if the
+        /// fresh snapshot has one.
+        pub fresh_ops_per_s: Option<f64>,
+        /// The minimum acceptable throughput for this cell.
+        pub floor: f64,
+        /// Whether this cell fails the gate (regressed past the floor,
+        /// or missing from the fresh snapshot entirely).
+        pub failed: bool,
+    }
+
+    /// Compares every baseline cell against the fresh snapshot.
+    /// A cell fails when the fresh measurement is missing or below
+    /// `baseline * (1 - tolerance)`. Cells present only in the fresh
+    /// snapshot are ignored (new configurations gate nothing yet).
+    pub fn compare(baseline: &[Cell], fresh: &[Cell], tolerance: f64) -> Vec<Verdict> {
+        baseline
+            .iter()
+            .map(|b| {
+                let floor = b.ops_per_s * (1.0 - tolerance);
+                let fresh_ops = fresh
+                    .iter()
+                    .find(|f| f.mode == b.mode && f.shards == b.shards)
+                    .map(|f| f.ops_per_s);
+                Verdict {
+                    baseline: b.clone(),
+                    fresh_ops_per_s: fresh_ops,
+                    floor,
+                    failed: fresh_ops.is_none() || fresh_ops.unwrap_or(0.0) < floor,
+                }
+            })
+            .collect()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        const SAMPLE: &str = r#"{
+  "schema": "lcm-bench-snapshot/1",
+  "config": {"clients": 64, "batch": 16, "store_delay_us": 400, "rounds": 8},
+  "results": [
+    {"mode": "sync", "shards": 1, "ops_per_s": 10000.0},
+    {"mode": "sync", "shards": 4, "ops_per_s": 28000.5},
+    {"mode": "pipelined", "shards": 1, "ops_per_s": 15090.9},
+    {"mode": "pipelined", "shards": 4, "ops_per_s": 45473.9}
+  ],
+  "speedup_4shards": {"sync": 2.568, "pipelined": 3.013}
+}"#;
+
+        #[test]
+        fn parses_the_snapshot_schema() {
+            let cells = parse_snapshot(SAMPLE).unwrap();
+            assert_eq!(cells.len(), 4);
+            assert_eq!(cells[0].mode, "sync");
+            assert_eq!(cells[0].shards, 1);
+            assert!((cells[0].ops_per_s - 10000.0).abs() < 1e-9);
+            assert_eq!(cells[3].mode, "pipelined");
+            assert_eq!(cells[3].shards, 4);
+            assert!((cells[3].ops_per_s - 45473.9).abs() < 1e-9);
+        }
+
+        #[test]
+        fn config_extraction_normalizes_whitespace() {
+            let config = parse_config(SAMPLE).unwrap();
+            assert_eq!(
+                config,
+                "\"clients\":64,\"batch\":16,\"store_delay_us\":400,\"rounds\":8"
+            );
+            // A snapshot measured under different knobs is visibly a
+            // different config.
+            let other = SAMPLE.replace("\"batch\": 16", "\"batch\": 256");
+            assert_ne!(parse_config(&other).unwrap(), config);
+            assert!(parse_config("no config here").is_none());
+        }
+
+        #[test]
+        fn rejects_foreign_documents() {
+            assert!(parse_snapshot("{}").is_none());
+            assert!(parse_snapshot("not json at all").is_none());
+            assert!(
+                parse_snapshot(r#"{"schema": "lcm-bench-snapshot/1", "results": []}"#).is_none()
+            );
+        }
+
+        #[test]
+        fn within_band_passes_regression_fails() {
+            let baseline = parse_snapshot(SAMPLE).unwrap();
+            // 30% down across the board: inside the 40% band.
+            let ok: Vec<Cell> = baseline
+                .iter()
+                .map(|c| Cell {
+                    ops_per_s: c.ops_per_s * 0.7,
+                    ..c.clone()
+                })
+                .collect();
+            assert!(compare(&baseline, &ok, 0.40).iter().all(|v| !v.failed));
+
+            // One cell collapses to half: that cell fails, others pass.
+            let mut bad = ok.clone();
+            bad[1].ops_per_s = baseline[1].ops_per_s * 0.5;
+            let verdicts = compare(&baseline, &bad, 0.40);
+            assert!(verdicts[1].failed);
+            assert_eq!(verdicts.iter().filter(|v| v.failed).count(), 1);
+        }
+
+        #[test]
+        fn missing_cell_fails_and_extra_cell_is_ignored() {
+            let baseline = parse_snapshot(SAMPLE).unwrap();
+            let mut fresh = baseline.clone();
+            fresh.remove(0); // (sync, 1) vanished
+            fresh.push(Cell {
+                mode: "sync".into(),
+                shards: 8,
+                ops_per_s: 1.0, // new config, not gated
+            });
+            let verdicts = compare(&baseline, &fresh, 0.40);
+            assert_eq!(verdicts.len(), 4, "one verdict per baseline cell");
+            assert!(verdicts[0].failed, "missing cell must fail");
+            assert_eq!(verdicts.iter().filter(|v| v.failed).count(), 1);
+        }
+
+        #[test]
+        fn tolerance_env_parsing_is_defensive() {
+            // No env manipulation here (tests run in parallel); check
+            // the parse-and-clamp path through compare instead: a 60%
+            // drop passes only with a loosened band.
+            let baseline = parse_snapshot(SAMPLE).unwrap();
+            let fresh: Vec<Cell> = baseline
+                .iter()
+                .map(|c| Cell {
+                    ops_per_s: c.ops_per_s * 0.4,
+                    ..c.clone()
+                })
+                .collect();
+            assert!(compare(&baseline, &fresh, 0.40).iter().any(|v| v.failed));
+            assert!(compare(&baseline, &fresh, 0.70).iter().all(|v| !v.failed));
+        }
+    }
+}
+
 /// [`write_csv`] for a Fig. 5/6-style per-series client sweep.
 pub fn series_csv(name: &str, series: &[(lcm_sim::cost::ServerKind, Vec<(usize, f64)>)]) {
     let rows: Vec<Vec<String>> = series

@@ -9,20 +9,56 @@
 
 use lcm_crypto::aead::{self, AeadKey};
 use lcm_crypto::keys::SecretKey;
-use lcm_crypto::sha256;
-use lcm_tee::attestation::QuoteVerifier;
+use lcm_crypto::sha256::{self, Digest};
+use lcm_tee::attestation::{Quote, QuoteVerifier};
 use lcm_tee::measurement::Measurement;
 use lcm_tee::world::TeeWorld;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use crate::codec::{Reader, WireCodec, Writer};
-use crate::context::{AdminOp, AdminReply, ProvisionPayload, LABEL_ADMIN, LABEL_PROVISION};
+use crate::context::{
+    attest_user_data, AdminOp, AdminReply, ProvisionPayload, ShardIdentity, LABEL_ADMIN,
+    LABEL_PROVISION,
+};
 use crate::program::lcm_measurement;
 use crate::server::BatchServer;
 use crate::stability::Quorum;
 use crate::types::ClientId;
 use crate::{LcmError, Result, Violation};
+
+/// The verified shape of a deployment: one identity-bound attestation
+/// quote per shard, in shard order.
+///
+/// Produced by [`AdminHandle::bootstrap`] and
+/// [`AdminHandle::verify_deployment`]. Quote `i` proves that a genuine
+/// LCM enclave answered a fresh challenge *while holding shard
+/// identity `(i, shards)`* — so the manifest as a whole says the
+/// admin's keys live in exactly `shards` enclaves, one per slice of
+/// the key space, with no member represented by a sibling.
+#[derive(Debug, Clone)]
+pub struct DeploymentManifest {
+    /// Number of shards the deployment was verified at.
+    pub shards: u32,
+    /// The per-shard quotes, index `i` bound to identity `(i, shards)`.
+    pub quotes: Vec<Quote>,
+}
+
+impl DeploymentManifest {
+    /// A compact fingerprint of the attested deployment: digest over
+    /// every quote's measurement and (identity-bound) user data, in
+    /// shard order. Two manifests with the same digest attest the same
+    /// program at the same identities.
+    pub fn digest(&self) -> Digest {
+        let mut buf = Vec::with_capacity(4 + self.quotes.len() * 64);
+        buf.extend_from_slice(&self.shards.to_be_bytes());
+        for q in &self.quotes {
+            buf.extend_from_slice(q.measurement.as_bytes());
+            buf.extend_from_slice(q.user_data.as_bytes());
+        }
+        sha256::digest(&buf)
+    }
+}
 
 /// The special admin client of the paper: generates and distributes
 /// keys, verifies attestation, manages membership.
@@ -110,38 +146,103 @@ impl AdminHandle {
         &self.clients
     }
 
-    /// Performs phases 2–3 of bootstrapping against `server`: challenge,
-    /// attest, verify, provision.
+    /// Performs phases 2–3 of bootstrapping against `server`, for
+    /// *every* shard of the deployment: challenge and attest each
+    /// still-unprovisioned lane, inject each lane's keys **and shard
+    /// identity** through the attested channel, then re-attest the
+    /// whole deployment with identity binding.
+    ///
+    /// Returns the verified [`DeploymentManifest`] — one quote per
+    /// shard, quote `i` bound to identity `(i, n)` — so the admin holds
+    /// evidence that every member, not just a representative, runs LCM
+    /// on a genuine platform under the identity it was assigned.
     ///
     /// # Errors
     ///
-    /// * [`LcmError::Tee`] — attestation failed: the context is not
-    ///   running LCM on a genuine platform.
+    /// * [`LcmError::Tee`] — attestation failed on some shard: that
+    ///   lane is not running LCM on a genuine platform, or claims a
+    ///   different identity than assigned (e.g. the host swapped
+    ///   provisioning payloads between lanes).
     /// * Context errors from provisioning.
-    pub fn bootstrap<S: BatchServer + ?Sized>(&mut self, server: &mut S) -> Result<()> {
-        // Phase 2: remote attestation with a fresh challenge nonce.
+    pub fn bootstrap<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+    ) -> Result<DeploymentManifest> {
+        let n = server.shard_count();
+        // Phase 2: attest every lane with a fresh challenge before any
+        // key material moves. An unprovisioned enclave binds "no
+        // identity" into its report; anything else here means the lane
+        // already holds state and must not be re-provisioned.
+        for shard in 0..n {
+            let challenge = self.fresh_challenge();
+            let quote = server.attest_shard(shard, challenge)?;
+            self.verifier.verify(
+                &quote,
+                &self.expected_measurement,
+                &attest_user_data(&challenge, None),
+            )?;
+        }
+
+        // Phase 3: inject keys through the attested channel — one
+        // payload per shard, identical keys, each naming its own
+        // identity (i, n).
+        for shard in 0..n {
+            let payload = ProvisionPayload {
+                k_p: self.k_p.clone(),
+                k_c: self.k_c.clone(),
+                k_a: self.k_a.clone(),
+                clients: self.clients.clone(),
+                quorum: self.quorum,
+                identity: ShardIdentity::new(shard, n),
+            };
+            let sealed = aead::auth_encrypt(
+                &self.provision_channel,
+                &payload.to_bytes(),
+                LABEL_PROVISION,
+            )
+            .map_err(|e| LcmError::Tee(e.to_string()))?;
+            server.provision_shard(shard, sealed)?;
+        }
+
+        // Whole-deployment attestation: every lane proves it holds the
+        // identity it was just assigned.
+        self.verify_deployment(server)
+    }
+
+    /// Attests every shard of `server` and verifies each quote against
+    /// the identity that shard must hold — `(i, n)` for lane `i` of an
+    /// `n`-shard deployment. Run after bootstrap (automatic), after a
+    /// migration import ([`AdminHandle::migrate`] does this), or any
+    /// time an operator wants fresh evidence that no member was
+    /// swapped, cloned, or re-homed.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Tee`] — some lane failed attestation or holds the
+    ///   wrong identity.
+    pub fn verify_deployment<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+    ) -> Result<DeploymentManifest> {
+        let n = server.shard_count();
+        let mut quotes = Vec::with_capacity(n as usize);
+        for shard in 0..n {
+            let challenge = self.fresh_challenge();
+            let quote = server.attest_shard(shard, challenge)?;
+            self.verifier.verify(
+                &quote,
+                &self.expected_measurement,
+                &attest_user_data(&challenge, Some(ShardIdentity::new(shard, n))),
+            )?;
+            quotes.push(quote);
+        }
+        Ok(DeploymentManifest { shards: n, quotes })
+    }
+
+    fn fresh_challenge(&mut self) -> Digest {
         let mut nonce = [0u8; 32];
         self.rng.fill_bytes(&mut nonce);
-        let user_data = sha256::digest(&nonce);
-        let quote = server.attest(user_data)?;
-        self.verifier
-            .verify(&quote, &self.expected_measurement, &user_data)?;
-
-        // Phase 3: inject keys through the attested channel.
-        let payload = ProvisionPayload {
-            k_p: self.k_p.clone(),
-            k_c: self.k_c.clone(),
-            k_a: self.k_a.clone(),
-            clients: self.clients.clone(),
-            quorum: self.quorum,
-        };
-        let sealed = aead::auth_encrypt(
-            &self.provision_channel,
-            &payload.to_bytes(),
-            LABEL_PROVISION,
-        )
-        .map_err(|e| LcmError::Tee(e.to_string()))?;
-        server.provision(sealed)
+        sha256::digest(&nonce)
     }
 
     /// Adds `id` to the group (§4.6.3). On success the admin sends the
@@ -209,20 +310,26 @@ impl AdminHandle {
     }
 
     /// Orchestrates migration origin → target (§4.6.2): exports the
-    /// ticket from `origin` and imports it into a booted, unprovisioned
-    /// `target`. Clients keep working unchanged — their `(tc, hc)`
-    /// context verifies against the migrated `V`.
+    /// ticket from `origin`, imports it into a booted, unprovisioned
+    /// `target`, then **re-verifies the whole target deployment** —
+    /// each imported lane must attest the shard identity its slice of
+    /// the ticket carried, so a host that reshuffles ticket parts
+    /// between lanes is caught here instead of at some later client's
+    /// misrouted operation. Clients keep working unchanged — their
+    /// `(tc, hc)` context verifies against the migrated `V`.
     ///
     /// # Errors
     ///
-    /// Propagates context errors from either side.
+    /// Propagates context errors from either side; attestation errors
+    /// from the post-import verification.
     pub fn migrate<A: BatchServer + ?Sized, B: BatchServer + ?Sized>(
         &mut self,
         origin: &mut A,
         target: &mut B,
-    ) -> Result<()> {
+    ) -> Result<DeploymentManifest> {
         let ticket = origin.export_migration()?;
-        target.import_migration(ticket)
+        target.import_migration(ticket)?;
+        self.verify_deployment(target)
     }
 
     fn roundtrip<S: BatchServer + ?Sized>(
@@ -274,7 +381,54 @@ mod tests {
         let (world, mut server) = fresh();
         let mut admin =
             AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
+        let manifest = admin.bootstrap(&mut server).unwrap();
+        // One identity-bound quote per shard (unsharded: exactly one).
+        assert_eq!(manifest.shards, 1);
+        assert_eq!(manifest.quotes.len(), 1);
+        // Re-verification on demand succeeds and attests the same
+        // program; the digest differs only through the fresh challenge.
+        let again = admin.verify_deployment(&mut server).unwrap();
+        assert_eq!(again.shards, 1);
+        assert_eq!(manifest.quotes[0].measurement, again.quotes[0].measurement);
+        assert_ne!(manifest.digest(), again.digest());
+    }
+
+    #[test]
+    fn bootstrap_attests_every_shard_of_a_deployment() {
+        use crate::functionality::Counter;
+        use crate::shard::build_sharded;
+
+        let world = TeeWorld::new_deterministic(6);
+        let mut server =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 4, false);
+        assert!(server.boot().unwrap());
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 6);
+        let manifest = admin.bootstrap(&mut server).unwrap();
+        assert_eq!(manifest.shards, 4);
+        assert_eq!(manifest.quotes.len(), 4);
+        // Quotes are distinguishable per shard: each binds a different
+        // identity into its user data (challenges are fresh anyway,
+        // but identity alone already separates them for a fixed
+        // challenge — see context::attest_user_data tests).
+        let unique: std::collections::BTreeSet<_> = manifest
+            .quotes
+            .iter()
+            .map(|q| q.user_data.as_bytes().to_vec())
+            .collect();
+        assert_eq!(unique.len(), 4);
+    }
+
+    #[test]
+    fn bootstrap_refuses_an_already_provisioned_deployment() {
+        // Re-running bootstrap against a provisioned server fails at
+        // phase 2 already: the enclave's quote binds its identity, not
+        // the "unprovisioned" marker a fresh lane would bind.
+        let (world, mut server) = fresh();
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 1);
         admin.bootstrap(&mut server).unwrap();
+        assert!(admin.bootstrap(&mut server).is_err());
     }
 
     #[test]

@@ -304,6 +304,13 @@ impl LcmClient {
     /// plaintext envelope bound into the AAD; the operation is invoked
     /// against the matching shard's context.
     ///
+    /// On a sharded deployment the `shard_key` must be the one the
+    /// functionality itself derives (use [`LcmClient::invoke_for`]):
+    /// the receiving enclave recomputes the route from the decrypted
+    /// operation's `Functionality::shard_key` and halts with
+    /// [`crate::Violation::WrongShard`] if the envelope disagrees —
+    /// an envelope may not lie about its own operation.
+    ///
     /// # Errors
     ///
     /// * [`LcmError::OperationPending`] — an operation is already

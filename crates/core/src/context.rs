@@ -252,6 +252,94 @@ fn read_key(r: &mut Reader<'_>) -> std::result::Result<SecretKey, crate::codec::
     Ok(SecretKey::from_bytes(d.0))
 }
 
+/// The attested identity of one enclave within a deployment:
+/// *"I am shard `index` of `count`"*.
+///
+/// Delivered to each enclave inside its (per-shard) provisioning
+/// payload, persisted with the sealed protocol state, carried by
+/// migration tickets, and folded into every attestation quote's user
+/// data (see [`attest_user_data`]). Holding its identity lets the
+/// enclave reject an *intact* INVOKE wire delivered to the wrong
+/// shard — closing the misdelivery window that client-context checks
+/// alone leave open for a client's very first operation on a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardIdentity {
+    /// This enclave's shard index, `< count`.
+    pub index: u32,
+    /// Total number of shards in the deployment.
+    pub count: u32,
+}
+
+impl ShardIdentity {
+    /// The identity of the only enclave of an unsharded deployment.
+    pub const SOLO: ShardIdentity = ShardIdentity { index: 0, count: 1 };
+
+    /// Builds the identity of shard `index` in a deployment of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero or `index` is out of range — a
+    /// deployment-assembly bug, not an attack surface (identities are
+    /// only ever minted by the trusted admin).
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(count >= 1, "a deployment has at least one shard");
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardIdentity { index, count }
+    }
+
+    /// Whether route hash `route` maps to this shard.
+    pub fn owns_route(&self, route: u32) -> bool {
+        crate::shard::shard_index(route, self.count) == self.index
+    }
+
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.index);
+        w.put_u32(self.count);
+    }
+
+    pub(crate) fn decode(
+        r: &mut Reader<'_>,
+    ) -> std::result::Result<Self, crate::codec::CodecError> {
+        let index = r.get_u32()?;
+        let count = r.get_u32()?;
+        if count == 0 || index >= count {
+            return Err(crate::codec::CodecError::InvalidTag(0));
+        }
+        Ok(ShardIdentity { index, count })
+    }
+}
+
+impl std::fmt::Display for ShardIdentity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The report user data an enclave actually attests for a verifier
+/// challenge: a domain-separated digest binding the challenge to the
+/// enclave's shard identity (or to its *absence* before provisioning).
+///
+/// The verifier recomputes this with the identity it expects, so a
+/// quote produced by an enclave holding a different identity — or by
+/// an unprovisioned one — fails verification. This is what makes a
+/// deployment manifest of N quotes mean *"shard i's keys live in the
+/// enclave claiming index i"* rather than *"N genuine enclaves
+/// exist"*.
+pub fn attest_user_data(challenge: &Digest, identity: Option<ShardIdentity>) -> Digest {
+    let mut buf = Vec::with_capacity(16 + 32 + 9);
+    buf.extend_from_slice(b"lcm.attest-id");
+    buf.extend_from_slice(challenge.as_bytes());
+    match identity {
+        None => buf.push(0),
+        Some(id) => {
+            buf.push(1);
+            buf.extend_from_slice(&id.index.to_be_bytes());
+            buf.extend_from_slice(&id.count.to_be_bytes());
+        }
+    }
+    lcm_crypto::sha256::digest(&buf)
+}
+
 /// The provisioning payload the admin sends over its attested channel
 /// (paper §4.3: *"the admin generates two secret keys, kC ... and kP
 /// ..., and injects them into T through a secure channel provided by
@@ -268,6 +356,11 @@ pub struct ProvisionPayload {
     pub clients: Vec<ClientId>,
     /// Stability quorum policy.
     pub quorum: Quorum,
+    /// The shard identity this enclave is provisioned as. Every shard
+    /// of a deployment receives its *own* payload differing exactly
+    /// here; an unsharded deployment provisions
+    /// [`ShardIdentity::SOLO`].
+    pub identity: ShardIdentity,
 }
 
 impl WireCodec for ProvisionPayload {
@@ -276,6 +369,7 @@ impl WireCodec for ProvisionPayload {
         w.put_raw(self.k_c.as_bytes());
         w.put_raw(self.k_a.as_bytes());
         self.quorum.encode(w);
+        self.identity.encode(w);
         w.put_u32(self.clients.len() as u32);
         for c in &self.clients {
             c.encode(w);
@@ -287,6 +381,7 @@ impl WireCodec for ProvisionPayload {
         let k_c = read_key(r)?;
         let k_a = read_key(r)?;
         let quorum = Quorum::decode(r)?;
+        let identity = ShardIdentity::decode(r)?;
         let n = r.get_u32()? as usize;
         let mut clients = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
@@ -298,6 +393,7 @@ impl WireCodec for ProvisionPayload {
             k_a,
             clients,
             quorum,
+            identity,
         })
     }
 }
@@ -337,6 +433,10 @@ pub struct TrustedContext<F: Functionality> {
     stable_floor: SeqNo,
     admin_seq: u64,
     quorum: Quorum,
+    /// The attested shard identity, installed at provisioning (or
+    /// recovered from the sealed state / a migration ticket). `None`
+    /// exactly while unprovisioned; `Ready` implies `Some`.
+    identity: Option<ShardIdentity>,
     nonce_counter: u64,
     /// Reusable encode buffer for the per-batch hot path (sealed state,
     /// encrypted replies) — retains its allocation across batches so
@@ -368,6 +468,7 @@ impl<F: Functionality> TrustedContext<F> {
             stable_floor: SeqNo::ZERO,
             admin_seq: 0,
             quorum: Quorum::Majority,
+            identity: None,
             nonce_counter: 0,
             scratch: Writer::new(),
         }
@@ -376,6 +477,12 @@ impl<F: Functionality> TrustedContext<F> {
     /// Current lifecycle phase.
     pub fn phase(&self) -> Phase {
         self.phase
+    }
+
+    /// The shard identity this enclave was provisioned as (`None`
+    /// while unprovisioned).
+    pub fn identity(&self) -> Option<ShardIdentity> {
+        self.identity
     }
 
     /// Read access to the functionality (for in-enclave introspection
@@ -464,6 +571,7 @@ impl<F: Functionality> TrustedContext<F> {
     fn install(&mut self, payload: ProvisionPayload) -> Result<PersistBlobs> {
         self.keys = Some(Keys::from_raw(payload.k_p, payload.k_c, payload.k_a));
         self.quorum = payload.quorum;
+        self.identity = Some(payload.identity);
         self.v = payload
             .clients
             .iter()
@@ -476,10 +584,18 @@ impl<F: Functionality> TrustedContext<F> {
         self.persist_blobs()
     }
 
-    /// Produces an attestation report bound to `user_data` (the host
-    /// forwards it to the quoting enclave).
-    pub fn attest(&self, user_data: Digest) -> Report {
-        self.services.report(user_data)
+    /// Produces an attestation report over the verifier's challenge
+    /// (the host forwards it to the quoting enclave).
+    ///
+    /// The report's user data is not the raw challenge but
+    /// [`attest_user_data`]`(challenge, identity)`: the quote proves
+    /// not only *"a genuine LCM enclave answered this challenge"* but
+    /// *which shard identity* that enclave holds (or that it holds
+    /// none yet). The verifier recomputes the binding with the
+    /// identity it expects.
+    pub fn attest(&self, challenge: Digest) -> Report {
+        self.services
+            .report(attest_user_data(&challenge, self.identity))
     }
 
     /// Handles one encrypted INVOKE message: the body of Alg. 2.
@@ -527,6 +643,26 @@ impl<F: Functionality> TrustedContext<F> {
         // lied — halt rather than mis-route the reply.
         if msg.client != hint.client {
             return Err(self.halt(Violation::BadAuthentication));
+        }
+
+        // Attested shard identity (Ready implies an identity): this
+        // enclave executes an operation only if it *owns* it. Two
+        // routes must both map here — the authenticated envelope route
+        // the host delivered by (a mismatch means the host redirected
+        // an intact wire to the wrong shard), and the route recomputed
+        // from the decrypted operation's own partition key (a mismatch
+        // means the sender's envelope lies about its operation). This
+        // holds from the very first wire, with no client history.
+        let identity = self.identity.expect("ready implies identity");
+        let recomputed = crate::shard::route_for(msg.client, F::shard_key(&msg.op));
+        for route in [hint.route, recomputed] {
+            if !identity.owns_route(route) {
+                return Err(self.halt(Violation::WrongShard {
+                    client: msg.client,
+                    delivered_to: identity.index,
+                    owner: crate::shard::shard_index(route, identity.count),
+                }));
+            }
         }
 
         let Some(entry) = self.v.get(&msg.client) else {
@@ -650,6 +786,9 @@ impl<F: Functionality> TrustedContext<F> {
         state_plain.put_u64(self.admin_seq);
         self.stable_floor.encode(&mut state_plain);
         self.quorum.encode(&mut state_plain);
+        self.identity
+            .unwrap_or(ShardIdentity::SOLO)
+            .encode(&mut state_plain);
         crate::stability::encode_vmap(&self.v, &mut state_plain);
         state_plain.put_bytes(&self.f.snapshot());
         let aead_p = keys.aead_p.clone();
@@ -681,6 +820,7 @@ impl<F: Functionality> TrustedContext<F> {
         self.admin_seq = r.get_u64().map_err(LcmError::from)?;
         self.stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
         self.quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
+        self.identity = Some(ShardIdentity::decode(&mut r).map_err(LcmError::from)?);
         self.v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
         r.finish().map_err(LcmError::from)?;
@@ -802,6 +942,10 @@ impl<F: Functionality> TrustedContext<F> {
         w.put_u64(self.admin_seq);
         self.stable_floor.encode(&mut w);
         self.quorum.encode(&mut w);
+        // The identity travels with the ticket: the target enclave
+        // adopts the origin shard's place in the deployment, so a
+        // migrated deployment re-verifies exactly like a fresh one.
+        self.identity.unwrap_or(ShardIdentity::SOLO).encode(&mut w);
         crate::stability::encode_vmap(&self.v, &mut w);
         w.put_bytes(&self.f.snapshot());
 
@@ -842,6 +986,7 @@ impl<F: Functionality> TrustedContext<F> {
         let admin_seq = r.get_u64().map_err(LcmError::from)?;
         let stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
         let quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
+        let identity = ShardIdentity::decode(&mut r).map_err(LcmError::from)?;
         let v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
         r.finish().map_err(LcmError::from)?;
@@ -850,6 +995,7 @@ impl<F: Functionality> TrustedContext<F> {
         self.admin_seq = admin_seq;
         self.stable_floor = stable_floor;
         self.quorum = quorum;
+        self.identity = Some(identity);
         self.v = v;
         self.f.restore(&snapshot).map_err(LcmError::from)?;
         match latest_entry(&self.v) {
@@ -921,6 +1067,7 @@ mod tests {
             k_a: SecretKey::from_bytes([3u8; 32]),
             clients: vec![ClientId(1), ClientId(2), ClientId(3)],
             quorum: Quorum::Majority,
+            identity: ShardIdentity::SOLO,
         }
     }
 
@@ -1369,6 +1516,194 @@ mod tests {
     fn provision_payload_codec_roundtrip() {
         let p = provision_payload();
         assert_eq!(ProvisionPayload::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn attest_binds_identity_into_user_data() {
+        let world = world();
+        let challenge = lcm_crypto::sha256::digest(b"challenge");
+
+        // Unprovisioned: the report binds the *absence* of identity.
+        let mut fresh = TrustedContext::<AppendLog>::new(services(&world, 3));
+        fresh.init(None, None).unwrap();
+        assert_eq!(
+            fresh.attest(challenge).user_data,
+            attest_user_data(&challenge, None)
+        );
+
+        // Provisioned: the report binds the installed identity, and is
+        // distinguishable from both the raw challenge and the
+        // unprovisioned binding.
+        let (ctx, _) = provisioned_context(&world);
+        let bound = ctx.attest(challenge).user_data;
+        assert_eq!(ctx.identity(), Some(ShardIdentity::SOLO));
+        assert_eq!(
+            bound,
+            attest_user_data(&challenge, Some(ShardIdentity::SOLO))
+        );
+        assert_ne!(bound, challenge);
+        assert_ne!(bound, attest_user_data(&challenge, None));
+        // Different identities bind differently.
+        assert_ne!(
+            attest_user_data(&challenge, Some(ShardIdentity::new(0, 4))),
+            attest_user_data(&challenge, Some(ShardIdentity::new(1, 4)))
+        );
+    }
+
+    /// Provisions a context claiming shard `index` of `count`.
+    fn provisioned_with_identity(
+        world: &TeeWorld,
+        identity: ShardIdentity,
+    ) -> TrustedContext<AppendLog> {
+        let mut ctx = TrustedContext::<AppendLog>::new(services(world, 1));
+        ctx.init(None, None).unwrap();
+        let payload = ProvisionPayload {
+            identity,
+            ..provision_payload()
+        };
+        let channel =
+            AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
+        let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
+        ctx.provision(&sealed).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn intact_wire_delivered_to_wrong_shard_halts() {
+        // The enclave is shard `wrong` of 4; client 1's (client-routed)
+        // operations map to shard `home` != wrong. An intact,
+        // perfectly authenticated first-op wire must be rejected as a
+        // WrongShard violation — no client history exists anywhere.
+        let world = world();
+        let home = crate::shard::shard_index(crate::shard::route_for(ClientId(1), None), 4);
+        let wrong = (home + 1) % 4;
+        let mut ctx = provisioned_with_identity(&world, ShardIdentity::new(wrong, 4));
+
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: b"first-ever".to_vec(),
+        };
+        let err = ctx.handle_invoke(&encrypt_invoke(&msg)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LcmError::Violation(Violation::WrongShard { delivered_to, owner, .. })
+                    if delivered_to == wrong && owner == home
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(ctx.phase(), Phase::Halted);
+    }
+
+    #[test]
+    fn correctly_routed_wire_accepted_by_matching_identity() {
+        let world = world();
+        let home = crate::shard::shard_index(crate::shard::route_for(ClientId(1), None), 4);
+        let mut ctx = provisioned_with_identity(&world, ShardIdentity::new(home, 4));
+        let reply = invoke(&mut ctx, 1, SeqNo::ZERO, ChainValue::GENESIS, b"op").unwrap();
+        assert_eq!(reply.t, SeqNo(1));
+    }
+
+    #[test]
+    fn envelope_lying_about_its_operation_halts() {
+        use crate::functionality::Counter;
+        // A 4-shard Counter enclave: the envelope route maps to this
+        // shard (so delivery looks right), but the decrypted operation
+        // names a counter whose key maps elsewhere. The recomputed
+        // route must win: the enclave refuses to execute state it does
+        // not own.
+        let world = world();
+        let mut ctx = TrustedContext::<Counter>::new(services(&world, 1));
+        ctx.init(None, None).unwrap();
+        let this_shard = 2u32;
+        let payload = ProvisionPayload {
+            identity: ShardIdentity::new(this_shard, 4),
+            ..provision_payload()
+        };
+        let channel =
+            AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
+        let sealed = aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap();
+        ctx.provision(&sealed).unwrap();
+
+        // A counter name owned by a different shard.
+        let foreign = (0..64u32)
+            .map(|i| format!("n{i}").into_bytes())
+            .find(|n| crate::shard::shard_index(crate::shard::route_hash(n), 4) != this_shard)
+            .unwrap();
+        // An envelope route that maps to THIS shard (forged consistent
+        // delivery) — any u32 with the right residue.
+        let lying_route = (0..u32::MAX)
+            .find(|&r| crate::shard::shard_index(r, 4) == this_shard)
+            .unwrap();
+        let msg = InvokeMsg {
+            client: ClientId(1),
+            tc: SeqNo::ZERO,
+            hc: ChainValue::GENESIS,
+            retry: false,
+            op: Counter::inc_op(&foreign, 1),
+        };
+        let hint = crate::wire::RouteHint {
+            client: ClientId(1),
+            route: lying_route,
+        };
+        let ct = aead::auth_encrypt(
+            &client_key(),
+            &msg.to_bytes(),
+            &invoke_aad(ClientId(1), lying_route),
+        )
+        .unwrap();
+        let mut wire = Vec::new();
+        hint.encode_to(&mut wire);
+        wire.extend_from_slice(&ct);
+
+        let err = ctx.handle_invoke(&wire).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LcmError::Violation(Violation::WrongShard { delivered_to, .. })
+                    if delivered_to == this_shard
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn identity_survives_seal_restore_and_migration() {
+        let world = world();
+        let identity = ShardIdentity::new(3, 4);
+        let mut ctx = provisioned_with_identity(&world, identity);
+        let blobs = ctx.persist_blobs().unwrap();
+
+        // Reboot on the same platform: identity recovered from the
+        // sealed state.
+        let mut resumed = TrustedContext::<AppendLog>::new(services(&world, 1));
+        resumed
+            .init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+            .unwrap();
+        assert_eq!(resumed.identity(), Some(identity));
+
+        // Migration to another platform: the ticket carries the
+        // identity, so the target takes the origin's place.
+        let ticket = resumed.export_migration().unwrap();
+        let mut target = TrustedContext::<AppendLog>::new(services(&world, 2));
+        target.init(None, None).unwrap();
+        target.import_migration(&ticket).unwrap();
+        assert_eq!(target.identity(), Some(identity));
+    }
+
+    #[test]
+    fn shard_identity_decode_rejects_nonsense() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        w.put_u32(4); // index >= count
+        assert!(ShardIdentity::decode(&mut Reader::new(&w.into_bytes())).is_err());
+        let mut w = Writer::new();
+        w.put_u32(0);
+        w.put_u32(0); // count == 0
+        assert!(ShardIdentity::decode(&mut Reader::new(&w.into_bytes())).is_err());
     }
 
     #[test]

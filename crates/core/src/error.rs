@@ -38,6 +38,21 @@ pub enum Violation {
     },
     /// A reply arrived with no operation pending at this client.
     UnexpectedReply,
+    /// An intact INVOKE wire reached an enclave whose attested shard
+    /// identity does not own it: either the authenticated routing
+    /// envelope maps to a different shard (the host redirected the
+    /// wire), or the route recomputed from the decrypted operation's
+    /// partition key does (the sender's envelope lies about its own
+    /// operation). Detected by the enclave itself, with no client
+    /// history required.
+    WrongShard {
+        /// The invoking client.
+        client: ClientId,
+        /// The attested identity of the enclave that received the wire.
+        delivered_to: u32,
+        /// The shard the operation actually maps to.
+        owner: u32,
+    },
     /// An admin operation replayed an old admin sequence number.
     AdminReplay,
     /// A violation reported across the ecall boundary; the rendered
@@ -62,6 +77,15 @@ impl fmt::Display for Violation {
                 write!(f, "reply mismatch: expected echo {expected}, got {got}")
             }
             Violation::UnexpectedReply => write!(f, "reply with no pending operation"),
+            Violation::WrongShard {
+                client,
+                delivered_to,
+                owner,
+            } => write!(
+                f,
+                "operation of {client} maps to shard {owner} but was delivered to \
+                 shard {delivered_to} (misdirected wire)"
+            ),
             Violation::AdminReplay => write!(f, "admin operation replay"),
             Violation::Reported(msg) => write!(f, "{msg}"),
         }

@@ -21,8 +21,13 @@ use crate::{LcmError, Violation};
 
 /// Name under which LCM programs are measured.
 pub const PROGRAM_NAME: &str = "lcm";
-/// Version string folded into the measurement.
-pub const PROGRAM_VERSION: &str = "1";
+/// Version string folded into the measurement. Version 2 is the
+/// shard-identity protocol: the enclave binds its provisioned
+/// [`crate::context::ShardIdentity`] into every attestation report
+/// (see [`crate::context::attest_user_data`]) and rejects misdirected
+/// INVOKE wires — a verifier distinguishes it from the identity-less
+/// version 1 by measurement.
+pub const PROGRAM_VERSION: &str = "2";
 
 /// The LCM measurement: identical for every `LcmProgram<F>` so that the
 /// sealing key survives restarts of the same service.
@@ -52,7 +57,10 @@ pub enum HostCall {
     InvokeBatch(Vec<Vec<u8>>),
     /// Process an encrypted admin message.
     Admin(Vec<u8>),
-    /// Produce an attestation report over the given user data.
+    /// Produce an attestation report for the given challenge digest.
+    /// The report's user data binds the enclave's provisioned shard
+    /// identity to the challenge (see
+    /// [`crate::context::attest_user_data`]).
     Attest(Digest),
     /// Export a migration ticket (origin side).
     ExportMigration,

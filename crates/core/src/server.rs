@@ -379,8 +379,62 @@ pub trait BatchServer: Send {
     /// Propagates TEE errors.
     fn attest(&mut self, user_data: Digest) -> Result<Quote>;
 
+    /// Number of enclave shards behind this server: 1 for the
+    /// single-enclave servers, N for the sharded fan-out
+    /// ([`crate::shard::ShardedServer`]). Drives the admin's per-shard
+    /// provisioning and whole-deployment attestation.
+    fn shard_count(&self) -> u32 {
+        1
+    }
+
+    /// Produces an attestation quote from shard `shard`'s enclave —
+    /// the admin attests *every* member of a deployment, not a
+    /// representative.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE errors; `shard` out of range is an error.
+    fn attest_shard(&mut self, shard: u32, user_data: Digest) -> Result<Quote> {
+        if shard == 0 {
+            self.attest(user_data)
+        } else {
+            Err(LcmError::Tee(format!(
+                "attest_shard({shard}) on a single-enclave server"
+            )))
+        }
+    }
+
+    /// Delivers the admin's sealed provisioning payload to shard
+    /// `shard`'s enclave. Each shard of a deployment receives its own
+    /// payload (carrying its [`crate::context::ShardIdentity`]); the
+    /// payloads are opaque to the host.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; `shard` out of range is an error.
+    fn provision_shard(&mut self, shard: u32, sealed_payload: Vec<u8>) -> Result<()> {
+        if shard == 0 {
+            self.provision(sealed_payload)
+        } else {
+            Err(LcmError::Tee(format!(
+                "provision_shard({shard}) on a single-enclave server"
+            )))
+        }
+    }
+
     /// Enqueues an encrypted INVOKE message.
     fn submit(&mut self, invoke_wire: Vec<u8>);
+
+    /// Delivers a wire to an *explicit* shard, ignoring the routing
+    /// envelope — the host has this power (the honest router is just
+    /// software it runs), so adversarial tests model misdelivery
+    /// through it. On single-enclave servers this is `submit`. The
+    /// enclave's attested-identity check makes a misdirected intact
+    /// wire a detected violation, not a misplaced write.
+    fn submit_to_shard(&mut self, shard: u32, invoke_wire: Vec<u8>) {
+        let _ = shard;
+        self.submit(invoke_wire);
+    }
 
     /// Number of queued, unprocessed messages.
     fn queued(&self) -> usize;
@@ -462,8 +516,20 @@ impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
     fn attest(&mut self, user_data: Digest) -> Result<Quote> {
         (**self).attest(user_data)
     }
+    fn shard_count(&self) -> u32 {
+        (**self).shard_count()
+    }
+    fn attest_shard(&mut self, shard: u32, user_data: Digest) -> Result<Quote> {
+        (**self).attest_shard(shard, user_data)
+    }
+    fn provision_shard(&mut self, shard: u32, sealed_payload: Vec<u8>) -> Result<()> {
+        (**self).provision_shard(shard, sealed_payload)
+    }
     fn submit(&mut self, invoke_wire: Vec<u8>) {
         (**self).submit(invoke_wire);
+    }
+    fn submit_to_shard(&mut self, shard: u32, invoke_wire: Vec<u8>) {
+        (**self).submit_to_shard(shard, invoke_wire);
     }
     fn queued(&self) -> usize {
         (**self).queued()

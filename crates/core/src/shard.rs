@@ -27,14 +27,32 @@
 //! `(route hash, shard count)` — [`shard_index`] — and therefore
 //! stable across reboots and migrations.
 //!
-//! **Known limitation:** shards do not yet carry their own
-//! `(index, count)` identity inside the enclave (the provisioning
-//! payload is identical for every shard), so a host that delivers an
-//! *intact* wire to the wrong shard is caught by the client-context
-//! check only once the client has history on the correct shard — a
-//! client's very first operation on a shard could be executed by a
-//! different shard, misplacing (not corrupting) that write. Closing
-//! this needs shard-identity provisioning; tracked in ROADMAP.md.
+//! ## Attested shard identity
+//!
+//! Every enclave carries its own
+//! [`crate::context::ShardIdentity`] `(index, count)`, delivered in a
+//! **per-shard provisioning payload** by the admin and bound into
+//! every attestation quote the enclave produces (see
+//! [`crate::context::attest_user_data`]). This turns routing into a
+//! *guarantee* rather than a host courtesy:
+//!
+//! * **Misdelivery is detected by the enclave itself.** On every
+//!   INVOKE the enclave checks that both the authenticated envelope
+//!   route *and* the route recomputed from the decrypted operation's
+//!   partition key map to its own identity; a host that delivers an
+//!   intact wire to the wrong shard trips
+//!   [`crate::Violation::WrongShard`] — even for a client's very
+//!   first operation on a shard, with no client history required.
+//! * **The whole deployment is attested, not a representative.**
+//!   [`crate::admin::AdminHandle::bootstrap`] attests every lane
+//!   before provisioning, injects each lane's identity, and then
+//!   verifies one identity-bound quote per shard (a
+//!   [`crate::admin::DeploymentManifest`]); migration re-runs that
+//!   verification on the target deployment, and reboots recover the
+//!   identity from the sealed state, so a host cannot silently
+//!   reshuffle which enclave serves which slice.
+//! * Host-side attestation activity is observable per shard through
+//!   [`ShardStats::attested`] / [`ShardStatsRollup::attested_shards`].
 //!
 //! ## Protocol guarantees under sharding
 //!
@@ -118,6 +136,15 @@ pub struct ShardStats {
     pub ops: u64,
     /// Seal-and-store cycles performed by this shard.
     pub batches: u64,
+    /// Whether this shard's enclave has *produced* an attestation
+    /// quote since the deployment (re)started. The host cannot observe
+    /// whether the remote verifier accepted the quote — that verdict
+    /// lives in the admin's
+    /// [`crate::admin::DeploymentManifest`] — so this records
+    /// attestation *activity* per member: a deployment whose rollup
+    /// shows fewer attested shards than lanes was certainly never
+    /// fully verified.
+    pub attested: bool,
     /// Ingress-queue counters; `blocked_pushes` is this shard's
     /// back-pressure signal.
     pub ingress: QueueStats,
@@ -132,12 +159,23 @@ pub struct ShardStatsRollup {
     pub total_ops: u64,
     /// Total seal-and-store cycles across shards.
     pub total_batches: u64,
+    /// How many shards have produced an attestation quote since the
+    /// deployment (re)started (see [`ShardStats::attested`] for what
+    /// this does and does not prove). A fully bootstrapped deployment
+    /// shows `attested_shards == per_shard.len()`.
+    pub attested_shards: u32,
+    /// Digest over every shard's last quote (in shard order), present
+    /// once *all* shards have produced one — a compact fingerprint of
+    /// the deployment's claimed identities for operator dashboards;
+    /// the admin-side [`crate::admin::DeploymentManifest::digest`] is
+    /// the *verified* counterpart.
+    pub identity_digest: Option<Digest>,
     /// Merged ingress counters (sums; worst-case high water).
     pub ingress: QueueStats,
 }
 
 impl ShardStatsRollup {
-    fn from_rows(per_shard: Vec<ShardStats>) -> Self {
+    fn from_rows(per_shard: Vec<ShardStats>, quote_digests: &[Option<Digest>]) -> Self {
         let mut ingress = QueueStats::default();
         let (mut total_ops, mut total_batches) = (0, 0);
         for row in &per_shard {
@@ -145,10 +183,22 @@ impl ShardStatsRollup {
             total_batches += row.batches;
             ingress.absorb(&row.ingress);
         }
+        let attested_shards = quote_digests.iter().filter(|d| d.is_some()).count() as u32;
+        let identity_digest = if attested_shards as usize == quote_digests.len() {
+            let mut buf = Vec::with_capacity(quote_digests.len() * 32);
+            for d in quote_digests.iter().flatten() {
+                buf.extend_from_slice(d.as_bytes());
+            }
+            Some(lcm_crypto::sha256::digest(&buf))
+        } else {
+            None
+        };
         ShardStatsRollup {
             per_shard,
             total_ops,
             total_batches,
+            attested_shards,
+            identity_digest,
             ingress,
         }
     }
@@ -207,6 +257,11 @@ pub struct ShardedServer<S: BatchServer + 'static> {
     /// Shard failure hit during back-pressure relief inside `submit`
     /// (which cannot return errors); surfaced by the next `step`.
     deferred_error: Option<LcmError>,
+    /// Digest of each shard's last attestation quote (`None` until the
+    /// lane is attested; cleared on `crash`). Surfaced through
+    /// [`ShardStatsRollup`] so operators can assert the *whole*
+    /// deployment was attested.
+    quote_digests: Vec<Option<Digest>>,
 }
 
 impl<S: BatchServer + 'static> std::fmt::Debug for ShardedServer<S> {
@@ -249,6 +304,7 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
             held: BTreeMap::new(),
             backlog: Vec::new(),
             deferred_error: None,
+            quote_digests: vec![None; n],
         }
     }
 
@@ -309,6 +365,7 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
                     shard: i as u32,
                     ops: lane.server.ops_processed(),
                     batches: lane.server.batches_processed(),
+                    attested: self.quote_digests[i].is_some(),
                     ingress: shard.ingress.stats(),
                 }
             })
@@ -317,7 +374,7 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
 
     /// The aggregate rollup over [`ShardedServer::shard_stats`].
     pub fn stats_rollup(&self) -> ShardStatsRollup {
-        ShardStatsRollup::from_rows(self.shard_stats())
+        ShardStatsRollup::from_rows(self.shard_stats(), &self.quote_digests)
     }
 
     fn queued_total(&self) -> usize {
@@ -376,6 +433,32 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
         }
         self.order.retain(|_, tickets| !tickets.is_empty());
         self.held.retain(|_, waiting| !waiting.is_empty());
+    }
+
+    /// Tickets and enqueues one wire into `shard`'s bounded ingress
+    /// (the shared tail of `submit` and `submit_to_shard`; the caller
+    /// has peeled the envelope exactly once).
+    fn enqueue(&mut self, client: ClientId, shard: usize, invoke_wire: Vec<u8>) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.order.entry(client).or_default().push_back(ticket);
+        // Bounded ingress with inline relief: a saturated shard makes
+        // the submitter execute one of that shard's batches instead of
+        // blocking (there is no other thread to drain the queue — a
+        // blocking push would deadlock the single driving thread).
+        let mut item = (ticket, client, invoke_wire);
+        loop {
+            use lcm_runtime::queue::PushError;
+            match self.shards[shard].ingress.try_push(item) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    item = back;
+                    self.relieve(shard);
+                }
+                // The ingress is never closed while the server exists.
+                Err(PushError::Closed(_)) => break,
+            }
+        }
     }
 
     /// Back-pressure relief: the bounded ingress of `shard` is full and
@@ -472,6 +555,10 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
         self.held.clear();
         self.backlog.clear();
         self.deferred_error = None;
+        // The enclaves restart: their identities recover from sealed
+        // state, but the operational "this epoch was attested" record
+        // starts over.
+        self.quote_digests.fill(None);
     }
 
     fn is_running(&self) -> bool {
@@ -481,20 +568,58 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     }
 
     fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
-        self.for_each_shard(|s| s.provision(sealed_payload.clone()))?;
-        Ok(())
+        // A multi-shard deployment cannot be provisioned from one
+        // payload: each enclave's payload carries its own identity.
+        // Refusing here (rather than fanning out a clone) turns a
+        // would-be identity collision into an immediate setup error.
+        if self.shards.len() > 1 {
+            return Err(LcmError::Tee(
+                "sharded deployment requires per-shard provisioning \
+                 (use provision_shard with identity-bearing payloads)"
+                    .into(),
+            ));
+        }
+        self.provision_shard(0, sealed_payload)
     }
 
     fn attest(&mut self, user_data: Digest) -> Result<Quote> {
-        // Deployment assumption: every shard runs the same measured
-        // program in the same world (what [`build_sharded`]
-        // constructs), so shard 0's quote stands for the deployment —
-        // and the provisioning fan-out that follows is safe. An
-        // operator assembling heterogeneous lanes by hand must attest
-        // each lane itself (via [`ShardedServer::with_shard`]) before
-        // provisioning; per-shard attestation during `AdminHandle`
-        // bootstrap is a tracked follow-up in ROADMAP.md.
-        self.with_shard(0, |s| s.attest(user_data))
+        // Single-quote view of the deployment: shard 0. The admin's
+        // bootstrap does NOT rely on this — it attests every lane via
+        // `attest_shard` and verifies each quote against that shard's
+        // identity binding.
+        self.attest_shard(0, user_data)
+    }
+
+    fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    fn attest_shard(&mut self, shard: u32, user_data: Digest) -> Result<Quote> {
+        let Some(target) = self.shards.get(shard as usize) else {
+            return Err(LcmError::Tee(format!(
+                "attest_shard({shard}) on a {}-shard deployment",
+                self.shards.len()
+            )));
+        };
+        let quote = lock(&target.lane).server.attest(user_data)?;
+        // Record the attestation host-side: a fingerprint of what the
+        // verifier saw (measurement + identity-bound user data), so
+        // stats can assert every member was attested.
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(quote.measurement.as_bytes());
+        buf.extend_from_slice(quote.user_data.as_bytes());
+        self.quote_digests[shard as usize] = Some(lcm_crypto::sha256::digest(&buf));
+        Ok(quote)
+    }
+
+    fn provision_shard(&mut self, shard: u32, sealed_payload: Vec<u8>) -> Result<()> {
+        let Some(target) = self.shards.get(shard as usize) else {
+            return Err(LcmError::Tee(format!(
+                "provision_shard({shard}) on a {}-shard deployment",
+                self.shards.len()
+            )));
+        };
+        lock(&target.lane).server.provision(sealed_payload)
     }
 
     fn submit(&mut self, invoke_wire: Vec<u8>) {
@@ -505,26 +630,26 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
             Some((hint, _)) => (hint.client, shard_index(hint.route, self.shard_count())),
             None => (ClientId(0), 0),
         };
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        self.order.entry(client).or_default().push_back(ticket);
-        // Bounded ingress with inline relief: a saturated shard makes
-        // the submitter execute one of that shard's batches instead of
-        // blocking (there is no other thread to drain the queue — a
-        // blocking push would deadlock the single driving thread).
-        let mut item = (ticket, client, invoke_wire);
-        loop {
-            use lcm_runtime::queue::PushError;
-            match self.shards[shard as usize].ingress.try_push(item) {
-                Ok(()) => break,
-                Err(PushError::Full(back)) => {
-                    item = back;
-                    self.relieve(shard as usize);
-                }
-                // The ingress is never closed while the server exists.
-                Err(PushError::Closed(_)) => break,
-            }
-        }
+        self.enqueue(client, shard as usize, invoke_wire);
+    }
+
+    /// # Panics
+    ///
+    /// Panics when `shard` is out of range (like
+    /// [`ShardedServer::with_shard`]): there is no such lane to
+    /// deliver to, and clamping silently would let an adversarial
+    /// test exercise a different shard than it named.
+    fn submit_to_shard(&mut self, shard: u32, invoke_wire: Vec<u8>) {
+        assert!(
+            (shard as usize) < self.shards.len(),
+            "submit_to_shard({shard}) on a {}-shard deployment",
+            self.shards.len()
+        );
+        let client = match RouteHint::peel(&invoke_wire) {
+            Some((hint, _)) => hint.client,
+            None => ClientId(0),
+        };
+        self.enqueue(client, shard as usize, invoke_wire);
     }
 
     fn queued(&self) -> usize {
@@ -795,6 +920,109 @@ mod tests {
         }
         assert_eq!(clients[0].last_seq().0, 5);
         assert_eq!(server.ops_processed(), 5);
+    }
+
+    #[test]
+    fn stats_rollup_reports_whole_deployment_attestation() {
+        // Bootstrap attests every lane, so the rollup must show all
+        // four shards attested — not just shard 0 — with a deployment
+        // identity fingerprint present.
+        let (mut server, mut admin, _clients) = sharded_counter(4, 1);
+        let rollup = server.stats_rollup();
+        assert_eq!(rollup.attested_shards, 4);
+        assert!(rollup.identity_digest.is_some());
+        assert!(rollup.per_shard.iter().all(|s| s.attested));
+
+        // A crash resets the epoch's attestation record...
+        server.crash();
+        let rollup = server.stats_rollup();
+        assert_eq!(rollup.attested_shards, 0);
+        assert!(rollup.identity_digest.is_none());
+        assert!(server.shard_stats().iter().all(|s| !s.attested));
+
+        // ...and re-verification after reboot restores it: the sealed
+        // state recovered each lane's identity.
+        assert!(!server.boot().unwrap());
+        admin.verify_deployment(&mut server).unwrap();
+        let rollup = server.stats_rollup();
+        assert_eq!(rollup.attested_shards, 4);
+        assert!(rollup.identity_digest.is_some());
+    }
+
+    #[test]
+    fn single_payload_provision_rejected_on_multi_shard_deployment() {
+        let world = TeeWorld::new_deterministic(95);
+        let mut server =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 2, false);
+        assert!(server.boot().unwrap());
+        let err = server.provision(b"one payload for everyone".to_vec());
+        assert!(
+            matches!(err, Err(LcmError::Tee(ref m)) if m.contains("per-shard")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn swapped_provisioning_payloads_fail_deployment_verification() {
+        use crate::context::{ProvisionPayload, ShardIdentity, LABEL_PROVISION};
+        use crate::program::lcm_measurement;
+        use lcm_crypto::aead::{self, AeadKey};
+        use lcm_crypto::keys::SecretKey;
+
+        // A malicious host delivers shard 1's payload to lane 0 and
+        // vice versa (the payloads are opaque, so it CAN). Each lane
+        // then holds the other's identity — and the whole-deployment
+        // verification catches exactly that, because each quote binds
+        // the identity the enclave actually holds.
+        let world = TeeWorld::new_deterministic(96);
+        let mut server =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 2, false);
+        assert!(server.boot().unwrap());
+
+        let channel = AeadKey::from_secret(&world.admin_provision_key(&lcm_measurement()));
+        let sealed_for = |index: u32| {
+            use crate::codec::WireCodec;
+            let payload = ProvisionPayload {
+                k_p: SecretKey::from_bytes([1u8; 32]),
+                k_c: SecretKey::from_bytes([2u8; 32]),
+                k_a: SecretKey::from_bytes([3u8; 32]),
+                clients: vec![ClientId(1)],
+                quorum: Quorum::Majority,
+                identity: ShardIdentity::new(index, 2),
+            };
+            aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap()
+        };
+        // Swap: lane 0 gets identity 1, lane 1 gets identity 0.
+        server.provision_shard(0, sealed_for(1)).unwrap();
+        server.provision_shard(1, sealed_for(0)).unwrap();
+
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 96);
+        let err = admin.verify_deployment(&mut server).unwrap_err();
+        assert!(matches!(err, LcmError::Tee(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn misdelivered_first_op_is_rejected_by_the_enclave() {
+        // The host redirects an INTACT first-op wire to a sibling
+        // shard. Before shard-identity provisioning this executed
+        // (misplaced); now the sibling's enclave refuses and halts.
+        let (mut server, _admin, mut clients) = sharded_counter(4, 1);
+        let name = b"misdeliver-me".to_vec();
+        let home = shard_index(route_hash(&name), 4);
+        let sibling = (home + 1) % 4;
+        let wire = clients[0]
+            .invoke_for::<Counter>(&Counter::inc_op(&name, 1))
+            .unwrap();
+        server.submit_to_shard(sibling, wire);
+        let err = server.process_all().unwrap_err();
+        assert!(err.is_violation(), "got {err:?}");
+        assert!(
+            err.to_string().contains("shard"),
+            "violation should name the shard mismatch: {err}"
+        );
+        // The redirected wire was never executed anywhere.
+        assert_eq!(server.ops_processed(), 0);
     }
 
     #[test]

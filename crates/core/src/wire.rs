@@ -48,9 +48,12 @@ pub const ROUTE_HINT_LEN: usize = 4 + 4;
 /// [`crate::context::invoke_aad`] / [`crate::context::reply_aad`]):
 /// tampering with the envelope, or swapping a client's concurrent
 /// replies across shards, fails authentication. Delivering an *intact*
-/// wire to the wrong shard is caught by the client-context check (see
-/// the known-limitation note in [`crate::shard`] for the
-/// first-op-per-shard edge).
+/// wire to the wrong shard is caught by the receiving enclave itself:
+/// it holds an attested [`crate::context::ShardIdentity`] and rejects
+/// any wire whose envelope route — or whose route recomputed from the
+/// decrypted operation — does not map to it
+/// ([`crate::Violation::WrongShard`]), with no client history
+/// required.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteHint {
     /// The invoking client (duplicated inside the ciphertext; the

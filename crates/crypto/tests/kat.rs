@@ -14,7 +14,7 @@ use lcm_crypto::sha256;
 
 fn unhex(s: &str) -> Vec<u8> {
     let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
-    assert!(s.len().is_multiple_of(2), "odd hex length");
+    assert!(s.len() % 2 == 0, "odd hex length");
     (0..s.len())
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("bad hex"))

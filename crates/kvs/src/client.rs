@@ -56,6 +56,15 @@ impl KvsClient {
         }
     }
 
+    /// Number of server shards this client is wired for (1 unless
+    /// created with [`KvsClient::new_sharded`]). Must match the
+    /// deployment's attested shard count: the client's router and the
+    /// enclaves' identity checks agree exactly when they share the
+    /// same `(route hash, shard count)` mapping.
+    pub fn n_shards(&self) -> u32 {
+        self.inner.n_shards()
+    }
+
     /// Access to the underlying LCM client (sequence numbers, stability
     /// watermark, recording).
     pub fn lcm(&self) -> &LcmClient {

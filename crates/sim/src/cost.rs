@@ -89,6 +89,15 @@ pub struct CostModel {
     pub enclave_exec: Duration,
     /// One SHA-256 hash-chain step (LCM only).
     pub hash_step: Duration,
+    /// The in-enclave shard-identity route check (LCM only): FNV-1a
+    /// over the operation's partition key, recomputed from the
+    /// decrypted plaintext, plus the modulo comparison against the
+    /// enclave's attested `(index, count)`. A few dozen bytes hashed
+    /// per request — noise next to the AEAD work, but modelled so the
+    /// simulator's LCM per-op cost stays an itemized account of what
+    /// the real enclave does (validated against the real stack in
+    /// `tests/sharding_validation.rs`).
+    pub route_check: Duration,
     /// Fixed cost of sealing the state, per batch.
     pub seal_fixed: Duration,
     /// Per-byte sealing cost.
@@ -123,6 +132,7 @@ impl Default for CostModel {
             aead_ns_per_byte: 1.2,
             enclave_exec: Duration::from_micros(2),
             hash_step: Duration::from_nanos(600),
+            route_check: Duration::from_nanos(120),
             seal_fixed: Duration::from_micros(3),
             seal_ns_per_byte: 0.25,
             lcm_premium_100: 0.2519,  // 1/(1-0.2012) - 1
@@ -235,7 +245,7 @@ impl CostModel {
                 let mut state = state_bytes;
                 let mut per_batch = self.ecall_overhead + self.seal(state);
                 if let ServerKind::Lcm { .. } = kind {
-                    per_op += self.hash_step;
+                    per_op += self.hash_step + self.route_check;
                     // V map entries (~100 B per client, plus the cached
                     // reply of the retry extension) enlarge the sealed
                     // state; dominated by the KVS state itself.
@@ -346,6 +356,28 @@ mod tests {
             assert!(lcm.wire_in > sgx.wire_in);
             assert!(lcm.wire_out > sgx.wire_out);
         }
+    }
+
+    #[test]
+    fn route_check_is_charged_to_lcm_only() {
+        let mut cheap = model();
+        cheap.route_check = Duration::ZERO;
+        let m = model();
+        let with_check = m.profile(ServerKind::Lcm { batch: 1 }, 1000, 100, false);
+        let without = cheap.profile(ServerKind::Lcm { batch: 1 }, 1000, 100, false);
+        assert!(with_check.per_op > without.per_op);
+        // SGX has no in-enclave router to pay for.
+        assert_eq!(
+            m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false)
+                .per_op,
+            cheap
+                .profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false)
+                .per_op
+        );
+        // The check is small: well under 1% of the LCM per-op budget,
+        // matching its footprint on the real stack.
+        let delta = with_check.per_op - without.per_op;
+        assert!(delta * 100 < with_check.per_op);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl Metrics {
         self.ops += 1;
         self.total_latency += latency;
         self.max_latency = self.max_latency.max(latency);
-        if self.ops.is_multiple_of(self.stride) {
+        if self.ops % self.stride == 0 {
             if self.samples.len() >= SAMPLE_CAP {
                 // Decimate: keep every other retained sample, double
                 // the stride.

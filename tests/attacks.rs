@@ -374,6 +374,73 @@ fn stale_state_with_fresh_keyblob_detected(mode: Mode) {
     assert!(err.is_violation());
 }
 
+fn first_op_misdelivered_to_wrong_shard_detected(mode: Mode) {
+    // The protocol's security argument needs the verifier to attest
+    // exactly the enclave that executes its operations. The host
+    // redirects a client's FIRST-ever operation — no history exists on
+    // any shard, so the client-context check `V[i] = (tc, hc)` matches
+    // the genesis entry everywhere and cannot catch the redirect. The
+    // enclave's attested shard identity must: executing a wire it does
+    // not own is a violation, not a misplaced write.
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 34);
+    let c = &mut clients[0];
+    let key = b"first-op-key".to_vec();
+    let wire = c
+        .invoke_wire(&KvOp::Put(key.clone(), b"v".to_vec()))
+        .unwrap();
+    if mode.shards() > 1 {
+        // Intact wire, wrong shard: the host's router is its own
+        // software, so it can deliver anywhere it likes.
+        let sibling = (mode.shard_of_key(&key) + 1) % mode.shards();
+        server.submit_to_shard(sibling, wire);
+    } else {
+        // A single-shard deployment has no sibling to redirect to; the
+        // closest host move is rewriting the plaintext envelope route
+        // on the intact ciphertext — which breaks the AAD binding.
+        let mut wire = wire;
+        wire[4] ^= 0x01; // a route byte of the plaintext envelope
+        server.submit(wire);
+    }
+    let err = server.process_all().unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+    if mode.shards() > 1 {
+        assert!(
+            err.to_string().contains("shard"),
+            "the violation should name the shard mismatch: {err}"
+        );
+    }
+    // Detected, not misplaced: nothing executed anywhere.
+    assert_eq!(server.ops_processed(), 0);
+}
+
+fn misdelivery_after_history_still_detected_by_enclave(mode: Mode) {
+    // A client with real history on its home shard gets a later wire
+    // redirected to a sibling it has NEVER talked to (the sibling's
+    // V[i] still holds the genesis entry — but the wire carries the
+    // home shard's context, so even pre-identity servers would catch
+    // this one; the identity check just fails faster and with sharper
+    // evidence). Either way: violation, nothing executed.
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 35);
+    let c = &mut clients[0];
+    let key = b"seasoned-key".to_vec();
+    c.put(&mut server, &key, b"v1").unwrap();
+    let ops_before = server.ops_processed();
+    let wire = c
+        .invoke_wire(&KvOp::Put(key.clone(), b"v2".to_vec()))
+        .unwrap();
+    if mode.shards() > 1 {
+        let sibling = (mode.shard_of_key(&key) + 1) % mode.shards();
+        server.submit_to_shard(sibling, wire);
+    } else {
+        let mut wire = wire;
+        wire[7] ^= 0x80;
+        server.submit(wire);
+    }
+    let err = server.process_all().unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+    assert_eq!(server.ops_processed(), ops_before);
+}
+
 all_modes!(
     rollback_one_step_detected_by_victim,
     rollback_to_genesis_detected,
@@ -389,4 +456,6 @@ all_modes!(
     wrong_world_enclave_fails_bootstrap,
     halted_context_refuses_everything,
     stale_state_with_fresh_keyblob_detected,
+    first_op_misdelivered_to_wrong_shard_detected,
+    misdelivery_after_history_still_detected_by_enclave,
 );

@@ -250,6 +250,39 @@ fn admin_status_matches_client_progress(mode: Mode) {
     assert_eq!(n, 2);
 }
 
+fn fresh_client_first_ops_reach_every_shard(mode: Mode) {
+    // Positive-path coverage for the attested-identity check: a
+    // freshly added client's FIRST operation on each shard must be
+    // accepted (no history exists anywhere, the identity check alone
+    // decides) — the misdelivery defence must not reject correctly
+    // routed genesis traffic. Keys are chosen to cover every shard of
+    // the deployment, and the deployment's shard count is what the
+    // admin provisioned.
+    let (_w, mut server, mut admin, _clients) = setup(mode, 1, 4, 9);
+    assert_eq!(server.shard_count(), mode.shards());
+    admin.add_client(&mut server, ClientId(42)).unwrap();
+    let mut fresh = mk_client(mode, ClientId(42), admin.client_key());
+    assert_eq!(fresh.n_shards(), mode.shards());
+
+    let mut covered = vec![false; mode.shards() as usize];
+    let mut i = 0u32;
+    while covered.iter().any(|c| !c) {
+        let key = format!("cover-{i}").into_bytes();
+        let shard = mode.shard_of_key(&key) as usize;
+        i += 1;
+        if covered[shard] {
+            continue;
+        }
+        covered[shard] = true;
+        fresh.put(&mut server, &key, b"genesis-write").unwrap();
+        assert_eq!(
+            fresh.get(&mut server, &key).unwrap().unwrap(),
+            b"genesis-write".to_vec()
+        );
+    }
+    assert!(!fresh.lcm().is_halted());
+}
+
 all_modes!(
     many_rounds_many_clients_stability_converges,
     reads_of_other_clients_writes_are_linearized,
@@ -261,6 +294,7 @@ all_modes!(
     single_client_group_is_immediately_stable,
     large_values_roundtrip_through_the_full_stack,
     admin_status_matches_client_progress,
+    fresh_client_first_ops_reach_every_shard,
 );
 
 #[test]

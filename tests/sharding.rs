@@ -28,6 +28,24 @@ const SHARDED: Mode = Mode::Sharded {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// The client-side router is plain 32-bit FNV-1a: an independent
+    /// reference implementation (offset basis 2166136261, prime
+    /// 16777619, written out numerically) agrees byte for byte. This
+    /// is the same public function the enclave recomputes over the
+    /// decrypted operation, so client router and in-enclave check can
+    /// only agree or both be wrong — never drift apart.
+    #[test]
+    fn route_hash_matches_reference_fnv1a(
+        key in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut reference: u32 = 2_166_136_261;
+        for &b in &key {
+            reference ^= u32::from(b);
+            reference = reference.wrapping_mul(16_777_619);
+        }
+        prop_assert_eq!(reference, route_hash(&key));
+    }
+
     /// Every key maps to exactly one shard, the mapping is total for
     /// any shard count, and recomputing it gives the same answer
     /// (determinism is what makes reboot/migration routing stable).
@@ -84,6 +102,47 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The in-enclave route recomputation agrees with the client-side
+    /// router on the REAL stack: for arbitrary keys, every correctly
+    /// routed operation is accepted (the enclave recomputed the same
+    /// route from the decrypted op) and lands on exactly the shard the
+    /// client predicted (per-shard op counters match the prediction).
+    /// A disagreement would surface as a WrongShard violation or a
+    /// count mismatch.
+    #[test]
+    fn in_enclave_route_recomputation_agrees_with_client_router(
+        keys in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..24), 1..10),
+        seed in 0u64..200,
+    ) {
+        const SHARDS: u32 = 4;
+        let world = TeeWorld::new_deterministic(seed ^ 0x5a5a);
+        let storage = Arc::new(MemoryStorage::new());
+        let mut server = lcm::core::shard::build_sharded::<KvStore>(
+            &world, 1, storage, 4, SHARDS, false);
+        prop_assert!(server.boot().unwrap());
+        let mut admin = AdminHandle::new_deterministic(
+            &world, vec![ClientId(1)], Quorum::Majority, seed);
+        admin.bootstrap(&mut server).unwrap();
+        let mut client = KvsClient::new_sharded(ClientId(1), admin.client_key(), SHARDS);
+
+        let mut predicted = [0u64; SHARDS as usize];
+        for (i, key) in keys.iter().enumerate() {
+            predicted[shard_index(route_hash(key), SHARDS) as usize] += 1;
+            client.put(&mut server, key, &[i as u8]).unwrap();
+        }
+        let stats = server.shard_stats();
+        for (shard, row) in stats.iter().enumerate() {
+            // The shard executed exactly the slice the client routed.
+            prop_assert!(row.ops == predicted[shard],
+                "shard {shard}: executed {} vs routed {}", row.ops, predicted[shard]);
+        }
+    }
+}
+
 /// Routing is stable across migration: a sharded deployment exports
 /// per-shard tickets, a fresh deployment (different platforms, fresh
 /// medium) imports them, and every key reads back through the same
@@ -104,7 +163,11 @@ fn routing_stable_across_migration() {
 
     let mut target = mk_server::<KvStore>(SHARDED, &world, 200, Arc::new(MemoryStorage::new()), 4);
     assert!(target.boot().unwrap());
-    admin.migrate(&mut origin, &mut target).unwrap();
+    // Migration re-verifies the whole target deployment: one
+    // identity-bound quote per imported shard.
+    let manifest = admin.migrate(&mut origin, &mut target).unwrap();
+    assert_eq!(manifest.shards, 4);
+    assert_eq!(manifest.quotes.len(), 4);
 
     for (i, key) in keys.iter().enumerate() {
         let got = client.get(&mut target, key).unwrap();
