@@ -10,15 +10,30 @@
 //! cargo run -p lcm-bench --bin bench_snapshot --release
 //! ```
 //!
+//! Two workloads:
+//!
+//! * **Uniform** (`sync` / `pipelined` × shards {1, 4, 8}) — every
+//!   client PUTs its own key, keys spread by route hash; rounds of
+//!   submit-all/process-all on the single-driver path. Tracks the
+//!   PR 2/3 levers (async writes, shard fan-out).
+//! * **Skewed** (`*-hot` vs `*-fe`, 8 shards) — half the clients hammer
+//!   one hot shard, measured over a fixed wall-clock window. `*-hot`
+//!   drives the identical deployment single-threaded (every round
+//!   barriers on the hot shard's multi-batch backlog); `*-fe` runs the
+//!   concurrent transport `Frontend` (per-shard driver threads,
+//!   per-client closed loops on their own threads), which keeps the
+//!   cold shards serving while the hot shard grinds. The tracked
+//!   signal is `frontend_speedup_8shards`.
+//!
 //! The file lands in `$LCM_OUT_DIR` when set, else the working
 //! directory. Numbers are wall-clock and machine-dependent — the
-//! tracked signal is the *ratio* between configurations (async vs
-//! sync, 4 shards vs 1), which is hardware-stable because the store
-//! cost is modelled (`DelayedStorage`).
+//! tracked signals are the *ratios* between configurations, which are
+//! hardware-stable because the store cost is modelled
+//! (`DelayedStorage`).
 
 use std::time::Duration;
 
-use lcm_bench::shardbench::{measure, ShardRun};
+use lcm_bench::shardbench::{measure, measure_for, measure_frontend_for, ShardRun};
 
 const CLIENTS: u32 = 64;
 const BATCH: usize = 16;
@@ -26,7 +41,14 @@ const BATCH: usize = 16;
 /// is the clear bottleneck in both modes, keeping the recorded ratios
 /// stable across runner hardware.
 const STORE_DELAY: Duration = Duration::from_micros(400);
-const SHARDS: [u32; 2] = [1, 4];
+const SHARDS: [u32; 3] = [1, 4, 8];
+
+/// Skewed-workload parameters: half the clients on one hot shard, a
+/// store slow enough that the hot shard's backlog dominates a
+/// single-driver round.
+const HOT_CLIENTS: u32 = 32;
+const HOT_SHARDS: u32 = 8;
+const HOT_STORE_DELAY: Duration = Duration::from_millis(4);
 
 fn quick() -> bool {
     std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
@@ -34,6 +56,12 @@ fn quick() -> bool {
 
 fn main() {
     let rounds = if quick() { 2 } else { 8 };
+    let window = if quick() {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_millis(1200)
+    };
+
     let mut results: Vec<(String, u32, f64)> = Vec::new();
     for pipelined in [false, true] {
         for &shards in &SHARDS {
@@ -44,11 +72,35 @@ fn main() {
                 clients: CLIENTS,
                 rounds,
                 store_delay: STORE_DELAY,
+                hot_clients: 0,
             });
             let mode = if pipelined { "pipelined" } else { "sync" };
-            println!("{mode:>9} x {shards} shard(s): {ops:>10.0} ops/s");
+            println!("{mode:>13} x {shards} shard(s): {ops:>10.0} ops/s");
             results.push((mode.to_string(), shards, ops));
         }
+    }
+
+    // Skewed workload: the same deployment and key set, single-driver
+    // vs concurrent front-end, over the same wall-clock window.
+    for pipelined in [false, true] {
+        let cfg = ShardRun {
+            shards: HOT_SHARDS,
+            batch: BATCH,
+            pipelined,
+            clients: CLIENTS,
+            rounds,
+            store_delay: HOT_STORE_DELAY,
+            hot_clients: HOT_CLIENTS,
+        };
+        let base = if pipelined { "pipelined" } else { "sync" };
+        let hot = measure_for(&cfg, window);
+        let hot_mode = format!("{base}-hot");
+        println!("{hot_mode:>13} x {HOT_SHARDS} shard(s): {hot:>10.0} ops/s");
+        results.push((hot_mode, HOT_SHARDS, hot));
+        let fe = measure_frontend_for(&cfg, HOT_SHARDS as usize, window);
+        let fe_mode = format!("{base}-fe");
+        println!("{fe_mode:>13} x {HOT_SHARDS} shard(s): {fe:>10.0} ops/s");
+        results.push((fe_mode, HOT_SHARDS, fe));
     }
 
     let ops_of = |mode: &str, shards: u32| {
@@ -60,7 +112,13 @@ fn main() {
     };
     let sync_speedup = ops_of("sync", 4) / ops_of("sync", 1);
     let pipe_speedup = ops_of("pipelined", 4) / ops_of("pipelined", 1);
+    let fe_sync = ops_of("sync-fe", HOT_SHARDS) / ops_of("sync-hot", HOT_SHARDS);
+    let fe_pipe = ops_of("pipelined-fe", HOT_SHARDS) / ops_of("pipelined-hot", HOT_SHARDS);
     println!("4-shard speedup: sync {sync_speedup:.2}x, pipelined {pipe_speedup:.2}x");
+    println!(
+        "front-end speedup at {HOT_SHARDS} shards (skewed): sync {fe_sync:.2}x, \
+         pipelined {fe_pipe:.2}x"
+    );
 
     // Hand-rolled JSON: the sanctioned dependency set has no JSON
     // serializer, and the schema is flat enough not to need one.
@@ -68,8 +126,12 @@ fn main() {
     json.push_str("{\n  \"schema\": \"lcm-bench-snapshot/1\",\n");
     json.push_str(&format!(
         "  \"config\": {{\"clients\": {CLIENTS}, \"batch\": {BATCH}, \
-         \"store_delay_us\": {}, \"rounds\": {rounds}}},\n",
-        STORE_DELAY.as_micros()
+         \"store_delay_us\": {}, \"rounds\": {rounds}, \
+         \"hot_clients\": {HOT_CLIENTS}, \"hot_store_delay_us\": {}, \
+         \"window_ms\": {}}},\n",
+        STORE_DELAY.as_micros(),
+        HOT_STORE_DELAY.as_micros(),
+        window.as_millis()
     ));
     json.push_str("  \"results\": [\n");
     for (i, (mode, shards, ops)) in results.iter().enumerate() {
@@ -80,7 +142,10 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_4shards\": {{\"sync\": {sync_speedup:.3}, \"pipelined\": {pipe_speedup:.3}}}\n"
+        "  \"speedup_4shards\": {{\"sync\": {sync_speedup:.3}, \"pipelined\": {pipe_speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"frontend_speedup_8shards\": {{\"sync\": {fe_sync:.3}, \"pipelined\": {fe_pipe:.3}}}\n"
     ));
     json.push_str("}\n");
 

@@ -353,6 +353,25 @@ pub mod shardbench {
         pub rounds: u32,
         /// Modelled write+fsync latency per store call.
         pub store_delay: Duration,
+        /// Workload skew: this many of the clients write keys owned by
+        /// shard 0 (the hot shard); the rest spread by route hash.
+        /// `0` is the uniform workload. Skew is where the concurrent
+        /// front-end earns its keep: a lock-step driver makes every
+        /// client wait for the hot shard's extra batch cycles, while
+        /// independent lane drivers keep the cold shards serving.
+        pub hot_clients: u32,
+    }
+
+    /// The key client `i` writes under `cfg`: pinned to shard 0 for
+    /// the first `hot_clients` clients, spread by route hash for the
+    /// rest. Shared by the single-driver and front-end measurements so
+    /// their cells stay comparable.
+    pub fn client_key(cfg: &ShardRun, i: u32) -> Vec<u8> {
+        if i < cfg.hot_clients {
+            // The i-th key that routes to shard 0.
+            return lcm_core::shard::nth_key_routing_to(0, cfg.shards, "hot", i);
+        }
+        format!("k{i}").into_bytes()
     }
 
     /// A live sharded KVS stack: server + bootstrapped clients, ready
@@ -360,6 +379,7 @@ pub mod shardbench {
     pub struct ShardStack {
         server: Box<dyn BatchServer>,
         clients: Vec<LcmClient>,
+        keys: Vec<Vec<u8>>,
         payload: Vec<u8>,
     }
 
@@ -370,7 +390,7 @@ pub mod shardbench {
         pub fn round(&mut self) {
             use lcm_core::codec::WireCodec;
             for (i, c) in self.clients.iter_mut().enumerate() {
-                let op = KvOp::Put(format!("k{i}").into_bytes(), self.payload.clone());
+                let op = KvOp::Put(self.keys[i].clone(), self.payload.clone());
                 self.server
                     .submit(c.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
             }
@@ -408,9 +428,11 @@ pub mod shardbench {
             .iter()
             .map(|&id| LcmClient::new_sharded(id, admin.client_key(), cfg.shards))
             .collect();
+        let keys = (0..cfg.clients).map(|i| client_key(cfg, i)).collect();
         ShardStack {
             server,
             clients,
+            keys,
             payload: vec![0x42u8; 100],
         }
     }
@@ -425,5 +447,151 @@ pub mod shardbench {
         }
         stack.flush();
         f64::from(cfg.clients * cfg.rounds) / t0.elapsed().as_secs_f64()
+    }
+
+    /// Time-bounded [`measure`]: runs whole submit-all/process-all
+    /// rounds until `window` has elapsed and reports ops/s over the
+    /// actual elapsed time. This is the single-driver cell of the
+    /// front-end comparison — under a skewed workload every round
+    /// lasts as long as the hot shard's batch backlog, and the cold
+    /// shards' clients are barred from submitting again until the
+    /// whole round completes.
+    pub fn measure_for(cfg: &ShardRun, window: Duration) -> f64 {
+        let mut stack = setup(cfg);
+        let mut ops = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed() < window {
+            stack.round();
+            ops += u64::from(cfg.clients);
+        }
+        stack.flush();
+        ops as f64 / t0.elapsed().as_secs_f64()
+    }
+
+    /// The same workload as [`measure`], driven through the concurrent
+    /// transport front-end: the deployment sits behind
+    /// `lcm_core::transport::Frontend` with `driver_threads` lane
+    /// drivers, and every client runs its own closed loop on its own
+    /// OS thread through a `FrontendPort` — independent clients
+    /// submitting from independent threads, no global round barrier.
+    ///
+    /// The single-driver [`measure`] waits for the *slowest* shard's
+    /// full backlog before any client may continue; here each shard
+    /// serves its own clients at its own pace, which is what lets a
+    /// deployment whose hot shard needs several batch cycles per round
+    /// keep the other shards busy meanwhile.
+    pub fn measure_frontend(cfg: &ShardRun, driver_threads: usize) -> f64 {
+        measure_frontend_debug(cfg, driver_threads).0
+    }
+
+    /// [`measure_frontend`] plus the deployment's `(ops, batches)`
+    /// counters — how well the front-end's batch forming amortized the
+    /// seal-and-store cycles.
+    pub fn measure_frontend_debug(cfg: &ShardRun, driver_threads: usize) -> (f64, u64, u64) {
+        measure_frontend_tuned(cfg, driver_threads, lcm_core::transport::BATCH_LINGER)
+    }
+
+    /// [`measure_frontend_debug`] with an explicit batch-forming
+    /// linger.
+    pub fn measure_frontend_tuned(
+        cfg: &ShardRun,
+        driver_threads: usize,
+        linger: std::time::Duration,
+    ) -> (f64, u64, u64) {
+        run_frontend(cfg, driver_threads, linger, FeRun::Rounds(cfg.rounds))
+    }
+
+    /// Time-bounded front-end measurement (the counterpart of
+    /// [`measure_for`]): every client loops until `window` elapses,
+    /// entirely at its own shard's pace. Under a skewed workload the
+    /// cold shards' clients keep completing operations while the hot
+    /// shard works through its backlog — the throughput the
+    /// single-driver barrier gives up.
+    pub fn measure_frontend_for(cfg: &ShardRun, driver_threads: usize, window: Duration) -> f64 {
+        run_frontend(
+            cfg,
+            driver_threads,
+            lcm_core::transport::BATCH_LINGER,
+            FeRun::Window(window),
+        )
+        .0
+    }
+
+    enum FeRun {
+        Rounds(u32),
+        Window(Duration),
+    }
+
+    fn run_frontend(
+        cfg: &ShardRun,
+        driver_threads: usize,
+        linger: std::time::Duration,
+        run: FeRun,
+    ) -> (f64, u64, u64) {
+        use lcm_core::codec::WireCodec;
+        use lcm_core::transport::{DriveMode, Frontend};
+
+        let world = TeeWorld::new_deterministic(8_900 + u64::from(cfg.shards));
+        let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), cfg.store_delay));
+        let server =
+            build_sharded::<KvStore>(&world, 1, storage, cfg.batch, cfg.shards, cfg.pipelined);
+        let mut fe =
+            Frontend::new(server, driver_threads, DriveMode::Continuous).expect("sharded plane");
+        fe.set_linger(linger);
+        assert!(fe.boot().unwrap());
+        let ids: Vec<ClientId> = (1..=cfg.clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 13);
+        admin.bootstrap(&mut fe).unwrap();
+
+        let payload = vec![0x42u8; 100];
+        let (rounds, deadline) = match run {
+            FeRun::Rounds(r) => (Some(r), None),
+            FeRun::Window(w) => (None, Some(Instant::now() + w)),
+        };
+        let t0 = Instant::now();
+        let workers: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let mut client = LcmClient::new_sharded(id, admin.client_key(), cfg.shards);
+                let port = fe.connect(id);
+                let payload = payload.clone();
+                let key = client_key(cfg, i as u32);
+                std::thread::spawn(move || {
+                    let mut done = 0u64;
+                    loop {
+                        match (rounds, deadline) {
+                            (Some(r), _) if done >= u64::from(r) => break,
+                            (_, Some(d)) if Instant::now() >= d => break,
+                            _ => {}
+                        }
+                        let op = KvOp::Put(key.clone(), payload.clone());
+                        port.send(client.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
+                        let reply = port
+                            .recv_timeout(std::time::Duration::from_secs(60))
+                            .expect("closed-loop reply");
+                        client.handle_reply(&reply).unwrap();
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        let elapsed = t0.elapsed();
+        fe.flush_persists().unwrap();
+        let ops = total as f64 / elapsed.as_secs_f64();
+        if std::env::var("LCM_FE_DEBUG").is_ok() {
+            for s in fe.server().shard_stats() {
+                eprintln!(
+                    "  lane {}: ops={} batches={} avg={:.1}",
+                    s.shard,
+                    s.ops,
+                    s.batches,
+                    s.ops as f64 / s.batches.max(1) as f64
+                );
+            }
+        }
+        (ops, fe.ops_processed(), fe.batches_processed())
     }
 }

@@ -394,6 +394,19 @@ impl LcmClient {
     /// * [`LcmError::Violation`] with [`Violation::UnexpectedReply`] —
     ///   no operation pending.
     pub fn handle_reply(&mut self, wire: &[u8]) -> Result<Completion> {
+        self.handle_reply_on(wire).map(|(_, done)| done)
+    }
+
+    /// [`LcmClient::handle_reply`], additionally reporting **which
+    /// shard's** pending operation the reply completed (identified by
+    /// AAD authentication, not by delivery order). Scatter-gather
+    /// callers use the shard index to pair each merged leg back to the
+    /// operation it answers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LcmClient::handle_reply`].
+    pub fn handle_reply_on(&mut self, wire: &[u8]) -> Result<(u32, Completion)> {
         if self.halted {
             return Err(LcmError::Halted);
         }
@@ -480,13 +493,25 @@ impl LcmClient {
             });
         }
 
-        Ok(Completion {
-            result: reply.result,
-            seq: reply.t,
-            stable: reply.q,
-        })
+        Ok((
+            shard,
+            Completion {
+                result: reply.result,
+                seq: reply.t,
+                stable: reply.q,
+            },
+        ))
     }
 }
+
+// A client session is plain `Send` data — independent clients submit
+// from independent threads through the concurrent transport front-end
+// ([`crate::transport::Frontend`]). This fails to compile if a future
+// field change silently breaks that.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<LcmClient>();
+};
 
 #[cfg(test)]
 mod tests {

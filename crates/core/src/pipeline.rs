@@ -299,6 +299,9 @@ impl<F: Functionality> BatchServer for PipelinedServer<F> {
     fn queued(&self) -> usize {
         self.inner.queued()
     }
+    fn batch_limit(&self) -> usize {
+        BatchServer::batch_limit(&self.inner)
+    }
     fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
         PipelinedServer::step(self)
     }

@@ -436,8 +436,31 @@ pub trait BatchServer: Send {
         self.submit(invoke_wire);
     }
 
+    /// The thread-safe `&self`-submission surface of this server, if
+    /// it has one: a handle through which independent producer threads
+    /// submit wires and driver threads pump lanes concurrently (see
+    /// [`crate::transport::TransportPlane`] /
+    /// [`crate::transport::Frontend`]).
+    ///
+    /// Single-enclave servers return `None` (their owner is their only
+    /// driver); [`crate::shard::ShardedServer`] returns its shared
+    /// core. Wrap a solo server in a one-shard `ShardedServer` (or use
+    /// [`crate::transport::Frontend::solo`]) to drive it through the
+    /// concurrent front-end.
+    fn transport_plane(&self) -> Option<std::sync::Arc<dyn crate::transport::TransportPlane>> {
+        None
+    }
+
     /// Number of queued, unprocessed messages.
     fn queued(&self) -> usize;
+
+    /// The server's batch limit (operations per seal-and-store
+    /// cycle) — a *hint* for batch-forming front-ends: driving a lane
+    /// with far fewer queued wires than this wastes seal/store cycles
+    /// the single-threaded loop would have amortized.
+    fn batch_limit(&self) -> usize {
+        1
+    }
 
     /// Processes one batch. See [`LcmServer::step`].
     ///
@@ -531,8 +554,14 @@ impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
     fn submit_to_shard(&mut self, shard: u32, invoke_wire: Vec<u8>) {
         (**self).submit_to_shard(shard, invoke_wire);
     }
+    fn transport_plane(&self) -> Option<std::sync::Arc<dyn crate::transport::TransportPlane>> {
+        (**self).transport_plane()
+    }
     fn queued(&self) -> usize {
         (**self).queued()
+    }
+    fn batch_limit(&self) -> usize {
+        (**self).batch_limit()
     }
     fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
         (**self).step()
@@ -581,6 +610,9 @@ impl<F: Functionality> BatchServer for LcmServer<F> {
     }
     fn queued(&self) -> usize {
         LcmServer::queued(self)
+    }
+    fn batch_limit(&self) -> usize {
+        self.batch_limit
     }
     fn step(&mut self) -> Result<Vec<(ClientId, Vec<u8>)>> {
         LcmServer::step(self)

@@ -72,9 +72,27 @@
 //! client's earlier tickets have been delivered. Across clients,
 //! replies are emitted in global ticket order, keeping runs
 //! deterministic.
+//!
+//! ## Concurrent driving
+//!
+//! The ingress plane, the lanes, and the ticket book live in a shared
+//! thread-safe core, so the deployment is **not** bound to a single
+//! driving thread: submission and lane driving need only `&self`, and
+//! any number of driver threads may pump different lanes at once (each
+//! lane is still stepped by at most one driver at a time). The
+//! single-threaded path — `submit` + `process_all` from one caller —
+//! remains exactly as before (including inline back-pressure relief
+//! when an ingress queue fills with nobody else to drain it), while
+//! [`crate::transport::Frontend`] attaches a pool of driver threads to
+//! the same core through [`crate::transport::TransportPlane`] and
+//! turns a full ingress into submitter back-pressure instead. A wire
+//! is tracked from ticket issue to *settlement* (reply released, or
+//! written off by a crash-stop), which is what the front-end's
+//! quiescence barrier waits on.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use lcm_crypto::sha256::Digest;
 use lcm_runtime::queue::{BoundedQueue, QueueStats};
@@ -125,6 +143,31 @@ pub fn route_for(client: ClientId, shard_key: Option<&[u8]>) -> u32 {
 /// Maps a route hash onto one of `n` shards.
 pub fn shard_index(route: u32, n: u32) -> u32 {
     route % n.max(1)
+}
+
+/// The `nth` key (0-based) of the form `{prefix}{j}` (j = 0, 1, …)
+/// whose route hash maps to `shard` of a `shards`-shard deployment —
+/// the deterministic way callers address one specific shard:
+/// scatter-gather scan pins, skewed benchmark workloads, per-shard
+/// test keys. FNV-1a reaches every residue within a few candidates,
+/// so the probe is short.
+///
+/// # Panics
+///
+/// Panics when `shard >= max(shards, 1)` (no key can route there).
+pub fn nth_key_routing_to(shard: u32, shards: u32, prefix: &str, nth: u32) -> Vec<u8> {
+    assert!(shard < shards.max(1), "shard {shard} of {shards}");
+    let mut seen = 0;
+    for j in 0..=u32::MAX {
+        let key = format!("{prefix}{j}").into_bytes();
+        if shard_index(route_hash(&key), shards) == shard {
+            if seen == nth {
+                return key;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("FNV-1a reaches every residue infinitely often")
 }
 
 /// Per-shard activity counters, rolled up by [`ShardStatsRollup`].
@@ -219,12 +262,451 @@ struct Lane<S> {
 }
 
 struct Shard<S> {
-    lane: Arc<Mutex<Lane<S>>>,
-    ingress: Arc<BoundedQueue<Ticketed>>,
+    lane: Mutex<Lane<S>>,
+    ingress: BoundedQueue<Ticketed>,
+    /// When the lane's oldest undriven wire arrived — the clock behind
+    /// the batch-forming linger gate of
+    /// [`crate::transport::TransportPlane::drive`]. `None` when the
+    /// lane was last seen drained.
+    pending_since: Mutex<Option<std::time::Instant>>,
 }
 
-fn lock<S>(lane: &Arc<Mutex<Lane<S>>>) -> MutexGuard<'_, Lane<S>> {
+fn lock<S>(lane: &Mutex<Lane<S>>) -> MutexGuard<'_, Lane<S>> {
     lane.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The reply demux book: every accepted wire's ticket from issue to
+/// settlement, plus the released replies awaiting collection.
+///
+/// A ticket *settles* when its reply is released into `ready` (in
+/// global ticket order, per-client FIFO) or when it is written off
+/// (crash-stop, shard crash). `issued == settled` is the quiescence
+/// predicate the concurrent front-end waits on.
+struct ReplyBook {
+    next_ticket: u64,
+    /// Tickets handed out so far.
+    issued: u64,
+    /// Tickets released or written off.
+    settled: u64,
+    /// Per-client tickets not yet released, in submission order.
+    order: BTreeMap<ClientId, VecDeque<u64>>,
+    /// Replies completed out of order, waiting for earlier tickets.
+    held: BTreeMap<ClientId, BTreeMap<u64, Vec<u8>>>,
+    /// Replies released in order but not yet collected by a caller —
+    /// the reply plane's out-buffer (survives a failing step, so
+    /// healthy shards' replies outlive a sibling's crash-stop).
+    ready: VecDeque<(ClientId, Vec<u8>)>,
+    /// First failure recorded by a lane drive since the last
+    /// collection (later failures in the same window are dropped, as
+    /// the single-driver server always did).
+    deferred_error: Option<LcmError>,
+}
+
+impl ReplyBook {
+    fn new() -> Self {
+        ReplyBook {
+            next_ticket: 0,
+            issued: 0,
+            settled: 0,
+            order: BTreeMap::new(),
+            held: BTreeMap::new(),
+            ready: VecDeque::new(),
+            deferred_error: None,
+        }
+    }
+
+    /// Releases every held reply whose client has no earlier
+    /// unsettled ticket, in global ticket order, into `ready`.
+    fn release_ready(&mut self) {
+        let mut released: Vec<(u64, ClientId, Vec<u8>)> = Vec::new();
+        for (client, tickets) in self.order.iter_mut() {
+            while let Some(&front) = tickets.front() {
+                let Some(wire) = self
+                    .held
+                    .get_mut(client)
+                    .and_then(|waiting| waiting.remove(&front))
+                else {
+                    break;
+                };
+                released.push((front, *client, wire));
+                tickets.pop_front();
+            }
+        }
+        self.order.retain(|_, tickets| !tickets.is_empty());
+        self.held.retain(|_, waiting| !waiting.is_empty());
+        released.sort_by_key(|&(ticket, _, _)| ticket);
+        self.settled += released.len() as u64;
+        self.ready
+            .extend(released.into_iter().map(|(_, client, wire)| (client, wire)));
+    }
+
+    /// Strikes written-off tickets so a crash-stopped shard cannot
+    /// stall the delivery of other shards' replies to the same
+    /// clients, then releases anything that just became unblocked.
+    fn purge(&mut self, purged: Vec<(u64, ClientId)>) {
+        for (ticket, client) in purged {
+            if let Some(tickets) = self.order.get_mut(&client) {
+                let before = tickets.len();
+                tickets.retain(|&t| t != ticket);
+                self.settled += (before - tickets.len()) as u64;
+            }
+            if let Some(waiting) = self.held.get_mut(&client) {
+                waiting.remove(&ticket);
+            }
+        }
+        self.order.retain(|_, tickets| !tickets.is_empty());
+        self.held.retain(|_, waiting| !waiting.is_empty());
+        self.release_ready();
+    }
+}
+
+/// The shared, thread-safe core of a sharded deployment: the ingress
+/// plane (per-shard bounded queues), the execution lanes, and the
+/// reply demux book. `ShardedServer` owns it behind an `Arc` and the
+/// concurrent transport front-end ([`crate::transport::Frontend`])
+/// drives it from worker threads through the
+/// [`crate::transport::TransportPlane`] it implements — submission and
+/// driving need only `&self`.
+struct ShardCore<S> {
+    shards: Vec<Shard<S>>,
+    book: Mutex<ReplyBook>,
+    /// Notified whenever `settled` advances or an error is recorded —
+    /// what [`crate::transport::TransportPlane::wait_quiescent`] waits
+    /// on.
+    settled_cv: Condvar,
+    /// Work-arrival signal for attached driver threads.
+    work: Mutex<u64>,
+    work_cv: Condvar,
+    /// Driver threads currently willing to drain the ingress. With
+    /// none attached, a full ingress is relieved *inline* by the
+    /// submitting thread (there is nobody else to drain it — blocking
+    /// would deadlock the single driver); with drivers attached, a
+    /// full ingress blocks the submitter instead (back-pressure).
+    active_drivers: AtomicUsize,
+}
+
+impl<S: BatchServer> ShardCore<S> {
+    fn new(servers: Vec<S>, ingress_capacity: usize) -> Self {
+        ShardCore {
+            shards: servers
+                .into_iter()
+                .map(|server| Shard {
+                    lane: Mutex::new(Lane {
+                        server,
+                        inflight: VecDeque::new(),
+                    }),
+                    ingress: BoundedQueue::new(ingress_capacity),
+                    pending_since: Mutex::new(None),
+                })
+                .collect(),
+            book: Mutex::new(ReplyBook::new()),
+            settled_cv: Condvar::new(),
+            work: Mutex::new(0),
+            work_cv: Condvar::new(),
+            active_drivers: AtomicUsize::new(0),
+        }
+    }
+
+    fn book(&self) -> MutexGuard<'_, ReplyBook> {
+        self.book.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn notify_settled(&self) {
+        self.settled_cv.notify_all();
+    }
+
+    fn notify_work_arrived(&self) {
+        let mut epoch = self.work.lock().unwrap_or_else(|e| e.into_inner());
+        *epoch += 1;
+        drop(epoch);
+        self.work_cv.notify_all();
+    }
+
+    /// Tickets and enqueues one wire into `shard`'s bounded ingress
+    /// (the shared tail of `submit` and `submit_to_shard`; the caller
+    /// has peeled the envelope exactly once).
+    fn enqueue(&self, client: ClientId, shard: usize, invoke_wire: Vec<u8>) {
+        let ticket = {
+            let mut book = self.book();
+            let t = book.next_ticket;
+            book.next_ticket += 1;
+            book.issued += 1;
+            book.order.entry(client).or_default().push_back(t);
+            t
+        };
+        let mut item = (ticket, client, invoke_wire);
+        loop {
+            use lcm_runtime::queue::PushError;
+            match self.shards[shard].ingress.try_push(item) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    if self.active_drivers.load(Ordering::SeqCst) > 0 {
+                        // Attached front-end drivers drain the queue:
+                        // block with back-pressure instead of stealing
+                        // their batch.
+                        self.notify_work_arrived();
+                        let _ = self.shards[shard].ingress.push(back);
+                        break;
+                    }
+                    // No other thread will drain the queue: execute one
+                    // of this shard's batches inline (back-pressure
+                    // relief; replies land in the book's out-buffer,
+                    // failures defer). If the lane is momentarily owned
+                    // by someone else (a pump driver mid-store), back
+                    // off instead of spinning on try_push/try_lock.
+                    item = back;
+                    if self.drive(shard as u32, None) != crate::transport::DriveStatus::Progress {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+                // The ingress is never closed while the server exists.
+                Err(PushError::Closed(_)) => break,
+            }
+        }
+        {
+            let mut since = self.shards[shard]
+                .pending_since
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            if since.is_none() {
+                *since = Some(std::time::Instant::now());
+            }
+        }
+        self.notify_work_arrived();
+    }
+
+    fn route_and_enqueue(&self, invoke_wire: Vec<u8>) {
+        // Malformed wires (shorter than the envelope) still get
+        // delivered — to shard 0 — so the enclave rejects them with a
+        // detectable violation instead of the host silently dropping.
+        let n = self.shards.len() as u32;
+        let (client, shard) = match RouteHint::peel(&invoke_wire) {
+            Some((hint, _)) => (hint.client, shard_index(hint.route, n)),
+            None => (ClientId(0), 0),
+        };
+        self.enqueue(client, shard as usize, invoke_wire);
+    }
+
+    /// One drive of lane `idx`: feed its ingress into the server,
+    /// execute one batch, book the replies (or write the lane's
+    /// in-flight tickets off on a crash-stop). A lane another driver
+    /// is currently on is reported busy rather than waited on.
+    ///
+    /// With `gate = Some(linger)`, a lane holding *less than one
+    /// batch* whose oldest wire has waited under `linger` is left to
+    /// fill instead of being executed — free-running drivers would
+    /// otherwise pounce on one-wire batches and squander the
+    /// seal-and-store amortization the batch limit exists for.
+    fn drive(&self, idx: u32, gate: Option<std::time::Duration>) -> crate::transport::DriveStatus {
+        use crate::transport::DriveStatus;
+        let shard = &self.shards[idx as usize];
+        let Ok(mut lane) = shard.lane.try_lock() else {
+            // Another driver (or a control-plane operation) owns the
+            // lane; let it make the progress.
+            return DriveStatus::Busy;
+        };
+        let work = shard.ingress.len() + lane.server.queued();
+        if work == 0 {
+            return DriveStatus::Idle;
+        }
+        if let Some(linger) = gate {
+            if work < lane.server.batch_limit() {
+                let mut since = shard
+                    .pending_since
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                let now = std::time::Instant::now();
+                let oldest = *since.get_or_insert(now);
+                let waited = now.saturating_duration_since(oldest);
+                if waited < linger {
+                    return DriveStatus::Waiting(linger - waited);
+                }
+            }
+        }
+        while let Some((ticket, client, wire)) = shard.ingress.try_pop() {
+            lane.inflight.push_back((ticket, client));
+            lane.server.submit(wire);
+        }
+        // Restart the linger clock for whatever this batch leaves
+        // behind.
+        {
+            let leftover = lane.server.queued() > lane.server.batch_limit();
+            *shard
+                .pending_since
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = leftover.then(std::time::Instant::now);
+        }
+        match lane.server.step() {
+            Ok(replies) => {
+                // Replies are 1:1, in order, with the first
+                // `replies.len()` queued wires — pair them back to the
+                // tickets fed above. The reply's own client id
+                // (reported by the enclave) is authoritative for
+                // delivery. The book is updated while the lane is
+                // still held so `crash`'s lane-by-lane clearing never
+                // interleaves with a half-booked step.
+                let tickets: Vec<(u64, ClientId)> = lane.inflight.drain(..replies.len()).collect();
+                let mut book = self.book();
+                for ((ticket, _), (client, wire)) in tickets.into_iter().zip(replies) {
+                    book.held.entry(client).or_default().insert(ticket, wire);
+                }
+                book.release_ready();
+                drop(book);
+                self.notify_settled();
+                DriveStatus::Progress
+            }
+            Err(e) => {
+                // The shard crash-stops (honest-server semantics):
+                // every wire it had accepted is lost. Strike its
+                // tickets from the book so the affected clients'
+                // later replies are not held back forever — they
+                // simply retry, getting fresh tickets.
+                let purged: Vec<(u64, ClientId)> = lane.inflight.drain(..).collect();
+                drop(lane);
+                let mut book = self.book();
+                book.purge(purged);
+                book.deferred_error.get_or_insert(e);
+                drop(book);
+                self.notify_settled();
+                DriveStatus::Progress
+            }
+        }
+    }
+
+    /// Whether lane `idx` has ingress or queued work. A lane currently
+    /// locked by a driver counts as busy work.
+    fn lane_has_work(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        if !shard.ingress.is_empty() {
+            return true;
+        }
+        match shard.lane.try_lock() {
+            Ok(lane) => lane.server.queued() > 0,
+            Err(_) => true,
+        }
+    }
+
+    fn queued_total(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.ingress.len() + lock(&s.lane).server.queued())
+            .sum()
+    }
+
+    /// Pushes already-released replies back to the *front* of the
+    /// out-buffer (a failing `process_all` must not lose the replies
+    /// earlier iterations had already collected).
+    fn requeue_ready_front(&self, replies: Replies) {
+        let mut book = self.book();
+        for entry in replies.into_iter().rev() {
+            book.ready.push_front(entry);
+        }
+    }
+
+    /// Takes the first failure recorded since the last collection.
+    fn take_deferred_error(&self) -> Option<LcmError> {
+        self.book().deferred_error.take()
+    }
+
+    /// Drains the released replies, in release (global ticket) order.
+    fn take_ready_replies(&self) -> Replies {
+        self.book().ready.drain(..).collect()
+    }
+}
+
+impl<S: BatchServer + 'static> crate::transport::TransportPlane for ShardCore<S> {
+    fn lanes(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    fn submit(&self, invoke_wire: Vec<u8>) {
+        self.route_and_enqueue(invoke_wire);
+    }
+
+    fn submit_to_lane(&self, lane: u32, invoke_wire: Vec<u8>) {
+        assert!(
+            (lane as usize) < self.shards.len(),
+            "submit_to_lane({lane}) on a {}-lane deployment",
+            self.shards.len()
+        );
+        let client = match RouteHint::peel(&invoke_wire) {
+            Some((hint, _)) => hint.client,
+            None => ClientId(0),
+        };
+        self.enqueue(client, lane as usize, invoke_wire);
+    }
+
+    fn drive(&self, lane: u32, gate: Option<std::time::Duration>) -> crate::transport::DriveStatus {
+        ShardCore::drive(self, lane, gate)
+    }
+
+    fn queued(&self) -> usize {
+        self.queued_total()
+    }
+
+    fn unsettled(&self) -> u64 {
+        let book = self.book();
+        book.issued - book.settled
+    }
+
+    fn wait_quiescent(&self) {
+        let mut book = self.book();
+        while book.settled < book.issued {
+            book = self
+                .settled_cv
+                .wait(book)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_ready(&self) -> Replies {
+        self.take_ready_replies()
+    }
+
+    fn take_error(&self) -> Option<LcmError> {
+        self.take_deferred_error()
+    }
+
+    fn notify_work(&self) {
+        self.notify_work_arrived();
+    }
+
+    fn wait_work(&self, last_epoch: u64, timeout: std::time::Duration) -> u64 {
+        let mut epoch = self.work.lock().unwrap_or_else(|e| e.into_inner());
+        if *epoch == last_epoch {
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(epoch, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            epoch = guard;
+        }
+        *epoch
+    }
+
+    fn attach_drivers(&self, n: usize) {
+        self.active_drivers.fetch_add(n, Ordering::SeqCst);
+    }
+
+    fn detach_drivers(&self, n: usize) {
+        self.active_drivers.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    fn shed_ingress(&self) {
+        let mut purged: Vec<(u64, ClientId)> = Vec::new();
+        for shard in &self.shards {
+            purged.extend(
+                shard
+                    .ingress
+                    .drain_pending()
+                    .into_iter()
+                    .map(|(ticket, client, _wire)| (ticket, client)),
+            );
+        }
+        let mut book = self.book();
+        book.purge(purged);
+        drop(book);
+        self.notify_settled();
+    }
 }
 
 /// A key-partitioned fan-out server: N [`BatchServer`] shards driven
@@ -242,21 +724,11 @@ fn lock<S>(lane: &Arc<Mutex<Lane<S>>>) -> MutexGuard<'_, Lane<S>> {
 /// ([`ShardedServer::step`]) executes one batch per non-empty shard in
 /// parallel on the pool.
 pub struct ShardedServer<S: BatchServer + 'static> {
-    shards: Vec<Shard<S>>,
+    /// The shared ingress/execution/reply core; the concurrent
+    /// transport front-end holds a second `Arc` to it (see
+    /// [`BatchServer::transport_plane`]).
+    core: Arc<ShardCore<S>>,
     pool: WorkerPool,
-    next_ticket: u64,
-    /// Per-client tickets not yet delivered, in submission order.
-    order: BTreeMap<ClientId, VecDeque<u64>>,
-    /// Replies completed out of order, waiting for earlier tickets.
-    held: BTreeMap<ClientId, BTreeMap<u64, Vec<u8>>>,
-    /// Replies already released in order but not yet returned to the
-    /// caller — filled when a step also carried an error (the healthy
-    /// shards' replies survive a sibling's crash-stop) or when
-    /// back-pressure relief ran a batch inside `submit`.
-    backlog: Vec<(ClientId, Vec<u8>)>,
-    /// Shard failure hit during back-pressure relief inside `submit`
-    /// (which cannot return errors); surfaced by the next `step`.
-    deferred_error: Option<LcmError>,
     /// Digest of each shard's last attestation quote (`None` until the
     /// lane is attested; cleared on `crash`). Surfaced through
     /// [`ShardStatsRollup`] so operators can assert the *whole*
@@ -267,8 +739,8 @@ pub struct ShardedServer<S: BatchServer + 'static> {
 impl<S: BatchServer + 'static> std::fmt::Debug for ShardedServer<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedServer")
-            .field("shards", &self.shards.len())
-            .field("queued", &self.queued_total())
+            .field("shards", &self.core.shards.len())
+            .field("queued", &self.core.queued_total())
             .finish()
     }
 }
@@ -286,31 +758,16 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
     pub fn with_config(servers: Vec<S>, ingress_capacity: usize) -> Self {
         assert!(!servers.is_empty(), "a sharded server needs >= 1 shard");
         let n = servers.len();
-        let shards = servers
-            .into_iter()
-            .map(|server| Shard {
-                lane: Arc::new(Mutex::new(Lane {
-                    server,
-                    inflight: VecDeque::new(),
-                })),
-                ingress: Arc::new(BoundedQueue::new(ingress_capacity)),
-            })
-            .collect();
         ShardedServer {
-            shards,
+            core: Arc::new(ShardCore::new(servers, ingress_capacity)),
             pool: WorkerPool::new("lcm-shard", n, n),
-            next_ticket: 0,
-            order: BTreeMap::new(),
-            held: BTreeMap::new(),
-            backlog: Vec::new(),
-            deferred_error: None,
             quote_digests: vec![None; n],
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> u32 {
-        self.shards.len() as u32
+        self.core.shards.len() as u32
     }
 
     /// Runs `f` with exclusive access to shard `index`'s server — the
@@ -328,7 +785,7 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
     /// Panics if `index` is out of range.
     pub fn with_shard<R>(&mut self, index: u32, f: impl FnOnce(&mut S) -> R) -> R {
         let (result, purged) = {
-            let shard = &self.shards[index as usize];
+            let shard = &self.core.shards[index as usize];
             let mut lane = lock(&shard.lane);
             let result = f(&mut lane.server);
             // Resync: a stopped enclave (crash/power failure) — or
@@ -350,13 +807,17 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
             }
             (result, purged)
         };
-        self.purge_tickets(purged);
+        let mut book = self.core.book();
+        book.purge(purged);
+        drop(book);
+        self.core.notify_settled();
         result
     }
 
     /// Per-shard activity counters.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        self.shards
+        self.core
+            .shards
             .iter()
             .enumerate()
             .map(|(i, shard)| {
@@ -377,158 +838,13 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
         ShardStatsRollup::from_rows(self.shard_stats(), &self.quote_digests)
     }
 
-    fn queued_total(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.ingress.len() + lock(&s.lane).server.queued())
-            .sum()
-    }
-
-    /// Releases every held reply whose client has no earlier
-    /// undelivered ticket, in global ticket order.
-    fn release_ready(&mut self) -> Replies {
-        let mut ready: Vec<(u64, ClientId, Vec<u8>)> = Vec::new();
-        for (client, tickets) in self.order.iter_mut() {
-            while let Some(&front) = tickets.front() {
-                let Some(wire) = self
-                    .held
-                    .get_mut(client)
-                    .and_then(|waiting| waiting.remove(&front))
-                else {
-                    break;
-                };
-                ready.push((front, *client, wire));
-                tickets.pop_front();
-            }
-        }
-        self.order.retain(|_, tickets| !tickets.is_empty());
-        self.held.retain(|_, waiting| !waiting.is_empty());
-        ready.sort_by_key(|&(ticket, _, _)| ticket);
-        ready
-            .into_iter()
-            .map(|(_, client, wire)| (client, wire))
-            .collect()
-    }
-
     fn for_each_shard<R>(&mut self, mut f: impl FnMut(&mut S) -> Result<R>) -> Result<Vec<R>> {
-        let mut out = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        let mut out = Vec::with_capacity(self.core.shards.len());
+        for shard in &self.core.shards {
             let mut lane = lock(&shard.lane);
             out.push(f(&mut lane.server)?);
         }
         Ok(out)
-    }
-
-    /// Strikes written-off tickets from the ordering book so a
-    /// crash-stopped shard cannot stall the delivery of other shards'
-    /// replies to the same clients.
-    fn purge_tickets(&mut self, purged: Vec<(u64, ClientId)>) {
-        for (ticket, client) in purged {
-            if let Some(tickets) = self.order.get_mut(&client) {
-                tickets.retain(|&t| t != ticket);
-            }
-            if let Some(waiting) = self.held.get_mut(&client) {
-                waiting.remove(&ticket);
-            }
-        }
-        self.order.retain(|_, tickets| !tickets.is_empty());
-        self.held.retain(|_, waiting| !waiting.is_empty());
-    }
-
-    /// Tickets and enqueues one wire into `shard`'s bounded ingress
-    /// (the shared tail of `submit` and `submit_to_shard`; the caller
-    /// has peeled the envelope exactly once).
-    fn enqueue(&mut self, client: ClientId, shard: usize, invoke_wire: Vec<u8>) {
-        let ticket = self.next_ticket;
-        self.next_ticket += 1;
-        self.order.entry(client).or_default().push_back(ticket);
-        // Bounded ingress with inline relief: a saturated shard makes
-        // the submitter execute one of that shard's batches instead of
-        // blocking (there is no other thread to drain the queue — a
-        // blocking push would deadlock the single driving thread).
-        let mut item = (ticket, client, invoke_wire);
-        loop {
-            use lcm_runtime::queue::PushError;
-            match self.shards[shard].ingress.try_push(item) {
-                Ok(()) => break,
-                Err(PushError::Full(back)) => {
-                    item = back;
-                    self.relieve(shard);
-                }
-                // The ingress is never closed while the server exists.
-                Err(PushError::Closed(_)) => break,
-            }
-        }
-    }
-
-    /// Back-pressure relief: the bounded ingress of `shard` is full and
-    /// `submit` runs on the only driving thread, so blocking would
-    /// deadlock — instead, execute one batch of that shard inline.
-    /// Replies land in the backlog (returned by the next `step`);
-    /// failures are deferred the same way.
-    fn relieve(&mut self, shard: usize) {
-        let (lane, ingress) = {
-            let s = &self.shards[shard];
-            (s.lane.clone(), s.ingress.clone())
-        };
-        match step_lane(&lane, &ingress) {
-            Ok(completed) => {
-                for (ticket, client, wire) in completed {
-                    self.held.entry(client).or_default().insert(ticket, wire);
-                }
-                let ready = self.release_ready();
-                self.backlog.extend(ready);
-            }
-            Err(failure) => {
-                let (e, purged) = *failure;
-                self.purge_tickets(purged);
-                self.deferred_error.get_or_insert(e);
-            }
-        }
-    }
-}
-
-/// What a failed lane step writes off: the error itself plus every
-/// in-flight ticket of the crash-stopping shard (their replies will
-/// never come; clients retry, getting fresh tickets).
-type LaneFailure = (LcmError, Vec<(u64, ClientId)>);
-
-/// A lane step's outcome: ticketed replies, or the write-off bundle.
-type LaneOutcome = std::result::Result<Vec<(u64, ClientId, Vec<u8>)>, Box<LaneFailure>>;
-
-/// One step of a single lane: drain its ingress into the server,
-/// execute one batch, and pair the replies with their tickets.
-fn step_lane<S: BatchServer>(
-    lane: &Arc<Mutex<Lane<S>>>,
-    ingress: &Arc<BoundedQueue<Ticketed>>,
-) -> LaneOutcome {
-    let mut lane = lock(lane);
-    while let Some((ticket, client, wire)) = ingress.try_pop() {
-        lane.inflight.push_back((ticket, client));
-        lane.server.submit(wire);
-    }
-    match lane.server.step() {
-        Ok(replies) => {
-            // Replies are 1:1, in order, with the first `replies.len()`
-            // queued wires — pair them back to the tickets drained
-            // above. The reply's own client id (reported by the
-            // enclave) is authoritative for delivery.
-            let tickets: Vec<(u64, ClientId)> = lane.inflight.drain(..replies.len()).collect();
-            Ok(tickets
-                .into_iter()
-                .zip(replies)
-                .map(|((ticket, _), (client, wire))| (ticket, client, wire))
-                .collect())
-        }
-        Err(e) => {
-            // The shard crash-stops (honest-server semantics): every
-            // wire it had accepted is lost. Hand the tickets back so
-            // the fan-out layer can strike them from its ordering
-            // book — otherwise the affected clients' later replies
-            // would be held back forever.
-            let purged = lane.inflight.drain(..).collect();
-            Err(Box::new((e, purged)))
-        }
     }
 }
 
@@ -545,16 +861,23 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     }
 
     fn crash(&mut self) {
-        for shard in &self.shards {
+        for shard in &self.core.shards {
             shard.ingress.drain_pending();
             let mut lane = lock(&shard.lane);
             lane.inflight.clear();
             lane.server.crash();
         }
-        self.order.clear();
-        self.held.clear();
-        self.backlog.clear();
-        self.deferred_error = None;
+        let mut book = self.core.book();
+        book.order.clear();
+        book.held.clear();
+        book.ready.clear();
+        book.deferred_error = None;
+        // Every outstanding ticket died with the process; the book
+        // settles wholesale so a concurrent front-end's quiescence
+        // wait cannot hang on wires that no longer exist.
+        book.settled = book.issued;
+        drop(book);
+        self.core.notify_settled();
         // The enclaves restart: their identities recover from sealed
         // state, but the operational "this epoch was attested" record
         // starts over.
@@ -562,7 +885,8 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     }
 
     fn is_running(&self) -> bool {
-        self.shards
+        self.core
+            .shards
             .iter()
             .all(|s| lock(&s.lane).server.is_running())
     }
@@ -572,7 +896,7 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
         // payload: each enclave's payload carries its own identity.
         // Refusing here (rather than fanning out a clone) turns a
         // would-be identity collision into an immediate setup error.
-        if self.shards.len() > 1 {
+        if self.core.shards.len() > 1 {
             return Err(LcmError::Tee(
                 "sharded deployment requires per-shard provisioning \
                  (use provision_shard with identity-bearing payloads)"
@@ -591,14 +915,27 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     }
 
     fn shard_count(&self) -> u32 {
-        self.shards.len() as u32
+        self.core.shards.len() as u32
+    }
+
+    fn transport_plane(&self) -> Option<Arc<dyn crate::transport::TransportPlane>> {
+        Some(self.core.clone())
+    }
+
+    fn batch_limit(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|s| lock(&s.lane).server.batch_limit())
+            .max()
+            .unwrap_or(1)
     }
 
     fn attest_shard(&mut self, shard: u32, user_data: Digest) -> Result<Quote> {
-        let Some(target) = self.shards.get(shard as usize) else {
+        let Some(target) = self.core.shards.get(shard as usize) else {
             return Err(LcmError::Tee(format!(
                 "attest_shard({shard}) on a {}-shard deployment",
-                self.shards.len()
+                self.core.shards.len()
             )));
         };
         let quote = lock(&target.lane).server.attest(user_data)?;
@@ -613,24 +950,17 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     }
 
     fn provision_shard(&mut self, shard: u32, sealed_payload: Vec<u8>) -> Result<()> {
-        let Some(target) = self.shards.get(shard as usize) else {
+        let Some(target) = self.core.shards.get(shard as usize) else {
             return Err(LcmError::Tee(format!(
                 "provision_shard({shard}) on a {}-shard deployment",
-                self.shards.len()
+                self.core.shards.len()
             )));
         };
         lock(&target.lane).server.provision(sealed_payload)
     }
 
     fn submit(&mut self, invoke_wire: Vec<u8>) {
-        // Malformed wires (shorter than the envelope) still get
-        // delivered — to shard 0 — so the enclave rejects them with a
-        // detectable violation instead of the host silently dropping.
-        let (client, shard) = match RouteHint::peel(&invoke_wire) {
-            Some((hint, _)) => (hint.client, shard_index(hint.route, self.shard_count())),
-            None => (ClientId(0), 0),
-        };
-        self.enqueue(client, shard as usize, invoke_wire);
+        self.core.route_and_enqueue(invoke_wire);
     }
 
     /// # Panics
@@ -640,71 +970,51 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
     /// deliver to, and clamping silently would let an adversarial
     /// test exercise a different shard than it named.
     fn submit_to_shard(&mut self, shard: u32, invoke_wire: Vec<u8>) {
-        assert!(
-            (shard as usize) < self.shards.len(),
-            "submit_to_shard({shard}) on a {}-shard deployment",
-            self.shards.len()
-        );
-        let client = match RouteHint::peel(&invoke_wire) {
-            Some((hint, _)) => hint.client,
-            None => ClientId(0),
-        };
-        self.enqueue(client, shard as usize, invoke_wire);
+        crate::transport::TransportPlane::submit_to_lane(&*self.core, shard, invoke_wire);
     }
 
     fn queued(&self) -> usize {
-        self.queued_total()
+        self.core.queued_total()
     }
 
     fn step(&mut self) -> Result<Replies> {
-        if let Some(e) = self.deferred_error.take() {
+        // Surface a failure recorded by back-pressure relief inside
+        // `submit` (which cannot return errors) before doing new work.
+        if let Some(e) = self.core.take_deferred_error() {
             return Err(e);
         }
         let mut handles = Vec::new();
-        for shard in &self.shards {
-            if shard.ingress.is_empty() && lock(&shard.lane).server.queued() == 0 {
+        for (i, _) in self.core.shards.iter().enumerate() {
+            if !self.core.lane_has_work(i) {
                 continue;
             }
-            let lane = shard.lane.clone();
-            let ingress = shard.ingress.clone();
-            handles.push(self.pool.spawn(move || step_lane(&lane, &ingress)));
+            let core = self.core.clone();
+            handles.push(self.pool.spawn(move || core.drive(i as u32, None)));
         }
-        let mut first_err = None;
-        let mut completed = Vec::new();
+        let mut vanished = false;
         for handle in handles {
-            match handle.join() {
-                Some(Ok(mut replies)) => completed.append(&mut replies),
-                Some(Err(failure)) => {
-                    let (e, purged) = *failure;
-                    self.purge_tickets(purged);
-                    first_err = first_err.or(Some(e));
-                }
-                None => {
-                    first_err =
-                        first_err.or_else(|| Some(LcmError::Tee("shard worker vanished".into())));
-                }
-            }
+            // `None` means the worker died without completing the
+            // drive (a panic inside the lane); its tickets may never
+            // settle, so this must surface, not vanish.
+            vanished |= handle.join().is_none();
         }
-        for (ticket, client, wire) in completed {
-            self.held.entry(client).or_default().insert(ticket, wire);
-        }
-        let ready = self.release_ready();
-        if let Some(e) = first_err {
-            // Healthy shards' replies survive a sibling's crash-stop:
-            // stash them for the next successful step (this call must
-            // report the failure).
-            self.backlog.extend(ready);
+        // Drives record failures in the book; the first one recorded
+        // wins and this step reports it. Replies already released stay
+        // in the out-buffer — healthy shards' replies survive a
+        // sibling's crash-stop and are returned by the next call.
+        if let Some(e) = self.core.take_deferred_error() {
             return Err(e);
         }
-        let mut out = std::mem::take(&mut self.backlog);
-        out.extend(ready);
-        Ok(out)
+        if vanished {
+            return Err(LcmError::Tee("shard worker vanished".into()));
+        }
+        Ok(self.core.take_ready_replies())
     }
 
     fn process_all(&mut self) -> Result<Replies> {
         // Unlike the default `while queued > 0` loop, always run at
         // least one step: relief inside `submit` may have left ready
-        // replies in the backlog (or a deferred error) with nothing
+        // replies in the out-buffer (or a deferred error) with nothing
         // queued.
         let mut out = Vec::new();
         loop {
@@ -713,16 +1023,15 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
                 Err(e) => {
                     // Replies collected by earlier iterations must not
                     // die with the error: push them back onto the
-                    // backlog (ahead of anything the failing step
-                    // itself stashed) for the next successful call.
+                    // front of the out-buffer for the next successful
+                    // call.
                     if !out.is_empty() {
-                        out.append(&mut self.backlog);
-                        self.backlog = out;
+                        self.core.requeue_ready_front(out);
                     }
                     return Err(e);
                 }
             }
-            if self.queued_total() == 0 {
+            if self.core.queued_total() == 0 {
                 break;
             }
         }
@@ -759,28 +1068,30 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
             Ok(parts)
         })();
         let parts = parsed.map_err(LcmError::from)?;
-        if parts.len() != self.shards.len() {
+        if parts.len() != self.core.shards.len() {
             return Err(LcmError::Tee(format!(
                 "migration ticket carries {} shards, this deployment has {}",
                 parts.len(),
-                self.shards.len()
+                self.core.shards.len()
             )));
         }
-        for (shard, part) in self.shards.iter().zip(parts) {
+        for (shard, part) in self.core.shards.iter().zip(parts) {
             lock(&shard.lane).server.import_migration(part)?;
         }
         Ok(())
     }
 
     fn batches_processed(&self) -> u64 {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|s| lock(&s.lane).server.batches_processed())
             .sum()
     }
 
     fn ops_processed(&self) -> u64 {
-        self.shards
+        self.core
+            .shards
             .iter()
             .map(|s| lock(&s.lane).server.ops_processed())
             .sum()

@@ -206,6 +206,155 @@ impl KvsClient {
             other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
         }
     }
+
+    /// The shard a typed operation routes to under this client's
+    /// deployment shape.
+    pub fn shard_of(&self, op: &KvOp) -> u32 {
+        let bytes = op.to_bytes();
+        let key =
+            <crate::store::KvStore as lcm_core::functionality::Functionality>::shard_key(&bytes);
+        lcm_core::shard::shard_index(
+            lcm_core::shard::route_for(self.inner.id(), key),
+            self.n_shards(),
+        )
+    }
+
+    /// Runs a set of typed operations to completion with cross-shard
+    /// pipelining: operations on *different* shards are in flight
+    /// together (the per-shard sequential rule still holds, so
+    /// same-shard operations run in order), every leg's reply is
+    /// verified against that shard's own `(tc, ts, hc)` context, and
+    /// the completions come back in the input order.
+    ///
+    /// This is the scatter phase of the scatter-gather reads
+    /// ([`KvsClient::multi_get`] / [`KvsClient::scan_all`]); it drives
+    /// any [`BatchServer`] — including the concurrent transport
+    /// front-end, which it reaches through the same submit/pump
+    /// surface.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client- and server-side errors, including detected
+    /// violations on any leg.
+    pub fn fan_out<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+        ops: &[KvOp],
+    ) -> Result<Vec<KvCompletion>> {
+        use std::collections::{BTreeMap, VecDeque};
+        let mut results: Vec<Option<KvCompletion>> = (0..ops.len()).map(|_| None).collect();
+        let mut waiting: VecDeque<usize> = (0..ops.len()).collect();
+        // shard → index of the op currently in flight there.
+        let mut in_flight: BTreeMap<u32, usize> = BTreeMap::new();
+        while !waiting.is_empty() || !in_flight.is_empty() {
+            // Scatter: launch every waiting op whose shard is free.
+            let mut deferred = VecDeque::new();
+            while let Some(idx) = waiting.pop_front() {
+                let shard = self.shard_of(&ops[idx]);
+                if in_flight.contains_key(&shard) {
+                    deferred.push_back(idx);
+                    continue;
+                }
+                let wire = self.invoke_wire(&ops[idx])?;
+                server.submit(wire);
+                in_flight.insert(shard, idx);
+            }
+            waiting = deferred;
+            // Gather: one pump completes every in-flight leg; each
+            // reply names its shard (by AAD authentication), pairing
+            // it back to the op it answers.
+            let before = in_flight.len();
+            let replies = server.process_all()?;
+            for (id, wire) in replies {
+                if id != self.inner.id() {
+                    return Err(LcmError::Tee(format!(
+                        "fan-out received a reply routed to foreign client {id:?}"
+                    )));
+                }
+                let (shard, completion) = self.inner.handle_reply_on(&wire)?;
+                let idx = in_flight
+                    .remove(&shard)
+                    .ok_or_else(|| LcmError::Tee("reply for a leg not in flight".into()))?;
+                let result = KvResult::from_bytes(&completion.result).map_err(LcmError::Codec)?;
+                results[idx] = Some(KvCompletion { result, completion });
+            }
+            if in_flight.len() == before && !in_flight.is_empty() {
+                return Err(LcmError::Tee(
+                    "fan-out made no progress: in-flight legs got no replies".into(),
+                ));
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every index completed or errored"))
+            .collect())
+    }
+
+    /// Scatter-gather GET: reads `keys` with cross-shard pipelining
+    /// (one round trip per shard when the keys spread out) and returns
+    /// the values in input order. Each shard's reply is verified
+    /// against that shard's own history context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvsClient::fan_out`] errors.
+    pub fn multi_get<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let ops: Vec<KvOp> = keys.iter().map(|k| KvOp::Get(k.clone())).collect();
+        self.fan_out(server, &ops)?
+            .into_iter()
+            .map(|done| match done.result {
+                KvResult::Value(v) => Ok(v),
+                other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
+            })
+            .collect()
+    }
+
+    /// A routing pin that hashes to `shard` under this client's
+    /// deployment shape — what addresses one [`KvOp::ScanShard`] leg.
+    pub fn pin_for(&self, shard: u32) -> Vec<u8> {
+        lcm_core::shard::nth_key_routing_to(shard, self.n_shards(), "pin-", 0)
+    }
+
+    /// Scatter-gather SCAN: fans one [`KvOp::ScanShard`] leg out to
+    /// **every** shard for the same `[start..]` range, merges the
+    /// ordered legs, and returns up to `limit` records in global key
+    /// order — the cross-shard counterpart of [`KvsClient::scan`],
+    /// whose single wire only ever sees one shard's slice of a
+    /// partitioned deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvsClient::fan_out`] errors.
+    pub fn scan_all<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+        start: &[u8],
+        limit: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let ops: Vec<KvOp> = (0..self.n_shards())
+            .map(|shard| KvOp::ScanShard {
+                pin: self.pin_for(shard),
+                start: start.to_vec(),
+                limit,
+            })
+            .collect();
+        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for done in self.fan_out(server, &ops)? {
+            match done.result {
+                KvResult::Range(pairs) => merged.extend(pairs),
+                other => return Err(LcmError::Tee(format!("unexpected result {other:?}"))),
+            }
+        }
+        // Shards own disjoint key slices, so a sort of the
+        // concatenated legs is the merge.
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        merged.truncate(limit as usize);
+        Ok(merged)
+    }
 }
 
 #[cfg(test)]

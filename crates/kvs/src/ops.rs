@@ -21,20 +21,41 @@ pub enum KvOp {
         /// Maximum number of records returned.
         limit: u32,
     },
+    /// A [`KvOp::Scan`] leg of a cross-shard scatter-gather read,
+    /// *pinned* to one shard: the operation routes by `pin` (a
+    /// client-chosen key hashing to the target shard) instead of by
+    /// `start`, so the client can address the same key range on every
+    /// shard and merge the ordered legs.
+    ///
+    /// The pin travels inside the AEAD like the rest of the operation,
+    /// so the receiving enclave's attested-identity route check
+    /// recomputes it from the plaintext — a host cannot repoint a
+    /// pinned leg at a different shard.
+    ScanShard {
+        /// Routing pin; must hash to the shard this leg targets.
+        pin: Vec<u8>,
+        /// First key of the range (inclusive).
+        start: Vec<u8>,
+        /// Maximum number of records returned by this shard.
+        limit: u32,
+    },
 }
 
 pub(crate) const OP_GET: u8 = 1;
 pub(crate) const OP_PUT: u8 = 2;
 pub(crate) const OP_DEL: u8 = 3;
 pub(crate) const OP_SCAN: u8 = 4;
+pub(crate) const OP_SCAN_SHARD: u8 = 5;
 
 impl KvOp {
-    /// The key this operation touches (the range start, for scans).
+    /// The key this operation routes by (the range start for scans,
+    /// the pin for shard-pinned scan legs).
     pub fn key(&self) -> &[u8] {
         match self {
             KvOp::Get(k) | KvOp::Del(k) => k,
             KvOp::Put(k, _) => k,
             KvOp::Scan { start, .. } => start,
+            KvOp::ScanShard { pin, .. } => pin,
         }
     }
 }
@@ -60,6 +81,12 @@ impl WireCodec for KvOp {
                 w.put_u32(*limit);
                 w.put_raw(start);
             }
+            KvOp::ScanShard { pin, start, limit } => {
+                w.put_u8(OP_SCAN_SHARD);
+                w.put_bytes(pin);
+                w.put_u32(*limit);
+                w.put_raw(start);
+            }
         }
     }
 
@@ -74,6 +101,15 @@ impl WireCodec for KvOp {
             OP_SCAN => {
                 let limit = r.get_u32()?;
                 Ok(KvOp::Scan {
+                    limit,
+                    start: r.get_rest().to_vec(),
+                })
+            }
+            OP_SCAN_SHARD => {
+                let pin = r.get_bytes()?.to_vec();
+                let limit = r.get_u32()?;
+                Ok(KvOp::ScanShard {
+                    pin,
                     limit,
                     start: r.get_rest().to_vec(),
                 })
@@ -168,6 +204,16 @@ mod tests {
                 start: b"user".to_vec(),
                 limit: 50,
             },
+            KvOp::ScanShard {
+                pin: b"pin-3".to_vec(),
+                start: b"user".to_vec(),
+                limit: 50,
+            },
+            KvOp::ScanShard {
+                pin: vec![],
+                start: vec![],
+                limit: 0,
+            },
         ];
         for op in ops {
             assert_eq!(KvOp::from_bytes(&op.to_bytes()).unwrap(), op);
@@ -200,6 +246,13 @@ mod tests {
         assert_eq!(KvOp::Get(b"a".to_vec()).key(), b"a");
         assert_eq!(KvOp::Put(b"b".to_vec(), b"v".to_vec()).key(), b"b");
         assert_eq!(KvOp::Del(b"c".to_vec()).key(), b"c");
+        // A pinned scan routes by its pin, not its range start.
+        let leg = KvOp::ScanShard {
+            pin: b"pin".to_vec(),
+            start: b"a".to_vec(),
+            limit: 9,
+        };
+        assert_eq!(leg.key(), b"pin");
     }
 
     #[test]

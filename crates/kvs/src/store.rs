@@ -63,7 +63,7 @@ impl KvStore {
                 KvResult::Stored
             }
             KvOp::Del(key) => KvResult::Deleted(self.map.remove(key).is_some()),
-            KvOp::Scan { start, limit } => KvResult::Range(
+            KvOp::Scan { start, limit } | KvOp::ScanShard { start, limit, .. } => KvResult::Range(
                 self.map
                     .range(start.clone()..)
                     .take(*limit as usize)
@@ -97,12 +97,15 @@ impl Functionality for KvStore {
         }
     }
 
-    /// The KVS partitions by record key (a scan routes by its range
-    /// start, so scans are per-shard in a sharded deployment).
+    /// The KVS partitions by record key. A plain scan routes by its
+    /// range start (single-shard semantics); a pinned scan leg
+    /// ([`KvOp::ScanShard`]) routes by its pin, which is how the
+    /// client's scatter-gather read addresses every shard for the same
+    /// range.
     fn shard_key(op: &[u8]) -> Option<&[u8]> {
         match *op.first()? {
             crate::ops::OP_GET | crate::ops::OP_DEL => op.get(1..),
-            crate::ops::OP_PUT => {
+            crate::ops::OP_PUT | crate::ops::OP_SCAN_SHARD => {
                 let len = u32::from_be_bytes(op.get(1..5)?.try_into().ok()?) as usize;
                 op.get(5..5 + len)
             }

@@ -18,7 +18,12 @@ fn arb_op() -> impl Strategy<Value = KvOp> {
         3 => key.clone().prop_map(KvOp::Get),
         3 => (key.clone(), value).prop_map(|(k, v)| KvOp::Put(k, v)),
         1 => key.clone().prop_map(KvOp::Del),
-        1 => (key, any::<u32>()).prop_map(|(start, limit)| KvOp::Scan {
+        1 => (key.clone(), any::<u32>()).prop_map(|(start, limit)| KvOp::Scan {
+            start,
+            limit: limit % 16,
+        }),
+        1 => (key.clone(), key, any::<u32>()).prop_map(|(pin, start, limit)| KvOp::ScanShard {
+            pin,
             start,
             limit: limit % 16,
         }),
@@ -33,7 +38,9 @@ fn reference_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &KvOp) -> KvResul
             KvResult::Stored
         }
         KvOp::Del(k) => KvResult::Deleted(model.remove(k).is_some()),
-        KvOp::Scan { start, limit } => KvResult::Range(
+        // A pinned scan executes exactly like a plain scan; the pin
+        // only affects routing.
+        KvOp::Scan { start, limit } | KvOp::ScanShard { start, limit, .. } => KvResult::Range(
             model
                 .range(start.clone()..)
                 .take(*limit as usize)

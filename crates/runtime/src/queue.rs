@@ -178,6 +178,35 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues the next item, blocking at most `timeout` while the
+    /// queue is empty. Returns `None` on timeout or once the queue is
+    /// closed *and* drained — the caller distinguishes the two through
+    /// [`BoundedQueue::is_closed`] if it matters.
+    pub fn pop_timeout(&self, timeout: std::time::Duration) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.stats.popped += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = std::time::Instant::now();
+            let left = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())?;
+            let (guard, _timed_out) = self
+                .not_empty
+                .wait_timeout(st, left)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
     /// Dequeues the next item without blocking.
     pub fn try_pop(&self) -> Option<T> {
         let mut st = self.lock();
@@ -268,6 +297,18 @@ mod tests {
         producer.join().unwrap().unwrap();
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.stats().blocked_pushes, 1);
+    }
+
+    #[test]
+    fn pop_timeout_expires_then_delivers() {
+        use std::time::Duration;
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        q.push(9).unwrap();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Some(9));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        assert!(q.is_closed());
     }
 
     #[test]

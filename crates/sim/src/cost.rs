@@ -89,6 +89,13 @@ pub struct CostModel {
     pub enclave_exec: Duration,
     /// One SHA-256 hash-chain step (LCM only).
     pub hash_step: Duration,
+    /// Contention surcharge of the concurrent transport front-end:
+    /// the fraction of the per-op *host* work added per extra active
+    /// driver thread (lock handoffs on the shared ingress/reply book,
+    /// demux serialization). Applied only when a scenario pins
+    /// `frontend_threads` explicitly; the auto default (one driver per
+    /// lane, no surcharge) is the pre-front-end model.
+    pub frontend_contention: f64,
     /// The in-enclave shard-identity route check (LCM only): FNV-1a
     /// over the operation's partition key, recomputed from the
     /// decrypted plaintext, plus the modulo comparison against the
@@ -132,6 +139,7 @@ impl Default for CostModel {
             aead_ns_per_byte: 1.2,
             enclave_exec: Duration::from_micros(2),
             hash_step: Duration::from_nanos(600),
+            frontend_contention: 0.04,
             route_check: Duration::from_nanos(120),
             seal_fixed: Duration::from_micros(3),
             seal_ns_per_byte: 0.25,
@@ -212,6 +220,7 @@ impl CostModel {
                 wire_in,
                 wire_out,
                 per_op: self.host_per_op + self.plain_exec,
+                host_share: self.host_per_op,
                 per_batch: Duration::ZERO,
                 batch_limit: 1,
                 extra_latency: 2 * self.stunnel_latency,
@@ -226,6 +235,7 @@ impl CostModel {
                 wire_in,
                 wire_out,
                 per_op: self.host_per_op + self.plain_exec,
+                host_share: self.host_per_op,
                 per_batch: Duration::ZERO,
                 batch_limit: 1,
                 extra_latency: 2 * self.stunnel_latency,
@@ -242,6 +252,7 @@ impl CostModel {
                 let crypto_cost = crypto;
                 let exec_cost = exec;
                 let mut per_op = self.host_per_op + crypto_cost + exec_cost;
+                let mut host_share = self.host_per_op;
                 let mut state = state_bytes;
                 let mut per_batch = self.ecall_overhead + self.seal(state);
                 if let ServerKind::Lcm { .. } = kind {
@@ -260,12 +271,14 @@ impl CostModel {
                     let premium = 1.0 + self.lcm_premium(object_size);
                     per_op = dur_mul(per_op, premium);
                     per_batch = dur_mul(per_batch, premium);
+                    host_share = dur_mul(host_share, premium);
                 }
                 ServiceProfile {
                     kind,
                     wire_in,
                     wire_out,
                     per_op,
+                    host_share,
                     per_batch,
                     batch_limit: batch.max(1),
                     extra_latency: Duration::ZERO,
@@ -305,6 +318,11 @@ pub struct ServiceProfile {
     pub wire_out: usize,
     /// Single-threaded server work per operation.
     pub per_op: Duration,
+    /// The untrusted-host share of `per_op` (socket recv/send, queue
+    /// management, routing) — the part the transport front-end's
+    /// driver threads pay, and the base of the front-end contention
+    /// surcharge.
+    pub host_share: Duration,
     /// Single-threaded server work per batch (ecall + seal).
     pub per_batch: Duration,
     /// Maximum operations per batch.

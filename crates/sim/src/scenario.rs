@@ -22,6 +22,12 @@ pub struct Scenario {
     /// Number of independent server shards (the sharded multi-enclave
     /// host); 1 is the paper's single-enclave server.
     pub shards: usize,
+    /// Driver threads of the concurrent transport front-end: at most
+    /// this many shard cycles overlap, and each active extra driver
+    /// pays the [`CostModel::frontend_contention`] surcharge on the
+    /// per-op host share. `0` (the default) is auto — one driver per
+    /// shard, no surcharge — i.e. the pre-front-end model.
+    pub frontend_threads: usize,
     /// Virtual measurement duration (paper: 30 s).
     pub duration: Duration,
 }
@@ -46,6 +52,7 @@ impl Scenario {
             object_size: 100,
             fsync: false,
             shards: 1,
+            frontend_threads: 0,
             duration: Duration::from_secs(seconds),
         }
     }
@@ -61,6 +68,7 @@ pub fn run_scenario(model: &CostModel, scenario: &Scenario) -> Metrics {
     );
     Simulation::new(profile, model, scenario.n_clients, scenario.duration)
         .with_shards(scenario.shards)
+        .with_frontend_threads(scenario.frontend_threads, model.frontend_contention)
         .run()
 }
 

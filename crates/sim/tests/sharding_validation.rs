@@ -72,6 +72,54 @@ fn predict(shards: usize, n_clients: usize) -> f64 {
     run_scenario(&model, &scenario).throughput()
 }
 
+/// Real ops/s of the sharded stack behind the concurrent transport
+/// front-end with `driver_threads` lane drivers: every client runs its
+/// own closed loop on its own thread through a `FrontendPort`.
+fn measure_real_frontend(shards: u32, driver_threads: usize) -> f64 {
+    use lcm_core::transport::{DriveMode, Frontend};
+    let world = TeeWorld::new_deterministic(9_100 + u64::from(shards));
+    let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), STORE_DELAY));
+    let server = build_sharded::<Counter>(&world, 1, storage, BATCH, shards, false);
+    let mut fe = Frontend::new(server, driver_threads, DriveMode::Continuous).unwrap();
+    assert!(fe.boot().unwrap());
+    let ids: Vec<ClientId> = (1..=N_CLIENTS).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 11);
+    admin.bootstrap(&mut fe).unwrap();
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let mut client = LcmClient::new_sharded(id, admin.client_key(), shards);
+            let port = fe.connect(id);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    let op = Counter::inc_op(format!("k{}-{i}", id.0).as_bytes(), 1);
+                    port.send(client.invoke_for::<Counter>(&op).unwrap());
+                    let reply = port
+                        .recv_timeout(Duration::from_secs(60))
+                        .expect("closed-loop reply");
+                    client.handle_reply(&reply).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    fe.flush_persists().unwrap();
+    f64::from(N_CLIENTS * ROUNDS) / t0.elapsed().as_secs_f64()
+}
+
+fn predict_frontend(shards: usize, threads: usize, n_clients: usize) -> f64 {
+    let model = CostModel::default();
+    let mut scenario = Scenario::paper_default(ServerKind::Lcm { batch: BATCH }, n_clients);
+    scenario.fsync = true;
+    scenario.shards = shards;
+    scenario.frontend_threads = threads;
+    run_scenario(&model, &scenario).throughput()
+}
+
 #[test]
 fn four_shards_beat_one_on_the_real_stack() {
     let x1 = measure_real(1, false);
@@ -91,6 +139,26 @@ fn four_shards_beat_one_in_pipelined_mode_too() {
     assert!(
         speedup >= 1.3,
         "4-shard pipelined speedup {speedup:.2}x too low (x1={x1:.0}, x4={x4:.0})"
+    );
+}
+
+#[test]
+fn simulator_frontend_knob_tracks_the_real_trend() {
+    // The engine models front-end driver threads as the vehicles of
+    // shard cycles: with one driver, the 4 shards' store round-trips
+    // serialize again; with 4, they overlap. The real stack behind the
+    // concurrent `Frontend` must show the same recovery, and the
+    // predicted and measured 4-vs-1-driver speedups must agree within
+    // the same generous band as the shard knob.
+    let sim =
+        predict_frontend(4, 4, N_CLIENTS as usize) / predict_frontend(4, 1, N_CLIENTS as usize);
+    let real = measure_real_frontend(4, 4) / measure_real_frontend(4, 1);
+    assert!(sim > 1.5, "simulator predicts {sim:.2}x");
+    assert!(real > 1.5, "real stack shows {real:.2}x");
+    let agreement = real / sim;
+    assert!(
+        (0.3..=3.0).contains(&agreement),
+        "sim {sim:.2}x vs real {real:.2}x diverge (agreement {agreement:.2})"
     );
 }
 

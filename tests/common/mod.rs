@@ -1,8 +1,10 @@
 //! Shared scaffolding for running integration scenarios against every
 //! server mode: the synchronous `LcmServer` loop, the
-//! asynchronous-write `PipelinedServer` pipeline, and the sharded
+//! asynchronous-write `PipelinedServer` pipeline, the sharded
 //! multi-enclave `ShardedServer` at 1 and 4 shards (each shard sync or
-//! pipelined).
+//! pipelined), and the sharded deployment behind the concurrent
+//! transport `Frontend` (multi-threaded lane driving; `OnDemand` so
+//! batch arithmetic and crash scheduling stay deterministic).
 
 // Compiled once per test binary; not every binary uses every helper.
 #![allow(dead_code, unused_macros, unused_imports)]
@@ -13,11 +15,15 @@ use lcm::core::functionality::Functionality;
 use lcm::core::pipeline::PipelinedServer;
 use lcm::core::server::{BatchServer, LcmServer};
 use lcm::core::shard;
+use lcm::core::transport::{DriveMode, Frontend};
 use lcm::core::types::ClientId;
 use lcm::crypto::keys::SecretKey;
 use lcm::kvs::client::KvsClient;
 use lcm::storage::{NamespacedStorage, StableStorage};
 use lcm::tee::world::TeeWorld;
+
+/// Driver threads the concurrent-frontend mode attaches.
+pub const FRONTEND_THREADS: usize = 3;
 
 /// Which execution mode a scenario runs the server in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +41,17 @@ pub enum Mode {
         /// Whether each shard persists on a background writer.
         pipelined: bool,
     },
+    /// The sharded deployment behind the concurrent transport
+    /// `Frontend`: every submit goes through the thread-safe ingress
+    /// plane and every pump is executed by [`FRONTEND_THREADS`] driver
+    /// threads concurrently (on-demand windows keep scenarios
+    /// deterministic).
+    Frontend {
+        /// Number of shards behind the front-end.
+        shards: u32,
+        /// Whether each shard persists on a background writer.
+        pipelined: bool,
+    },
 }
 
 impl Mode {
@@ -42,20 +59,22 @@ impl Mode {
     pub fn shards(self) -> u32 {
         match self {
             Mode::Sync | Mode::Pipelined => 1,
-            Mode::Sharded { shards, .. } => shards,
+            Mode::Sharded { shards, .. } | Mode::Frontend { shards, .. } => shards,
         }
     }
 
     /// Whether the mode routes through the sharded fan-out layer.
     pub fn is_sharded(self) -> bool {
-        matches!(self, Mode::Sharded { .. })
+        matches!(self, Mode::Sharded { .. } | Mode::Frontend { .. })
     }
 
     /// The storage slot a given shard persists its sealed state to.
     pub fn state_slot(self, shard: u32) -> String {
         match self {
             Mode::Sync | Mode::Pipelined => "lcm.state".into(),
-            Mode::Sharded { .. } => format!("{}lcm.state", NamespacedStorage::shard_prefix(shard)),
+            Mode::Sharded { .. } | Mode::Frontend { .. } => {
+                format!("{}lcm.state", NamespacedStorage::shard_prefix(shard))
+            }
         }
     }
 
@@ -63,7 +82,7 @@ impl Mode {
     pub fn key_slot(self, shard: u32) -> String {
         match self {
             Mode::Sync | Mode::Pipelined => "lcm.keyblob".into(),
-            Mode::Sharded { .. } => {
+            Mode::Sharded { .. } | Mode::Frontend { .. } => {
                 format!("{}lcm.keyblob", NamespacedStorage::shard_prefix(shard))
             }
         }
@@ -105,6 +124,14 @@ pub fn mk_server<F: Functionality + 'static>(
             shards,
             pipelined,
         )),
+        Mode::Frontend { shards, pipelined } => {
+            let sharded =
+                shard::build_sharded::<F>(world, platform_base, storage, batch, shards, pipelined);
+            Box::new(
+                Frontend::new(sharded, FRONTEND_THREADS, DriveMode::OnDemand)
+                    .expect("sharded servers always expose a transport plane"),
+            )
+        }
     }
 }
 
@@ -154,6 +181,14 @@ macro_rules! all_modes {
         mod sharded_pipelined_4 {
             $(#[test] fn $name() { super::$name(
                 crate::common::Mode::Sharded { shards: 4, pipelined: true }) })*
+        }
+        mod frontend_sync_4 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Frontend { shards: 4, pipelined: false }) })*
+        }
+        mod frontend_pipelined_4 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Frontend { shards: 4, pipelined: true }) })*
         }
     };
 }

@@ -283,6 +283,66 @@ fn fresh_client_first_ops_reach_every_shard(mode: Mode) {
     assert!(!fresh.lcm().is_halted());
 }
 
+fn scatter_gather_reads_cover_all_shards(mode: Mode) {
+    // Cross-shard reads: multi-get fans GET legs out over the shards
+    // (pipelined, one in flight per shard) and scan_all pins one scan
+    // leg to EVERY shard and merges the ordered results. Each leg is
+    // verified against its shard's own (tc, ts, hc) context — a wrong
+    // or replayed leg would halt the client, so completing un-halted
+    // IS the verification.
+    let (_w, mut server, _admin, mut clients) = setup(mode, 2, 8, 11);
+    let writer = &mut clients[0];
+
+    // Write keys until every shard owns at least one, tracking the
+    // expected contents.
+    let mut expected: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    let mut covered = vec![false; mode.shards() as usize];
+    let mut i = 0u32;
+    while covered.iter().any(|c| !c) || expected.len() < 6 {
+        let key = format!("sg-{i:03}").into_bytes();
+        let value = format!("v{i}").into_bytes();
+        covered[mode.shard_of_key(&key) as usize] = true;
+        writer.put(&mut server, &key, &value).unwrap();
+        expected.push((key, value));
+        i += 1;
+    }
+    expected.sort();
+
+    // Scatter-gather GET from the *other* client (its first contact
+    // with most shards), plus one key that exists nowhere.
+    let reader = &mut clients[1];
+    let mut keys: Vec<Vec<u8>> = expected.iter().map(|(k, _)| k.clone()).collect();
+    keys.push(b"sg-missing".to_vec());
+    let values = reader.multi_get(&mut server, &keys).unwrap();
+    for (i, (_, v)) in expected.iter().enumerate() {
+        assert_eq!(values[i].as_deref(), Some(v.as_slice()));
+    }
+    assert_eq!(values.last().unwrap(), &None);
+
+    // Scatter-gather SCAN: the merged range equals the full expected
+    // contents, in global key order, regardless of which shard owns
+    // which slice.
+    let all = reader.scan_all(&mut server, b"sg-", 100).unwrap();
+    assert_eq!(all, expected);
+    // A limited scan returns the global smallest `limit` keys — not
+    // one shard's smallest.
+    let first3 = reader.scan_all(&mut server, b"sg-", 3).unwrap();
+    assert_eq!(first3, expected[..3].to_vec());
+    // A mid-range start works across shard boundaries.
+    let tail = reader.scan_all(&mut server, &expected[2].0, 100).unwrap();
+    assert_eq!(tail, expected[2..].to_vec());
+    assert!(!reader.lcm().is_halted());
+
+    // The single-wire scan still sees only one shard's slice under
+    // sharding — the gap scan_all exists to close.
+    let one_leg = reader.scan(&mut server, b"sg-", 100).unwrap();
+    if mode.shards() == 1 {
+        assert_eq!(one_leg, expected);
+    } else {
+        assert!(one_leg.len() < expected.len());
+    }
+}
+
 all_modes!(
     many_rounds_many_clients_stability_converges,
     reads_of_other_clients_writes_are_linearized,
@@ -295,6 +355,7 @@ all_modes!(
     large_values_roundtrip_through_the_full_stack,
     admin_status_matches_client_progress,
     fresh_client_first_ops_reach_every_shard,
+    scatter_gather_reads_cover_all_shards,
 );
 
 #[test]
