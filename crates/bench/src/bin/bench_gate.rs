@@ -75,6 +75,9 @@ fn main() -> ExitCode {
         "baseline ops/s",
         "fresh ops/s",
         "floor",
+        "baseline p99",
+        "fresh p99",
+        "ceiling",
         "verdict",
     ]);
     let verdicts = compare(&baseline, &fresh, tolerance);
@@ -84,20 +87,38 @@ fn main() -> ExitCode {
             .fresh_ops_per_s
             .map(|x| format!("{x:.0}"))
             .unwrap_or_else(|| "MISSING".into());
+        let us = |x: Option<f64>, missing: &str| {
+            x.map(|x| format!("{x:.0}µs"))
+                .unwrap_or_else(|| missing.into())
+        };
+        // A latency column only means something on SLO cells; the
+        // throughput-only rows show "-" rather than MISSING.
+        let (b_p99, f_p99, ceiling) = if v.baseline.p99_us.is_some() {
+            (
+                us(v.baseline.p99_us, "-"),
+                us(v.fresh_p99_us, "MISSING"),
+                us(v.p99_ceiling, "-"),
+            )
+        } else {
+            ("-".into(), "-".into(), "-".into())
+        };
         println!(
-            "| {} | {} | {:.0} | {} | {:.0} | {} |",
+            "| {} | {} | {:.0} | {} | {:.0} | {} | {} | {} | {} |",
             v.baseline.mode,
             v.baseline.shards,
             v.baseline.ops_per_s,
             fresh_str,
             v.floor,
+            b_p99,
+            f_p99,
+            ceiling,
             if v.failed { "FAIL" } else { "ok" }
         );
         failed |= v.failed;
     }
     if failed {
         eprintln!(
-            "bench_gate: throughput regressed beyond the {:.0}% band; \
+            "bench_gate: throughput or p99 latency regressed beyond the {:.0}% band; \
              if this is expected (e.g. a deliberate trade-off), regenerate \
              BENCH_pipeline.json with `cargo run --release -p lcm-bench \
              --bin bench_snapshot` and commit it with the change",

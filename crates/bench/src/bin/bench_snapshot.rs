@@ -16,14 +16,22 @@
 //!   client PUTs its own key, keys spread by route hash; rounds of
 //!   submit-all/process-all on the single-driver path. Tracks the
 //!   PR 2/3 levers (async writes, shard fan-out).
-//! * **Skewed** (`*-hot` vs `*-fe`, 8 shards) — half the clients hammer
-//!   one hot shard, measured over a fixed wall-clock window. `*-hot`
-//!   drives the identical deployment single-threaded (every round
-//!   barriers on the hot shard's multi-batch backlog); `*-fe` runs the
-//!   concurrent transport `Frontend` (per-shard driver threads,
-//!   per-client closed loops on their own threads), which keeps the
-//!   cold shards serving while the hot shard grinds. The tracked
-//!   signal is `frontend_speedup_8shards`.
+//! * **Skewed** (`*-hot` vs `*-fe` vs `*-adm`, 8 shards) — half the
+//!   clients hammer one hot shard, measured over a fixed wall-clock
+//!   window. `*-hot` drives the identical deployment single-threaded
+//!   (every round barriers on the hot shard's multi-batch backlog);
+//!   `*-fe` runs the concurrent transport `Frontend` (per-shard driver
+//!   threads, per-client closed loops on their own threads), which
+//!   keeps the cold shards serving while the hot shard grinds. The
+//!   tracked signal is `frontend_speedup_8shards`.
+//!
+//!   `*-adm` repeats the `*-fe` workload with the multi-tenant
+//!   admission policy installed: the hot hammerers form a rate-capped
+//!   low-weight tenant, everyone else an unmetered tenant. These cells
+//!   additionally record the well-behaved tenant's p50/p99/p999 from
+//!   the front door's per-tenant histograms — the p99 is the latency
+//!   SLO `bench_gate` enforces (hot-tenant pressure must not regress
+//!   the metered tenant's tail).
 //!
 //! The file lands in `$LCM_OUT_DIR` when set, else the working
 //! directory. Numbers are wall-clock and machine-dependent — the
@@ -33,7 +41,10 @@
 
 use std::time::Duration;
 
-use lcm_bench::shardbench::{measure, measure_for, measure_frontend_for, ShardRun};
+use lcm_bench::shardbench::{
+    measure, measure_for, measure_frontend_admitted, measure_frontend_for, ShardRun, COLD_TENANT,
+    HOT_TENANT,
+};
 
 const CLIENTS: u32 = 64;
 const BATCH: usize = 16;
@@ -62,7 +73,10 @@ fn main() {
         Duration::from_millis(1200)
     };
 
-    let mut results: Vec<(String, u32, f64)> = Vec::new();
+    // (mode, shards, ops/s, optional (p50, p99, p999) in µs for the
+    // tracked tenant).
+    type Lat = (f64, f64, f64);
+    let mut results: Vec<(String, u32, f64, Option<Lat>)> = Vec::new();
     for pipelined in [false, true] {
         for &shards in &SHARDS {
             let ops = measure(&ShardRun {
@@ -76,12 +90,13 @@ fn main() {
             });
             let mode = if pipelined { "pipelined" } else { "sync" };
             println!("{mode:>13} x {shards} shard(s): {ops:>10.0} ops/s");
-            results.push((mode.to_string(), shards, ops));
+            results.push((mode.to_string(), shards, ops, None));
         }
     }
 
     // Skewed workload: the same deployment and key set, single-driver
-    // vs concurrent front-end, over the same wall-clock window.
+    // vs concurrent front-end vs admission-controlled front-end, over
+    // the same wall-clock window.
     for pipelined in [false, true] {
         let cfg = ShardRun {
             shards: HOT_SHARDS,
@@ -96,18 +111,41 @@ fn main() {
         let hot = measure_for(&cfg, window);
         let hot_mode = format!("{base}-hot");
         println!("{hot_mode:>13} x {HOT_SHARDS} shard(s): {hot:>10.0} ops/s");
-        results.push((hot_mode, HOT_SHARDS, hot));
+        results.push((hot_mode, HOT_SHARDS, hot, None));
         let fe = measure_frontend_for(&cfg, HOT_SHARDS as usize, window);
         let fe_mode = format!("{base}-fe");
         println!("{fe_mode:>13} x {HOT_SHARDS} shard(s): {fe:>10.0} ops/s");
-        results.push((fe_mode, HOT_SHARDS, fe));
+        results.push((fe_mode, HOT_SHARDS, fe, None));
+
+        let (adm, health) = measure_frontend_admitted(&cfg, HOT_SHARDS as usize, window);
+        let health = health.expect("sharded deployments expose admission");
+        let cold = health
+            .tenant(COLD_TENANT)
+            .expect("metered tenant measured")
+            .overall;
+        let hot_rejected = health
+            .tenant(HOT_TENANT)
+            .map(|t| t.rejected)
+            .unwrap_or_default();
+        let adm_mode = format!("{base}-adm");
+        println!(
+            "{adm_mode:>13} x {HOT_SHARDS} shard(s): {adm:>10.0} ops/s  \
+             cold tenant p50/p99/p999 = {}/{}/{} µs (hot rejected {hot_rejected})",
+            cold.p50_us, cold.p99_us, cold.p999_us
+        );
+        results.push((
+            adm_mode,
+            HOT_SHARDS,
+            adm,
+            Some((cold.p50_us as f64, cold.p99_us as f64, cold.p999_us as f64)),
+        ));
     }
 
     let ops_of = |mode: &str, shards: u32| {
         results
             .iter()
-            .find(|(m, s, _)| m == mode && *s == shards)
-            .map(|&(_, _, x)| x)
+            .find(|(m, s, _, _)| m == mode && *s == shards)
+            .map(|&(_, _, x, _)| x)
             .unwrap_or(f64::NAN)
     };
     let sync_speedup = ops_of("sync", 4) / ops_of("sync", 1);
@@ -134,9 +172,14 @@ fn main() {
         window.as_millis()
     ));
     json.push_str("  \"results\": [\n");
-    for (i, (mode, shards, ops)) in results.iter().enumerate() {
+    for (i, (mode, shards, ops, lat)) in results.iter().enumerate() {
+        let lat_fields = lat
+            .map(|(p50, p99, p999)| {
+                format!(", \"p50_us\": {p50:.1}, \"p99_us\": {p99:.1}, \"p999_us\": {p999:.1}")
+            })
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    {{\"mode\": \"{mode}\", \"shards\": {shards}, \"ops_per_s\": {ops:.1}}}{}\n",
+            "    {{\"mode\": \"{mode}\", \"shards\": {shards}, \"ops_per_s\": {ops:.1}{lat_fields}}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -77,15 +77,20 @@ pub fn write_csv(name: &str, columns: &[&str], rows: &[Vec<String>]) {
 /// through `LCM_BENCH_TOLERANCE` (a fraction: `0.4` = fail below 60%
 /// of baseline).
 pub mod gate {
-    /// One measured cell of the snapshot: `(mode, shards) → ops/s`.
+    /// One measured cell of the snapshot: `(mode, shards) → ops/s`,
+    /// optionally carrying a latency SLO signal.
     #[derive(Debug, Clone, PartialEq)]
     pub struct Cell {
-        /// Server mode label (`sync` / `pipelined`).
+        /// Server mode label (`sync` / `pipelined` / `sync-adm` / …).
         pub mode: String,
         /// Shard count of the measurement.
         pub shards: u32,
         /// Measured throughput.
         pub ops_per_s: f64,
+        /// Tail latency of the cell's tracked tenant in microseconds
+        /// (the metered tenant's p99 for the `*-adm` cells). `None`
+        /// for throughput-only cells — those gate ops/s alone.
+        pub p99_us: Option<f64>,
     }
 
     /// Default allowed regression: fail only when a cell drops more
@@ -148,10 +153,12 @@ pub mod gate {
             let mode = field("mode")?.trim_matches('"').to_string();
             let shards: u32 = field("shards")?.parse().ok()?;
             let ops_per_s: f64 = field("ops_per_s")?.parse().ok()?;
+            let p99_us = field("p99_us").and_then(|v| v.parse().ok());
             cells.push(Cell {
                 mode,
                 shards,
                 ops_per_s,
+                p99_us,
             });
         }
         if cells.is_empty() {
@@ -170,31 +177,68 @@ pub mod gate {
         /// The fresh measurement for the same `(mode, shards)`, if the
         /// fresh snapshot has one.
         pub fresh_ops_per_s: Option<f64>,
+        /// The fresh p99 for the same cell, when both snapshots track
+        /// one.
+        pub fresh_p99_us: Option<f64>,
         /// The minimum acceptable throughput for this cell.
         pub floor: f64,
-        /// Whether this cell fails the gate (regressed past the floor,
-        /// or missing from the fresh snapshot entirely).
+        /// The maximum acceptable p99 (µs) when the baseline cell
+        /// carries a latency SLO: `max(baseline_p99 * (1 + 2 *
+        /// tolerance), baseline_p99 + LATENCY_GRACE_US)`.
+        pub p99_ceiling: Option<f64>,
+        /// Whether this cell fails the gate (regressed past the
+        /// throughput floor or the p99 ceiling, or missing from the
+        /// fresh snapshot entirely).
         pub failed: bool,
     }
 
+    /// Absolute grace added to every p99 ceiling, in microseconds.
+    /// Closed-loop tail latency is quantized by the batch cycle: an op
+    /// that misses the forming batch waits one extra seal-and-persist
+    /// round, so a cell's p99 legitimately hops between adjacent
+    /// multi-millisecond plateaus from run to run. The grace spans one
+    /// such plateau; the gate is after admission *collapse* (the
+    /// metered tenant queueing behind the whole hot backlog, a many-
+    /// tens-of-ms jump), not batch-alignment luck.
+    pub const LATENCY_GRACE_US: f64 = 10_000.0;
+
     /// Compares every baseline cell against the fresh snapshot.
-    /// A cell fails when the fresh measurement is missing or below
-    /// `baseline * (1 - tolerance)`. Cells present only in the fresh
-    /// snapshot are ignored (new configurations gate nothing yet).
+    /// A cell fails when the fresh measurement is missing, its
+    /// throughput is below `baseline * (1 - tolerance)`, or — for
+    /// cells whose baseline carries a latency SLO — its p99 exceeds
+    /// `max(baseline_p99 * (1 + 2 * tolerance), baseline_p99 +
+    /// LATENCY_GRACE_US)` (or went missing). The latency band is
+    /// wider than the throughput band because tail percentiles are
+    /// both noisier and bucket-quantized (see [`LATENCY_GRACE_US`]).
+    /// Cells present only in the fresh snapshot are ignored (new
+    /// configurations gate nothing yet).
     pub fn compare(baseline: &[Cell], fresh: &[Cell], tolerance: f64) -> Vec<Verdict> {
         baseline
             .iter()
             .map(|b| {
                 let floor = b.ops_per_s * (1.0 - tolerance);
-                let fresh_ops = fresh
+                let p99_ceiling = b
+                    .p99_us
+                    .map(|p| (p * (1.0 + 2.0 * tolerance)).max(p + LATENCY_GRACE_US));
+                let fresh_cell = fresh
                     .iter()
-                    .find(|f| f.mode == b.mode && f.shards == b.shards)
-                    .map(|f| f.ops_per_s);
+                    .find(|f| f.mode == b.mode && f.shards == b.shards);
+                let fresh_ops = fresh_cell.map(|f| f.ops_per_s);
+                let fresh_p99 = fresh_cell.and_then(|f| f.p99_us);
+                let ops_failed = fresh_ops.is_none() || fresh_ops.unwrap_or(0.0) < floor;
+                let p99_failed = match p99_ceiling {
+                    // A baseline SLO with no fresh p99 means the
+                    // latency cell silently vanished: fail loudly.
+                    Some(ceiling) => fresh_p99.map_or(true, |p| p > ceiling),
+                    None => false,
+                };
                 Verdict {
                     baseline: b.clone(),
                     fresh_ops_per_s: fresh_ops,
+                    fresh_p99_us: fresh_p99,
                     floor,
-                    failed: fresh_ops.is_none() || fresh_ops.unwrap_or(0.0) < floor,
+                    p99_ceiling,
+                    failed: ops_failed || p99_failed,
                 }
             })
             .collect()
@@ -211,7 +255,8 @@ pub mod gate {
     {"mode": "sync", "shards": 1, "ops_per_s": 10000.0},
     {"mode": "sync", "shards": 4, "ops_per_s": 28000.5},
     {"mode": "pipelined", "shards": 1, "ops_per_s": 15090.9},
-    {"mode": "pipelined", "shards": 4, "ops_per_s": 45473.9}
+    {"mode": "pipelined", "shards": 4, "ops_per_s": 45473.9},
+    {"mode": "sync-adm", "shards": 8, "ops_per_s": 3000.0, "p50_us": 4000.0, "p99_us": 12000.0, "p999_us": 20000.0}
   ],
   "speedup_4shards": {"sync": 2.568, "pipelined": 3.013}
 }"#;
@@ -219,13 +264,16 @@ pub mod gate {
         #[test]
         fn parses_the_snapshot_schema() {
             let cells = parse_snapshot(SAMPLE).unwrap();
-            assert_eq!(cells.len(), 4);
+            assert_eq!(cells.len(), 5);
             assert_eq!(cells[0].mode, "sync");
             assert_eq!(cells[0].shards, 1);
             assert!((cells[0].ops_per_s - 10000.0).abs() < 1e-9);
+            assert_eq!(cells[0].p99_us, None, "throughput-only cell has no SLO");
             assert_eq!(cells[3].mode, "pipelined");
             assert_eq!(cells[3].shards, 4);
             assert!((cells[3].ops_per_s - 45473.9).abs() < 1e-9);
+            assert_eq!(cells[4].mode, "sync-adm");
+            assert_eq!(cells[4].p99_us, Some(12000.0), "latency cell carries p99");
         }
 
         #[test]
@@ -273,6 +321,34 @@ pub mod gate {
         }
 
         #[test]
+        fn p99_regression_fails_within_band_jitter_passes() {
+            let baseline = parse_snapshot(SAMPLE).unwrap();
+            // Baseline p99 12000 at tolerance 0.40: the ceiling is
+            // max(12000 * 1.8, 12000 + 10000) = 22000 µs.
+            let v = &compare(&baseline, &baseline, 0.40)[4];
+            assert_eq!(v.p99_ceiling, Some(22000.0));
+
+            // Throughput holds but the metered tenant's p99 balloons
+            // past the ceiling: the latency cell alone must fail.
+            let mut bad = baseline.clone();
+            bad[4].p99_us = Some(22500.0);
+            let verdicts = compare(&baseline, &bad, 0.40);
+            assert!(verdicts[4].failed, "p99 past the ceiling fails");
+            assert_eq!(verdicts.iter().filter(|v| v.failed).count(), 1);
+
+            // Batch-alignment jitter inside the band passes.
+            let mut ok = baseline.clone();
+            ok[4].p99_us = Some(21500.0);
+            assert!(compare(&baseline, &ok, 0.40).iter().all(|v| !v.failed));
+
+            // A latency cell that silently loses its p99 field fails
+            // rather than passing vacuously.
+            let mut gone = baseline.clone();
+            gone[4].p99_us = None;
+            assert!(compare(&baseline, &gone, 0.40)[4].failed);
+        }
+
+        #[test]
         fn missing_cell_fails_and_extra_cell_is_ignored() {
             let baseline = parse_snapshot(SAMPLE).unwrap();
             let mut fresh = baseline.clone();
@@ -281,9 +357,10 @@ pub mod gate {
                 mode: "sync".into(),
                 shards: 8,
                 ops_per_s: 1.0, // new config, not gated
+                p99_us: None,
             });
             let verdicts = compare(&baseline, &fresh, 0.40);
-            assert_eq!(verdicts.len(), 4, "one verdict per baseline cell");
+            assert_eq!(verdicts.len(), 5, "one verdict per baseline cell");
             assert!(verdicts[0].failed, "missing cell must fail");
             assert_eq!(verdicts.iter().filter(|v| v.failed).count(), 1);
         }
@@ -327,6 +404,7 @@ pub mod shardbench {
     use std::time::{Duration, Instant};
 
     use lcm_core::admin::AdminHandle;
+    use lcm_core::admission::{AdmissionConfig, HealthSnapshot, TenantConfig, TenantId};
     use lcm_core::client::LcmClient;
     use lcm_core::server::BatchServer;
     use lcm_core::shard::build_sharded;
@@ -498,7 +576,8 @@ pub mod shardbench {
         driver_threads: usize,
         linger: std::time::Duration,
     ) -> (f64, u64, u64) {
-        run_frontend(cfg, driver_threads, linger, FeRun::Rounds(cfg.rounds))
+        let out = run_frontend(cfg, driver_threads, linger, FeRun::Rounds(cfg.rounds), None);
+        (out.ops_per_s, out.ops_processed, out.batches_processed)
     }
 
     /// Time-bounded front-end measurement (the counterpart of
@@ -513,8 +592,72 @@ pub mod shardbench {
             driver_threads,
             lcm_core::transport::BATCH_LINGER,
             FeRun::Window(window),
+            None,
         )
-        .0
+        .ops_per_s
+    }
+
+    /// Tenant id the admitted skewed cell assigns the hot-shard
+    /// hammerers (rate-capped, low weight).
+    pub const HOT_TENANT: TenantId = TenantId(1);
+    /// Tenant id of the well-behaved clients whose tail latency the
+    /// `*-adm` cells track as the SLO signal.
+    pub const COLD_TENANT: TenantId = TenantId(2);
+
+    /// The admission policy the `*-adm` snapshot cells run under:
+    /// the first `hot_clients` clients (the ones hammering shard 0)
+    /// form a metered low-weight tenant, everyone else an unmetered
+    /// high-weight tenant. With the hot tenant's token bucket capping
+    /// its ingress, the cold tenant's p99 recovers to its own shard's
+    /// service time instead of queueing behind the hot backlog.
+    pub fn admitted_policy(cfg: &ShardRun) -> AdmissionConfig {
+        let hot_ids: Vec<ClientId> = (1..=cfg.hot_clients).map(ClientId).collect();
+        let cold_ids: Vec<ClientId> = (cfg.hot_clients + 1..=cfg.clients).map(ClientId).collect();
+        AdmissionConfig {
+            tenants: vec![
+                TenantConfig::metered(HOT_TENANT, hot_ids, 400.0, 16, 1),
+                TenantConfig::unlimited(COLD_TENANT, cold_ids, 4),
+            ],
+            max_in_flight: 64,
+        }
+    }
+
+    /// The key client `i` writes in the admitted cell: hot clients on
+    /// shard 0 as in [`client_key`], cold clients round-robined over
+    /// the *other* shards. The `*-adm` latency SLO tracks what the
+    /// admission layer actually controls — the metered tenant's tail
+    /// on its own shards under hot-tenant ingress pressure. A cold
+    /// client route-hashed onto the hot shard would instead measure
+    /// shard co-location (the hot backlog ahead of it in the batch
+    /// queue), which admission cannot bound and which is wall-clock
+    /// noisy.
+    pub fn admitted_client_key(cfg: &ShardRun, i: u32) -> Vec<u8> {
+        if i < cfg.hot_clients || cfg.shards < 2 {
+            return client_key(cfg, i);
+        }
+        let shard = 1 + (i - cfg.hot_clients) % (cfg.shards - 1);
+        lcm_core::shard::nth_key_routing_to(shard, cfg.shards, "cold", i)
+    }
+
+    /// The skewed front-end workload of [`measure_frontend_for`], run
+    /// with the [`admitted_policy`] installed at the front door and
+    /// the [`admitted_client_key`] layout. Returns overall ops/s plus
+    /// the per-tenant × shard health snapshot, whose cold-tenant p99
+    /// is the latency SLO recorded in `BENCH_pipeline.json` and gated
+    /// by `bench_gate`.
+    pub fn measure_frontend_admitted(
+        cfg: &ShardRun,
+        driver_threads: usize,
+        window: Duration,
+    ) -> (f64, Option<HealthSnapshot>) {
+        let out = run_frontend(
+            cfg,
+            driver_threads,
+            lcm_core::transport::BATCH_LINGER,
+            FeRun::Window(window),
+            Some(admitted_policy(cfg)),
+        );
+        (out.ops_per_s, out.health)
     }
 
     enum FeRun {
@@ -522,12 +665,20 @@ pub mod shardbench {
         Window(Duration),
     }
 
+    struct FeOutcome {
+        ops_per_s: f64,
+        ops_processed: u64,
+        batches_processed: u64,
+        health: Option<HealthSnapshot>,
+    }
+
     fn run_frontend(
         cfg: &ShardRun,
         driver_threads: usize,
         linger: std::time::Duration,
         run: FeRun,
-    ) -> (f64, u64, u64) {
+        admission: Option<AdmissionConfig>,
+    ) -> FeOutcome {
         use lcm_core::codec::WireCodec;
         use lcm_core::transport::{DriveMode, Frontend};
 
@@ -535,6 +686,10 @@ pub mod shardbench {
         let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), cfg.store_delay));
         let server =
             build_sharded::<KvStore>(&world, 1, storage, cfg.batch, cfg.shards, cfg.pipelined);
+        let admitted = admission.is_some();
+        if let Some(config) = admission {
+            server.configure_admission(config);
+        }
         let mut fe =
             Frontend::new(server, driver_threads, DriveMode::Continuous).expect("sharded plane");
         fe.set_linger(linger);
@@ -556,7 +711,11 @@ pub mod shardbench {
                 let mut client = LcmClient::new_sharded(id, admin.client_key(), cfg.shards);
                 let port = fe.connect(id);
                 let payload = payload.clone();
-                let key = client_key(cfg, i as u32);
+                let key = if admitted {
+                    admitted_client_key(cfg, i as u32)
+                } else {
+                    client_key(cfg, i as u32)
+                };
                 std::thread::spawn(move || {
                     let mut done = 0u64;
                     loop {
@@ -592,6 +751,11 @@ pub mod shardbench {
                 );
             }
         }
-        (ops, fe.ops_processed(), fe.batches_processed())
+        FeOutcome {
+            ops_per_s: ops,
+            ops_processed: fe.ops_processed(),
+            batches_processed: fe.batches_processed(),
+            health: fe.health_snapshot(),
+        }
     }
 }

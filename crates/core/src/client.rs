@@ -371,13 +371,17 @@ impl LcmClient {
         let ciphertext = aead::auth_encrypt(
             &self.key,
             &msg.to_bytes(),
-            &invoke_aad(self.id, pending.route),
+            &invoke_aad(self.id, pending.route, pending.tc.0),
         )
         .map_err(|e| LcmError::Tee(e.to_string()))?;
         let mut wire = Vec::with_capacity(ROUTE_HINT_LEN + ciphertext.len());
         RouteHint {
             client: self.id,
             route: pending.route,
+            // `tc` is fixed when the op is first submitted, so a retry
+            // re-encodes the *same* envelope sequence — the property
+            // the host-side dedup of `crate::admission` keys on.
+            seq: pending.tc.0,
         }
         .encode_to(&mut wire);
         wire.extend_from_slice(&ciphertext);
@@ -546,7 +550,7 @@ mod tests {
         let plain = aead::auth_decrypt(
             &AeadKey::from_secret(k),
             ct,
-            &invoke_aad(hint.client, hint.route),
+            &invoke_aad(hint.client, hint.route, hint.seq),
         )
         .map_err(|_| LcmError::Violation(Violation::BadAuthentication))?;
         Ok(InvokeMsg::from_bytes(&plain).unwrap())

@@ -43,12 +43,18 @@ pub const LABEL_STATE_BLOB: &[u8] = b"lcm.state";
 pub const LABEL_INVOKE: &[u8] = b"lcm.invoke";
 
 /// The associated data under which `client` encrypts an INVOKE carrying
-/// route hash `route` in its plaintext envelope.
-pub fn invoke_aad(client: ClientId, route: u32) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_INVOKE.len() + 8);
+/// route hash `route` and client sequence `seq` in its plaintext
+/// envelope. Binding `seq` means the host-visible dedup key of the
+/// admission layer (see [`crate::admission`]) is exactly the
+/// authenticated `tc`: a host that rewrites it breaks authentication,
+/// and the enclave additionally cross-checks it against the encrypted
+/// copy.
+pub fn invoke_aad(client: ClientId, route: u32, seq: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_INVOKE.len() + 16);
     aad.extend_from_slice(LABEL_INVOKE);
     aad.extend_from_slice(&client.0.to_be_bytes());
     aad.extend_from_slice(&route.to_be_bytes());
+    aad.extend_from_slice(&seq.to_be_bytes());
     aad
 }
 /// AAD label for T→client messages. The destination client id is
@@ -629,7 +635,7 @@ impl<F: Functionality> TrustedContext<F> {
             .expect("ready implies keys")
             .aead_c
             .clone();
-        let aad = invoke_aad(hint.client, hint.route);
+        let aad = invoke_aad(hint.client, hint.route, hint.seq);
         let plain = match aead::auth_decrypt(&aead_c, ciphertext, &aad) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
@@ -642,6 +648,14 @@ impl<F: Functionality> TrustedContext<F> {
         // so a mismatch with the encrypted copy means the *sender*
         // lied — halt rather than mis-route the reply.
         if msg.client != hint.client {
+            return Err(self.halt(Violation::BadAuthentication));
+        }
+        // Likewise the envelope's sequence number: the host's admission
+        // layer dedups retries on it, so a sender whose plaintext `seq`
+        // disagrees with the encrypted `tc` is lying to the host about
+        // which operation this is — halt rather than let the dedup key
+        // diverge from the authenticated protocol state.
+        if msg.tc.0 != hint.seq {
             return Err(self.halt(Violation::BadAuthentication));
         }
 
@@ -1091,11 +1105,12 @@ mod tests {
         let hint = crate::wire::RouteHint {
             client: msg.client,
             route,
+            seq: msg.tc.0,
         };
         let ct = aead::auth_encrypt(
             &client_key(),
             &msg.to_bytes(),
-            &invoke_aad(msg.client, route),
+            &invoke_aad(msg.client, route, msg.tc.0),
         )
         .unwrap();
         let mut wire = Vec::with_capacity(crate::wire::ROUTE_HINT_LEN + ct.len());
@@ -1648,11 +1663,12 @@ mod tests {
         let hint = crate::wire::RouteHint {
             client: ClientId(1),
             route: lying_route,
+            seq: 0,
         };
         let ct = aead::auth_encrypt(
             &client_key(),
             &msg.to_bytes(),
-            &invoke_aad(ClientId(1), lying_route),
+            &invoke_aad(ClientId(1), lying_route, 0),
         )
         .unwrap();
         let mut wire = Vec::new();

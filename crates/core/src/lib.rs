@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod admin;
+pub mod admission;
 pub mod client;
 pub mod codec;
 pub mod context;

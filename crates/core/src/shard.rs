@@ -101,6 +101,7 @@ use lcm_storage::{NamespacedStorage, StableStorage};
 use lcm_tee::attestation::Quote;
 use lcm_tee::world::TeeWorld;
 
+use crate::admission::{AdmissionState, AdmitOutcome, RetryAfter, SettledTicket};
 use crate::codec::{Reader, Writer};
 use crate::functionality::Functionality;
 use crate::server::{BatchServer, LcmServer, Replies};
@@ -275,6 +276,25 @@ fn lock<S>(lane: &Mutex<Lane<S>>) -> MutexGuard<'_, Lane<S>> {
     lane.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Host-side bookkeeping attached to one issued ticket: who it
+/// belongs to, where it went, when it was admitted, and what the
+/// admission layer needs back at settlement.
+struct TicketMeta {
+    /// The shard the wire was enqueued to.
+    shard: u32,
+    /// The envelope's authenticated client sequence, tracked for
+    /// retry dedup — `Some` only when the wire came through
+    /// [`crate::transport::TransportPlane::try_submit`] with admission
+    /// enabled (the plain `submit` path stays dedup-free so retries
+    /// reach the enclave, whose §4.6.1 handling remains the backstop).
+    dedup_seq: Option<u64>,
+    /// Whether the ticket holds one of its tenant's admission credits.
+    credited: bool,
+    /// When the wire was admitted — the start of the end-to-end
+    /// latency sample recorded at release.
+    start: std::time::Instant,
+}
+
 /// The reply demux book: every accepted wire's ticket from issue to
 /// settlement, plus the released replies awaiting collection.
 ///
@@ -296,6 +316,16 @@ struct ReplyBook {
     /// the reply plane's out-buffer (survives a failing step, so
     /// healthy shards' replies outlive a sibling's crash-stop).
     ready: VecDeque<(ClientId, Vec<u8>)>,
+    /// Per-ticket host metadata (latency clock, dedup key, credit).
+    meta: BTreeMap<u64, TicketMeta>,
+    /// Dedup index: the sequence number currently in flight per
+    /// (client, shard) — one entry at most, since the protocol allows
+    /// one pending operation per client per shard.
+    inflight_seq: BTreeMap<(ClientId, u32), u64>,
+    /// The last *released* reply per (client, shard), kept so a retry
+    /// whose reply was lost on the way back is replayed from here
+    /// instead of re-executed (bounded: one wire per client × shard).
+    last_reply: BTreeMap<(ClientId, u32), (u64, Vec<u8>)>,
     /// First failure recorded by a lane drive since the last
     /// collection (later failures in the same window are dropped, as
     /// the single-driver server always did).
@@ -311,13 +341,47 @@ impl ReplyBook {
             order: BTreeMap::new(),
             held: BTreeMap::new(),
             ready: VecDeque::new(),
+            meta: BTreeMap::new(),
+            inflight_seq: BTreeMap::new(),
+            last_reply: BTreeMap::new(),
             deferred_error: None,
         }
     }
 
+    /// Clears one settled/struck ticket's metadata, producing the
+    /// settlement record the admission layer consumes. `wire` is the
+    /// released reply (`None` for write-offs, which cache nothing and
+    /// record no latency sample).
+    fn settle_meta(
+        &mut self,
+        ticket: u64,
+        client: ClientId,
+        wire: Option<&[u8]>,
+    ) -> Option<SettledTicket> {
+        let meta = self.meta.remove(&ticket)?;
+        if let Some(seq) = meta.dedup_seq {
+            let key = (client, meta.shard);
+            if self.inflight_seq.get(&key) == Some(&seq) {
+                self.inflight_seq.remove(&key);
+            }
+            if let Some(wire) = wire {
+                self.last_reply.insert(key, (seq, wire.to_vec()));
+            }
+        }
+        Some(SettledTicket {
+            client,
+            shard: meta.shard,
+            latency: wire.map(|_| meta.start.elapsed()),
+            credited: meta.credited,
+        })
+    }
+
     /// Releases every held reply whose client has no earlier
     /// unsettled ticket, in global ticket order, into `ready`.
-    fn release_ready(&mut self) {
+    /// Returns the settlement records for the admission layer (credit
+    /// returns + latency samples); the caller forwards them after
+    /// dropping the book lock.
+    fn release_ready(&mut self) -> Vec<SettledTicket> {
         let mut released: Vec<(u64, ClientId, Vec<u8>)> = Vec::new();
         for (client, tickets) in self.order.iter_mut() {
             while let Some(&front) = tickets.front() {
@@ -336,14 +400,21 @@ impl ReplyBook {
         self.held.retain(|_, waiting| !waiting.is_empty());
         released.sort_by_key(|&(ticket, _, _)| ticket);
         self.settled += released.len() as u64;
-        self.ready
-            .extend(released.into_iter().map(|(_, client, wire)| (client, wire)));
+        let mut settled = Vec::with_capacity(released.len());
+        for (ticket, client, wire) in released {
+            settled.extend(self.settle_meta(ticket, client, Some(&wire)));
+            self.ready.push_back((client, wire));
+        }
+        settled
     }
 
     /// Strikes written-off tickets so a crash-stopped shard cannot
     /// stall the delivery of other shards' replies to the same
     /// clients, then releases anything that just became unblocked.
-    fn purge(&mut self, purged: Vec<(u64, ClientId)>) {
+    /// Returns the settlement records of both the write-offs and the
+    /// newly released replies.
+    fn purge(&mut self, purged: Vec<(u64, ClientId)>) -> Vec<SettledTicket> {
+        let mut settled = Vec::new();
         for (ticket, client) in purged {
             if let Some(tickets) = self.order.get_mut(&client) {
                 let before = tickets.len();
@@ -353,10 +424,12 @@ impl ReplyBook {
             if let Some(waiting) = self.held.get_mut(&client) {
                 waiting.remove(&ticket);
             }
+            settled.extend(self.settle_meta(ticket, client, None));
         }
         self.order.retain(|_, tickets| !tickets.is_empty());
         self.held.retain(|_, waiting| !waiting.is_empty());
-        self.release_ready();
+        settled.extend(self.release_ready());
+        settled
     }
 }
 
@@ -383,6 +456,10 @@ struct ShardCore<S> {
     /// would deadlock the single driver); with drivers attached, a
     /// full ingress blocks the submitter instead (back-pressure).
     active_drivers: AtomicUsize,
+    /// The multi-tenant admission controller gating
+    /// [`crate::transport::TransportPlane::try_submit`]. Disabled (a
+    /// transparent pass-through) until configured.
+    admission: Arc<AdmissionState>,
 }
 
 impl<S: BatchServer> ShardCore<S> {
@@ -404,6 +481,7 @@ impl<S: BatchServer> ShardCore<S> {
             work: Mutex::new(0),
             work_cv: Condvar::new(),
             active_drivers: AtomicUsize::new(0),
+            admission: Arc::new(AdmissionState::new()),
         }
     }
 
@@ -424,14 +502,36 @@ impl<S: BatchServer> ShardCore<S> {
 
     /// Tickets and enqueues one wire into `shard`'s bounded ingress
     /// (the shared tail of `submit` and `submit_to_shard`; the caller
-    /// has peeled the envelope exactly once).
-    fn enqueue(&self, client: ClientId, shard: usize, invoke_wire: Vec<u8>) {
+    /// has peeled the envelope exactly once). `dedup_seq` is the
+    /// envelope sequence when the wire was admitted with retry dedup
+    /// active; `credited` whether the ticket holds an admission
+    /// credit (returned to its tenant at settlement).
+    fn enqueue(
+        &self,
+        client: ClientId,
+        shard: usize,
+        dedup_seq: Option<u64>,
+        credited: bool,
+        invoke_wire: Vec<u8>,
+    ) {
         let ticket = {
             let mut book = self.book();
             let t = book.next_ticket;
             book.next_ticket += 1;
             book.issued += 1;
             book.order.entry(client).or_default().push_back(t);
+            book.meta.insert(
+                t,
+                TicketMeta {
+                    shard: shard as u32,
+                    dedup_seq,
+                    credited,
+                    start: std::time::Instant::now(),
+                },
+            );
+            if let Some(seq) = dedup_seq {
+                book.inflight_seq.insert((client, shard as u32), seq);
+            }
             t
         };
         let mut item = (ticket, client, invoke_wire);
@@ -484,7 +584,87 @@ impl<S: BatchServer> ShardCore<S> {
             Some((hint, _)) => (hint.client, shard_index(hint.route, n)),
             None => (ClientId(0), 0),
         };
-        self.enqueue(client, shard as usize, invoke_wire);
+        self.enqueue(client, shard as usize, None, false, invoke_wire);
+    }
+
+    /// Admission-controlled submission: the implementation behind
+    /// [`crate::transport::TransportPlane::try_submit`].
+    ///
+    /// With admission disabled this is exactly `submit`. With it
+    /// enabled, a retry of an operation whose reply was already
+    /// released is answered from the book's reply cache
+    /// ([`AdmitOutcome::ReplayedReply`] — the enclave never sees the
+    /// duplicate, per-shard op counters do not move), a retry of an
+    /// operation still in flight is coalesced
+    /// ([`AdmitOutcome::DuplicateInFlight`]), and fresh work passes the
+    /// tenant's token bucket and fair-queueing cap — or bounces with a
+    /// typed [`RetryAfter`] carrying the wire back to the caller.
+    ///
+    /// The check-then-admit window is racy by design (two concurrent
+    /// retries of the same wire may both be enqueued): the enclave's
+    /// own `(tc, hc)` replay handling (paper §4.6.1) remains the
+    /// correctness backstop, so host dedup only has to be
+    /// best-effort. Lock order is book → admission, never the reverse.
+    fn try_submit_inner(
+        &self,
+        invoke_wire: Vec<u8>,
+    ) -> std::result::Result<AdmitOutcome, RetryAfter> {
+        if !self.admission.is_enabled() {
+            self.route_and_enqueue(invoke_wire);
+            return Ok(AdmitOutcome::Enqueued);
+        }
+        let n = self.shards.len() as u32;
+        let Some((hint, _)) = RouteHint::peel(&invoke_wire) else {
+            // Malformed wires bypass dedup (there is no sequence to
+            // key on) and are delivered for the enclave to reject.
+            self.enqueue(ClientId(0), 0, None, false, invoke_wire);
+            return Ok(AdmitOutcome::Enqueued);
+        };
+        let client = hint.client;
+        let shard = shard_index(hint.route, n);
+        {
+            let mut book = self.book();
+            let key = (client, shard);
+            if let Some((seq, cached)) = book.last_reply.get(&key) {
+                if *seq == hint.seq {
+                    let cached = cached.clone();
+                    book.ready.push_back((client, cached));
+                    drop(book);
+                    self.admission.note_replayed(client);
+                    self.notify_work_arrived();
+                    self.notify_settled();
+                    return Ok(AdmitOutcome::ReplayedReply);
+                }
+            }
+            if book.inflight_seq.get(&key) == Some(&hint.seq) {
+                drop(book);
+                self.admission.note_deduped(client);
+                return Ok(AdmitOutcome::DuplicateInFlight);
+            }
+        }
+        let credited = match self.admission.admit(client) {
+            Ok(credited) => credited,
+            Err(mut rejection) => {
+                rejection.wire = invoke_wire;
+                return Err(rejection);
+            }
+        };
+        self.enqueue(
+            client,
+            shard as usize,
+            Some(hint.seq),
+            credited,
+            invoke_wire,
+        );
+        Ok(AdmitOutcome::Enqueued)
+    }
+
+    /// Forwards settlement records to the admission layer (credit
+    /// returns + latency samples). Call with the book lock dropped.
+    fn settle_admission(&self, settled: &[SettledTicket]) {
+        if !settled.is_empty() {
+            self.admission.settle(settled);
+        }
     }
 
     /// One drive of lane `idx`: feed its ingress into the server,
@@ -550,8 +730,9 @@ impl<S: BatchServer> ShardCore<S> {
                 for ((ticket, _), (client, wire)) in tickets.into_iter().zip(replies) {
                     book.held.entry(client).or_default().insert(ticket, wire);
                 }
-                book.release_ready();
+                let settled = book.release_ready();
                 drop(book);
+                self.settle_admission(&settled);
                 self.notify_settled();
                 DriveStatus::Progress
             }
@@ -564,9 +745,10 @@ impl<S: BatchServer> ShardCore<S> {
                 let purged: Vec<(u64, ClientId)> = lane.inflight.drain(..).collect();
                 drop(lane);
                 let mut book = self.book();
-                book.purge(purged);
+                let settled = book.purge(purged);
                 book.deferred_error.get_or_insert(e);
                 drop(book);
+                self.settle_admission(&settled);
                 self.notify_settled();
                 DriveStatus::Progress
             }
@@ -633,7 +815,15 @@ impl<S: BatchServer + 'static> crate::transport::TransportPlane for ShardCore<S>
             Some((hint, _)) => hint.client,
             None => ClientId(0),
         };
-        self.enqueue(client, lane as usize, invoke_wire);
+        self.enqueue(client, lane as usize, None, false, invoke_wire);
+    }
+
+    fn try_submit(&self, invoke_wire: Vec<u8>) -> std::result::Result<AdmitOutcome, RetryAfter> {
+        self.try_submit_inner(invoke_wire)
+    }
+
+    fn admission(&self) -> Option<Arc<AdmissionState>> {
+        Some(Arc::clone(&self.admission))
     }
 
     fn drive(&self, lane: u32, gate: Option<std::time::Duration>) -> crate::transport::DriveStatus {
@@ -703,8 +893,9 @@ impl<S: BatchServer + 'static> crate::transport::TransportPlane for ShardCore<S>
             );
         }
         let mut book = self.book();
-        book.purge(purged);
+        let settled = book.purge(purged);
         drop(book);
+        self.settle_admission(&settled);
         self.notify_settled();
     }
 }
@@ -808,8 +999,9 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
             (result, purged)
         };
         let mut book = self.core.book();
-        book.purge(purged);
+        let settled = book.purge(purged);
         drop(book);
+        self.core.settle_admission(&settled);
         self.core.notify_settled();
         result
     }
@@ -846,6 +1038,56 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
         }
         Ok(out)
     }
+
+    /// Installs (or replaces) the multi-tenant admission policy gating
+    /// [`crate::transport::TransportPlane::try_submit`]: per-tenant
+    /// token buckets, weighted fair-queueing caps, retry dedup, and
+    /// per-tenant × shard latency histograms. Plain `submit` is
+    /// unaffected.
+    pub fn configure_admission(&self, config: crate::admission::AdmissionConfig) {
+        self.core.admission.configure(config);
+    }
+
+    /// The deployment's admission controller (disabled until
+    /// [`ShardedServer::configure_admission`] runs; it still collects
+    /// latency/health observability for unmetered traffic submitted
+    /// through `try_submit`).
+    pub fn admission_state(&self) -> Arc<AdmissionState> {
+        Arc::clone(&self.core.admission)
+    }
+
+    /// Point-in-time admission/latency health: per-tenant admit and
+    /// reject counters plus p50/p99/p999 end-to-end latency per
+    /// tenant × shard.
+    pub fn health_snapshot(&self) -> crate::admission::HealthSnapshot {
+        self.core.admission.health_snapshot()
+    }
+}
+
+/// Concatenates per-shard sealed provisioning payloads into the one
+/// blob the multi-shard form of [`BatchServer::provision`] fans back
+/// out (count-prefixed, each part length-prefixed — the same codec
+/// shape as migration tickets).
+pub fn concat_provision_payloads(parts: &[Vec<u8>]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u32(parts.len() as u32);
+    for part in parts {
+        w.put_bytes(part);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`concat_provision_payloads`]; `None` when the blob is
+/// not a well-formed concatenation (e.g. a single raw sealed payload).
+fn split_provision_payloads(blob: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let mut r = Reader::new(blob);
+    let n = r.get_u32().ok()? as usize;
+    let mut parts = Vec::new();
+    for _ in 0..n {
+        parts.push(r.get_bytes().ok()?.to_vec());
+    }
+    r.finish().ok()?;
+    Some(parts)
 }
 
 impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
@@ -871,12 +1113,19 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
         book.order.clear();
         book.held.clear();
         book.ready.clear();
+        book.meta.clear();
+        book.inflight_seq.clear();
+        // The reply cache dies with the process: a post-restart retry
+        // re-executes and the enclave's own §4.6.1 handling covers it.
+        book.last_reply.clear();
         book.deferred_error = None;
         // Every outstanding ticket died with the process; the book
         // settles wholesale so a concurrent front-end's quiescence
         // wait cannot hang on wires that no longer exist.
         book.settled = book.issued;
         drop(book);
+        // Outstanding admission credits died with their tickets.
+        self.core.admission.reset_in_flight();
         self.core.notify_settled();
         // The enclaves restart: their identities recover from sealed
         // state, but the operational "this epoch was attested" record
@@ -893,17 +1142,36 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
 
     fn provision(&mut self, sealed_payload: Vec<u8>) -> Result<()> {
         // A multi-shard deployment cannot be provisioned from one
-        // payload: each enclave's payload carries its own identity.
-        // Refusing here (rather than fanning out a clone) turns a
-        // would-be identity collision into an immediate setup error.
-        if self.core.shards.len() > 1 {
-            return Err(LcmError::Tee(
-                "sharded deployment requires per-shard provisioning \
-                 (use provision_shard with identity-bearing payloads)"
-                    .into(),
-            ));
+        // sealed payload: each enclave's payload carries its own
+        // identity, so fanning out a clone would forge an identity
+        // collision. Instead, the multi-shard form of `provision`
+        // takes the count-prefixed concatenation of per-shard payloads
+        // (see [`concat_provision_payloads`]) and delegates to the
+        // `provision_shard` loop — the same loop
+        // [`crate::admin::AdminHandle::bootstrap`] drives directly.
+        if self.core.shards.len() == 1 {
+            return self.provision_shard(0, sealed_payload);
         }
-        self.provision_shard(0, sealed_payload)
+        let parts = split_provision_payloads(&sealed_payload).ok_or_else(|| {
+            LcmError::Tee(
+                "sharded deployment requires per-shard provisioning: pass \
+                 concat_provision_payloads() of one identity-bearing payload \
+                 per shard (or drive provision_shard / AdminHandle::bootstrap \
+                 directly)"
+                    .into(),
+            )
+        })?;
+        if parts.len() != self.core.shards.len() {
+            return Err(LcmError::Tee(format!(
+                "provision carries {} per-shard payloads for a {}-shard deployment",
+                parts.len(),
+                self.core.shards.len()
+            )));
+        }
+        for (i, part) in parts.into_iter().enumerate() {
+            self.provision_shard(i as u32, part)?;
+        }
+        Ok(())
     }
 
     fn attest(&mut self, user_data: Digest) -> Result<Quote> {
@@ -1108,6 +1376,11 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
 /// (platform ids `base_platform..base_platform + shards`) and its own
 /// [`NamespacedStorage`] region of the shared medium, optionally
 /// wrapped into the asynchronous-write pipeline.
+///
+/// **Note:** for the common whole-stack assembly (world + shards +
+/// front-end + admission + admin bootstrap), prefer the `lcm` facade
+/// crate's `DeploymentBuilder`, which wraps this constructor; use
+/// `build_sharded` directly when the layers need custom wiring.
 pub fn build_sharded<F: Functionality + 'static>(
     world: &TeeWorld,
     base_platform: u64,
@@ -1131,7 +1404,13 @@ pub fn build_sharded<F: Functionality + 'static>(
             }
         })
         .collect();
-    ShardedServer::new(servers)
+    let server = ShardedServer::new(servers);
+    // Label health snapshots with the execution mode so operators (and
+    // the bench gate) can tell sync and pipelined cells apart.
+    server
+        .admission_state()
+        .set_mode(if pipelined { "pipelined" } else { "sync" });
+    server
 }
 
 #[cfg(test)]
@@ -1262,6 +1541,10 @@ mod tests {
 
     #[test]
     fn single_payload_provision_rejected_on_multi_shard_deployment() {
+        // A raw (non-concatenated) payload cannot provision more than
+        // one shard: cloning it across lanes would forge an identity
+        // collision, so the multi-shard `provision` only accepts the
+        // count-prefixed concatenation of identity-bearing payloads.
         let world = TeeWorld::new_deterministic(95);
         let mut server =
             build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 2, false);
@@ -1271,6 +1554,49 @@ mod tests {
             matches!(err, Err(LcmError::Tee(ref m)) if m.contains("per-shard")),
             "got {err:?}"
         );
+        // A well-formed concatenation with the wrong cardinality is a
+        // distinct, explicit error.
+        let err = server.provision(concat_provision_payloads(&[b"only-one".to_vec()]));
+        assert!(
+            matches!(err, Err(LcmError::Tee(ref m)) if m.contains("1 per-shard payloads")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn concatenated_provision_delegates_to_per_shard_loop() {
+        use crate::context::{ProvisionPayload, ShardIdentity, LABEL_PROVISION};
+        use crate::program::lcm_measurement;
+        use lcm_crypto::aead::{self, AeadKey};
+        use lcm_crypto::keys::SecretKey;
+
+        let world = TeeWorld::new_deterministic(97);
+        let mut server =
+            build_sharded::<Counter>(&world, 1, Arc::new(MemoryStorage::new()), 8, 2, false);
+        assert!(server.boot().unwrap());
+
+        let channel = AeadKey::from_secret(&world.admin_provision_key(&lcm_measurement()));
+        let sealed_for = |index: u32| {
+            use crate::codec::WireCodec;
+            let payload = ProvisionPayload {
+                k_p: SecretKey::from_bytes([1u8; 32]),
+                k_c: SecretKey::from_bytes([2u8; 32]),
+                k_a: SecretKey::from_bytes([3u8; 32]),
+                clients: vec![ClientId(1)],
+                quorum: Quorum::Majority,
+                identity: ShardIdentity::new(index, 2),
+            };
+            aead::auth_encrypt(&channel, &payload.to_bytes(), LABEL_PROVISION).unwrap()
+        };
+        // One identity-bearing payload per shard, in shard order: the
+        // single `provision` call fans them out via `provision_shard`.
+        server
+            .provision(concat_provision_payloads(&[sealed_for(0), sealed_for(1)]))
+            .unwrap();
+
+        let mut admin =
+            AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 97);
+        admin.verify_deployment(&mut server).unwrap();
     }
 
     #[test]

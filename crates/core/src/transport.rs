@@ -35,6 +35,7 @@ use lcm_net::{Duplex, DuplexEnd, LinkController};
 use lcm_runtime::queue::BoundedQueue;
 use lcm_runtime::WorkerPool;
 
+use crate::admission::{AdmissionState, AdmitOutcome, HealthSnapshot, RetryAfter};
 use crate::server::{BatchServer, Replies};
 use crate::types::ClientId;
 use crate::{LcmError, Result};
@@ -49,6 +50,12 @@ pub struct TransportStats {
     delivered: AtomicU64,
     buffered: AtomicU64,
     dropped_replies: AtomicU64,
+    rejected: AtomicU64,
+    replayed: AtomicU64,
+    /// The plane's admission controller, installed once when the
+    /// front-end binds to a plane that has one — the hook behind
+    /// [`TransportStats::latency`].
+    admission: std::sync::OnceLock<Arc<AdmissionState>>,
 }
 
 impl TransportStats {
@@ -74,6 +81,26 @@ impl TransportStats {
     /// panics.
     pub fn dropped_replies(&self) -> u64 {
         self.dropped_replies.load(Ordering::SeqCst)
+    }
+
+    /// Submissions bounced by admission control with a typed
+    /// [`RetryAfter`] (counted by [`FrontendPort::try_send`]; the
+    /// blocking [`FrontendPort::send`] counts each bounce it absorbs).
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::SeqCst)
+    }
+
+    /// Retries answered from the host reply cache instead of
+    /// re-executed ([`AdmitOutcome::ReplayedReply`]).
+    pub fn replayed(&self) -> u64 {
+        self.replayed.load(Ordering::SeqCst)
+    }
+
+    /// Per-tenant × shard p50/p99/p999 latency and admission health,
+    /// when the bound plane has an admission controller (see
+    /// [`AdmissionState::health_snapshot`]).
+    pub fn latency(&self) -> Option<HealthSnapshot> {
+        self.admission.get().map(|a| a.health_snapshot())
     }
 }
 
@@ -176,6 +203,26 @@ pub trait TransportPlane: Send + Sync {
     /// `push` would otherwise wait forever on a queue nobody will
     /// drain again.
     fn shed_ingress(&self);
+
+    /// Admission-controlled submission: like
+    /// [`TransportPlane::submit`], but consults the plane's
+    /// multi-tenant admission controller first. A rejected wire comes
+    /// back inside the typed [`RetryAfter`] (no clone, no silent
+    /// drop); an accepted one reports whether it was enqueued,
+    /// answered from the host reply cache, or coalesced with an
+    /// in-flight duplicate. Planes without admission control accept
+    /// everything (this default).
+    fn try_submit(&self, invoke_wire: Vec<u8>) -> std::result::Result<AdmitOutcome, RetryAfter> {
+        self.submit(invoke_wire);
+        Ok(AdmitOutcome::Enqueued)
+    }
+
+    /// The plane's admission controller, when it has one. The default
+    /// is `None`: admission is an opt-in layer of the sharded core,
+    /// not a requirement of the plane contract.
+    fn admission(&self) -> Option<Arc<AdmissionState>> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -293,9 +340,59 @@ impl FrontendPort {
 
     /// Submits an encrypted INVOKE toward the deployment
     /// (multi-producer safe; blocks only for ingress back-pressure).
+    ///
+    /// With admission control configured on the plane, a rejected wire
+    /// is retried after the controller's suggested back-off until it
+    /// is accepted — the blocking convenience over
+    /// [`FrontendPort::try_send`]. Each absorbed bounce still counts
+    /// in [`TransportStats::rejected`].
     pub fn send(&self, wire: Vec<u8>) {
-        self.stats.submitted.fetch_add(1, Ordering::SeqCst);
-        self.plane.submit(wire);
+        /// Cap on one blocking-send back-off nap, so a shutdown or a
+        /// policy change never strands the sender in a long sleep.
+        const MAX_BACKOFF: Duration = Duration::from_millis(5);
+        let mut wire = wire;
+        loop {
+            match self.try_send(wire) {
+                Ok(_) => return,
+                Err(rejection) => {
+                    wire = rejection.wire;
+                    std::thread::sleep(rejection.retry_after.min(MAX_BACKOFF));
+                }
+            }
+        }
+    }
+
+    /// Admission-aware submission: consults the plane's multi-tenant
+    /// admission controller and returns without blocking on policy.
+    /// `Ok` reports what happened to the wire (enqueued, replayed from
+    /// the host reply cache, or coalesced with an in-flight
+    /// duplicate); `Err` carries the wire back together with the
+    /// typed back-pressure ([`RetryAfter::retry_after`] is the
+    /// suggested nap). On planes without admission control this is
+    /// exactly [`FrontendPort::send`].
+    pub fn try_send(&self, wire: Vec<u8>) -> std::result::Result<AdmitOutcome, RetryAfter> {
+        match self.plane.try_submit(wire) {
+            Ok(outcome) => {
+                // `submitted` counts wires the ingress plane accepted,
+                // matching `delivered` at quiescence — replayed and
+                // coalesced retries produce (at most) cached replies,
+                // not fresh tickets, so they are tracked separately.
+                match outcome {
+                    AdmitOutcome::Enqueued => {
+                        self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+                    }
+                    AdmitOutcome::ReplayedReply => {
+                        self.stats.replayed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    AdmitOutcome::DuplicateInFlight => {}
+                }
+                Ok(outcome)
+            }
+            Err(rejection) => {
+                self.stats.rejected.fetch_add(1, Ordering::SeqCst);
+                Err(rejection)
+            }
+        }
     }
 
     /// Receives the next reply, if one has been delivered.
@@ -459,6 +556,11 @@ impl<S: BatchServer + 'static> Frontend<S> {
             }),
             stats: Arc::new(TransportStats::default()),
         });
+        if let Some(admission) = plane.admission() {
+            // Bind the plane's admission controller into the shared
+            // stats so `TransportStats::latency` works from any clone.
+            let _ = shared.stats.admission.set(admission);
+        }
         if matches!(mode, DriveMode::Continuous) {
             plane.attach_drivers(threads);
         }
@@ -508,6 +610,27 @@ impl<S: BatchServer + 'static> Frontend<S> {
         self.shared
             .linger_nanos
             .store(linger.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    /// Installs (or replaces) the multi-tenant admission policy on the
+    /// underlying plane. No-op `false` when the plane has no admission
+    /// controller.
+    pub fn set_admission(&self, config: crate::admission::AdmissionConfig) -> bool {
+        match self.plane.admission() {
+            Some(admission) => {
+                admission.configure(config);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point-in-time admission/latency health of the underlying plane
+    /// (`None` when it has no admission controller): per-tenant admit
+    /// and reject counters plus p50/p99/p999 end-to-end latency per
+    /// tenant × shard.
+    pub fn health_snapshot(&self) -> Option<HealthSnapshot> {
+        self.plane.admission().map(|a| a.health_snapshot())
     }
 
     /// Connects a client, returning its thread-safe port. Replies for
@@ -591,6 +714,10 @@ impl<S: BatchServer + 'static> Frontend<crate::shard::ShardedServer<S>> {
     /// Lifts a single-enclave server into the concurrent front-end by
     /// wrapping it in a one-shard [`crate::shard::ShardedServer`] (the
     /// solo lane gets the shared ingress/reply core for free).
+    ///
+    /// **Note:** the `lcm` facade crate's `DeploymentBuilder` (with
+    /// `.shards(1)`) assembles this plus the admin bootstrap in one
+    /// call; `solo` remains for callers lifting a pre-built server.
     pub fn solo(server: S, threads: usize, mode: DriveMode) -> Self {
         Self::new(
             crate::shard::ShardedServer::new(vec![server]),

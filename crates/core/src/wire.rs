@@ -34,26 +34,30 @@ pub const REPLY_OVERHEAD: usize = 1 + 8 + 8 + 32 + 32;
 
 /// Length of the plaintext routing envelope prepended to every
 /// encrypted INVOKE (see [`RouteHint`]).
-pub const ROUTE_HINT_LEN: usize = 4 + 4;
+pub const ROUTE_HINT_LEN: usize = 4 + 4 + 8;
 
 /// The plaintext routing envelope of an encrypted INVOKE wire:
-/// `client(4) ‖ route(4) ‖ ciphertext`.
+/// `client(4) ‖ route(4) ‖ seq(8) ‖ ciphertext`.
 ///
 /// A key-partitioned sharded host (see [`crate::shard`]) must route
 /// each request without decrypting it, so the client attaches the
 /// stable route hash in the clear — exposing no more than the host
 /// learns anyway from routing the reply (the client identity) plus a
-/// hash of the partition key. Both fields are **bound into the AEAD
-/// associated data** of the INVOKE and of its REPLY (see
-/// [`crate::context::invoke_aad`] / [`crate::context::reply_aad`]):
-/// tampering with the envelope, or swapping a client's concurrent
-/// replies across shards, fails authentication. Delivering an *intact*
-/// wire to the wrong shard is caught by the receiving enclave itself:
-/// it holds an attested [`crate::context::ShardIdentity`] and rejects
-/// any wire whose envelope route — or whose route recomputed from the
-/// decrypted operation — does not map to it
-/// ([`crate::Violation::WrongShard`]), with no client history
-/// required.
+/// hash of the partition key. The `seq` field carries the client's
+/// sequence number `tc` in the clear so the host's admission layer
+/// (see [`crate::admission`]) can deduplicate retried submissions
+/// without decrypting; it reveals only an op counter. All three
+/// fields are **bound into the AEAD associated data** of the INVOKE
+/// (see [`crate::context::invoke_aad`] / [`crate::context::reply_aad`]
+/// for the REPLY): tampering with the envelope, or swapping a client's
+/// concurrent replies across shards, fails authentication, and the
+/// enclave additionally cross-checks `seq` against the authenticated
+/// `tc` inside the ciphertext. Delivering an *intact* wire to the
+/// wrong shard is caught by the receiving enclave itself: it holds an
+/// attested [`crate::context::ShardIdentity`] and rejects any wire
+/// whose envelope route — or whose route recomputed from the decrypted
+/// operation — does not map to it ([`crate::Violation::WrongShard`]),
+/// with no client history required.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteHint {
     /// The invoking client (duplicated inside the ciphertext; the
@@ -62,6 +66,11 @@ pub struct RouteHint {
     /// Stable route hash of the operation's partition key (see
     /// [`crate::shard::route_for`]).
     pub route: u32,
+    /// The client's sequence number `tc` for this invocation
+    /// (duplicated inside the ciphertext; the enclave asserts both
+    /// copies agree). Identical across retries of the same operation,
+    /// which is what makes host-side retry dedup sound.
+    pub seq: u64,
 }
 
 impl RouteHint {
@@ -69,6 +78,7 @@ impl RouteHint {
     pub fn encode_to(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.client.0.to_be_bytes());
         out.extend_from_slice(&self.route.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
     }
 
     /// Splits a wire into its envelope and the AEAD ciphertext.
@@ -79,7 +89,8 @@ impl RouteHint {
         }
         let client = ClientId(u32::from_be_bytes(wire[0..4].try_into().ok()?));
         let route = u32::from_be_bytes(wire[4..8].try_into().ok()?);
-        Some((RouteHint { client, route }, &wire[ROUTE_HINT_LEN..]))
+        let seq = u64::from_be_bytes(wire[8..16].try_into().ok()?);
+        Some((RouteHint { client, route, seq }, &wire[ROUTE_HINT_LEN..]))
     }
 }
 
@@ -263,6 +274,7 @@ mod tests {
         let hint = RouteHint {
             client: ClientId(7),
             route: 0xdead_beef,
+            seq: 41,
         };
         let mut wire = Vec::new();
         hint.encode_to(&mut wire);

@@ -105,6 +105,15 @@ pub struct CostModel {
     /// the real enclave does (validated against the real stack in
     /// `tests/sharding_validation.rs`).
     pub route_check: Duration,
+    /// The host-side admission check at the front door (LCM only):
+    /// one token-bucket refill-and-take, the weighted-fair in-flight
+    /// accounting, the retry-dedup map probes, and the latency
+    /// histogram record — all under the reply-book lock at ingress.
+    /// A few map operations plus arithmetic per request; charged to
+    /// the *host* share of the per-op cost (it runs outside the
+    /// enclave), and validated against the real admission-enabled
+    /// front-end in `tests/sharding_validation.rs`.
+    pub admission_check: Duration,
     /// Fixed cost of sealing the state, per batch.
     pub seal_fixed: Duration,
     /// Per-byte sealing cost.
@@ -141,6 +150,7 @@ impl Default for CostModel {
             hash_step: Duration::from_nanos(600),
             frontend_contention: 0.04,
             route_check: Duration::from_nanos(120),
+            admission_check: Duration::from_nanos(250),
             seal_fixed: Duration::from_micros(3),
             seal_ns_per_byte: 0.25,
             lcm_premium_100: 0.2519,  // 1/(1-0.2012) - 1
@@ -256,7 +266,8 @@ impl CostModel {
                 let mut state = state_bytes;
                 let mut per_batch = self.ecall_overhead + self.seal(state);
                 if let ServerKind::Lcm { .. } = kind {
-                    per_op += self.hash_step + self.route_check;
+                    per_op += self.hash_step + self.route_check + self.admission_check;
+                    host_share += self.admission_check;
                     // V map entries (~100 B per client, plus the cached
                     // reply of the retry extension) enlarge the sealed
                     // state; dominated by the KVS state itself.
@@ -396,6 +407,31 @@ mod tests {
         // matching its footprint on the real stack.
         let delta = with_check.per_op - without.per_op;
         assert!(delta * 100 < with_check.per_op);
+    }
+
+    #[test]
+    fn admission_check_is_charged_to_lcm_host_share() {
+        let mut cheap = model();
+        cheap.admission_check = Duration::ZERO;
+        let m = model();
+        let with_check = m.profile(ServerKind::Lcm { batch: 1 }, 1000, 100, false);
+        let without = cheap.profile(ServerKind::Lcm { batch: 1 }, 1000, 100, false);
+        // The front door runs on the host, so both the total and the
+        // host share of the per-op cost carry it.
+        assert!(with_check.per_op > without.per_op);
+        assert!(with_check.host_share > without.host_share);
+        // SGX has no multi-tenant front door to pay for.
+        assert_eq!(
+            m.profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false)
+                .per_op,
+            cheap
+                .profile(ServerKind::Sgx { batch: 1 }, 1000, 100, false)
+                .per_op
+        );
+        // Like the route check, it is noise next to the crypto work:
+        // under 2% of the LCM per-op budget.
+        let delta = with_check.per_op - without.per_op;
+        assert!(delta * 50 < with_check.per_op);
     }
 
     #[test]

@@ -112,12 +112,67 @@ fn measure_real_frontend(shards: u32, driver_threads: usize) -> f64 {
 }
 
 fn predict_frontend(shards: usize, threads: usize, n_clients: usize) -> f64 {
-    let model = CostModel::default();
+    predict_frontend_with_model(&CostModel::default(), shards, threads, n_clients)
+}
+
+fn predict_frontend_with_model(
+    model: &CostModel,
+    shards: usize,
+    threads: usize,
+    n_clients: usize,
+) -> f64 {
     let mut scenario = Scenario::paper_default(ServerKind::Lcm { batch: BATCH }, n_clients);
     scenario.fsync = true;
     scenario.shards = shards;
     scenario.frontend_threads = threads;
-    run_scenario(&model, &scenario).throughput()
+    run_scenario(model, &scenario).throughput()
+}
+
+/// [`measure_real_frontend`] with the multi-tenant admission layer
+/// enabled at the front door: one unmetered tenant holding every
+/// client, so no request is ever throttled and the measured delta is
+/// purely the admission *bookkeeping* (token accounting, dedup map
+/// probes, latency histograms) the cost model charges as
+/// `admission_check`.
+fn measure_real_frontend_admitted(shards: u32, driver_threads: usize) -> f64 {
+    use lcm_core::admission::{AdmissionConfig, TenantConfig, TenantId};
+    use lcm_core::transport::{DriveMode, Frontend};
+    let world = TeeWorld::new_deterministic(9_100 + u64::from(shards));
+    let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), STORE_DELAY));
+    let server = build_sharded::<Counter>(&world, 1, storage, BATCH, shards, false);
+    let ids: Vec<ClientId> = (1..=N_CLIENTS).map(ClientId).collect();
+    server.configure_admission(AdmissionConfig {
+        tenants: vec![TenantConfig::unlimited(TenantId(1), ids.clone(), 1)],
+        max_in_flight: 1024,
+    });
+    let mut fe = Frontend::new(server, driver_threads, DriveMode::Continuous).unwrap();
+    assert!(fe.boot().unwrap());
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 11);
+    admin.bootstrap(&mut fe).unwrap();
+
+    let t0 = Instant::now();
+    let workers: Vec<_> = ids
+        .iter()
+        .map(|&id| {
+            let mut client = LcmClient::new_sharded(id, admin.client_key(), shards);
+            let port = fe.connect(id);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    let op = Counter::inc_op(format!("k{}-{i}", id.0).as_bytes(), 1);
+                    port.send(client.invoke_for::<Counter>(&op).unwrap());
+                    let reply = port
+                        .recv_timeout(Duration::from_secs(60))
+                        .expect("closed-loop reply");
+                    client.handle_reply(&reply).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    fe.flush_persists().unwrap();
+    f64::from(N_CLIENTS * ROUNDS) / t0.elapsed().as_secs_f64()
 }
 
 #[test]
@@ -159,6 +214,40 @@ fn simulator_frontend_knob_tracks_the_real_trend() {
     assert!(
         (0.3..=3.0).contains(&agreement),
         "sim {sim:.2}x vs real {real:.2}x diverge (agreement {agreement:.2})"
+    );
+}
+
+#[test]
+fn admission_term_matches_the_real_bookkeeping_cost() {
+    // The cost model charges `admission_check` — the front door's
+    // per-request token/dedup/histogram bookkeeping — as host-side
+    // noise (a fraction of a percent of the per-op budget). Validate
+    // that claim against the real stack: the identical closed-loop
+    // front-end workload with admission enabled (one unmetered tenant,
+    // nobody throttled) must not lose more than wall-clock jitter
+    // versus admission disabled, and the simulator must predict the
+    // same near-unity ratio.
+    let with_check = CostModel::default();
+    let without_check = CostModel {
+        admission_check: Duration::ZERO,
+        ..CostModel::default()
+    };
+    let sim = predict_frontend_with_model(&with_check, 4, 4, N_CLIENTS as usize)
+        / predict_frontend_with_model(&without_check, 4, 4, N_CLIENTS as usize);
+    assert!(
+        (0.95..=1.0).contains(&sim),
+        "the model says bookkeeping is noise, not {sim:.3}x"
+    );
+
+    let real = measure_real_frontend_admitted(4, 4) / measure_real_frontend(4, 4);
+    assert!(
+        (0.5..=1.5).contains(&real),
+        "admission bookkeeping changed real throughput by {real:.2}x"
+    );
+    let agreement = real / sim;
+    assert!(
+        (0.3..=3.0).contains(&agreement),
+        "sim {sim:.3}x vs real {real:.2}x diverge (agreement {agreement:.2})"
     );
 }
 

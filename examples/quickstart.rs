@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 //!
-//! Flow (paper §4.3 + §5.3):
+//! Flow (paper §4.3 + §5.3), all assembled by `DeploymentBuilder`:
 //! 1. A TEE platform hosts the enclave; the host server persists
 //!    sealed state to storage and batches requests.
 //! 2. The admin attests the enclave, provisions the keys, and
@@ -11,49 +11,35 @@
 //! 3. Clients PUT/GET/DEL through the LCM protocol and observe
 //!    sequence numbers and majority-stability watermarks.
 
-use std::sync::Arc;
-
-use lcm::core::admin::AdminHandle;
-use lcm::core::server::LcmServer;
-use lcm::core::stability::Quorum;
-use lcm::core::types::ClientId;
-use lcm::kvs::client::KvsClient;
 use lcm::kvs::store::KvStore;
-use lcm::storage::MemoryStorage;
-use lcm::tee::world::TeeWorld;
+use lcm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- Infrastructure: a TEE world, one server platform, storage.
-    let world = TeeWorld::new_deterministic(2024);
-    let platform = world.platform(1);
-    let storage = Arc::new(MemoryStorage::new());
-
-    // --- The (honest, here) host server: enclave + storage + batching.
-    let mut server = LcmServer::<KvStore>::new(&platform, storage, 16);
-    let needs_provision = server.boot()?;
-    assert!(needs_provision, "fresh server needs bootstrapping");
-
-    // --- Admin bootstrap: attestation + key provisioning (§4.3).
+    // --- One call assembles the stack: TEE world, server, front-end,
+    // admin bootstrap (attestation + key provisioning, §4.3).
     let group = vec![ClientId(1), ClientId(2), ClientId(3)];
-    let mut admin = AdminHandle::new(&world, group, Quorum::Majority);
-    admin.bootstrap(&mut server)?;
+    let mut dep = DeploymentBuilder::<KvStore>::new()
+        .clients(group)
+        .seed(2024)
+        .build()?;
     println!(
-        "✓ enclave attested and provisioned for {} clients",
-        admin.clients().len()
+        "✓ enclave attested and provisioned for {} clients across {} shard(s)",
+        dep.admin().clients().len(),
+        dep.shards()
     );
 
     // --- Clients receive kC from the admin and start working.
-    let mut alice = KvsClient::new(ClientId(1), admin.client_key());
-    let mut bob = KvsClient::new(ClientId(2), admin.client_key());
-    let mut carol = KvsClient::new(ClientId(3), admin.client_key());
+    let mut alice = dep.kvs_client(ClientId(1));
+    let mut bob = dep.kvs_client(ClientId(2));
+    let mut carol = dep.kvs_client(ClientId(3));
 
-    let done = alice.put(&mut server, b"motd", b"hello, collective memory")?;
+    let done = alice.put(dep.frontend_mut(), b"motd", b"hello, collective memory")?;
     println!(
         "alice PUT motd  -> seq {}, majority-stable watermark {}",
         done.seq, done.stable
     );
 
-    let value = bob.get(&mut server, b"motd")?;
+    let value = bob.get(dep.frontend_mut(), b"motd")?;
     println!(
         "bob   GET motd  -> {:?} (seq {}, stable {})",
         String::from_utf8_lossy(&value.unwrap()),
@@ -61,24 +47,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bob.lcm().stable_seq()
     );
 
-    carol.put(&mut server, b"count", b"1")?;
+    carol.put(dep.frontend_mut(), b"count", b"1")?;
 
     // A second round of operations acknowledges the first: the
     // majority-stable watermark advances.
-    let done = alice.put(&mut server, b"motd", b"updated")?;
+    let done = alice.put(dep.frontend_mut(), b"motd", b"updated")?;
     println!(
         "alice PUT motd  -> seq {}, majority-stable watermark {}",
         done.seq, done.stable
     );
     assert!(done.stable.0 >= 1, "first-round ops become stable");
 
-    let existed = bob.del(&mut server, b"count")?;
+    let existed = bob.del(dep.frontend_mut(), b"count")?;
     println!("bob   DEL count -> existed = {existed}");
 
     // The server crashes; sealed state + client metadata survive.
-    server.crash();
-    server.boot()?;
-    let value = carol.get(&mut server, b"motd")?;
+    dep.frontend_mut().crash();
+    dep.frontend_mut().boot()?;
+    let value = carol.get(dep.frontend_mut(), b"motd")?;
     println!(
         "carol GET motd  -> {:?} after crash recovery",
         String::from_utf8_lossy(&value.unwrap())

@@ -20,7 +20,24 @@
 //! * [`sim`] — deterministic discrete-event simulator and cost model
 //!   used to regenerate the paper's figures.
 //!
+//! On top of the re-exports, this crate owns the [`deployment`]
+//! builder — the one-call assembly of world + sharded servers +
+//! front-end + admission + admin bootstrap — and the [`prelude`].
+//!
 //! ## Quickstart
+//!
+//! ```
+//! use lcm::prelude::*;
+//! use lcm::kvs::store::KvStore;
+//!
+//! let mut dep = DeploymentBuilder::<KvStore>::new()
+//!     .shards(2)
+//!     .clients(vec![ClientId(1)])
+//!     .build()
+//!     .unwrap();
+//! let mut alice = dep.kvs_client(ClientId(1));
+//! alice.put(dep.frontend_mut(), b"motd", b"hello").unwrap();
+//! ```
 //!
 //! See `examples/quickstart.rs` for a complete bootstrapped
 //! client/server session, and `examples/rollback_attack.rs` /
@@ -35,3 +52,21 @@ pub use lcm_sim as sim;
 pub use lcm_storage as storage;
 pub use lcm_tee as tee;
 pub use lcm_workload as workload;
+
+pub mod deployment;
+
+/// The common surface in one import: the deployment builder, both
+/// client libraries, the front-end port, and the admission/tenancy
+/// types.
+pub mod prelude {
+    pub use crate::deployment::{Deployment, DeploymentBuilder, Mode};
+    pub use lcm_core::admission::{
+        AdmissionConfig, HealthSnapshot, RetryAfter, TenantConfig, TenantId,
+    };
+    pub use lcm_core::client::LcmClient;
+    pub use lcm_core::server::BatchServer;
+    pub use lcm_core::stability::Quorum;
+    pub use lcm_core::transport::FrontendPort;
+    pub use lcm_core::types::ClientId;
+    pub use lcm_kvs::client::KvsClient;
+}
