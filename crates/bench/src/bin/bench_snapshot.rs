@@ -42,7 +42,8 @@
 use std::time::Duration;
 
 use lcm_bench::shardbench::{
-    measure, measure_for, measure_frontend_admitted, measure_frontend_for, ShardRun, COLD_TENANT,
+    measure, measure_for, measure_frontend_admitted, measure_frontend_for,
+    measure_replicated_reads, measure_replicated_write, ReplicaRun, ShardRun, COLD_TENANT,
     HOT_TENANT,
 };
 
@@ -60,6 +61,22 @@ const SHARDS: [u32; 3] = [1, 4, 8];
 const HOT_CLIENTS: u32 = 32;
 const HOT_SHARDS: u32 = 8;
 const HOT_STORE_DELAY: Duration = Duration::from_millis(4);
+
+/// Replicated-group parameters: one shard group at 1 (control) and
+/// `REPLICAS` members. The write cells track the quorum's cost (each
+/// batch pays `replicas` persisted copies); the read cells track
+/// follower-read scale-out (`REP_READERS` threads hammering the
+/// lock-per-member read port, legs pinned round-robin).
+const REPLICAS: u32 = 3;
+const REP_CLIENTS: u32 = 32;
+const REP_READERS: u32 = 6;
+/// Modelled enclave-transition cost per member ecall. Like
+/// `STORE_DELAY` for the disk, this makes member *occupancy* — not the
+/// runner's core count — the read bottleneck, so the follower-read
+/// scale-out ratio is hardware-stable: at 1 member every read leg
+/// serializes on the sole enclave, at `REPLICAS` members the pinned
+/// legs overlap their service time.
+const ECALL_COST: Duration = Duration::from_micros(80);
 
 fn quick() -> bool {
     std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
@@ -141,6 +158,28 @@ fn main() {
         ));
     }
 
+    // Replicated shard groups: write cost of the majority quorum, and
+    // verified-read scale-out across followers, both against the
+    // 1-member control group.
+    for &replicas in &[1u32, REPLICAS] {
+        let cfg = ReplicaRun {
+            replicas,
+            batch: BATCH,
+            clients: REP_CLIENTS,
+            rounds,
+            store_delay: STORE_DELAY,
+            ecall_cost: ECALL_COST,
+        };
+        let write = measure_replicated_write(&cfg);
+        let wmode = format!("rep-write-{replicas}");
+        println!("{wmode:>13} x 1 shard(s): {write:>10.0} ops/s");
+        results.push((wmode, 1, write, None));
+        let read = measure_replicated_reads(&cfg, REP_READERS, window);
+        let rmode = format!("rep-read-{replicas}");
+        println!("{rmode:>13} x 1 shard(s): {read:>10.0} ops/s");
+        results.push((rmode, 1, read, None));
+    }
+
     let ops_of = |mode: &str, shards: u32| {
         results
             .iter()
@@ -152,10 +191,16 @@ fn main() {
     let pipe_speedup = ops_of("pipelined", 4) / ops_of("pipelined", 1);
     let fe_sync = ops_of("sync-fe", HOT_SHARDS) / ops_of("sync-hot", HOT_SHARDS);
     let fe_pipe = ops_of("pipelined-fe", HOT_SHARDS) / ops_of("pipelined-hot", HOT_SHARDS);
+    let rep_write_cost = ops_of("rep-write-1", 1) / ops_of(&format!("rep-write-{REPLICAS}"), 1);
+    let rep_read_scaleout = ops_of(&format!("rep-read-{REPLICAS}"), 1) / ops_of("rep-read-1", 1);
     println!("4-shard speedup: sync {sync_speedup:.2}x, pipelined {pipe_speedup:.2}x");
     println!(
         "front-end speedup at {HOT_SHARDS} shards (skewed): sync {fe_sync:.2}x, \
          pipelined {fe_pipe:.2}x"
+    );
+    println!(
+        "replica group at {REPLICAS} members: write cost {rep_write_cost:.2}x, \
+         follower-read scale-out {rep_read_scaleout:.2}x"
     );
 
     // Hand-rolled JSON: the sanctioned dependency set has no JSON
@@ -166,10 +211,13 @@ fn main() {
         "  \"config\": {{\"clients\": {CLIENTS}, \"batch\": {BATCH}, \
          \"store_delay_us\": {}, \"rounds\": {rounds}, \
          \"hot_clients\": {HOT_CLIENTS}, \"hot_store_delay_us\": {}, \
-         \"window_ms\": {}}},\n",
+         \"window_ms\": {}, \"replicas\": {REPLICAS}, \
+         \"rep_clients\": {REP_CLIENTS}, \"rep_readers\": {REP_READERS}, \
+         \"ecall_cost_us\": {}}},\n",
         STORE_DELAY.as_micros(),
         HOT_STORE_DELAY.as_micros(),
-        window.as_millis()
+        window.as_millis(),
+        ECALL_COST.as_micros()
     ));
     json.push_str("  \"results\": [\n");
     for (i, (mode, shards, ops, lat)) in results.iter().enumerate() {
@@ -188,7 +236,11 @@ fn main() {
         "  \"speedup_4shards\": {{\"sync\": {sync_speedup:.3}, \"pipelined\": {pipe_speedup:.3}}},\n"
     ));
     json.push_str(&format!(
-        "  \"frontend_speedup_8shards\": {{\"sync\": {fe_sync:.3}, \"pipelined\": {fe_pipe:.3}}}\n"
+        "  \"frontend_speedup_8shards\": {{\"sync\": {fe_sync:.3}, \"pipelined\": {fe_pipe:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"replica_group_{REPLICAS}x\": {{\"write_cost\": {rep_write_cost:.3}, \
+         \"read_scaleout\": {rep_read_scaleout:.3}}}\n"
     ));
     json.push_str("}\n");
 

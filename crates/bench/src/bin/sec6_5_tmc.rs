@@ -5,6 +5,14 @@
 //! ≈ 12 ops/s regardless of client count, while LCM with batching is
 //! **96× – 2063×** faster.
 //!
+//! The third column prices the *replicated* deployment: LCM batching
+//! with a 3-member (2f+1) shard group, where every batch additionally
+//! pays two follower applies and acks (`CostModel::replica_ack`).
+//! That is the fair comparison point against a TMC — both protect
+//! against rollback across crashes, but the quorum does it at batch
+//! granularity instead of one 60 ms counter bump per state change,
+//! and survives enclave failures a single TMC-backed enclave cannot.
+//!
 //! Regenerate: `cargo run -p lcm-bench --bin sec6_5_tmc --release`
 
 use lcm_bench::{compare, header, write_csv};
@@ -15,9 +23,17 @@ use lcm_sim::CostModel;
 fn main() {
     let model = CostModel::default();
     println!("Section 6.5: trusted monotonic counter vs LCM with batching\n");
-    header(&["clients", "SGX+TMC [ops/s]", "LCM+batch [ops/s]", "speedup"]);
+    header(&[
+        "clients",
+        "SGX+TMC [ops/s]",
+        "LCM+batch [ops/s]",
+        "LCM 2f+1 x3 [ops/s]",
+        "speedup",
+        "rep speedup",
+    ]);
 
     let mut speedups = Vec::new();
+    let mut rep_speedups = Vec::new();
     let mut tmc_rates = Vec::new();
     let mut rows = Vec::new();
     for n in client_counts() {
@@ -28,20 +44,36 @@ fn main() {
             &Scenario::paper_default(ServerKind::Lcm { batch: 16 }, n),
         )
         .throughput();
+        let mut replicated = Scenario::paper_default(ServerKind::Lcm { batch: 16 }, n);
+        replicated.replicas = 3;
+        let rep = run_scenario(&model, &replicated).throughput();
         let speedup = lcm / tmc;
+        let rep_speedup = rep / tmc;
         speedups.push(speedup);
+        rep_speedups.push(rep_speedup);
         tmc_rates.push(tmc);
-        println!("| {n:>7} | {tmc:>15.1} | {lcm:>17.0} | {speedup:>6.0}x |");
+        println!(
+            "| {n:>7} | {tmc:>15.1} | {lcm:>17.0} | {rep:>19.0} | {speedup:>6.0}x | {rep_speedup:>9.0}x |"
+        );
         rows.push(vec![
             n.to_string(),
             format!("{tmc:.1}"),
             format!("{lcm:.1}"),
+            format!("{rep:.1}"),
             format!("{speedup:.1}"),
+            format!("{rep_speedup:.1}"),
         ]);
     }
     write_csv(
         "sec6_5_tmc",
-        &["clients", "tmc_ops_per_s", "lcm_batch_ops_per_s", "speedup"],
+        &[
+            "clients",
+            "tmc_ops_per_s",
+            "lcm_batch_ops_per_s",
+            "lcm_replicated3_ops_per_s",
+            "speedup",
+            "replicated_speedup",
+        ],
         &rows,
     );
 
@@ -61,6 +93,15 @@ fn main() {
             "{:.0}x – {:.0}x",
             speedups.iter().cloned().fold(f64::INFINITY, f64::min),
             speedups.iter().cloned().fold(0.0f64, f64::max)
+        ),
+    );
+    compare(
+        "3-replica quorum vs TMC",
+        "(no paper figure: crash-surviving rollback protection)",
+        &format!(
+            "{:.0}x – {:.0}x faster than a trusted counter, while tolerating f=1 enclave crashes",
+            rep_speedups.iter().cloned().fold(f64::INFINITY, f64::min),
+            rep_speedups.iter().cloned().fold(0.0f64, f64::max)
         ),
     );
 }

@@ -660,6 +660,144 @@ pub mod shardbench {
         (out.ops_per_s, out.health)
     }
 
+    /// One replicated-group measurement configuration: a single shard
+    /// run as a `2f + 1` replica group, so the recorded deltas are
+    /// purely the replication protocol's (no shard fan-out in the
+    /// same cell).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ReplicaRun {
+        /// Members in the group (1 = unreplicated control).
+        pub replicas: u32,
+        /// Per-member batch limit.
+        pub batch: usize,
+        /// Closed-loop writer clients (doubling as reader identities in
+        /// the read cell).
+        pub clients: u32,
+        /// Full submit-all/process-all rounds for the write cell.
+        pub rounds: u32,
+        /// Modelled write+fsync latency per store call — paid once by
+        /// the leader and once per follower apply, which is exactly the
+        /// write cost the `rep-write-*` cells track.
+        pub store_delay: Duration,
+        /// Modelled enclave-transition cost per ecall
+        /// ([`lcm_tee::platform::TeePlatform::set_ecall_cost`]).
+        /// Every call into a member's enclave — a batch execution, a
+        /// follower apply, a verified read — occupies that member for
+        /// this long, the same way [`DelayedStorage`] makes the disk
+        /// the write bottleneck. It is what the `rep-read-*` cells
+        /// scale against: reads pinned to distinct members overlap
+        /// their service time, reads to one member serialize it.
+        pub ecall_cost: Duration,
+    }
+
+    fn setup_replicated(cfg: &ReplicaRun) -> (Box<dyn BatchServer>, Vec<LcmClient>) {
+        use lcm_core::shard::{build_replicated, ReplicationSpec};
+        let world = TeeWorld::new_deterministic(8_700 + u64::from(cfg.replicas));
+        world.set_ecall_cost(cfg.ecall_cost);
+        let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), cfg.store_delay));
+        let spec = ReplicationSpec {
+            shards: 1,
+            replicas: cfg.replicas,
+            quorum: Quorum::Majority,
+        };
+        let mut server: Box<dyn BatchServer> = Box::new(build_replicated::<KvStore>(
+            &world, 1, storage, cfg.batch, spec, false,
+        ));
+        assert!(server.boot().unwrap());
+        let ids: Vec<ClientId> = (1..=cfg.clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 13);
+        admin.bootstrap(&mut server).unwrap();
+        let clients = ids
+            .iter()
+            .map(|&id| LcmClient::new_sharded(id, admin.client_key(), 1))
+            .collect();
+        (server, clients)
+    }
+
+    /// Write ops/s of the replica group: every acknowledged write
+    /// waits for the majority quorum, so each batch pays the leader's
+    /// store plus `replicas - 1` follower applies (each persisting its
+    /// own sealed copy through the delayed device).
+    pub fn measure_replicated_write(cfg: &ReplicaRun) -> f64 {
+        use lcm_core::codec::WireCodec;
+        let (mut server, mut clients) = setup_replicated(cfg);
+        let payload = vec![0x42u8; 100];
+        let t0 = Instant::now();
+        for _ in 0..cfg.rounds {
+            for (i, c) in clients.iter_mut().enumerate() {
+                let op = KvOp::Put(format!("k{i}").into_bytes(), payload.clone());
+                server.submit(c.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
+            }
+            let replies = server.process_all().unwrap();
+            for (id, wire) in replies {
+                let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+                c.handle_reply(&wire).unwrap();
+            }
+        }
+        server.flush_persists().unwrap();
+        f64::from(cfg.clients * cfg.rounds) / t0.elapsed().as_secs_f64()
+    }
+
+    /// Verified-read ops/s of the replica group over `window`:
+    /// `readers` threads hammer the group's lock-per-member
+    /// `ReadPort`, each pinning its read legs to replica
+    /// `i % replicas`. At one replica every read serializes on the
+    /// sole member's lock; at three, three members decrypt, execute,
+    /// and seal read replies in parallel — the follower-read
+    /// scale-out the `rep-read-*` cells track.
+    pub fn measure_replicated_reads(cfg: &ReplicaRun, readers: u32, window: Duration) -> f64 {
+        use lcm_core::client::ReadOutcome;
+        use lcm_core::codec::WireCodec;
+        assert!(cfg.clients >= readers);
+        let (mut server, clients) = setup_replicated(cfg);
+        let payload = vec![0x42u8; 100];
+        // Warm up: every reader owns one key, written through the
+        // quorum so every member's state contains it before reads
+        // start.
+        let mut clients: Vec<LcmClient> = clients.into_iter().take(readers as usize).collect();
+        for (i, c) in clients.iter_mut().enumerate() {
+            let op = KvOp::Put(format!("k{i}").into_bytes(), payload.clone());
+            server.submit(c.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
+        }
+        for (id, wire) in server.process_all().unwrap() {
+            let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+            c.handle_reply(&wire).unwrap();
+        }
+        server.flush_persists().unwrap();
+
+        let port = server
+            .read_port()
+            .expect("replica groups expose a read port");
+        let replicas = cfg.replicas;
+        let deadline = Instant::now() + window;
+        let t0 = Instant::now();
+        let workers: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut client)| {
+                let port = Arc::clone(&port);
+                let replica = i as u32 % replicas;
+                let op = KvOp::Get(format!("k{i}").into_bytes()).to_bytes();
+                std::thread::spawn(move || {
+                    let mut done = 0u64;
+                    while Instant::now() < deadline {
+                        let wire = client.read_for::<KvStore>(&op, replica).unwrap();
+                        let reply = port.serve_read(wire).unwrap();
+                        match client.handle_read_reply(&reply).unwrap() {
+                            ReadOutcome::Fresh(_) => done += 1,
+                            // A member still applying the warm-up blob:
+                            // retryable lag, not a counted read.
+                            ReadOutcome::Behind => {}
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        total as f64 / t0.elapsed().as_secs_f64()
+    }
+
     enum FeRun {
         Rounds(u32),
         Window(Duration),

@@ -28,30 +28,37 @@ use crate::types::ClientId;
 use crate::{LcmError, Result, Violation};
 
 /// The verified shape of a deployment: one identity-bound attestation
-/// quote per shard, in shard order.
+/// quote per *member* — every replica of every shard group — in
+/// shard-major, replica-minor order.
 ///
 /// Produced by [`AdminHandle::bootstrap`] and
-/// [`AdminHandle::verify_deployment`]. Quote `i` proves that a genuine
-/// LCM enclave answered a fresh challenge *while holding shard
-/// identity `(i, shards)`* — so the manifest as a whole says the
-/// admin's keys live in exactly `shards` enclaves, one per slice of
-/// the key space, with no member represented by a sibling.
+/// [`AdminHandle::verify_deployment`]. Quote `i*replicas + r` proves
+/// that a genuine LCM enclave answered a fresh challenge *while
+/// holding identity `(i, shards, r, replicas)`* — so the manifest as a
+/// whole says the admin's keys live in exactly `shards × replicas`
+/// enclaves, one per seat of the deployment, with no member
+/// represented by a sibling (not even by another replica of its own
+/// group: the replica coordinate is bound into the quote).
 #[derive(Debug, Clone)]
 pub struct DeploymentManifest {
     /// Number of shards the deployment was verified at.
     pub shards: u32,
-    /// The per-shard quotes, index `i` bound to identity `(i, shards)`.
+    /// Number of replicas per shard group (1 when unreplicated).
+    pub replicas: u32,
+    /// The per-member quotes: index `i*replicas + r` bound to identity
+    /// `(i, shards, r, replicas)`.
     pub quotes: Vec<Quote>,
 }
 
 impl DeploymentManifest {
     /// A compact fingerprint of the attested deployment: digest over
-    /// every quote's measurement and (identity-bound) user data, in
-    /// shard order. Two manifests with the same digest attest the same
-    /// program at the same identities.
+    /// the shape and every quote's measurement and (identity-bound)
+    /// user data, in member order. Two manifests with the same digest
+    /// attest the same program at the same identities.
     pub fn digest(&self) -> Digest {
-        let mut buf = Vec::with_capacity(4 + self.quotes.len() * 64);
+        let mut buf = Vec::with_capacity(8 + self.quotes.len() * 64);
         buf.extend_from_slice(&self.shards.to_be_bytes());
+        buf.extend_from_slice(&self.replicas.to_be_bytes());
         for q in &self.quotes {
             buf.extend_from_slice(q.measurement.as_bytes());
             buf.extend_from_slice(q.user_data.as_bytes());
@@ -169,49 +176,55 @@ impl AdminHandle {
         server: &mut S,
     ) -> Result<DeploymentManifest> {
         let n = server.shard_count();
-        // Phase 2: attest every lane with a fresh challenge before any
-        // key material moves. An unprovisioned enclave binds "no
-        // identity" into its report; anything else here means the lane
-        // already holds state and must not be re-provisioned.
+        let r = server.replica_count();
+        // Phase 2: attest every member with a fresh challenge before
+        // any key material moves. An unprovisioned enclave binds "no
+        // identity" into its report; anything else here means the
+        // member already holds state and must not be re-provisioned.
         for shard in 0..n {
-            let challenge = self.fresh_challenge();
-            let quote = server.attest_shard(shard, challenge)?;
-            self.verifier.verify(
-                &quote,
-                &self.expected_measurement,
-                &attest_user_data(&challenge, None),
-            )?;
+            for replica in 0..r {
+                let challenge = self.fresh_challenge();
+                let quote = server.attest_member(shard, replica, challenge)?;
+                self.verifier.verify(
+                    &quote,
+                    &self.expected_measurement,
+                    &attest_user_data(&challenge, None),
+                )?;
+            }
         }
 
         // Phase 3: inject keys through the attested channel — one
-        // payload per shard, identical keys, each naming its own
-        // identity (i, n).
+        // payload per member, identical keys, each naming its own
+        // identity (i, n, r', r).
         for shard in 0..n {
-            let payload = ProvisionPayload {
-                k_p: self.k_p.clone(),
-                k_c: self.k_c.clone(),
-                k_a: self.k_a.clone(),
-                clients: self.clients.clone(),
-                quorum: self.quorum,
-                identity: ShardIdentity::new(shard, n),
-            };
-            let sealed = aead::auth_encrypt(
-                &self.provision_channel,
-                &payload.to_bytes(),
-                LABEL_PROVISION,
-            )
-            .map_err(|e| LcmError::Tee(e.to_string()))?;
-            server.provision_shard(shard, sealed)?;
+            for replica in 0..r {
+                let payload = ProvisionPayload {
+                    k_p: self.k_p.clone(),
+                    k_c: self.k_c.clone(),
+                    k_a: self.k_a.clone(),
+                    clients: self.clients.clone(),
+                    quorum: self.quorum,
+                    identity: ShardIdentity::new(shard, n).with_replica(replica, r),
+                };
+                let sealed = aead::auth_encrypt(
+                    &self.provision_channel,
+                    &payload.to_bytes(),
+                    LABEL_PROVISION,
+                )
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
+                server.provision_member(shard, replica, sealed)?;
+            }
         }
 
-        // Whole-deployment attestation: every lane proves it holds the
-        // identity it was just assigned.
+        // Whole-deployment attestation: every member proves it holds
+        // the identity it was just assigned.
         self.verify_deployment(server)
     }
 
-    /// Attests every shard of `server` and verifies each quote against
-    /// the identity that shard must hold — `(i, n)` for lane `i` of an
-    /// `n`-shard deployment. Run after bootstrap (automatic), after a
+    /// Attests every member of `server` and verifies each quote
+    /// against the identity that member must hold — `(i, n, r', r)`
+    /// for replica `r'` of lane `i` of an `n`-shard, `r`-replica
+    /// deployment. Run after bootstrap (automatic), after a
     /// migration import ([`AdminHandle::migrate`] does this), or any
     /// time an operator wants fresh evidence that no member was
     /// swapped, cloned, or re-homed.
@@ -225,18 +238,28 @@ impl AdminHandle {
         server: &mut S,
     ) -> Result<DeploymentManifest> {
         let n = server.shard_count();
-        let mut quotes = Vec::with_capacity(n as usize);
+        let r = server.replica_count();
+        let mut quotes = Vec::with_capacity((n * r) as usize);
         for shard in 0..n {
-            let challenge = self.fresh_challenge();
-            let quote = server.attest_shard(shard, challenge)?;
-            self.verifier.verify(
-                &quote,
-                &self.expected_measurement,
-                &attest_user_data(&challenge, Some(ShardIdentity::new(shard, n))),
-            )?;
-            quotes.push(quote);
+            for replica in 0..r {
+                let challenge = self.fresh_challenge();
+                let quote = server.attest_member(shard, replica, challenge)?;
+                self.verifier.verify(
+                    &quote,
+                    &self.expected_measurement,
+                    &attest_user_data(
+                        &challenge,
+                        Some(ShardIdentity::new(shard, n).with_replica(replica, r)),
+                    ),
+                )?;
+                quotes.push(quote);
+            }
         }
-        Ok(DeploymentManifest { shards: n, quotes })
+        Ok(DeploymentManifest {
+            shards: n,
+            replicas: r,
+            quotes,
+        })
     }
 
     fn fresh_challenge(&mut self) -> Digest {

@@ -9,13 +9,31 @@ use lcm_crypto::aead::{self, AeadKey};
 use lcm_crypto::keys::SecretKey;
 
 use crate::codec::WireCodec;
-use crate::context::{invoke_aad, reply_aad};
+use crate::context::{invoke_aad, read_aad, read_reply_aad, reply_aad};
 use crate::functionality::Functionality;
 use crate::shard::{route_for, shard_index};
 use crate::types::{ChainValue, ClientId, Completion, SeqNo};
 use crate::verify::OpRecord;
-use crate::wire::{InvokeMsg, ReplyMsg, RouteHint, ROUTE_HINT_LEN};
+use crate::wire::{
+    InvokeMsg, ReadHint, ReadMsg, ReadReplyMsg, ReplyMsg, RouteHint, READ_HINT_LEN, ROUTE_HINT_LEN,
+};
 use crate::{LcmError, Result, Violation};
+
+/// Outcome of a verified read leg ([`LcmClient::handle_read_reply`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The replica held the client's exact context: the result is as
+    /// trustworthy as a leader reply (same per-shard history context,
+    /// same AEAD channel). The read did not advance `(tc, hc)` — reads
+    /// don't extend the hash chain — but may have advanced `ts`.
+    Fresh(Completion),
+    /// The pinned replica lags the client's last completed operation
+    /// (it has not yet applied the quorum round that acknowledged it).
+    /// Not a violation: the pending read is cleared so the caller can
+    /// re-issue, typically pinning a different replica or falling back
+    /// to the write path.
+    Behind,
+}
 
 /// An operation awaiting its reply.
 #[derive(Debug, Clone)]
@@ -29,6 +47,21 @@ struct Pending {
     route: u32,
 }
 
+/// A verified read leg awaiting its reply (replicated deployments,
+/// [`LcmClient::read_routed`]).
+#[derive(Debug, Clone)]
+struct PendingRead {
+    op: Vec<u8>,
+    /// Context the read is verified against — the client's latest
+    /// completed operation on the shard.
+    tc: SeqNo,
+    hc: ChainValue,
+    route: u32,
+    /// The replica the leg is pinned to (inside the AEAD — a host
+    /// cannot re-aim the leg or substitute another replica's answer).
+    replica: u32,
+}
+
 /// The client's protocol context against one shard of the service:
 /// `(tc, ts, hc)` plus the in-flight operation, exactly the paper's
 /// per-client state, kept once per shard (a single entry for an
@@ -39,6 +72,12 @@ struct ShardCtx {
     ts: SeqNo,
     hc: ChainValue,
     pending: Option<Pending>,
+    /// At most one read leg in flight per shard, mutually exclusive
+    /// with a pending write on the same shard: a write completing
+    /// while a read is out would advance `(tc, hc)` past the context
+    /// the read is verified against, turning an honest reply into a
+    /// false violation.
+    pending_read: Option<PendingRead>,
 }
 
 /// Identifier of a registered stability watch.
@@ -324,7 +363,7 @@ impl LcmClient {
         let route = route_for(self.id, shard_key);
         let shard = shard_index(route, self.shards.len() as u32);
         let ctx = &self.shards[shard as usize];
-        if ctx.pending.is_some() {
+        if ctx.pending.is_some() || ctx.pending_read.is_some() {
             return Err(LcmError::OperationPending);
         }
         let pending = Pending {
@@ -386,6 +425,229 @@ impl LcmClient {
         .encode_to(&mut wire);
         wire.extend_from_slice(&ciphertext);
         Ok(wire)
+    }
+
+    /// Produces an encrypted verified-read leg for the read-only
+    /// operation `op`, routed by the functionality's partition key and
+    /// pinned to `replica` of the target shard's replica group.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LcmClient::read_routed`].
+    pub fn read_for<F: Functionality>(&mut self, op: &[u8], replica: u32) -> Result<Vec<u8>> {
+        self.read_routed(op, F::shard_key(op), replica)
+    }
+
+    /// Produces an encrypted READ leg for the read-only operation
+    /// `op`, routed by `shard_key` (`None` routes by client identity)
+    /// and pinned to `replica` within the target shard's group.
+    ///
+    /// The leg carries the client's full context `(tc, hc)` for that
+    /// shard; the serving replica answers only if its own recorded
+    /// entry for this client matches **exactly** — the same
+    /// rollback/fork check a write performs, minus the chain
+    /// extension. Replica 0 (the leader) is always a valid pin; higher
+    /// slots scale read throughput across followers.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::OperationPending`] — a write **or** read is
+    ///   already in flight on that shard. Reads and writes on one
+    ///   shard are mutually exclusive: a write completing mid-read
+    ///   would advance `(tc, hc)` past the context the read is
+    ///   verified against, turning an honest follower reply into a
+    ///   false violation.
+    /// * [`LcmError::Halted`] — a violation was detected earlier.
+    pub fn read_routed(
+        &mut self,
+        op: &[u8],
+        shard_key: Option<&[u8]>,
+        replica: u32,
+    ) -> Result<Vec<u8>> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        let route = route_for(self.id, shard_key);
+        let shard = shard_index(route, self.shards.len() as u32);
+        let ctx = &self.shards[shard as usize];
+        if ctx.pending.is_some() || ctx.pending_read.is_some() {
+            return Err(LcmError::OperationPending);
+        }
+        let pending = PendingRead {
+            op: op.to_vec(),
+            tc: ctx.tc,
+            hc: ctx.hc,
+            route,
+            replica,
+        };
+        let wire = self.encode_read(&pending)?;
+        self.shards[shard as usize].pending_read = Some(pending);
+        Ok(wire)
+    }
+
+    /// Re-produces the pending read leg on `shard`, optionally
+    /// re-pinning it to a different replica (after a timeout or a
+    /// [`ReadOutcome::Behind`]-less silence — e.g. the pinned follower
+    /// crashed). Reads are idempotent and never advance the context,
+    /// so re-pinning is always safe; the new AAD simply addresses a
+    /// different group member.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::NothingToRetry`] — no read is pending on `shard`.
+    /// * [`LcmError::Halted`] — the client has halted.
+    pub fn retry_read(&mut self, shard: u32, replica: Option<u32>) -> Result<Vec<u8>> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        let ctx = self
+            .shards
+            .get_mut(shard as usize)
+            .ok_or(LcmError::NothingToRetry)?;
+        let pending = ctx.pending_read.as_mut().ok_or(LcmError::NothingToRetry)?;
+        if let Some(r) = replica {
+            pending.replica = r;
+        }
+        let pending = pending.clone();
+        self.encode_read(&pending)
+    }
+
+    /// Abandons the pending read leg on `shard` (e.g. to fall back to
+    /// the write path when the group has no live follower). Safe
+    /// because reads never advance the client context; a late reply to
+    /// the abandoned leg must **not** be fed to
+    /// [`LcmClient::handle_read_reply`] afterwards.
+    pub fn cancel_read(&mut self, shard: u32) {
+        if let Some(ctx) = self.shards.get_mut(shard as usize) {
+            ctx.pending_read = None;
+        }
+    }
+
+    /// Whether a read leg is in flight on `shard`.
+    pub fn has_pending_read(&self, shard: u32) -> bool {
+        self.shards
+            .get(shard as usize)
+            .is_some_and(|c| c.pending_read.is_some())
+    }
+
+    fn encode_read(&self, pending: &PendingRead) -> Result<Vec<u8>> {
+        let msg = ReadMsg {
+            client: self.id,
+            tc: pending.tc,
+            hc: pending.hc,
+            op: pending.op.clone(),
+        };
+        let ciphertext = aead::auth_encrypt(
+            &self.key,
+            &msg.to_bytes(),
+            &read_aad(self.id, pending.route, pending.tc.0, pending.replica),
+        )
+        .map_err(|e| LcmError::Tee(e.to_string()))?;
+        let mut wire = Vec::with_capacity(READ_HINT_LEN + ciphertext.len());
+        ReadHint {
+            client: self.id,
+            route: pending.route,
+            seq: pending.tc.0,
+            replica: pending.replica,
+        }
+        .encode_to(&mut wire);
+        wire.extend_from_slice(&ciphertext);
+        Ok(wire)
+    }
+
+    /// Consumes a READ-REPLY leg, completing the pending read on the
+    /// shard it authenticates against.
+    ///
+    /// A [`ReadOutcome::Fresh`] result passed exactly the context
+    /// check a write reply would (`t = tc ∧ h = hc` inside the serving
+    /// enclave, echo verified here); [`ReadOutcome::Behind`] clears
+    /// the pending read so the caller can re-issue elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — authentication failure, an echo
+    ///   mismatch, a fresh reply whose `(t, h)` differ from the leg's
+    ///   context, or a stability regression; the client halts.
+    /// * [`LcmError::Violation`] with [`Violation::UnexpectedReply`] —
+    ///   no read pending anywhere.
+    pub fn handle_read_reply(&mut self, wire: &[u8]) -> Result<ReadOutcome> {
+        if self.halted {
+            return Err(LcmError::Halted);
+        }
+        // Identify the read this reply answers by AAD authentication,
+        // like handle_reply_on does for writes: at most one read per
+        // shard, each under a distinct (route, seq, replica) AAD.
+        let mut matched = None;
+        for (idx, ctx) in self.shards.iter().enumerate() {
+            let Some(pending) = ctx.pending_read.as_ref() else {
+                continue;
+            };
+            let aad = read_reply_aad(self.id, pending.route, pending.tc.0, pending.replica);
+            if let Ok(p) = aead::auth_decrypt(&self.key, wire, &aad) {
+                matched = Some((idx as u32, p));
+                break;
+            }
+        }
+        let Some((shard, plain)) = matched else {
+            self.halted = true;
+            if self.shards.iter().all(|c| c.pending_read.is_none()) {
+                return Err(Violation::UnexpectedReply.into());
+            }
+            return Err(Violation::BadAuthentication.into());
+        };
+        let pending = self.shards[shard as usize]
+            .pending_read
+            .clone()
+            .expect("matched pending read exists");
+        let reply = match ReadReplyMsg::from_bytes(&plain) {
+            Ok(m) => m,
+            Err(_) => {
+                self.halted = true;
+                return Err(Violation::BadAuthentication.into());
+            }
+        };
+
+        // assert h'c = hc — the echo ties the reply to this leg.
+        if reply.hc_echo != pending.hc {
+            self.halted = true;
+            return Err(Violation::ReplyMismatch {
+                expected: pending.hc,
+                got: reply.hc_echo,
+            }
+            .into());
+        }
+
+        if reply.behind {
+            // The member hasn't applied the round holding our last op
+            // yet. Retryable, not an attack: quorum stability means at
+            // least a quorum HAS applied it, just not this member.
+            self.shards[shard as usize].pending_read = None;
+            return Ok(ReadOutcome::Behind);
+        }
+
+        // Fresh: the member's recorded entry must BE our context, and
+        // its stable watermark can only have moved forward relative to
+        // what any earlier reply on this shard told us.
+        let ctx = &self.shards[shard as usize];
+        if reply.t != pending.tc || reply.h != pending.hc || reply.q < ctx.ts {
+            self.halted = true;
+            return Err(Violation::ReplyMismatch {
+                expected: pending.hc,
+                got: reply.h,
+            }
+            .into());
+        }
+
+        let ctx = &mut self.shards[shard as usize];
+        ctx.ts = reply.q; // reads piggyback stability, never (tc, hc)
+        ctx.pending_read = None;
+        self.fire_watches();
+
+        Ok(ReadOutcome::Fresh(Completion {
+            result: reply.result,
+            seq: reply.t,
+            stable: reply.q,
+        }))
     }
 
     /// Consumes a REPLY message, completing the pending operation
@@ -762,5 +1024,182 @@ mod tests {
         let retried = decrypt_invoke(&key(), &c.retry().unwrap()).unwrap();
         assert!(retried.retry);
         assert_eq!(retried.op, b"op-a");
+    }
+
+    // ---- verified read legs --------------------------------------
+
+    fn read_reply_wire(k: &SecretKey, reply: &ReadReplyMsg, seq: u64, replica: u32) -> Vec<u8> {
+        aead::auth_encrypt(
+            &AeadKey::from_secret(k),
+            &reply.to_bytes(),
+            &read_reply_aad(
+                ClientId(1),
+                crate::shard::route_for(ClientId(1), None),
+                seq,
+                replica,
+            ),
+        )
+        .unwrap()
+    }
+
+    /// Runs one write so the client context is non-genesis.
+    fn client_with_one_op() -> (LcmClient, ChainValue) {
+        let mut c = LcmClient::new(ClientId(1), &key());
+        c.invoke(b"op").unwrap();
+        let r = ok_reply(1, 0, ChainValue::GENESIS);
+        c.handle_reply(&reply_wire(&key(), &r)).unwrap();
+        (c, r.h)
+    }
+
+    #[test]
+    fn read_fresh_cycle() {
+        let (mut c, hc) = client_with_one_op();
+        let wire = c.read_routed(b"GET k", None, 2).unwrap();
+        assert!(c.has_pending_read(0));
+        // Envelope pins the replica and carries the context seq.
+        let (hint, ct) = ReadHint::peel(&wire).unwrap();
+        assert_eq!(hint.replica, 2);
+        assert_eq!(hint.seq, 1);
+        // The leg decrypts only under the pinned member's AAD.
+        let route = crate::shard::route_for(ClientId(1), None);
+        assert!(aead::auth_decrypt(
+            &AeadKey::from_secret(&key()),
+            ct,
+            &read_aad(ClientId(1), route, 1, 3),
+        )
+        .is_err());
+        let plain = aead::auth_decrypt(
+            &AeadKey::from_secret(&key()),
+            ct,
+            &read_aad(ClientId(1), route, 1, 2),
+        )
+        .unwrap();
+        let msg = ReadMsg::from_bytes(&plain).unwrap();
+        assert_eq!(msg.tc, SeqNo(1));
+        assert_eq!(msg.hc, hc);
+
+        let reply = ReadReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(1),
+            h: hc,
+            hc_echo: hc,
+            behind: false,
+            result: b"v".to_vec(),
+        };
+        let out = c
+            .handle_read_reply(&read_reply_wire(&key(), &reply, 1, 2))
+            .unwrap();
+        let ReadOutcome::Fresh(done) = out else {
+            panic!("expected fresh read");
+        };
+        assert_eq!(done.result, b"v");
+        // Reads piggyback stability but never advance (tc, hc).
+        assert_eq!(c.stable_seq(), SeqNo(1));
+        assert_eq!(c.last_seq(), SeqNo(1));
+        assert_eq!(c.chain_value(), hc);
+        assert!(!c.has_pending_read(0));
+    }
+
+    #[test]
+    fn read_behind_clears_pending_for_reissue() {
+        let (mut c, hc) = client_with_one_op();
+        c.read_routed(b"GET k", None, 1).unwrap();
+        let reply = ReadReplyMsg {
+            t: SeqNo(0),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS,
+            hc_echo: hc,
+            behind: true,
+            result: Vec::new(),
+        };
+        let out = c
+            .handle_read_reply(&read_reply_wire(&key(), &reply, 1, 1))
+            .unwrap();
+        assert_eq!(out, ReadOutcome::Behind);
+        assert!(!c.is_halted(), "behind is retryable, not a violation");
+        // Re-issue to another replica.
+        let wire = c.read_routed(b"GET k", None, 2).unwrap();
+        assert_eq!(ReadHint::peel(&wire).unwrap().0.replica, 2);
+    }
+
+    #[test]
+    fn read_and_write_mutually_exclusive_per_shard() {
+        let (mut c, _) = client_with_one_op();
+        c.read_routed(b"GET k", None, 0).unwrap();
+        assert_eq!(c.invoke(b"w"), Err(LcmError::OperationPending));
+        assert_eq!(
+            c.read_routed(b"GET k2", None, 1),
+            Err(LcmError::OperationPending)
+        );
+        c.cancel_read(0);
+        c.invoke(b"w").unwrap();
+        assert_eq!(
+            c.read_routed(b"GET k", None, 0),
+            Err(LcmError::OperationPending)
+        );
+    }
+
+    #[test]
+    fn retry_read_repins_replica() {
+        let (mut c, _) = client_with_one_op();
+        c.read_routed(b"GET k", None, 1).unwrap();
+        let wire = c.retry_read(0, Some(2)).unwrap();
+        assert_eq!(ReadHint::peel(&wire).unwrap().0.replica, 2);
+        // A reply from the new pin is accepted.
+        let hc = c.chain_value();
+        let reply = ReadReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: hc,
+            hc_echo: hc,
+            behind: false,
+            result: b"v".to_vec(),
+        };
+        assert!(matches!(
+            c.handle_read_reply(&read_reply_wire(&key(), &reply, 1, 2)),
+            Ok(ReadOutcome::Fresh(_))
+        ));
+    }
+
+    #[test]
+    fn read_fresh_with_wrong_context_halts() {
+        let (mut c, hc) = client_with_one_op();
+        c.read_routed(b"GET k", None, 0).unwrap();
+        // A "fresh" reply whose recorded entry is NOT the client's
+        // context is a rollback symptom on the serving replica.
+        let reply = ReadReplyMsg {
+            t: SeqNo(9),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS.extend(b"forged", SeqNo(9), ClientId(1)),
+            hc_echo: hc,
+            behind: false,
+            result: b"v".to_vec(),
+        };
+        assert!(c
+            .handle_read_reply(&read_reply_wire(&key(), &reply, 1, 0))
+            .is_err());
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn read_reply_from_wrong_replica_halts() {
+        let (mut c, hc) = client_with_one_op();
+        c.read_routed(b"GET k", None, 0).unwrap();
+        let reply = ReadReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: hc,
+            hc_echo: hc,
+            behind: false,
+            result: b"v".to_vec(),
+        };
+        // Encrypted under replica 1's channel but the leg pinned 0:
+        // authentication cannot attribute it to any pending read.
+        let wire = read_reply_wire(&key(), &reply, 1, 1);
+        assert!(matches!(
+            c.handle_read_reply(&wire),
+            Err(LcmError::Violation(Violation::BadAuthentication))
+        ));
+        assert!(c.is_halted());
     }
 }

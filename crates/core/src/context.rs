@@ -79,6 +79,46 @@ pub fn reply_aad(client: ClientId, route: u32) -> Vec<u8> {
     aad.extend_from_slice(&route.to_be_bytes());
     aad
 }
+/// AAD label for client→replica verified-read legs. The plaintext
+/// routing envelope ([`crate::wire::ReadHint`]) is appended by
+/// [`read_aad`], *including the replica slot the client pinned the
+/// read to*: the serving enclave computes the AAD with its **own**
+/// replica coordinate, so a read leg the host redirects to a
+/// different member of the group fails authentication inside the
+/// enclave.
+pub const LABEL_READ: &[u8] = b"lcm.read";
+
+/// The associated data under which `client` encrypts a verified-read
+/// leg pinned to `replica`, carrying route hash `route` and the
+/// client's context sequence `seq` (= `tc`) in its plaintext envelope.
+pub fn read_aad(client: ClientId, route: u32, seq: u64, replica: u32) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_READ.len() + 20);
+    aad.extend_from_slice(LABEL_READ);
+    aad.extend_from_slice(&client.0.to_be_bytes());
+    aad.extend_from_slice(&route.to_be_bytes());
+    aad.extend_from_slice(&seq.to_be_bytes());
+    aad.extend_from_slice(&replica.to_be_bytes());
+    aad
+}
+
+/// AAD label for replica→client verified-read replies.
+pub const LABEL_READ_REPLY: &[u8] = b"lcm.readreply";
+
+/// The associated data under which a read reply for `client` is
+/// encrypted. Binding `(route, seq, replica)` ties the reply to the
+/// exact read leg it answers: a reply produced for an older read of
+/// the same client (different `seq`) or by a different group member
+/// (different `replica`) cannot be substituted.
+pub fn read_reply_aad(client: ClientId, route: u32, seq: u64, replica: u32) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_READ_REPLY.len() + 20);
+    aad.extend_from_slice(LABEL_READ_REPLY);
+    aad.extend_from_slice(&client.0.to_be_bytes());
+    aad.extend_from_slice(&route.to_be_bytes());
+    aad.extend_from_slice(&seq.to_be_bytes());
+    aad.extend_from_slice(&replica.to_be_bytes());
+    aad
+}
+
 /// AAD label for admin⇄T messages.
 pub const LABEL_ADMIN: &[u8] = b"lcm.admin";
 /// AAD label for the provisioning payload (admin's attested channel).
@@ -259,28 +299,46 @@ fn read_key(r: &mut Reader<'_>) -> std::result::Result<SecretKey, crate::codec::
 }
 
 /// The attested identity of one enclave within a deployment:
-/// *"I am shard `index` of `count`"*.
+/// *"I am replica `replica` of shard `index`'s group of `replicas`,
+/// in a deployment of `count` shards"*.
 ///
-/// Delivered to each enclave inside its (per-shard) provisioning
+/// Delivered to each enclave inside its (per-member) provisioning
 /// payload, persisted with the sealed protocol state, carried by
 /// migration tickets, and folded into every attestation quote's user
 /// data (see [`attest_user_data`]). Holding its identity lets the
 /// enclave reject an *intact* INVOKE wire delivered to the wrong
 /// shard — closing the misdelivery window that client-context checks
-/// alone leave open for a client's very first operation on a shard.
+/// alone leave open for a client's very first operation on a shard —
+/// and lets a read leg pinned to one replica fail authentication on
+/// every other member of the group.
+///
+/// An unreplicated deployment has `replicas == 1` everywhere; the
+/// replica coordinates then carry no information and the identity
+/// degenerates to the `(index, count)` pair of protocol version 2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardIdentity {
     /// This enclave's shard index, `< count`.
     pub index: u32,
     /// Total number of shards in the deployment.
     pub count: u32,
+    /// This enclave's replica slot within its shard's group,
+    /// `< replicas`.
+    pub replica: u32,
+    /// Size of the shard's replica group (2f+1; 1 = unreplicated).
+    pub replicas: u32,
 }
 
 impl ShardIdentity {
     /// The identity of the only enclave of an unsharded deployment.
-    pub const SOLO: ShardIdentity = ShardIdentity { index: 0, count: 1 };
+    pub const SOLO: ShardIdentity = ShardIdentity {
+        index: 0,
+        count: 1,
+        replica: 0,
+        replicas: 1,
+    };
 
-    /// Builds the identity of shard `index` in a deployment of `count`.
+    /// Builds the identity of shard `index` in a deployment of `count`
+    /// (unreplicated: replica 0 of a group of 1).
     ///
     /// # Panics
     ///
@@ -290,17 +348,51 @@ impl ShardIdentity {
     pub fn new(index: u32, count: u32) -> Self {
         assert!(count >= 1, "a deployment has at least one shard");
         assert!(index < count, "shard index {index} out of range 0..{count}");
-        ShardIdentity { index, count }
+        ShardIdentity {
+            index,
+            count,
+            replica: 0,
+            replicas: 1,
+        }
     }
 
-    /// Whether route hash `route` maps to this shard.
+    /// Refines this identity with replica coordinates: the same shard
+    /// slot, occupied by member `replica` of a group of `replicas`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replicas` is zero or `replica` is out of range.
+    #[must_use]
+    pub fn with_replica(self, replica: u32, replicas: u32) -> Self {
+        assert!(replicas >= 1, "a group has at least one replica");
+        assert!(
+            replica < replicas,
+            "replica {replica} out of range 0..{replicas}"
+        );
+        ShardIdentity {
+            replica,
+            replicas,
+            ..self
+        }
+    }
+
+    /// Whether route hash `route` maps to this shard (any replica of
+    /// the group owns the same routes).
     pub fn owns_route(&self, route: u32) -> bool {
         crate::shard::shard_index(route, self.count) == self.index
+    }
+
+    /// Whether `other` names a member of the same replica group: same
+    /// shard slot and the same group size, any replica.
+    pub fn same_group(&self, other: &ShardIdentity) -> bool {
+        self.index == other.index && self.count == other.count && self.replicas == other.replicas
     }
 
     pub(crate) fn encode(&self, w: &mut Writer) {
         w.put_u32(self.index);
         w.put_u32(self.count);
+        w.put_u32(self.replica);
+        w.put_u32(self.replicas);
     }
 
     pub(crate) fn decode(
@@ -308,16 +400,27 @@ impl ShardIdentity {
     ) -> std::result::Result<Self, crate::codec::CodecError> {
         let index = r.get_u32()?;
         let count = r.get_u32()?;
-        if count == 0 || index >= count {
+        let replica = r.get_u32()?;
+        let replicas = r.get_u32()?;
+        if count == 0 || index >= count || replicas == 0 || replica >= replicas {
             return Err(crate::codec::CodecError::InvalidTag(0));
         }
-        Ok(ShardIdentity { index, count })
+        Ok(ShardIdentity {
+            index,
+            count,
+            replica,
+            replicas,
+        })
     }
 }
 
 impl std::fmt::Display for ShardIdentity {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{}", self.index, self.count)
+        write!(f, "{}/{}", self.index, self.count)?;
+        if self.replicas > 1 {
+            write!(f, ":r{}/{}", self.replica, self.replicas)?;
+        }
+        Ok(())
     }
 }
 
@@ -328,11 +431,11 @@ impl std::fmt::Display for ShardIdentity {
 /// The verifier recomputes this with the identity it expects, so a
 /// quote produced by an enclave holding a different identity — or by
 /// an unprovisioned one — fails verification. This is what makes a
-/// deployment manifest of N quotes mean *"shard i's keys live in the
-/// enclave claiming index i"* rather than *"N genuine enclaves
-/// exist"*.
+/// deployment manifest of N×(2f+1) quotes mean *"the member claiming
+/// (shard i, replica r) holds exactly those coordinates"* rather than
+/// *"enough genuine enclaves exist"*.
 pub fn attest_user_data(challenge: &Digest, identity: Option<ShardIdentity>) -> Digest {
-    let mut buf = Vec::with_capacity(16 + 32 + 9);
+    let mut buf = Vec::with_capacity(16 + 32 + 17);
     buf.extend_from_slice(b"lcm.attest-id");
     buf.extend_from_slice(challenge.as_bytes());
     match identity {
@@ -341,6 +444,8 @@ pub fn attest_user_data(challenge: &Digest, identity: Option<ShardIdentity>) -> 
             buf.push(1);
             buf.extend_from_slice(&id.index.to_be_bytes());
             buf.extend_from_slice(&id.count.to_be_bytes());
+            buf.extend_from_slice(&id.replica.to_be_bytes());
+            buf.extend_from_slice(&id.replicas.to_be_bytes());
         }
     }
     lcm_crypto::sha256::digest(&buf)
@@ -778,6 +883,190 @@ impl<F: Functionality> TrustedContext<F> {
         sealed.map_err(|e| LcmError::Tee(e.to_string()))
     }
 
+    /// Serves one verified read leg on this group member (leader or
+    /// follower) — the scale-out half of the replicated-shard design.
+    ///
+    /// The leg's AAD is recomputed with **this** enclave's replica
+    /// slot, so a read the client pinned to a sibling fails
+    /// authentication here (the host cannot silently re-balance pinned
+    /// reads). The read verifies against the same per-shard history
+    /// context as writes: it executes only when `V[i]` matches the
+    /// client's `(tc, hc)` exactly — i.e. this member's installed
+    /// state already contains every write the client has completed —
+    /// and the reply echoes that context for the client to re-verify.
+    /// Reads never advance `t`/`h`/`V`; nothing is persisted.
+    ///
+    /// A member whose installed state lags the client's context
+    /// (`V[i].t < tc`) answers with the `behind` flag instead: honest
+    /// replication lag is retryable and never a violation, while a
+    /// context *conflict* (same `t`, different `h` — a fork — or
+    /// `V[i].t > tc` — a replayed leg) halts exactly like the write
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — authentication failure, wrong-shard
+    ///   delivery, a non-read-only operation on the read path
+    ///   ([`Violation::MutationOnReadPath`]), or context conflict. The
+    ///   context halts permanently.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn serve_read(&mut self, wire: &[u8]) -> Result<Vec<u8>> {
+        self.require_ready()?;
+        let Some((hint, ciphertext)) = crate::wire::ReadHint::peel(wire) else {
+            return Err(self.halt(Violation::BadAuthentication));
+        };
+        let identity = self.identity.expect("ready implies identity");
+        let aead_c = self
+            .keys
+            .as_ref()
+            .expect("ready implies keys")
+            .aead_c
+            .clone();
+        let aad = read_aad(hint.client, hint.route, hint.seq, identity.replica);
+        let plain = match aead::auth_decrypt(&aead_c, ciphertext, &aad) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let msg = match crate::wire::ReadMsg::from_bytes(&plain) {
+            Ok(m) => m,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        if msg.client != hint.client || msg.tc.0 != hint.seq {
+            return Err(self.halt(Violation::BadAuthentication));
+        }
+        // Same two-route ownership check as the write path: the
+        // delivered envelope and the operation's own partition key
+        // must both map to this shard.
+        let recomputed = crate::shard::route_for(msg.client, F::shard_key(&msg.op));
+        for route in [hint.route, recomputed] {
+            if !identity.owns_route(route) {
+                return Err(self.halt(Violation::WrongShard {
+                    client: msg.client,
+                    delivered_to: identity.index,
+                    owner: crate::shard::shard_index(route, identity.count),
+                }));
+            }
+        }
+        // Followers bypass the leader's quorum path entirely, so they
+        // must refuse to execute anything that could mutate state.
+        if !F::is_readonly(&msg.op) {
+            return Err(self.halt(Violation::MutationOnReadPath { client: msg.client }));
+        }
+        let (entry_t, entry_h) = match self.v.get(&msg.client) {
+            Some(e) => (e.t, e.h),
+            None => {
+                let client = msg.client;
+                self.phase = Phase::Halted;
+                return Err(LcmError::UnknownClient(client));
+            }
+        };
+        let reply = if entry_t == msg.tc && entry_h == msg.hc {
+            // Up to date for this client: execute the read. The
+            // `is_readonly` contract guarantees `exec` leaves the
+            // service state untouched.
+            let result = self.f.exec(&msg.op);
+            crate::wire::ReadReplyMsg {
+                t: entry_t,
+                q: stable_with(&self.v, self.quorum).max(self.stable_floor),
+                h: entry_h,
+                hc_echo: msg.hc,
+                behind: false,
+                result,
+            }
+        } else if entry_t < msg.tc {
+            // Honest replication lag: this member has not installed
+            // the client's latest acknowledged write yet. Retryable —
+            // never a violation.
+            crate::wire::ReadReplyMsg {
+                t: entry_t,
+                q: self.stable_floor,
+                h: entry_h,
+                hc_echo: msg.hc,
+                behind: true,
+                result: Vec::new(),
+            }
+        } else {
+            return Err(self.halt(Violation::ContextMismatch {
+                client: msg.client,
+                claimed: msg.tc,
+                recorded: entry_t,
+            }));
+        };
+        let nonce = self.next_nonce();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        reply.encode(&mut scratch);
+        let sealed = aead::auth_encrypt_with_nonce(
+            &aead_c,
+            &nonce,
+            scratch.as_slice(),
+            &read_reply_aad(msg.client, hint.route, hint.seq, identity.replica),
+        );
+        self.scratch = scratch;
+        sealed.map_err(|e| LcmError::Tee(e.to_string()))
+    }
+
+    /// Installs a sibling's sealed state blob on this group member —
+    /// the replication half of the replicated-shard design.
+    ///
+    /// The blob is the leader's [`PersistBlobs::state_blob`], sealed
+    /// under the shared protocol key `kP`: any member provisioned with
+    /// the same `kP` can decrypt and install it, and *only* such
+    /// members can. The installed state replaces this member's `V`,
+    /// `t`, `h`, stability floor and service snapshot wholesale; the
+    /// member keeps its **own** replica identity (asserting the blob
+    /// names the same group — a blob from a different shard halts).
+    ///
+    /// Returns the in-enclave digest of the blob — the follower's
+    /// acknowledgement the host counts toward quorum stability — plus
+    /// this member's re-sealed blobs to persist.
+    ///
+    /// The install is deliberately unconditional (no monotonicity
+    /// check against the member's previous state): *which* blob to
+    /// ship, and when, is host scheduling and therefore untrusted.
+    /// A host that ships a stale blob merely produces a lagging
+    /// follower (reads answer `behind`), and a promotion that loses an
+    /// unacknowledged suffix is exactly what clients detect as
+    /// rollback via their context checks — see the module docs of
+    /// [`crate::replica`] for the full trust-boundary argument.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — the blob failed authentication or
+    ///   names a different shard group; the context halts.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn apply_replica(&mut self, state_blob: &[u8]) -> Result<(Digest, PersistBlobs)> {
+        self.require_ready()?;
+        let own = self.identity.expect("ready implies identity");
+        let aead_p = self
+            .keys
+            .as_ref()
+            .expect("ready implies keys")
+            .aead_p
+            .clone();
+        let plain = match aead::auth_decrypt(&aead_p, state_blob, LABEL_STATE_BLOB) {
+            Ok(p) => p,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        self.restore_state(&plain)?;
+        let sealer = self.identity.expect("restored state carries an identity");
+        if !sealer.same_group(&own) {
+            // The dummy client id marks a violation with no invoking
+            // client: the host shipped another shard's state here.
+            return Err(self.halt(Violation::WrongShard {
+                client: ClientId(0),
+                delivered_to: own.index,
+                owner: sealer.index,
+            }));
+        }
+        self.identity = Some(own);
+        let digest = lcm_crypto::sha256::digest(state_blob);
+        let blobs = self.persist_blobs()?;
+        Ok((digest, blobs))
+    }
+
     /// Seals the current protocol + service state for the host to
     /// persist. Call once per processed batch.
     ///
@@ -982,8 +1271,33 @@ impl<F: Functionality> TrustedContext<F> {
     ///   state.
     /// * [`LcmError::Violation`] — the ticket failed authentication.
     pub fn import_migration(&mut self, ticket: &[u8]) -> Result<PersistBlobs> {
+        self.import_migration_with(ticket, None)
+    }
+
+    /// [`TrustedContext::import_migration`] with a host-supplied
+    /// replica slot: the target adopts the ticket's shard slot but
+    /// occupies `Some((replica, replicas))` within the group.
+    ///
+    /// Replica *assignment* is the host's scheduling domain — the same
+    /// migration ticket fans out to every member of a replicated
+    /// target group, each importing under a different slot — while
+    /// *verification* of the claimed coordinates stays with the
+    /// admin's post-migration attestation (the quote user data binds
+    /// whatever slot was installed here).
+    pub fn import_migration_with(
+        &mut self,
+        ticket: &[u8],
+        replica_override: Option<(u32, u32)>,
+    ) -> Result<PersistBlobs> {
         if self.phase != Phase::AwaitingProvision {
             return Err(LcmError::AlreadyProvisioned);
+        }
+        if let Some((replica, replicas)) = replica_override {
+            if replicas == 0 || replica >= replicas {
+                return Err(LcmError::Tee(format!(
+                    "invalid replica override {replica}/{replicas}"
+                )));
+            }
         }
         let channel_key = self
             .services
@@ -1000,7 +1314,14 @@ impl<F: Functionality> TrustedContext<F> {
         let admin_seq = r.get_u64().map_err(LcmError::from)?;
         let stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
         let quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
-        let identity = ShardIdentity::decode(&mut r).map_err(LcmError::from)?;
+        let mut identity = ShardIdentity::decode(&mut r).map_err(LcmError::from)?;
+        if let Some((replica, replicas)) = replica_override {
+            identity = ShardIdentity {
+                replica,
+                replicas,
+                ..identity
+            };
+        }
         let v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
         r.finish().map_err(LcmError::from)?;

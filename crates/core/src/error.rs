@@ -53,6 +53,13 @@ pub enum Violation {
         /// The shard the operation actually maps to.
         owner: u32,
     },
+    /// A verified-read leg carried an operation that is not read-only:
+    /// the host (or a forged sender) tried to smuggle a mutation past
+    /// the leader's quorum path onto a follower.
+    MutationOnReadPath {
+        /// The client named by the read leg.
+        client: ClientId,
+    },
     /// An admin operation replayed an old admin sequence number.
     AdminReplay,
     /// A violation reported across the ecall boundary; the rendered
@@ -85,6 +92,11 @@ impl fmt::Display for Violation {
                 f,
                 "operation of {client} maps to shard {owner} but was delivered to \
                  shard {delivered_to} (misdirected wire)"
+            ),
+            Violation::MutationOnReadPath { client } => write!(
+                f,
+                "read leg of {client} carries a non-read-only operation \
+                 (mutation smuggled past the quorum path)"
             ),
             Violation::AdminReplay => write!(f, "admin operation replay"),
             Violation::Reported(msg) => write!(f, "{msg}"),

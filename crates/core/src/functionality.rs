@@ -61,6 +61,22 @@ pub trait Functionality: Default + Send {
     fn heap_bytes(&self) -> usize {
         0
     }
+
+    /// Whether an *encoded* operation is a pure read.
+    ///
+    /// Contract: if this returns `true`, [`Functionality::exec`] on
+    /// that operation MUST NOT modify the service state. Read-only
+    /// operations are eligible for follower-served verified reads in a
+    /// replicated shard group ([`crate::replica`]) — everything else
+    /// must flow through the leader's quorum path, and a follower
+    /// enclave halts with [`crate::Violation::MutationOnReadPath`] if
+    /// the host delivers a non-read-only op on a read leg.
+    ///
+    /// The conservative default classifies every operation as a write.
+    fn is_readonly(op: &[u8]) -> bool {
+        let _ = op;
+        false
+    }
 }
 
 /// A trivial functionality for tests: an append-only register that
@@ -201,6 +217,10 @@ impl Functionality for Counter {
         }
     }
 
+    fn is_readonly(op: &[u8]) -> bool {
+        op.first() == Some(&COUNTER_OP_READ)
+    }
+
     fn snapshot(&self) -> Vec<u8> {
         let mut w = crate::codec::Writer::new();
         w.put_u32(self.counters.len() as u32);
@@ -314,6 +334,15 @@ mod tests {
         );
         assert_eq!(Counter::shard_key(&[0x7f]), None);
         assert_eq!(Counter::shard_key(&[]), None);
+    }
+
+    #[test]
+    fn counter_read_is_readonly_inc_is_not() {
+        assert!(Counter::is_readonly(&Counter::read_op(b"hits")));
+        assert!(!Counter::is_readonly(&Counter::inc_op(b"hits", 1)));
+        assert!(!Counter::is_readonly(&[]));
+        // The default classification is conservative.
+        assert!(!AppendLog::is_readonly(b"anything"));
     }
 
     #[test]

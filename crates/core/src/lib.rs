@@ -47,6 +47,10 @@
 //!   [`shard::ShardedServer`] runs N server instances behind a
 //!   key-partitioned router so stage 2 (execute + seal) parallelizes
 //!   across enclaves.
+//! * [`replica`] — replicated shard groups:
+//!   [`replica::ReplicaGroup`] runs one shard as 2f+1 replicas with
+//!   quorum-gated reply release, crash failover, and follower-served
+//!   verified reads.
 //! * [`admin`] — the trusted admin: bootstrapping, attestation,
 //!   membership changes, migration orchestration (§4.3, §4.6).
 //! * [`stability`] — the `majority-stable` function and stability
@@ -70,6 +74,7 @@ pub mod context;
 pub mod functionality;
 pub mod pipeline;
 pub mod program;
+pub mod replica;
 pub mod server;
 pub mod shard;
 pub mod stability;

@@ -329,6 +329,31 @@ impl<F: Functionality> BatchServer for PipelinedServer<F> {
     fn flush_persists(&mut self) -> Result<()> {
         PipelinedServer::flush(self)
     }
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        self.inner.serve_read(read_wire)
+    }
+    fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<lcm_crypto::sha256::Digest> {
+        self.flush()?;
+        self.inner.apply_replica(state_blob)
+    }
+    fn kill_member(&mut self, shard: u32, replica: u32, power_failure: bool) -> Result<()> {
+        if shard == 0 && replica == 0 {
+            if power_failure {
+                self.crash_power_failure();
+            } else {
+                self.crash();
+            }
+            Ok(())
+        } else {
+            Err(LcmError::Tee(format!(
+                "kill_member(shard {shard}, replica {replica}) on a single-enclave server"
+            )))
+        }
+    }
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        self.flush()?;
+        self.inner.import_migration_as(ticket, replica, replicas)
+    }
 }
 
 #[cfg(test)]

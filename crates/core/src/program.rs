@@ -21,13 +21,14 @@ use crate::{LcmError, Violation};
 
 /// Name under which LCM programs are measured.
 pub const PROGRAM_NAME: &str = "lcm";
-/// Version string folded into the measurement. Version 2 is the
-/// shard-identity protocol: the enclave binds its provisioned
-/// [`crate::context::ShardIdentity`] into every attestation report
-/// (see [`crate::context::attest_user_data`]) and rejects misdirected
-/// INVOKE wires — a verifier distinguishes it from the identity-less
-/// version 1 by measurement.
-pub const PROGRAM_VERSION: &str = "2";
+/// Version string folded into the measurement. Version 3 is the
+/// replicated-shard-group protocol: identities carry `(shard,
+/// replica)` coordinates, the enclave installs sibling state blobs
+/// ([`HostCall::ApplyReplica`]) and serves replica-pinned verified
+/// reads ([`HostCall::ServeRead`]). Version 2 introduced the shard
+/// identity binding into attestation reports; version 1 was
+/// identity-less. Each is distinguishable by measurement.
+pub const PROGRAM_VERSION: &str = "3";
 
 /// The LCM measurement: identical for every `LcmProgram<F>` so that the
 /// sealing key survives restarts of the same service.
@@ -66,6 +67,22 @@ pub enum HostCall {
     ExportMigration,
     /// Import a migration ticket (target side).
     ImportMigration(Vec<u8>),
+    /// Install a sibling's sealed state blob on this replica-group
+    /// member (see [`crate::context::TrustedContext::apply_replica`]).
+    ApplyReplica(Vec<u8>),
+    /// Serve a replica-pinned verified read leg (see
+    /// [`crate::context::TrustedContext::serve_read`]).
+    ServeRead(Vec<u8>),
+    /// Import a migration ticket under a host-assigned replica slot
+    /// `(replica, replicas)` of the ticket's shard group.
+    ImportMigrationAs {
+        /// The encrypted migration ticket.
+        ticket: Vec<u8>,
+        /// Replica slot the target occupies.
+        replica: u32,
+        /// Size of the target group.
+        replicas: u32,
+    },
 }
 
 const CALL_INIT: u8 = 1;
@@ -75,6 +92,9 @@ const CALL_ADMIN: u8 = 4;
 const CALL_ATTEST: u8 = 5;
 const CALL_EXPORT_MIG: u8 = 6;
 const CALL_IMPORT_MIG: u8 = 7;
+const CALL_APPLY_REPLICA: u8 = 8;
+const CALL_SERVE_READ: u8 = 9;
+const CALL_IMPORT_MIG_AS: u8 = 10;
 
 impl WireCodec for HostCall {
     fn encode(&self, w: &mut Writer) {
@@ -105,6 +125,24 @@ impl WireCodec for HostCall {
                 w.put_u8(CALL_IMPORT_MIG);
                 w.put_bytes(ticket);
             }
+            HostCall::ApplyReplica(blob) => {
+                w.put_u8(CALL_APPLY_REPLICA);
+                w.put_bytes(blob);
+            }
+            HostCall::ServeRead(wire) => {
+                w.put_u8(CALL_SERVE_READ);
+                w.put_bytes(wire);
+            }
+            HostCall::ImportMigrationAs {
+                ticket,
+                replica,
+                replicas,
+            } => {
+                w.put_u8(CALL_IMPORT_MIG_AS);
+                w.put_bytes(ticket);
+                w.put_u32(*replica);
+                w.put_u32(*replicas);
+            }
         }
     }
 
@@ -127,6 +165,13 @@ impl WireCodec for HostCall {
             CALL_ATTEST => Ok(HostCall::Attest(r.get_digest()?)),
             CALL_EXPORT_MIG => Ok(HostCall::ExportMigration),
             CALL_IMPORT_MIG => Ok(HostCall::ImportMigration(r.get_bytes()?.to_vec())),
+            CALL_APPLY_REPLICA => Ok(HostCall::ApplyReplica(r.get_bytes()?.to_vec())),
+            CALL_SERVE_READ => Ok(HostCall::ServeRead(r.get_bytes()?.to_vec())),
+            CALL_IMPORT_MIG_AS => Ok(HostCall::ImportMigrationAs {
+                ticket: r.get_bytes()?.to_vec(),
+                replica: r.get_u32()?,
+                replicas: r.get_u32()?,
+            }),
             other => Err(CodecError::InvalidTag(other)),
         }
     }
@@ -161,6 +206,17 @@ pub enum HostReply {
     AttestOk(Vec<u8>),
     /// A migration ticket (origin side).
     MigrationTicket(Vec<u8>),
+    /// A sibling state blob was installed on this member.
+    ApplyOk {
+        /// In-enclave digest of the installed blob — the member's
+        /// acknowledgement the host counts toward replica-quorum
+        /// stability.
+        digest: Digest,
+        /// This member's re-sealed blobs to persist.
+        blobs: PersistBlobs,
+    },
+    /// A verified read leg was served; the encrypted read reply.
+    ReadOk(Vec<u8>),
     /// The call failed. The context may now be halted.
     Err(ReplyError),
 }
@@ -225,6 +281,8 @@ const REPLY_ADMIN: u8 = 4;
 const REPLY_ATTEST: u8 = 5;
 const REPLY_MIG: u8 = 6;
 const REPLY_ERR: u8 = 7;
+const REPLY_APPLY: u8 = 8;
+const REPLY_READ: u8 = 9;
 
 fn encode_blobs(w: &mut Writer, blobs: &PersistBlobs) {
     w.put_bytes(&blobs.key_blob);
@@ -289,6 +347,15 @@ impl WireCodec for HostReply {
                 w.put_u8(REPLY_MIG);
                 w.put_bytes(ticket);
             }
+            HostReply::ApplyOk { digest, blobs } => {
+                w.put_u8(REPLY_APPLY);
+                w.put_digest(digest);
+                encode_blobs(w, blobs);
+            }
+            HostReply::ReadOk(reply) => {
+                w.put_u8(REPLY_READ);
+                w.put_bytes(reply);
+            }
             HostReply::Err(e) => {
                 w.put_u8(REPLY_ERR);
                 w.put_u8(e.code);
@@ -321,6 +388,11 @@ impl WireCodec for HostReply {
             }),
             REPLY_ATTEST => Ok(HostReply::AttestOk(r.get_bytes()?.to_vec())),
             REPLY_MIG => Ok(HostReply::MigrationTicket(r.get_bytes()?.to_vec())),
+            REPLY_APPLY => Ok(HostReply::ApplyOk {
+                digest: r.get_digest()?,
+                blobs: decode_blobs(r)?,
+            }),
+            REPLY_READ => Ok(HostReply::ReadOk(r.get_bytes()?.to_vec())),
             REPLY_ERR => Ok(HostReply::Err(ReplyError {
                 code: r.get_u8()?,
                 message: r.get_str()?.to_owned(),
@@ -401,6 +473,25 @@ impl<F: Functionality> LcmProgram<F> {
                 Ok(blobs) => HostReply::ProvisionOk(blobs),
                 Err(e) => HostReply::Err((&e).into()),
             },
+            HostCall::ApplyReplica(blob) => match self.context.apply_replica(&blob) {
+                Ok((digest, blobs)) => HostReply::ApplyOk { digest, blobs },
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::ServeRead(wire) => match self.context.serve_read(&wire) {
+                Ok(reply) => HostReply::ReadOk(reply),
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::ImportMigrationAs {
+                ticket,
+                replica,
+                replicas,
+            } => match self
+                .context
+                .import_migration_with(&ticket, Some((replica, replicas)))
+            {
+                Ok(blobs) => HostReply::ProvisionOk(blobs),
+                Err(e) => HostReply::Err((&e).into()),
+            },
         }
     }
 }
@@ -445,6 +536,13 @@ mod tests {
             HostCall::Attest(lcm_crypto::sha256::digest(b"challenge")),
             HostCall::ExportMigration,
             HostCall::ImportMigration(b"ticket".to_vec()),
+            HostCall::ApplyReplica(b"blob".to_vec()),
+            HostCall::ServeRead(b"leg".to_vec()),
+            HostCall::ImportMigrationAs {
+                ticket: b"ticket".to_vec(),
+                replica: 2,
+                replicas: 3,
+            },
         ];
         for call in calls {
             assert_eq!(HostCall::from_bytes(&call.to_bytes()).unwrap(), call);
@@ -472,6 +570,14 @@ mod tests {
             },
             HostReply::AttestOk(b"report".to_vec()),
             HostReply::MigrationTicket(b"ticket".to_vec()),
+            HostReply::ApplyOk {
+                digest: lcm_crypto::sha256::digest(b"blob"),
+                blobs: PersistBlobs {
+                    key_blob: b"kb".to_vec(),
+                    state_blob: b"sb".to_vec(),
+                },
+            },
+            HostReply::ReadOk(b"read-reply".to_vec()),
             HostReply::Err(ReplyError {
                 code: ERR_VIOLATION,
                 message: "boom".to_owned(),

@@ -319,6 +319,72 @@ impl<F: Functionality> LcmServer<F> {
         }
     }
 
+    /// [`LcmServer::import_migration`] under a host-assigned replica
+    /// slot: the enclave adopts the ticket's shard slot as member
+    /// `replica` of a group of `replicas`. Used when a migration
+    /// ticket fans out to every member of a replicated target group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn import_migration_as(
+        &mut self,
+        ticket: Vec<u8>,
+        replica: u32,
+        replicas: u32,
+    ) -> Result<()> {
+        let reply = self.call(HostCall::ImportMigrationAs {
+            ticket,
+            replica,
+            replicas,
+        })?;
+        match reply {
+            HostReply::ProvisionOk(blobs) => self.persist(&blobs),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Installs a sibling's sealed state blob into this server's
+    /// enclave and persists the re-sealed result, returning the
+    /// in-enclave digest of the installed blob (the acknowledgement a
+    /// replica group counts toward quorum stability). See
+    /// [`crate::context::TrustedContext::apply_replica`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<Digest> {
+        let reply = self.call(HostCall::ApplyReplica(state_blob))?;
+        match reply {
+            HostReply::ApplyOk { digest, blobs } => {
+                self.persist(&blobs)?;
+                Ok(digest)
+            }
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Serves a replica-pinned verified read leg against this server's
+    /// enclave, returning the encrypted read reply. Reads mutate no
+    /// protocol state and persist nothing. See
+    /// [`crate::context::TrustedContext::serve_read`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors (a solo server answers legs pinned to
+    /// replica 0; legs pinned elsewhere fail authentication inside the
+    /// enclave).
+    pub fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        let reply = self.call(HostCall::ServeRead(read_wire))?;
+        match reply {
+            HostReply::ReadOk(wire) => Ok(wire),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     fn persist(&mut self, blobs: &PersistBlobs) -> Result<()> {
         self.storage.store(SLOT_KEY_BLOB, &blobs.key_blob)?;
         self.storage.store(SLOT_STATE_BLOB, &blobs.state_blob)?;
@@ -521,6 +587,179 @@ pub trait BatchServer: Send {
     fn flush_persists(&mut self) -> Result<()> {
         Ok(())
     }
+
+    /// Number of replicas in each shard's group: 1 for unreplicated
+    /// servers, 2f+1 for [`crate::replica::ReplicaGroup`]-backed
+    /// deployments. Groups are uniform across shards.
+    fn replica_count(&self) -> u32 {
+        1
+    }
+
+    /// Installs a sibling replica's sealed state blob into this
+    /// server's enclave, returning the in-enclave digest of the
+    /// installed blob. The replication driver counts the digest as
+    /// this member's acknowledgement of the batch. See
+    /// [`LcmServer::apply_replica`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; servers outside a replica group
+    /// reject.
+    fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<Digest> {
+        let _ = state_blob;
+        Err(LcmError::Tee(
+            "apply_replica on a server without a replication path".into(),
+        ))
+    }
+
+    /// Serves a replica-pinned verified read leg (see
+    /// [`crate::context::TrustedContext::serve_read`]) and returns the
+    /// encrypted reply. The routing envelope on the wire picks the
+    /// shard; the replica pin inside the AEAD picks the group member.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; servers without a read path reject.
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        let _ = read_wire;
+        Err(LcmError::Tee(
+            "verified reads are not supported by this server".into(),
+        ))
+    }
+
+    /// The thread-safe `&self` read surface of this server, if it has
+    /// one: reader threads call [`ReadPort::serve_read`] concurrently
+    /// with the write path, which is what lets read throughput scale
+    /// with replica count. Single-enclave servers return `None` (their
+    /// owner drives reads through [`BatchServer::serve_read`]).
+    fn read_port(&self) -> Option<Arc<dyn ReadPort>> {
+        None
+    }
+
+    /// Index of the group member currently executing shard `shard`'s
+    /// writes. Starts at 0; changes when a failover promotes a
+    /// follower. Unreplicated servers always report 0.
+    fn group_leader(&self, shard: u32) -> u32 {
+        let _ = shard;
+        0
+    }
+
+    /// Produces an attestation quote from member `replica` of shard
+    /// `shard`'s group — the admin attests every replica of every
+    /// group, not a representative per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TEE errors; out-of-range coordinates are an error.
+    fn attest_member(&mut self, shard: u32, replica: u32, user_data: Digest) -> Result<Quote> {
+        if replica == 0 {
+            self.attest_shard(shard, user_data)
+        } else {
+            Err(LcmError::Tee(format!(
+                "attest_member(shard {shard}, replica {replica}) on an unreplicated server"
+            )))
+        }
+    }
+
+    /// Delivers the admin's sealed provisioning payload to member
+    /// `replica` of shard `shard`'s group. Each member receives its own
+    /// payload carrying its `(shard, replica)` identity coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; out-of-range coordinates are an
+    /// error.
+    fn provision_member(
+        &mut self,
+        shard: u32,
+        replica: u32,
+        sealed_payload: Vec<u8>,
+    ) -> Result<()> {
+        if replica == 0 {
+            self.provision_shard(shard, sealed_payload)
+        } else {
+            Err(LcmError::Tee(format!(
+                "provision_member(shard {shard}, replica {replica}) on an unreplicated server"
+            )))
+        }
+    }
+
+    /// Crash-stops member `replica` of shard `shard`'s group (the
+    /// fault-injection hook for replica-failure tests). `power_failure`
+    /// additionally discards persists still queued behind the member's
+    /// write pipeline, modelling a power cut rather than a process
+    /// kill. On unreplicated servers replica 0 maps to
+    /// [`BatchServer::crash`].
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range coordinates are an error.
+    fn kill_member(&mut self, shard: u32, replica: u32, power_failure: bool) -> Result<()> {
+        let _ = power_failure;
+        if shard == 0 && replica == 0 {
+            self.crash();
+            Ok(())
+        } else {
+            Err(LcmError::Tee(format!(
+                "kill_member(shard {shard}, replica {replica}) on an unreplicated server"
+            )))
+        }
+    }
+
+    /// Reboots a previously killed member of shard `shard`'s group and
+    /// re-admits it to replication; returns the enclave's
+    /// needs-provisioning flag (see [`BatchServer::boot`]). If the
+    /// group's leader seat was vacated, the group promotes before the
+    /// rebooted member rejoins, so a reboot never demotes a working
+    /// leader.
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot errors; out-of-range coordinates are an error.
+    fn reboot_member(&mut self, shard: u32, replica: u32) -> Result<bool> {
+        if shard == 0 && replica == 0 {
+            self.boot()
+        } else {
+            Err(LcmError::Tee(format!(
+                "reboot_member(shard {shard}, replica {replica}) on an unreplicated server"
+            )))
+        }
+    }
+
+    /// Target side of migration under a host-assigned replica slot:
+    /// like [`BatchServer::import_migration`], but the importing
+    /// enclave adopts the ticket as member `replica` of a group of
+    /// `replicas`. A replicated target fans one ticket out to every
+    /// member through this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        if replica == 0 && replicas == 1 {
+            self.import_migration(ticket)
+        } else {
+            Err(LcmError::Tee(format!(
+                "import_migration_as(replica {replica}/{replicas}) on an unreplicated server"
+            )))
+        }
+    }
+}
+
+/// A thread-safe verified-read surface: reader threads serve
+/// replica-pinned read legs through `&self` while the write path runs,
+/// so a 2f+1 group answers reads on all members concurrently.
+///
+/// Implementations lock only the addressed member (or the addressed
+/// lane), never the whole deployment — that independence is the whole
+/// point of follower reads.
+pub trait ReadPort: Send + Sync {
+    /// Serves one encrypted read leg; see [`BatchServer::serve_read`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    fn serve_read(&self, read_wire: Vec<u8>) -> Result<Vec<u8>>;
 }
 
 impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
@@ -587,6 +826,41 @@ impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
     fn flush_persists(&mut self) -> Result<()> {
         (**self).flush_persists()
     }
+    fn replica_count(&self) -> u32 {
+        (**self).replica_count()
+    }
+    fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<Digest> {
+        (**self).apply_replica(state_blob)
+    }
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        (**self).serve_read(read_wire)
+    }
+    fn read_port(&self) -> Option<Arc<dyn ReadPort>> {
+        (**self).read_port()
+    }
+    fn group_leader(&self, shard: u32) -> u32 {
+        (**self).group_leader(shard)
+    }
+    fn attest_member(&mut self, shard: u32, replica: u32, user_data: Digest) -> Result<Quote> {
+        (**self).attest_member(shard, replica, user_data)
+    }
+    fn provision_member(
+        &mut self,
+        shard: u32,
+        replica: u32,
+        sealed_payload: Vec<u8>,
+    ) -> Result<()> {
+        (**self).provision_member(shard, replica, sealed_payload)
+    }
+    fn kill_member(&mut self, shard: u32, replica: u32, power_failure: bool) -> Result<()> {
+        (**self).kill_member(shard, replica, power_failure)
+    }
+    fn reboot_member(&mut self, shard: u32, replica: u32) -> Result<bool> {
+        (**self).reboot_member(shard, replica)
+    }
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        (**self).import_migration_as(ticket, replica, replicas)
+    }
 }
 
 impl<F: Functionality> BatchServer for LcmServer<F> {
@@ -634,6 +908,15 @@ impl<F: Functionality> BatchServer for LcmServer<F> {
     }
     fn ops_processed(&self) -> u64 {
         LcmServer::ops_processed(self)
+    }
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        LcmServer::serve_read(self, read_wire)
+    }
+    fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<Digest> {
+        LcmServer::apply_replica(self, state_blob)
+    }
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        LcmServer::import_migration_as(self, ticket, replica, replicas)
     }
 }
 

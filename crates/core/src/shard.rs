@@ -1369,6 +1369,133 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
         self.for_each_shard(|s| s.flush_persists())?;
         Ok(())
     }
+
+    fn replica_count(&self) -> u32 {
+        // Groups are uniform across shards; lane 0 speaks for all.
+        lock(&self.core.shards[0].lane).server.replica_count()
+    }
+
+    fn group_leader(&self, shard: u32) -> u32 {
+        lock(&self.core.shards[shard as usize].lane)
+            .server
+            .group_leader(0)
+    }
+
+    fn attest_member(&mut self, shard: u32, replica: u32, user_data: Digest) -> Result<Quote> {
+        let Some(target) = self.core.shards.get(shard as usize) else {
+            return Err(LcmError::Tee(format!(
+                "attest_member(shard {shard}) on a {}-shard deployment",
+                self.core.shards.len()
+            )));
+        };
+        let quote = lock(&target.lane)
+            .server
+            .attest_member(0, replica, user_data)?;
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(quote.measurement.as_bytes());
+        buf.extend_from_slice(quote.user_data.as_bytes());
+        self.quote_digests[shard as usize] = Some(lcm_crypto::sha256::digest(&buf));
+        Ok(quote)
+    }
+
+    fn provision_member(
+        &mut self,
+        shard: u32,
+        replica: u32,
+        sealed_payload: Vec<u8>,
+    ) -> Result<()> {
+        let Some(target) = self.core.shards.get(shard as usize) else {
+            return Err(LcmError::Tee(format!(
+                "provision_member(shard {shard}) on a {}-shard deployment",
+                self.core.shards.len()
+            )));
+        };
+        lock(&target.lane)
+            .server
+            .provision_member(0, replica, sealed_payload)
+    }
+
+    fn kill_member(&mut self, shard: u32, replica: u32, power_failure: bool) -> Result<()> {
+        if shard as usize >= self.core.shards.len() {
+            return Err(LcmError::Tee(format!(
+                "kill_member(shard {shard}) on a {}-shard deployment",
+                self.core.shards.len()
+            )));
+        }
+        // `with_shard`'s resync writes the group's in-flight tickets
+        // off when a leader kill stops the group (`is_running` goes
+        // false); follower kills leave the lane running and settled.
+        self.with_shard(shard, |s| s.kill_member(0, replica, power_failure))
+    }
+
+    fn reboot_member(&mut self, shard: u32, replica: u32) -> Result<bool> {
+        if shard as usize >= self.core.shards.len() {
+            return Err(LcmError::Tee(format!(
+                "reboot_member(shard {shard}) on a {}-shard deployment",
+                self.core.shards.len()
+            )));
+        }
+        self.with_shard(shard, |s| s.reboot_member(0, replica))
+    }
+
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        match self.read_port() {
+            Some(port) => port.serve_read(read_wire),
+            None => unreachable!("a sharded server always has a read port"),
+        }
+    }
+
+    fn read_port(&self) -> Option<Arc<dyn crate::server::ReadPort>> {
+        let ports = self
+            .core
+            .shards
+            .iter()
+            .map(|shard| lock(&shard.lane).server.read_port())
+            .collect();
+        Some(Arc::new(CoreReadPort {
+            core: Arc::clone(&self.core),
+            ports,
+        }))
+    }
+
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        let _ = (ticket, replica, replicas);
+        Err(LcmError::Tee(
+            "import_migration_as addresses one group; use import_migration \
+             on the sharded deployment (each lane fans its part out)"
+                .into(),
+        ))
+    }
+}
+
+/// The sharded deployment's concurrent read surface: routes each read
+/// leg to its shard by the plaintext envelope, then into the lane's own
+/// read port when it has one (a replica group serving from the pinned
+/// member). Lanes without a port — unreplicated shards — fall back to
+/// locking the lane, which serializes that shard's reads with its
+/// writes: exactly the single-replica baseline the replicated cells in
+/// the bench snapshot are measured against.
+struct CoreReadPort<S: BatchServer + 'static> {
+    core: Arc<ShardCore<S>>,
+    ports: Vec<Option<Arc<dyn crate::server::ReadPort>>>,
+}
+
+impl<S: BatchServer + 'static> crate::server::ReadPort for CoreReadPort<S> {
+    fn serve_read(&self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        let Some((hint, _)) = crate::wire::ReadHint::peel(&read_wire) else {
+            return Err(LcmError::Tee(
+                "read wire too short for a routing hint".into(),
+            ));
+        };
+        let idx = shard_index(hint.route, self.core.shards.len() as u32) as usize;
+        match &self.ports[idx] {
+            Some(port) => port.serve_read(read_wire),
+            None => {
+                let mut lane = lock(&self.core.shards[idx].lane);
+                lane.server.serve_read(read_wire)
+            }
+        }
+    }
 }
 
 /// Builds the standard sharded LCM deployment: `shards` instances of
@@ -1407,6 +1534,81 @@ pub fn build_sharded<F: Functionality + 'static>(
     let server = ShardedServer::new(servers);
     // Label health snapshots with the execution mode so operators (and
     // the bench gate) can tell sync and pipelined cells apart.
+    server
+        .admission_state()
+        .set_mode(if pipelined { "pipelined" } else { "sync" });
+    server
+}
+
+/// Layout of a replicated deployment: how many shard lanes, how many
+/// members per lane's [`crate::replica::ReplicaGroup`], and the
+/// replica-acknowledgement threshold gating reply release (see the
+/// [`crate::replica`] module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationSpec {
+    /// Independent shard lanes (`.max(1)` applied at build).
+    pub shards: u32,
+    /// Members per shard group — 2f+1 for f-fault tolerance; 1 is the
+    /// unreplicated degenerate case (`.max(1)` applied at build).
+    pub replicas: u32,
+    /// Threshold of members that must hold a batch's sealed state
+    /// before its replies release.
+    pub quorum: crate::stability::Quorum,
+}
+
+/// Builds a *replicated* sharded LCM deployment: `spec.shards` lanes,
+/// each a [`crate::replica::ReplicaGroup`] of `spec.replicas` members.
+/// Member `(i, r)` runs on platform `base_platform + i*replicas + r`
+/// of `world` and persists into the nested storage region
+/// `shard{i}.rep{r}.` of the shared medium; `pipelined` selects the
+/// member servers' write pipeline exactly as in [`build_sharded`].
+///
+/// With `spec.replicas == 1` the layout degenerates to one-member
+/// groups: same wire behavior as [`build_sharded`], plus the group's
+/// quorum bookkeeping (trivially satisfied by the leader alone).
+pub fn build_replicated<F: Functionality + 'static>(
+    world: &TeeWorld,
+    base_platform: u64,
+    storage: Arc<dyn StableStorage>,
+    batch_limit: usize,
+    spec: ReplicationSpec,
+    pipelined: bool,
+) -> ShardedServer<Box<dyn BatchServer>> {
+    use crate::replica::{ReplicaGroup, ReplicaMember};
+    let ReplicationSpec {
+        shards,
+        replicas,
+        quorum,
+    } = spec;
+    let shards = shards.max(1);
+    let replicas = replicas.max(1);
+    let groups = (0..shards)
+        .map(|i| {
+            let members = (0..replicas)
+                .map(|r| {
+                    let platform = world.platform_deterministic(
+                        base_platform + u64::from(i) * u64::from(replicas) + u64::from(r),
+                    );
+                    let region = Arc::new(NamespacedStorage::new(
+                        storage.clone(),
+                        format!("{}rep{r}.", NamespacedStorage::shard_prefix(i)),
+                    ));
+                    let server = LcmServer::<F>::new(&platform, region.clone(), batch_limit);
+                    let server: Box<dyn BatchServer> = if pipelined {
+                        Box::new(server.into_pipelined())
+                    } else {
+                        Box::new(server)
+                    };
+                    ReplicaMember {
+                        server,
+                        storage: region,
+                    }
+                })
+                .collect();
+            Box::new(ReplicaGroup::new(members, quorum)) as Box<dyn BatchServer>
+        })
+        .collect();
+    let server = ShardedServer::new(groups);
     server
         .admission_state()
         .set_mode(if pipelined { "pipelined" } else { "sync" });

@@ -151,11 +151,30 @@ pub fn majority_stable(v: &VMap) -> SeqNo {
     stable_with(v, Quorum::Majority)
 }
 
-/// The quorum a sequence number must reach to be reported stable.
+/// A counting threshold over a group of `n` parties.
 ///
-/// The paper uses a majority (§4.5, Definition 2) but notes that
-/// *"one may use different strengths of stability"*; the quorum is
-/// configurable here to support that discussion and the ablation bench.
+/// The same threshold engine backs two very different quorums — do not
+/// conflate them:
+///
+/// * **Client quorum** (the paper's use, §4.5 Definition 2): how many
+///   *clients* must have executed past an acknowledged sequence number
+///   before `T` reports it stable. `n` is the client-group size, the
+///   parties are mutually-trusting protocol participants, and the
+///   quorum governs what *stability watermark* a reply carries. The
+///   paper uses a majority but notes *"one may use different strengths
+///   of stability"*, so it is configurable.
+/// * **Replica quorum** ([`crate::replica::ReplicaGroup`]): how many
+///   *group members* must hold a sealed state blob before the host
+///   releases the batch's replies. `n` is the replica count `2f + 1`,
+///   the parties are enclave instances on one untrusted host, and the
+///   quorum governs *durability of acknowledged writes* across member
+///   crashes. With [`Quorum::Majority`] over `2f + 1` members,
+///   `required = f + 1`, so any `f` crashes leave at least one holder
+///   of every acknowledged write.
+///
+/// A deployment picks the two independently: a cautious operator may
+/// run client stability at [`Quorum::All`] while replica release stays
+/// at majority.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Quorum {
     /// Strictly more than half of the clients (the paper's default).
@@ -337,6 +356,46 @@ mod tests {
         assert_eq!(Quorum::AtLeast(2).required(5), 2);
         assert_eq!(Quorum::AtLeast(9).required(5), 5);
         assert_eq!(Quorum::AtLeast(0).required(5), 1);
+    }
+
+    #[test]
+    fn replica_quorum_thresholds_k_of_2f_plus_1() {
+        // The replica-release quorum over 2f+1 members: majority is
+        // f+1, so f crashes still leave a holder of every release.
+        for f in 0u32..4 {
+            let n = (2 * f + 1) as usize;
+            let required = Quorum::Majority.required(n);
+            assert_eq!(required, f as usize + 1, "2f+1 = {n}");
+            // Tolerance: killing f members leaves exactly enough.
+            assert!(n - f as usize >= required);
+            // One more crash breaks the quorum.
+            assert!(n - f as usize - 1 < required || f == 0);
+        }
+    }
+
+    #[test]
+    fn replica_quorum_degenerate_f0_group_of_one() {
+        // f = 0: a "group" of one member. The sole member is its own
+        // quorum — exactly the unreplicated server's behavior.
+        assert_eq!(Quorum::Majority.required(1), 1);
+        assert_eq!(Quorum::All.required(1), 1);
+        // AtLeast clamps into [1, n] at both ends.
+        assert_eq!(Quorum::AtLeast(0).required(1), 1);
+        assert_eq!(Quorum::AtLeast(7).required(1), 1);
+    }
+
+    #[test]
+    fn replica_quorum_all_but_one_crashed_edge() {
+        // 2f+1 = 5, f = 2: with four members crashed the survivor
+        // cannot form a majority quorum — releases must stall rather
+        // than acknowledge writes a single crash could erase.
+        let n = 5;
+        let holders_after_crashes = 1;
+        assert!(holders_after_crashes < Quorum::Majority.required(n));
+        // AtLeast(1) deliberately opts out of that protection: one
+        // holder (the leader itself) releases immediately.
+        assert_eq!(Quorum::AtLeast(1).required(n), 1);
+        assert!(holders_after_crashes >= Quorum::AtLeast(1).required(n));
     }
 
     #[test]

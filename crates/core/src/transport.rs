@@ -819,6 +819,51 @@ impl<S: BatchServer + 'static> BatchServer for Frontend<S> {
     fn flush_persists(&mut self) -> Result<()> {
         self.server.flush_persists()
     }
+    fn replica_count(&self) -> u32 {
+        self.server.replica_count()
+    }
+    fn apply_replica(&mut self, state_blob: Vec<u8>) -> Result<lcm_crypto::sha256::Digest> {
+        self.server.apply_replica(state_blob)
+    }
+    /// Serves a verified read against the wrapped plane. Reads bypass
+    /// the ingress queue entirely — they never mutate state, so they
+    /// need no ticket, no admission slot, and no driver; this is what
+    /// lets them scale out across follower replicas while the write
+    /// lanes keep executing.
+    fn serve_read(&mut self, read_wire: Vec<u8>) -> Result<Vec<u8>> {
+        self.server.serve_read(read_wire)
+    }
+    fn read_port(&self) -> Option<std::sync::Arc<dyn crate::server::ReadPort>> {
+        self.server.read_port()
+    }
+    fn group_leader(&self, shard: u32) -> u32 {
+        self.server.group_leader(shard)
+    }
+    fn attest_member(
+        &mut self,
+        shard: u32,
+        replica: u32,
+        user_data: lcm_crypto::sha256::Digest,
+    ) -> Result<lcm_tee::attestation::Quote> {
+        self.server.attest_member(shard, replica, user_data)
+    }
+    fn provision_member(
+        &mut self,
+        shard: u32,
+        replica: u32,
+        sealed_payload: Vec<u8>,
+    ) -> Result<()> {
+        self.server.provision_member(shard, replica, sealed_payload)
+    }
+    fn kill_member(&mut self, shard: u32, replica: u32, power_failure: bool) -> Result<()> {
+        self.server.kill_member(shard, replica, power_failure)
+    }
+    fn reboot_member(&mut self, shard: u32, replica: u32) -> Result<bool> {
+        self.server.reboot_member(shard, replica)
+    }
+    fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
+        self.server.import_migration_as(ticket, replica, replicas)
+    }
 }
 
 // ---------------------------------------------------------------------------

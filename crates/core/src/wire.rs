@@ -94,6 +94,172 @@ impl RouteHint {
     }
 }
 
+/// Tag byte of a verified-read leg (replicated shard groups).
+pub const TAG_READ: u8 = 0x04;
+/// Tag byte of a verified-read reply with fresh data.
+pub const TAG_READ_REPLY: u8 = 0x05;
+/// Tag byte of a verified-read reply from a member that has not yet
+/// installed the client's latest acknowledged write (retryable lag,
+/// never a violation).
+pub const TAG_READ_BEHIND: u8 = 0x06;
+
+/// Length of the plaintext envelope prepended to every encrypted read
+/// leg (see [`ReadHint`]).
+pub const READ_HINT_LEN: usize = 4 + 4 + 8 + 4;
+
+/// The plaintext envelope of an encrypted verified-read leg:
+/// `client(4) ‖ route(4) ‖ seq(8) ‖ replica(4) ‖ ciphertext`.
+///
+/// Like [`RouteHint`] for writes, but with one extra field: the
+/// replica slot the client *pinned* this read to. All four fields are
+/// bound into the AEAD associated data
+/// ([`crate::context::read_aad`]), and the serving enclave computes
+/// the AAD with its **own** attested replica coordinate — a read leg
+/// the host redirects to a different member of the group fails
+/// authentication inside that enclave. The host learns only what it
+/// needs to route: who is asking, which shard, which op counter, and
+/// which member should answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadHint {
+    /// The reading client (duplicated inside the ciphertext; the
+    /// enclave asserts both copies agree).
+    pub client: ClientId,
+    /// Stable route hash of the operation's partition key.
+    pub route: u32,
+    /// The client's context sequence number `tc` for the shard the
+    /// read targets (duplicated inside the ciphertext).
+    pub seq: u64,
+    /// The replica slot this read is pinned to.
+    pub replica: u32,
+}
+
+impl ReadHint {
+    /// Appends the envelope bytes to `out`.
+    pub fn encode_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.0.to_be_bytes());
+        out.extend_from_slice(&self.route.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.replica.to_be_bytes());
+    }
+
+    /// Splits a read wire into its envelope and the AEAD ciphertext.
+    /// Returns `None` when the wire is shorter than the envelope.
+    pub fn peel(wire: &[u8]) -> Option<(ReadHint, &[u8])> {
+        if wire.len() < READ_HINT_LEN {
+            return None;
+        }
+        let client = ClientId(u32::from_be_bytes(wire[0..4].try_into().ok()?));
+        let route = u32::from_be_bytes(wire[4..8].try_into().ok()?);
+        let seq = u64::from_be_bytes(wire[8..16].try_into().ok()?);
+        let replica = u32::from_be_bytes(wire[16..20].try_into().ok()?);
+        Some((
+            ReadHint {
+                client,
+                route,
+                seq,
+                replica,
+            },
+            &wire[READ_HINT_LEN..],
+        ))
+    }
+}
+
+/// The plaintext of a verified-read leg: the client's full context for
+/// the target shard plus the (read-only) operation. Mirrors
+/// [`InvokeMsg`] without the retry flag — reads are idempotent, so a
+/// retried read is just the same leg again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadMsg {
+    /// Reading client.
+    pub client: ClientId,
+    /// Sequence number of the client's last completed operation on the
+    /// target shard.
+    pub tc: SeqNo,
+    /// Hash chain value from that operation.
+    pub hc: ChainValue,
+    /// The opaque read-only operation for the functionality `F`.
+    pub op: Vec<u8>,
+}
+
+impl WireCodec for ReadMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(TAG_READ);
+        self.client.encode(w);
+        self.tc.encode(w);
+        self.hc.encode(w);
+        w.put_raw(&self.op);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.get_u8()?;
+        if tag != TAG_READ {
+            return Err(CodecError::InvalidTag(tag));
+        }
+        Ok(ReadMsg {
+            client: ClientId::decode(r)?,
+            tc: SeqNo::decode(r)?,
+            hc: ChainValue::decode(r)?,
+            op: r.get_rest().to_vec(),
+        })
+    }
+}
+
+/// The reply to a verified-read leg.
+///
+/// `behind = false` (tag [`TAG_READ_REPLY`]): the member's `V[i]`
+/// matched the client's `(tc, hc)` exactly and `result` holds the
+/// read's output at that context. `behind = true`
+/// ([`TAG_READ_BEHIND`]): the member has not yet installed the
+/// client's latest acknowledged write — `result` is empty and the
+/// client should retry (possibly on another member).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadReplyMsg {
+    /// The member's recorded sequence number for this client.
+    pub t: SeqNo,
+    /// The member's stable watermark.
+    pub q: SeqNo,
+    /// The member's recorded chain value for this client.
+    pub h: ChainValue,
+    /// Echo of the client's chain value from the read leg.
+    pub hc_echo: ChainValue,
+    /// Whether the member lags the client's context (retryable).
+    pub behind: bool,
+    /// The read result (empty when `behind`).
+    pub result: Vec<u8>,
+}
+
+impl WireCodec for ReadReplyMsg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(if self.behind {
+            TAG_READ_BEHIND
+        } else {
+            TAG_READ_REPLY
+        });
+        self.t.encode(w);
+        self.q.encode(w);
+        self.h.encode(w);
+        self.hc_echo.encode(w);
+        w.put_raw(&self.result);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.get_u8()?;
+        let behind = match tag {
+            TAG_READ_REPLY => false,
+            TAG_READ_BEHIND => true,
+            other => return Err(CodecError::InvalidTag(other)),
+        };
+        Ok(ReadReplyMsg {
+            t: SeqNo::decode(r)?,
+            q: SeqNo::decode(r)?,
+            h: ChainValue::decode(r)?,
+            hc_echo: ChainValue::decode(r)?,
+            behind,
+            result: r.get_rest().to_vec(),
+        })
+    }
+}
+
 /// The `[INVOKE, tc, hc, o, i]` message of Alg. 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InvokeMsg {
@@ -288,5 +454,48 @@ mod tests {
     fn short_wire_has_no_route_hint() {
         assert!(RouteHint::peel(&[1, 2, 3]).is_none());
         assert!(RouteHint::peel(&[]).is_none());
+    }
+
+    #[test]
+    fn read_hint_roundtrips() {
+        let hint = ReadHint {
+            client: ClientId(9),
+            route: 0xcafe_f00d,
+            seq: 23,
+            replica: 2,
+        };
+        let mut wire = Vec::new();
+        hint.encode_to(&mut wire);
+        wire.extend_from_slice(b"ct");
+        let (peeled, rest) = ReadHint::peel(&wire).unwrap();
+        assert_eq!(peeled, hint);
+        assert_eq!(rest, b"ct");
+        assert!(ReadHint::peel(&wire[..READ_HINT_LEN - 1]).is_none());
+    }
+
+    #[test]
+    fn read_msg_roundtrips() {
+        let msg = ReadMsg {
+            client: ClientId(4),
+            tc: SeqNo(11),
+            hc: ChainValue::GENESIS.extend(b"w", SeqNo(11), ClientId(4)),
+            op: b"GET key".to_vec(),
+        };
+        assert_eq!(ReadMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn read_reply_roundtrips_both_flavours() {
+        for behind in [false, true] {
+            let msg = ReadReplyMsg {
+                t: SeqNo(11),
+                q: SeqNo(7),
+                h: ChainValue::GENESIS.extend(b"w", SeqNo(11), ClientId(4)),
+                hc_echo: ChainValue::GENESIS,
+                behind,
+                result: if behind { vec![] } else { b"value".to_vec() },
+            };
+            assert_eq!(ReadReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
     }
 }

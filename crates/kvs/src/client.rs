@@ -207,6 +207,68 @@ impl KvsClient {
         }
     }
 
+    /// Runs a read-only typed operation over the verified read path,
+    /// pinned to `replica` of the operation's shard group (replica 0
+    /// is valid on unreplicated deployments: it is the sole member).
+    ///
+    /// If the pinned member is behind — it has not yet applied the
+    /// quorum round holding this client's last write — the read is
+    /// re-issued once to the group's current leader, which by
+    /// construction holds the newest state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client- and server-side errors, including the halt a
+    /// forged or rolled-back reply triggers.
+    pub fn read_at<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+        op: &KvOp,
+        replica: u32,
+    ) -> Result<KvResult> {
+        use lcm_core::client::ReadOutcome;
+        let bytes = op.to_bytes();
+        let shard = self.shard_of(op);
+        let wire = self
+            .inner
+            .read_for::<crate::store::KvStore>(&bytes, replica)?;
+        match self.inner.handle_read_reply(&server.serve_read(wire)?)? {
+            ReadOutcome::Fresh(done) => KvResult::from_bytes(&done.result).map_err(LcmError::Codec),
+            ReadOutcome::Behind => {
+                let leader = server.group_leader(shard);
+                let wire = self
+                    .inner
+                    .read_for::<crate::store::KvStore>(&bytes, leader)?;
+                match self.inner.handle_read_reply(&server.serve_read(wire)?)? {
+                    ReadOutcome::Fresh(done) => {
+                        KvResult::from_bytes(&done.result).map_err(LcmError::Codec)
+                    }
+                    ReadOutcome::Behind => {
+                        Err(LcmError::Tee("group leader behind on verified read".into()))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Typed GET on the verified read path ([`KvsClient::read_at`]):
+    /// the follower-served scale-out read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvsClient::read_at`] errors.
+    pub fn get_at<S: BatchServer + ?Sized>(
+        &mut self,
+        server: &mut S,
+        key: &[u8],
+        replica: u32,
+    ) -> Result<Option<Vec<u8>>> {
+        match self.read_at(server, &KvOp::Get(key.to_vec()), replica)? {
+            KvResult::Value(v) => Ok(v),
+            other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
+        }
+    }
+
     /// The shard a typed operation routes to under this client's
     /// deployment shape.
     pub fn shard_of(&self, op: &KvOp) -> u32 {
@@ -442,6 +504,27 @@ mod tests {
         let s2 = c2.refresh_stability(&mut server).unwrap();
         assert!(s2 >= s1);
         assert!(s2.0 >= 1, "watermark after refreshes: {s2}");
+    }
+
+    #[test]
+    fn verified_read_on_single_replica() {
+        let (mut server, mut c1, _c2) = setup();
+        c1.put(&mut server, b"name", b"lcm").unwrap();
+        // Replica 0 is the sole member on an unreplicated deployment.
+        assert_eq!(
+            c1.get_at(&mut server, b"name", 0).unwrap(),
+            Some(b"lcm".to_vec())
+        );
+        // Reads never advance the write context.
+        let tc_before = c1.lcm().last_seq();
+        c1.get_at(&mut server, b"name", 0).unwrap();
+        assert_eq!(c1.lcm().last_seq(), tc_before);
+        // The write path still works afterwards.
+        c1.put(&mut server, b"name", b"v2").unwrap();
+        assert_eq!(
+            c1.get_at(&mut server, b"name", 0).unwrap(),
+            Some(b"v2".to_vec())
+        );
     }
 
     #[test]

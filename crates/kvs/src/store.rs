@@ -114,6 +114,18 @@ impl Functionality for KvStore {
         }
     }
 
+    /// GET and both scan flavours leave the store untouched, so a
+    /// replica group may serve them on the follower read path. PUT/DEL
+    /// (and anything malformed) must take the write path.
+    fn is_readonly(op: &[u8]) -> bool {
+        matches!(
+            op.first(),
+            Some(&crate::ops::OP_GET)
+                | Some(&crate::ops::OP_SCAN)
+                | Some(&crate::ops::OP_SCAN_SHARD)
+        )
+    }
+
     fn snapshot(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u32(self.map.len() as u32);

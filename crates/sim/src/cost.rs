@@ -114,6 +114,16 @@ pub struct CostModel {
     /// enclave), and validated against the real admission-enabled
     /// front-end in `tests/sharding_validation.rs`.
     pub admission_check: Duration,
+    /// Per-follower acknowledgement overhead of a replicated shard
+    /// group (LCM only, charged once per follower per batch): the host
+    /// lifting the sealed blob off the leader's medium, the follower's
+    /// in-enclave digest over what it installed, and the group's
+    /// holder/quorum bookkeeping. The blob *application* itself (an
+    /// unseal + reseal on the follower) is modelled as another
+    /// `per_batch` in the engine; this term is only the ack plumbing
+    /// around it. Validated against the real `ReplicaGroup` stack in
+    /// `tests/sharding_validation.rs`.
+    pub replica_ack: Duration,
     /// Fixed cost of sealing the state, per batch.
     pub seal_fixed: Duration,
     /// Per-byte sealing cost.
@@ -151,6 +161,7 @@ impl Default for CostModel {
             frontend_contention: 0.04,
             route_check: Duration::from_nanos(120),
             admission_check: Duration::from_nanos(250),
+            replica_ack: Duration::from_micros(2),
             seal_fixed: Duration::from_micros(3),
             seal_ns_per_byte: 0.25,
             lcm_premium_100: 0.2519,  // 1/(1-0.2012) - 1

@@ -53,6 +53,11 @@ pub struct Simulation {
     /// Per-extra-driver contention surcharge on the host share of
     /// `per_op` (see `CostModel::frontend_contention`).
     frontend_contention: f64,
+    /// Members per shard group (1 = unreplicated).
+    replicas: usize,
+    /// Per-follower ack plumbing charged per batch (see
+    /// `CostModel::replica_ack`).
+    replica_ack: Duration,
     duration: Nanos,
     warmup: Nanos,
     request_leg: Nanos,
@@ -82,6 +87,8 @@ impl Simulation {
             shards: 1,
             frontend_threads: 0,
             frontend_contention: 0.0,
+            replicas: 1,
+            replica_ack: Duration::ZERO,
             duration: duration_ns,
             warmup: duration_ns / 10,
             request_leg,
@@ -113,6 +120,21 @@ impl Simulation {
         self
     }
 
+    /// Runs each shard station as a replica group of `replicas`
+    /// members. Every batch cycle then additionally ships the sealed
+    /// blob to each of the `replicas - 1` followers — the follower's
+    /// apply is an unseal + reseal of the state, modelled as another
+    /// `per_batch`, plus the `ack` plumbing — and, under fsync, each
+    /// member persists its own copy of the blob before the quorum
+    /// releases the batch. `1` (the default) reproduces the
+    /// unreplicated model exactly.
+    #[must_use]
+    pub fn with_replicas(mut self, replicas: usize, ack: Duration) -> Self {
+        self.replicas = replicas.max(1);
+        self.replica_ack = ack;
+        self
+    }
+
     fn effective_batch(&self) -> usize {
         if self.profile.group_commit {
             // Group commit merges whatever is queued (bounded).
@@ -125,8 +147,15 @@ impl Simulation {
     fn cycle_duration(&self, k: usize) -> Nanos {
         let p = &self.profile;
         let mut total = p.per_op * (k as u32) + p.per_batch + p.tmc_per_op * (k as u32);
+        let followers = (self.replicas - 1) as u32;
+        if followers > 0 {
+            // Replication is in the batch path: the released replies
+            // wait for every follower's apply (another per_batch) and
+            // ack before the quorum frees them.
+            total += (p.per_batch + self.replica_ack) * followers;
+        }
         if p.fsync {
-            let commits = if p.fsync_per_op { k } else { 1 };
+            let commits = if p.fsync_per_op { k } else { self.replicas };
             for _ in 0..commits {
                 total += self.disk.sync_write_cost(p.disk_bytes_per_commit);
             }
@@ -442,6 +471,42 @@ mod tests {
             charged > 0.8 * free,
             "surcharge too harsh: {charged} vs {free}"
         );
+    }
+
+    fn run_replicated(replicas: usize, n: usize, fsync: bool) -> Metrics {
+        let model = CostModel::default();
+        let profile = model.profile(ServerKind::Lcm { batch: 16 }, 1000, 100, fsync);
+        Simulation::new(profile, &model, n, Duration::from_secs(5))
+            .with_replicas(replicas, model.replica_ack)
+            .run()
+    }
+
+    #[test]
+    fn one_replica_equals_unreplicated() {
+        let base = run(ServerKind::Lcm { batch: 16 }, 16, false).ops();
+        let one = run_replicated(1, 16, false).ops();
+        assert_eq!(base, one);
+    }
+
+    #[test]
+    fn replication_charges_the_batch_path() {
+        // Three members = two extra blob applies + acks per batch, and
+        // three persisted copies under fsync: write throughput must
+        // drop, and drop harder when the store is the bottleneck.
+        let x1 = run_replicated(1, 32, true).throughput();
+        let x3 = run_replicated(3, 32, true).throughput();
+        assert!(x3 < x1, "x1={x1} x3={x3}");
+        let slowdown = x1 / x3;
+        assert!(
+            (1.2..=4.0).contains(&slowdown),
+            "3-replica fsync slowdown out of band: {slowdown:.2}x"
+        );
+        // Async writes: the two extra applies still cost real batch
+        // work, but without the per-member commit the penalty is mild.
+        let a1 = run_replicated(1, 32, false).throughput();
+        let a3 = run_replicated(3, 32, false).throughput();
+        assert!(a3 < a1);
+        assert!(a1 / a3 < x1 / x3, "fsync must amplify the replica cost");
     }
 
     #[test]

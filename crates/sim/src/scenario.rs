@@ -22,6 +22,11 @@ pub struct Scenario {
     /// Number of independent server shards (the sharded multi-enclave
     /// host); 1 is the paper's single-enclave server.
     pub shards: usize,
+    /// Members per shard group (the replicated `2f + 1` deployment);
+    /// 1 is the unreplicated server. Each extra member adds a blob
+    /// apply plus an ack ([`CostModel::replica_ack`]) to every batch,
+    /// and its own persisted copy under fsync.
+    pub replicas: usize,
     /// Driver threads of the concurrent transport front-end: at most
     /// this many shard cycles overlap, and each active extra driver
     /// pays the [`CostModel::frontend_contention`] surcharge on the
@@ -52,6 +57,7 @@ impl Scenario {
             object_size: 100,
             fsync: false,
             shards: 1,
+            replicas: 1,
             frontend_threads: 0,
             duration: Duration::from_secs(seconds),
         }
@@ -68,6 +74,7 @@ pub fn run_scenario(model: &CostModel, scenario: &Scenario) -> Metrics {
     );
     Simulation::new(profile, model, scenario.n_clients, scenario.duration)
         .with_shards(scenario.shards)
+        .with_replicas(scenario.replicas, model.replica_ack)
         .with_frontend_threads(scenario.frontend_threads, model.frontend_contention)
         .run()
 }

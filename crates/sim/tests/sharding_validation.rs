@@ -175,6 +175,72 @@ fn measure_real_frontend_admitted(shards: u32, driver_threads: usize) -> f64 {
     f64::from(N_CLIENTS * ROUNDS) / t0.elapsed().as_secs_f64()
 }
 
+/// Real ops/s of a single shard run as a replica group of `replicas`
+/// members: the leader executes each batch, then ships the sealed blob
+/// to every follower (each persisting its own copy through the delayed
+/// device) before the quorum releases the replies.
+fn measure_real_replicated(replicas: u32) -> f64 {
+    use lcm_core::shard::{build_replicated, ReplicationSpec};
+    let world = TeeWorld::new_deterministic(9_200 + u64::from(replicas));
+    let storage = Arc::new(DelayedStorage::new(MemoryStorage::new(), STORE_DELAY));
+    let spec = ReplicationSpec {
+        shards: 1,
+        replicas,
+        quorum: Quorum::Majority,
+    };
+    let mut server = build_replicated::<Counter>(&world, 1, storage, BATCH, spec, false);
+    assert!(server.boot().unwrap());
+    let ids: Vec<ClientId> = (1..=N_CLIENTS).map(ClientId).collect();
+    let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 11);
+    admin.bootstrap(&mut server).unwrap();
+    let mut clients: Vec<LcmClient> = ids
+        .iter()
+        .map(|&id| LcmClient::new_sharded(id, admin.client_key(), 1))
+        .collect();
+
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let op = Counter::inc_op(format!("k{i}").as_bytes(), 1);
+            server.submit(c.invoke_for::<Counter>(&op).unwrap());
+        }
+        let replies = server.process_all().unwrap();
+        assert_eq!(replies.len(), N_CLIENTS as usize);
+        for (id, wire) in replies {
+            let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+            c.handle_reply(&wire).unwrap();
+        }
+    }
+    server.flush_persists().unwrap();
+    f64::from(N_CLIENTS * ROUNDS) / t0.elapsed().as_secs_f64()
+}
+
+fn predict_replicated(replicas: usize, n_clients: usize) -> f64 {
+    let model = CostModel::default();
+    let mut scenario = Scenario::paper_default(ServerKind::Lcm { batch: BATCH }, n_clients);
+    scenario.fsync = true; // the real sweep charges every store
+    scenario.replicas = replicas;
+    run_scenario(&model, &scenario).throughput()
+}
+
+#[test]
+fn replica_ack_term_tracks_the_real_quorum_cost() {
+    // The cost model charges each extra group member a blob apply plus
+    // an ack per batch, and its own persisted copy — so write
+    // throughput at 3 replicas must drop below 1 replica by roughly
+    // the same factor on the model and on the real `ReplicaGroup`
+    // stack (both store-bound at this batch/client mix).
+    let sim = predict_replicated(1, N_CLIENTS as usize) / predict_replicated(3, N_CLIENTS as usize);
+    let real = measure_real_replicated(1) / measure_real_replicated(3);
+    assert!(sim > 1.2, "simulator predicts a {sim:.2}x write slowdown");
+    assert!(real > 1.2, "real stack shows a {real:.2}x write slowdown");
+    let agreement = real / sim;
+    assert!(
+        (0.3..=3.0).contains(&agreement),
+        "sim {sim:.2}x vs real {real:.2}x diverge (agreement {agreement:.2})"
+    );
+}
+
 #[test]
 fn four_shards_beat_one_on_the_real_stack() {
     let x1 = measure_real(1, false);

@@ -63,6 +63,7 @@ pub enum Mode {
 /// admission policy.
 pub struct DeploymentBuilder<F: Functionality + 'static> {
     shards: u32,
+    replicas: u32,
     mode: Mode,
     /// `Some(n)` = continuous front-end with `n` driver threads;
     /// `None` = on-demand with one driver per shard.
@@ -99,6 +100,7 @@ impl<F: Functionality + 'static> DeploymentBuilder<F> {
     pub fn new() -> Self {
         DeploymentBuilder {
             shards: 1,
+            replicas: 1,
             mode: Mode::Sync,
             driver_threads: None,
             admission: None,
@@ -114,6 +116,17 @@ impl<F: Functionality + 'static> DeploymentBuilder<F> {
     /// Number of server shards (≥ 1; default 1).
     pub fn shards(mut self, n: u32) -> Self {
         self.shards = n.max(1);
+        self
+    }
+
+    /// Replicas per shard group (≥ 1; default 1). With `n > 1` each
+    /// shard runs as a [`lcm_core::replica::ReplicaGroup`] of `n`
+    /// members: writes release only once a quorum of members holds the
+    /// sealed state, a crashed leader fails over to the most advanced
+    /// follower, and followers serve verified reads. Use an odd `n`
+    /// (`2f + 1`) to tolerate `f` crashes.
+    pub fn replicas(mut self, n: u32) -> Self {
+        self.replicas = n.max(1);
         self
     }
 
@@ -189,14 +202,29 @@ impl<F: Functionality + 'static> DeploymentBuilder<F> {
         let storage = self
             .storage
             .unwrap_or_else(|| Arc::new(MemoryStorage::new()));
-        let server = build_sharded::<F>(
-            &world,
-            1,
-            storage,
-            self.batch_limit,
-            self.shards,
-            matches!(self.mode, Mode::Pipelined),
-        );
+        let server = if self.replicas > 1 {
+            lcm_core::shard::build_replicated::<F>(
+                &world,
+                1,
+                storage,
+                self.batch_limit,
+                lcm_core::shard::ReplicationSpec {
+                    shards: self.shards,
+                    replicas: self.replicas,
+                    quorum: self.quorum,
+                },
+                matches!(self.mode, Mode::Pipelined),
+            )
+        } else {
+            build_sharded::<F>(
+                &world,
+                1,
+                storage,
+                self.batch_limit,
+                self.shards,
+                matches!(self.mode, Mode::Pipelined),
+            )
+        };
         if let Some(config) = self.admission {
             server.configure_admission(config);
         }
@@ -218,6 +246,7 @@ impl<F: Functionality + 'static> DeploymentBuilder<F> {
         };
         Ok(Deployment {
             shards: self.shards,
+            replicas: self.replicas,
             frontend,
             admin,
             manifest,
@@ -231,6 +260,7 @@ impl<F: Functionality + 'static> DeploymentBuilder<F> {
 /// [`DeploymentBuilder::build`] assembled, ready for clients.
 pub struct Deployment {
     shards: u32,
+    replicas: u32,
     frontend: Frontend<ShardedServer<Box<dyn BatchServer>>>,
     admin: AdminHandle,
     manifest: Option<DeploymentManifest>,
@@ -251,6 +281,20 @@ impl Deployment {
     /// Number of server shards.
     pub fn shards(&self) -> u32 {
         self.shards
+    }
+
+    /// Replicas per shard group (1 unless built with
+    /// [`DeploymentBuilder::replicas`]).
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// The deployment's concurrent verified-read surface: a
+    /// thread-safe port serving read legs against the addressed
+    /// replica without touching the write lanes (`None` only for
+    /// planes without one; sharded deployments always provide it).
+    pub fn read_port(&self) -> Option<Arc<dyn lcm_core::server::ReadPort>> {
+        self.frontend.read_port()
     }
 
     /// A protocol client for `id`, wired for this deployment's shard

@@ -69,15 +69,18 @@ fn fork_second_instance(
     let state_v = storage.history().latest_version(&first_state).unwrap();
     let branch = storage.fork_at(&first_state, state_v).unwrap();
     for shard in 0..mode.shards() {
-        let mut slots = vec![mode.key_slot(shard)];
-        if shard != 0 {
-            slots.push(mode.state_slot(shard));
-        }
-        for slot in slots {
-            let v = storage.history().latest_version(&slot).unwrap();
-            branch
-                .store(&slot, &storage.history().load_version(&slot, v).unwrap())
-                .unwrap();
+        for replica in 0..mode.replicas() {
+            let mut slots = vec![mode.member_key_slot(shard, replica)];
+            let state = mode.member_state_slot(shard, replica);
+            if state != first_state {
+                slots.push(state);
+            }
+            for slot in slots {
+                let v = storage.history().latest_version(&slot).unwrap();
+                branch
+                    .store(&slot, &storage.history().load_version(&slot, v).unwrap())
+                    .unwrap();
+            }
         }
     }
     let world = TeeWorld::new_deterministic(seed);
@@ -268,8 +271,15 @@ fn reply_swapped_between_clients_detected(mode: Mode) {
     server.submit(w1);
     server.submit(w2);
     let replies = server.process_all().unwrap();
-    // Malicious routing: client 0 gets client 1's reply.
-    let err = clients[0].complete(&replies[1].1).unwrap_err();
+    // Malicious routing: client 0 gets client 1's reply. Replies are
+    // FIFO per client but carry no cross-client order (the two ops may
+    // live on different shards), so pick client 1's reply by id.
+    let stolen = replies
+        .iter()
+        .find(|(id, _)| *id == clients[1].lcm().id())
+        .map(|(_, wire)| wire.clone())
+        .unwrap();
+    let err = clients[0].complete(&stolen).unwrap_err();
     assert!(err.is_violation());
 }
 

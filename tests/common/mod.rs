@@ -52,6 +52,20 @@ pub enum Mode {
         /// Whether each shard persists on a background writer.
         pipelined: bool,
     },
+    /// Every shard runs as a `ReplicaGroup` of `replicas` members
+    /// (majority quorum): writes release only once a quorum holds the
+    /// sealed state, and a crashed leader fails over to the most
+    /// advanced follower. Scenarios written against the other modes
+    /// run unchanged — the group hides behind the same `BatchServer`
+    /// surface.
+    Replicated {
+        /// Number of shard groups.
+        shards: u32,
+        /// Members per group (`2f + 1` tolerates `f` crashes).
+        replicas: u32,
+        /// Whether each member persists on a background writer.
+        pipelined: bool,
+    },
 }
 
 impl Mode {
@@ -59,21 +73,39 @@ impl Mode {
     pub fn shards(self) -> u32 {
         match self {
             Mode::Sync | Mode::Pipelined => 1,
-            Mode::Sharded { shards, .. } | Mode::Frontend { shards, .. } => shards,
+            Mode::Sharded { shards, .. }
+            | Mode::Frontend { shards, .. }
+            | Mode::Replicated { shards, .. } => shards,
+        }
+    }
+
+    /// Replicas per shard group (1 for unreplicated modes).
+    pub fn replicas(self) -> u32 {
+        match self {
+            Mode::Replicated { replicas, .. } => replicas,
+            _ => 1,
         }
     }
 
     /// Whether the mode routes through the sharded fan-out layer.
     pub fn is_sharded(self) -> bool {
-        matches!(self, Mode::Sharded { .. } | Mode::Frontend { .. })
+        matches!(
+            self,
+            Mode::Sharded { .. } | Mode::Frontend { .. } | Mode::Replicated { .. }
+        )
     }
 
-    /// The storage slot a given shard persists its sealed state to.
+    /// The storage slot a given shard persists its sealed state to
+    /// (the group **leader's** region in replicated mode — where the
+    /// authoritative blob a host could attack lives).
     pub fn state_slot(self, shard: u32) -> String {
         match self {
             Mode::Sync | Mode::Pipelined => "lcm.state".into(),
             Mode::Sharded { .. } | Mode::Frontend { .. } => {
                 format!("{}lcm.state", NamespacedStorage::shard_prefix(shard))
+            }
+            Mode::Replicated { .. } => {
+                format!("{}rep0.lcm.state", NamespacedStorage::shard_prefix(shard))
             }
         }
     }
@@ -84,6 +116,39 @@ impl Mode {
             Mode::Sync | Mode::Pipelined => "lcm.keyblob".into(),
             Mode::Sharded { .. } | Mode::Frontend { .. } => {
                 format!("{}lcm.keyblob", NamespacedStorage::shard_prefix(shard))
+            }
+            Mode::Replicated { .. } => {
+                format!("{}rep0.lcm.keyblob", NamespacedStorage::shard_prefix(shard))
+            }
+        }
+    }
+
+    /// The storage slot one group member persists its sealed state to
+    /// (`replica` must be 0 outside replicated mode).
+    pub fn member_state_slot(self, shard: u32, replica: u32) -> String {
+        match self {
+            Mode::Replicated { .. } => format!(
+                "{}rep{replica}.lcm.state",
+                NamespacedStorage::shard_prefix(shard)
+            ),
+            _ => {
+                assert_eq!(replica, 0, "unreplicated modes have a single member");
+                self.state_slot(shard)
+            }
+        }
+    }
+
+    /// The storage slot one group member persists its sealed key blob
+    /// to (`replica` must be 0 outside replicated mode).
+    pub fn member_key_slot(self, shard: u32, replica: u32) -> String {
+        match self {
+            Mode::Replicated { .. } => format!(
+                "{}rep{replica}.lcm.keyblob",
+                NamespacedStorage::shard_prefix(shard)
+            ),
+            _ => {
+                assert_eq!(replica, 0, "unreplicated modes have a single member");
+                self.key_slot(shard)
             }
         }
     }
@@ -132,6 +197,22 @@ pub fn mk_server<F: Functionality + 'static>(
                     .expect("sharded servers always expose a transport plane"),
             )
         }
+        Mode::Replicated {
+            shards,
+            replicas,
+            pipelined,
+        } => Box::new(shard::build_replicated::<F>(
+            world,
+            platform_base,
+            storage,
+            batch,
+            shard::ReplicationSpec {
+                shards,
+                replicas,
+                quorum: lcm::core::stability::Quorum::Majority,
+            },
+            pipelined,
+        )),
     }
 }
 
@@ -189,6 +270,14 @@ macro_rules! all_modes {
         mod frontend_pipelined_4 {
             $(#[test] fn $name() { super::$name(
                 crate::common::Mode::Frontend { shards: 4, pipelined: true }) })*
+        }
+        mod replicated_sync_2x3 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Replicated { shards: 2, replicas: 3, pipelined: false }) })*
+        }
+        mod replicated_pipelined_2x3 {
+            $(#[test] fn $name() { super::$name(
+                crate::common::Mode::Replicated { shards: 2, replicas: 3, pipelined: true }) })*
         }
     };
 }

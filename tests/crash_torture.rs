@@ -135,8 +135,129 @@ fn double_crash_same_operation(mode: Mode) {
     );
 }
 
+/// Kills one group member at every batch boundary of the schedule —
+/// cycling through the member slots — and reboots it immediately.
+/// Acknowledged writes must survive every kill (replication holds them
+/// at a quorum; unreplicated modes persisted them before the reply),
+/// sequencing stays exactly-once, and no kill may surface as a false
+/// violation to the client.
+fn member_kill_churn(mode: Mode, power_failure: bool) {
+    let world = TeeWorld::new_deterministic(4_200 + u64::from(power_failure));
+    let mut server = mk_server::<KvStore>(mode, &world, 1, Arc::new(MemoryStorage::new()), 1);
+    server.boot().unwrap();
+    let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 10);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = mk_client(mode, ClientId(1), admin.client_key());
+    let replicas = mode.replicas();
+
+    let mut per_shard_seq = vec![0u64; mode.shards() as usize];
+    for i in 0..SCHEDULE_LEN {
+        let key = format!("k{i}").into_bytes();
+        let done = client
+            .run(
+                &mut server,
+                &KvOp::Put(key.clone(), (i as u64).to_be_bytes().to_vec()),
+            )
+            .unwrap();
+        assert_eq!(done.result, KvResult::Stored, "op {i}");
+        let shard = mode.shard_of_key(&key);
+        per_shard_seq[shard as usize] += 1;
+        assert_eq!(
+            done.completion.seq.0, per_shard_seq[shard as usize],
+            "exactly-once sequencing across member kills (shard {shard})"
+        );
+
+        // Batch boundary: kill one member of the shard the op landed
+        // on, then reboot it. Power failure against the sole member of
+        // an unreplicated deployment is only survivable once its
+        // writes are flushed; a replica group needs no such care — the
+        // quorum holds every acknowledged write.
+        let victim = if power_failure && replicas > 1 {
+            1 + (i as u32 % (replicas - 1)) // churn the followers
+        } else {
+            i as u32 % replicas
+        };
+        if power_failure && replicas == 1 {
+            server.flush_persists().unwrap();
+        }
+        server.kill_member(shard, victim, power_failure).unwrap();
+        assert!(
+            !server.reboot_member(shard, victim).unwrap(),
+            "rebooted member resumes from sealed state, never fresh"
+        );
+    }
+
+    for i in 0..SCHEDULE_LEN {
+        let got = client.get(&mut server, format!("k{i}").as_bytes()).unwrap();
+        assert_eq!(got.unwrap(), (i as u64).to_be_bytes().to_vec());
+    }
+    assert!(
+        !client.lcm().is_halted(),
+        "churn must not look like an attack"
+    );
+}
+
+fn member_crash_stop_churn_at_batch_boundaries(mode: Mode) {
+    member_kill_churn(mode, false);
+}
+
+fn member_power_failure_churn_at_batch_boundaries(mode: Mode) {
+    member_kill_churn(mode, true);
+}
+
+/// Kills the group leader while a wire sits queued and unexecuted. The
+/// wire dies with the leader (it was never acknowledged); the client's
+/// §4.6.1 timeout-retry must then complete it exactly once — against a
+/// promoted follower in replicated modes (no reboot of the dead
+/// leader), against the rebooted server otherwise.
+fn leader_kill_with_queued_work_recovers_via_retry(mode: Mode) {
+    let world = TeeWorld::new_deterministic(4_300);
+    let mut server = mk_server::<KvStore>(mode, &world, 1, Arc::new(MemoryStorage::new()), 1);
+    server.boot().unwrap();
+    let mut admin = AdminHandle::new_deterministic(&world, vec![ClientId(1)], Quorum::Majority, 11);
+    admin.bootstrap(&mut server).unwrap();
+    let mut client = mk_client(mode, ClientId(1), admin.client_key());
+
+    client.put(&mut server, b"warm", b"up").unwrap();
+
+    let key = b"contested".to_vec();
+    let shard = mode.shard_of_key(&key);
+    let wire = client
+        .invoke_wire(&KvOp::Put(key.clone(), b"v".to_vec()))
+        .unwrap();
+    server.submit(wire);
+    let leader = server.group_leader(shard);
+    server.kill_member(shard, leader, false).unwrap();
+    if mode.replicas() == 1 {
+        // No follower to promote: the sole member must come back.
+        server.reboot_member(shard, leader).unwrap();
+    }
+
+    // Timeout ⇒ retry; a promoted follower serves it from the
+    // quorum-held state without any false violation.
+    server.submit(client.lcm_mut().retry().unwrap());
+    let replies = server.process_all().unwrap();
+    let done = client.complete(&replies[0].1).unwrap();
+    assert_eq!(done.result, KvResult::Stored);
+    if mode.replicas() > 1 {
+        assert_ne!(
+            server.group_leader(shard),
+            leader,
+            "a follower took over the dead leader's group"
+        );
+    }
+    assert_eq!(
+        client.get(&mut server, &key).unwrap().unwrap(),
+        b"v".to_vec()
+    );
+    assert!(!client.lcm().is_halted());
+}
+
 all_modes!(
     crash_before_processing_at_every_point,
     crash_after_processing_at_every_point,
     double_crash_same_operation,
+    member_crash_stop_churn_at_batch_boundaries,
+    member_power_failure_churn_at_batch_boundaries,
+    leader_kill_with_queued_work_recovers_via_retry,
 );
