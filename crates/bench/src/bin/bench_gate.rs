@@ -20,7 +20,10 @@
 
 use std::process::ExitCode;
 
-use lcm_bench::gate::{compare, parse_config, parse_snapshot, tolerance_from_env};
+use lcm_bench::gate::{
+    compare, delta_independence, parse_config, parse_snapshot, tolerance_from_env,
+    DELTA_INDEPENDENCE_FLOOR,
+};
 
 type Snapshot = (Vec<lcm_bench::gate::Cell>, Option<String>);
 
@@ -115,6 +118,37 @@ fn main() -> ExitCode {
             if v.failed { "FAIL" } else { "ok" }
         );
         failed |= v.failed;
+    }
+    // State-size independence of the delta-log engine, gated on the
+    // *fresh* snapshot's own ratio: the per-cell band above tolerates
+    // both delta cells drifting with the runner, but the 10⁶-record
+    // cell falling away from the small one means a persist path has
+    // started scaling with resident state again. Only enforced once
+    // the committed baseline carries the delta cells.
+    if delta_independence(&baseline).is_some() {
+        match delta_independence(&fresh) {
+            Some(ratio) if ratio >= DELTA_INDEPENDENCE_FLOOR => {
+                println!(
+                    "delta-log state-size independence: {ratio:.2}x \
+                     (floor {DELTA_INDEPENDENCE_FLOOR})"
+                );
+            }
+            Some(ratio) => {
+                eprintln!(
+                    "bench_gate: delta-log independence ratio {ratio:.2} fell below \
+                     the {DELTA_INDEPENDENCE_FLOOR} floor — the 10^6-record store \
+                     costs more than 2x the small one per write"
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!(
+                    "bench_gate: fresh snapshot lost the delta-log cells the \
+                     baseline gates"
+                );
+                failed = true;
+            }
+        }
     }
     if failed {
         eprintln!(

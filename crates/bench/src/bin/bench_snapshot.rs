@@ -41,10 +41,11 @@
 
 use std::time::Duration;
 
+use lcm_bench::gate::{DELTA_LARGE_MODE, DELTA_SMALL_MODE};
 use lcm_bench::shardbench::{
-    measure, measure_for, measure_frontend_admitted, measure_frontend_for,
-    measure_replicated_reads, measure_replicated_write, ReplicaRun, ShardRun, COLD_TENANT,
-    HOT_TENANT,
+    measure, measure_delta, measure_for, measure_frontend_admitted, measure_frontend_for,
+    measure_replicated_reads, measure_replicated_write, DeltaRun, ReplicaRun, ShardRun,
+    COLD_TENANT, HOT_TENANT,
 };
 
 const CLIENTS: u32 = 64;
@@ -77,6 +78,13 @@ const REP_READERS: u32 = 6;
 /// serializes on the sole enclave, at `REPLICAS` members the pinned
 /// legs overlap their service time.
 const ECALL_COST: Duration = Duration::from_micros(80);
+
+/// Delta-log engine cells: the same closed-loop write workload over a
+/// tiny and a 10⁶-record resident store. Per group commit the engine
+/// seals only the batch's diff, so `delta-1M / delta-small` must stay
+/// near 1 — `bench_gate` enforces the 0.5 floor on the fresh ratio.
+const DELTA_SMALL: u32 = 1_000;
+const DELTA_LARGE: u32 = 1_000_000;
 
 fn quick() -> bool {
     std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
@@ -180,6 +188,23 @@ fn main() {
         results.push((rmode, 1, read, None));
     }
 
+    // Sealed delta-log engine: identical write workload, resident
+    // state 1000x apart. The cells gate state-size independence.
+    for (label, preload) in [
+        (DELTA_SMALL_MODE, DELTA_SMALL),
+        (DELTA_LARGE_MODE, DELTA_LARGE),
+    ] {
+        let ops = measure_delta(&DeltaRun {
+            preload,
+            batch: BATCH,
+            clients: CLIENTS,
+            rounds,
+            store_delay: STORE_DELAY,
+        });
+        println!("{label:>13} x 1 shard(s): {ops:>10.0} ops/s");
+        results.push((label.to_string(), 1, ops, None));
+    }
+
     let ops_of = |mode: &str, shards: u32| {
         results
             .iter()
@@ -193,6 +218,7 @@ fn main() {
     let fe_pipe = ops_of("pipelined-fe", HOT_SHARDS) / ops_of("pipelined-hot", HOT_SHARDS);
     let rep_write_cost = ops_of("rep-write-1", 1) / ops_of(&format!("rep-write-{REPLICAS}"), 1);
     let rep_read_scaleout = ops_of(&format!("rep-read-{REPLICAS}"), 1) / ops_of("rep-read-1", 1);
+    let delta_independence = ops_of(DELTA_LARGE_MODE, 1) / ops_of(DELTA_SMALL_MODE, 1);
     println!("4-shard speedup: sync {sync_speedup:.2}x, pipelined {pipe_speedup:.2}x");
     println!(
         "front-end speedup at {HOT_SHARDS} shards (skewed): sync {fe_sync:.2}x, \
@@ -201,6 +227,10 @@ fn main() {
     println!(
         "replica group at {REPLICAS} members: write cost {rep_write_cost:.2}x, \
          follower-read scale-out {rep_read_scaleout:.2}x"
+    );
+    println!(
+        "delta-log state-size independence: {delta_independence:.2}x \
+         ({DELTA_LARGE} vs {DELTA_SMALL} resident records)"
     );
 
     // Hand-rolled JSON: the sanctioned dependency set has no JSON
@@ -213,7 +243,8 @@ fn main() {
          \"hot_clients\": {HOT_CLIENTS}, \"hot_store_delay_us\": {}, \
          \"window_ms\": {}, \"replicas\": {REPLICAS}, \
          \"rep_clients\": {REP_CLIENTS}, \"rep_readers\": {REP_READERS}, \
-         \"ecall_cost_us\": {}}},\n",
+         \"ecall_cost_us\": {}, \"delta_small\": {DELTA_SMALL}, \
+         \"delta_large\": {DELTA_LARGE}}},\n",
         STORE_DELAY.as_micros(),
         HOT_STORE_DELAY.as_micros(),
         window.as_millis(),
@@ -240,7 +271,10 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"replica_group_{REPLICAS}x\": {{\"write_cost\": {rep_write_cost:.3}, \
-         \"read_scaleout\": {rep_read_scaleout:.3}}}\n"
+         \"read_scaleout\": {rep_read_scaleout:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"delta_independence\": {delta_independence:.3}\n"
     ));
     json.push_str("}\n");
 

@@ -168,6 +168,36 @@ pub mod gate {
         }
     }
 
+    /// Snapshot mode label of the delta-log engine's small-store cell.
+    pub const DELTA_SMALL_MODE: &str = "delta-small";
+    /// Snapshot mode label of the delta-log engine's 10⁶-record cell.
+    pub const DELTA_LARGE_MODE: &str = "delta-1M";
+    /// Floor on `delta-1M / delta-small`: the 10⁶-record store must
+    /// keep at least half the small store's write throughput. The
+    /// engine seals a batch-shaped diff per group commit, so the true
+    /// ratio sits near 1; a ratio under the floor means some persist
+    /// path has started scaling with resident state again.
+    pub const DELTA_INDEPENDENCE_FLOOR: f64 = 0.5;
+
+    /// The delta-log engine's large-over-small throughput ratio of a
+    /// snapshot, when both cells are present.
+    ///
+    /// This invariant is gated on the *fresh* snapshot directly (not
+    /// cell-by-cell against the baseline): both cells dropping in
+    /// lockstep is runner noise the per-cell band already tolerates,
+    /// but the large cell falling away from the small one is exactly
+    /// the state-size dependence the engine exists to remove.
+    pub fn delta_independence(cells: &[Cell]) -> Option<f64> {
+        let ops = |mode: &str| {
+            cells
+                .iter()
+                .find(|c| c.mode == mode)
+                .map(|c| c.ops_per_s)
+                .filter(|x| *x > 0.0)
+        };
+        Some(ops(DELTA_LARGE_MODE)? / ops(DELTA_SMALL_MODE)?)
+    }
+
     /// One gate verdict: the baseline cell, what was measured, and
     /// whether it regressed beyond the tolerance.
     #[derive(Debug, Clone)]
@@ -366,6 +396,32 @@ pub mod gate {
         }
 
         #[test]
+        fn delta_independence_is_the_large_over_small_ratio() {
+            let cell = |mode: &str, ops: f64| Cell {
+                mode: mode.into(),
+                shards: 1,
+                ops_per_s: ops,
+                p99_us: None,
+            };
+            let cells = vec![
+                cell("sync", 10_000.0),
+                cell(DELTA_SMALL_MODE, 8_000.0),
+                cell(DELTA_LARGE_MODE, 6_400.0),
+            ];
+            let ratio = delta_independence(&cells).unwrap();
+            assert!((ratio - 0.8).abs() < 1e-9);
+            assert!(ratio >= DELTA_INDEPENDENCE_FLOOR);
+            // Either cell missing: no ratio (old snapshots gate
+            // nothing, rather than failing spuriously).
+            assert!(delta_independence(&cells[..2]).is_none());
+            assert!(delta_independence(&[]).is_none());
+            // A zeroed cell cannot fabricate a passing (or infinite)
+            // ratio.
+            let zeroed = vec![cell(DELTA_SMALL_MODE, 0.0), cell(DELTA_LARGE_MODE, 100.0)];
+            assert!(delta_independence(&zeroed).is_none());
+        }
+
+        #[test]
         fn tolerance_env_parsing_is_defensive() {
             // No env manipulation here (tests run in parallel); check
             // the parse-and-clamp path through compare instead: a 60%
@@ -412,7 +468,7 @@ pub mod shardbench {
     use lcm_core::types::ClientId;
     use lcm_kvs::ops::KvOp;
     use lcm_kvs::store::KvStore;
-    use lcm_storage::{DelayedStorage, MemoryStorage};
+    use lcm_storage::{DelayedStorage, DeltaLogStorage, MemoryStorage};
     use lcm_tee::world::TeeWorld;
 
     /// One measurement configuration.
@@ -658,6 +714,90 @@ pub mod shardbench {
             Some(admitted_policy(cfg)),
         );
         (out.ops_per_s, out.health)
+    }
+
+    /// One sealed-delta-log measurement configuration: a single shard
+    /// persisting through `DeltaLogStorage`, preloaded with `preload`
+    /// synthetic records before the timed window.
+    #[derive(Debug, Clone, Copy)]
+    pub struct DeltaRun {
+        /// Records bulk-loaded (one [`KvOp::Fill`] invocation) before
+        /// the clock starts.
+        pub preload: u32,
+        /// Batch limit of the single shard.
+        pub batch: usize,
+        /// Closed-loop client count.
+        pub clients: u32,
+        /// Timed submit-all/process-all rounds.
+        pub rounds: u32,
+        /// Modelled write+fsync latency per store call.
+        pub store_delay: Duration,
+    }
+
+    /// Write ops/s of the KVS stack persisting through the sealed
+    /// delta-log engine. The tracked signal is the *ratio* between a
+    /// large-`preload` cell and a small one (`delta-1M` over
+    /// `delta-small` in the snapshot): each group commit seals a
+    /// batch-shaped diff, never the resident state, so the ratio must
+    /// stay near 1 where full-state sealing collapses by orders of
+    /// magnitude. The preload itself — one oversized delta, then the
+    /// compaction checkpoint it forces on the *following* persist —
+    /// runs before the clock starts (the warm-up round flushes the
+    /// deferred checkpoint).
+    pub fn measure_delta(cfg: &DeltaRun) -> f64 {
+        use lcm_core::codec::WireCodec;
+        let world = TeeWorld::new_deterministic(8_600 + u64::from(cfg.preload));
+        let disk = Arc::new(DelayedStorage::new(MemoryStorage::new(), cfg.store_delay));
+        let engine = Arc::new(DeltaLogStorage::open(disk).expect("engine opens on empty storage"));
+        let mut server: Box<dyn BatchServer> = Box::new(build_sharded::<KvStore>(
+            &world, 1, engine, cfg.batch, 1, false,
+        ));
+        assert!(server.boot().unwrap());
+        let ids: Vec<ClientId> = (1..=cfg.clients).map(ClientId).collect();
+        let mut admin = AdminHandle::new_deterministic(&world, ids.clone(), Quorum::Majority, 13);
+        admin.bootstrap(&mut server).unwrap();
+        let mut clients: Vec<LcmClient> = ids
+            .iter()
+            .map(|&id| LcmClient::new_sharded(id, admin.client_key(), 1))
+            .collect();
+
+        let round = |server: &mut Box<dyn BatchServer>, clients: &mut Vec<LcmClient>, tag: u32| {
+            for (i, c) in clients.iter_mut().enumerate() {
+                // Fresh keys each round keep every delta the same
+                // shape; "w"-prefixed keys cannot collide with the
+                // hex keys [`KvOp::Fill`] lays down.
+                let op = KvOp::Put(format!("w{i}-{tag}").into_bytes(), vec![0x42u8; 100]);
+                server.submit(c.invoke_for::<KvStore>(&op.to_bytes()).unwrap());
+            }
+            for (id, wire) in server.process_all().unwrap() {
+                let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+                c.handle_reply(&wire).unwrap();
+            }
+        };
+
+        if cfg.preload > 0 {
+            let fill = KvOp::Fill {
+                pin: b"fill".to_vec(),
+                start: 0,
+                count: cfg.preload,
+                value_len: 100,
+            };
+            server.submit(clients[0].invoke_for::<KvStore>(&fill.to_bytes()).unwrap());
+            for (id, wire) in server.process_all().unwrap() {
+                let c = clients.iter_mut().find(|c| c.id() == id).unwrap();
+                c.handle_reply(&wire).unwrap();
+            }
+        }
+        // Warm-up round: flush the preload's deferred compaction
+        // checkpoint outside the measurement.
+        round(&mut server, &mut clients, cfg.rounds);
+
+        let t0 = Instant::now();
+        for r in 0..cfg.rounds {
+            round(&mut server, &mut clients, r);
+        }
+        server.flush_persists().unwrap();
+        f64::from(cfg.clients * cfg.rounds) / t0.elapsed().as_secs_f64()
     }
 
     /// One replicated-group measurement configuration: a single shard

@@ -36,6 +36,18 @@ use crate::{LcmError, Result, Violation};
 pub const LABEL_KEY_BLOB: &[u8] = b"lcm.keyblob";
 /// AAD label for the state blob (sealed under the protocol key `kP`).
 pub const LABEL_STATE_BLOB: &[u8] = b"lcm.state";
+/// AAD label for per-batch sealed delta blobs (sealed under `kP`).
+pub const LABEL_DELTA_BLOB: &[u8] = b"lcm.delta";
+/// Domain separator for the anchor digest a checkpoint carries.
+const ANCHOR_CKPT: &[u8] = b"lcm.ckpt-anchor";
+/// Domain separator for the anchor chaining one delta to its
+/// predecessor.
+const ANCHOR_DELTA: &[u8] = b"lcm.delta-chain";
+/// Emit a checkpoint instead of a delta once the sealed deltas since
+/// the last checkpoint exceed `max(this, last checkpoint size)` bytes —
+/// bounding both recovery replay work and the delta log's footprint to
+/// a constant factor of the state size.
+const DELTA_CHECKPOINT_MIN: usize = 4096;
 /// AAD label for client→T messages. The plaintext routing envelope
 /// (see [`crate::wire::RouteHint`]) is appended to this label by
 /// [`invoke_aad`], so a host that rewrites the routing metadata breaks
@@ -298,6 +310,16 @@ fn read_key(r: &mut Reader<'_>) -> std::result::Result<SecretKey, crate::codec::
     Ok(SecretKey::from_bytes(d.0))
 }
 
+/// Prefixes a sealed blob with its storage-facing kind byte — the one
+/// plaintext byte the delta-log engine routes on. It carries no secret
+/// and tampering with it only changes which parser rejects the blob.
+fn tag_blob(kind: u8, sealed: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + sealed.len());
+    out.push(kind);
+    out.extend_from_slice(&sealed);
+    out
+}
+
 /// The attested identity of one enclave within a deployment:
 /// *"I am replica `replica` of shard `index`'s group of `replicas`,
 /// in a deployment of `count` shards"*.
@@ -549,6 +571,24 @@ pub struct TrustedContext<F: Functionality> {
     /// exactly while unprovisioned; `Ready` implies `Some`.
     identity: Option<ShardIdentity>,
     nonce_counter: u64,
+    /// Whether the host's storage understands sealed deltas
+    /// ([`lcm_storage::DeltaLogStorage`]): announced by the host at
+    /// `init` and trusted only for *performance* — a host that lies
+    /// either way still gets correctly sealed, chained blobs.
+    delta_mode: bool,
+    /// Anchor digest of the newest persisted blob (checkpoint or
+    /// delta). Each delta seals the anchor of its predecessor, so a
+    /// replayed bundle re-verifies as an unbroken chain rooted in its
+    /// checkpoint; a spliced or reordered record breaks it.
+    persist_anchor: Digest,
+    /// Clients whose `V` entry changed since the last persisted blob —
+    /// exactly the entries the next delta must carry.
+    touched: std::collections::BTreeSet<ClientId>,
+    /// Sealed delta bytes emitted since the last checkpoint (drives the
+    /// adaptive checkpoint cadence).
+    delta_bytes: usize,
+    /// Plaintext size of the last checkpoint (the cadence baseline).
+    last_ckpt_len: usize,
     /// Reusable encode buffer for the per-batch hot path (sealed state,
     /// encrypted replies) — retains its allocation across batches so
     /// steady-state serving stops churning fresh `Vec`s.
@@ -581,6 +621,11 @@ impl<F: Functionality> TrustedContext<F> {
             quorum: Quorum::Majority,
             identity: None,
             nonce_counter: 0,
+            delta_mode: false,
+            persist_anchor: Digest::ZERO,
+            touched: std::collections::BTreeSet::new(),
+            delta_bytes: 0,
+            last_ckpt_len: 0,
             scratch: Writer::new(),
         }
     }
@@ -605,26 +650,49 @@ impl<F: Functionality> TrustedContext<F> {
     /// The `init` function of Alg. 2: attempt recovery from the blobs
     /// the host loaded from stable storage.
     ///
+    /// `want_deltas` is the host's announcement that its storage
+    /// understands sealed delta blobs ([`lcm_storage::DeltaLogStorage`])
+    /// — when set, per-batch persists emit chained deltas instead of
+    /// whole-state checkpoints. The flag is untrusted and affects only
+    /// performance: every emitted blob is sealed and chained either
+    /// way, and a lying host merely gets blobs its storage handles
+    /// suboptimally.
+    ///
+    /// The state blob may be a single sealed checkpoint or a
+    /// delta-log recovery *bundle* (`checkpoint ‖ deltas`); a bundle is
+    /// re-verified delta by delta against the anchor chain sealed into
+    /// the blobs, so a spliced, reordered, or cross-generation replay
+    /// halts exactly like any other tampering.
+    ///
     /// # Errors
     ///
-    /// * [`LcmError::Violation`] — a blob failed to unseal, or the state
-    ///   blob is missing while the key blob exists. Both mean the host
-    ///   tampered with storage; the context halts.
+    /// * [`LcmError::Violation`] — a blob failed to unseal, the state
+    ///   blob is missing while the key blob exists, or a bundle's
+    ///   anchor chain is broken. All mean the host tampered with
+    ///   storage; the context halts.
     pub fn init(
         &mut self,
         key_blob: Option<&[u8]>,
         state_blob: Option<&[u8]>,
+        want_deltas: bool,
     ) -> Result<InitOutcome> {
         if self.phase != Phase::Created {
             return Err(LcmError::AlreadyProvisioned);
         }
+        self.delta_mode = want_deltas;
         let Some(key_blob) = key_blob else {
             self.phase = Phase::AwaitingProvision;
             return Ok(InitOutcome::NeedProvision);
         };
 
+        // Strip the storage-facing kind byte; key blobs are opaque to
+        // the delta-log engine.
+        let sealed_keys = match key_blob.split_first() {
+            Some((&lcm_storage::BLOB_KIND_OPAQUE, rest)) => rest,
+            _ => return Err(self.halt(Violation::BadAuthentication)),
+        };
         let seal_key = AeadKey::from_secret(&self.services.sealing_key());
-        let key_plain = match aead::auth_decrypt(&seal_key, key_blob, LABEL_KEY_BLOB) {
+        let key_plain = match aead::auth_decrypt(&seal_key, sealed_keys, LABEL_KEY_BLOB) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
         };
@@ -639,15 +707,97 @@ impl<F: Functionality> TrustedContext<F> {
         };
         // kC is recovered from the state blob below; install a
         // placeholder until then.
-        let keys = Keys::from_raw(k_p, SecretKey::from_bytes([0u8; 32]), k_a);
-        let state_plain = match aead::auth_decrypt(&keys.aead_p, state_blob, LABEL_STATE_BLOB) {
-            Ok(p) => p,
-            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
-        };
-        self.keys = Some(keys);
-        self.restore_state(&state_plain)?;
+        self.keys = Some(Keys::from_raw(k_p, SecretKey::from_bytes([0u8; 32]), k_a));
+        self.restore_sealed_state(state_blob)?;
         self.phase = Phase::Ready;
         Ok(InitOutcome::Resumed)
+    }
+
+    /// Restores from a kind-tagged sealed state blob: a checkpoint or
+    /// a delta-log bundle. Requires `self.keys` (at least `kP`).
+    fn restore_sealed_state(&mut self, state_blob: &[u8]) -> Result<()> {
+        let aead_p = self
+            .keys
+            .as_ref()
+            .expect("caller installs keys first")
+            .aead_p
+            .clone();
+        match state_blob.split_first() {
+            Some((&lcm_storage::BLOB_KIND_CHECKPOINT, sealed)) => {
+                let plain = match aead::auth_decrypt(&aead_p, sealed, LABEL_STATE_BLOB) {
+                    Ok(p) => p,
+                    Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+                };
+                self.restore_state(&plain)
+            }
+            Some((&lcm_storage::BLOB_KIND_BUNDLE, _)) => {
+                let Some((ckpt, deltas)) = lcm_storage::parse_bundle(state_blob) else {
+                    return Err(self.halt(Violation::BadAuthentication));
+                };
+                let sealed = match ckpt.split_first() {
+                    Some((&lcm_storage::BLOB_KIND_CHECKPOINT, s)) => s,
+                    _ => return Err(self.halt(Violation::BadAuthentication)),
+                };
+                let plain = match aead::auth_decrypt(&aead_p, sealed, LABEL_STATE_BLOB) {
+                    Ok(p) => p,
+                    Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+                };
+                self.restore_state(&plain)?;
+                for delta in deltas {
+                    let sealed = match delta.split_first() {
+                        Some((&lcm_storage::BLOB_KIND_DELTA, s)) => s,
+                        _ => return Err(self.halt(Violation::BadAuthentication)),
+                    };
+                    let plain = match aead::auth_decrypt(&aead_p, sealed, LABEL_DELTA_BLOB) {
+                        Ok(p) => p,
+                        Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+                    };
+                    self.apply_delta_plain(&plain)?;
+                }
+                Ok(())
+            }
+            _ => Err(self.halt(Violation::BadAuthentication)),
+        }
+    }
+
+    /// Replays one decrypted delta onto the current state, verifying it
+    /// chains from the anchor of the previously restored blob.
+    fn apply_delta_plain(&mut self, plain: &[u8]) -> Result<()> {
+        let mut r = Reader::new(plain);
+        let decoded = (|| -> std::result::Result<_, crate::codec::CodecError> {
+            let prev = r.get_digest()?;
+            let floor = SeqNo::decode(&mut r)?;
+            let dv = crate::stability::decode_vmap(&mut r)?;
+            let f_delta = r.get_bytes()?.to_vec();
+            r.finish()?;
+            Ok((prev, floor, dv, f_delta))
+        })();
+        let Ok((prev, floor, dv, f_delta)) = decoded else {
+            return Err(self.halt(Violation::BadAuthentication));
+        };
+        if prev != self.persist_anchor {
+            // The delta was sealed against a different predecessor:
+            // the host spliced records across generations or reordered
+            // the journal.
+            return Err(self.halt(Violation::BadAuthentication));
+        }
+        self.stable_floor = floor;
+        for (client, entry) in dv {
+            self.v.insert(client, entry);
+        }
+        self.f.apply_delta(&f_delta).map_err(LcmError::from)?;
+        match latest_entry(&self.v) {
+            Some(e) => {
+                self.t = e.t;
+                self.h = e.h;
+            }
+            None => {
+                self.t = SeqNo::ZERO;
+                self.h = ChainValue::GENESIS;
+            }
+        }
+        self.persist_anchor = lcm_crypto::sha256::digest_parts(&[ANCHOR_DELTA, plain]);
+        Ok(())
     }
 
     /// Installs keys and the initial group from the admin's attested
@@ -839,6 +989,7 @@ impl<F: Functionality> TrustedContext<F> {
             cached: None, // filled below once q is known
         };
         self.v.insert(msg.client, q_entry);
+        self.touched.insert(msg.client);
         let q = stable_with(&self.v, self.quorum).max(self.stable_floor);
         self.stable_floor = q;
 
@@ -1040,17 +1191,7 @@ impl<F: Functionality> TrustedContext<F> {
     pub fn apply_replica(&mut self, state_blob: &[u8]) -> Result<(Digest, PersistBlobs)> {
         self.require_ready()?;
         let own = self.identity.expect("ready implies identity");
-        let aead_p = self
-            .keys
-            .as_ref()
-            .expect("ready implies keys")
-            .aead_p
-            .clone();
-        let plain = match aead::auth_decrypt(&aead_p, state_blob, LABEL_STATE_BLOB) {
-            Ok(p) => p,
-            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
-        };
-        self.restore_state(&plain)?;
+        self.restore_sealed_state(state_blob)?;
         let sealer = self.identity.expect("restored state carries an identity");
         if !sealer.same_group(&own) {
             // The dummy client id marks a violation with no invoking
@@ -1067,8 +1208,11 @@ impl<F: Functionality> TrustedContext<F> {
         Ok((digest, blobs))
     }
 
-    /// Seals the current protocol + service state for the host to
-    /// persist. Call once per processed batch.
+    /// Seals the current protocol + service state as a full checkpoint
+    /// for the host to persist. Control-plane paths (provisioning,
+    /// admin, migration, replica installs) always checkpoint — their
+    /// effects (key rotation, membership, identity) are deliberately
+    /// excluded from the delta format.
     ///
     /// # Errors
     ///
@@ -1080,12 +1224,24 @@ impl<F: Functionality> TrustedContext<F> {
         key_plain.put_raw(keys.k_p.as_bytes());
         key_plain.put_raw(keys.k_a.as_bytes());
         let seal_key = AeadKey::from_secret(&self.services.sealing_key());
+        let aead_p = keys.aead_p.clone();
+        let k_c = keys.k_c.clone();
 
+        let nonce_a = self.next_nonce();
+        let nonce_b = self.next_nonce();
+        // A fresh anchor roots the delta chain that follows this
+        // checkpoint; the unique nonce makes it distinct per
+        // checkpoint, so deltas cannot be replayed across generations.
+        let anchor = lcm_crypto::sha256::digest_parts(&[ANCHOR_CKPT, &nonce_b]);
+
+        // Reset the functionality's change tracking: the snapshot below
+        // is the new baseline deltas build on.
+        let _ = self.f.take_delta();
         // The state encoding is the per-batch hot allocation: reuse the
         // context's scratch buffer instead of a fresh Vec per seal.
         let mut state_plain = std::mem::take(&mut self.scratch);
         state_plain.clear();
-        state_plain.put_raw(keys.k_c.as_bytes());
+        state_plain.put_raw(k_c.as_bytes());
         state_plain.put_u64(self.admin_seq);
         self.stable_floor.encode(&mut state_plain);
         self.quorum.encode(&mut state_plain);
@@ -1094,10 +1250,8 @@ impl<F: Functionality> TrustedContext<F> {
             .encode(&mut state_plain);
         crate::stability::encode_vmap(&self.v, &mut state_plain);
         state_plain.put_bytes(&self.f.snapshot());
-        let aead_p = keys.aead_p.clone();
+        state_plain.put_digest(&anchor);
 
-        let nonce_a = self.next_nonce();
-        let nonce_b = self.next_nonce();
         let key_blob = aead::auth_encrypt_with_nonce(
             &seal_key,
             &nonce_a,
@@ -1110,10 +1264,81 @@ impl<F: Functionality> TrustedContext<F> {
             state_plain.as_slice(),
             LABEL_STATE_BLOB,
         );
+        self.persist_anchor = anchor;
+        self.delta_bytes = 0;
+        self.last_ckpt_len = state_plain.len();
+        self.touched.clear();
         self.scratch = state_plain;
         Ok(PersistBlobs {
-            key_blob: key_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
-            state_blob: state_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
+            key_blob: tag_blob(
+                lcm_storage::BLOB_KIND_OPAQUE,
+                key_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
+            ),
+            state_blob: tag_blob(
+                lcm_storage::BLOB_KIND_CHECKPOINT,
+                state_blob.map_err(|e| LcmError::Tee(e.to_string()))?,
+            ),
+        })
+    }
+
+    /// The per-batch persist: a sealed delta when the host's storage
+    /// supports it and the cadence allows, a full checkpoint otherwise
+    /// (the checkpoint is also the compaction point the delta-log
+    /// engine garbage-collects against).
+    ///
+    /// A delta carries only what a batch can change — the stable
+    /// floor, the touched clients' `V` entries (with their cached
+    /// replies), and the functionality's own state diff — chained to
+    /// the previous blob by [`Self::persist_blobs`]'s anchor. Its
+    /// `key_blob` is empty: keys never change on the batch path, and
+    /// the host skips the redundant store.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::NotProvisioned`] when no keys are installed.
+    pub fn persist_batch_blobs(&mut self) -> Result<PersistBlobs> {
+        if !self.delta_mode || self.delta_bytes > self.last_ckpt_len.max(DELTA_CHECKPOINT_MIN) {
+            return self.persist_blobs();
+        }
+        let Some(f_delta) = self.f.take_delta() else {
+            // The functionality does not track changes.
+            return self.persist_blobs();
+        };
+        let keys = self.keys.as_ref().ok_or(LcmError::NotProvisioned)?;
+        let aead_p = keys.aead_p.clone();
+
+        let mut delta_plain = std::mem::take(&mut self.scratch);
+        delta_plain.clear();
+        delta_plain.put_digest(&self.persist_anchor);
+        self.stable_floor.encode(&mut delta_plain);
+        let mut dv = VMap::new();
+        for client in &self.touched {
+            if let Some(entry) = self.v.get(client) {
+                dv.insert(*client, entry.clone());
+            }
+        }
+        crate::stability::encode_vmap(&dv, &mut delta_plain);
+        delta_plain.put_bytes(&f_delta);
+
+        let anchor = lcm_crypto::sha256::digest_parts(&[ANCHOR_DELTA, delta_plain.as_slice()]);
+        let nonce = self.next_nonce();
+        let sealed = aead::auth_encrypt_with_nonce(
+            &aead_p,
+            &nonce,
+            delta_plain.as_slice(),
+            LABEL_DELTA_BLOB,
+        );
+        self.scratch = delta_plain;
+        let state_blob = tag_blob(
+            lcm_storage::BLOB_KIND_DELTA,
+            sealed.map_err(|e| LcmError::Tee(e.to_string()))?,
+        );
+        self.persist_anchor = anchor;
+        self.delta_bytes += state_blob.len();
+        self.touched.clear();
+        Ok(PersistBlobs {
+            key_blob: Vec::new(),
+            state_blob,
         })
     }
 
@@ -1126,9 +1351,14 @@ impl<F: Functionality> TrustedContext<F> {
         self.identity = Some(ShardIdentity::decode(&mut r).map_err(LcmError::from)?);
         self.v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
+        let anchor = r.get_digest().map_err(LcmError::from)?;
         r.finish().map_err(LcmError::from)?;
 
         self.f.restore(&snapshot).map_err(LcmError::from)?;
+        self.persist_anchor = anchor;
+        self.delta_bytes = 0;
+        self.last_ckpt_len = plain.len();
+        self.touched.clear();
         if let Some(keys) = self.keys.as_mut() {
             keys.rotate_kc(k_c);
         }
@@ -1408,7 +1638,10 @@ mod tests {
 
     fn provisioned_context(world: &TeeWorld) -> (TrustedContext<AppendLog>, PersistBlobs) {
         let mut ctx = TrustedContext::<AppendLog>::new(services(world, 1));
-        assert_eq!(ctx.init(None, None).unwrap(), InitOutcome::NeedProvision);
+        assert_eq!(
+            ctx.init(None, None, false).unwrap(),
+            InitOutcome::NeedProvision
+        );
         let payload = provision_payload();
         let channel =
             AeadKey::from_secret(&world.admin_provision_key(&Measurement::of_program(M_NAME, "1")));
@@ -1535,7 +1768,7 @@ mod tests {
         let blobs = ctx.persist_blobs().unwrap();
 
         let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
-        ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+        ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob), false)
             .unwrap();
         let r4 = invoke(&mut ctx2, 1, r3.t, r3.h, b"d").unwrap();
         assert!(r4.q >= SeqNo(1), "floor must persist: {:?}", r4.q);
@@ -1683,7 +1916,7 @@ mod tests {
         // New epoch on the same platform: recover.
         let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
         assert_eq!(
-            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob), false)
                 .unwrap(),
             InitOutcome::Resumed
         );
@@ -1702,7 +1935,7 @@ mod tests {
 
         let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 2));
         assert!(matches!(
-            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob)),
+            ctx2.init(Some(&blobs.key_blob), Some(&blobs.state_blob), false),
             Err(LcmError::Violation(Violation::BadAuthentication))
         ));
     }
@@ -1714,7 +1947,7 @@ mod tests {
         let blobs = ctx.persist_blobs().unwrap();
         let mut ctx2 = TrustedContext::<AppendLog>::new(services(&world, 1));
         assert!(matches!(
-            ctx2.init(Some(&blobs.key_blob), None),
+            ctx2.init(Some(&blobs.key_blob), None, false),
             Err(LcmError::Violation(Violation::BadAuthentication))
         ));
     }
@@ -1730,7 +1963,11 @@ mod tests {
         // Malicious host restarts T from the STALE blob.
         let mut rolled = TrustedContext::<AppendLog>::new(services(&world, 1));
         rolled
-            .init(Some(&stale_blobs.key_blob), Some(&stale_blobs.state_blob))
+            .init(
+                Some(&stale_blobs.key_blob),
+                Some(&stale_blobs.state_blob),
+                false,
+            )
             .unwrap();
         // Client 1's real context is (r2.t, r2.h); the rolled-back T
         // only knows (r1.t, r1.h) ⇒ mismatch ⇒ detected.
@@ -1812,7 +2049,7 @@ mod tests {
 
         // Target on a DIFFERENT platform.
         let mut target = TrustedContext::<AppendLog>::new(services(&world, 2));
-        target.init(None, None).unwrap();
+        target.init(None, None, false).unwrap();
         let blobs = target.import_migration(&ticket).unwrap();
         assert!(!blobs.key_blob.is_empty());
 
@@ -1830,7 +2067,7 @@ mod tests {
         let ticket = origin.export_migration().unwrap();
 
         let mut target = TrustedContext::<AppendLog>::new(services(&world_b, 9));
-        target.init(None, None).unwrap();
+        target.init(None, None, false).unwrap();
         assert!(matches!(
             target.import_migration(&ticket),
             Err(LcmError::Violation(Violation::BadAuthentication))
@@ -1861,7 +2098,7 @@ mod tests {
 
         // Unprovisioned: the report binds the *absence* of identity.
         let mut fresh = TrustedContext::<AppendLog>::new(services(&world, 3));
-        fresh.init(None, None).unwrap();
+        fresh.init(None, None, false).unwrap();
         assert_eq!(
             fresh.attest(challenge).user_data,
             attest_user_data(&challenge, None)
@@ -1892,7 +2129,7 @@ mod tests {
         identity: ShardIdentity,
     ) -> TrustedContext<AppendLog> {
         let mut ctx = TrustedContext::<AppendLog>::new(services(world, 1));
-        ctx.init(None, None).unwrap();
+        ctx.init(None, None, false).unwrap();
         let payload = ProvisionPayload {
             identity,
             ..provision_payload()
@@ -1953,7 +2190,7 @@ mod tests {
         // not own.
         let world = world();
         let mut ctx = TrustedContext::<Counter>::new(services(&world, 1));
-        ctx.init(None, None).unwrap();
+        ctx.init(None, None, false).unwrap();
         let this_shard = 2u32;
         let payload = ProvisionPayload {
             identity: ShardIdentity::new(this_shard, 4),
@@ -2018,7 +2255,7 @@ mod tests {
         // sealed state.
         let mut resumed = TrustedContext::<AppendLog>::new(services(&world, 1));
         resumed
-            .init(Some(&blobs.key_blob), Some(&blobs.state_blob))
+            .init(Some(&blobs.key_blob), Some(&blobs.state_blob), false)
             .unwrap();
         assert_eq!(resumed.identity(), Some(identity));
 
@@ -2026,7 +2263,7 @@ mod tests {
         // identity, so the target takes the origin's place.
         let ticket = resumed.export_migration().unwrap();
         let mut target = TrustedContext::<AppendLog>::new(services(&world, 2));
-        target.init(None, None).unwrap();
+        target.init(None, None, false).unwrap();
         target.import_migration(&ticket).unwrap();
         assert_eq!(target.identity(), Some(identity));
     }
@@ -2047,7 +2284,7 @@ mod tests {
     fn invoke_before_provision_rejected() {
         let world = world();
         let mut ctx = TrustedContext::<AppendLog>::new(services(&world, 1));
-        ctx.init(None, None).unwrap();
+        ctx.init(None, None, false).unwrap();
         assert_eq!(
             ctx.handle_invoke(b"whatever"),
             Err(LcmError::NotProvisioned)

@@ -62,6 +62,35 @@ pub trait Functionality: Default + Send {
         0
     }
 
+    /// Drains and serializes the state *changes* accumulated since the
+    /// last successful [`Functionality::take_delta`] (or since the
+    /// last [`Functionality::snapshot`]/[`Functionality::restore`]
+    /// baseline), for incremental persistence: applying the returned
+    /// delta via [`Functionality::apply_delta`] to a copy restored at
+    /// that baseline must reproduce the current state.
+    ///
+    /// The default returns `None` — "this functionality does not track
+    /// changes" — and callers fall back to a full snapshot. Unlike
+    /// `snapshot`, this takes `&mut self` so implementations can reset
+    /// their dirty tracking when the delta is handed off.
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Applies a delta produced by [`Functionality::take_delta`] on
+    /// top of the state it was taken against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the delta is malformed or the
+    /// functionality does not support deltas (the default). Like a
+    /// malformed snapshot this can only result from a bug: deltas are
+    /// sealed and chain-verified before they reach this method.
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), CodecError> {
+        let _ = delta;
+        Err(CodecError::InvalidTag(0xff))
+    }
+
     /// Whether an *encoded* operation is a pure read.
     ///
     /// Contract: if this returns `true`, [`Functionality::exec`] on

@@ -119,9 +119,19 @@ impl<F: Functionality> PipelinedServer<F> {
                 if writer_shared.failed.load(Ordering::SeqCst) {
                     return;
                 }
+                // State before keys, and no key store for delta
+                // persists — matching the synchronous server's persist
+                // (a crash between the stores must never leave keys
+                // without state, which `init` reads as tampering).
                 let stored = storage
-                    .store(SLOT_KEY_BLOB, &blobs.key_blob)
-                    .and_then(|()| storage.store(SLOT_STATE_BLOB, &blobs.state_blob));
+                    .store(SLOT_STATE_BLOB, &blobs.state_blob)
+                    .and_then(|()| {
+                        if blobs.key_blob.is_empty() {
+                            Ok(())
+                        } else {
+                            storage.store(SLOT_KEY_BLOB, &blobs.key_blob)
+                        }
+                    });
                 match stored {
                     Ok(()) => {
                         writer_shared.persisted.fetch_add(1, Ordering::SeqCst);

@@ -21,14 +21,18 @@ use crate::{LcmError, Violation};
 
 /// Name under which LCM programs are measured.
 pub const PROGRAM_NAME: &str = "lcm";
-/// Version string folded into the measurement. Version 3 is the
-/// replicated-shard-group protocol: identities carry `(shard,
+/// Version string folded into the measurement. Version 4 adds
+/// incremental persistence: every sealed blob carries a storage-facing
+/// kind byte, per-batch persists may emit anchor-chained delta blobs
+/// instead of whole-state checkpoints, and `init` accepts delta-log
+/// recovery bundles (see [`lcm_storage::DeltaLogStorage`]). Version 3
+/// was the replicated-shard-group protocol: identities carry `(shard,
 /// replica)` coordinates, the enclave installs sibling state blobs
 /// ([`HostCall::ApplyReplica`]) and serves replica-pinned verified
 /// reads ([`HostCall::ServeRead`]). Version 2 introduced the shard
 /// identity binding into attestation reports; version 1 was
 /// identity-less. Each is distinguishable by measurement.
-pub const PROGRAM_VERSION: &str = "3";
+pub const PROGRAM_VERSION: &str = "4";
 
 /// The LCM measurement: identical for every `LcmProgram<F>` so that the
 /// sealing key survives restarts of the same service.
@@ -51,6 +55,9 @@ pub enum HostCall {
         key_blob: Option<Vec<u8>>,
         /// Sealed state blob, if storage had one.
         state_blob: Option<Vec<u8>>,
+        /// Whether the host's storage understands sealed delta blobs
+        /// (see [`TrustedContext::init`]); untrusted, performance-only.
+        want_deltas: bool,
     },
     /// Deliver the admin's encrypted provisioning payload.
     Provision(Vec<u8>),
@@ -102,10 +109,12 @@ impl WireCodec for HostCall {
             HostCall::Init {
                 key_blob,
                 state_blob,
+                want_deltas,
             } => {
                 w.put_u8(CALL_INIT);
                 encode_opt_bytes(w, key_blob.as_deref());
                 encode_opt_bytes(w, state_blob.as_deref());
+                w.put_bool(*want_deltas);
             }
             HostCall::Provision(payload) => {
                 w.put_u8(CALL_PROVISION);
@@ -151,6 +160,7 @@ impl WireCodec for HostCall {
             CALL_INIT => Ok(HostCall::Init {
                 key_blob: decode_opt_bytes(r)?,
                 state_blob: decode_opt_bytes(r)?,
+                want_deltas: r.get_bool()?,
             }),
             CALL_PROVISION => Ok(HostCall::Provision(r.get_bytes()?.to_vec())),
             CALL_INVOKE_BATCH => {
@@ -432,9 +442,10 @@ impl<F: Functionality> LcmProgram<F> {
             HostCall::Init {
                 key_blob,
                 state_blob,
+                want_deltas,
             } => match self
                 .context
-                .init(key_blob.as_deref(), state_blob.as_deref())
+                .init(key_blob.as_deref(), state_blob.as_deref(), want_deltas)
             {
                 Ok(outcome) => HostReply::InitOk {
                     need_provision: outcome == InitOutcome::NeedProvision,
@@ -453,7 +464,7 @@ impl<F: Functionality> LcmProgram<F> {
                         Err(e) => return HostReply::Err((&e).into()),
                     }
                 }
-                match self.context.persist_blobs() {
+                match self.context.persist_batch_blobs() {
                     Ok(blobs) => HostReply::BatchOk { replies, blobs },
                     Err(e) => HostReply::Err((&e).into()),
                 }
@@ -529,6 +540,7 @@ mod tests {
             HostCall::Init {
                 key_blob: Some(b"kb".to_vec()),
                 state_blob: None,
+                want_deltas: true,
             },
             HostCall::Provision(b"payload".to_vec()),
             HostCall::InvokeBatch(vec![b"m1".to_vec(), b"m2".to_vec()]),

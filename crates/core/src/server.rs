@@ -124,6 +124,7 @@ impl<F: Functionality> LcmServer<F> {
         let reply = self.call(HostCall::Init {
             key_blob,
             state_blob,
+            want_deltas: self.storage.delta_capable(),
         })?;
         match reply {
             HostReply::InitOk { need_provision } => Ok(need_provision),
@@ -386,8 +387,18 @@ impl<F: Functionality> LcmServer<F> {
     }
 
     fn persist(&mut self, blobs: &PersistBlobs) -> Result<()> {
-        self.storage.store(SLOT_KEY_BLOB, &blobs.key_blob)?;
+        // State before keys: a crash between the two stores must not
+        // leave a key blob without any state — `init` treats that
+        // combination as storage tampering. State-without-keys on the
+        // very first persist is harmless (nothing was acknowledged; the
+        // admin just re-provisions), and on every later persist both
+        // blobs seal with the same keys, so either surviving alone is
+        // consistent. Delta persists carry no key blob at all (keys
+        // cannot change on the batch path); skip the redundant store.
         self.storage.store(SLOT_STATE_BLOB, &blobs.state_blob)?;
+        if !blobs.key_blob.is_empty() {
+            self.storage.store(SLOT_KEY_BLOB, &blobs.key_blob)?;
+        }
         Ok(())
     }
 

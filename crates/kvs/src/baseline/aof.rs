@@ -14,7 +14,8 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 
-use lcm_core::codec::{Reader, WireCodec, Writer};
+use lcm_core::codec::WireCodec;
+use lcm_storage::framing;
 
 use crate::ops::{KvOp, KvResult};
 use crate::store::KvStore;
@@ -51,8 +52,6 @@ impl std::fmt::Debug for FileAofKvsServer {
             .finish()
     }
 }
-
-const ENTRY_OP: u8 = 1;
 
 impl FileAofKvsServer {
     /// Opens (creating if necessary) a server whose AOF lives at
@@ -102,10 +101,11 @@ impl FileAofKvsServer {
     pub fn handle(&mut self, op: &KvOp) -> std::io::Result<KvResult> {
         let result = self.store.apply(op);
         if !matches!(op, KvOp::Get(_)) {
-            let mut w = Writer::new();
-            w.put_u8(ENTRY_OP);
-            w.put_bytes(&op.to_bytes());
-            let entry = w.into_bytes();
+            // Entries use the same length-prefixed CRC framing as the
+            // sealed delta log's segments, so torn-tail detection is
+            // one shared scanner rather than two hand-rolled parsers.
+            let mut entry = Vec::new();
+            framing::append_frame(&mut entry, &op.to_bytes());
             self.file.write_all(&entry)?;
             self.appended_bytes += entry.len() as u64;
             self.unsynced_ops += 1;
@@ -179,19 +179,17 @@ impl FileAofKvsServer {
 /// prefix — everything past it is a torn tail entry (crash mid-append)
 /// the caller should truncate away.
 fn replay(aof: &[u8], store: &mut KvStore) -> usize {
-    let mut r = Reader::new(aof);
+    let scanned = framing::scan(aof);
     let mut valid = 0;
-    while r.remaining() > 0 {
-        let Ok(tag) = r.get_u8() else { break };
-        if tag != ENTRY_OP {
-            break;
-        }
-        let Ok(bytes) = r.get_bytes() else { break };
-        let Ok(op) = KvOp::from_bytes(bytes) else {
+    for payload in scanned.payloads {
+        // A CRC-valid frame that is not a decodable op means the log
+        // was produced by something else (or corrupted in a way CRC
+        // happens to miss); stop at the last decodable record.
+        let Ok(op) = KvOp::from_bytes(payload) else {
             break;
         };
         store.apply(&op);
-        valid = aof.len() - r.remaining();
+        valid += framing::FRAME_HEADER + payload.len();
     }
     valid
 }
@@ -287,7 +285,10 @@ mod tests {
         // Crash mid-append leaves garbage at the tail.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[ENTRY_OP, 0xff, 0xff]).unwrap();
+            // A frame header promising 16 payload bytes, then power
+            // loss after only one landed.
+            f.write_all(&[0, 0, 0, 16, 0xde, 0xad, 0xbe, 0xef, 0xff])
+                .unwrap();
         }
         // Reopen truncates the torn tail; a new durable entry follows.
         {
@@ -319,7 +320,10 @@ mod tests {
         // Simulate a crash mid-append: garbage half-entry at the tail.
         {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[ENTRY_OP, 0xff, 0xff]).unwrap();
+            // A frame header promising 16 payload bytes, then power
+            // loss after only one landed.
+            f.write_all(&[0, 0, 0, 16, 0xde, 0xad, 0xbe, 0xef, 0xff])
+                .unwrap();
         }
         let mut s = FileAofKvsServer::open(&path, FsyncPolicy::Never).unwrap();
         assert_eq!(

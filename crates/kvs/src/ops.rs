@@ -39,6 +39,23 @@ pub enum KvOp {
         /// Maximum number of records returned by this shard.
         limit: u32,
     },
+    /// Bulk-load `count` synthetic records in one invocation: keys are
+    /// the 16-hex-digit encodings of `start .. start + count`, values
+    /// are `value_len` filler bytes. Routes by `pin` like
+    /// [`KvOp::ScanShard`], so a loader can address each shard
+    /// directly. This is the benchmark preload path — building a
+    /// million-object store one `Put` at a time would spend the whole
+    /// measurement window on setup.
+    Fill {
+        /// Routing pin; must hash to the shard this fill targets.
+        pin: Vec<u8>,
+        /// First synthetic key index (keys are `{:016x}`-formatted).
+        start: u64,
+        /// Number of records to insert.
+        count: u32,
+        /// Length in bytes of each filler value.
+        value_len: u32,
+    },
 }
 
 pub(crate) const OP_GET: u8 = 1;
@@ -46,6 +63,7 @@ pub(crate) const OP_PUT: u8 = 2;
 pub(crate) const OP_DEL: u8 = 3;
 pub(crate) const OP_SCAN: u8 = 4;
 pub(crate) const OP_SCAN_SHARD: u8 = 5;
+pub(crate) const OP_FILL: u8 = 6;
 
 impl KvOp {
     /// The key this operation routes by (the range start for scans,
@@ -55,7 +73,7 @@ impl KvOp {
             KvOp::Get(k) | KvOp::Del(k) => k,
             KvOp::Put(k, _) => k,
             KvOp::Scan { start, .. } => start,
-            KvOp::ScanShard { pin, .. } => pin,
+            KvOp::ScanShard { pin, .. } | KvOp::Fill { pin, .. } => pin,
         }
     }
 }
@@ -87,6 +105,18 @@ impl WireCodec for KvOp {
                 w.put_u32(*limit);
                 w.put_raw(start);
             }
+            KvOp::Fill {
+                pin,
+                start,
+                count,
+                value_len,
+            } => {
+                w.put_u8(OP_FILL);
+                w.put_bytes(pin);
+                w.put_u64(*start);
+                w.put_u32(*count);
+                w.put_u32(*value_len);
+            }
         }
     }
 
@@ -112,6 +142,18 @@ impl WireCodec for KvOp {
                     pin,
                     limit,
                     start: r.get_rest().to_vec(),
+                })
+            }
+            OP_FILL => {
+                let pin = r.get_bytes()?.to_vec();
+                let start = r.get_u64()?;
+                let count = r.get_u32()?;
+                let value_len = r.get_u32()?;
+                Ok(KvOp::Fill {
+                    pin,
+                    start,
+                    count,
+                    value_len,
                 })
             }
             other => Err(CodecError::InvalidTag(other)),
@@ -214,6 +256,18 @@ mod tests {
                 start: vec![],
                 limit: 0,
             },
+            KvOp::Fill {
+                pin: b"pin-0".to_vec(),
+                start: 1 << 40,
+                count: 1_000_000,
+                value_len: 100,
+            },
+            KvOp::Fill {
+                pin: vec![],
+                start: 0,
+                count: 0,
+                value_len: 0,
+            },
         ];
         for op in ops {
             assert_eq!(KvOp::from_bytes(&op.to_bytes()).unwrap(), op);
@@ -253,6 +307,14 @@ mod tests {
             limit: 9,
         };
         assert_eq!(leg.key(), b"pin");
+        // A bulk fill also routes by its pin.
+        let fill = KvOp::Fill {
+            pin: b"pin-7".to_vec(),
+            start: 0,
+            count: 10,
+            value_len: 8,
+        };
+        assert_eq!(fill.key(), b"pin-7");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The in-enclave key-value store: the functionality `F`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use lcm_core::codec::{CodecError, Reader, WireCodec, Writer};
 use lcm_core::functionality::Functionality;
@@ -38,6 +38,7 @@ use crate::ops::{KvOp, KvResult};
 pub struct KvStore {
     map: BTreeMap<Vec<u8>, Vec<u8>>,
     memory_model: MemoryModelWrapper,
+    dirty: DirtyWrapper,
 }
 
 /// Wrapper so `KvStore` can derive `PartialEq` while carrying the
@@ -52,6 +53,29 @@ impl PartialEq for MemoryModelWrapper {
 }
 impl Eq for MemoryModelWrapper {}
 
+/// Keys touched since the last [`Functionality::take_delta`] — the
+/// diff the sealed delta log persists instead of a full snapshot.
+/// Excluded from equality like the memory model: two stores holding
+/// the same records are the same store regardless of how recently
+/// their contents were persisted.
+#[derive(Debug, Clone, Default)]
+struct DirtyWrapper(BTreeSet<Vec<u8>>);
+
+impl PartialEq for DirtyWrapper {
+    fn eq(&self, _other: &Self) -> bool {
+        true // persistence bookkeeping, not state
+    }
+}
+impl Eq for DirtyWrapper {}
+
+/// Upper bound on a single [`KvOp::Fill`]'s record count: large enough
+/// for the million-object benchmark preload, small enough that a
+/// malformed count cannot wedge the enclave allocating forever.
+const FILL_MAX_COUNT: u32 = 1 << 24;
+
+/// Upper bound on a [`KvOp::Fill`] filler-value length.
+const FILL_MAX_VALUE_LEN: u32 = 1 << 20;
+
 impl KvStore {
     /// Applies a typed operation directly (in-enclave fast path; the
     /// byte-level entry point is [`Functionality::exec`]).
@@ -60,9 +84,14 @@ impl KvStore {
             KvOp::Get(key) => KvResult::Value(self.map.get(key).cloned()),
             KvOp::Put(key, value) => {
                 self.map.insert(key.clone(), value.clone());
+                self.dirty.0.insert(key.clone());
                 KvResult::Stored
             }
-            KvOp::Del(key) => KvResult::Deleted(self.map.remove(key).is_some()),
+            KvOp::Del(key) => {
+                let existed = self.map.remove(key).is_some();
+                self.dirty.0.insert(key.clone());
+                KvResult::Deleted(existed)
+            }
             KvOp::Scan { start, limit } | KvOp::ScanShard { start, limit, .. } => KvResult::Range(
                 self.map
                     .range(start.clone()..)
@@ -70,6 +99,23 @@ impl KvStore {
                     .map(|(k, v)| (k.clone(), v.clone()))
                     .collect(),
             ),
+            KvOp::Fill {
+                start,
+                count,
+                value_len,
+                ..
+            } => {
+                if *count > FILL_MAX_COUNT || *value_len > FILL_MAX_VALUE_LEN {
+                    return KvResult::Malformed;
+                }
+                let value = vec![b'x'; *value_len as usize];
+                for i in 0..u64::from(*count) {
+                    let key = format!("{:016x}", start.wrapping_add(i)).into_bytes();
+                    self.map.insert(key.clone(), value.clone());
+                    self.dirty.0.insert(key);
+                }
+                KvResult::Stored
+            }
         }
     }
 
@@ -105,7 +151,7 @@ impl Functionality for KvStore {
     fn shard_key(op: &[u8]) -> Option<&[u8]> {
         match *op.first()? {
             crate::ops::OP_GET | crate::ops::OP_DEL => op.get(1..),
-            crate::ops::OP_PUT | crate::ops::OP_SCAN_SHARD => {
+            crate::ops::OP_PUT | crate::ops::OP_SCAN_SHARD | crate::ops::OP_FILL => {
                 let len = u32::from_be_bytes(op.get(1..5)?.try_into().ok()?) as usize;
                 op.get(5..5 + len)
             }
@@ -115,8 +161,8 @@ impl Functionality for KvStore {
     }
 
     /// GET and both scan flavours leave the store untouched, so a
-    /// replica group may serve them on the follower read path. PUT/DEL
-    /// (and anything malformed) must take the write path.
+    /// replica group may serve them on the follower read path.
+    /// PUT/DEL/FILL (and anything malformed) must take the write path.
     fn is_readonly(op: &[u8]) -> bool {
         matches!(
             op.first(),
@@ -147,6 +193,60 @@ impl Functionality for KvStore {
         }
         r.finish()?;
         self.map = map;
+        // The snapshot is the new persistence baseline; pending diffs
+        // against the pre-restore contents are meaningless now.
+        self.dirty.0.clear();
+        Ok(())
+    }
+
+    /// Drains the keys touched since the last persist into a compact
+    /// diff: `count` entries of `key ‖ present ‖ value?`. Deletions
+    /// travel as `present = false`. Always returns `Some` — the KVS
+    /// supports delta persistence even when the diff happens to be
+    /// empty (the empty delta is a valid no-op replay record).
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        let dirty = std::mem::take(&mut self.dirty.0);
+        let mut w = Writer::new();
+        w.put_u32(dirty.len() as u32);
+        for key in &dirty {
+            w.put_bytes(key);
+            match self.map.get(key) {
+                Some(v) => {
+                    w.put_bool(true);
+                    w.put_bytes(v);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        Some(w.into_bytes())
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), CodecError> {
+        let mut r = Reader::new(delta);
+        let n = r.get_u32()? as usize;
+        // Decode fully before mutating so a malformed delta cannot
+        // leave the store half-updated.
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let k = r.get_bytes()?.to_vec();
+            let v = if r.get_bool()? {
+                Some(r.get_bytes()?.to_vec())
+            } else {
+                None
+            };
+            entries.push((k, v));
+        }
+        r.finish()?;
+        for (k, v) in entries {
+            match v {
+                Some(v) => {
+                    self.map.insert(k, v);
+                }
+                None => {
+                    self.map.remove(&k);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -257,6 +357,132 @@ mod tests {
         );
         assert_eq!(KvStore::shard_key(&[0x7f, 1]), None);
         assert_eq!(KvStore::shard_key(&[]), None);
+    }
+
+    #[test]
+    fn fill_bulk_loads_synthetic_records() {
+        let mut s = KvStore::default();
+        assert_eq!(
+            s.apply(&KvOp::Fill {
+                pin: b"p".to_vec(),
+                start: 5,
+                count: 3,
+                value_len: 4,
+            }),
+            KvResult::Stored
+        );
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(b"0000000000000005"), Some(&b"xxxx"[..]));
+        assert_eq!(s.get(b"0000000000000007"), Some(&b"xxxx"[..]));
+        assert_eq!(s.get(b"0000000000000008"), None);
+    }
+
+    #[test]
+    fn fill_rejects_absurd_counts() {
+        let mut s = KvStore::default();
+        assert_eq!(
+            s.apply(&KvOp::Fill {
+                pin: vec![],
+                start: 0,
+                count: u32::MAX,
+                value_len: 1,
+            }),
+            KvResult::Malformed
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delta_replays_to_the_same_state() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"stable".to_vec(), b"s".to_vec()));
+        let _ = s.take_delta(); // reset the diff baseline
+        let mut follower = s.clone();
+
+        s.apply(&KvOp::Put(b"a".to_vec(), b"1".to_vec()));
+        s.apply(&KvOp::Put(b"a".to_vec(), b"2".to_vec()));
+        s.apply(&KvOp::Put(b"gone".to_vec(), b"x".to_vec()));
+        s.apply(&KvOp::Del(b"gone".to_vec()));
+        s.apply(&KvOp::Del(b"stable".to_vec()));
+        s.apply(&KvOp::Fill {
+            pin: vec![],
+            start: 10,
+            count: 2,
+            value_len: 1,
+        });
+
+        let delta = s.take_delta().unwrap();
+        follower.apply_delta(&delta).unwrap();
+        assert_eq!(follower, s);
+        assert_eq!(follower.get(b"a"), Some(&b"2"[..]));
+        assert_eq!(follower.get(b"stable"), None);
+        assert_eq!(follower.get(b"000000000000000a"), Some(&b"x"[..]));
+    }
+
+    #[test]
+    fn take_delta_drains_the_dirty_set() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let first = s.take_delta().unwrap();
+        let second = s.take_delta().unwrap();
+        assert_ne!(first, second);
+        // The second delta is empty (count = 0) and replays as a no-op.
+        let mut t = KvStore::default();
+        t.apply_delta(&second).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reads_do_not_dirty_the_store() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let _ = s.take_delta();
+        s.apply(&KvOp::Get(b"k".to_vec()));
+        s.apply(&KvOp::Scan {
+            start: vec![],
+            limit: 5,
+        });
+        let delta = s.take_delta().unwrap();
+        let mut t = KvStore::default();
+        t.apply_delta(&delta).unwrap();
+        assert!(t.is_empty(), "reads must not appear in the diff");
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_bytes_without_mutating() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let before = s.clone();
+        // Promise two entries, deliver none.
+        let mut w = Writer::new();
+        w.put_u32(2);
+        assert!(s.apply_delta(&w.into_bytes()).is_err());
+        assert_eq!(s, before);
+        assert_eq!(s.get(b"k"), Some(&b"v"[..]));
+    }
+
+    #[test]
+    fn restore_clears_pending_diff() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"pre".to_vec(), b"x".to_vec()));
+        let snap = KvStore::default().snapshot();
+        s.restore(&snap).unwrap();
+        let delta = s.take_delta().unwrap();
+        let mut t = KvStore::default();
+        t.apply_delta(&delta).unwrap();
+        assert!(t.is_empty(), "restore must reset the diff baseline");
+    }
+
+    #[test]
+    fn fill_shard_key_is_the_pin() {
+        let op = KvOp::Fill {
+            pin: b"pin-2".to_vec(),
+            start: 0,
+            count: 1,
+            value_len: 1,
+        };
+        assert_eq!(KvStore::shard_key(&op.to_bytes()), Some(&b"pin-2"[..]));
+        assert!(!KvStore::is_readonly(&op.to_bytes()));
     }
 
     #[test]

@@ -27,6 +27,18 @@ fn arb_op() -> impl Strategy<Value = KvOp> {
             start,
             limit: limit % 16,
         }),
+        1 => (
+            proptest::collection::vec(any::<u8>(), 0..8),
+            any::<u64>(),
+            0u32..4,
+            0u32..8,
+        )
+            .prop_map(|(pin, start, count, value_len)| KvOp::Fill {
+                pin,
+                start,
+                count,
+                value_len,
+            }),
     ]
 }
 
@@ -47,6 +59,20 @@ fn reference_apply(model: &mut BTreeMap<Vec<u8>, Vec<u8>>, op: &KvOp) -> KvResul
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
         ),
+        KvOp::Fill {
+            start,
+            count,
+            value_len,
+            ..
+        } => {
+            for i in 0..u64::from(*count) {
+                model.insert(
+                    format!("{:016x}", start.wrapping_add(i)).into_bytes(),
+                    vec![b'x'; *value_len as usize],
+                );
+            }
+            KvResult::Stored
+        }
     }
 }
 

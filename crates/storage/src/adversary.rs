@@ -39,6 +39,21 @@ pub enum AdversaryMode {
     /// are retained in history but loads keep returning what was latest
     /// at freeze time.
     Frozen,
+    /// Persist only the first `keep` bytes of every store — a crash (or
+    /// lying disk) tearing writes mid-record. Against the delta-log
+    /// engine this corrupts journal-head and checkpoint overwrites,
+    /// which recovery must truncate at the last sealed frame boundary.
+    TornWrites {
+        /// How many leading bytes of each written blob reach the
+        /// medium.
+        keep: usize,
+    },
+    /// Buffer stores in a volatile write cache and flush each *pair* in
+    /// reverse order — a disk scheduler reordering flushes. Loads serve
+    /// only what was flushed; [`RollbackStorage::drop_buffered`] models
+    /// a power failure taking the cache with it, and leaving the mode
+    /// flushes the remainder in order.
+    ReorderedFlush,
 }
 
 #[derive(Debug)]
@@ -46,6 +61,9 @@ struct RollbackInner {
     mode: AdversaryMode,
     /// Latest version per slot at the time `Frozen` was engaged.
     frozen_at: std::collections::HashMap<String, Version>,
+    /// Stores held in the volatile cache while `ReorderedFlush` is
+    /// engaged.
+    buffered: Vec<(String, Vec<u8>)>,
 }
 
 /// Adversarial [`StableStorage`] wrapper driven by an [`AdversaryMode`].
@@ -94,13 +112,27 @@ impl RollbackStorage {
             inner: Arc::new(RwLock::new(RollbackInner {
                 mode: AdversaryMode::Honest,
                 frozen_at: std::collections::HashMap::new(),
+                buffered: Vec::new(),
             })),
         }
     }
 
     /// Switches the adversary's behaviour.
+    ///
+    /// Leaving [`AdversaryMode::ReorderedFlush`] flushes any store
+    /// still sitting in the volatile cache, in its original order (the
+    /// host eventually wrote it); call
+    /// [`RollbackStorage::drop_buffered`] first to model a power
+    /// failure instead.
     pub fn set_mode(&self, mode: AdversaryMode) {
         let mut inner = self.inner.write();
+        if matches!(inner.mode, AdversaryMode::ReorderedFlush)
+            && !matches!(mode, AdversaryMode::ReorderedFlush)
+        {
+            for (slot, blob) in std::mem::take(&mut inner.buffered) {
+                let _ = self.history.store(&slot, &blob);
+            }
+        }
         if let AdversaryMode::Frozen = mode {
             // Record the current latest version of every slot.
             let snapshot = self.history.inner.read();
@@ -124,6 +156,14 @@ impl RollbackStorage {
         &self.history
     }
 
+    /// Discards every store still buffered by
+    /// [`AdversaryMode::ReorderedFlush`] — the power failure that takes
+    /// the volatile write cache with it. Returns how many writes were
+    /// lost.
+    pub fn drop_buffered(&self) -> usize {
+        std::mem::take(&mut self.inner.write().buffered).len()
+    }
+
     /// Creates a divergent branch view seeded from the given version of
     /// each slot's history (see [`ForkView`]).
     pub fn fork_at(&self, slot: &str, version: Version) -> Result<ForkView> {
@@ -136,8 +176,23 @@ impl RollbackStorage {
 
 impl StableStorage for RollbackStorage {
     fn store(&self, slot: &str, blob: &[u8]) -> Result<()> {
-        match self.inner.read().mode {
+        let mode = self.inner.read().mode;
+        match mode {
             AdversaryMode::DropWrites => Ok(()), // silently discarded
+            AdversaryMode::TornWrites { keep } => {
+                self.history.store(slot, &blob[..keep.min(blob.len())])
+            }
+            AdversaryMode::ReorderedFlush => {
+                let mut inner = self.inner.write();
+                inner.buffered.push((slot.to_string(), blob.to_vec()));
+                if inner.buffered.len() == 2 {
+                    // The scheduler flushes the pair newest-first.
+                    while let Some((s, b)) = inner.buffered.pop() {
+                        self.history.store(&s, &b)?;
+                    }
+                }
+                Ok(())
+            }
             _ => self.history.store(slot, blob),
         }
     }
@@ -145,7 +200,10 @@ impl StableStorage for RollbackStorage {
     fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
         let inner = self.inner.read();
         match inner.mode {
-            AdversaryMode::Honest | AdversaryMode::DropWrites => self.history.load(slot),
+            AdversaryMode::Honest
+            | AdversaryMode::DropWrites
+            | AdversaryMode::TornWrites { .. }
+            | AdversaryMode::ReorderedFlush => self.history.load(slot),
             AdversaryMode::ServeVersion(v) => match self.history.load_version(slot, v) {
                 Ok(blob) => Ok(Some(blob)),
                 Err(_) => self.history.load(slot),
@@ -273,6 +331,48 @@ mod tests {
     fn fork_at_missing_version_fails() {
         let s = seeded();
         assert!(s.fork_at("state", Version(17)).is_err());
+    }
+
+    #[test]
+    fn torn_writes_persist_only_a_prefix() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::TornWrites { keep: 2 });
+        s.store("state", b"v3-long-record").unwrap();
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v3");
+        // Shorter than the tear point: stored whole.
+        s.store("state", b"x").unwrap();
+        assert_eq!(s.load("state").unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn reordered_flush_commits_pairs_newest_first() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ReorderedFlush);
+        s.store("state", b"older").unwrap();
+        // Still in the volatile cache: loads see the pre-mode state.
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
+        s.store("state", b"newer").unwrap();
+        // The pair flushed in reverse: "older" is now the visible tip.
+        assert_eq!(s.load("state").unwrap().unwrap(), b"older");
+    }
+
+    #[test]
+    fn reordered_flush_remainder_flushes_on_mode_change() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ReorderedFlush);
+        s.store("state", b"v3").unwrap();
+        s.set_mode(AdversaryMode::Honest);
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v3");
+    }
+
+    #[test]
+    fn reordered_flush_power_failure_loses_the_cache() {
+        let s = seeded();
+        s.set_mode(AdversaryMode::ReorderedFlush);
+        s.store("state", b"v3").unwrap();
+        assert_eq!(s.drop_buffered(), 1);
+        s.set_mode(AdversaryMode::Honest);
+        assert_eq!(s.load("state").unwrap().unwrap(), b"v2");
     }
 
     #[test]

@@ -74,6 +74,10 @@ impl<S: StableStorage> StableStorage for DelayedStorage<S> {
         self.loads.fetch_add(1, Ordering::SeqCst);
         self.inner.load(slot)
     }
+
+    fn delta_capable(&self) -> bool {
+        self.inner.delta_capable()
+    }
 }
 
 #[cfg(test)]

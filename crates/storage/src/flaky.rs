@@ -72,6 +72,10 @@ impl<S: StableStorage> StableStorage for FlakyStorage<S> {
             _ => self.inner.load(slot),
         }
     }
+
+    fn delta_capable(&self) -> bool {
+        self.inner.delta_capable()
+    }
 }
 
 #[cfg(test)]

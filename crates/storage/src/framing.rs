@@ -1,0 +1,168 @@
+//! Length-prefixed, checksummed record framing.
+//!
+//! One parser for every append-style byte log in the workspace: the
+//! delta-log journal segments ([`crate::DeltaLogStorage`]) and the
+//! file-backed AOF baseline both append records that must survive a
+//! crash mid-write. A frame is
+//!
+//! ```text
+//! len(4, BE) ‖ crc32(payload)(4, BE) ‖ payload(len)
+//! ```
+//!
+//! and [`scan`] walks a buffer frame by frame, stopping at the first
+//! frame whose length runs past the buffer or whose checksum does not
+//! match — the *torn tail* a crash mid-append leaves behind. Everything
+//! before the stop point is the valid prefix the caller may trust;
+//! everything after it must be truncated away so later appends land
+//! after real records, not after garbage.
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+///
+/// Bitwise implementation — the framing sits on cold paths (group
+/// commit, recovery replay), so table-free simplicity wins.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one framed record holding `payload` to `buf`.
+pub fn append_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.reserve(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// The result of walking a buffer of frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome<'a> {
+    /// The payloads of every intact frame, in order.
+    pub payloads: Vec<&'a [u8]>,
+    /// Length of the valid prefix: the byte offset just past the last
+    /// intact frame. Equal to `buf.len()` iff the buffer is clean.
+    pub valid_len: usize,
+}
+
+impl ScanOutcome<'_> {
+    /// Whether the buffer ended in a torn or corrupt frame.
+    pub fn is_torn(&self, buf_len: usize) -> bool {
+        self.valid_len < buf_len
+    }
+}
+
+/// Walks `buf` frame by frame, returning the intact payloads and the
+/// length of the valid prefix. Never fails: a torn or corrupt tail
+/// simply ends the scan.
+pub fn scan(buf: &[u8]) -> ScanOutcome<'_> {
+    let mut payloads = Vec::new();
+    let mut offset = 0;
+    while buf.len() - offset >= FRAME_HEADER {
+        let len = u32::from_be_bytes(buf[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_be_bytes(buf[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let start = offset + FRAME_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= buf.len()) else {
+            break; // length runs past the buffer: torn mid-payload
+        };
+        let payload = &buf[start..end];
+        if crc32(payload) != want {
+            break; // bit rot or a torn header overwrite
+        }
+        payloads.push(payload);
+        offset = end;
+    }
+    ScanOutcome {
+        payloads,
+        valid_len: offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first");
+        append_frame(&mut buf, b"");
+        append_frame(&mut buf, b"third record");
+        let out = scan(&buf);
+        assert_eq!(out.payloads, vec![&b"first"[..], b"", b"third record"]);
+        assert_eq!(out.valid_len, buf.len());
+        assert!(!out.is_torn(buf.len()));
+    }
+
+    #[test]
+    fn torn_payload_truncates_to_last_intact_frame() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"keep me");
+        let clean = buf.len();
+        append_frame(&mut buf, b"lost in the crash");
+        buf.truncate(clean + FRAME_HEADER + 4); // mid-payload
+        let out = scan(&buf);
+        assert_eq!(out.payloads, vec![&b"keep me"[..]]);
+        assert_eq!(out.valid_len, clean);
+        assert!(out.is_torn(buf.len()));
+    }
+
+    #[test]
+    fn torn_header_truncates_too() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"keep me");
+        let clean = buf.len();
+        buf.extend_from_slice(&[0x00, 0x00]); // 2 of 8 header bytes
+        let out = scan(&buf);
+        assert_eq!(out.valid_len, clean);
+        assert_eq!(out.payloads.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_scan() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"good");
+        let clean = buf.len();
+        append_frame(&mut buf, b"flipped");
+        append_frame(&mut buf, b"unreachable");
+        let bit = clean + FRAME_HEADER; // first payload byte of "flipped"
+        buf[bit] ^= 0x01;
+        let out = scan(&buf);
+        assert_eq!(out.payloads, vec![&b"good"[..]]);
+        assert_eq!(out.valid_len, clean);
+    }
+
+    #[test]
+    fn absurd_length_does_not_overflow() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"ok");
+        let clean = buf.len();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        buf.extend_from_slice(b"short");
+        let out = scan(&buf);
+        assert_eq!(out.valid_len, clean);
+    }
+
+    #[test]
+    fn empty_buffer_is_clean() {
+        let out = scan(&[]);
+        assert!(out.payloads.is_empty());
+        assert_eq!(out.valid_len, 0);
+    }
+}

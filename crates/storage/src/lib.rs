@@ -32,16 +32,22 @@
 
 mod adversary;
 mod delayed;
+mod deltalog;
 mod disk;
 mod error;
 mod file;
 mod flaky;
+pub mod framing;
 mod memory;
 mod namespace;
 mod versioned;
 
 pub use adversary::{AdversaryMode, ForkView, RollbackStorage};
 pub use delayed::DelayedStorage;
+pub use deltalog::{
+    make_bundle, parse_bundle, DeltaLogConfig, DeltaLogStats, DeltaLogStorage, BLOB_KIND_BUNDLE,
+    BLOB_KIND_CHECKPOINT, BLOB_KIND_DELTA, BLOB_KIND_OPAQUE,
+};
 pub use disk::DiskModel;
 pub use error::StorageError;
 pub use file::FileStorage;
@@ -77,6 +83,15 @@ pub trait StableStorage: Send + Sync {
     ///
     /// Implementations may fail on I/O errors.
     fn load(&self, slot: &str) -> Result<Option<Vec<u8>>>;
+
+    /// Whether this store understands the sealed delta-log blob kinds
+    /// ([`DeltaLogStorage`]): if `true`, a server booting on it asks
+    /// its enclave to emit per-batch deltas instead of whole-state
+    /// snapshots. Honest and adversarial wrappers forward this;
+    /// plain blob stores keep the default `false`.
+    fn delta_capable(&self) -> bool {
+        false
+    }
 }
 
 impl<T: StableStorage + ?Sized> StableStorage for std::sync::Arc<T> {
@@ -85,5 +100,8 @@ impl<T: StableStorage + ?Sized> StableStorage for std::sync::Arc<T> {
     }
     fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
         (**self).load(slot)
+    }
+    fn delta_capable(&self) -> bool {
+        (**self).delta_capable()
     }
 }

@@ -71,6 +71,10 @@ impl StableStorage for NamespacedStorage {
     fn load(&self, slot: &str) -> Result<Option<Vec<u8>>> {
         self.inner.load(&self.physical_slot(slot))
     }
+
+    fn delta_capable(&self) -> bool {
+        self.inner.delta_capable()
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@ use lcm::core::transport::{DriveMode, Frontend};
 use lcm::core::types::ClientId;
 use lcm::crypto::keys::SecretKey;
 use lcm::kvs::client::KvsClient;
-use lcm::storage::{NamespacedStorage, StableStorage};
+use lcm::storage::{DeltaLogConfig, DeltaLogStorage, NamespacedStorage, StableStorage};
 use lcm::tee::world::TeeWorld;
 
 /// Driver threads the concurrent-frontend mode attaches.
@@ -159,6 +159,27 @@ impl Mode {
     }
 }
 
+/// Interposes the sealed delta-log engine between the servers and the
+/// scenario's root storage when `LCM_STRESS_DELTALOG=1` — the
+/// storage-torture CI tier runs the whole crash/churn suite through
+/// the engine this way. A tiny segment budget forces seals and
+/// compactions to fire constantly so short schedules still exercise
+/// the full segment lifecycle.
+pub fn maybe_deltalog(storage: Arc<dyn StableStorage>) -> Arc<dyn StableStorage> {
+    if std::env::var("LCM_STRESS_DELTALOG").is_ok_and(|v| v == "1") {
+        let engine = DeltaLogStorage::with_config(
+            storage,
+            DeltaLogConfig {
+                segment_bytes: 2048,
+            },
+        )
+        .expect("delta-log engine opens on the scenario's root storage");
+        Arc::new(engine)
+    } else {
+        storage
+    }
+}
+
 /// Builds a server of the requested mode behind the common
 /// [`BatchServer`] interface. Sharded modes place shard `i` on
 /// platform `platform_base + i` of `world` and give it the
@@ -170,6 +191,7 @@ pub fn mk_server<F: Functionality + 'static>(
     storage: Arc<dyn StableStorage>,
     batch: usize,
 ) -> Box<dyn BatchServer> {
+    let storage = maybe_deltalog(storage);
     match mode {
         Mode::Sync => {
             let platform = world.platform_deterministic(platform_base);
