@@ -21,8 +21,8 @@
 use std::process::ExitCode;
 
 use lcm_bench::gate::{
-    compare, delta_independence, parse_config, parse_snapshot, tolerance_from_env,
-    DELTA_INDEPENDENCE_FLOOR,
+    compare, delta_independence, parse_config, parse_snapshot, reshard_recovery, shard_scaleout,
+    tolerance_from_env, DELTA_INDEPENDENCE_FLOOR, RESHARD_RECOVERY_FLOOR, SHARD_SCALEOUT_FLOOR,
 };
 
 type Snapshot = (Vec<lcm_bench::gate::Cell>, Option<String>);
@@ -147,6 +147,62 @@ fn main() -> ExitCode {
                      baseline gates"
                 );
                 failed = true;
+            }
+        }
+    }
+    // Routing invariants of the epoch-versioned slice table, gated on
+    // the *fresh* snapshot's own ratios (same rationale as the delta
+    // independence check): the per-cell band tolerates the runner
+    // drifting, but the reshard cell falling back toward the hot cell
+    // — or the uniform 8-shard fan-out falling back to 4-shard
+    // throughput — is exactly the scaling the slice router exists to
+    // buy. Only enforced once the committed baseline carries the
+    // cells.
+    for base in ["sync", "pipelined"] {
+        if reshard_recovery(&baseline, base).is_some() {
+            match reshard_recovery(&fresh, base) {
+                Some(ratio) if ratio >= RESHARD_RECOVERY_FLOOR => {
+                    println!(
+                        "{base} reshard recovery: {ratio:.2}x (floor {RESHARD_RECOVERY_FLOOR})"
+                    );
+                }
+                Some(ratio) => {
+                    eprintln!(
+                        "bench_gate: {base} reshard recovery {ratio:.2} fell below the \
+                         {RESHARD_RECOVERY_FLOOR} floor — live slice migration no longer \
+                         relieves the hot shard"
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!(
+                        "bench_gate: fresh snapshot lost the {base} reshard/hot cells the \
+                         baseline gates"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if shard_scaleout(&baseline, base).is_some() {
+            match shard_scaleout(&fresh, base) {
+                Some(ratio) if ratio >= SHARD_SCALEOUT_FLOOR => {
+                    println!("{base} 8-over-4-shard scale-out: {ratio:.2}x (floor {SHARD_SCALEOUT_FLOOR})");
+                }
+                Some(ratio) => {
+                    eprintln!(
+                        "bench_gate: {base} 8-shard throughput is only {ratio:.2}x the 4-shard \
+                         cell (floor {SHARD_SCALEOUT_FLOOR}) — the shard fan-out stopped \
+                         scaling past 4"
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!(
+                        "bench_gate: fresh snapshot lost the {base} 4/8-shard cells the \
+                         baseline gates"
+                    );
+                    failed = true;
+                }
             }
         }
     }

@@ -15,7 +15,10 @@
 //! * **Uniform** (`sync` / `pipelined` × shards {1, 4, 8}) — every
 //!   client PUTs its own key, keys spread by route hash; rounds of
 //!   submit-all/process-all on the single-driver path. Tracks the
-//!   PR 2/3 levers (async writes, shard fan-out).
+//!   PR 2/3 levers (async writes, shard fan-out); the
+//!   `shard_scaleout_8v4` signal additionally gates that 8 shards
+//!   beat 4 in both modes (half the persist cycles per round at this
+//!   client count).
 //! * **Skewed** (`*-hot` vs `*-fe` vs `*-adm`, 8 shards) — half the
 //!   clients hammer one hot shard, measured over a fixed wall-clock
 //!   window. `*-hot` drives the identical deployment single-threaded
@@ -24,6 +27,14 @@
 //!   threads, per-client closed loops on their own threads), which
 //!   keeps the cold shards serving while the hot shard grinds. The
 //!   tracked signal is `frontend_speedup_8shards`.
+//!
+//!   `*-reshard` runs the identical skewed deployment after the
+//!   heat-aware rebalancer migrated the hot shard's slices across the
+//!   cold shards live (epoch-versioned routing; clients chase typed
+//!   redirects). Where `*-fe` and `*-adm` mitigate the hot-shard
+//!   collapse in front of the enclaves, this removes it at the
+//!   router: the gated `reshard_recovery_8shards` ratio is
+//!   `*-reshard / *-hot`.
 //!
 //!   `*-adm` repeats the `*-fe` workload with the multi-tenant
 //!   admission policy installed: the hot hammerers form a rate-capped
@@ -44,22 +55,29 @@ use std::time::Duration;
 use lcm_bench::gate::{DELTA_LARGE_MODE, DELTA_SMALL_MODE};
 use lcm_bench::shardbench::{
     measure, measure_delta, measure_for, measure_frontend_admitted, measure_frontend_for,
-    measure_replicated_reads, measure_replicated_write, DeltaRun, ReplicaRun, ShardRun,
-    COLD_TENANT, HOT_TENANT,
+    measure_replicated_reads, measure_replicated_write, measure_resharded, DeltaRun, ReplicaRun,
+    ShardRun, COLD_TENANT, HOT_TENANT,
 };
 
-const CLIENTS: u32 = 64;
+/// 96 clients over batch-16 lanes makes shard fan-out visible at the
+/// batch granularity: 4 shards carry 24 route-hashed keys each (two
+/// batch cycles per round), 8 shards carry 11–13 (one cycle) — so the
+/// 8-shard deployment pays half the persist cycles per round and the
+/// `shard_scaleout_8v4` signal tracks a real integer-factor lever,
+/// not hash luck.
+const CLIENTS: u32 = 96;
 const BATCH: usize = 16;
 /// Large enough that persistence — the thing sharding parallelizes —
-/// is the clear bottleneck in both modes, keeping the recorded ratios
-/// stable across runner hardware.
-const STORE_DELAY: Duration = Duration::from_micros(400);
+/// is the clear bottleneck in both modes (well above the per-op
+/// execution cost even on a single-core runner), keeping the recorded
+/// ratios stable across runner hardware.
+const STORE_DELAY: Duration = Duration::from_millis(2);
 const SHARDS: [u32; 3] = [1, 4, 8];
 
 /// Skewed-workload parameters: half the clients on one hot shard, a
 /// store slow enough that the hot shard's backlog dominates a
 /// single-driver round.
-const HOT_CLIENTS: u32 = 32;
+const HOT_CLIENTS: u32 = 48;
 const HOT_SHARDS: u32 = 8;
 const HOT_STORE_DELAY: Duration = Duration::from_millis(4);
 
@@ -164,6 +182,16 @@ fn main() {
             adm,
             Some((cold.p50_us as f64, cold.p99_us as f64, cold.p999_us as f64)),
         ));
+
+        // The root fix: the same skewed deployment after the
+        // heat-aware rebalancer migrated the hot shard's slices across
+        // the cold shards live (epoch-versioned routing, clients
+        // chasing typed redirects). Where `*-fe`/`*-adm` mitigate the
+        // collapse in front of the hot shard, this removes it.
+        let rs = measure_resharded(&cfg, window);
+        let rs_mode = format!("{base}-reshard");
+        println!("{rs_mode:>13} x {HOT_SHARDS} shard(s): {rs:>10.0} ops/s");
+        results.push((rs_mode, HOT_SHARDS, rs, None));
     }
 
     // Replicated shard groups: write cost of the majority quorum, and
@@ -214,15 +242,25 @@ fn main() {
     };
     let sync_speedup = ops_of("sync", 4) / ops_of("sync", 1);
     let pipe_speedup = ops_of("pipelined", 4) / ops_of("pipelined", 1);
+    let scaleout_sync = ops_of("sync", 8) / ops_of("sync", 4);
+    let scaleout_pipe = ops_of("pipelined", 8) / ops_of("pipelined", 4);
     let fe_sync = ops_of("sync-fe", HOT_SHARDS) / ops_of("sync-hot", HOT_SHARDS);
     let fe_pipe = ops_of("pipelined-fe", HOT_SHARDS) / ops_of("pipelined-hot", HOT_SHARDS);
+    let reshard_sync = ops_of("sync-reshard", HOT_SHARDS) / ops_of("sync-hot", HOT_SHARDS);
+    let reshard_pipe =
+        ops_of("pipelined-reshard", HOT_SHARDS) / ops_of("pipelined-hot", HOT_SHARDS);
     let rep_write_cost = ops_of("rep-write-1", 1) / ops_of(&format!("rep-write-{REPLICAS}"), 1);
     let rep_read_scaleout = ops_of(&format!("rep-read-{REPLICAS}"), 1) / ops_of("rep-read-1", 1);
     let delta_independence = ops_of(DELTA_LARGE_MODE, 1) / ops_of(DELTA_SMALL_MODE, 1);
     println!("4-shard speedup: sync {sync_speedup:.2}x, pipelined {pipe_speedup:.2}x");
+    println!("8-over-4-shard scale-out: sync {scaleout_sync:.2}x, pipelined {scaleout_pipe:.2}x");
     println!(
         "front-end speedup at {HOT_SHARDS} shards (skewed): sync {fe_sync:.2}x, \
          pipelined {fe_pipe:.2}x"
+    );
+    println!(
+        "reshard recovery at {HOT_SHARDS} shards (skewed, live slice migration): \
+         sync {reshard_sync:.2}x, pipelined {reshard_pipe:.2}x"
     );
     println!(
         "replica group at {REPLICAS} members: write cost {rep_write_cost:.2}x, \
@@ -267,7 +305,13 @@ fn main() {
         "  \"speedup_4shards\": {{\"sync\": {sync_speedup:.3}, \"pipelined\": {pipe_speedup:.3}}},\n"
     ));
     json.push_str(&format!(
+        "  \"shard_scaleout_8v4\": {{\"sync\": {scaleout_sync:.3}, \"pipelined\": {scaleout_pipe:.3}}},\n"
+    ));
+    json.push_str(&format!(
         "  \"frontend_speedup_8shards\": {{\"sync\": {fe_sync:.3}, \"pipelined\": {fe_pipe:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"reshard_recovery_8shards\": {{\"sync\": {reshard_sync:.3}, \"pipelined\": {reshard_pipe:.3}}},\n"
     ));
     json.push_str(&format!(
         "  \"replica_group_{REPLICAS}x\": {{\"write_cost\": {rep_write_cost:.3}, \

@@ -43,6 +43,7 @@ fn main() {
             q: SeqNo(5),
             h: ChainValue::GENESIS,
             hc_echo: ChainValue::GENESIS,
+            redirect: false,
             result: vec![0xcd; size],
         };
         let ib = invoke.to_bytes().len();

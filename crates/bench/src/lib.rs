@@ -179,6 +179,53 @@ pub mod gate {
     /// path has started scaling with resident state again.
     pub const DELTA_INDEPENDENCE_FLOOR: f64 = 0.5;
 
+    /// Floor on the `*-reshard / *-hot` recovery ratio per mode: the
+    /// heat-aware rebalancer must at least double the skewed
+    /// deployment's throughput. Measured recovery sits above 3x (the
+    /// hot shard's multi-batch backlog becomes one cycle per lane once
+    /// its slices spread); a ratio under the floor means live slice
+    /// migration stopped relieving the hot shard — the collapse the
+    /// epoch-versioned router exists to fix.
+    pub const RESHARD_RECOVERY_FLOOR: f64 = 2.0;
+
+    /// Floor on the uniform `8-shard / 4-shard` throughput ratio per
+    /// mode. At the snapshot's client count, 4-shard lanes pay two
+    /// persist cycles per round where 8-shard lanes pay one, so the
+    /// true ratio sits near 1.6 (sync) / 1.9 (pipelined); a ratio
+    /// under the floor means the shard fan-out stopped scaling past 4.
+    pub const SHARD_SCALEOUT_FLOOR: f64 = 1.15;
+
+    /// The `{base}-reshard / {base}-hot` throughput ratio of a
+    /// snapshot, when both cells are present (`base` is `sync` or
+    /// `pipelined`). Gated on the fresh snapshot directly, like
+    /// [`delta_independence`]: both cells drifting with the runner is
+    /// noise the per-cell band tolerates; the reshard cell falling
+    /// back toward the hot cell is the regression.
+    pub fn reshard_recovery(cells: &[Cell], base: &str) -> Option<f64> {
+        let ops = |mode: String| {
+            cells
+                .iter()
+                .find(|c| c.mode == mode)
+                .map(|c| c.ops_per_s)
+                .filter(|x| *x > 0.0)
+        };
+        Some(ops(format!("{base}-reshard"))? / ops(format!("{base}-hot"))?)
+    }
+
+    /// The uniform `8-shard / 4-shard` throughput ratio of a snapshot
+    /// for `base` (`sync` or `pipelined`), when both cells are
+    /// present.
+    pub fn shard_scaleout(cells: &[Cell], base: &str) -> Option<f64> {
+        let ops = |shards: u32| {
+            cells
+                .iter()
+                .find(|c| c.mode == base && c.shards == shards)
+                .map(|c| c.ops_per_s)
+                .filter(|x| *x > 0.0)
+        };
+        Some(ops(8)? / ops(4)?)
+    }
+
     /// The delta-log engine's large-over-small throughput ratio of a
     /// snapshot, when both cells are present.
     ///
@@ -422,6 +469,53 @@ pub mod gate {
         }
 
         #[test]
+        fn reshard_recovery_is_per_mode_and_needs_both_cells() {
+            let cell = |mode: &str, shards: u32, ops: f64| Cell {
+                mode: mode.into(),
+                shards,
+                ops_per_s: ops,
+                p99_us: None,
+            };
+            let cells = vec![
+                cell("sync-hot", 8, 2_500.0),
+                cell("sync-reshard", 8, 8_300.0),
+                cell("pipelined-hot", 8, 2_800.0),
+            ];
+            let ratio = reshard_recovery(&cells, "sync").unwrap();
+            assert!((ratio - 3.32).abs() < 0.01);
+            assert!(ratio >= RESHARD_RECOVERY_FLOOR);
+            // The pipelined reshard cell is missing: no ratio, so old
+            // baselines gate nothing rather than failing spuriously.
+            assert!(reshard_recovery(&cells, "pipelined").is_none());
+            // A zeroed hot cell cannot fabricate an infinite ratio.
+            let zeroed = vec![cell("sync-hot", 8, 0.0), cell("sync-reshard", 8, 100.0)];
+            assert!(reshard_recovery(&zeroed, "sync").is_none());
+        }
+
+        #[test]
+        fn shard_scaleout_compares_8_to_4_per_mode() {
+            let cell = |mode: &str, shards: u32, ops: f64| Cell {
+                mode: mode.into(),
+                shards,
+                ops_per_s: ops,
+                p99_us: None,
+            };
+            let cells = vec![
+                cell("sync", 1, 3_400.0),
+                cell("sync", 4, 8_900.0),
+                cell("sync", 8, 14_200.0),
+                cell("pipelined", 4, 10_800.0),
+            ];
+            let ratio = shard_scaleout(&cells, "sync").unwrap();
+            assert!((ratio - 14_200.0 / 8_900.0).abs() < 1e-9);
+            assert!(ratio >= SHARD_SCALEOUT_FLOOR);
+            assert!(shard_scaleout(&cells, "pipelined").is_none());
+            // The flat pre-reshard profile would fail the floor.
+            let flat = vec![cell("sync", 4, 27_650.0), cell("sync", 8, 26_625.0)];
+            assert!(shard_scaleout(&flat, "sync").unwrap() < SHARD_SCALEOUT_FLOOR);
+        }
+
+        #[test]
         fn tolerance_env_parsing_is_defensive() {
             // No env manipulation here (tests run in parallel); check
             // the parse-and-clamp path through compare instead: a 60%
@@ -441,12 +535,13 @@ pub mod gate {
 }
 
 /// [`write_csv`] for a Fig. 5/6-style per-series client sweep.
-pub fn series_csv(name: &str, series: &[(lcm_sim::cost::ServerKind, Vec<(usize, f64)>)]) {
+pub fn series_csv(name: &str, series: &[lcm_sim::scenario::FigureSeries]) {
     let rows: Vec<Vec<String>> = series
         .iter()
-        .flat_map(|(kind, rows)| {
-            rows.iter()
-                .map(move |(n, x)| vec![kind.label().to_string(), n.to_string(), format!("{x:.1}")])
+        .flat_map(|s| {
+            s.rows
+                .iter()
+                .map(move |(n, x)| vec![s.label(), n.to_string(), format!("{x:.1}")])
         })
         .collect();
     write_csv(name, &["series", "clients", "ops_per_s"], &rows);
@@ -539,6 +634,69 @@ pub mod shardbench {
         pub fn flush(&mut self) {
             self.server.flush_persists().unwrap();
         }
+
+        /// A [`ShardStack::round`] that tolerates live resharding:
+        /// replies are handled through `handle_reply_on`, and a client
+        /// whose operation came back as a typed redirect (its slice
+        /// migrated under a newer routing epoch, which the client has
+        /// now adopted) re-invokes the same PUT under the new table
+        /// until every client completes. Identical to `round` while no
+        /// slices move.
+        pub fn round_chasing(&mut self) {
+            use lcm_core::client::WriteOutcome;
+            use lcm_core::codec::WireCodec;
+            let mut pending: Vec<usize> = (0..self.clients.len()).collect();
+            while !pending.is_empty() {
+                for &i in &pending {
+                    let op = KvOp::Put(self.keys[i].clone(), self.payload.clone());
+                    let wire = self.clients[i]
+                        .invoke_for::<KvStore>(&op.to_bytes())
+                        .unwrap();
+                    self.server.submit(wire);
+                }
+                let replies = self.server.process_all().unwrap();
+                let mut chasing = Vec::new();
+                for (id, wire) in replies {
+                    let idx = self.clients.iter().position(|c| c.id() == id).unwrap();
+                    match self.clients[idx].handle_reply_on(&wire).unwrap() {
+                        (_, WriteOutcome::Done(_)) => {}
+                        (_, WriteOutcome::Redirected { .. }) => chasing.push(idx),
+                    }
+                }
+                pending = chasing;
+            }
+        }
+
+        /// Runs the host-side heat monitor until it declares the load
+        /// balanced: each pass runs one chasing round to accrue heat,
+        /// drains the per-slice counters, and performs the planned
+        /// slice migration live (epoch bump, clients chase redirects
+        /// on their next operation). Returns the number of slices
+        /// migrated. Bounded by `max_passes` so a pathological planner
+        /// cannot spin the measurement forever.
+        pub fn rebalance_until_stable(&mut self, max_passes: u32) -> u32 {
+            use lcm_core::routing::SliceTable;
+            use lcm_core::shard::plan_rebalance;
+            let shards = self.clients[0].slice_table().count();
+            assert_eq!(
+                self.server.routing_epoch(),
+                0,
+                "rebalance_until_stable mirrors the table from genesis"
+            );
+            let mut table = SliceTable::uniform(shards);
+            let mut moves = 0;
+            for _ in 0..max_passes {
+                self.round_chasing();
+                let heat = self.server.take_slice_heat();
+                let Some((slice, to)) = plan_rebalance(&heat, &table) else {
+                    break;
+                };
+                self.server.migrate_slice(slice, to).unwrap();
+                table = table.moved(slice, to).expect("planned move is in range");
+                moves += 1;
+            }
+            moves
+        }
     }
 
     /// Builds the sharded KVS stack for `cfg` (booted, provisioned,
@@ -596,6 +754,33 @@ pub mod shardbench {
         let t0 = Instant::now();
         while t0.elapsed() < window {
             stack.round();
+            ops += u64::from(cfg.clients);
+        }
+        stack.flush();
+        ops as f64 / t0.elapsed().as_secs_f64()
+    }
+
+    /// The `*-reshard` cell: the identical skewed workload and
+    /// deployment as [`measure_for`]'s `*-hot` cell, but with the
+    /// heat-aware rebalancer run first. The warm-up phase lets the
+    /// host-side heat monitor migrate the hot shard's slices across
+    /// the cold shards live (attested migration tickets, epoch bumps,
+    /// clients chasing typed redirects); the timed window then
+    /// measures the same single-driver rounds over the rebalanced
+    /// table. The tracked signal is the recovery ratio
+    /// `*-reshard / *-hot` — the throughput the epoch-versioned
+    /// router claws back from the hot-shard collapse at the root,
+    /// rather than mitigating it in front (compare `*-fe`/`*-adm`).
+    pub fn measure_resharded(cfg: &ShardRun, window: Duration) -> f64 {
+        let mut stack = setup(cfg);
+        // One pass per slice is a generous bound: the planner moves at
+        // most one slice per pass and stops once the hottest shard is
+        // within 2x of the coldest.
+        stack.rebalance_until_stable(64);
+        let mut ops = 0u64;
+        let t0 = Instant::now();
+        while t0.elapsed() < window {
+            stack.round_chasing();
             ops += u64::from(cfg.clients);
         }
         stack.flush();
@@ -926,8 +1111,10 @@ pub mod shardbench {
                         match client.handle_read_reply(&reply).unwrap() {
                             ReadOutcome::Fresh(_) => done += 1,
                             // A member still applying the warm-up blob:
-                            // retryable lag, not a counted read.
-                            ReadOutcome::Behind => {}
+                            // retryable lag, not a counted read. No
+                            // slices move in this workload, so Moved
+                            // never fires; treat it as uncounted too.
+                            ReadOutcome::Behind | ReadOutcome::Moved => {}
                         }
                     }
                     done

@@ -11,7 +11,8 @@ use lcm_crypto::keys::SecretKey;
 use crate::codec::WireCodec;
 use crate::context::{invoke_aad, read_aad, read_reply_aad, reply_aad};
 use crate::functionality::Functionality;
-use crate::shard::{route_for, shard_index};
+use crate::routing::SliceTable;
+use crate::shard::route_for;
 use crate::types::{ChainValue, ClientId, Completion, SeqNo};
 use crate::verify::OpRecord;
 use crate::wire::{
@@ -33,6 +34,30 @@ pub enum ReadOutcome {
     /// re-issue, typically pinning a different replica or falling back
     /// to the write path.
     Behind,
+    /// The routing slice the read targets migrated to another shard
+    /// under a newer routing epoch, which the client has now adopted.
+    /// The pending read is cleared; re-issue it and it will route to
+    /// the new owner.
+    Moved,
+}
+
+/// Outcome of a write reply ([`LcmClient::handle_reply_on`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The operation executed on its owning shard.
+    Done(Completion),
+    /// The shard answered with a *redirect* instead of executing: the
+    /// operation's routing slice migrated away under a newer routing
+    /// epoch, which the client has now adopted. The redirect advanced
+    /// this shard's context like any operation (it occupies a sequence
+    /// number and a link of the hash chain), but the operation itself
+    /// did **not** execute — re-invoke `op`, and the adopted table
+    /// routes it to its new owner as a fresh invocation under that
+    /// shard's own context.
+    Redirected {
+        /// The original operation, handed back for re-invocation.
+        op: Vec<u8>,
+    },
 }
 
 /// An operation awaiting its reply.
@@ -45,6 +70,9 @@ struct Pending {
     /// Route hash the operation was sent under (part of the AAD, so
     /// retries must reuse it).
     route: u32,
+    /// Routing epoch the wire was stamped with (also in the AAD; a
+    /// table adopted mid-flight must not re-stamp this operation).
+    epoch: u64,
 }
 
 /// A verified read leg awaiting its reply (replicated deployments,
@@ -60,6 +88,8 @@ struct PendingRead {
     /// The replica the leg is pinned to (inside the AEAD — a host
     /// cannot re-aim the leg or substitute another replica's answer).
     replica: u32,
+    /// Routing epoch the leg was stamped with (part of the AAD).
+    epoch: u64,
 }
 
 /// The client's protocol context against one shard of the service:
@@ -130,6 +160,10 @@ pub struct LcmClient {
     /// instances, so the paper's constant client state exists once per
     /// shard the client actually touches.
     shards: Vec<ShardCtx>,
+    /// The routing slice table the client maps routes through. Starts
+    /// as the genesis uniform table for the deployment's shard count
+    /// and advances as redirects hand the client newer epochs.
+    table: SliceTable,
     /// Shard indices of in-flight operations, in submission order.
     /// An honest hub/sharded host delivers replies in this order, but
     /// the client does not depend on it: each reply is attributed to
@@ -179,6 +213,7 @@ impl LcmClient {
             id,
             key: AeadKey::from_secret(k_c),
             shards: vec![ShardCtx::default(); n_shards.max(1) as usize],
+            table: SliceTable::uniform(n_shards.max(1)),
             pending_order: std::collections::VecDeque::new(),
             halted: false,
             recording: None,
@@ -196,6 +231,23 @@ impl LcmClient {
     /// Number of shard contexts this client maintains.
     pub fn n_shards(&self) -> u32 {
         self.shards.len() as u32
+    }
+
+    /// The routing epoch of the slice table this client currently
+    /// routes by (0 until a redirect hands it a newer table).
+    pub fn routing_epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// The shard a route hash maps to under the client's current
+    /// slice table.
+    pub fn shard_of_route(&self, route: u32) -> u32 {
+        self.table.shard_of(route)
+    }
+
+    /// The slice table this client currently routes by.
+    pub fn slice_table(&self) -> &crate::routing::SliceTable {
+        &self.table
     }
 
     /// Sequence number of the last completed operation — the maximum
@@ -361,7 +413,7 @@ impl LcmClient {
             return Err(LcmError::Halted);
         }
         let route = route_for(self.id, shard_key);
-        let shard = shard_index(route, self.shards.len() as u32);
+        let shard = self.table.shard_of(route);
         let ctx = &self.shards[shard as usize];
         if ctx.pending.is_some() || ctx.pending_read.is_some() {
             return Err(LcmError::OperationPending);
@@ -371,6 +423,7 @@ impl LcmClient {
             tc: ctx.tc,
             hc: ctx.hc,
             route,
+            epoch: self.table.epoch(),
         };
         let wire = self.encode_invoke(&pending, false)?;
         self.shards[shard as usize].pending = Some(pending);
@@ -410,7 +463,7 @@ impl LcmClient {
         let ciphertext = aead::auth_encrypt(
             &self.key,
             &msg.to_bytes(),
-            &invoke_aad(self.id, pending.route, pending.tc.0),
+            &invoke_aad(self.id, pending.route, pending.tc.0, pending.epoch),
         )
         .map_err(|e| LcmError::Tee(e.to_string()))?;
         let mut wire = Vec::with_capacity(ROUTE_HINT_LEN + ciphertext.len());
@@ -421,6 +474,10 @@ impl LcmClient {
             // re-encodes the *same* envelope sequence — the property
             // the host-side dedup of `crate::admission` keys on.
             seq: pending.tc.0,
+            // Likewise the routing epoch: a retry replays the stamp of
+            // the original submission even if the client has adopted a
+            // newer table since (the AAD binds it).
+            epoch: pending.epoch,
         }
         .encode_to(&mut wire);
         wire.extend_from_slice(&ciphertext);
@@ -468,7 +525,7 @@ impl LcmClient {
             return Err(LcmError::Halted);
         }
         let route = route_for(self.id, shard_key);
-        let shard = shard_index(route, self.shards.len() as u32);
+        let shard = self.table.shard_of(route);
         let ctx = &self.shards[shard as usize];
         if ctx.pending.is_some() || ctx.pending_read.is_some() {
             return Err(LcmError::OperationPending);
@@ -479,6 +536,7 @@ impl LcmClient {
             hc: ctx.hc,
             route,
             replica,
+            epoch: self.table.epoch(),
         };
         let wire = self.encode_read(&pending)?;
         self.shards[shard as usize].pending_read = Some(pending);
@@ -540,7 +598,13 @@ impl LcmClient {
         let ciphertext = aead::auth_encrypt(
             &self.key,
             &msg.to_bytes(),
-            &read_aad(self.id, pending.route, pending.tc.0, pending.replica),
+            &read_aad(
+                self.id,
+                pending.route,
+                pending.tc.0,
+                pending.replica,
+                pending.epoch,
+            ),
         )
         .map_err(|e| LcmError::Tee(e.to_string()))?;
         let mut wire = Vec::with_capacity(READ_HINT_LEN + ciphertext.len());
@@ -549,6 +613,7 @@ impl LcmClient {
             route: pending.route,
             seq: pending.tc.0,
             replica: pending.replica,
+            epoch: pending.epoch,
         }
         .encode_to(&mut wire);
         wire.extend_from_slice(&ciphertext);
@@ -582,7 +647,13 @@ impl LcmClient {
             let Some(pending) = ctx.pending_read.as_ref() else {
                 continue;
             };
-            let aad = read_reply_aad(self.id, pending.route, pending.tc.0, pending.replica);
+            let aad = read_reply_aad(
+                self.id,
+                pending.route,
+                pending.tc.0,
+                pending.replica,
+                pending.epoch,
+            );
             if let Ok(p) = aead::auth_decrypt(&self.key, wire, &aad) {
                 matched = Some((idx as u32, p));
                 break;
@@ -617,12 +688,25 @@ impl LcmClient {
             .into());
         }
 
-        if reply.behind {
-            // The member hasn't applied the round holding our last op
-            // yet. Retryable, not an attack: quorum stability means at
-            // least a quorum HAS applied it, just not this member.
-            self.shards[shard as usize].pending_read = None;
-            return Ok(ReadOutcome::Behind);
+        match reply.status {
+            crate::wire::ReadStatus::Behind => {
+                // The member hasn't applied the round holding our last
+                // op yet (or has not adopted the routing table we
+                // stamped the leg with). Retryable, not an attack:
+                // quorum stability means at least a quorum HAS applied
+                // it, just not this member.
+                self.shards[shard as usize].pending_read = None;
+                return Ok(ReadOutcome::Behind);
+            }
+            crate::wire::ReadStatus::Moved => {
+                // The slice migrated away under a newer table, carried
+                // in the result: adopt it and let the caller re-issue
+                // against the new owner.
+                self.adopt_table(&reply.result)?;
+                self.shards[shard as usize].pending_read = None;
+                return Ok(ReadOutcome::Moved);
+            }
+            crate::wire::ReadStatus::Fresh => {}
         }
 
         // Fresh: the member's recorded entry must BE our context, and
@@ -650,6 +734,31 @@ impl LcmClient {
         }))
     }
 
+    /// Adopts a slice table handed back by a redirect or moved-read
+    /// reply (already authenticated as part of that reply). Newer
+    /// epochs replace the client's table; older or equal epochs are
+    /// no-ops (several in-flight redirects can race to deliver the
+    /// same bump). A table that fails to decode or names a different
+    /// shard count cannot come from an honest enclave of this
+    /// deployment: the client halts.
+    fn adopt_table(&mut self, encoded: &[u8]) -> Result<()> {
+        let table = match SliceTable::from_bytes(encoded) {
+            Ok(t) => t,
+            Err(_) => {
+                self.halted = true;
+                return Err(Violation::BadAuthentication.into());
+            }
+        };
+        if table.count() != self.shards.len() as u32 {
+            self.halted = true;
+            return Err(Violation::BadAuthentication.into());
+        }
+        if table.epoch() > self.table.epoch() {
+            self.table = table;
+        }
+        Ok(())
+    }
+
     /// Consumes a REPLY message, completing the pending operation
     /// (Alg. 1 `upon receiving reply`).
     ///
@@ -659,20 +768,33 @@ impl LcmClient {
     ///   mismatch (`assert h'c = hc`); the client halts.
     /// * [`LcmError::Violation`] with [`Violation::UnexpectedReply`] —
     ///   no operation pending.
+    /// * [`LcmError::Tee`] — the reply was a resharding redirect; this
+    ///   convenience wrapper cannot hand the operation back, so
+    ///   deployments that migrate slices must drive
+    ///   [`LcmClient::handle_reply_on`] and re-invoke on
+    ///   [`WriteOutcome::Redirected`]. The redirect itself was
+    ///   processed (context advanced, table adopted) — only the
+    ///   re-invocation is on the caller.
     pub fn handle_reply(&mut self, wire: &[u8]) -> Result<Completion> {
-        self.handle_reply_on(wire).map(|(_, done)| done)
+        match self.handle_reply_on(wire)? {
+            (_, WriteOutcome::Done(done)) => Ok(done),
+            (_, WriteOutcome::Redirected { .. }) => Err(LcmError::Tee(
+                "operation redirected during resharding; use handle_reply_on and re-invoke".into(),
+            )),
+        }
     }
 
     /// [`LcmClient::handle_reply`], additionally reporting **which
     /// shard's** pending operation the reply completed (identified by
-    /// AAD authentication, not by delivery order). Scatter-gather
-    /// callers use the shard index to pair each merged leg back to the
-    /// operation it answers.
+    /// AAD authentication, not by delivery order), and surfacing
+    /// resharding redirects as [`WriteOutcome::Redirected`] instead of
+    /// an error. Scatter-gather callers use the shard index to pair
+    /// each merged leg back to the operation it answers.
     ///
     /// # Errors
     ///
-    /// Same as [`LcmClient::handle_reply`].
-    pub fn handle_reply_on(&mut self, wire: &[u8]) -> Result<(u32, Completion)> {
+    /// Same as [`LcmClient::handle_reply`], minus the redirect case.
+    pub fn handle_reply_on(&mut self, wire: &[u8]) -> Result<(u32, WriteOutcome)> {
         if self.halted {
             return Err(LcmError::Halted);
         }
@@ -695,7 +817,11 @@ impl LcmClient {
                 .pending
                 .as_ref()
                 .expect("pending_order entries always have a pending op");
-            if let Ok(p) = aead::auth_decrypt(&self.key, wire, &reply_aad(self.id, pending.route)) {
+            if let Ok(p) = aead::auth_decrypt(
+                &self.key,
+                wire,
+                &reply_aad(self.id, pending.route, pending.epoch),
+            ) {
                 matched = Some((pos, shard, p));
                 break;
             }
@@ -747,6 +873,19 @@ impl LcmClient {
         self.pending_order.remove(pos);
         self.fire_watches();
 
+        if reply.redirect {
+            // The shard stamped a redirect instead of executing: its
+            // context advanced exactly as above (the stamp is a real
+            // protocol step on that shard), and the result carries the
+            // routing table to adopt. The operation itself has NOT
+            // executed — hand it back for re-invocation under the new
+            // table. Redirect stamps are deliberately not recorded:
+            // the history checkers replay executed operations, and a
+            // redirect executes nothing.
+            self.adopt_table(&reply.result)?;
+            return Ok((shard, WriteOutcome::Redirected { op: pending.op }));
+        }
+
         if let Some(log) = self.recording.as_mut() {
             log.push(OpRecord {
                 client: self.id,
@@ -761,11 +900,11 @@ impl LcmClient {
 
         Ok((
             shard,
-            Completion {
+            WriteOutcome::Done(Completion {
                 result: reply.result,
                 seq: reply.t,
                 stable: reply.q,
-            },
+            }),
         ))
     }
 }
@@ -782,6 +921,7 @@ const _: fn() = || {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::ReadStatus;
 
     fn key() -> SecretKey {
         SecretKey::from_bytes([7u8; 32])
@@ -791,7 +931,7 @@ mod tests {
         aead::auth_encrypt(
             &AeadKey::from_secret(k),
             &reply.to_bytes(),
-            &reply_aad(ClientId(1), crate::shard::route_for(ClientId(1), None)),
+            &reply_aad(ClientId(1), crate::shard::route_for(ClientId(1), None), 0),
         )
         .unwrap()
     }
@@ -802,6 +942,7 @@ mod tests {
             q: SeqNo(q),
             h: ChainValue::GENESIS.extend(b"op", SeqNo(t), ClientId(1)),
             hc_echo,
+            redirect: false,
             result: b"ok".to_vec(),
         }
     }
@@ -812,7 +953,7 @@ mod tests {
         let plain = aead::auth_decrypt(
             &AeadKey::from_secret(k),
             ct,
-            &invoke_aad(hint.client, hint.route, hint.seq),
+            &invoke_aad(hint.client, hint.route, hint.seq, hint.epoch),
         )
         .map_err(|_| LcmError::Violation(Violation::BadAuthentication))?;
         Ok(InvokeMsg::from_bytes(&plain).unwrap())
@@ -1037,6 +1178,7 @@ mod tests {
                 crate::shard::route_for(ClientId(1), None),
                 seq,
                 replica,
+                0,
             ),
         )
         .unwrap()
@@ -1065,13 +1207,13 @@ mod tests {
         assert!(aead::auth_decrypt(
             &AeadKey::from_secret(&key()),
             ct,
-            &read_aad(ClientId(1), route, 1, 3),
+            &read_aad(ClientId(1), route, 1, 3, 0),
         )
         .is_err());
         let plain = aead::auth_decrypt(
             &AeadKey::from_secret(&key()),
             ct,
-            &read_aad(ClientId(1), route, 1, 2),
+            &read_aad(ClientId(1), route, 1, 2, 0),
         )
         .unwrap();
         let msg = ReadMsg::from_bytes(&plain).unwrap();
@@ -1083,7 +1225,7 @@ mod tests {
             q: SeqNo(1),
             h: hc,
             hc_echo: hc,
-            behind: false,
+            status: ReadStatus::Fresh,
             result: b"v".to_vec(),
         };
         let out = c
@@ -1109,7 +1251,7 @@ mod tests {
             q: SeqNo(0),
             h: ChainValue::GENESIS,
             hc_echo: hc,
-            behind: true,
+            status: ReadStatus::Behind,
             result: Vec::new(),
         };
         let out = c
@@ -1152,7 +1294,7 @@ mod tests {
             q: SeqNo(0),
             h: hc,
             hc_echo: hc,
-            behind: false,
+            status: ReadStatus::Fresh,
             result: b"v".to_vec(),
         };
         assert!(matches!(
@@ -1172,7 +1314,7 @@ mod tests {
             q: SeqNo(0),
             h: ChainValue::GENESIS.extend(b"forged", SeqNo(9), ClientId(1)),
             hc_echo: hc,
-            behind: false,
+            status: ReadStatus::Fresh,
             result: b"v".to_vec(),
         };
         assert!(c
@@ -1190,7 +1332,7 @@ mod tests {
             q: SeqNo(0),
             h: hc,
             hc_echo: hc,
-            behind: false,
+            status: ReadStatus::Fresh,
             result: b"v".to_vec(),
         };
         // Encrypted under replica 1's channel but the leg pinned 0:
@@ -1201,5 +1343,154 @@ mod tests {
             Err(LcmError::Violation(Violation::BadAuthentication))
         ));
         assert!(c.is_halted());
+    }
+
+    // ---- epoch-versioned routing ---------------------------------
+
+    /// A moved slice table (epoch 1) for a 2-shard deployment, where
+    /// the given route's slice now lives on the other shard.
+    fn moved_table(route: u32, from: u32) -> crate::routing::SliceTable {
+        let base = crate::routing::SliceTable::uniform(2);
+        base.moved(crate::routing::slice_of(route), 1 - from)
+            .unwrap()
+    }
+
+    #[test]
+    fn redirect_reply_adopts_table_and_reroutes() {
+        let mut c = LcmClient::new_sharded(ClientId(1), &key(), 2);
+        let route = crate::shard::route_for(ClientId(1), Some(b"k"));
+        let shard = c.shard_of_route(route);
+        c.invoke_routed(b"op", Some(b"k")).unwrap();
+        // The shard answers with a redirect stamp carrying the moved
+        // table instead of an execution result.
+        let table = moved_table(route, shard);
+        let reply = ReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(1)),
+            hc_echo: ChainValue::GENESIS,
+            redirect: true,
+            result: table.to_bytes(),
+        };
+        let wire = aead::auth_encrypt(
+            &AeadKey::from_secret(&key()),
+            &reply.to_bytes(),
+            &reply_aad(ClientId(1), route, 0),
+        )
+        .unwrap();
+        let (from, out) = c.handle_reply_on(&wire).unwrap();
+        assert_eq!(from, shard);
+        let WriteOutcome::Redirected { op } = out else {
+            panic!("expected redirect outcome");
+        };
+        assert_eq!(op, b"op");
+        assert!(!c.is_halted());
+        // The table was adopted: the epoch advanced and the same key
+        // now routes to the other shard.
+        assert_eq!(c.routing_epoch(), 1);
+        assert_eq!(c.shard_of_route(route), 1 - shard);
+        // The redirect stamp consumed the pending slot; the op can be
+        // re-invoked at the new owner.
+        let rewire = c.invoke_routed(&op, Some(b"k")).unwrap();
+        let (hint, _) = RouteHint::peel(&rewire).unwrap();
+        assert_eq!(hint.epoch, 1);
+    }
+
+    #[test]
+    fn redirect_reply_with_garbage_table_halts() {
+        let mut c = LcmClient::new_sharded(ClientId(1), &key(), 2);
+        let route = crate::shard::route_for(ClientId(1), Some(b"k"));
+        c.invoke_routed(b"op", Some(b"k")).unwrap();
+        let reply = ReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(1)),
+            hc_echo: ChainValue::GENESIS,
+            redirect: true,
+            result: b"not a table".to_vec(),
+        };
+        let wire = aead::auth_encrypt(
+            &AeadKey::from_secret(&key()),
+            &reply.to_bytes(),
+            &reply_aad(ClientId(1), route, 0),
+        )
+        .unwrap();
+        assert!(c.handle_reply_on(&wire).is_err());
+        assert!(c.is_halted());
+    }
+
+    #[test]
+    fn moved_read_adopts_table() {
+        let mut c2 = LcmClient::new_sharded(ClientId(1), &key(), 2);
+        let route = crate::shard::route_for(ClientId(1), Some(b"k"));
+        let shard = c2.shard_of_route(route);
+        c2.read_routed(b"GET k", Some(b"k"), 0).unwrap();
+        let table = moved_table(route, shard);
+        let reply = ReadReplyMsg {
+            t: SeqNo(0),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS,
+            hc_echo: ChainValue::GENESIS,
+            status: ReadStatus::Moved,
+            result: table.to_bytes(),
+        };
+        let wire = aead::auth_encrypt(
+            &AeadKey::from_secret(&key()),
+            &reply.to_bytes(),
+            &read_reply_aad(ClientId(1), route, 0, 0, 0),
+        )
+        .unwrap();
+        let out = c2.handle_read_reply(&wire).unwrap();
+        assert_eq!(out, ReadOutcome::Moved);
+        assert!(!c2.is_halted(), "moved is retryable, not a violation");
+        assert_eq!(c2.routing_epoch(), 1);
+        assert_eq!(c2.shard_of_route(route), 1 - shard);
+    }
+
+    #[test]
+    fn stale_table_is_not_adopted_backwards() {
+        let mut c = LcmClient::new_sharded(ClientId(1), &key(), 2);
+        let route = crate::shard::route_for(ClientId(1), Some(b"k"));
+        let shard = c.shard_of_route(route);
+        c.invoke_routed(b"op", Some(b"k")).unwrap();
+        let table = moved_table(route, shard);
+        let reply = ReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS.extend(b"op", SeqNo(1), ClientId(1)),
+            hc_echo: ChainValue::GENESIS,
+            redirect: true,
+            result: table.to_bytes(),
+        };
+        let wire = aead::auth_encrypt(
+            &AeadKey::from_secret(&key()),
+            &reply.to_bytes(),
+            &reply_aad(ClientId(1), route, 0),
+        )
+        .unwrap();
+        c.handle_reply_on(&wire).unwrap();
+        assert_eq!(c.routing_epoch(), 1);
+        // A second redirect carrying the ORIGINAL epoch-0 table (e.g. a
+        // delayed wire) must not roll the client's routing view back.
+        // The re-routed op lands on the other shard, whose per-shard
+        // context is still at genesis.
+        let stale = crate::routing::SliceTable::uniform(2);
+        c.invoke_routed(b"op2", Some(b"k")).unwrap();
+        let reply2 = ReplyMsg {
+            t: SeqNo(1),
+            q: SeqNo(0),
+            h: ChainValue::GENESIS.extend(b"op2", SeqNo(1), ClientId(1)),
+            hc_echo: ChainValue::GENESIS,
+            redirect: true,
+            result: stale.to_bytes(),
+        };
+        let wire2 = aead::auth_encrypt(
+            &AeadKey::from_secret(&key()),
+            &reply2.to_bytes(),
+            &reply_aad(ClientId(1), route, 1),
+        )
+        .unwrap();
+        c.handle_reply_on(&wire2).unwrap();
+        assert_eq!(c.routing_epoch(), 1, "stale table must be ignored");
     }
 }

@@ -27,6 +27,7 @@ use lcm_tee::platform::TeeServices;
 
 use crate::codec::{Reader, WireCodec, Writer};
 use crate::functionality::Functionality;
+use crate::routing::{slice_of, SliceTable};
 use crate::stability::{latest_entry, stable_with, CachedReply, Quorum, VEntry, VMap};
 use crate::types::{ChainValue, ClientId, SeqNo};
 use crate::wire::{InvokeMsg, ReplyMsg};
@@ -55,18 +56,21 @@ const DELTA_CHECKPOINT_MIN: usize = 4096;
 pub const LABEL_INVOKE: &[u8] = b"lcm.invoke";
 
 /// The associated data under which `client` encrypts an INVOKE carrying
-/// route hash `route` and client sequence `seq` in its plaintext
-/// envelope. Binding `seq` means the host-visible dedup key of the
-/// admission layer (see [`crate::admission`]) is exactly the
-/// authenticated `tc`: a host that rewrites it breaks authentication,
-/// and the enclave additionally cross-checks it against the encrypted
-/// copy.
-pub fn invoke_aad(client: ClientId, route: u32, seq: u64) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_INVOKE.len() + 16);
+/// route hash `route`, client sequence `seq`, and routing epoch `epoch`
+/// in its plaintext envelope. Binding `seq` means the host-visible
+/// dedup key of the admission layer (see [`crate::admission`]) is
+/// exactly the authenticated `tc`: a host that rewrites it breaks
+/// authentication, and the enclave additionally cross-checks it against
+/// the encrypted copy. Binding `epoch` means the host cannot re-stamp
+/// an in-flight wire with a different routing epoch to dodge the
+/// enclave's slice-table ownership check.
+pub fn invoke_aad(client: ClientId, route: u32, seq: u64, epoch: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_INVOKE.len() + 24);
     aad.extend_from_slice(LABEL_INVOKE);
     aad.extend_from_slice(&client.0.to_be_bytes());
     aad.extend_from_slice(&route.to_be_bytes());
     aad.extend_from_slice(&seq.to_be_bytes());
+    aad.extend_from_slice(&epoch.to_be_bytes());
     aad
 }
 /// AAD label for T→client messages. The destination client id is
@@ -83,12 +87,17 @@ pub const LABEL_REPLY: &[u8] = b"lcm.reply";
 /// operations of one client in flight on different shards (all still
 /// at the genesis chain value), the echoed `hc` alone cannot tell the
 /// replies apart — binding the route closes that swap window exactly
-/// as binding the client id closes the cross-client one.
-pub fn reply_aad(client: ClientId, route: u32) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_REPLY.len() + 8);
+/// as binding the client id closes the cross-client one. `epoch`
+/// echoes the routing epoch of the *request* envelope (not the
+/// enclave's current table): the client can only decrypt under the
+/// epoch it stamped, so the echo proves which table version the
+/// enclave judged the wire against.
+pub fn reply_aad(client: ClientId, route: u32, epoch: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_REPLY.len() + 16);
     aad.extend_from_slice(LABEL_REPLY);
     aad.extend_from_slice(&client.0.to_be_bytes());
     aad.extend_from_slice(&route.to_be_bytes());
+    aad.extend_from_slice(&epoch.to_be_bytes());
     aad
 }
 /// AAD label for client→replica verified-read legs. The plaintext
@@ -101,15 +110,17 @@ pub fn reply_aad(client: ClientId, route: u32) -> Vec<u8> {
 pub const LABEL_READ: &[u8] = b"lcm.read";
 
 /// The associated data under which `client` encrypts a verified-read
-/// leg pinned to `replica`, carrying route hash `route` and the
-/// client's context sequence `seq` (= `tc`) in its plaintext envelope.
-pub fn read_aad(client: ClientId, route: u32, seq: u64, replica: u32) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_READ.len() + 20);
+/// leg pinned to `replica`, carrying route hash `route`, the client's
+/// context sequence `seq` (= `tc`), and the routing epoch `epoch` in
+/// its plaintext envelope.
+pub fn read_aad(client: ClientId, route: u32, seq: u64, replica: u32, epoch: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_READ.len() + 28);
     aad.extend_from_slice(LABEL_READ);
     aad.extend_from_slice(&client.0.to_be_bytes());
     aad.extend_from_slice(&route.to_be_bytes());
     aad.extend_from_slice(&seq.to_be_bytes());
     aad.extend_from_slice(&replica.to_be_bytes());
+    aad.extend_from_slice(&epoch.to_be_bytes());
     aad
 }
 
@@ -117,17 +128,19 @@ pub fn read_aad(client: ClientId, route: u32, seq: u64, replica: u32) -> Vec<u8>
 pub const LABEL_READ_REPLY: &[u8] = b"lcm.readreply";
 
 /// The associated data under which a read reply for `client` is
-/// encrypted. Binding `(route, seq, replica)` ties the reply to the
-/// exact read leg it answers: a reply produced for an older read of
-/// the same client (different `seq`) or by a different group member
-/// (different `replica`) cannot be substituted.
-pub fn read_reply_aad(client: ClientId, route: u32, seq: u64, replica: u32) -> Vec<u8> {
-    let mut aad = Vec::with_capacity(LABEL_READ_REPLY.len() + 20);
+/// encrypted. Binding `(route, seq, replica, epoch)` ties the reply to
+/// the exact read leg it answers: a reply produced for an older read
+/// of the same client (different `seq`), by a different group member
+/// (different `replica`), or under a different routing epoch cannot be
+/// substituted.
+pub fn read_reply_aad(client: ClientId, route: u32, seq: u64, replica: u32, epoch: u64) -> Vec<u8> {
+    let mut aad = Vec::with_capacity(LABEL_READ_REPLY.len() + 28);
     aad.extend_from_slice(LABEL_READ_REPLY);
     aad.extend_from_slice(&client.0.to_be_bytes());
     aad.extend_from_slice(&route.to_be_bytes());
     aad.extend_from_slice(&seq.to_be_bytes());
     aad.extend_from_slice(&replica.to_be_bytes());
+    aad.extend_from_slice(&epoch.to_be_bytes());
     aad
 }
 
@@ -137,6 +150,14 @@ pub const LABEL_ADMIN: &[u8] = b"lcm.admin";
 pub const LABEL_PROVISION: &[u8] = b"lcm.provision";
 /// AAD label for migration tickets (enclave-to-enclave channel).
 pub const LABEL_MIGRATION: &[u8] = b"lcm.migration";
+/// AAD label for slice-migration tickets: the sealed package an
+/// exporting enclave hands the adopting enclave when one routing slice
+/// moves between two *running* shards (enclave-to-enclave channel).
+pub const LABEL_SLICE_TICKET: &[u8] = b"lcm.slice-ticket";
+/// AAD label for slice-table bulletins: the sealed announcement of a
+/// bumped slice table that every bystander shard adopts so the whole
+/// deployment judges wires against the same routing epoch.
+pub const LABEL_SLICE_BULLETIN: &[u8] = b"lcm.slice-bulletin";
 
 /// The keys held by a provisioned context (paper §4.1).
 #[derive(Clone)]
@@ -540,6 +561,23 @@ pub struct PersistBlobs {
     pub state_blob: Vec<u8>,
 }
 
+/// The sealed artifacts of [`TrustedContext::export_slice`]: one live
+/// slice migration produces a ticket for the adopting shard, a
+/// bulletin for every bystander shard, and the exporter's own blobs to
+/// persist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceExport {
+    /// Sealed slice-migration ticket; only the destination shard's
+    /// [`TrustedContext::import_slice`] accepts it.
+    pub ticket: Vec<u8>,
+    /// Sealed table bulletin for [`TrustedContext::adopt_table`] on
+    /// the shards not party to the move.
+    pub bulletin: Vec<u8>,
+    /// The exporting shard's re-sealed state (always a full
+    /// checkpoint).
+    pub blobs: PersistBlobs,
+}
+
 /// The trusted execution context `T`.
 ///
 /// Generic over the application [`Functionality`] `F`. See the module
@@ -570,6 +608,14 @@ pub struct TrustedContext<F: Functionality> {
     /// recovered from the sealed state / a migration ticket). `None`
     /// exactly while unprovisioned; `Ready` implies `Some`.
     identity: Option<ShardIdentity>,
+    /// The epoch-versioned routing slice table this enclave judges
+    /// wire ownership against. Installed as the genesis uniform table
+    /// at provisioning, advanced by slice migrations
+    /// ([`TrustedContext::export_slice`] / `import_slice` /
+    /// `adopt_table`), and sealed with the rest of the protocol state —
+    /// so a rolled-back enclave also rolls back its table, and wires
+    /// stamped with a newer epoch expose it.
+    table: SliceTable,
     nonce_counter: u64,
     /// Whether the host's storage understands sealed deltas
     /// ([`lcm_storage::DeltaLogStorage`]): announced by the host at
@@ -620,6 +666,7 @@ impl<F: Functionality> TrustedContext<F> {
             admin_seq: 0,
             quorum: Quorum::Majority,
             identity: None,
+            table: SliceTable::uniform(1),
             nonce_counter: 0,
             delta_mode: false,
             persist_anchor: Digest::ZERO,
@@ -645,6 +692,13 @@ impl<F: Functionality> TrustedContext<F> {
     /// such as heap accounting; the host has no such access).
     pub fn functionality(&self) -> &F {
         &self.f
+    }
+
+    /// The routing slice table this enclave currently judges wire
+    /// ownership against (genesis uniform table until a slice
+    /// migration advances it).
+    pub fn slice_table(&self) -> &SliceTable {
+        &self.table
     }
 
     /// The `init` function of Alg. 2: attempt recovery from the blobs
@@ -833,6 +887,11 @@ impl<F: Functionality> TrustedContext<F> {
         self.keys = Some(Keys::from_raw(payload.k_p, payload.k_c, payload.k_a));
         self.quorum = payload.quorum;
         self.identity = Some(payload.identity);
+        // Genesis routing table: epoch 0, slices spread uniformly
+        // across the deployment's shards. Every shard derives the same
+        // table from its attested `count`, so no extra provisioning
+        // field is needed and a lying host cannot influence it.
+        self.table = SliceTable::uniform(payload.identity.count);
         self.v = payload
             .clients
             .iter()
@@ -890,7 +949,7 @@ impl<F: Functionality> TrustedContext<F> {
             .expect("ready implies keys")
             .aead_c
             .clone();
-        let aad = invoke_aad(hint.client, hint.route, hint.seq);
+        let aad = invoke_aad(hint.client, hint.route, hint.seq, hint.epoch);
         let plain = match aead::auth_decrypt(&aead_c, ciphertext, &aad) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
@@ -915,24 +974,63 @@ impl<F: Functionality> TrustedContext<F> {
         }
 
         // Attested shard identity (Ready implies an identity): this
-        // enclave executes an operation only if it *owns* it. Two
-        // routes must both map here — the authenticated envelope route
-        // the host delivered by (a mismatch means the host redirected
-        // an intact wire to the wrong shard), and the route recomputed
-        // from the decrypted operation's own partition key (a mismatch
-        // means the sender's envelope lies about its operation). This
-        // holds from the very first wire, with no client history.
+        // enclave executes an operation only if it *owns* it under its
+        // slice table. Two routes are judged — the authenticated
+        // envelope route the host delivered by, and the route
+        // recomputed from the decrypted operation's own partition key
+        // (a mismatch between them means the sender's envelope lies
+        // about its operation; both are epoch-independent, so an
+        // honest sender always has them equal). The envelope's routing
+        // epoch disambiguates the not-owned cases:
+        //
+        // * `hint.epoch > table.epoch` — the client proves knowledge
+        //   of a routing epoch this enclave has never reached. Since
+        //   epochs only advance through sealed slice migrations, this
+        //   is the signature of an enclave rolled back past a
+        //   migration (or a table the host withheld): halt. This is
+        //   the rollback-detection hook of the versioned router.
+        // * owned under the current table — execute normally. A stale
+        //   `hint.epoch` is harmless here: the slice never moved away,
+        //   so the old and new tables agree about this wire.
+        // * not owned, `hint.epoch < table.epoch` — an in-flight wire
+        //   routed under an older table whose slice has since migrated
+        //   away. Honest and inevitable during rebalancing: answer
+        //   with a context-stamped *redirect* carrying the current
+        //   table instead of executing (see `execute_fresh`).
+        // * not owned, same epoch — the host redirected an intact wire
+        //   to the wrong shard, or the sender's envelope lies: halt.
         let identity = self.identity.expect("ready implies identity");
         let recomputed = crate::shard::route_for(msg.client, F::shard_key(&msg.op));
-        for route in [hint.route, recomputed] {
-            if !identity.owns_route(route) {
-                return Err(self.halt(Violation::WrongShard {
-                    client: msg.client,
-                    delivered_to: identity.index,
-                    owner: crate::shard::shard_index(route, identity.count),
-                }));
-            }
+        let table_epoch = self.table.epoch();
+        if hint.epoch > table_epoch {
+            return Err(self.halt(Violation::WrongShard {
+                client: msg.client,
+                delivered_to: identity.index,
+                owner: self.table.shard_of(hint.route),
+                wire_epoch: hint.epoch,
+                shard_epoch: table_epoch,
+            }));
         }
+        let owned = self.table.owns(identity.index, hint.route)
+            && self.table.owns(identity.index, recomputed);
+        let redirect = if owned {
+            false
+        } else if hint.epoch < table_epoch {
+            true
+        } else {
+            let bad = if self.table.owns(identity.index, hint.route) {
+                recomputed
+            } else {
+                hint.route
+            };
+            return Err(self.halt(Violation::WrongShard {
+                client: msg.client,
+                delivered_to: identity.index,
+                owner: self.table.shard_of(bad),
+                wire_epoch: hint.epoch,
+                shard_epoch: table_epoch,
+            }));
+        };
 
         let Some(entry) = self.v.get(&msg.client) else {
             let client = msg.client;
@@ -942,10 +1040,13 @@ impl<F: Functionality> TrustedContext<F> {
 
         // Alg. 2: assert V[i] = (∗, tc, hc).
         if entry.t == msg.tc && entry.h == msg.hc {
-            self.execute_fresh(msg, hint.route)
+            self.execute_fresh(msg, hint.route, hint.epoch, redirect)
         } else if msg.retry {
             // §4.6.1 second case: T crashed after storing but before the
-            // client got the reply — resend the cached result.
+            // client got the reply — resend the cached result. The
+            // cached reply replays verbatim, including its redirect
+            // flag: whether the original attempt executed or redirected
+            // is part of the acknowledged history.
             let cached_matches =
                 entry.ta == msg.tc && entry.cached.as_ref().is_some_and(|c| c.hc_echo == msg.hc);
             if cached_matches {
@@ -955,9 +1056,10 @@ impl<F: Functionality> TrustedContext<F> {
                     q: cached.q,
                     h: cached.h,
                     hc_echo: cached.hc_echo,
+                    redirect: cached.redirect,
                     result: cached.result,
                 };
-                let wire = self.encrypt_reply(msg.client, hint.route, &reply)?;
+                let wire = self.encrypt_reply(msg.client, hint.route, hint.epoch, &reply)?;
                 Ok((msg.client, wire))
             } else {
                 Err(self.halt(Violation::ContextMismatch {
@@ -975,10 +1077,29 @@ impl<F: Functionality> TrustedContext<F> {
         }
     }
 
-    fn execute_fresh(&mut self, msg: InvokeMsg, route: u32) -> Result<(ClientId, Vec<u8>)> {
+    /// Executes one context-fresh operation — or, when `redirect` is
+    /// set, stamps a *redirect* instead: the context advances exactly
+    /// as for an executed operation (`t`, `h`, `V[i]`, the cached
+    /// reply), but the functionality is not invoked and the result
+    /// carries the current slice table for the client to adopt. The
+    /// stamp is what makes redirects exactly-once-compatible: a lost
+    /// redirect reply is recovered through the ordinary cached-retry
+    /// path, and the client re-invokes the operation on the new owner
+    /// as a fresh invocation under that shard's own context.
+    fn execute_fresh(
+        &mut self,
+        msg: InvokeMsg,
+        route: u32,
+        epoch: u64,
+        redirect: bool,
+    ) -> Result<(ClientId, Vec<u8>)> {
         // t ← t + 1 ; (r, s) ← execF(s, o) ; h ← hash(h ‖ o ‖ t ‖ i)
         self.t = self.t.next();
-        let result = self.f.exec(&msg.op);
+        let result = if redirect {
+            self.table.to_bytes()
+        } else {
+            self.f.exec(&msg.op)
+        };
         self.h = self.h.extend(&msg.op, self.t, msg.client);
 
         // V[i] ← (tc, t, h) ; q ← majority-stable(V)
@@ -998,6 +1119,7 @@ impl<F: Functionality> TrustedContext<F> {
             q,
             h: self.h,
             hc_echo: msg.hc,
+            redirect,
             result,
         };
         if let Some(entry) = self.v.get_mut(&msg.client) {
@@ -1006,14 +1128,21 @@ impl<F: Functionality> TrustedContext<F> {
                 q: reply.q,
                 h: reply.h,
                 hc_echo: reply.hc_echo,
+                redirect: reply.redirect,
                 result: reply.result.clone(),
             });
         }
-        let wire = self.encrypt_reply(msg.client, route, &reply)?;
+        let wire = self.encrypt_reply(msg.client, route, epoch, &reply)?;
         Ok((msg.client, wire))
     }
 
-    fn encrypt_reply(&mut self, client: ClientId, route: u32, reply: &ReplyMsg) -> Result<Vec<u8>> {
+    fn encrypt_reply(
+        &mut self,
+        client: ClientId,
+        route: u32,
+        epoch: u64,
+        reply: &ReplyMsg,
+    ) -> Result<Vec<u8>> {
         let aead_c = self
             .keys
             .as_ref()
@@ -1028,7 +1157,9 @@ impl<F: Functionality> TrustedContext<F> {
             &aead_c,
             &nonce,
             scratch.as_slice(),
-            &reply_aad(client, route),
+            // The reply echoes the *request's* routing epoch — the
+            // client can only decrypt under the epoch it stamped.
+            &reply_aad(client, route, epoch),
         );
         self.scratch = scratch;
         sealed.map_err(|e| LcmError::Tee(e.to_string()))
@@ -1074,7 +1205,13 @@ impl<F: Functionality> TrustedContext<F> {
             .expect("ready implies keys")
             .aead_c
             .clone();
-        let aad = read_aad(hint.client, hint.route, hint.seq, identity.replica);
+        let aad = read_aad(
+            hint.client,
+            hint.route,
+            hint.seq,
+            identity.replica,
+            hint.epoch,
+        );
         let plain = match aead::auth_decrypt(&aead_c, ciphertext, &aad) {
             Ok(p) => p,
             Err(_) => return Err(self.halt(Violation::BadAuthentication)),
@@ -1086,24 +1223,48 @@ impl<F: Functionality> TrustedContext<F> {
         if msg.client != hint.client || msg.tc.0 != hint.seq {
             return Err(self.halt(Violation::BadAuthentication));
         }
-        // Same two-route ownership check as the write path: the
-        // delivered envelope and the operation's own partition key
-        // must both map to this shard.
-        let recomputed = crate::shard::route_for(msg.client, F::shard_key(&msg.op));
-        for route in [hint.route, recomputed] {
-            if !identity.owns_route(route) {
-                return Err(self.halt(Violation::WrongShard {
-                    client: msg.client,
-                    delivered_to: identity.index,
-                    owner: crate::shard::shard_index(route, identity.count),
-                }));
-            }
-        }
         // Followers bypass the leader's quorum path entirely, so they
         // must refuse to execute anything that could mutate state.
         if !F::is_readonly(&msg.op) {
             return Err(self.halt(Violation::MutationOnReadPath { client: msg.client }));
         }
+        // Same two-route ownership check as the write path, with one
+        // deliberate asymmetry: a *future*-epoch read leg answers
+        // `Behind` instead of halting. During a migration a client can
+        // honestly learn the bumped table from the origin shard's
+        // redirect a moment before a follower of another group
+        // installs it — reads are idempotent and retryable, and the
+        // context check below already prevents a rolled-back member
+        // from serving stale data as fresh. Writes keep the strict
+        // future-epoch halt (the migration driver orders adoption
+        // before any client can learn the new epoch on the write
+        // path). A stale-epoch leg whose slice has since migrated away
+        // answers `Moved` carrying the current table; a current-epoch
+        // leg this shard does not own is a misdelivery or a lying
+        // envelope — halt.
+        let recomputed = crate::shard::route_for(msg.client, F::shard_key(&msg.op));
+        let table_epoch = self.table.epoch();
+        let future_epoch = hint.epoch > table_epoch;
+        let owned = self.table.owns(identity.index, hint.route)
+            && self.table.owns(identity.index, recomputed);
+        let moved = if owned || future_epoch {
+            false
+        } else if hint.epoch < table_epoch {
+            true
+        } else {
+            let bad = if self.table.owns(identity.index, hint.route) {
+                recomputed
+            } else {
+                hint.route
+            };
+            return Err(self.halt(Violation::WrongShard {
+                client: msg.client,
+                delivered_to: identity.index,
+                owner: self.table.shard_of(bad),
+                wire_epoch: hint.epoch,
+                shard_epoch: table_epoch,
+            }));
+        };
         let (entry_t, entry_h) = match self.v.get(&msg.client) {
             Some(e) => (e.t, e.h),
             None => {
@@ -1112,7 +1273,31 @@ impl<F: Functionality> TrustedContext<F> {
                 return Err(LcmError::UnknownClient(client));
             }
         };
-        let reply = if entry_t == msg.tc && entry_h == msg.hc {
+        let reply = if future_epoch {
+            // This member has not installed the table the client
+            // routes by yet: honest adoption lag, retryable.
+            crate::wire::ReadReplyMsg {
+                t: entry_t,
+                q: self.stable_floor,
+                h: entry_h,
+                hc_echo: msg.hc,
+                status: crate::wire::ReadStatus::Behind,
+                result: Vec::new(),
+            }
+        } else if moved {
+            // The slice migrated away since the client's table: hand
+            // back the current table so the client re-pins. No context
+            // stamp — reads are idempotent, so unlike the write path
+            // there is nothing an exactly-once replay could lose.
+            crate::wire::ReadReplyMsg {
+                t: entry_t,
+                q: self.stable_floor,
+                h: entry_h,
+                hc_echo: msg.hc,
+                status: crate::wire::ReadStatus::Moved,
+                result: self.table.to_bytes(),
+            }
+        } else if entry_t == msg.tc && entry_h == msg.hc {
             // Up to date for this client: execute the read. The
             // `is_readonly` contract guarantees `exec` leaves the
             // service state untouched.
@@ -1122,7 +1307,7 @@ impl<F: Functionality> TrustedContext<F> {
                 q: stable_with(&self.v, self.quorum).max(self.stable_floor),
                 h: entry_h,
                 hc_echo: msg.hc,
-                behind: false,
+                status: crate::wire::ReadStatus::Fresh,
                 result,
             }
         } else if entry_t < msg.tc {
@@ -1134,7 +1319,7 @@ impl<F: Functionality> TrustedContext<F> {
                 q: self.stable_floor,
                 h: entry_h,
                 hc_echo: msg.hc,
-                behind: true,
+                status: crate::wire::ReadStatus::Behind,
                 result: Vec::new(),
             }
         } else {
@@ -1152,7 +1337,13 @@ impl<F: Functionality> TrustedContext<F> {
             &aead_c,
             &nonce,
             scratch.as_slice(),
-            &read_reply_aad(msg.client, hint.route, hint.seq, identity.replica),
+            &read_reply_aad(
+                msg.client,
+                hint.route,
+                hint.seq,
+                identity.replica,
+                hint.epoch,
+            ),
         );
         self.scratch = scratch;
         sealed.map_err(|e| LcmError::Tee(e.to_string()))
@@ -1196,10 +1387,13 @@ impl<F: Functionality> TrustedContext<F> {
         if !sealer.same_group(&own) {
             // The dummy client id marks a violation with no invoking
             // client: the host shipped another shard's state here.
+            let shard_epoch = self.table.epoch();
             return Err(self.halt(Violation::WrongShard {
                 client: ClientId(0),
                 delivered_to: own.index,
                 owner: sealer.index,
+                wire_epoch: shard_epoch,
+                shard_epoch,
             }));
         }
         self.identity = Some(own);
@@ -1248,6 +1442,10 @@ impl<F: Functionality> TrustedContext<F> {
         self.identity
             .unwrap_or(ShardIdentity::SOLO)
             .encode(&mut state_plain);
+        // The routing table seals with the rest of the protocol state:
+        // a rolled-back enclave thereby rolls back its table too, which
+        // is exactly what future-epoch wires expose.
+        self.table.encode(&mut state_plain);
         crate::stability::encode_vmap(&self.v, &mut state_plain);
         state_plain.put_bytes(&self.f.snapshot());
         state_plain.put_digest(&anchor);
@@ -1349,6 +1547,7 @@ impl<F: Functionality> TrustedContext<F> {
         self.stable_floor = SeqNo::decode(&mut r).map_err(LcmError::from)?;
         self.quorum = Quorum::decode(&mut r).map_err(LcmError::from)?;
         self.identity = Some(ShardIdentity::decode(&mut r).map_err(LcmError::from)?);
+        self.table = SliceTable::decode(&mut r).map_err(LcmError::from)?;
         self.v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
         let anchor = r.get_digest().map_err(LcmError::from)?;
@@ -1478,7 +1677,9 @@ impl<F: Functionality> TrustedContext<F> {
         // The identity travels with the ticket: the target enclave
         // adopts the origin shard's place in the deployment, so a
         // migrated deployment re-verifies exactly like a fresh one.
+        // The routing table travels too, for the same reason.
         self.identity.unwrap_or(ShardIdentity::SOLO).encode(&mut w);
+        self.table.encode(&mut w);
         crate::stability::encode_vmap(&self.v, &mut w);
         w.put_bytes(&self.f.snapshot());
 
@@ -1552,6 +1753,7 @@ impl<F: Functionality> TrustedContext<F> {
                 ..identity
             };
         }
+        let table = SliceTable::decode(&mut r).map_err(LcmError::from)?;
         let v = crate::stability::decode_vmap(&mut r).map_err(LcmError::from)?;
         let snapshot = r.get_bytes().map_err(LcmError::from)?.to_vec();
         r.finish().map_err(LcmError::from)?;
@@ -1561,6 +1763,7 @@ impl<F: Functionality> TrustedContext<F> {
         self.stable_floor = stable_floor;
         self.quorum = quorum;
         self.identity = Some(identity);
+        self.table = table;
         self.v = v;
         self.f.restore(&snapshot).map_err(LcmError::from)?;
         match latest_entry(&self.v) {
@@ -1574,6 +1777,216 @@ impl<F: Functionality> TrustedContext<F> {
             }
         }
         self.phase = Phase::Ready;
+        self.persist_blobs()
+    }
+
+    /// Exports one routing slice to shard `to` while *both* shards keep
+    /// running — the live half of heat-aware rebalancing, in contrast
+    /// to [`TrustedContext::export_migration`] which moves a whole
+    /// shard and stops it.
+    ///
+    /// The exporting enclave extracts the slice's partition of the
+    /// service state, advances its table to the epoch-bumped assignment
+    /// (so it redirects rather than executes the slice's wires from
+    /// this point on), and seals two artifacts for the host to carry:
+    /// a *ticket* only the adopting shard can apply and a *bulletin*
+    /// every bystander shard adopts. Client history (`V`) does not
+    /// travel — each shard keeps its own sequence space, and clients
+    /// re-pin per-shard contexts when they chase the redirect.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Tee`] — no migration channel, the slice is not
+    ///   owned here, the destination is out of range, or the
+    ///   functionality does not support partition extraction. The
+    ///   context state is unchanged (host bugs, not attacks).
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn export_slice(&mut self, slice: u32, to: u32) -> Result<SliceExport> {
+        self.require_ready()?;
+        let channel_key = self
+            .services
+            .migration_key()
+            .ok_or_else(|| LcmError::Tee("platform has no migration channel".into()))?;
+        let identity = self.identity.expect("ready implies identity");
+        if slice >= crate::routing::SLICE_COUNT || self.table.owner(slice) != identity.index {
+            return Err(LcmError::Tee(format!(
+                "shard {} does not own slice {slice}",
+                identity.index
+            )));
+        }
+        let new_table = self
+            .table
+            .moved(slice, to)
+            .ok_or_else(|| LcmError::Tee(format!("invalid slice move {slice} -> {to}")))?;
+        // Extract the slice's partition of the service state. `None`
+        // means the functionality does not track partition keys — the
+        // default — and nothing has been mutated yet, so the error is
+        // clean.
+        let Some(partition) = self
+            .f
+            .take_partition(&|key| slice_of(crate::shard::route_hash(key)) == slice)
+        else {
+            return Err(LcmError::Tee(
+                "functionality does not support slice migration".into(),
+            ));
+        };
+        let old_epoch = self.table.epoch();
+        self.table = new_table;
+
+        let mut w = Writer::new();
+        identity.encode(&mut w);
+        w.put_u32(to);
+        w.put_u32(slice);
+        w.put_u64(old_epoch);
+        self.table.encode(&mut w);
+        w.put_bytes(&partition);
+        let channel = AeadKey::from_secret(&channel_key);
+        let nonce = self.next_nonce();
+        let ticket =
+            aead::auth_encrypt_with_nonce(&channel, &nonce, &w.into_bytes(), LABEL_SLICE_TICKET)
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
+
+        let mut w = Writer::new();
+        self.table.encode(&mut w);
+        let nonce = self.next_nonce();
+        let bulletin =
+            aead::auth_encrypt_with_nonce(&channel, &nonce, &w.into_bytes(), LABEL_SLICE_BULLETIN)
+                .map_err(|e| LcmError::Tee(e.to_string()))?;
+
+        // Slice moves always checkpoint: the exported keys vanish from
+        // this shard's state wholesale, which a dirty-set delta cannot
+        // express against an arbitrary baseline.
+        let blobs = self.persist_blobs()?;
+        Ok(SliceExport {
+            ticket,
+            bulletin,
+            blobs,
+        })
+    }
+
+    /// Adopts one routing slice exported by a sibling shard via
+    /// [`TrustedContext::export_slice`]: validates the sealed ticket,
+    /// installs the slice's partition of the service state, and
+    /// advances to the epoch-bumped table.
+    ///
+    /// Replaying a ticket is harmless: once this shard sits at the
+    /// bumped epoch the ticket's `old_epoch` no longer matches and the
+    /// import is refused without any state change — which is exactly
+    /// what makes crash-retry of a half-done migration safe.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — the ticket failed authentication or
+    ///   names a different destination shard (a misdelivered ticket is
+    ///   host misbehaviour); the context halts.
+    /// * [`LcmError::Tee`] — epoch mismatch (stale or premature
+    ///   ticket) or a deployment-shape mismatch; state unchanged.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn import_slice(&mut self, ticket: &[u8]) -> Result<PersistBlobs> {
+        self.require_ready()?;
+        let channel_key = self
+            .services
+            .migration_key()
+            .ok_or_else(|| LcmError::Tee("platform has no migration channel".into()))?;
+        let channel = AeadKey::from_secret(&channel_key);
+        let plain = aead::auth_decrypt(&channel, ticket, LABEL_SLICE_TICKET)
+            .map_err(|_| self.halt(Violation::BadAuthentication))?;
+        let mut r = Reader::new(&plain);
+        let decoded = (|| -> std::result::Result<_, crate::codec::CodecError> {
+            let exporter = ShardIdentity::decode(&mut r)?;
+            let to = r.get_u32()?;
+            let slice = r.get_u32()?;
+            let old_epoch = r.get_u64()?;
+            let table = SliceTable::decode(&mut r)?;
+            let partition = r.get_bytes()?.to_vec();
+            r.finish()?;
+            Ok((exporter, to, slice, old_epoch, table, partition))
+        })();
+        let Ok((exporter, to, slice, old_epoch, table, partition)) = decoded else {
+            return Err(self.halt(Violation::BadAuthentication));
+        };
+        let identity = self.identity.expect("ready implies identity");
+        if to != identity.index {
+            // An intact ticket delivered to the wrong shard: the host
+            // redirected it, exactly like a misdelivered wire.
+            let shard_epoch = self.table.epoch();
+            return Err(self.halt(Violation::WrongShard {
+                client: ClientId(0),
+                delivered_to: identity.index,
+                owner: to,
+                wire_epoch: table.epoch(),
+                shard_epoch,
+            }));
+        }
+        if exporter.count != identity.count || table.count() != identity.count {
+            return Err(LcmError::Tee(
+                "slice ticket from a different deployment shape".into(),
+            ));
+        }
+        if old_epoch != self.table.epoch() {
+            return Err(LcmError::Tee(format!(
+                "slice ticket for epoch {old_epoch} does not apply at epoch {}",
+                self.table.epoch()
+            )));
+        }
+        if table.owner(slice) != identity.index {
+            return Err(LcmError::Tee(format!(
+                "slice ticket assigns slice {slice} to shard {} not {}",
+                table.owner(slice),
+                identity.index
+            )));
+        }
+        self.f.apply_partition(&partition).map_err(LcmError::from)?;
+        self.table = table;
+        self.persist_blobs()
+    }
+
+    /// Adopts an epoch-bumped slice table announced by a sibling's
+    /// [`TrustedContext::export_slice`] bulletin, so this bystander
+    /// shard judges wires against the same routing epoch as the pair
+    /// that moved the slice. A bulletin at or below the current epoch
+    /// is a harmless replay and changes nothing.
+    ///
+    /// # Errors
+    ///
+    /// * [`LcmError::Violation`] — the bulletin failed authentication;
+    ///   the context halts.
+    /// * [`LcmError::Tee`] — the bulletin skips epochs or names a
+    ///   different deployment shape; state unchanged.
+    /// * [`LcmError::NotProvisioned`] / [`LcmError::Halted`] — wrong
+    ///   phase.
+    pub fn adopt_table(&mut self, bulletin: &[u8]) -> Result<PersistBlobs> {
+        self.require_ready()?;
+        let channel_key = self
+            .services
+            .migration_key()
+            .ok_or_else(|| LcmError::Tee("platform has no migration channel".into()))?;
+        let channel = AeadKey::from_secret(&channel_key);
+        let plain = aead::auth_decrypt(&channel, bulletin, LABEL_SLICE_BULLETIN)
+            .map_err(|_| self.halt(Violation::BadAuthentication))?;
+        let table = match SliceTable::from_bytes(&plain) {
+            Ok(t) => t,
+            Err(_) => return Err(self.halt(Violation::BadAuthentication)),
+        };
+        let identity = self.identity.expect("ready implies identity");
+        if table.epoch() <= self.table.epoch() {
+            return self.persist_blobs();
+        }
+        if table.count() != identity.count {
+            return Err(LcmError::Tee(
+                "slice-table bulletin from a different deployment shape".into(),
+            ));
+        }
+        if table.epoch() != self.table.epoch() + 1 {
+            return Err(LcmError::Tee(format!(
+                "slice-table bulletin skips epochs ({} -> {})",
+                self.table.epoch(),
+                table.epoch()
+            )));
+        }
+        self.table = table;
         self.persist_blobs()
     }
 
@@ -1660,11 +2073,12 @@ mod tests {
             client: msg.client,
             route,
             seq: msg.tc.0,
+            epoch: 0,
         };
         let ct = aead::auth_encrypt(
             &client_key(),
             &msg.to_bytes(),
-            &invoke_aad(msg.client, route, msg.tc.0),
+            &invoke_aad(msg.client, route, msg.tc.0, 0),
         )
         .unwrap();
         let mut wire = Vec::with_capacity(crate::wire::ROUTE_HINT_LEN + ct.len());
@@ -1675,8 +2089,8 @@ mod tests {
 
     fn decrypt_reply(wire: &[u8], client: u32) -> ReplyMsg {
         let route = crate::shard::route_for(ClientId(client), None);
-        let plain =
-            aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client), route)).unwrap();
+        let plain = aead::auth_decrypt(&client_key(), wire, &reply_aad(ClientId(client), route, 0))
+            .unwrap();
         ReplyMsg::from_bytes(&plain).unwrap()
     }
 
@@ -2222,11 +2636,12 @@ mod tests {
             client: ClientId(1),
             route: lying_route,
             seq: 0,
+            epoch: 0,
         };
         let ct = aead::auth_encrypt(
             &client_key(),
             &msg.to_bytes(),
-            &invoke_aad(ClientId(1), lying_route, 0),
+            &invoke_aad(ClientId(1), lying_route, 0, 0),
         )
         .unwrap();
         let mut wire = Vec::new();

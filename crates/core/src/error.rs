@@ -38,20 +38,27 @@ pub enum Violation {
     },
     /// A reply arrived with no operation pending at this client.
     UnexpectedReply,
-    /// An intact INVOKE wire reached an enclave whose attested shard
-    /// identity does not own it: either the authenticated routing
+    /// An intact INVOKE wire reached an enclave that does not own it
+    /// under the routing slice table: either the authenticated routing
     /// envelope maps to a different shard (the host redirected the
     /// wire), or the route recomputed from the decrypted operation's
     /// partition key does (the sender's envelope lies about its own
-    /// operation). Detected by the enclave itself, with no client
-    /// history required.
+    /// operation), or the wire is stamped with a routing epoch *newer*
+    /// than the enclave's own table — the signature of an enclave
+    /// rolled back past a slice migration. Detected by the enclave
+    /// itself, with no client history required.
     WrongShard {
         /// The invoking client.
         client: ClientId,
         /// The attested identity of the enclave that received the wire.
         delivered_to: u32,
-        /// The shard the operation actually maps to.
+        /// The shard the operation actually maps to (under the
+        /// enclave's current table).
         owner: u32,
+        /// The routing epoch the wire's envelope was stamped with.
+        wire_epoch: u64,
+        /// The routing epoch of the enclave's own slice table.
+        shard_epoch: u64,
     },
     /// A verified-read leg carried an operation that is not read-only:
     /// the host (or a forged sender) tried to smuggle a mutation past
@@ -88,10 +95,13 @@ impl fmt::Display for Violation {
                 client,
                 delivered_to,
                 owner,
+                wire_epoch,
+                shard_epoch,
             } => write!(
                 f,
                 "operation of {client} maps to shard {owner} but was delivered to \
-                 shard {delivered_to} (misdirected wire)"
+                 shard {delivered_to} (wire routing epoch {wire_epoch}, shard table \
+                 epoch {shard_epoch}: misdirected wire or rolled-back enclave)"
             ),
             Violation::MutationOnReadPath { client } => write!(
                 f,

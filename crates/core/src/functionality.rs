@@ -91,6 +91,44 @@ pub trait Functionality: Default + Send {
         Err(CodecError::InvalidTag(0xff))
     }
 
+    /// Extracts **and removes** the subset of the state whose
+    /// partition keys satisfy `belongs`, serialized for
+    /// [`Functionality::apply_partition`] on another instance — the
+    /// state-transfer half of a live slice migration
+    /// ([`crate::context::TrustedContext::export_slice`]).
+    ///
+    /// `belongs` is called with the same byte strings
+    /// [`Functionality::shard_key`] exposes for routing, so the
+    /// extracted partition is exactly the state the routing slice
+    /// covers. Implementations must also drop the removed entries from
+    /// any delta dirty-tracking (the exporting context checkpoints
+    /// immediately, but the tracking must not resurrect them).
+    ///
+    /// The default returns `None` — "this functionality cannot be
+    /// partitioned" — without touching the state, and slice migration
+    /// fails cleanly for such services. Supporting implementations
+    /// return `Some` even when no entry matches.
+    fn take_partition(&mut self, belongs: &dyn Fn(&[u8]) -> bool) -> Option<Vec<u8>> {
+        let _ = belongs;
+        None
+    }
+
+    /// Installs a partition produced by
+    /// [`Functionality::take_partition`] on another instance, merging
+    /// it into the current state (the adopted keys are disjoint from
+    /// the local ones by the routing invariant).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the partition is malformed or the
+    /// functionality does not support partitions (the default). Like a
+    /// malformed snapshot this can only result from a bug: partitions
+    /// travel in sealed, authenticated tickets.
+    fn apply_partition(&mut self, partition: &[u8]) -> Result<(), CodecError> {
+        let _ = partition;
+        Err(CodecError::InvalidTag(0xfe))
+    }
+
     /// Whether an *encoded* operation is a pure read.
     ///
     /// Contract: if this returns `true`, [`Functionality::exec`] on
@@ -173,7 +211,22 @@ impl Functionality for AppendLog {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counter {
     counters: std::collections::BTreeMap<Vec<u8>, u64>,
+    dirty: DirtyNames,
 }
+
+/// Names incremented since the last delta baseline. Wrapped so it
+/// stays out of `Eq`: two counters with the same values are the same
+/// state regardless of what a host has or has not persisted yet.
+#[derive(Debug, Clone, Default)]
+struct DirtyNames(std::collections::BTreeSet<Vec<u8>>);
+
+impl PartialEq for DirtyNames {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for DirtyNames {}
 
 /// Tag byte of a [`Counter`] increment operation.
 pub const COUNTER_OP_INC: u8 = 0x01;
@@ -218,6 +271,7 @@ impl Functionality for Counter {
                     let name = r.get_bytes()?.to_vec();
                     let delta = r.get_u64()?;
                     r.finish()?;
+                    self.dirty.0.insert(name.clone());
                     let slot = self.counters.entry(name).or_insert(0);
                     *slot = slot.wrapping_add(delta);
                     Ok(*slot)
@@ -271,11 +325,83 @@ impl Functionality for Counter {
         }
         r.finish()?;
         self.counters = counters;
+        self.dirty.0.clear();
         Ok(())
     }
 
     fn heap_bytes(&self) -> usize {
         self.counters.keys().map(|k| k.len() + 8 + 32).sum()
+    }
+
+    /// A counter delta is upserts-only: `count ‖ (name ‖ value)*`,
+    /// carrying the *absolute* value of every name incremented since
+    /// the baseline. No tombstones are needed — normal operation never
+    /// deletes a counter, and the one path that does
+    /// ([`Functionality::take_partition`]) both clears the removed
+    /// names from the dirty set and is followed by a full checkpoint,
+    /// so no delta taken afterwards can mention them.
+    fn take_delta(&mut self) -> Option<Vec<u8>> {
+        let mut w = crate::codec::Writer::new();
+        w.put_u32(self.dirty.0.len() as u32);
+        for name in std::mem::take(&mut self.dirty.0) {
+            let value = self.counters.get(&name).copied().unwrap_or(0);
+            w.put_bytes(&name);
+            w.put_u64(value);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn apply_delta(&mut self, delta: &[u8]) -> Result<(), CodecError> {
+        let mut r = crate::codec::Reader::new(delta);
+        let n = r.get_u32()? as usize;
+        // Decode fully before mutating, so a malformed delta leaves
+        // the state untouched.
+        let mut upserts = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let name = r.get_bytes()?.to_vec();
+            let value = r.get_u64()?;
+            upserts.push((name, value));
+        }
+        r.finish()?;
+        for (name, value) in upserts {
+            self.counters.insert(name, value);
+        }
+        Ok(())
+    }
+
+    fn take_partition(&mut self, belongs: &dyn Fn(&[u8]) -> bool) -> Option<Vec<u8>> {
+        let names: Vec<Vec<u8>> = self
+            .counters
+            .keys()
+            .filter(|name| belongs(name))
+            .cloned()
+            .collect();
+        let mut w = crate::codec::Writer::new();
+        w.put_u32(names.len() as u32);
+        for name in names {
+            let value = self.counters.remove(&name).expect("collected above");
+            self.dirty.0.remove(&name);
+            w.put_bytes(&name);
+            w.put_u64(value);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn apply_partition(&mut self, partition: &[u8]) -> Result<(), CodecError> {
+        let mut r = crate::codec::Reader::new(partition);
+        let n = r.get_u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let name = r.get_bytes()?.to_vec();
+            let value = r.get_u64()?;
+            entries.push((name, value));
+        }
+        r.finish()?;
+        for (name, value) in entries {
+            self.dirty.0.insert(name.clone());
+            self.counters.insert(name, value);
+        }
+        Ok(())
     }
 }
 
@@ -372,6 +498,60 @@ mod tests {
         assert!(!Counter::is_readonly(&[]));
         // The default classification is conservative.
         assert!(!AppendLog::is_readonly(b"anything"));
+    }
+
+    #[test]
+    fn counter_delta_reproduces_state() {
+        let mut c = Counter::default();
+        c.exec(&Counter::inc_op(b"a", 1));
+        c.exec(&Counter::inc_op(b"b", 7));
+        let baseline = c.snapshot();
+        let first = c.take_delta().expect("counters track changes");
+
+        c.exec(&Counter::inc_op(b"b", 2));
+        c.exec(&Counter::inc_op(b"c", 5));
+        let delta = c.take_delta().unwrap();
+
+        let mut replica = Counter::default();
+        replica.restore(&baseline).unwrap();
+        replica.apply_delta(&delta).unwrap();
+        assert_eq!(replica, c);
+        // The baseline delta drained the dirty set: it only carries
+        // names touched before the snapshot.
+        let mut r = crate::codec::Reader::new(&first);
+        assert_eq!(r.get_u32().unwrap(), 2);
+    }
+
+    #[test]
+    fn counter_delta_is_drained_and_empty_when_clean() {
+        let mut c = Counter::default();
+        c.exec(&Counter::inc_op(b"a", 1));
+        assert!(!c.take_delta().unwrap().is_empty());
+        let clean = c.take_delta().unwrap();
+        let mut r = crate::codec::Reader::new(&clean);
+        assert_eq!(r.get_u32().unwrap(), 0);
+        assert!(Counter::default().apply_delta(&[0xff]).is_err());
+    }
+
+    #[test]
+    fn counter_partition_moves_matching_names() {
+        let mut c = Counter::default();
+        c.exec(&Counter::inc_op(b"apple", 3));
+        c.exec(&Counter::inc_op(b"banana", 4));
+        let part = c
+            .take_partition(&|name| name.starts_with(b"a"))
+            .expect("counters support partitions");
+        assert_eq!(c.value(b"apple"), 0);
+        assert_eq!(c.value(b"banana"), 4);
+
+        let mut target = Counter::default();
+        target.exec(&Counter::inc_op(b"cherry", 1));
+        target.apply_partition(&part).unwrap();
+        assert_eq!(target.value(b"apple"), 3);
+        assert_eq!(target.value(b"cherry"), 1);
+        assert!(Counter::default().apply_partition(&[0xff]).is_err());
+        // The default implementation reports "unsupported".
+        assert!(AppendLog::default().take_partition(&|_| true).is_none());
     }
 
     #[test]

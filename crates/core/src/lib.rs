@@ -47,6 +47,10 @@
 //!   [`shard::ShardedServer`] runs N server instances behind a
 //!   key-partitioned router so stage 2 (execute + seal) parallelizes
 //!   across enclaves.
+//! * [`routing`] — the epoch-versioned slice table behind that
+//!   router: an attested, rebalanceable key→shard map whose epoch is
+//!   bound into every wire's AEAD so stale or malicious routes stay
+//!   detectable in-enclave.
 //! * [`replica`] — replicated shard groups:
 //!   [`replica::ReplicaGroup`] runs one shard as 2f+1 replicas with
 //!   quorum-gated reply release, crash failover, and follower-served
@@ -75,6 +79,7 @@ pub mod functionality;
 pub mod pipeline;
 pub mod program;
 pub mod replica;
+pub mod routing;
 pub mod server;
 pub mod shard;
 pub mod stability;

@@ -364,6 +364,21 @@ impl<F: Functionality> BatchServer for PipelinedServer<F> {
         self.flush()?;
         self.inner.import_migration_as(ticket, replica, replicas)
     }
+    fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        // The export's checkpoint supersedes everything queued behind
+        // the writer; drain first so storage cannot end up with a
+        // stale post-export blob.
+        self.flush()?;
+        self.inner.export_slice(slice, to)
+    }
+    fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        self.flush()?;
+        self.inner.import_slice(ticket)
+    }
+    fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        self.flush()?;
+        self.inner.adopt_table(bulletin)
+    }
 }
 
 #[cfg(test)]

@@ -21,18 +21,24 @@ use crate::{LcmError, Violation};
 
 /// Name under which LCM programs are measured.
 pub const PROGRAM_NAME: &str = "lcm";
-/// Version string folded into the measurement. Version 4 adds
-/// incremental persistence: every sealed blob carries a storage-facing
-/// kind byte, per-batch persists may emit anchor-chained delta blobs
-/// instead of whole-state checkpoints, and `init` accepts delta-log
-/// recovery bundles (see [`lcm_storage::DeltaLogStorage`]). Version 3
-/// was the replicated-shard-group protocol: identities carry `(shard,
+/// Version string folded into the measurement. Version 5 introduces
+/// epoch-versioned routing: the enclave holds a
+/// [`crate::routing::SliceTable`], every wire envelope and AAD carries
+/// the sender's routing epoch, and three new ecalls move slices
+/// between live enclaves ([`HostCall::ExportSlice`],
+/// [`HostCall::ImportSlice`], [`HostCall::AdoptTable`]). Version 4
+/// added incremental persistence: every sealed blob carries a
+/// storage-facing kind byte, per-batch persists may emit
+/// anchor-chained delta blobs instead of whole-state checkpoints, and
+/// `init` accepts delta-log recovery bundles (see
+/// [`lcm_storage::DeltaLogStorage`]). Version 3 was the
+/// replicated-shard-group protocol: identities carry `(shard,
 /// replica)` coordinates, the enclave installs sibling state blobs
 /// ([`HostCall::ApplyReplica`]) and serves replica-pinned verified
 /// reads ([`HostCall::ServeRead`]). Version 2 introduced the shard
 /// identity binding into attestation reports; version 1 was
 /// identity-less. Each is distinguishable by measurement.
-pub const PROGRAM_VERSION: &str = "4";
+pub const PROGRAM_VERSION: &str = "5";
 
 /// The LCM measurement: identical for every `LcmProgram<F>` so that the
 /// sealing key survives restarts of the same service.
@@ -90,6 +96,21 @@ pub enum HostCall {
         /// Size of the target group.
         replicas: u32,
     },
+    /// Export one routing slice to another shard (origin side of a
+    /// live slice migration; see
+    /// [`crate::context::TrustedContext::export_slice`]).
+    ExportSlice {
+        /// The slice index to move.
+        slice: u32,
+        /// The shard index taking ownership.
+        to: u32,
+    },
+    /// Import a sealed slice ticket (target side of a live slice
+    /// migration).
+    ImportSlice(Vec<u8>),
+    /// Adopt the sealed routing-table bulletin of a completed slice
+    /// migration on a bystander shard.
+    AdoptTable(Vec<u8>),
 }
 
 const CALL_INIT: u8 = 1;
@@ -102,6 +123,9 @@ const CALL_IMPORT_MIG: u8 = 7;
 const CALL_APPLY_REPLICA: u8 = 8;
 const CALL_SERVE_READ: u8 = 9;
 const CALL_IMPORT_MIG_AS: u8 = 10;
+const CALL_EXPORT_SLICE: u8 = 11;
+const CALL_IMPORT_SLICE: u8 = 12;
+const CALL_ADOPT_TABLE: u8 = 13;
 
 impl WireCodec for HostCall {
     fn encode(&self, w: &mut Writer) {
@@ -152,6 +176,19 @@ impl WireCodec for HostCall {
                 w.put_u32(*replica);
                 w.put_u32(*replicas);
             }
+            HostCall::ExportSlice { slice, to } => {
+                w.put_u8(CALL_EXPORT_SLICE);
+                w.put_u32(*slice);
+                w.put_u32(*to);
+            }
+            HostCall::ImportSlice(ticket) => {
+                w.put_u8(CALL_IMPORT_SLICE);
+                w.put_bytes(ticket);
+            }
+            HostCall::AdoptTable(bulletin) => {
+                w.put_u8(CALL_ADOPT_TABLE);
+                w.put_bytes(bulletin);
+            }
         }
     }
 
@@ -182,6 +219,12 @@ impl WireCodec for HostCall {
                 replica: r.get_u32()?,
                 replicas: r.get_u32()?,
             }),
+            CALL_EXPORT_SLICE => Ok(HostCall::ExportSlice {
+                slice: r.get_u32()?,
+                to: r.get_u32()?,
+            }),
+            CALL_IMPORT_SLICE => Ok(HostCall::ImportSlice(r.get_bytes()?.to_vec())),
+            CALL_ADOPT_TABLE => Ok(HostCall::AdoptTable(r.get_bytes()?.to_vec())),
             other => Err(CodecError::InvalidTag(other)),
         }
     }
@@ -227,6 +270,17 @@ pub enum HostReply {
     },
     /// A verified read leg was served; the encrypted read reply.
     ReadOk(Vec<u8>),
+    /// A routing slice was exported (origin side of a live slice
+    /// migration).
+    SliceExported {
+        /// Sealed slice ticket for the target shard.
+        ticket: Vec<u8>,
+        /// Sealed table bulletin for bystander shards.
+        bulletin: Vec<u8>,
+        /// The origin's re-sealed blobs to persist (full checkpoint;
+        /// the moved keys are already gone from it).
+        blobs: PersistBlobs,
+    },
     /// The call failed. The context may now be halted.
     Err(ReplyError),
 }
@@ -293,6 +347,7 @@ const REPLY_MIG: u8 = 6;
 const REPLY_ERR: u8 = 7;
 const REPLY_APPLY: u8 = 8;
 const REPLY_READ: u8 = 9;
+const REPLY_SLICE_EXPORTED: u8 = 10;
 
 fn encode_blobs(w: &mut Writer, blobs: &PersistBlobs) {
     w.put_bytes(&blobs.key_blob);
@@ -366,6 +421,16 @@ impl WireCodec for HostReply {
                 w.put_u8(REPLY_READ);
                 w.put_bytes(reply);
             }
+            HostReply::SliceExported {
+                ticket,
+                bulletin,
+                blobs,
+            } => {
+                w.put_u8(REPLY_SLICE_EXPORTED);
+                w.put_bytes(ticket);
+                w.put_bytes(bulletin);
+                encode_blobs(w, blobs);
+            }
             HostReply::Err(e) => {
                 w.put_u8(REPLY_ERR);
                 w.put_u8(e.code);
@@ -403,6 +468,11 @@ impl WireCodec for HostReply {
                 blobs: decode_blobs(r)?,
             }),
             REPLY_READ => Ok(HostReply::ReadOk(r.get_bytes()?.to_vec())),
+            REPLY_SLICE_EXPORTED => Ok(HostReply::SliceExported {
+                ticket: r.get_bytes()?.to_vec(),
+                bulletin: r.get_bytes()?.to_vec(),
+                blobs: decode_blobs(r)?,
+            }),
             REPLY_ERR => Ok(HostReply::Err(ReplyError {
                 code: r.get_u8()?,
                 message: r.get_str()?.to_owned(),
@@ -503,6 +573,22 @@ impl<F: Functionality> LcmProgram<F> {
                 Ok(blobs) => HostReply::ProvisionOk(blobs),
                 Err(e) => HostReply::Err((&e).into()),
             },
+            HostCall::ExportSlice { slice, to } => match self.context.export_slice(slice, to) {
+                Ok(export) => HostReply::SliceExported {
+                    ticket: export.ticket,
+                    bulletin: export.bulletin,
+                    blobs: export.blobs,
+                },
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::ImportSlice(ticket) => match self.context.import_slice(&ticket) {
+                Ok(blobs) => HostReply::ProvisionOk(blobs),
+                Err(e) => HostReply::Err((&e).into()),
+            },
+            HostCall::AdoptTable(bulletin) => match self.context.adopt_table(&bulletin) {
+                Ok(blobs) => HostReply::ProvisionOk(blobs),
+                Err(e) => HostReply::Err((&e).into()),
+            },
         }
     }
 }
@@ -555,6 +641,9 @@ mod tests {
                 replica: 2,
                 replicas: 3,
             },
+            HostCall::ExportSlice { slice: 17, to: 3 },
+            HostCall::ImportSlice(b"slice-ticket".to_vec()),
+            HostCall::AdoptTable(b"bulletin".to_vec()),
         ];
         for call in calls {
             assert_eq!(HostCall::from_bytes(&call.to_bytes()).unwrap(), call);
@@ -590,6 +679,14 @@ mod tests {
                 },
             },
             HostReply::ReadOk(b"read-reply".to_vec()),
+            HostReply::SliceExported {
+                ticket: b"ticket".to_vec(),
+                bulletin: b"bulletin".to_vec(),
+                blobs: PersistBlobs {
+                    key_blob: b"kb".to_vec(),
+                    state_blob: b"sb".to_vec(),
+                },
+            },
             HostReply::Err(ReplyError {
                 code: ERR_VIOLATION,
                 message: "boom".to_owned(),

@@ -536,6 +536,47 @@ impl BatchServer for ReplicaGroup {
         Self::lock(&member.server).import_migration_as(ticket, replica, replicas)
     }
 
+    fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        self.ensure_leader()?;
+        let leader = self.leader;
+        let pair = {
+            let mut server = Self::lock(&self.members[leader].server);
+            let pair = server.export_slice(slice, to)?;
+            server.flush_persists()?;
+            pair
+        };
+        // The post-export checkpoint (bumped table, moved keys gone)
+        // ships to every follower so a failover cannot resurrect the
+        // slice under the old epoch.
+        self.epoch += 1;
+        self.replicate()?;
+        Ok(pair)
+    }
+
+    fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        self.ensure_leader()?;
+        let leader = self.leader;
+        {
+            let mut server = Self::lock(&self.members[leader].server);
+            server.import_slice(ticket)?;
+            server.flush_persists()?;
+        }
+        self.epoch += 1;
+        self.replicate()
+    }
+
+    fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        self.ensure_leader()?;
+        let leader = self.leader;
+        {
+            let mut server = Self::lock(&self.members[leader].server);
+            server.adopt_table(bulletin)?;
+            server.flush_persists()?;
+        }
+        self.epoch += 1;
+        self.replicate()
+    }
+
     fn batches_processed(&self) -> u64 {
         self.members
             .iter()
@@ -772,6 +813,7 @@ mod tests {
             route: 0,
             seq: 1,
             replica: 9,
+            epoch: 0,
         }
         .encode_to(&mut wire);
         wire.extend_from_slice(b"ciphertext");

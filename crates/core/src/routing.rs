@@ -1,0 +1,262 @@
+//! Epoch-versioned slice routing: the dynamic key→shard map.
+//!
+//! The static router (`shard_index(route, count)` in [`crate::shard`])
+//! fixes every key's shard for the lifetime of the deployment, so a
+//! skewed workload pins its whole hot set to one enclave and the
+//! deployment scales no further. This module replaces that with a
+//! **slice table**: the 32-bit route-hash space is folded into
+//! [`SLICE_COUNT`] slices (`route % SLICE_COUNT`), and an explicit
+//! epoch-stamped assignment maps each slice to a shard. Rebalancing is
+//! then a *slice move*: a new table differing in one slice, with the
+//! epoch incremented.
+//!
+//! The table is trusted state. Every enclave of a deployment holds a
+//! copy inside its [`crate::context::TrustedContext`] (installed at
+//! provisioning, updated only by the attested slice-migration ecalls,
+//! persisted inside the sealed checkpoint), and every wire envelope
+//! carries the epoch the sender routed under, bound into the AEAD
+//! associated data. That gives the enclave a three-way decision on an
+//! authenticated wire it does not own:
+//!
+//! * **same epoch** — the host misdelivered (or the sender's envelope
+//!   lies about its own operation): [`crate::Violation::WrongShard`].
+//! * **wire epoch newer than the enclave's** — the enclave has been
+//!   rolled back past a slice migration (or was forked off before
+//!   one): also [`crate::Violation::WrongShard`]. This is the
+//!   rollback-detection hook that makes *live* rebalancing safe under
+//!   the paper's threat model.
+//! * **wire epoch older** — an honest in-flight message that raced a
+//!   migration: the enclave answers with an authenticated *redirect*
+//!   carrying the current table so the client can re-route.
+//!
+//! Genesis compatibility: [`SliceTable::uniform`]`(n)` assigns slice
+//! `s` to shard `s % n`, which for every shard count dividing
+//! [`SLICE_COUNT`] is exactly the static map `route % n`. Deployments
+//! that never migrate a slice behave bit-for-bit as before.
+
+use crate::codec::{CodecError, Reader, WireCodec, Writer};
+
+/// Number of routing slices the 32-bit route-hash space folds into.
+///
+/// A power of two so that `uniform(n)` coincides with the legacy
+/// `route % n` router for every power-of-two shard count up to 64 —
+/// and the migration granularity: a deployment of `n` shards has
+/// `64 / n` independently movable slices per shard.
+pub const SLICE_COUNT: u32 = 64;
+
+/// The slice a route hash falls into.
+pub fn slice_of(route: u32) -> u32 {
+    route % SLICE_COUNT
+}
+
+/// An epoch-stamped assignment of the [`SLICE_COUNT`] routing slices
+/// to the shards of one deployment.
+///
+/// Immutable by design: a migration produces a *new* table via
+/// [`SliceTable::moved`] with the epoch incremented, so every version
+/// that ever routed traffic stays addressable by its epoch (the host
+/// side of [`crate::shard::ShardedServer`] keeps the history to route
+/// in-flight wires).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceTable {
+    epoch: u64,
+    count: u32,
+    assign: Vec<u32>,
+}
+
+impl SliceTable {
+    /// The genesis table of an `count`-shard deployment: slice `s` on
+    /// shard `s % count`, epoch 0. Equals the legacy static router
+    /// `route % count` whenever `count` divides [`SLICE_COUNT`].
+    pub fn uniform(count: u32) -> Self {
+        let count = count.max(1);
+        SliceTable {
+            epoch: 0,
+            count,
+            assign: (0..SLICE_COUNT).map(|s| s % count).collect(),
+        }
+    }
+
+    /// The table's epoch (0 for genesis; +1 per slice move).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards this table assigns slices over.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The shard that owns `slice`.
+    pub fn owner(&self, slice: u32) -> u32 {
+        self.assign[(slice % SLICE_COUNT) as usize]
+    }
+
+    /// The shard a route hash maps to under this table.
+    pub fn shard_of(&self, route: u32) -> u32 {
+        self.owner(slice_of(route))
+    }
+
+    /// Whether `shard` owns `route` under this table.
+    pub fn owns(&self, shard: u32, route: u32) -> bool {
+        self.shard_of(route) == shard
+    }
+
+    /// The slices assigned to `shard`.
+    pub fn slices_of(&self, shard: u32) -> Vec<u32> {
+        (0..SLICE_COUNT)
+            .filter(|&s| self.owner(s) == shard)
+            .collect()
+    }
+
+    /// The successor table with `slice` reassigned to shard `to` and
+    /// the epoch incremented. `None` when `slice` or `to` is out of
+    /// range, or when `to` already owns the slice (a no-op move must
+    /// not burn an epoch).
+    pub fn moved(&self, slice: u32, to: u32) -> Option<SliceTable> {
+        if slice >= SLICE_COUNT || to >= self.count || self.owner(slice) == to {
+            return None;
+        }
+        let mut assign = self.assign.clone();
+        assign[slice as usize] = to;
+        Some(SliceTable {
+            epoch: self.epoch + 1,
+            count: self.count,
+            assign,
+        })
+    }
+}
+
+impl WireCodec for SliceTable {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_u32(self.count);
+        for &shard in &self.assign {
+            w.put_u32(shard);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let epoch = r.get_u64()?;
+        let count = r.get_u32()?;
+        if count == 0 {
+            return Err(CodecError::InvalidTag(0));
+        }
+        let mut assign = Vec::with_capacity(SLICE_COUNT as usize);
+        for _ in 0..SLICE_COUNT {
+            let shard = r.get_u32()?;
+            if shard >= count {
+                return Err(CodecError::InvalidTag(1));
+            }
+            assign.push(shard);
+        }
+        Ok(SliceTable {
+            epoch,
+            count,
+            assign,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_legacy_static_router() {
+        // For every shard count dividing SLICE_COUNT the genesis table
+        // IS the legacy `route % count` map — deployments that never
+        // migrate behave bit-for-bit as before.
+        for count in [1u32, 2, 4, 8, 16, 32, 64] {
+            let table = SliceTable::uniform(count);
+            assert_eq!(table.epoch(), 0);
+            for route in [0u32, 1, 63, 64, 1000, 0xdead_beef, u32::MAX] {
+                assert_eq!(table.shard_of(route), route % count, "count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_every_shard() {
+        for count in [1u32, 2, 3, 4, 5, 8] {
+            let table = SliceTable::uniform(count);
+            for shard in 0..count {
+                assert!(
+                    !table.slices_of(shard).is_empty(),
+                    "shard {shard} of {count} owns no slice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moved_bumps_epoch_and_reassigns_exactly_one_slice() {
+        let t0 = SliceTable::uniform(4);
+        let t1 = t0.moved(0, 3).unwrap();
+        assert_eq!(t1.epoch(), 1);
+        assert_eq!(t1.owner(0), 3);
+        for s in 1..SLICE_COUNT {
+            assert_eq!(t1.owner(s), t0.owner(s), "slice {s} must not move");
+        }
+        // Total: every route still maps to exactly one in-range shard.
+        for route in 0..(4 * SLICE_COUNT) {
+            assert!(t1.shard_of(route) < t1.count());
+        }
+    }
+
+    #[test]
+    fn moved_rejects_out_of_range_and_noop() {
+        let t = SliceTable::uniform(4);
+        assert!(t.moved(SLICE_COUNT, 1).is_none(), "slice out of range");
+        assert!(t.moved(0, 4).is_none(), "target shard out of range");
+        assert!(t.moved(0, 0).is_none(), "no-op move must not burn an epoch");
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let t = SliceTable::uniform(8)
+            .moved(5, 0)
+            .unwrap()
+            .moved(13, 2)
+            .unwrap();
+        let decoded = SliceTable::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(decoded, t);
+        assert_eq!(decoded.epoch(), 2);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_tables() {
+        // Zero shard count.
+        let mut w = Writer::new();
+        w.put_u64(0);
+        w.put_u32(0);
+        for _ in 0..SLICE_COUNT {
+            w.put_u32(0);
+        }
+        assert!(SliceTable::from_bytes(&w.into_bytes()).is_err());
+        // Assignment out of range.
+        let mut w = Writer::new();
+        w.put_u64(0);
+        w.put_u32(2);
+        for _ in 0..SLICE_COUNT {
+            w.put_u32(7);
+        }
+        assert!(SliceTable::from_bytes(&w.into_bytes()).is_err());
+        // Truncated.
+        let bytes = SliceTable::uniform(2).to_bytes();
+        assert!(SliceTable::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn slices_of_partition_the_space() {
+        let t = SliceTable::uniform(4).moved(2, 0).unwrap();
+        let mut seen = vec![false; SLICE_COUNT as usize];
+        for shard in 0..t.count() {
+            for s in t.slices_of(shard) {
+                assert!(!seen[s as usize], "slice {s} owned twice");
+                seen[s as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every slice owned");
+    }
+}

@@ -367,6 +367,67 @@ impl<F: Functionality> LcmServer<F> {
         }
     }
 
+    /// Origin side of a live slice migration: the enclave extracts
+    /// routing slice `slice`, bumps its table to assign it to shard
+    /// `to`, and hands back `(ticket, bulletin)` — the sealed slice
+    /// ticket for the target and the sealed table bulletin for every
+    /// bystander shard. The re-sealed full checkpoint (already missing
+    /// the moved keys) is persisted here. See
+    /// [`crate::context::TrustedContext::export_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        let reply = self.call(HostCall::ExportSlice { slice, to })?;
+        match reply {
+            HostReply::SliceExported {
+                ticket,
+                bulletin,
+                blobs,
+            } => {
+                self.persist(&blobs)?;
+                Ok((ticket, bulletin))
+            }
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Target side of a live slice migration: the enclave validates
+    /// the sealed slice ticket, absorbs the keys, installs the bumped
+    /// table, and re-seals; the checkpoint is persisted here. See
+    /// [`crate::context::TrustedContext::import_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        let reply = self.call(HostCall::ImportSlice(ticket))?;
+        match reply {
+            HostReply::ProvisionOk(blobs) => self.persist(&blobs),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Bystander side of a live slice migration: the enclave adopts
+    /// the sealed table bulletin (idempotent for tables it already
+    /// has) and re-seals. See
+    /// [`crate::context::TrustedContext::adopt_table`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors.
+    pub fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        let reply = self.call(HostCall::AdoptTable(bulletin))?;
+        match reply {
+            HostReply::ProvisionOk(blobs) => self.persist(&blobs),
+            HostReply::Err(e) => Err(e.into_lcm_error()),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Serves a replica-pinned verified read leg against this server's
     /// enclave, returning the encrypted read reply. Reads mutate no
     /// protocol state and persist nothing. See
@@ -755,6 +816,82 @@ pub trait BatchServer: Send {
             )))
         }
     }
+
+    /// Origin side of a live slice migration on this lane's enclave:
+    /// returns the sealed `(ticket, bulletin)` pair. See
+    /// [`LcmServer::export_slice`]. Replicated lanes run this on the
+    /// leader and ship the post-export checkpoint to followers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; servers without the slice path
+    /// reject.
+    fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        let _ = (slice, to);
+        Err(LcmError::Tee(
+            "export_slice on a server without a slice-migration path".into(),
+        ))
+    }
+
+    /// Target side of a live slice migration on this lane's enclave.
+    /// See [`LcmServer::import_slice`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; servers without the slice path
+    /// reject.
+    fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        let _ = ticket;
+        Err(LcmError::Tee(
+            "import_slice on a server without a slice-migration path".into(),
+        ))
+    }
+
+    /// Bystander side of a live slice migration on this lane's
+    /// enclave. See [`LcmServer::adopt_table`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; servers without the slice path
+    /// reject.
+    fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        let _ = bulletin;
+        Err(LcmError::Tee(
+            "adopt_table on a server without a slice-migration path".into(),
+        ))
+    }
+
+    /// Moves one routing slice from its current owner shard to shard
+    /// `to` while both stay live, driving the export → import → adopt
+    /// handshake end to end (see
+    /// [`crate::shard::ShardedServer::migrate_slice`]). Servers
+    /// without a multi-shard topology reject: with one shard there is
+    /// nowhere to move a slice to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates context errors; single-enclave servers reject.
+    fn migrate_slice(&mut self, slice: u32, to: u32) -> Result<()> {
+        let _ = (slice, to);
+        Err(LcmError::Tee(
+            "migrate_slice on a server without a multi-shard topology".into(),
+        ))
+    }
+
+    /// The current routing epoch of the deployment as the host sees
+    /// it: the epoch of the newest slice table any shard has
+    /// installed. Static deployments stay at 0.
+    fn routing_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Per-slice operation counts observed by the host's routing
+    /// front-end since the last call, drained (heat telemetry for
+    /// rebalancing). Servers without a routing front-end report an
+    /// empty heat map.
+    fn take_slice_heat(&self) -> Vec<u64> {
+        Vec::new()
+    }
 }
 
 /// A thread-safe verified-read surface: reader threads serve
@@ -872,6 +1009,24 @@ impl<S: BatchServer + ?Sized> BatchServer for Box<S> {
     fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
         (**self).import_migration_as(ticket, replica, replicas)
     }
+    fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        (**self).export_slice(slice, to)
+    }
+    fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        (**self).import_slice(ticket)
+    }
+    fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        (**self).adopt_table(bulletin)
+    }
+    fn migrate_slice(&mut self, slice: u32, to: u32) -> Result<()> {
+        (**self).migrate_slice(slice, to)
+    }
+    fn routing_epoch(&self) -> u64 {
+        (**self).routing_epoch()
+    }
+    fn take_slice_heat(&self) -> Vec<u64> {
+        (**self).take_slice_heat()
+    }
 }
 
 impl<F: Functionality> BatchServer for LcmServer<F> {
@@ -928,6 +1083,15 @@ impl<F: Functionality> BatchServer for LcmServer<F> {
     }
     fn import_migration_as(&mut self, ticket: Vec<u8>, replica: u32, replicas: u32) -> Result<()> {
         LcmServer::import_migration_as(self, ticket, replica, replicas)
+    }
+    fn export_slice(&mut self, slice: u32, to: u32) -> Result<(Vec<u8>, Vec<u8>)> {
+        LcmServer::export_slice(self, slice, to)
+    }
+    fn import_slice(&mut self, ticket: Vec<u8>) -> Result<()> {
+        LcmServer::import_slice(self, ticket)
+    }
+    fn adopt_table(&mut self, bulletin: Vec<u8>) -> Result<()> {
+        LcmServer::adopt_table(self, bulletin)
     }
 }
 

@@ -11,21 +11,58 @@
 //! ```text
 //!                      ┌── ingress queue 0 ──▶ shard 0 (enclave + storage ns 0) ─┐
 //!  clients ──▶ router ─┼── ingress queue 1 ──▶ shard 1 (enclave + storage ns 1) ─┼─▶ ordered replies
-//!   (Hub)    route % N └── ingress queue … ──▶ shard …                           ┘   (per-client FIFO)
+//!   (Hub)  slice table └── ingress queue … ──▶ shard …                           ┘   (per-client FIFO)
 //! ```
 //!
-//! ## Routing
+//! ## Routing: the epoch-versioned slice table
 //!
 //! The host cannot decrypt requests, so the *client* attaches a stable
 //! route hash in a plaintext envelope ([`crate::wire::RouteHint`]),
 //! derived from [`crate::functionality::Functionality::shard_key`] of
 //! the plaintext operation (or from the client identity when the
-//! functionality is not key-partitionable). The envelope is bound into
-//! the AEAD associated data (invoke *and* reply), so a host that
-//! rewrites routing metadata — or swaps two of a client's concurrent
-//! replies — fails authentication. Routing is a pure function of
-//! `(route hash, shard count)` — [`shard_index`] — and therefore
-//! stable across reboots and migrations.
+//! functionality is not key-partitionable). The envelope — including
+//! the routing **epoch** the client stamped — is bound into the AEAD
+//! associated data (invoke *and* reply), so a host that rewrites
+//! routing metadata, replays a wire under a different epoch, or swaps
+//! two of a client's concurrent replies fails authentication.
+//!
+//! Routes no longer map to shards by a fixed `route % N`: the key
+//! space is cut into [`SLICE_COUNT`] **slices** (`route %
+//! SLICE_COUNT`), and an epoch-stamped [`SliceTable`] assigns each
+//! slice to a shard. Epoch 0 is the uniform table (equivalent to
+//! `route % N` for shard counts dividing the slice count); every
+//! [live slice migration](#live-slice-migration) derives the next
+//! epoch. Every party holds the table: each *enclave* carries it in
+//! its sealed checkpoint and recomputes ownership on every INVOKE,
+//! each *client* learns newer tables through authenticated redirect
+//! replies, and the *host* keeps the dense history so wires stamped
+//! with an old epoch still route to the shard that owned them when
+//! they were sent (that shard answers stale wires with a redirect; a
+//! host delivering by the newest table instead would scatter a slow
+//! client's in-flight wires across shards that never saw its chain).
+//!
+//! ## Live slice migration
+//!
+//! [`ShardedServer::rebalance_once`] (policy: [`plan_rebalance`] over
+//! drained per-slice heat counters) and [`BatchServer::migrate_slice`]
+//! (mechanism) move one slice between *running* enclaves:
+//!
+//! 1. the origin enclave exports the slice — a sealed **ticket**
+//!    (channel-key-encrypted slice state, addressed to the target's
+//!    identity) plus a **bulletin** (the new table, sealed for every
+//!    sibling) — and installs the next-epoch table itself;
+//! 2. every bystander shard adopts the bulletin;
+//! 3. the target imports the ticket (state + table in one step);
+//! 4. the host appends the new table to its routing history.
+//!
+//! The origin lane stays locked for the whole handshake so the new
+//! epoch cannot leak to clients (via redirect stamps) before every
+//! shard has installed it. A member crash mid-handshake leaves a
+//! [`ShardedServer::pending_slice_move`] that
+//! [`ShardedServer::resume_slice_migration`] retries after reboot —
+//! each enclave step is idempotent, and an origin crash-stopped
+//! *after* its export recovers the post-export checkpoint, so the
+//! moved slice can never resurrect under the old epoch.
 //!
 //! ## Attested shard identity
 //!
@@ -39,10 +76,15 @@
 //! * **Misdelivery is detected by the enclave itself.** On every
 //!   INVOKE the enclave checks that both the authenticated envelope
 //!   route *and* the route recomputed from the decrypted operation's
-//!   partition key map to its own identity; a host that delivers an
-//!   intact wire to the wrong shard trips
-//!   [`crate::Violation::WrongShard`] — even for a client's very
-//!   first operation on a shard, with no client history required.
+//!   partition key fall in its own slices under its installed table;
+//!   a host that delivers an intact current-epoch wire to the wrong
+//!   shard — or stamps an epoch *newer* than the shard's table, the
+//!   signature of an enclave rolled back past a migration — trips
+//!   [`crate::Violation::WrongShard`], even for a client's very first
+//!   operation on a shard, with no client history required. A wire
+//!   honestly stamped with an *older* epoch for a slice that has since
+//!   moved away gets an authenticated redirect carrying the newer
+//!   table instead.
 //! * **The whole deployment is attested, not a representative.**
 //!   [`crate::admin::AdminHandle::bootstrap`] attests every lane
 //!   before provisioning, injects each lane's identity, and then
@@ -91,7 +133,7 @@
 //! quiescence barrier waits on.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use lcm_crypto::sha256::Digest;
@@ -104,6 +146,7 @@ use lcm_tee::world::TeeWorld;
 use crate::admission::{AdmissionState, AdmitOutcome, RetryAfter, SettledTicket};
 use crate::codec::{Reader, Writer};
 use crate::functionality::Functionality;
+use crate::routing::{slice_of, SliceTable, SLICE_COUNT};
 use crate::server::{BatchServer, LcmServer, Replies};
 use crate::types::ClientId;
 use crate::wire::RouteHint;
@@ -141,7 +184,12 @@ pub fn route_for(client: ClientId, shard_key: Option<&[u8]>) -> u32 {
     }
 }
 
-/// Maps a route hash onto one of `n` shards.
+/// Maps a route hash onto one of `n` shards under the *genesis*
+/// (epoch-0, uniform) table — for shard counts dividing
+/// [`SLICE_COUNT`] this equals [`SliceTable::uniform`]`(n).shard_of`.
+/// Deployment-time helpers (key placement, per-shard test workloads)
+/// use this; live routing goes through the current [`SliceTable`],
+/// which slice migrations advance.
 pub fn shard_index(route: u32, n: u32) -> u32 {
     route % n.max(1)
 }
@@ -460,10 +508,29 @@ struct ShardCore<S> {
     /// [`crate::transport::TransportPlane::try_submit`]. Disabled (a
     /// transparent pass-through) until configured.
     admission: Arc<AdmissionState>,
+    /// The host's view of the epoch-versioned slice table, as a dense
+    /// history (`routing[e]` is the table of epoch `e`). Old-epoch
+    /// wires route by the table *they were stamped under* — delivering
+    /// them by the newest table would scatter a slow client's
+    /// in-flight wires to shards whose per-client chains never saw
+    /// them. The enclaves redirect stale wires themselves; the host's
+    /// only job is to deliver each wire where its stamped epoch says.
+    ///
+    /// This history is process-lifetime host state: `crash`/`boot` of
+    /// the enclaves does not lose it (their own tables recover from
+    /// sealed checkpoints). A *rebuilt* host over previously migrated
+    /// storage starts back at the genesis table and cannot route
+    /// post-migration epochs; re-prime it by replaying the moves.
+    routing: Mutex<Vec<SliceTable>>,
+    /// Per-slice write-arrival counters ("heat"), indexed by
+    /// [`slice_of`] the routing hash. Drained by
+    /// [`BatchServer::take_slice_heat`] for the rebalance planner.
+    heat: Vec<AtomicU64>,
 }
 
 impl<S: BatchServer> ShardCore<S> {
     fn new(servers: Vec<S>, ingress_capacity: usize) -> Self {
+        let n = servers.len();
         ShardCore {
             shards: servers
                 .into_iter()
@@ -482,11 +549,56 @@ impl<S: BatchServer> ShardCore<S> {
             work_cv: Condvar::new(),
             active_drivers: AtomicUsize::new(0),
             admission: Arc::new(AdmissionState::new()),
+            routing: Mutex::new(vec![SliceTable::uniform(n as u32)]),
+            heat: (0..SLICE_COUNT).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     fn book(&self) -> MutexGuard<'_, ReplyBook> {
         self.book.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn routing(&self) -> MutexGuard<'_, Vec<SliceTable>> {
+        self.routing.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shard a wire stamped with `epoch` routes to. Epochs beyond
+    /// the history (a wire from a client that somehow learned a newer
+    /// table than the host) clamp to the newest table — the enclave
+    /// decides what such a wire means, not the host.
+    fn shard_for(&self, route: u32, epoch: u64) -> usize {
+        let tables = self.routing();
+        let idx = (epoch as usize).min(tables.len() - 1);
+        tables[idx].shard_of(route) as usize
+    }
+
+    /// The newest table (what new epochs are derived from).
+    fn current_table(&self) -> SliceTable {
+        self.routing()
+            .last()
+            .expect("history is never empty")
+            .clone()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        self.routing()
+            .last()
+            .expect("history is never empty")
+            .epoch()
+    }
+
+    /// Records one write arrival against the wire's slice.
+    fn note_heat(&self, route: u32) {
+        self.heat[slice_of(route) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains the per-slice heat counters (read-and-reset, so each
+    /// monitor pass sees one interval's arrivals, not history).
+    fn take_heat(&self) -> Vec<u64> {
+        self.heat
+            .iter()
+            .map(|h| h.swap(0, Ordering::Relaxed))
+            .collect()
     }
 
     fn notify_settled(&self) {
@@ -579,12 +691,14 @@ impl<S: BatchServer> ShardCore<S> {
         // Malformed wires (shorter than the envelope) still get
         // delivered — to shard 0 — so the enclave rejects them with a
         // detectable violation instead of the host silently dropping.
-        let n = self.shards.len() as u32;
         let (client, shard) = match RouteHint::peel(&invoke_wire) {
-            Some((hint, _)) => (hint.client, shard_index(hint.route, n)),
+            Some((hint, _)) => {
+                self.note_heat(hint.route);
+                (hint.client, self.shard_for(hint.route, hint.epoch))
+            }
             None => (ClientId(0), 0),
         };
-        self.enqueue(client, shard as usize, None, false, invoke_wire);
+        self.enqueue(client, shard, None, false, invoke_wire);
     }
 
     /// Admission-controlled submission: the implementation behind
@@ -613,7 +727,6 @@ impl<S: BatchServer> ShardCore<S> {
             self.route_and_enqueue(invoke_wire);
             return Ok(AdmitOutcome::Enqueued);
         }
-        let n = self.shards.len() as u32;
         let Some((hint, _)) = RouteHint::peel(&invoke_wire) else {
             // Malformed wires bypass dedup (there is no sequence to
             // key on) and are delivered for the enclave to reject.
@@ -621,7 +734,8 @@ impl<S: BatchServer> ShardCore<S> {
             return Ok(AdmitOutcome::Enqueued);
         };
         let client = hint.client;
-        let shard = shard_index(hint.route, n);
+        self.note_heat(hint.route);
+        let shard = self.shard_for(hint.route, hint.epoch) as u32;
         {
             let mut book = self.book();
             let key = (client, shard);
@@ -925,6 +1039,30 @@ pub struct ShardedServer<S: BatchServer + 'static> {
     /// [`ShardStatsRollup`] so operators can assert the *whole*
     /// deployment was attested.
     quote_digests: Vec<Option<Digest>>,
+    /// A slice move whose sealed export has been cut but whose
+    /// handshake (target import + bystander adoptions + host table
+    /// push) has not completed — held so a member crash mid-migration
+    /// can be recovered with [`ShardedServer::resume_slice_migration`]
+    /// instead of stranding the slice.
+    pending_slice: Option<PendingSliceMove>,
+}
+
+/// Book-keeping for an in-flight slice migration: which steps of the
+/// handshake have landed, so a resume retries only what is missing.
+/// The enclave side makes every step idempotent (`import_slice` with a
+/// stale ticket and `adopt_table` with an already-installed table are
+/// no-ops or clean errors), so retrying a step that *did* land before
+/// a crash is safe.
+struct PendingSliceMove {
+    slice: u32,
+    from: u32,
+    to: u32,
+    ticket: Vec<u8>,
+    bulletin: Vec<u8>,
+    /// The table the host publishes once every enclave holds it.
+    next_table: SliceTable,
+    imported: bool,
+    adopted: Vec<bool>,
 }
 
 impl<S: BatchServer + 'static> std::fmt::Debug for ShardedServer<S> {
@@ -953,6 +1091,7 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
             core: Arc::new(ShardCore::new(servers, ingress_capacity)),
             pool: WorkerPool::new("lcm-shard", n, n),
             quote_digests: vec![None; n],
+            pending_slice: None,
         }
     }
 
@@ -1062,6 +1201,168 @@ impl<S: BatchServer + 'static> ShardedServer<S> {
     pub fn health_snapshot(&self) -> crate::admission::HealthSnapshot {
         self.core.admission.health_snapshot()
     }
+
+    /// The newest slice table the host routes by.
+    pub fn current_table(&self) -> SliceTable {
+        self.core.current_table()
+    }
+
+    /// `(slice, from, to)` of the slice move currently stuck between
+    /// export and completion, if any (see
+    /// [`ShardedServer::resume_slice_migration`]).
+    pub fn pending_slice_move(&self) -> Option<(u32, u32, u32)> {
+        self.pending_slice.as_ref().map(|p| (p.slice, p.from, p.to))
+    }
+
+    /// Cuts the sealed export of `slice` out of its owner (bumping the
+    /// owner's table to the next epoch) and records the pending
+    /// handshake. Fails without touching any enclave if a move is
+    /// already in flight, the target is out of range, or the target
+    /// already owns the slice.
+    fn begin_slice_move(&mut self, slice: u32, to: u32) -> Result<()> {
+        if let Some(p) = &self.pending_slice {
+            return Err(LcmError::Tee(format!(
+                "slice {} -> shard {} migration already in flight; \
+                 resume_slice_migration must finish before a new move",
+                p.slice, p.to
+            )));
+        }
+        let n = self.core.shards.len() as u32;
+        if slice >= SLICE_COUNT {
+            return Err(LcmError::Tee(format!(
+                "migrate_slice({slice}) out of range ({SLICE_COUNT} slices)"
+            )));
+        }
+        if to >= n {
+            return Err(LcmError::Tee(format!(
+                "migrate_slice target {to} on a {n}-shard deployment"
+            )));
+        }
+        let table = self.core.current_table();
+        let from = table.owner(slice);
+        if from == to {
+            return Err(LcmError::Tee(format!(
+                "shard {to} already owns slice {slice}"
+            )));
+        }
+        let next_table = table.moved(slice, to).expect("bounds checked above");
+        let (ticket, bulletin) = {
+            let mut lane = lock(&self.core.shards[from as usize].lane);
+            lane.server.export_slice(slice, to)?
+        };
+        self.pending_slice = Some(PendingSliceMove {
+            slice,
+            from,
+            to,
+            ticket,
+            bulletin,
+            next_table,
+            imported: false,
+            adopted: vec![false; n as usize],
+        });
+        Ok(())
+    }
+
+    /// Completes (or retries, after a mid-handshake crash) the
+    /// in-flight slice move: delivers the bulletin to every bystander
+    /// shard, the sealed ticket to the target, then publishes the new
+    /// table to the host router. On failure the pending record is
+    /// kept — reboot the dead member and call this again; every
+    /// enclave-side step is idempotent, so re-delivering a step that
+    /// already landed is safe.
+    ///
+    /// The origin lane is held for the whole handshake: the origin is
+    /// the only enclave able to emit redirect stamps revealing the new
+    /// epoch, and it must stay silent until every shard has installed
+    /// the new table — otherwise a client could chase the redirect
+    /// into a shard that has not adopted yet and trip its future-epoch
+    /// rollback alarm on an honest deployment.
+    pub fn resume_slice_migration(&mut self) -> Result<()> {
+        let Some(mut pending) = self.pending_slice.take() else {
+            return Err(LcmError::Tee("no slice migration in flight".into()));
+        };
+        match Self::drive_slice_move(&self.core, &mut pending) {
+            Ok(()) => {
+                self.core.routing().push(pending.next_table);
+                Ok(())
+            }
+            Err(e) => {
+                self.pending_slice = Some(pending);
+                Err(e)
+            }
+        }
+    }
+
+    fn drive_slice_move(core: &ShardCore<S>, pending: &mut PendingSliceMove) -> Result<()> {
+        let _origin = lock(&core.shards[pending.from as usize].lane);
+        for (i, shard) in core.shards.iter().enumerate() {
+            if i == pending.from as usize || i == pending.to as usize || pending.adopted[i] {
+                continue;
+            }
+            lock(&shard.lane)
+                .server
+                .adopt_table(pending.bulletin.clone())?;
+            pending.adopted[i] = true;
+        }
+        if !pending.imported {
+            lock(&core.shards[pending.to as usize].lane)
+                .server
+                .import_slice(pending.ticket.clone())?;
+            pending.imported = true;
+        }
+        Ok(())
+    }
+
+    /// One pass of the heat-aware rebalance monitor: drains the
+    /// per-slice heat counters, asks [`plan_rebalance`] for a
+    /// profitable move, and performs it live. Returns the `(slice,
+    /// to)` migrated, or `None` when the load is already balanced
+    /// (nothing is drained into a move that would not help).
+    pub fn rebalance_once(&mut self) -> Result<Option<(u32, u32)>> {
+        let heat = self.core.take_heat();
+        let table = self.core.current_table();
+        let Some((slice, to)) = plan_rebalance(&heat, &table) else {
+            return Ok(None);
+        };
+        self.begin_slice_move(slice, to)?;
+        self.resume_slice_migration()?;
+        Ok(Some((slice, to)))
+    }
+}
+
+/// Plans one heat-driven slice move: when the hottest shard carries
+/// more than twice the coldest shard's write heat, proposes migrating
+/// the hot shard's hottest slice to the coldest shard — provided the
+/// move actually narrows the gap (shipping a slice hotter than the
+/// imbalance would just relocate the hotspot). Pure: feed it drained
+/// [`BatchServer::take_slice_heat`] counters and the current table.
+pub fn plan_rebalance(heat: &[u64], table: &SliceTable) -> Option<(u32, u32)> {
+    let n = table.count() as usize;
+    if n < 2 {
+        return None;
+    }
+    let mut shard_heat = vec![0u64; n];
+    for (slice, &h) in heat.iter().take(SLICE_COUNT as usize).enumerate() {
+        shard_heat[table.owner(slice as u32) as usize] += h;
+    }
+    let total: u64 = shard_heat.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let hot = (0..n).max_by_key(|&i| shard_heat[i])?;
+    let cold = (0..n).min_by_key(|&i| shard_heat[i])?;
+    if shard_heat[hot] <= 2 * shard_heat[cold] {
+        return None;
+    }
+    let slice = table
+        .slices_of(hot as u32)
+        .into_iter()
+        .max_by_key(|&s| heat.get(s as usize).copied().unwrap_or(0))?;
+    let h = heat.get(slice as usize).copied().unwrap_or(0);
+    if h == 0 || shard_heat[cold] + h >= shard_heat[hot] {
+        return None;
+    }
+    Some((slice, cold as u32))
 }
 
 /// Concatenates per-shard sealed provisioning payloads into the one
@@ -1466,6 +1767,19 @@ impl<S: BatchServer + 'static> BatchServer for ShardedServer<S> {
                 .into(),
         ))
     }
+
+    fn migrate_slice(&mut self, slice: u32, to: u32) -> Result<()> {
+        self.begin_slice_move(slice, to)?;
+        self.resume_slice_migration()
+    }
+
+    fn routing_epoch(&self) -> u64 {
+        self.core.routing_epoch()
+    }
+
+    fn take_slice_heat(&self) -> Vec<u64> {
+        self.core.take_heat()
+    }
 }
 
 /// The sharded deployment's concurrent read surface: routes each read
@@ -1487,7 +1801,7 @@ impl<S: BatchServer + 'static> crate::server::ReadPort for CoreReadPort<S> {
                 "read wire too short for a routing hint".into(),
             ));
         };
-        let idx = shard_index(hint.route, self.core.shards.len() as u32) as usize;
+        let idx = self.core.shard_for(hint.route, hint.epoch);
         match &self.ports[idx] {
             Some(port) => port.serve_read(read_wire),
             None => {
@@ -1898,6 +2212,183 @@ mod tests {
                 4
             );
         }
+    }
+
+    /// Like [`run_one`], but chases resharding redirects: a reply that
+    /// carries a newer slice table re-invokes the operation under it.
+    fn run_chasing(
+        server: &mut ShardedServer<Box<dyn BatchServer>>,
+        client: &mut LcmClient,
+        op: &[u8],
+    ) -> u64 {
+        use crate::client::WriteOutcome;
+        let mut wire = client.invoke_for::<Counter>(op).unwrap();
+        loop {
+            server.submit(wire);
+            let replies = server.process_all().unwrap();
+            let mine = replies
+                .into_iter()
+                .find(|(id, _)| *id == client.id())
+                .expect("reply routed");
+            match client.handle_reply_on(&mine.1).unwrap().1 {
+                WriteOutcome::Done(done) => return Counter::decode_result(&done.result).unwrap(),
+                WriteOutcome::Redirected { op } => {
+                    wire = client.invoke_for::<Counter>(&op).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Smallest key of the form `k{j}` whose route hash falls in
+    /// `slice`.
+    fn key_in_slice(slice: u32) -> Vec<u8> {
+        (0u32..)
+            .map(|j| format!("k{j}").into_bytes())
+            .find(|k| slice_of(route_hash(k)) == slice)
+            .unwrap()
+    }
+
+    #[test]
+    fn live_slice_migration_moves_state_and_redirects_clients() {
+        let (mut server, _admin, mut clients) = sharded_counter(2, 2);
+        let name = b"hot-counter".to_vec();
+        assert_eq!(
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(&name, 5)),
+            5
+        );
+        let slice = slice_of(route_hash(&name));
+        let home = server.current_table().owner(slice);
+        let to = 1 - home;
+
+        BatchServer::migrate_slice(&mut server, slice, to).unwrap();
+        assert_eq!(server.routing_epoch(), 1);
+        assert_eq!(server.current_table().owner(slice), to);
+        assert_eq!(server.pending_slice_move(), None);
+
+        // A client still routing by epoch 0 sends to the old owner,
+        // gets the authenticated redirect, adopts the new table, and
+        // lands on the moved state — nothing lost, nothing doubled.
+        assert_eq!(
+            run_chasing(&mut server, &mut clients[0], &Counter::inc_op(&name, 2)),
+            7
+        );
+        assert_eq!(clients[0].routing_epoch(), 1);
+        // A second client that never saw the redirect converges too.
+        assert_eq!(
+            run_chasing(&mut server, &mut clients[1], &Counter::read_op(&name)),
+            7
+        );
+        assert_eq!(clients[1].routing_epoch(), 1);
+        // Writes through the already-redirected client go straight to
+        // the new owner (no further redirect round trips).
+        assert_eq!(
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(&name, 1)),
+            8
+        );
+    }
+
+    #[test]
+    fn slice_migration_rejects_nonsense_moves() {
+        let (mut server, _admin, _clients) = sharded_counter(2, 1);
+        let table = server.current_table();
+        let owner = table.owner(0);
+        // Target out of range.
+        let err = BatchServer::migrate_slice(&mut server, 0, 7).unwrap_err();
+        assert!(matches!(err, LcmError::Tee(ref m) if m.contains("target")));
+        // Slice out of range.
+        let err = BatchServer::migrate_slice(&mut server, SLICE_COUNT, 0).unwrap_err();
+        assert!(matches!(err, LcmError::Tee(ref m) if m.contains("out of range")));
+        // Self-move.
+        let err = BatchServer::migrate_slice(&mut server, 0, owner).unwrap_err();
+        assert!(matches!(err, LcmError::Tee(ref m) if m.contains("already owns")));
+        assert_eq!(server.routing_epoch(), 0);
+    }
+
+    #[test]
+    fn interrupted_slice_move_resumes_after_target_reboot() {
+        let (mut server, _admin, mut clients) = sharded_counter(2, 1);
+        let name = b"resumable".to_vec();
+        assert_eq!(
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(&name, 4)),
+            4
+        );
+        let slice = slice_of(route_hash(&name));
+        let home = server.current_table().owner(slice);
+        let to = 1 - home;
+
+        // The target is down when the move starts: the origin's export
+        // is cut (its own table advances), but the handshake cannot
+        // complete — the pending move is retained and the host keeps
+        // routing by the old table.
+        server.with_shard(to, |s| s.crash());
+        BatchServer::migrate_slice(&mut server, slice, to).unwrap_err();
+        assert_eq!(server.pending_slice_move(), Some((slice, home, to)));
+        assert_eq!(server.routing_epoch(), 0);
+
+        // Reboot the target and resume: the sealed ticket is
+        // re-delivered and the handshake completes.
+        server.with_shard(to, |s| s.boot().map(|_| ()).unwrap());
+        server.resume_slice_migration().unwrap();
+        assert_eq!(server.routing_epoch(), 1);
+        assert_eq!(server.pending_slice_move(), None);
+        assert_eq!(
+            run_chasing(&mut server, &mut clients[0], &Counter::inc_op(&name, 1)),
+            5
+        );
+    }
+
+    #[test]
+    fn heat_monitor_moves_hot_slice_to_cold_shard() {
+        let (mut server, _admin, mut clients) = sharded_counter(2, 1);
+        // Two hot counters in *different* slices of the same shard —
+        // moving the hotter one away is profitable (a lone hot slice
+        // would just relocate the hotspot, and the planner declines).
+        let table = server.current_table();
+        let (s1, s2) = (0, 2);
+        assert_eq!(table.owner(s1), table.owner(s2));
+        let home = table.owner(s1);
+        let (k1, k2) = (key_in_slice(s1), key_in_slice(s2));
+        for _ in 0..12 {
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(&k1, 1));
+        }
+        for _ in 0..6 {
+            run_one(&mut server, &mut clients[0], &Counter::inc_op(&k2, 1));
+        }
+
+        let moved = server.rebalance_once().unwrap();
+        assert_eq!(moved, Some((s1, 1 - home)));
+        assert_eq!(server.current_table().owner(s1), 1 - home);
+        assert_eq!(server.routing_epoch(), 1);
+        // The drained interval is consumed: with no new traffic the
+        // next pass plans nothing.
+        assert_eq!(server.rebalance_once().unwrap(), None);
+        // The migrated counter still serves, with its value intact.
+        assert_eq!(
+            run_chasing(&mut server, &mut clients[0], &Counter::read_op(&k1)),
+            12
+        );
+    }
+
+    #[test]
+    fn plan_rebalance_declines_balanced_and_unprofitable_loads() {
+        let table = SliceTable::uniform(2);
+        let mut heat = vec![0u64; SLICE_COUNT as usize];
+        // No traffic at all.
+        assert_eq!(plan_rebalance(&heat, &table), None);
+        // Balanced: both shards within 2x of each other.
+        heat[0] = 10; // shard 0
+        heat[1] = 6; // shard 1
+        assert_eq!(plan_rebalance(&heat, &table), None);
+        // Skewed but unprofitable: ALL of the hot shard's heat is one
+        // slice; moving it would only relocate the hotspot.
+        heat[1] = 0;
+        assert_eq!(plan_rebalance(&heat, &table), None);
+        // Skewed and profitable: two hot slices on shard 0 — ship the
+        // hotter one to shard 1.
+        heat[2] = 4; // also shard 0
+        assert_eq!(plan_rebalance(&heat, &table), Some((0, 1)));
+        // One shard is no deployment to balance.
+        assert_eq!(plan_rebalance(&heat, &SliceTable::uniform(1)), None);
     }
 
     #[test]

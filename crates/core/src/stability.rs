@@ -30,6 +30,10 @@ pub struct CachedReply {
     /// The `hc` echo of the cached reply — also used to authenticate
     /// that a retry matches the context of the original invocation.
     pub hc_echo: ChainValue,
+    /// Whether the cached reply was a routing redirect (a
+    /// context-stamped no-op carrying the slice table instead of an
+    /// execution result); a retry must replay the same disposition.
+    pub redirect: bool,
     /// The cached operation result.
     pub result: Vec<u8>,
 }
@@ -40,6 +44,7 @@ impl WireCodec for CachedReply {
         self.q.encode(w);
         self.h.encode(w);
         self.hc_echo.encode(w);
+        w.put_bool(self.redirect);
         w.put_bytes(&self.result);
     }
 
@@ -49,6 +54,7 @@ impl WireCodec for CachedReply {
             q: SeqNo::decode(r)?,
             h: ChainValue::decode(r)?,
             hc_echo: ChainValue::decode(r)?,
+            redirect: r.get_bool()?,
             result: r.get_bytes()?.to_vec(),
         })
     }
@@ -318,6 +324,7 @@ mod tests {
             q: SeqNo(3),
             h: e.h,
             hc_echo: ChainValue::GENESIS,
+            redirect: false,
             result: b"result".to_vec(),
         });
         assert_eq!(VEntry::from_bytes(&e.to_bytes()).unwrap(), e);

@@ -810,6 +810,19 @@ impl<S: BatchServer + 'static> BatchServer for Frontend<S> {
     fn import_migration(&mut self, ticket: Vec<u8>) -> Result<()> {
         self.server.import_migration(ticket)
     }
+    /// Live slice migration on the wrapped plane: the front-end shares
+    /// the deployment's slice table through the ingress router, so the
+    /// move is visible to wires routed by either path the moment the
+    /// new epoch installs.
+    fn migrate_slice(&mut self, slice: u32, to: u32) -> Result<()> {
+        self.server.migrate_slice(slice, to)
+    }
+    fn routing_epoch(&self) -> u64 {
+        self.server.routing_epoch()
+    }
+    fn take_slice_heat(&self) -> Vec<u64> {
+        self.server.take_slice_heat()
+    }
     fn batches_processed(&self) -> u64 {
         self.server.batches_processed()
     }

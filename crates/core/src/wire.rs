@@ -25,6 +25,14 @@ pub const TAG_INVOKE: u8 = 0x01;
 pub const TAG_INVOKE_RETRY: u8 = 0x02;
 /// Tag byte of a REPLY.
 pub const TAG_REPLY: u8 = 0x03;
+/// Tag byte of a REPLY that redirects: the addressed slice migrated
+/// away under a newer routing epoch, the operation was **not**
+/// executed, and `result` carries the current
+/// [`crate::routing::SliceTable`] so the client can re-route. The
+/// redirect still advances the client's protocol context on the
+/// answering shard (it is a context-stamped no-op), so it verifies —
+/// and retries replay — exactly like a normal reply.
+pub const TAG_REPLY_REDIRECT: u8 = 0x07;
 
 /// Fixed metadata bytes an INVOKE adds on top of the operation payload.
 pub const INVOKE_OVERHEAD: usize = 1 + 4 + 8 + 32;
@@ -34,10 +42,10 @@ pub const REPLY_OVERHEAD: usize = 1 + 8 + 8 + 32 + 32;
 
 /// Length of the plaintext routing envelope prepended to every
 /// encrypted INVOKE (see [`RouteHint`]).
-pub const ROUTE_HINT_LEN: usize = 4 + 4 + 8;
+pub const ROUTE_HINT_LEN: usize = 4 + 4 + 8 + 8;
 
 /// The plaintext routing envelope of an encrypted INVOKE wire:
-/// `client(4) ‖ route(4) ‖ seq(8) ‖ ciphertext`.
+/// `client(4) ‖ route(4) ‖ seq(8) ‖ epoch(8) ‖ ciphertext`.
 ///
 /// A key-partitioned sharded host (see [`crate::shard`]) must route
 /// each request without decrypting it, so the client attaches the
@@ -46,7 +54,10 @@ pub const ROUTE_HINT_LEN: usize = 4 + 4 + 8;
 /// hash of the partition key. The `seq` field carries the client's
 /// sequence number `tc` in the clear so the host's admission layer
 /// (see [`crate::admission`]) can deduplicate retried submissions
-/// without decrypting; it reveals only an op counter. All three
+/// without decrypting; it reveals only an op counter. The `epoch`
+/// field names the [`crate::routing::SliceTable`] version the client
+/// routed under, so the host can deliver in-flight wires by the map
+/// they were addressed with even while slices migrate. All four
 /// fields are **bound into the AEAD associated data** of the INVOKE
 /// (see [`crate::context::invoke_aad`] / [`crate::context::reply_aad`]
 /// for the REPLY): tampering with the envelope, or swapping a client's
@@ -54,10 +65,14 @@ pub const ROUTE_HINT_LEN: usize = 4 + 4 + 8;
 /// enclave additionally cross-checks `seq` against the authenticated
 /// `tc` inside the ciphertext. Delivering an *intact* wire to the
 /// wrong shard is caught by the receiving enclave itself: it holds an
-/// attested [`crate::context::ShardIdentity`] and rejects any wire
-/// whose envelope route — or whose route recomputed from the decrypted
-/// operation — does not map to it ([`crate::Violation::WrongShard`]),
-/// with no client history required.
+/// attested [`crate::context::ShardIdentity`] plus the current slice
+/// table and rejects any current-epoch wire whose envelope route — or
+/// whose route recomputed from the decrypted operation's partition key
+/// — does not map to it, and any wire stamped with an epoch *newer*
+/// than its own table (the signature of a rolled-back enclave)
+/// ([`crate::Violation::WrongShard`]), with no client history
+/// required. A wire stamped with an *older* epoch whose slice has
+/// since migrated away is answered with a [`TAG_REPLY_REDIRECT`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouteHint {
     /// The invoking client (duplicated inside the ciphertext; the
@@ -71,6 +86,9 @@ pub struct RouteHint {
     /// copies agree). Identical across retries of the same operation,
     /// which is what makes host-side retry dedup sound.
     pub seq: u64,
+    /// Routing epoch: the [`crate::routing::SliceTable`] version the
+    /// client mapped `route` to a shard under.
+    pub epoch: u64,
 }
 
 impl RouteHint {
@@ -79,6 +97,7 @@ impl RouteHint {
         out.extend_from_slice(&self.client.0.to_be_bytes());
         out.extend_from_slice(&self.route.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
     }
 
     /// Splits a wire into its envelope and the AEAD ciphertext.
@@ -90,7 +109,16 @@ impl RouteHint {
         let client = ClientId(u32::from_be_bytes(wire[0..4].try_into().ok()?));
         let route = u32::from_be_bytes(wire[4..8].try_into().ok()?);
         let seq = u64::from_be_bytes(wire[8..16].try_into().ok()?);
-        Some((RouteHint { client, route, seq }, &wire[ROUTE_HINT_LEN..]))
+        let epoch = u64::from_be_bytes(wire[16..24].try_into().ok()?);
+        Some((
+            RouteHint {
+                client,
+                route,
+                seq,
+                epoch,
+            },
+            &wire[ROUTE_HINT_LEN..],
+        ))
     }
 }
 
@@ -102,23 +130,31 @@ pub const TAG_READ_REPLY: u8 = 0x05;
 /// installed the client's latest acknowledged write (retryable lag,
 /// never a violation).
 pub const TAG_READ_BEHIND: u8 = 0x06;
+/// Tag byte of a verified-read reply reporting that the addressed
+/// slice migrated away under a newer routing epoch: `result` carries
+/// the current [`crate::routing::SliceTable`] and the client re-issues
+/// the read on the slice's new owner. Reads are idempotent, so unlike
+/// [`TAG_REPLY_REDIRECT`] no context stamp is needed.
+pub const TAG_READ_REDIRECT: u8 = 0x08;
 
 /// Length of the plaintext envelope prepended to every encrypted read
 /// leg (see [`ReadHint`]).
-pub const READ_HINT_LEN: usize = 4 + 4 + 8 + 4;
+pub const READ_HINT_LEN: usize = 4 + 4 + 8 + 4 + 8;
 
 /// The plaintext envelope of an encrypted verified-read leg:
-/// `client(4) ‖ route(4) ‖ seq(8) ‖ replica(4) ‖ ciphertext`.
+/// `client(4) ‖ route(4) ‖ seq(8) ‖ replica(4) ‖ epoch(8) ‖
+/// ciphertext`.
 ///
 /// Like [`RouteHint`] for writes, but with one extra field: the
-/// replica slot the client *pinned* this read to. All four fields are
+/// replica slot the client *pinned* this read to. All five fields are
 /// bound into the AEAD associated data
 /// ([`crate::context::read_aad`]), and the serving enclave computes
 /// the AAD with its **own** attested replica coordinate — a read leg
 /// the host redirects to a different member of the group fails
 /// authentication inside that enclave. The host learns only what it
-/// needs to route: who is asking, which shard, which op counter, and
-/// which member should answer.
+/// needs to route: who is asking, which shard, which op counter,
+/// which member should answer, and which routing-table version the
+/// client addressed it under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadHint {
     /// The reading client (duplicated inside the ciphertext; the
@@ -131,6 +167,9 @@ pub struct ReadHint {
     pub seq: u64,
     /// The replica slot this read is pinned to.
     pub replica: u32,
+    /// Routing epoch: the [`crate::routing::SliceTable`] version the
+    /// client mapped `route` to a shard under.
+    pub epoch: u64,
 }
 
 impl ReadHint {
@@ -140,6 +179,7 @@ impl ReadHint {
         out.extend_from_slice(&self.route.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
         out.extend_from_slice(&self.replica.to_be_bytes());
+        out.extend_from_slice(&self.epoch.to_be_bytes());
     }
 
     /// Splits a read wire into its envelope and the AEAD ciphertext.
@@ -152,12 +192,14 @@ impl ReadHint {
         let route = u32::from_be_bytes(wire[4..8].try_into().ok()?);
         let seq = u64::from_be_bytes(wire[8..16].try_into().ok()?);
         let replica = u32::from_be_bytes(wire[16..20].try_into().ok()?);
+        let epoch = u64::from_be_bytes(wire[20..28].try_into().ok()?);
         Some((
             ReadHint {
                 client,
                 route,
                 seq,
                 replica,
+                epoch,
             },
             &wire[READ_HINT_LEN..],
         ))
@@ -204,14 +246,24 @@ impl WireCodec for ReadMsg {
     }
 }
 
-/// The reply to a verified-read leg.
-///
-/// `behind = false` (tag [`TAG_READ_REPLY`]): the member's `V[i]`
-/// matched the client's `(tc, hc)` exactly and `result` holds the
-/// read's output at that context. `behind = true`
-/// ([`TAG_READ_BEHIND`]): the member has not yet installed the
-/// client's latest acknowledged write — `result` is empty and the
-/// client should retry (possibly on another member).
+/// The disposition of a verified-read reply, carried in its tag byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadStatus {
+    /// [`TAG_READ_REPLY`]: the member's `V[i]` matched the client's
+    /// `(tc, hc)` exactly and `result` holds the read's output.
+    Fresh,
+    /// [`TAG_READ_BEHIND`]: the member has not yet installed the
+    /// client's latest acknowledged write — `result` is empty and the
+    /// client should retry (possibly on another member).
+    Behind,
+    /// [`TAG_READ_REDIRECT`]: the addressed slice migrated away —
+    /// `result` holds the current [`crate::routing::SliceTable`] and
+    /// the client re-issues the read on the slice's new owner.
+    Moved,
+}
+
+/// The reply to a verified-read leg; see [`ReadStatus`] for the three
+/// dispositions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReadReplyMsg {
     /// The member's recorded sequence number for this client.
@@ -222,18 +274,19 @@ pub struct ReadReplyMsg {
     pub h: ChainValue,
     /// Echo of the client's chain value from the read leg.
     pub hc_echo: ChainValue,
-    /// Whether the member lags the client's context (retryable).
-    pub behind: bool,
-    /// The read result (empty when `behind`).
+    /// Disposition: fresh data, retryable lag, or slice migrated.
+    pub status: ReadStatus,
+    /// The read result (empty when behind; the current slice table
+    /// when moved).
     pub result: Vec<u8>,
 }
 
 impl WireCodec for ReadReplyMsg {
     fn encode(&self, w: &mut Writer) {
-        w.put_u8(if self.behind {
-            TAG_READ_BEHIND
-        } else {
-            TAG_READ_REPLY
+        w.put_u8(match self.status {
+            ReadStatus::Fresh => TAG_READ_REPLY,
+            ReadStatus::Behind => TAG_READ_BEHIND,
+            ReadStatus::Moved => TAG_READ_REDIRECT,
         });
         self.t.encode(w);
         self.q.encode(w);
@@ -244,9 +297,10 @@ impl WireCodec for ReadReplyMsg {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let tag = r.get_u8()?;
-        let behind = match tag {
-            TAG_READ_REPLY => false,
-            TAG_READ_BEHIND => true,
+        let status = match tag {
+            TAG_READ_REPLY => ReadStatus::Fresh,
+            TAG_READ_BEHIND => ReadStatus::Behind,
+            TAG_READ_REDIRECT => ReadStatus::Moved,
             other => return Err(CodecError::InvalidTag(other)),
         };
         Ok(ReadReplyMsg {
@@ -254,7 +308,7 @@ impl WireCodec for ReadReplyMsg {
             q: SeqNo::decode(r)?,
             h: ChainValue::decode(r)?,
             hc_echo: ChainValue::decode(r)?,
-            behind,
+            status,
             result: r.get_rest().to_vec(),
         })
     }
@@ -317,13 +371,22 @@ pub struct ReplyMsg {
     /// Echo of the client's previous chain value, matching the REPLY to
     /// its INVOKE.
     pub hc_echo: ChainValue,
-    /// The operation result from `F`.
+    /// Whether this reply is a routing redirect
+    /// ([`TAG_REPLY_REDIRECT`]): the operation was not executed and
+    /// `result` carries the current [`crate::routing::SliceTable`].
+    pub redirect: bool,
+    /// The operation result from `F` (the encoded slice table when
+    /// `redirect`).
     pub result: Vec<u8>,
 }
 
 impl WireCodec for ReplyMsg {
     fn encode(&self, w: &mut Writer) {
-        w.put_u8(TAG_REPLY);
+        w.put_u8(if self.redirect {
+            TAG_REPLY_REDIRECT
+        } else {
+            TAG_REPLY
+        });
         self.t.encode(w);
         self.q.encode(w);
         self.h.encode(w);
@@ -333,14 +396,17 @@ impl WireCodec for ReplyMsg {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let tag = r.get_u8()?;
-        if tag != TAG_REPLY {
-            return Err(CodecError::InvalidTag(tag));
-        }
+        let redirect = match tag {
+            TAG_REPLY => false,
+            TAG_REPLY_REDIRECT => true,
+            other => return Err(CodecError::InvalidTag(other)),
+        };
         Ok(ReplyMsg {
             t: SeqNo::decode(r)?,
             q: SeqNo::decode(r)?,
             h: ChainValue::decode(r)?,
             hc_echo: ChainValue::decode(r)?,
+            redirect,
             result: r.get_rest().to_vec(),
         })
     }
@@ -371,14 +437,17 @@ mod tests {
 
     #[test]
     fn reply_roundtrip() {
-        let msg = ReplyMsg {
-            t: SeqNo(18),
-            q: SeqNo(12),
-            h: ChainValue::GENESIS.extend(b"x", SeqNo(18), ClientId(3)),
-            hc_echo: ChainValue::GENESIS,
-            result: b"OK".to_vec(),
-        };
-        assert_eq!(ReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        for redirect in [false, true] {
+            let msg = ReplyMsg {
+                t: SeqNo(18),
+                q: SeqNo(12),
+                h: ChainValue::GENESIS.extend(b"x", SeqNo(18), ClientId(3)),
+                hc_echo: ChainValue::GENESIS,
+                redirect,
+                result: b"OK".to_vec(),
+            };
+            assert_eq!(ReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
     }
 
     #[test]
@@ -401,6 +470,7 @@ mod tests {
                 q: SeqNo(0),
                 h: ChainValue::GENESIS,
                 hc_echo: ChainValue::GENESIS,
+                redirect: false,
                 result: vec![0xcd; result_len],
             };
             assert_eq!(msg.to_bytes().len(), REPLY_OVERHEAD + result_len);
@@ -441,6 +511,7 @@ mod tests {
             client: ClientId(7),
             route: 0xdead_beef,
             seq: 41,
+            epoch: 9,
         };
         let mut wire = Vec::new();
         hint.encode_to(&mut wire);
@@ -463,6 +534,7 @@ mod tests {
             route: 0xcafe_f00d,
             seq: 23,
             replica: 2,
+            epoch: 3,
         };
         let mut wire = Vec::new();
         hint.encode_to(&mut wire);
@@ -486,14 +558,18 @@ mod tests {
 
     #[test]
     fn read_reply_roundtrips_both_flavours() {
-        for behind in [false, true] {
+        for status in [ReadStatus::Fresh, ReadStatus::Behind, ReadStatus::Moved] {
             let msg = ReadReplyMsg {
                 t: SeqNo(11),
                 q: SeqNo(7),
                 h: ChainValue::GENESIS.extend(b"w", SeqNo(11), ClientId(4)),
                 hc_echo: ChainValue::GENESIS,
-                behind,
-                result: if behind { vec![] } else { b"value".to_vec() },
+                status,
+                result: if status == ReadStatus::Fresh {
+                    b"value".to_vec()
+                } else {
+                    vec![]
+                },
             };
             assert_eq!(ReadReplyMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
         }

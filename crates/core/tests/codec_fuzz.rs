@@ -39,13 +39,15 @@ fn arb_reply() -> impl Strategy<Value = ReplyMsg> {
         any::<u64>(),
         arb_chain(),
         arb_chain(),
+        any::<bool>(),
         proptest::collection::vec(any::<u8>(), 0..512),
     )
-        .prop_map(|(t, q, h, hc_echo, result)| ReplyMsg {
+        .prop_map(|(t, q, h, hc_echo, redirect, result)| ReplyMsg {
             t: SeqNo(t),
             q: SeqNo(q),
             h,
             hc_echo,
+            redirect,
             result,
         })
 }
@@ -60,6 +62,7 @@ fn arb_ventry() -> impl Strategy<Value = VEntry> {
             any::<u64>(),
             arb_chain(),
             arb_chain(),
+            any::<bool>(),
             proptest::collection::vec(any::<u8>(), 0..64),
         )),
     )
@@ -67,11 +70,12 @@ fn arb_ventry() -> impl Strategy<Value = VEntry> {
             ta: SeqNo(ta),
             t: SeqNo(t),
             h,
-            cached: cached.map(|(t, q, h, hc, result)| CachedReply {
+            cached: cached.map(|(t, q, h, hc, redirect, result)| CachedReply {
                 t: SeqNo(t),
                 q: SeqNo(q),
                 h,
                 hc_echo: hc,
+                redirect,
                 result,
             }),
         })

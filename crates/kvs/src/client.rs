@@ -19,6 +19,10 @@ use crate::ops::{KvOp, KvResult};
 /// synchronous or pipelined — directly (used by examples and tests).
 pub struct KvsClient {
     inner: LcmClient,
+    /// Round-robin cursor for scatter-gather read pins: successive
+    /// read legs spread across the shard groups' replicas instead of
+    /// all landing on member 0 (see [`KvsClient::multi_get`]).
+    next_pin: u32,
 }
 
 impl std::fmt::Debug for KvsClient {
@@ -53,6 +57,7 @@ impl KvsClient {
     pub fn new_sharded(id: ClientId, k_c: &SecretKey, n_shards: u32) -> Self {
         KvsClient {
             inner: LcmClient::new_sharded(id, k_c, n_shards),
+            next_pin: 0,
         }
     }
 
@@ -100,7 +105,9 @@ impl KvsClient {
     }
 
     /// Convenience: runs one operation to completion against an
-    /// in-process server (submit → process → complete).
+    /// in-process server (submit → process → complete), transparently
+    /// chasing resharding redirects: a reply carrying a newer slice
+    /// table re-invokes the operation under it.
     ///
     /// # Errors
     ///
@@ -111,14 +118,29 @@ impl KvsClient {
         server: &mut S,
         op: &KvOp,
     ) -> Result<KvCompletion> {
-        let wire = self.invoke_wire(op)?;
-        server.submit(wire);
-        let replies = server.process_all()?;
-        let mine = replies
-            .into_iter()
-            .find(|(id, _)| *id == self.inner.id())
-            .ok_or_else(|| LcmError::Tee("no reply routed to this client".into()))?;
-        self.complete(&mine.1)
+        use lcm_core::client::WriteOutcome;
+        let mut wire = self.invoke_wire(op)?;
+        loop {
+            server.submit(wire);
+            let replies = server.process_all()?;
+            let mine = replies
+                .into_iter()
+                .find(|(id, _)| *id == self.inner.id())
+                .ok_or_else(|| LcmError::Tee("no reply routed to this client".into()))?;
+            match self.inner.handle_reply_on(&mine.1)? {
+                (_, WriteOutcome::Done(completion)) => {
+                    let result =
+                        KvResult::from_bytes(&completion.result).map_err(LcmError::Codec)?;
+                    return Ok(KvCompletion { result, completion });
+                }
+                // The slice moved since this client last routed: the
+                // redirect already adopted the newer table, so the
+                // re-invocation lands on the new owner.
+                (_, WriteOutcome::Redirected { .. }) => {
+                    wire = self.invoke_wire(op)?;
+                }
+            }
+        }
     }
 
     /// Typed GET against an in-process server.
@@ -212,9 +234,13 @@ impl KvsClient {
     /// is valid on unreplicated deployments: it is the sole member).
     ///
     /// If the pinned member is behind — it has not yet applied the
-    /// quorum round holding this client's last write — the read is
-    /// re-issued once to the group's current leader, which by
-    /// construction holds the newest state.
+    /// quorum round holding this client's last write, or it answered
+    /// with a routing epoch this client has already moved past — the
+    /// read is re-issued to the group's current leader, which by
+    /// construction holds the newest state. If the slice *moved*
+    /// since this client last routed, the authenticated redirect
+    /// adopts the newer table and the read chases it to the new owner
+    /// under the same pin.
     ///
     /// # Errors
     ///
@@ -228,27 +254,34 @@ impl KvsClient {
     ) -> Result<KvResult> {
         use lcm_core::client::ReadOutcome;
         let bytes = op.to_bytes();
-        let shard = self.shard_of(op);
-        let wire = self
-            .inner
-            .read_for::<crate::store::KvStore>(&bytes, replica)?;
-        match self.inner.handle_read_reply(&server.serve_read(wire)?)? {
-            ReadOutcome::Fresh(done) => KvResult::from_bytes(&done.result).map_err(LcmError::Codec),
-            ReadOutcome::Behind => {
-                let leader = server.group_leader(shard);
-                let wire = self
-                    .inner
-                    .read_for::<crate::store::KvStore>(&bytes, leader)?;
-                match self.inner.handle_read_reply(&server.serve_read(wire)?)? {
-                    ReadOutcome::Fresh(done) => {
-                        KvResult::from_bytes(&done.result).map_err(LcmError::Codec)
-                    }
-                    ReadOutcome::Behind => {
-                        Err(LcmError::Tee("group leader behind on verified read".into()))
-                    }
+        let mut replica = replica;
+        let mut behind_retried = false;
+        // Each chase adopts a strictly newer table, so the retry count
+        // is bounded by the epoch gap; the cap only guards against a
+        // broken server bouncing the read forever.
+        for _ in 0..8 {
+            let wire = self
+                .inner
+                .read_for::<crate::store::KvStore>(&bytes, replica)?;
+            match self.inner.handle_read_reply(&server.serve_read(wire)?)? {
+                ReadOutcome::Fresh(done) => {
+                    return KvResult::from_bytes(&done.result).map_err(LcmError::Codec)
                 }
+                ReadOutcome::Behind => {
+                    if behind_retried {
+                        return Err(LcmError::Tee("group leader behind on verified read".into()));
+                    }
+                    behind_retried = true;
+                    replica = server.group_leader(self.shard_of(op));
+                }
+                // The newer table is adopted; the next leg routes to
+                // the slice's new owner group.
+                ReadOutcome::Moved => behind_retried = false,
             }
         }
+        Err(LcmError::Tee(
+            "verified read chased too many slice moves".into(),
+        ))
     }
 
     /// Typed GET on the verified read path ([`KvsClient::read_at`]):
@@ -270,15 +303,14 @@ impl KvsClient {
     }
 
     /// The shard a typed operation routes to under this client's
-    /// deployment shape.
+    /// *current* slice table (epoch 0's uniform table until a
+    /// resharding redirect hands the client a newer one).
     pub fn shard_of(&self, op: &KvOp) -> u32 {
         let bytes = op.to_bytes();
         let key =
             <crate::store::KvStore as lcm_core::functionality::Functionality>::shard_key(&bytes);
-        lcm_core::shard::shard_index(
-            lcm_core::shard::route_for(self.inner.id(), key),
-            self.n_shards(),
-        )
+        self.inner
+            .shard_of_route(lcm_core::shard::route_for(self.inner.id(), key))
     }
 
     /// Runs a set of typed operations to completion with cross-shard
@@ -333,12 +365,29 @@ impl KvsClient {
                         "fan-out received a reply routed to foreign client {id:?}"
                     )));
                 }
-                let (shard, completion) = self.inner.handle_reply_on(&wire)?;
-                let idx = in_flight
-                    .remove(&shard)
-                    .ok_or_else(|| LcmError::Tee("reply for a leg not in flight".into()))?;
-                let result = KvResult::from_bytes(&completion.result).map_err(LcmError::Codec)?;
-                results[idx] = Some(KvCompletion { result, completion });
+                use lcm_core::client::WriteOutcome;
+                match self.inner.handle_reply_on(&wire)? {
+                    (shard, WriteOutcome::Done(completion)) => {
+                        let idx = in_flight
+                            .remove(&shard)
+                            .ok_or_else(|| LcmError::Tee("reply for a leg not in flight".into()))?;
+                        let result =
+                            KvResult::from_bytes(&completion.result).map_err(LcmError::Codec)?;
+                        results[idx] = Some(KvCompletion { result, completion });
+                    }
+                    // The leg's slice moved mid-fan-out: the redirect
+                    // adopted the newer table, so put the leg back in
+                    // the waiting set — the next scatter re-invokes it
+                    // under the new routing (possibly onto a shard
+                    // that currently has a different leg in flight,
+                    // which the scatter loop already serializes).
+                    (shard, WriteOutcome::Redirected { .. }) => {
+                        let idx = in_flight
+                            .remove(&shard)
+                            .ok_or_else(|| LcmError::Tee("reply for a leg not in flight".into()))?;
+                        waiting.push_back(idx);
+                    }
+                }
             }
             if in_flight.len() == before && !in_flight.is_empty() {
                 return Err(LcmError::Tee(
@@ -352,61 +401,92 @@ impl KvsClient {
             .collect())
     }
 
-    /// Scatter-gather GET: reads `keys` with cross-shard pipelining
-    /// (one round trip per shard when the keys spread out) and returns
-    /// the values in input order. Each shard's reply is verified
-    /// against that shard's own history context.
+    /// The next scatter-gather read pin: round-robins over the
+    /// deployment's `replicas` group members so read legs spread
+    /// across followers instead of all landing on member 0. The
+    /// leader still backstops every leg ([`KvsClient::read_at`]
+    /// re-pins on [`lcm_core::client::ReadOutcome::Behind`]).
+    fn next_read_pin(&mut self, replicas: u32) -> u32 {
+        let pin = self.next_pin % replicas.max(1);
+        self.next_pin = self.next_pin.wrapping_add(1);
+        pin
+    }
+
+    /// Scatter-gather GET over the verified read path: reads `keys`
+    /// with one read leg each, pins round-robined across the shard
+    /// groups' replicas, and returns
+    /// the values in input order. Each leg is verified against its
+    /// shard's own history context; a leg landing on a follower that
+    /// is behind re-pins to the group leader, and a leg whose slice
+    /// moved chases the redirect.
     ///
     /// # Errors
     ///
-    /// Propagates [`KvsClient::fan_out`] errors.
+    /// Propagates [`KvsClient::read_at`] errors.
     pub fn multi_get<S: BatchServer + ?Sized>(
         &mut self,
         server: &mut S,
         keys: &[Vec<u8>],
     ) -> Result<Vec<Option<Vec<u8>>>> {
-        let ops: Vec<KvOp> = keys.iter().map(|k| KvOp::Get(k.clone())).collect();
-        self.fan_out(server, &ops)?
-            .into_iter()
-            .map(|done| match done.result {
-                KvResult::Value(v) => Ok(v),
-                other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
+        let replicas = server.replica_count();
+        keys.iter()
+            .map(|k| {
+                let pin = self.next_read_pin(replicas);
+                match self.read_at(server, &KvOp::Get(k.clone()), pin)? {
+                    KvResult::Value(v) => Ok(v),
+                    other => Err(LcmError::Tee(format!("unexpected result {other:?}"))),
+                }
             })
             .collect()
     }
 
     /// A routing pin that hashes to `shard` under this client's
-    /// deployment shape — what addresses one [`KvOp::ScanShard`] leg.
-    pub fn pin_for(&self, shard: u32) -> Vec<u8> {
-        lcm_core::shard::nth_key_routing_to(shard, self.n_shards(), "pin-", 0)
+    /// *current* slice table — what addresses one [`KvOp::ScanShard`]
+    /// leg. `None` when the shard owns no slices under that table
+    /// (every slice migrated away): no key can route there, and no
+    /// slice-routed data lives there either.
+    pub fn pin_for(&self, shard: u32) -> Option<Vec<u8>> {
+        let table = self.inner.slice_table();
+        if table.slices_of(shard).is_empty() {
+            return None;
+        }
+        (0u32..)
+            .map(|j| format!("pin-{j}").into_bytes())
+            .find(|k| table.shard_of(lcm_core::shard::route_hash(k)) == shard)
     }
 
-    /// Scatter-gather SCAN: fans one [`KvOp::ScanShard`] leg out to
-    /// **every** shard for the same `[start..]` range, merges the
-    /// ordered legs, and returns up to `limit` records in global key
-    /// order — the cross-shard counterpart of [`KvsClient::scan`],
+    /// Scatter-gather SCAN over the verified read path: fans one
+    /// [`KvOp::ScanShard`] leg out to **every** shard for the same
+    /// `[start..]` range (pins round-robined across replicas), merges
+    /// the ordered legs, and returns up to `limit` records in global
+    /// key order — the cross-shard counterpart of [`KvsClient::scan`],
     /// whose single wire only ever sees one shard's slice of a
     /// partitioned deployment.
     ///
     /// # Errors
     ///
-    /// Propagates [`KvsClient::fan_out`] errors.
+    /// Propagates [`KvsClient::read_at`] errors.
     pub fn scan_all<S: BatchServer + ?Sized>(
         &mut self,
         server: &mut S,
         start: &[u8],
         limit: u32,
     ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let ops: Vec<KvOp> = (0..self.n_shards())
-            .map(|shard| KvOp::ScanShard {
-                pin: self.pin_for(shard),
+        let replicas = server.replica_count();
+        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for shard in 0..self.n_shards() {
+            // A shard that owns no slices under the current table holds
+            // no data — and no key could route a leg to it anyway.
+            let Some(pin) = self.pin_for(shard) else {
+                continue;
+            };
+            let op = KvOp::ScanShard {
+                pin,
                 start: start.to_vec(),
                 limit,
-            })
-            .collect();
-        let mut merged: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
-        for done in self.fan_out(server, &ops)? {
-            match done.result {
+            };
+            let pin = self.next_read_pin(replicas);
+            match self.read_at(server, &op, pin)? {
                 KvResult::Range(pairs) => merged.extend(pairs),
                 other => return Err(LcmError::Tee(format!("unexpected result {other:?}"))),
             }

@@ -250,6 +250,46 @@ impl Functionality for KvStore {
         Ok(())
     }
 
+    /// Extracts and removes the records whose keys satisfy `belongs` —
+    /// the record key IS the partition key ([`KvStore`]'s `shard_key`
+    /// routes by it), so the predicate selects exactly the routing
+    /// slice's state. Removed keys are also dropped from the dirty set
+    /// so later deltas cannot resurrect them on the exporting shard.
+    fn take_partition(&mut self, belongs: &dyn Fn(&[u8]) -> bool) -> Option<Vec<u8>> {
+        let moved: Vec<Vec<u8>> = self.map.keys().filter(|k| belongs(k)).cloned().collect();
+        let mut w = Writer::new();
+        w.put_u32(moved.len() as u32);
+        for key in &moved {
+            let value = self.map.remove(key).expect("key just listed");
+            self.dirty.0.remove(key);
+            w.put_bytes(key);
+            w.put_bytes(&value);
+        }
+        Some(w.into_bytes())
+    }
+
+    /// Merges a partition exported by another shard. The adopted keys
+    /// are marked dirty: the importing shard's next delta must carry
+    /// them, since ITS persisted baseline has never seen them.
+    fn apply_partition(&mut self, partition: &[u8]) -> Result<(), CodecError> {
+        let mut r = Reader::new(partition);
+        let n = r.get_u32()? as usize;
+        // Decode fully before mutating so a malformed partition cannot
+        // leave the store half-updated.
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let k = r.get_bytes()?.to_vec();
+            let v = r.get_bytes()?.to_vec();
+            entries.push((k, v));
+        }
+        r.finish()?;
+        for (k, v) in entries {
+            self.dirty.0.insert(k.clone());
+            self.map.insert(k, v);
+        }
+        Ok(())
+    }
+
     fn heap_bytes(&self) -> usize {
         self.map
             .iter()
@@ -430,6 +470,61 @@ mod tests {
         let mut t = KvStore::default();
         t.apply_delta(&second).unwrap();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn take_partition_moves_records_and_their_dirt() {
+        let mut a = KvStore::default();
+        a.apply(&KvOp::Put(b"a1".to_vec(), b"1".to_vec()));
+        a.apply(&KvOp::Put(b"b1".to_vec(), b"2".to_vec()));
+        a.apply(&KvOp::Put(b"a2".to_vec(), b"3".to_vec()));
+        let part = a.take_partition(&|k| k.starts_with(b"a")).unwrap();
+        // The exporter no longer holds the moved records...
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(b"b1"), Some(&b"2"[..]));
+        // ...and its next delta no longer mentions them (a later delta
+        // replay must not resurrect the slice on the old owner).
+        let mut replay = KvStore::default();
+        replay.apply_delta(&a.take_delta().unwrap()).unwrap();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay.get(b"b1"), Some(&b"2"[..]));
+
+        // The importer merges them alongside its own records...
+        let mut b = KvStore::default();
+        b.apply(&KvOp::Put(b"c".to_vec(), b"x".to_vec()));
+        let _ = b.take_delta(); // persisted baseline without the slice
+        b.apply_partition(&part).unwrap();
+        assert_eq!(b.get(b"a1"), Some(&b"1"[..]));
+        assert_eq!(b.get(b"a2"), Some(&b"3"[..]));
+        assert_eq!(b.get(b"c"), Some(&b"x"[..]));
+        // ...and its next delta carries the adopted keys: the
+        // importer's persisted baseline has never seen them.
+        let mut replay = KvStore::default();
+        replay.apply_delta(&b.take_delta().unwrap()).unwrap();
+        assert_eq!(replay.get(b"a1"), Some(&b"1"[..]));
+        assert_eq!(replay.get(b"a2"), Some(&b"3"[..]));
+    }
+
+    #[test]
+    fn take_partition_with_no_matches_is_an_empty_transfer() {
+        let mut a = KvStore::default();
+        a.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let part = a.take_partition(&|_| false).unwrap();
+        assert_eq!(a.len(), 1);
+        let mut b = KvStore::default();
+        b.apply_partition(&part).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn apply_partition_rejects_malformed_bytes_without_mutating() {
+        let mut s = KvStore::default();
+        s.apply(&KvOp::Put(b"k".to_vec(), b"v".to_vec()));
+        let before = s.clone();
+        let mut w = Writer::new();
+        w.put_u32(3); // promise three records, deliver none
+        assert!(s.apply_partition(&w.into_bytes()).is_err());
+        assert_eq!(s, before);
     }
 
     #[test]

@@ -27,7 +27,10 @@ enum Event {
 /// Deterministic: service times are the profile's constants and
 /// clients have zero think time, exactly like a saturating YCSB run.
 /// Clients are partitioned over shards round-robin, mirroring a
-/// uniform route-hash distribution.
+/// uniform route-hash distribution under the genesis slice table;
+/// [`Simulation::with_hot_shard`] pins a prefix of them to one
+/// station instead, modelling a skewed key population before
+/// heat-aware rebalancing spreads its slices back out.
 ///
 /// # Example
 ///
@@ -53,6 +56,8 @@ pub struct Simulation {
     /// Per-extra-driver contention surcharge on the host share of
     /// `per_op` (see `CostModel::frontend_contention`).
     frontend_contention: f64,
+    /// Clients pinned to shard 0 (hot-skew model; 0 = uniform).
+    hot_clients: usize,
     /// Members per shard group (1 = unreplicated).
     replicas: usize,
     /// Per-follower ack plumbing charged per batch (see
@@ -87,6 +92,7 @@ impl Simulation {
             shards: 1,
             frontend_threads: 0,
             frontend_contention: 0.0,
+            hot_clients: 0,
             replicas: 1,
             replica_ack: Duration::ZERO,
             duration: duration_ns,
@@ -103,6 +109,21 @@ impl Simulation {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Pins the first `hot_clients` clients to shard 0, modelling a
+    /// skewed key population whose slices all hash to one station —
+    /// the workload the real stack's `*-hot` bench cells measure. The
+    /// remaining clients spread round-robin as before. `0` (the
+    /// default) is the uniform table; it is also the end state
+    /// heat-aware rebalancing converges to once the hot slices have
+    /// been migrated off the loaded shard, so the throughput gap
+    /// between a skewed run and a uniform one bounds what live slice
+    /// migration can recover.
+    #[must_use]
+    pub fn with_hot_shard(mut self, hot_clients: usize) -> Self {
+        self.hot_clients = hot_clients;
         self
     }
 
@@ -194,9 +215,18 @@ impl Simulation {
         let mut busy: Vec<bool> = vec![false; shards];
         let mut send_time: Vec<Nanos> = vec![0; self.n_clients];
         let mut metrics = Metrics::new(Duration::from_nanos(self.duration - self.warmup));
-        // Round-robin client→shard partition: the engine's stand-in
-        // for a uniform route-hash distribution.
-        let shard_of = |client: usize| client % shards;
+        // Client→shard partition: the engine's stand-in for the slice
+        // table. Round-robin mirrors a uniform route-hash spread; the
+        // first `hot_clients` pin to shard 0 to model a skewed key
+        // population (all of its slices owned by one station).
+        let hot = self.hot_clients.min(self.n_clients);
+        let shard_of = move |client: usize| {
+            if client < hot {
+                0
+            } else {
+                client % shards
+            }
+        };
 
         // All clients fire at t=0 with a 1 µs stagger to avoid
         // artificial phase lock.
@@ -470,6 +500,57 @@ mod tests {
         assert!(
             charged > 0.8 * free,
             "surcharge too harsh: {charged} vs {free}"
+        );
+    }
+
+    #[test]
+    fn hot_skew_collapses_sharded_throughput() {
+        // 64 saturating clients all pinned to one of 4 stations: the
+        // other three idle, so throughput falls back to roughly the
+        // single-shard rate — the collapse the real stack's `*-hot`
+        // bench cells measure.
+        let uniform = run_sharded(4, 64, true).throughput();
+        let x1 = run_sharded(1, 64, true).throughput();
+        let model = CostModel::default();
+        let profile = model.profile(ServerKind::Lcm { batch: 16 }, 1000, 100, true);
+        let skewed = Simulation::new(profile, &model, 64, Duration::from_secs(5))
+            .with_shards(4)
+            .with_hot_shard(64)
+            .run()
+            .throughput();
+        assert!(skewed < 0.6 * uniform, "uniform={uniform} skewed={skewed}");
+        let vs_single = skewed / x1;
+        assert!(
+            (0.9..=1.1).contains(&vs_single),
+            "fully skewed 4-shard must degenerate to 1 shard: {vs_single:.3}"
+        );
+    }
+
+    #[test]
+    fn rebalancing_recovers_the_hot_skew_collapse() {
+        // `with_hot_shard(0)` is the uniform table heat-aware
+        // rebalancing converges to: the recovery the migration bench
+        // cells gate on is exactly the skewed→uniform gap.
+        let model = CostModel::default();
+        let profile = model.profile(ServerKind::Lcm { batch: 16 }, 1000, 100, true);
+        let mk = |hot: usize| {
+            let p = profile.clone();
+            Simulation::new(p, &model, 64, Duration::from_secs(5))
+                .with_shards(4)
+                .with_hot_shard(hot)
+                .run()
+                .throughput()
+        };
+        let skewed = mk(64);
+        let rebalanced = mk(0);
+        assert!(
+            rebalanced > 2.0 * skewed,
+            "skewed={skewed} rebalanced={rebalanced}"
+        );
+        assert_eq!(
+            mk(0),
+            run_sharded(4, 64, true).throughput(),
+            "hot=0 must reproduce the uniform model exactly"
         );
     }
 

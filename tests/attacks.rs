@@ -15,7 +15,9 @@ use std::sync::Arc;
 
 use common::{all_modes, mk_client, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
+use lcm::core::routing::slice_of;
 use lcm::core::server::BatchServer;
+use lcm::core::shard::route_hash;
 use lcm::core::stability::Quorum;
 use lcm::core::types::ClientId;
 use lcm::core::verify::check_single_history;
@@ -451,6 +453,85 @@ fn misdelivery_after_history_still_detected_by_enclave(mode: Mode) {
     assert_eq!(server.ops_processed(), ops_before);
 }
 
+fn moved_slice_cannot_resurrect_on_old_owner(mode: Mode) {
+    // Live slice migration bumps the routing epoch; the old owner's
+    // enclave installs the new table before the move completes. A host
+    // that keeps delivering a stale client's wires to the OLD owner —
+    // pretending the migration never happened, which would fork the
+    // slice's history from the migrated state — gets only a typed
+    // redirect: the enclave NEVER executes a slice outside its
+    // installed table, no matter how the wire reaches it.
+    use lcm::core::client::WriteOutcome;
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 36);
+    let c = &mut clients[0];
+    let key = b"moving-key".to_vec();
+    c.put(&mut server, &key, b"v1").unwrap();
+    if mode.shards() < 2 {
+        // No sibling to migrate to: the surface must refuse cleanly
+        // instead of corrupting the single-lane topology.
+        assert!(server.migrate_slice(0, 1).is_err());
+        return;
+    }
+    let old_owner = mode.shard_of_key(&key);
+    let slice = slice_of(route_hash(&key));
+    server
+        .migrate_slice(slice, (old_owner + 1) % mode.shards())
+        .unwrap();
+
+    // The client has not heard about the move: it stamps the old epoch
+    // and routes to the old owner, and the host delivers exactly as
+    // routed.
+    let op = KvOp::Put(key.clone(), b"v2".to_vec());
+    let wire = c.invoke_wire(&op).unwrap();
+    server.submit_to_shard(old_owner, wire);
+    let replies = server.process_all().unwrap();
+    // A `Done` here would be the resurrection: the old owner
+    // acknowledging a write on a slice it no longer owns, forking the
+    // slice's history from the migrated state.
+    let (_, outcome) = c.lcm_mut().handle_reply_on(&replies[0].1).unwrap();
+    assert!(
+        matches!(outcome, WriteOutcome::Redirected { .. }),
+        "got {outcome:?}"
+    );
+
+    // The chase converges: the re-minted wire lands exactly once on
+    // the new owner.
+    server.submit(c.invoke_wire(&op).unwrap());
+    let replies = server.process_all().unwrap();
+    let done = c.complete(&replies[0].1).unwrap();
+    assert_eq!(done.result, lcm::kvs::ops::KvResult::Stored);
+    assert_eq!(c.get(&mut server, &key).unwrap().unwrap(), b"v2".to_vec());
+}
+
+fn stale_epoch_delivery_to_bystander_detected(mode: Mode) {
+    // Variant of the resurrection attack: the host delivers the stale
+    // wire to a shard that never owned the moved slice — under either
+    // epoch. The bystander adopted the new table during the handshake,
+    // so its recomputation rejects the wire just like the old owner's.
+    let (_w, _s, mut server, _a, mut clients) = setup_adversarial(mode, 1, 37);
+    if mode.shards() < 3 {
+        return; // needs old owner, new owner, and a third shard
+    }
+    let c = &mut clients[0];
+    let key = b"bystander-key".to_vec();
+    c.put(&mut server, &key, b"v1").unwrap();
+    let old_owner = mode.shard_of_key(&key);
+    let new_owner = (old_owner + 1) % mode.shards();
+    let bystander = (old_owner + 2) % mode.shards();
+    server
+        .migrate_slice(slice_of(route_hash(&key)), new_owner)
+        .unwrap();
+
+    let wire = c
+        .invoke_wire(&KvOp::Put(key.clone(), b"v2".to_vec()))
+        .unwrap();
+    let ops_before = server.ops_processed();
+    server.submit_to_shard(bystander, wire);
+    let err = server.process_all().unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+    assert_eq!(server.ops_processed(), ops_before, "nothing executed");
+}
+
 all_modes!(
     rollback_one_step_detected_by_victim,
     rollback_to_genesis_detected,
@@ -468,4 +549,6 @@ all_modes!(
     stale_state_with_fresh_keyblob_detected,
     first_op_misdelivered_to_wrong_shard_detected,
     misdelivery_after_history_still_detected_by_enclave,
+    moved_slice_cannot_resurrect_on_old_owner,
+    stale_epoch_delivery_to_bystander_detected,
 );

@@ -253,6 +253,91 @@ fn leader_kill_with_queued_work_recovers_via_retry(mode: Mode) {
     assert!(!client.lcm().is_halted());
 }
 
+/// Live slice migration interrupted by a target-shard crash: the
+/// handshake parks as a pending move (the origin already exported, so
+/// no new move may start), the rest of the deployment keeps serving,
+/// resuming after the reboot finishes the move exactly once — and the
+/// rollback alarm still fires for the slice on its NEW home, proving
+/// the migrated V-map entries and hash chain came across intact.
+#[test]
+fn crash_mid_slice_migration_resumes_and_rollback_protection_survives() {
+    use lcm::core::routing::slice_of;
+    use lcm::core::server::BatchServer;
+    use lcm::core::shard::{build_sharded, nth_key_routing_to, route_hash};
+    use lcm::storage::{AdversaryMode, RollbackStorage};
+
+    const SHARDS: u32 = 4;
+    let world = TeeWorld::new_deterministic(4242);
+    let storage = Arc::new(RollbackStorage::new());
+    let mut server = build_sharded::<KvStore>(&world, 1, storage.clone(), 1, SHARDS, false);
+    assert!(server.boot().unwrap());
+    let ids = vec![ClientId(1), ClientId(2)];
+    let mut admin = AdminHandle::new_deterministic(&world, ids, Quorum::Majority, 11);
+    admin.bootstrap(&mut server).unwrap();
+    let mut victim =
+        lcm::kvs::client::KvsClient::new_sharded(ClientId(1), admin.client_key(), SHARDS);
+    let mut bystander =
+        lcm::kvs::client::KvsClient::new_sharded(ClientId(2), admin.client_key(), SHARDS);
+
+    // A key on the slice that will move (origin shard 0) and one on a
+    // shard outside the handshake.
+    let moving = nth_key_routing_to(0, SHARDS, "mv", 0);
+    let parked = nth_key_routing_to(1, SHARDS, "by", 0);
+    victim.put(&mut server, &moving, b"v1").unwrap();
+    bystander.put(&mut server, &parked, b"w1").unwrap();
+
+    let slice = slice_of(route_hash(&moving));
+    let to = 2u32;
+    // The target dies before the handshake: the export succeeds, the
+    // sealed ticket cannot be delivered.
+    server.with_shard(to, |s| s.crash());
+    let err = server.migrate_slice(slice, to).unwrap_err();
+    assert!(!err.is_violation(), "a dead target parks the move: {err:?}");
+    assert_eq!(server.pending_slice_move(), Some((slice, 0, to)));
+    // A second move cannot start while the handshake is parked.
+    assert!(server
+        .migrate_slice(slice_of(route_hash(&parked)), 3)
+        .is_err());
+
+    // Shards outside the handshake keep serving.
+    assert_eq!(
+        bystander.get(&mut server, &parked).unwrap().unwrap(),
+        b"w1".to_vec()
+    );
+
+    // Reboot the target (recovery, not re-provisioning) and finish.
+    assert!(!server.with_shard(to, |s| s.boot()).unwrap());
+    server.resume_slice_migration().unwrap();
+    assert_eq!(server.pending_slice_move(), None);
+    assert_eq!(server.routing_epoch(), 1);
+
+    // The stale client chases the redirect onto the new owner.
+    assert_eq!(
+        victim.get(&mut server, &moving).unwrap().unwrap(),
+        b"v1".to_vec()
+    );
+    victim.put(&mut server, &moving, b"v2").unwrap();
+
+    // Rollback protection followed the slice: the new owner
+    // acknowledges a write whose persist is silently dropped, crashes,
+    // recovers from the stale medium — the victim must detect it.
+    server.flush_persists().unwrap();
+    storage.set_mode(AdversaryMode::DropWrites);
+    victim.put(&mut server, &moving, b"v3").unwrap();
+    server.flush_persists().unwrap();
+    storage.set_mode(AdversaryMode::Honest);
+    server
+        .with_shard(to, |s| {
+            s.crash();
+            s.boot()
+        })
+        .unwrap();
+    let err = victim
+        .run(&mut server, &KvOp::Get(moving.clone()))
+        .unwrap_err();
+    assert!(err.is_violation(), "got {err:?}");
+}
+
 all_modes!(
     crash_before_processing_at_every_point,
     crash_after_processing_at_every_point,

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use common::{mk_client, mk_server, Mode};
 use lcm::core::admin::AdminHandle;
 use lcm::core::pipeline::PipelinedServer;
+use lcm::core::routing::{slice_of, SliceTable, SLICE_COUNT};
 use lcm::core::server::{BatchServer, LcmServer};
 use lcm::core::shard::{route_hash, shard_index, ShardedServer};
 use lcm::core::stability::Quorum;
@@ -100,6 +101,40 @@ proptest! {
             prop_assert_eq!(got.unwrap(), vec![expected]);
         }
     }
+
+    /// The epoch-versioned slice table stays a total function of the
+    /// route under arbitrary move sequences: every route maps to
+    /// exactly one in-range shard, a moved slice maps to its target,
+    /// the epoch counts exactly the applied moves, and the only
+    /// refused move is the no-op (target already owns the slice).
+    #[test]
+    fn slice_moves_preserve_total_coverage(
+        shards in 2u32..=8,
+        moves in proptest::collection::vec((0u32..SLICE_COUNT, 0u32..8), 0..16),
+    ) {
+        let mut table = SliceTable::uniform(shards);
+        let mut applied = 0u64;
+        for (slice, to) in moves {
+            let to = to % shards;
+            match table.moved(slice, to) {
+                Some(next) => {
+                    prop_assert_eq!(next.epoch(), table.epoch() + 1);
+                    prop_assert_eq!(next.owner(slice), to);
+                    table = next;
+                    applied += 1;
+                }
+                None => prop_assert_eq!(table.owner(slice), to),
+            }
+        }
+        prop_assert_eq!(table.epoch(), applied);
+        for route in 0..1024u32 {
+            let shard = table.shard_of(route);
+            prop_assert!(shard < shards);
+            // Deterministic and consistent with the slice owner.
+            prop_assert_eq!(shard, table.owner(slice_of(route)));
+            prop_assert_eq!(shard, table.shard_of(route));
+        }
+    }
 }
 
 proptest! {
@@ -139,6 +174,52 @@ proptest! {
             // The shard executed exactly the slice the client routed.
             prop_assert!(row.ops == predicted[shard],
                 "shard {shard}: executed {} vs routed {}", row.ops, predicted[shard]);
+        }
+    }
+
+    /// Redirect convergence on the real stack: after an arbitrary
+    /// sequence of live slice migrations, a client still holding an
+    /// older table reaches every key by chasing the typed redirects —
+    /// every operation ends `Done` with the pre-migration value, and
+    /// the host's routing epoch counts exactly the applied moves.
+    #[test]
+    fn redirects_converge_after_arbitrary_migrations(
+        moves in proptest::collection::vec((0u32..SLICE_COUNT, 0u32..4), 1..6),
+        seed in 0u64..100,
+    ) {
+        const SHARDS: u32 = 4;
+        let world = TeeWorld::new_deterministic(seed ^ 0xa11c);
+        let mut server = lcm::core::shard::build_sharded::<KvStore>(
+            &world, 1, Arc::new(MemoryStorage::new()), 4, SHARDS, false);
+        prop_assert!(server.boot().unwrap());
+        let mut admin = AdminHandle::new_deterministic(
+            &world, vec![ClientId(1)], Quorum::Majority, seed);
+        admin.bootstrap(&mut server).unwrap();
+        let mut client = KvsClient::new_sharded(ClientId(1), admin.client_key(), SHARDS);
+
+        let keys: Vec<Vec<u8>> = (0..SHARDS)
+            .map(|s| lcm::core::shard::nth_key_routing_to(s, SHARDS, "rc", 0))
+            .collect();
+        for (i, key) in keys.iter().enumerate() {
+            client.put(&mut server, key, &[i as u8]).unwrap();
+        }
+
+        let mut applied = 0u64;
+        for (slice, to) in moves {
+            // The only refused move is the no-op; `migrate_slice`
+            // rejects it before touching any enclave.
+            match server.migrate_slice(slice, to) {
+                Ok(()) => applied += 1,
+                Err(_) => prop_assert_eq!(server.current_table().owner(slice), to),
+            }
+        }
+        prop_assert_eq!(server.routing_epoch(), applied);
+
+        // The client's table is up to `applied` epochs behind; every
+        // read converges through redirects.
+        for (i, key) in keys.iter().enumerate() {
+            let got = client.get(&mut server, key).unwrap();
+            prop_assert_eq!(got.unwrap(), vec![i as u8]);
         }
     }
 }
